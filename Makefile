@@ -1,0 +1,24 @@
+# Convenience targets for the repro project.
+
+.PHONY: install test bench figures report examples all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+figures:
+	python -m repro fig1 && python -m repro fig2 && python -m repro fig4 && \
+	python -m repro fig5 && python -m repro fig6 && python -m repro fig7 --chart
+
+report:
+	python -m repro report --out paper_report.md
+
+examples:
+	for f in examples/*.py; do python $$f; done
+
+all: test bench

@@ -1,0 +1,16 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one paper table/figure: it times the experiment
+with pytest-benchmark and prints the same rows/series the paper reports so
+the output is directly comparable (see EXPERIMENTS.md for the side-by-side).
+"""
+
+from __future__ import annotations
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled result block that survives pytest's capture (-s not
+    required; pytest-benchmark prints its table after capture ends, and
+    these blocks are shown with `-rA` or on failure; run with `-s` to stream
+    them live)."""
+    print(f"\n=== {title} ===\n{body}\n", flush=True)

@@ -1,0 +1,60 @@
+"""Ablation: Algorithm 2 vs. simulated annealing on the GSD objective.
+
+Triangulates the paper's transfer phase: annealing, seeded with
+Algorithm 2's output, exposes how much distance the pairwise-exchange local
+optimum leaves on the table."""
+
+import functools
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cluster.generators import feasible_random_requests, random_pool
+from repro.core.placement.annealing import AnnealingConfig, AnnealingGsdSolver
+from repro.core.placement.global_opt import GlobalSubOptimizer, total_distance
+from repro.core.placement.greedy import OnlineHeuristic
+from repro.experiments import paperconfig as cfg
+from repro.util.rng import ensure_rng
+
+from benchmarks.conftest import emit
+
+
+def run_comparison(trials: int = 5):
+    totals = {"online": 0.0, "algorithm 2": 0.0, "annealing": 0.0}
+    for seed in range(trials):
+        rng = ensure_rng(seed)
+        pool = random_pool(
+            cfg.SIM_POOL, cfg.CATALOG, rng, distance_model=cfg.DISTANCES
+        )
+        requests = feasible_random_requests(pool, cfg.FIG5_REQUESTS, 20, rng)
+        admissible, budget = [], pool.available.copy()
+        for r in requests:
+            if np.all(r <= budget):
+                admissible.append(r)
+                budget -= r
+        opt = GlobalSubOptimizer(OnlineHeuristic())
+        online = opt.place_online(admissible, pool)
+        algo2 = opt.optimize_transfers(online, pool.distance_matrix)
+        annealed = AnnealingGsdSolver(
+            AnnealingConfig(iterations=6000, seed=seed)
+        ).place_batch(admissible, pool)
+        totals["online"] += total_distance(online)
+        totals["algorithm 2"] += total_distance(algo2)
+        totals["annealing"] += total_distance(annealed)
+    return totals
+
+
+def test_ablation_annealing_vs_algorithm2(benchmark):
+    totals = benchmark.pedantic(
+        functools.partial(run_comparison, trials=5), rounds=1, iterations=1
+    )
+    base = totals["online"]
+    rows = [
+        [name, value, 100.0 * (base - value) / base]
+        for name, value in totals.items()
+    ]
+    emit(
+        "Ablation — GSD solvers over 5 batches of 20 requests",
+        format_table(["solver", "total distance", "improvement (%)"], rows),
+    )
+    assert totals["annealing"] <= totals["algorithm 2"] <= totals["online"]

@@ -1,0 +1,29 @@
+"""Ablation: Algorithm 2 vs. the exact GSD optimum (MILP).
+
+The paper never solves GSD exactly; this bench bounds Algorithm 2's
+sub-optimality on a small instance where HiGHS terminates quickly."""
+
+import functools
+
+from repro.analysis import format_table
+from repro.experiments.global_experiments import run_gsd_gap
+
+from benchmarks.conftest import emit
+
+
+def test_ablation_gsd_optimality_gap(benchmark):
+    result = benchmark.pedantic(
+        functools.partial(run_gsd_gap, num_requests=4), rounds=1, iterations=1
+    )
+    emit(
+        "Ablation — Algorithm 2 vs exact GSD (4 requests, 8 nodes)",
+        format_table(
+            ["solver", "total distance"],
+            [
+                ["Algorithm 2 (heuristic + transfers)", result.algo2_total],
+                ["GSD MILP (exact)", result.gsd_total],
+            ],
+        )
+        + f"\ngap: {result.gap_pct:.1f}%",
+    )
+    assert result.algo2_total >= result.gsd_total - 1e-9

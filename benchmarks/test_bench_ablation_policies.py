@@ -1,0 +1,38 @@
+"""Ablation: end-to-end placement-policy comparison.
+
+The paper's thesis in one table: affinity-aware placement yields the
+shortest cluster distance AND the fastest MapReduce runtime, against four
+affinity-blind provider policies."""
+
+import functools
+
+from repro.analysis import format_table
+from repro.experiments.ablations import run_policy_comparison, run_scheduler_ablation
+
+from benchmarks.conftest import emit
+
+
+def test_ablation_placement_policies(benchmark):
+    rows = benchmark.pedantic(run_policy_comparison, rounds=1, iterations=1)
+    emit(
+        "Ablation — placement policy, one 14-VM request + WordCount",
+        format_table(
+            ["policy", "cluster distance", "runtime (s)"],
+            [[r.policy, r.mean_distance, r.runtime] for r in rows],
+        ),
+    )
+    by = {r.policy: r for r in rows}
+    assert by["online-heuristic"].mean_distance == min(r.mean_distance for r in rows)
+
+
+def test_ablation_map_schedulers(benchmark):
+    rows = benchmark.pedantic(run_scheduler_ablation, rounds=1, iterations=1)
+    emit(
+        "Ablation — map scheduler on the distance-14 cluster",
+        format_table(
+            ["scheduler", "runtime (s)", "non-data-local maps"],
+            [[r.scheduler, r.runtime, r.non_data_local_maps] for r in rows],
+        ),
+    )
+    by = {r.scheduler: r for r in rows}
+    assert by["locality"].non_data_local_maps <= by["fifo"].non_data_local_maps

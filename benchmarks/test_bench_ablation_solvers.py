@@ -1,0 +1,62 @@
+"""Ablation: solver quality and cost on the paper's simulation pool.
+
+Times Algorithm 1 (both modes), the exact transportation solver, and the
+MILP on identical requests, and reports the optimality gaps — quantifying
+the paper's accuracy/complexity trade-off."""
+
+import functools
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cluster.generators import feasible_random_requests, random_pool
+from repro.core.placement.exact import solve_sd_exact
+from repro.core.placement.greedy import OnlineHeuristic
+from repro.core.placement.ilp import solve_sd_milp
+from repro.experiments import paperconfig as cfg
+from repro.experiments.ablations import run_heuristic_gap
+
+from benchmarks.conftest import emit
+
+
+def _bench_pool():
+    pool = random_pool(cfg.SIM_POOL, cfg.CATALOG, seed=77, distance_model=cfg.DISTANCES)
+    request = feasible_random_requests(pool, cfg.FIG5_REQUESTS, 1, seed=78)[0]
+    return pool, request
+
+
+def test_ablation_algorithm1_modes(benchmark):
+    gap = run_heuristic_gap(seed=cfg.MASTER_SEED)
+    pool, request = _bench_pool()
+    heuristic = OnlineHeuristic()
+    benchmark(functools.partial(heuristic.place, request, pool))
+    rows = [
+        ["exact optimum", gap.exact_total, 0.0],
+        ["Algorithm 1 (best center)", gap.best_mode_total, gap.best_mode_gap_pct],
+        ["Algorithm 1 (first center)", gap.first_mode_total, gap.first_mode_gap_pct],
+    ]
+    emit(
+        "Ablation — Algorithm 1 optimality over 20 requests",
+        format_table(["solver", "total distance", "gap vs optimum (%)"], rows),
+    )
+    assert gap.best_mode_gap_pct == 0.0
+    assert gap.first_mode_gap_pct >= 0.0
+
+
+def test_ablation_exact_solver_speed(benchmark):
+    pool, request = _bench_pool()
+    alloc = benchmark(functools.partial(solve_sd_exact, request, pool))
+    assert alloc is not None
+
+
+def test_ablation_milp_solver_speed(benchmark):
+    pool, request = _bench_pool()
+    alloc = benchmark.pedantic(
+        functools.partial(solve_sd_milp, request, pool), rounds=3, iterations=1
+    )
+    exact = solve_sd_exact(request, pool)
+    emit(
+        "Ablation — MILP vs exact on one request",
+        f"milp distance {alloc.distance:g}, exact distance {exact.distance:g}",
+    )
+    assert alloc.distance == exact.distance

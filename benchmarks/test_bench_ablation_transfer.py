@@ -1,0 +1,28 @@
+"""Ablation: literal Theorem-2 transfer vs. the generalized swap search.
+
+DESIGN.md calls out the generalized exchange as a deliberate extension of
+the paper's transfer; this bench quantifies how much more distance it
+recovers on identical batches."""
+
+import functools
+
+from repro.analysis import format_table
+from repro.experiments.ablations import run_transfer_ablation
+
+from benchmarks.conftest import emit
+
+
+def test_ablation_transfer_generality(benchmark):
+    result = benchmark.pedantic(
+        functools.partial(run_transfer_ablation, trials=5), rounds=1, iterations=1
+    )
+    rows = [
+        ["online (no transfers)", result.online_total, 0.0],
+        ["paper Theorem-2 transfer", result.paper_transfer_total, result.paper_improvement_pct],
+        ["generalized swap search", result.general_transfer_total, result.general_improvement_pct],
+    ]
+    emit(
+        "Ablation — transfer variants over 5 batches",
+        format_table(["variant", "total distance", "improvement (%)"], rows),
+    )
+    assert result.general_transfer_total <= result.paper_transfer_total + 1e-9

@@ -1,0 +1,49 @@
+"""Extension bench: sensitivity of the paper's conclusions.
+
+Three sweeps mapping where affinity-aware provisioning matters: the
+rack-distance ratio, the batch load, and the network oversubscription."""
+
+import functools
+
+from repro.analysis import format_table
+from repro.experiments.sensitivity import (
+    sweep_distance_ratio,
+    sweep_oversubscription,
+    sweep_pool_load,
+)
+
+from benchmarks.conftest import emit
+
+
+def test_sensitivity_sweeps(benchmark):
+    benchmark.pedantic(
+        functools.partial(sweep_oversubscription, factors=(4.0,)),
+        rounds=1,
+        iterations=1,
+    )
+    ratio = sweep_distance_ratio(trials=3)
+    emit(
+        "Sensitivity — inter/intra-rack distance ratio",
+        format_table(
+            ["d2/d1", "Algorithm 2 improvement (%)", "random-center penalty"],
+            [[p.ratio, p.global_improvement_pct, p.random_center_penalty] for p in ratio],
+        ),
+    )
+    load = sweep_pool_load(trials=3)
+    emit(
+        "Sensitivity — batch load vs. transfer gains",
+        format_table(
+            ["load", "online total", "global total", "improvement (%)"],
+            [[p.load_fraction, p.online_total, p.global_total, p.improvement_pct] for p in load],
+        ),
+    )
+    over = sweep_oversubscription()
+    emit(
+        "Sensitivity — network oversubscription vs. Fig.7 slope",
+        format_table(
+            ["oversubscription", "runtime d=8", "runtime d=22", "spread penalty (%)"],
+            [[p.oversubscription, p.runtimes[0], p.runtimes[-1], p.spread_penalty_pct] for p in over],
+        ),
+    )
+    assert ratio[-1].random_center_penalty > ratio[0].random_center_penalty
+    assert over[-1].spread_penalty_pct > over[0].spread_penalty_pct

@@ -1,0 +1,36 @@
+"""Extension bench: affinity sensitivity across a workload mix.
+
+Generalizes Fig. 7 from WordCount to the workload library: relative
+penalties track shuffle volume (Sort worst), absolute penalties track total
+network bytes (Grep least)."""
+
+import functools
+
+from repro.analysis import format_table
+from repro.experiments.mapreduce_experiments import run_workload_mix
+
+from benchmarks.conftest import emit
+
+
+def test_workload_mix(benchmark):
+    mix = benchmark.pedantic(run_workload_mix, rounds=1, iterations=1)
+    rows = []
+    for w in mix.workloads:
+        series = mix.runtimes[w]
+        rows.append(
+            [
+                w,
+                *[round(t, 1) for t in series],
+                f"{mix.spread_penalty_pct(w):.0f}%",
+            ]
+        )
+    emit(
+        "Extension — runtime (s) per workload per cluster distance",
+        format_table(
+            ["workload", *[f"d={d}" for d in mix.distances], "spread penalty"],
+            rows,
+        ),
+    )
+    assert mix.spread_penalty_pct("sort") > mix.spread_penalty_pct("wordcount")
+    for w in mix.workloads:
+        assert mix.runtimes[w][0] == min(mix.runtimes[w])

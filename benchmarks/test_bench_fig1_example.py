@@ -1,0 +1,25 @@
+"""Fig. 1 / Section III.A: the worked DC example.
+
+Regenerates the four example allocations' distances (2*d1+d2, 2*d1+d2,
+2*d2, d1+2*d2) and the exact optimum, timing the full evaluation."""
+
+from repro.analysis import format_table
+from repro.experiments.example_fig1 import run
+
+from benchmarks.conftest import emit
+
+
+def test_fig1_worked_example(benchmark):
+    result = benchmark(run)
+    rows = [
+        [label, dist, f"N{center}"]
+        for label, dist, center in zip(result.labels, result.distances, result.centers)
+    ]
+    rows.append(["SD optimum", result.optimal_distance, "-"])
+    emit(
+        "Fig. 1 — example allocations (d1=1, d2=2)",
+        format_table(["allocation", "DC", "central node"], rows),
+    )
+    # Paper values with d1=1, d2=2: DC1=DC2=4, DC3=4, DC4=5.
+    assert list(result.distances) == [4.0, 4.0, 4.0, 5.0]
+    assert result.optimal_distance <= min(result.distances)

@@ -1,0 +1,27 @@
+"""Fig. 2: heuristic (best-center) distance vs. random-center distance.
+
+Regenerates the paper's two 20-request series and asserts the defining
+shape: the random-center series never drops below the heuristic one, and is
+substantially worse on average."""
+
+import numpy as np
+
+from repro.analysis import format_series
+from repro.experiments.center_experiments import run_center_study
+
+from benchmarks.conftest import emit
+
+
+def test_fig2_center_strategy(benchmark):
+    study = benchmark(run_center_study)
+    heuristic = study.heuristic_distances
+    random_center = study.random_center_distances
+    emit(
+        "Fig. 2 — distance by central-node strategy (20 requests)",
+        format_series("heuristic (best center)", heuristic, float_fmt="{:.0f}")
+        + "\n"
+        + format_series("random central node  ", random_center, float_fmt="{:.0f}")
+        + f"\nmean gap: {study.mean_gap:.2f}",
+    )
+    assert all(r >= h for h, r in zip(heuristic, random_center))
+    assert np.mean(random_center) > np.mean(heuristic)

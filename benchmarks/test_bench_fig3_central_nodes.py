@@ -1,0 +1,21 @@
+"""Fig. 3: the chosen central node varies across requests.
+
+Regenerates the per-request central-node series under the shortest-distance
+constraint and asserts the paper's point — the center is request- and
+pool-state-dependent, not fixed."""
+
+from repro.analysis import format_series
+from repro.experiments.center_experiments import run_center_study
+
+from benchmarks.conftest import emit
+
+
+def test_fig3_central_nodes(benchmark):
+    study = benchmark(run_center_study)
+    centers = study.centers
+    emit(
+        "Fig. 3 — central node per request (20 requests, 30 nodes)",
+        format_series("central node", centers),
+    )
+    assert len(centers) == 20
+    assert len(set(centers)) > 1  # varies with the request

@@ -1,0 +1,22 @@
+"""Fig. 4: distance of one allocation as a function of the forced center.
+
+Regenerates the full 30-node center sweep for one request and asserts the
+paper's point: the center choice has a large impact (master placement
+matters for MapReduce's master-slave topology)."""
+
+from repro.analysis import format_series
+from repro.experiments.center_experiments import run_fig4
+
+from benchmarks.conftest import emit
+
+
+def test_fig4_center_sweep(benchmark):
+    result = benchmark(run_fig4)
+    emit(
+        f"Fig. 4 — distance under each central node (request {list(result.demand)})",
+        format_series("distance", list(result.center_distances), float_fmt="{:.0f}")
+        + f"\nbest: node {result.best_center} at {result.best_distance:.0f}; "
+        f"worst: {result.worst_distance:.0f}",
+    )
+    assert result.worst_distance > result.best_distance
+    assert result.center_distances[result.best_center] == result.best_distance

@@ -1,0 +1,33 @@
+"""Fig. 5: online heuristic vs. global sub-optimization, ordinary requests.
+
+Regenerates the per-request distance series and the summed-distance
+comparison. Paper: the global algorithm decreases the sum by about 2% in
+this scenario; we assert the direction and a comparable small magnitude."""
+
+import functools
+
+from repro.analysis import bootstrap_improvement_pct, format_series
+from repro.experiments.global_experiments import run_fig5
+
+from benchmarks.conftest import emit
+
+
+def test_fig5_global_vs_online_large_requests(benchmark):
+    result = benchmark.pedantic(
+        functools.partial(run_fig5, trials=10), rounds=1, iterations=1
+    )
+    n = min(20, len(result.online_distances))
+    ci = bootstrap_improvement_pct(
+        result.online_distances, result.global_distances, seed=0
+    )
+    emit(
+        "Fig. 5 — scenario 1 (ordinary requests), trial 0 series + 10-trial totals",
+        format_series("online", list(result.online_distances[:n]), float_fmt="{:.0f}")
+        + "\n"
+        + format_series("global", list(result.global_distances[:n]), float_fmt="{:.0f}")
+        + f"\nonline total {result.online_total:.0f}  global total "
+        f"{result.global_total:.0f}  improvement {result.improvement_pct:.1f}% "
+        f"(paper: ~2%)  bootstrap {ci}  exchanges {result.exchanges}",
+    )
+    assert result.global_total <= result.online_total
+    assert 0.0 < result.improvement_pct < 15.0  # small, paper-scale gain

@@ -1,0 +1,30 @@
+"""Fig. 7: WordCount runtime under the four virtual-cluster topologies.
+
+Regenerates the paper's runtime-vs-distance bars: the shortest-distance
+cluster is fastest, the longest is slowest, and the distance-14 cluster runs
+slower than the distance-16 one (the inversion the paper attributes to the
+running environment's task placement)."""
+
+from repro.analysis import format_table
+from repro.experiments.mapreduce_experiments import run_fig78
+
+from benchmarks.conftest import emit
+
+
+def test_fig7_wordcount_runtime(benchmark):
+    result = benchmark.pedantic(run_fig78, rounds=1, iterations=1)
+    rows = [
+        [run.distance, run.runtime, run.result.map_phase_finish, run.result.shuffle_finish]
+        for run in result.runs
+    ]
+    emit(
+        "Fig. 7 — WordCount runtime vs. cluster distance (32 maps, 1 reduce)",
+        format_table(
+            ["cluster distance", "runtime (s)", "maps done (s)", "shuffle done (s)"],
+            rows,
+        ),
+    )
+    by_distance = dict(zip(result.distances, result.runtimes))
+    assert by_distance[8] == min(result.runtimes)  # compact wins
+    assert by_distance[22] >= by_distance[16]  # long distance pays
+    assert by_distance[14] > by_distance[16]  # the paper's inversion

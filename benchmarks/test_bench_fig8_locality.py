@@ -1,0 +1,43 @@
+"""Fig. 8: data and shuffle locality under the four topologies.
+
+Regenerates the non-data-local map counts and non-local shuffle counts that
+explain Fig. 7's inversion: the distance-16 run happened to place work more
+locally than the distance-14 run."""
+
+from repro.analysis import format_table
+from repro.experiments.mapreduce_experiments import run_fig78
+
+from benchmarks.conftest import emit
+
+
+def test_fig8_locality(benchmark):
+    result = benchmark.pedantic(run_fig78, rounds=1, iterations=1)
+    rows = [
+        [
+            run.distance,
+            run.locality.non_data_local_maps,
+            run.locality.total_maps,
+            run.locality.non_local_flows,
+            run.locality.total_flows,
+            f"{run.locality.local_shuffle_fraction:.0%}",
+        ]
+        for run in result.runs
+    ]
+    emit(
+        "Fig. 8 — locality vs. cluster distance",
+        format_table(
+            [
+                "cluster distance",
+                "non-data-local maps",
+                "maps",
+                "non-local shuffles",
+                "flows",
+                "local shuffle",
+            ],
+            rows,
+        ),
+    )
+    by_distance = {run.distance: run.locality for run in result.runs}
+    # The paper's explanation of the inversion: locality was better at d=16.
+    assert by_distance[14].non_local_flows > by_distance[16].non_local_flows
+    assert by_distance[14].non_data_local_maps >= by_distance[16].non_data_local_maps

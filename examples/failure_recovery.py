@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Failure recovery: affinity-aware repair of virtual clusters.
+
+The paper's future work asks how placement should react "when some VMs are
+down or reconfigured". This example runs a day of cluster requests through
+the self-healing provider while nodes randomly fail and recover: affected
+leases are repaired by migrating only the lost VMs to the nearest surviving
+capacity, keeping each cluster's distance minimal.
+
+Run:  python examples/failure_recovery.py
+"""
+
+import numpy as np
+
+from repro.analysis import Summary, format_table
+from repro.cloud import (
+    FailureInjector,
+    FailureSimulator,
+    ResilientCloudProvider,
+    poisson_workload,
+)
+from repro.cluster import DynamicResourcePool, Topology, VMTypeCatalog
+from repro.core import OnlineHeuristic
+
+
+def run(failure_probability: float, seed: int = 31):
+    catalog = VMTypeCatalog.ec2_default()
+    topo = Topology.build(3, 10, capacity=[2, 2, 1])
+    pool = DynamicResourcePool(topo, catalog)
+    provider = ResilientCloudProvider(pool, OnlineHeuristic())
+    workload = poisson_workload(
+        150, 3, mean_interarrival=5.0, mean_duration=150.0, demand_high=3, seed=seed
+    )
+    failures = FailureInjector(
+        failure_probability=failure_probability,
+        horizon=500.0,
+        mean_repair_time=150.0,
+        seed=seed + 1,
+    ).schedule(pool.num_nodes)
+    result = FailureSimulator(provider, failures).run(workload)
+    return provider, result
+
+
+def main() -> None:
+    rows = []
+    for prob in (0.0, 0.2, 0.5):
+        provider, result = run(prob)
+        stats, repairs = provider.stats, provider.repair_stats
+        rows.append(
+            [
+                f"{prob:.0%}",
+                repairs.failures,
+                repairs.leases_repaired,
+                repairs.leases_lost,
+                repairs.vms_migrated,
+                repairs.migration_bytes / 1024**3,
+                Summary.of(result.distances).mean if result.distances else 0.0,
+                stats.completed,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "node failure rate",
+                "failures",
+                "leases repaired",
+                "leases lost",
+                "VMs migrated",
+                "migrated (GiB)",
+                "mean distance",
+                "completed",
+            ],
+            rows,
+            title="150 requests on a 3-rack cloud under random node failures:",
+        )
+    )
+    print(
+        "\nRepaired leases keep running with only their lost VMs moved; the\n"
+        "provider re-queues unrepairable ones and drains them on recovery —\n"
+        "all requests complete, at a modest affinity cost under churn."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""MapReduce affinity study: how cluster distance shapes job runtime.
+
+Provisions virtual clusters of identical capability but different affinities
+(the Fig. 7/8 topologies), then runs the workload library (WordCount, Sort,
+Grep) on each and reports runtime plus data/shuffle locality — showing that
+shuffle-heavy jobs are the ones that pay for poor affinity.
+
+Run:  python examples/mapreduce_affinity_study.py
+"""
+
+from repro.analysis import format_table
+from repro.experiments import build_cluster, experiment_network, paperconfig
+from repro.mapreduce import MapReduceEngine, grep, sort, wordcount
+
+
+def main() -> None:
+    network = experiment_network()
+    jobs = [
+        wordcount(combiner=False),
+        sort(num_reduces=4),
+        grep(),
+    ]
+    for job in jobs:
+        rows = []
+        for distance in paperconfig.FIG7_DISTANCES:
+            cluster = build_cluster(distance)
+            engine = MapReduceEngine(cluster, network=network, seed=13)
+            result = engine.run(job, hdfs_seed=13)
+            loc = result.locality()
+            rows.append(
+                [
+                    distance,
+                    result.runtime,
+                    f"{loc.data_local_fraction:.0%}",
+                    f"{loc.local_shuffle_fraction:.0%}",
+                    result.total_shuffle_bytes / (1024 * 1024),
+                ]
+            )
+        print(
+            format_table(
+                [
+                    "cluster distance",
+                    "runtime (s)",
+                    "data-local maps",
+                    "local shuffle",
+                    "shuffle (MiB)",
+                ],
+                rows,
+                title=(
+                    f"{job.name}: {job.num_maps} maps, {job.num_reduces} "
+                    f"reduce(s), map selectivity {job.map_selectivity}"
+                ),
+            )
+        )
+        print()
+    print(
+        "Sort (selectivity 1.0) is hit hardest by distance; Grep (0.01)\n"
+        "barely notices — affinity matters in proportion to shuffle volume."
+    )
+
+
+if __name__ == "__main__":
+    main()

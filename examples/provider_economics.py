@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Provider economics: affinity optimization is a free quality win.
+
+Bills an identical 200-request day under four placement policies with
+EC2-style prices. Revenue depends only on what was sold (VM type × hours),
+so every policy earns the same — but the affinity-aware policies deliver
+far shorter cluster distances for that money. The global batch drain
+(Algorithm 2) and the annealing refinement squeeze the distance further at
+zero revenue cost.
+
+Run:  python examples/provider_economics.py
+"""
+
+from repro.analysis import Summary, format_table
+from repro.cloud import (
+    BillingReport,
+    CloudProvider,
+    CloudSimulator,
+    PriceSheet,
+    poisson_workload,
+)
+from repro.cluster import PoolSpec, VMTypeCatalog, random_pool
+from repro.core import (
+    AnnealingConfig,
+    AnnealingGsdSolver,
+    FirstFitPlacement,
+    GlobalSubOptimizer,
+    OnlineHeuristic,
+    StripedPlacement,
+)
+
+
+def simulate(policy, batch_policy=None):
+    catalog = VMTypeCatalog.ec2_default()
+    pool = random_pool(
+        PoolSpec(racks=3, nodes_per_rack=10, capacity_high=2), catalog, seed=41
+    )
+    workload = poisson_workload(
+        200, 3, mean_interarrival=6.0, mean_duration=240.0, demand_high=3, seed=42
+    )
+    provider = CloudProvider(pool, policy, batch_policy=batch_policy)
+    CloudSimulator(provider).run(workload)
+    prices = PriceSheet(catalog)
+    billing = BillingReport.from_leases(provider.history, prices)
+    distances = [lease.allocation.distance for lease in provider.history]
+    return billing, Summary.of(distances)
+
+
+def main() -> None:
+    configs = [
+        ("striped (anti-affinity)", StripedPlacement(), None),
+        ("first-fit", FirstFitPlacement(), None),
+        ("Algorithm 1 (online)", OnlineHeuristic(), None),
+        ("Algorithm 1 + Algorithm 2 drains", OnlineHeuristic(), GlobalSubOptimizer()),
+        (
+            "Algorithm 1 + annealing drains",
+            OnlineHeuristic(),
+            AnnealingGsdSolver(AnnealingConfig(iterations=3000, seed=1)),
+        ),
+    ]
+    rows = []
+    for name, policy, batch in configs:
+        billing, dist = simulate(policy, batch)
+        rows.append(
+            [
+                name,
+                billing.revenue,
+                billing.instance_hours,
+                dist.mean,
+                dist.total,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "policy",
+                "revenue ($)",
+                "instance-hours",
+                "mean distance",
+                "total distance",
+            ],
+            rows,
+            title="200 requests, identical workload, EC2-style prices:",
+        )
+    )
+    revenues = {round(r[1], 6) for r in rows}
+    assert len(revenues) == 1, "revenue must be placement-invariant"
+    print(
+        "\nIdentical revenue across every policy — placement only moves the\n"
+        "delivered affinity. The provider's affinity optimization is pure\n"
+        "service quality, exactly the paper's pitch to IaaS operators."
+    )
+
+
+if __name__ == "__main__":
+    main()

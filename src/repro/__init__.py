@@ -1,0 +1,86 @@
+"""repro — Affinity-aware Virtual Cluster Optimization for MapReduce Applications.
+
+A full reproduction of Yan et al., IEEE CLUSTER 2012: the shortest-distance
+(SD) virtual-cluster provisioning problem, the online greedy heuristic
+(Algorithm 1), the global sub-optimization algorithm (Algorithm 2), exact
+ILP/transportation reference solvers, a cloud request-queue simulator, and a
+discrete-event MapReduce simulator that reproduces the paper's runtime and
+locality experiments.
+
+Quickstart::
+
+    from repro import (
+        VMTypeCatalog, PoolSpec, random_pool, OnlineHeuristic,
+    )
+
+    catalog = VMTypeCatalog.ec2_default()
+    pool = random_pool(PoolSpec(racks=3, nodes_per_rack=10), catalog, seed=7)
+    alloc = OnlineHeuristic().place([2, 4, 1], pool)
+    print(alloc.distance, alloc.center)
+"""
+
+from repro.cluster import (
+    EC2_LARGE,
+    EC2_MEDIUM,
+    EC2_SMALL,
+    DistanceModel,
+    PhysicalNode,
+    PoolSpec,
+    RequestSpec,
+    ResourcePool,
+    Topology,
+    VMType,
+    VMTypeCatalog,
+    build_distance_matrix,
+    random_pool,
+    random_requests,
+)
+from repro.core import (
+    Allocation,
+    BestFitPlacement,
+    ExactPlacement,
+    FirstFitPlacement,
+    GlobalSubOptimizer,
+    MilpPlacement,
+    OnlineHeuristic,
+    RandomPlacement,
+    StripedPlacement,
+    VirtualClusterRequest,
+    cluster_distance,
+    solve_gsd_milp,
+    solve_sd_exact,
+    solve_sd_milp,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EC2_LARGE",
+    "EC2_MEDIUM",
+    "EC2_SMALL",
+    "DistanceModel",
+    "PhysicalNode",
+    "PoolSpec",
+    "RequestSpec",
+    "ResourcePool",
+    "Topology",
+    "VMType",
+    "VMTypeCatalog",
+    "build_distance_matrix",
+    "random_pool",
+    "random_requests",
+    "Allocation",
+    "BestFitPlacement",
+    "ExactPlacement",
+    "FirstFitPlacement",
+    "GlobalSubOptimizer",
+    "MilpPlacement",
+    "OnlineHeuristic",
+    "RandomPlacement",
+    "StripedPlacement",
+    "VirtualClusterRequest",
+    "cluster_distance",
+    "solve_gsd_milp",
+    "solve_sd_exact",
+    "solve_sd_milp",
+]

@@ -1,0 +1,24 @@
+"""Analysis helpers: summary statistics and table rendering."""
+
+from repro.analysis.stats import Summary, geometric_mean, percent_change
+from repro.analysis.tables import format_series, format_table
+from repro.analysis.charts import bar_chart, grouped_series, sparkline
+from repro.analysis.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_improvement_pct,
+    bootstrap_mean,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "bootstrap_improvement_pct",
+    "bootstrap_mean",
+    "Summary",
+    "geometric_mean",
+    "percent_change",
+    "format_series",
+    "format_table",
+    "bar_chart",
+    "grouped_series",
+    "sparkline",
+]

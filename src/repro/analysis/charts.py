@@ -1,0 +1,93 @@
+"""ASCII charts for terminal-friendly figure output.
+
+The benchmark harness prints the paper's figures as data series; these
+helpers add a visual rendering (horizontal bars, sparklines) so a terminal
+run of the bench suite reads like the paper's plots without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    labels: "list[object]",
+    values: "list[float]",
+    *,
+    width: int = 40,
+    title: str = "",
+    value_fmt: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValidationError(
+            f"{len(labels)} labels for {len(values)} values"
+        )
+    if not values:
+        raise ValidationError("bar_chart requires at least one value")
+    if width < 1:
+        raise ValidationError("width must be >= 1")
+    vmax = max(values)
+    if any(v < 0 for v in values):
+        raise ValidationError("bar_chart requires non-negative values")
+    label_strs = [str(l) for l in labels]
+    label_w = max(len(s) for s in label_strs)
+    lines = [title] if title else []
+    for label, value in zip(label_strs, values):
+        filled = int(round(width * (value / vmax))) if vmax > 0 else 0
+        bar = "█" * filled
+        lines.append(
+            f"{label.rjust(label_w)} | {bar.ljust(width)} {value_fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: "list[float]") -> str:
+    """One-line trend: each value mapped to an eighth-block glyph."""
+    if not values:
+        raise ValidationError("sparkline requires at least one value")
+    arr = np.asarray(values, dtype=np.float64)
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(values)
+    idx = np.round((arr - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)).astype(int)
+    return "".join(_SPARK_LEVELS[i] for i in idx)
+
+
+def grouped_series(
+    x_labels: "list[object]",
+    series: "dict[str, list[float]]",
+    *,
+    width: int = 30,
+    title: str = "",
+) -> str:
+    """Several series over a shared x-axis, one bar row per (x, series)."""
+    if not series:
+        raise ValidationError("grouped_series requires at least one series")
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValidationError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_labels)} labels"
+            )
+    vmax = max(max(v) for v in series.values())
+    name_w = max(len(n) for n in series)
+    label_w = max(len(str(x)) for x in x_labels)
+    lines = [title] if title else []
+    for i, x in enumerate(x_labels):
+        for name, values in series.items():
+            v = values[i]
+            filled = int(round(width * (v / vmax))) if vmax > 0 else 0
+            lines.append(
+                f"{str(x).rjust(label_w)} {name.ljust(name_w)} | "
+                f"{'█' * filled}{' ' * (width - filled)} {v:.2f}"
+            )
+        lines.append("")
+    if lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Summary statistics used by experiments and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-style summary of a series."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    total: float
+
+    @classmethod
+    def of(cls, values) -> "Summary":
+        """Summarize any iterable of numbers (must be non-empty)."""
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            raise ValidationError("cannot summarize an empty series")
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=0)),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            total=float(arr.sum()),
+        )
+
+
+def percent_change(baseline: float, improved: float) -> float:
+    """Relative improvement of *improved* over *baseline*, in percent.
+
+    Positive when *improved* is smaller (distances: smaller is better).
+    Returns 0 for a zero baseline (no improvement measurable).
+    """
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (speedup aggregation)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValidationError("cannot take the geometric mean of an empty series")
+    if arr.min() <= 0:
+        raise ValidationError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment output.
+
+Benchmarks print the same rows/series the paper's tables and figures report;
+this module renders them as aligned monospace tables so the harness output is
+directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ValidationError
+
+
+def format_table(
+    headers: list[str],
+    rows: "list[list[object]]",
+    *,
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned text table.
+
+    Floats are formatted with *float_fmt*; everything else via ``str``.
+    """
+    if not headers:
+        raise ValidationError("format_table requires headers")
+    rendered: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row {row!r} has {len(row)} cells for {len(headers)} headers"
+            )
+        rendered.append(
+            [
+                float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append(sep)
+    for r in rendered:
+        lines.append(" | ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_series(name: str, values, *, float_fmt: str = "{:.2f}") -> str:
+    """Render one named series as ``name: v1 v2 v3 …`` (figure data rows)."""
+    parts = [
+        float_fmt.format(v) if isinstance(v, float) else str(v) for v in values
+    ]
+    return f"{name}: " + " ".join(parts)

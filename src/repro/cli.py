@@ -1,0 +1,338 @@
+"""Command-line interface: regenerate any paper experiment from the shell.
+
+Usage::
+
+    python -m repro fig1            # the Section III.A worked example
+    python -m repro fig2            # central-node strategy comparison
+    python -m repro fig5 --trials 10
+    python -m repro fig7 --chart    # runtime bars per cluster distance
+    python -m repro ablations
+    python -m repro simulate --requests 200 --policy heuristic
+
+Every command accepts ``--seed`` for reproducibility; figures default to the
+seed-pinned paper configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import format_series, format_table
+from repro.analysis.charts import bar_chart
+from repro.experiments import paperconfig as cfg
+
+
+def _cmd_fig1(args) -> int:
+    from repro.experiments.example_fig1 import run
+
+    result = run()
+    rows = [
+        [label, dist, f"N{center}"]
+        for label, dist, center in zip(result.labels, result.distances, result.centers)
+    ]
+    rows.append(["SD optimum", result.optimal_distance, "-"])
+    print(format_table(["allocation", "DC", "central node"], rows,
+                       title="Fig. 1 — worked example (d1=1, d2=2)"))
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    from repro.experiments.center_experiments import run_center_study
+
+    study = run_center_study(seed=args.seed)
+    print("Fig. 2 — distance by central-node strategy")
+    print(format_series("heuristic", study.heuristic_distances, float_fmt="{:.0f}"))
+    print(format_series("random   ", study.random_center_distances, float_fmt="{:.0f}"))
+    print(f"mean gap: {study.mean_gap:.2f}")
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    from repro.experiments.center_experiments import run_center_study
+
+    study = run_center_study(seed=args.seed)
+    print("Fig. 3 — central node per request")
+    print(format_series("center", study.centers))
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from repro.experiments.center_experiments import run_fig4
+
+    result = run_fig4(seed=args.seed, request_index=args.request_index)
+    print(f"Fig. 4 — center sweep for request {list(result.demand)}")
+    print(format_series("distance", list(result.center_distances), float_fmt="{:.0f}"))
+    print(f"best: node {result.best_center} ({result.best_distance:.0f}); "
+          f"worst: {result.worst_distance:.0f}")
+    return 0
+
+
+def _run_global(scenario: str, args) -> int:
+    from repro.experiments.global_experiments import run_comparison
+
+    result = run_comparison(scenario, seed=args.seed, trials=args.trials)
+    fig = "5" if scenario == "large" else "6"
+    print(f"Fig. {fig} — online vs. global ({scenario} requests, "
+          f"{args.trials} trial(s))")
+    n = min(20, len(result.online_distances))
+    print(format_series("online", list(result.online_distances[:n]), float_fmt="{:.0f}"))
+    print(format_series("global", list(result.global_distances[:n]), float_fmt="{:.0f}"))
+    print(f"online total {result.online_total:.0f}  global total "
+          f"{result.global_total:.0f}  improvement {result.improvement_pct:.1f}%  "
+          f"exchanges {result.exchanges}")
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    return _run_global("large", args)
+
+
+def _cmd_fig6(args) -> int:
+    return _run_global("small", args)
+
+
+def _cmd_fig78(args) -> int:
+    from repro.experiments.mapreduce_experiments import run_fig78
+
+    result = run_fig78(hdfs_seed=args.hdfs_seed)
+    rows = [
+        [r.distance, r.runtime, r.locality.non_data_local_maps, r.locality.non_local_flows]
+        for r in result.runs
+    ]
+    print(format_table(
+        ["cluster distance", "runtime (s)", "non-data-local maps", "non-local shuffles"],
+        rows,
+        title="Figs. 7–8 — WordCount under four topologies",
+    ))
+    if args.chart:
+        print()
+        print(bar_chart(
+            [f"d={r.distance}" for r in result.runs],
+            [r.runtime for r in result.runs],
+            title="runtime (s)",
+        ))
+    return 0
+
+
+def _cmd_ablations(args) -> int:
+    from repro.experiments.ablations import (
+        run_heuristic_gap,
+        run_policy_comparison,
+        run_scheduler_ablation,
+        run_transfer_ablation,
+    )
+
+    gap = run_heuristic_gap(seed=args.seed)
+    print(format_table(
+        ["solver", "total distance", "gap (%)"],
+        [
+            ["exact", gap.exact_total, 0.0],
+            ["Algorithm 1 (best)", gap.best_mode_total, gap.best_mode_gap_pct],
+            ["Algorithm 1 (first)", gap.first_mode_total, gap.first_mode_gap_pct],
+        ],
+        title="Algorithm 1 optimality",
+    ))
+    transfer = run_transfer_ablation(seed=args.seed, trials=3)
+    print()
+    print(format_table(
+        ["variant", "total distance", "improvement (%)"],
+        [
+            ["online", transfer.online_total, 0.0],
+            ["paper transfer", transfer.paper_transfer_total, transfer.paper_improvement_pct],
+            ["general transfer", transfer.general_transfer_total, transfer.general_improvement_pct],
+        ],
+        title="Theorem-2 transfer variants",
+    ))
+    print()
+    print(format_table(
+        ["policy", "distance", "runtime (s)"],
+        [[r.policy, r.mean_distance, r.runtime] for r in run_policy_comparison(seed=args.seed)],
+        title="Placement policies end to end",
+    ))
+    print()
+    print(format_table(
+        ["scheduler", "runtime (s)", "non-data-local maps"],
+        [[r.scheduler, r.runtime, r.non_data_local_maps] for r in run_scheduler_ablation(seed=args.seed)],
+        title="Map schedulers",
+    ))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.cloud import CloudProvider, CloudSimulator, poisson_workload
+    from repro.cluster import PoolSpec, random_pool
+    from repro.core import (
+        FirstFitPlacement,
+        GlobalSubOptimizer,
+        OnlineHeuristic,
+        RandomPlacement,
+        StripedPlacement,
+    )
+
+    policies = {
+        "heuristic": lambda: OnlineHeuristic(),
+        "first-fit": lambda: FirstFitPlacement(),
+        "random": lambda: RandomPlacement(seed=args.seed),
+        "striped": lambda: StripedPlacement(),
+    }
+    if args.policy not in policies:
+        print(f"unknown policy {args.policy!r}; choose from {sorted(policies)}",
+              file=sys.stderr)
+        return 2
+    pool = random_pool(
+        PoolSpec(racks=args.racks, nodes_per_rack=args.nodes,
+                 capacity_high=args.capacity),
+        cfg.CATALOG,
+        seed=args.seed,
+        distance_model=cfg.DISTANCES,
+    )
+    workload = poisson_workload(
+        args.requests, pool.num_types,
+        mean_interarrival=args.interarrival,
+        mean_duration=args.duration,
+        demand_high=args.demand_high,
+        seed=args.seed,
+    )
+    provider = CloudProvider(
+        pool,
+        policies[args.policy](),
+        batch_policy=GlobalSubOptimizer() if args.batch else None,
+    )
+    result = CloudSimulator(provider).run(workload)
+    stats = provider.stats
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["placed", stats.placed],
+            ["refused", stats.refused],
+            ["queue-rejected", stats.queue_rejected],
+            ["mean cluster distance", stats.mean_distance],
+            ["mean wait (s)", stats.mean_wait],
+            ["mean utilization", result.mean_utilization],
+            ["makespan (s)", result.makespan],
+        ],
+        title=f"Cloud simulation — policy={args.policy}"
+        + (" + Algorithm 2 drains" if args.batch else ""),
+    ))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from repro.experiments.runner import render_markdown, run_all
+
+    report = run_all(seed=args.seed, trials=args.trials)
+    text = render_markdown(report)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote report to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.cloud import CloudProvider, CloudSimulator, poisson_workload
+    from repro.cloud.traces import load_trace, save_trace
+    from repro.cluster import PoolSpec, random_pool
+    from repro.core import OnlineHeuristic
+
+    if args.replay:
+        pool, workload = load_trace(args.replay)
+        provider = CloudProvider(pool, OnlineHeuristic())
+        result = CloudSimulator(provider).run(workload)
+        print(format_table(
+            ["metric", "value"],
+            [
+                ["requests", len(workload)],
+                ["placed", provider.stats.placed],
+                ["mean cluster distance", provider.stats.mean_distance],
+                ["makespan (s)", result.makespan],
+            ],
+            title=f"Replayed trace {args.replay}",
+        ))
+        return 0
+    if not args.out:
+        print("trace: pass --out FILE to record or --replay FILE to replay",
+              file=sys.stderr)
+        return 2
+    pool = random_pool(
+        PoolSpec(racks=args.racks, nodes_per_rack=args.nodes,
+                 capacity_high=args.capacity),
+        cfg.CATALOG,
+        seed=args.seed,
+        distance_model=cfg.DISTANCES,
+    )
+    workload = poisson_workload(
+        args.requests, pool.num_types, demand_high=args.demand_high, seed=args.seed
+    )
+    save_trace(args.out, pool=pool, workload=workload)
+    print(f"wrote {args.requests}-request trace over "
+          f"{pool.num_nodes} nodes to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's experiments (CLUSTER 2012 affinity-aware VC optimization).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, func, help_text):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--seed", type=int, default=cfg.MASTER_SEED)
+        p.set_defaults(func=func)
+        return p
+
+    add("fig1", _cmd_fig1, "Section III.A worked example")
+    add("fig2", _cmd_fig2, "heuristic vs random central node")
+    add("fig3", _cmd_fig3, "central node per request")
+    p4 = add("fig4", _cmd_fig4, "distance under each center for one request")
+    p4.add_argument("--request-index", type=int, default=0)
+    p5 = add("fig5", _cmd_fig5, "online vs global, ordinary requests")
+    p5.add_argument("--trials", type=int, default=10)
+    p6 = add("fig6", _cmd_fig6, "online vs global, small requests")
+    p6.add_argument("--trials", type=int, default=10)
+    for name in ("fig7", "fig8"):  # one experiment feeds both figures
+        p78 = add(name, _cmd_fig78, "WordCount runtime + locality per topology")
+        p78.add_argument("--hdfs-seed", type=int, default=52)
+        p78.add_argument("--chart", action="store_true")
+    add("ablations", _cmd_ablations, "all ablation tables")
+    ps = add("simulate", _cmd_simulate, "event-driven cloud simulation")
+    ps.add_argument("--requests", type=int, default=100)
+    ps.add_argument("--racks", type=int, default=3)
+    ps.add_argument("--nodes", type=int, default=10)
+    ps.add_argument("--capacity", type=int, default=2)
+    ps.add_argument("--interarrival", type=float, default=8.0)
+    ps.add_argument("--duration", type=float, default=100.0)
+    ps.add_argument("--demand-high", type=int, default=3)
+    ps.add_argument("--policy", default="heuristic")
+    ps.add_argument("--batch", action="store_true",
+                    help="drain the queue with Algorithm 2 batches")
+    pr = add("report", _cmd_report, "run every experiment, emit a markdown report")
+    pr.add_argument("--out", help="write the report to this file (default: stdout)")
+    pr.add_argument("--trials", type=int, default=5)
+    pt = add("trace", _cmd_trace, "record or replay a pool+workload trace")
+    pt.add_argument("--out", help="write a fresh random trace to this file")
+    pt.add_argument("--replay", help="replay a previously recorded trace")
+    pt.add_argument("--requests", type=int, default=50)
+    pt.add_argument("--racks", type=int, default=3)
+    pt.add_argument("--nodes", type=int, default=10)
+    pt.add_argument("--capacity", type=int, default=2)
+    pt.add_argument("--demand-high", type=int, default=3)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""Cloud-service substrate: request queue, leases, event-driven provider."""
+
+from repro.cloud.request import TimedRequest, poisson_workload
+from repro.cloud.queue import QueueDiscipline, RequestQueue
+from repro.cloud.lease import Lease
+from repro.util.events import Event, EventQueue
+from repro.cloud.provider import CloudProvider, ProviderStats
+from repro.cloud.simulator import (
+    ARRIVAL,
+    DEPARTURE,
+    CloudSimulator,
+    SimulationResult,
+    UtilizationSample,
+)
+from repro.cloud.pricing import (
+    DEFAULT_HOURLY_PRICES,
+    BillingReport,
+    PriceSheet,
+    lease_cost,
+    max_affordable_duration,
+    within_budget,
+)
+from repro.cloud.traces import load_trace, save_trace
+from repro.cloud.capacity import (
+    SLO,
+    CandidateResult,
+    CapacityPlan,
+    plan_capacity,
+)
+from repro.cloud.reservations import (
+    BackfillPlanner,
+    PlannedStart,
+    ReservingCloudProvider,
+    ResourceTimeline,
+)
+from repro.cloud.failures import (
+    NODE_FAILURE,
+    NODE_RECOVERY,
+    FailureEvent,
+    FailureInjector,
+    FailureSimulator,
+    RepairStats,
+    ResilientCloudProvider,
+)
+
+__all__ = [
+    "TimedRequest",
+    "poisson_workload",
+    "QueueDiscipline",
+    "RequestQueue",
+    "Lease",
+    "Event",
+    "EventQueue",
+    "CloudProvider",
+    "ProviderStats",
+    "ARRIVAL",
+    "DEPARTURE",
+    "CloudSimulator",
+    "SimulationResult",
+    "UtilizationSample",
+    "DEFAULT_HOURLY_PRICES",
+    "BillingReport",
+    "PriceSheet",
+    "lease_cost",
+    "max_affordable_duration",
+    "within_budget",
+    "load_trace",
+    "save_trace",
+    "SLO",
+    "CandidateResult",
+    "CapacityPlan",
+    "plan_capacity",
+    "BackfillPlanner",
+    "PlannedStart",
+    "ReservingCloudProvider",
+    "ResourceTimeline",
+    "NODE_FAILURE",
+    "NODE_RECOVERY",
+    "FailureEvent",
+    "FailureInjector",
+    "FailureSimulator",
+    "RepairStats",
+    "ResilientCloudProvider",
+]

@@ -1,0 +1,10 @@
+"""Compatibility shim: the event queue lives in :mod:`repro.util.events`.
+
+It is shared infrastructure (both the cloud and MapReduce simulators use
+it), and keeping it under ``repro.cloud`` created an import cycle once the
+failure-handling provider started depending on :mod:`repro.core.migration`.
+"""
+
+from repro.util.events import Event, EventQueue
+
+__all__ = ["Event", "EventQueue"]

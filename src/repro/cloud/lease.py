@@ -1,0 +1,39 @@
+"""Leases: active allocations with start and end times."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.request import TimedRequest
+from repro.core.problem import Allocation
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One running virtual cluster: who holds it, what, and until when."""
+
+    request: TimedRequest
+    allocation: Allocation
+    start_time: float
+
+    def __post_init__(self) -> None:
+        if self.start_time < self.request.arrival_time - 1e-12:
+            raise ValidationError(
+                f"lease starts at {self.start_time} before arrival "
+                f"{self.request.arrival_time}"
+            )
+
+    @property
+    def end_time(self) -> float:
+        """Departure instant: start plus the request's service duration."""
+        return self.start_time + self.request.duration
+
+    @property
+    def wait_time(self) -> float:
+        """Time the request spent queued before provisioning."""
+        return self.start_time - self.request.arrival_time
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id

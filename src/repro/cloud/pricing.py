@@ -1,0 +1,155 @@
+"""Instance pricing and provider economics.
+
+The paper's introduction frames both sides of the market: "Users of cloud
+services try to minimize the execution time of their submitted jobs without
+exceeding a given budget ... while cloud providers try to maximize the use
+of resources and achieve more profits." This module provides the accounting:
+
+* :class:`PriceSheet` — per-hour prices per VM type (defaults mirror 2012
+  EC2 on-demand pricing for the Table I instances);
+* :func:`lease_cost` — what a lease bills (duration × Σ per-type price);
+* :class:`BillingReport` — revenue, hours sold, and per-type breakdown for
+  a finished simulation;
+* :func:`within_budget` / :func:`max_affordable_duration` — the user-side
+  checks the introduction describes.
+
+A crucial consequence the README highlights: affinity-aware placement
+changes *neither* side's bill (prices depend only on VM type and duration),
+so the paper's optimization is a pure quality win — the provider serves the
+same revenue at better delivered performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.lease import Lease
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.util.errors import ValidationError
+from repro.util.validation import as_int_vector
+
+#: Approximate 2012 EC2 on-demand $/hour for small / medium / large.
+DEFAULT_HOURLY_PRICES = (0.08, 0.16, 0.32)
+
+SECONDS_PER_HOUR = 3600.0
+
+
+class PriceSheet:
+    """Per-hour price for each VM type in a catalog."""
+
+    def __init__(
+        self,
+        catalog: VMTypeCatalog,
+        hourly_prices: "tuple[float, ...] | list[float] | None" = None,
+    ) -> None:
+        if hourly_prices is None:
+            if len(catalog) != len(DEFAULT_HOURLY_PRICES):
+                raise ValidationError(
+                    "default prices cover exactly the 3-type Table I catalog; "
+                    f"supply hourly_prices for a {len(catalog)}-type catalog"
+                )
+            hourly_prices = DEFAULT_HOURLY_PRICES
+        prices = np.asarray(hourly_prices, dtype=np.float64)
+        if prices.shape != (len(catalog),):
+            raise ValidationError(
+                f"need one price per type ({len(catalog)}), got {prices.shape}"
+            )
+        if prices.min() <= 0:
+            raise ValidationError("prices must be positive")
+        self.catalog = catalog
+        self._prices = prices
+        self._prices.flags.writeable = False
+
+    @property
+    def hourly(self) -> np.ndarray:
+        """Read-only $/hour vector in catalog order."""
+        return self._prices
+
+    def hourly_rate(self, demand) -> float:
+        """$/hour of running one instance-set described by *demand*."""
+        d = as_int_vector(demand, name="demand", length=len(self.catalog))
+        return float(d @ self._prices)
+
+    def cost(self, demand, duration_s: float) -> float:
+        """Total bill for holding *demand* for *duration_s* seconds.
+
+        Hours are billed fractionally (modern per-second billing); switch to
+        ceil-hours with :func:`lease_cost`'s ``round_up_hours``.
+        """
+        if duration_s < 0:
+            raise ValidationError("duration must be >= 0")
+        return self.hourly_rate(demand) * duration_s / SECONDS_PER_HOUR
+
+
+def lease_cost(
+    lease: Lease, prices: PriceSheet, *, round_up_hours: bool = False
+) -> float:
+    """What one lease bills under *prices*."""
+    duration = lease.request.duration
+    if round_up_hours:
+        duration = float(np.ceil(duration / SECONDS_PER_HOUR)) * SECONDS_PER_HOUR
+    return prices.cost(lease.allocation.demand, duration)
+
+
+def within_budget(
+    demand, duration_s: float, budget: float, prices: PriceSheet
+) -> bool:
+    """User-side check: does this cluster for this long fit the budget?"""
+    return prices.cost(demand, duration_s) <= budget + 1e-12
+
+
+def max_affordable_duration(demand, budget: float, prices: PriceSheet) -> float:
+    """Longest runtime *budget* buys for *demand* (seconds; inf if free-ish)."""
+    rate = prices.hourly_rate(demand)
+    if rate == 0:
+        return float("inf")
+    if budget < 0:
+        raise ValidationError("budget must be >= 0")
+    return budget / rate * SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class BillingReport:
+    """Provider-side revenue summary over a set of leases."""
+
+    revenue: float
+    instance_hours: float
+    per_type_revenue: tuple[float, ...]
+    leases: int
+
+    @classmethod
+    def from_leases(
+        cls,
+        leases: "list[Lease]",
+        prices: PriceSheet,
+        *,
+        round_up_hours: bool = False,
+    ) -> "BillingReport":
+        """Aggregate revenue and instance-hours over finished *leases*."""
+        m = len(prices.catalog)
+        per_type = np.zeros(m)
+        hours = 0.0
+        total = 0.0
+        for lease in leases:
+            duration = lease.request.duration
+            if round_up_hours:
+                duration = (
+                    float(np.ceil(duration / SECONDS_PER_HOUR)) * SECONDS_PER_HOUR
+                )
+            h = duration / SECONDS_PER_HOUR
+            demand = lease.allocation.demand
+            hours += float(demand.sum()) * h
+            per_type += demand * prices.hourly * h
+            total += float(demand @ prices.hourly) * h
+        return cls(
+            revenue=total,
+            instance_hours=hours,
+            per_type_revenue=tuple(float(x) for x in per_type),
+            leases=len(leases),
+        )
+
+    @property
+    def revenue_per_instance_hour(self) -> float:
+        return self.revenue / self.instance_hours if self.instance_hours else 0.0

@@ -1,0 +1,166 @@
+"""The cloud provider: pool + queue + placement policy.
+
+Ties together the Section II/III machinery: requests are submitted, refused
+when they exceed maximum capacity, placed immediately when possible, or
+queued; departures release resources and trigger a queue drain. The provider
+is policy-agnostic — any :class:`~repro.core.placement.base.PlacementAlgorithm`
+(online mode) or :class:`~repro.core.placement.base.BatchPlacementAlgorithm`
+(batch mode, Algorithm 2) plugs in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.lease import Lease
+from repro.cloud.queue import RequestQueue
+from repro.cloud.request import TimedRequest
+from repro.cluster.resources import ResourcePool
+from repro.core.placement.base import BatchPlacementAlgorithm, PlacementAlgorithm
+from repro.core.problem import Allocation
+from repro.util.errors import InfeasibleRequestError, ValidationError
+
+
+@dataclass
+class ProviderStats:
+    """Aggregate outcomes of a provider run."""
+
+    submitted: int = 0
+    refused: int = 0
+    queue_rejected: int = 0
+    placed: int = 0
+    completed: int = 0
+    total_distance: float = 0.0
+    total_wait: float = 0.0
+
+    @property
+    def mean_distance(self) -> float:
+        """Average cluster distance over placed requests (0 if none)."""
+        return self.total_distance / self.placed if self.placed else 0.0
+
+    @property
+    def mean_wait(self) -> float:
+        """Average queueing delay over placed requests (0 if none)."""
+        return self.total_wait / self.placed if self.placed else 0.0
+
+
+class CloudProvider:
+    """An IaaS provider serving virtual-cluster requests from a pool.
+
+    Parameters
+    ----------
+    pool:
+        The (mutable) resource pool; the provider owns its allocation state.
+    policy:
+        Single-request placement algorithm, used for immediate placement and
+        one-at-a-time queue drains.
+    batch_policy:
+        Optional batch algorithm (e.g. Algorithm 2). When set, queue drains
+        place the admissible batch *together* instead of one by one.
+    queue:
+        Waiting queue (default: FIFO, capacity 64).
+    """
+
+    def __init__(
+        self,
+        pool: ResourcePool,
+        policy: PlacementAlgorithm,
+        *,
+        batch_policy: "BatchPlacementAlgorithm | None" = None,
+        queue: "RequestQueue | None" = None,
+    ) -> None:
+        self.pool = pool
+        self.policy = policy
+        self.batch_policy = batch_policy
+        # `queue or ...` would discard a caller-supplied queue whenever it is
+        # empty (len() == 0 makes it falsy), so test against None explicitly.
+        self.queue = queue if queue is not None else RequestQueue()
+        self.stats = ProviderStats()
+        self.active: dict[int, Lease] = {}
+        self.history: list[Lease] = []
+
+    # ----------------------------------------------------------- submissions
+
+    def submit(self, request: TimedRequest, now: float) -> "Lease | None":
+        """Handle an arriving request at time *now*.
+
+        Returns the lease if placed immediately; ``None`` if refused or
+        queued (inspect :attr:`stats` to distinguish).
+        """
+        self.stats.submitted += 1
+        if self.pool.exceeds_max_capacity(request.demand):
+            self.stats.refused += 1
+            return None
+        if len(self.queue) == 0 and self.pool.can_satisfy(request.demand):
+            alloc = self.policy.place(request.request, self.pool)
+            if alloc is not None:
+                return self._start_lease(request, alloc, now)
+        if not self.queue.submit(request):
+            self.stats.queue_rejected += 1
+        return None
+
+    def release(self, request_id: int, now: float) -> list[Lease]:
+        """Finish the lease for *request_id*, then drain the queue.
+
+        Returns leases started by the drain (possibly empty).
+        """
+        lease = self.active.pop(request_id, None)
+        if lease is None:
+            raise ValidationError(f"no active lease for request {request_id}")
+        self.pool.release(lease.allocation.matrix)
+        self.stats.completed += 1
+        return self.drain_queue(now)
+
+    # ----------------------------------------------------------------- drain
+
+    def drain_queue(self, now: float) -> list[Lease]:
+        """Place as many queued requests as current resources allow."""
+        batch = self.queue.peek_admissible(self.pool.available)
+        if not batch:
+            return []
+        started: list[Lease] = []
+        if self.batch_policy is not None:
+            allocations = self.batch_policy.place_batch(
+                [r.request for r in batch], self.pool
+            )
+            placed_requests = []
+            for req, alloc in zip(batch, allocations):
+                if alloc is None:
+                    continue
+                self.pool.allocate(alloc.matrix)
+                started.append(self._start_lease(req, alloc, now, commit=False))
+                placed_requests.append(req)
+            self.queue.remove_batch(placed_requests)
+        else:
+            placed_requests = []
+            for req in batch:
+                if not self.pool.can_satisfy(req.demand):
+                    continue
+                alloc = self.policy.place(req.request, self.pool)
+                if alloc is None:
+                    continue
+                started.append(self._start_lease(req, alloc, now))
+                placed_requests.append(req)
+            self.queue.remove_batch(placed_requests)
+        return started
+
+    # -------------------------------------------------------------- internals
+
+    def _start_lease(
+        self, request: TimedRequest, alloc: Allocation, now: float, *, commit: bool = True
+    ) -> Lease:
+        if commit:
+            self.pool.allocate(alloc.matrix)
+        lease = Lease(request=request, allocation=alloc, start_time=now)
+        self.active[request.request_id] = lease
+        self.history.append(lease)
+        self.stats.placed += 1
+        self.stats.total_distance += alloc.distance
+        self.stats.total_wait += lease.wait_time
+        return lease
+
+    @property
+    def utilization(self) -> float:
+        return self.pool.utilization

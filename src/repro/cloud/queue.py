@@ -1,0 +1,112 @@
+"""Bounded request queue with FIFO and priority disciplines.
+
+Implements the paper's ``getRequests(Q, A)`` (Algorithm 2, step 1): return
+the requests in the queue that the available resources ``A`` can meet,
+"according to some related priority strategies based on the queue, e.g.,
+FIFO". Requests that individually exceed availability are skipped (they keep
+waiting); admitted requests consume availability for the remainder of the
+scan so the returned batch is *jointly* satisfiable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.request import TimedRequest
+from repro.util.errors import ValidationError
+
+
+class QueueDiscipline:
+    """Queue ordering strategies for admission scans."""
+
+    FIFO = "fifo"
+    PRIORITY = "priority"
+
+    ALL = (FIFO, PRIORITY)
+
+
+class RequestQueue:
+    """Bounded waiting queue of :class:`TimedRequest` objects.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued requests ("the length of the wait queue is limited");
+        submissions beyond it are rejected.
+    discipline:
+        ``"fifo"`` (arrival order) or ``"priority"`` (ascending priority,
+        ties by arrival order).
+    """
+
+    def __init__(self, capacity: int = 64, discipline: str = QueueDiscipline.FIFO) -> None:
+        if capacity < 1:
+            raise ValidationError("queue capacity must be >= 1")
+        if discipline not in QueueDiscipline.ALL:
+            raise ValidationError(
+                f"unknown discipline {discipline!r}; expected one of {QueueDiscipline.ALL}"
+            )
+        self.capacity = capacity
+        self.discipline = discipline
+        self._items: deque[TimedRequest] = deque()
+        self._seq = 0
+        self._order: dict[int, int] = {}  # request_id -> submission sequence
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._ordered())
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def submit(self, request: TimedRequest) -> bool:
+        """Enqueue *request*; returns ``False`` when the queue is full."""
+        if self.is_full:
+            return False
+        self._items.append(request)
+        self._order[request.request_id] = self._seq
+        self._seq += 1
+        return True
+
+    def cancel(self, request_id: int) -> bool:
+        """Remove a queued request ("users can also cancel their jobs")."""
+        for item in self._items:
+            if item.request_id == request_id:
+                self._items.remove(item)
+                self._order.pop(request_id, None)
+                return True
+        return False
+
+    def _ordered(self) -> list[TimedRequest]:
+        items = list(self._items)
+        if self.discipline == QueueDiscipline.PRIORITY:
+            items.sort(key=lambda r: (r.priority, self._order[r.request_id]))
+        return items
+
+    def peek_admissible(self, available: np.ndarray) -> list[TimedRequest]:
+        """The paper's ``getRequests``: a jointly satisfiable batch.
+
+        Scans the queue in discipline order; each request whose demand fits
+        the *remaining* availability is admitted and its demand deducted.
+        Does not modify the queue — call :meth:`remove_batch` after the batch
+        is successfully placed.
+        """
+        budget = np.asarray(available, dtype=np.int64).copy()
+        batch: list[TimedRequest] = []
+        for item in self._ordered():
+            if np.all(item.demand <= budget):
+                batch.append(item)
+                budget -= item.demand
+        return batch
+
+    def remove_batch(self, batch: list[TimedRequest]) -> None:
+        """Dequeue every request in *batch* (after successful placement)."""
+        ids = {r.request_id for r in batch}
+        self._items = deque(r for r in self._items if r.request_id not in ids)
+        for rid in ids:
+            self._order.pop(rid, None)

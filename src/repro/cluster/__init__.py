@@ -1,0 +1,91 @@
+"""Physical-cluster substrate: VM types, topology, distances, resource pool.
+
+This package implements the Section-II model of the paper: a hierarchy of
+clouds, racks and physical nodes; a catalog of VM types (Table I); the
+capacity/allocation matrices ``M``, ``C``, ``L``, ``A``; and the hierarchical
+distance matrix ``D``.
+"""
+
+from repro.cluster.vmtypes import (
+    VMType,
+    VMTypeCatalog,
+    EC2_SMALL,
+    EC2_MEDIUM,
+    EC2_LARGE,
+)
+from repro.cluster.node import PhysicalNode, NodeResources, capacity_from_resources
+from repro.cluster.topology import Topology, Rack, Cloud
+from repro.cluster.distance import (
+    DistanceModel,
+    PAPER_EXPERIMENT_DISTANCES,
+    build_distance_matrix,
+    validate_distance_matrix,
+    satisfies_triangle_inequality,
+    hop_distance_matrix,
+)
+from repro.cluster.resources import ResourcePool
+from repro.cluster.dynamics import DynamicResourcePool
+from repro.cluster.measurement import (
+    LatencyProber,
+    ProbeConfig,
+    aggregate_probes,
+    infer_distance_matrix,
+    quantize_to_tiers,
+    tier_recovery_accuracy,
+)
+from repro.cluster.visualize import (
+    render_allocation,
+    render_topology,
+    render_vm_counts,
+)
+from repro.cluster.generators import (
+    PoolSpec,
+    RequestSpec,
+    LARGE_REQUESTS,
+    SMALL_REQUESTS,
+    random_topology,
+    random_pool,
+    random_request,
+    random_requests,
+    feasible_random_requests,
+)
+
+__all__ = [
+    "VMType",
+    "VMTypeCatalog",
+    "EC2_SMALL",
+    "EC2_MEDIUM",
+    "EC2_LARGE",
+    "PhysicalNode",
+    "NodeResources",
+    "capacity_from_resources",
+    "Topology",
+    "Rack",
+    "Cloud",
+    "DistanceModel",
+    "PAPER_EXPERIMENT_DISTANCES",
+    "build_distance_matrix",
+    "validate_distance_matrix",
+    "satisfies_triangle_inequality",
+    "hop_distance_matrix",
+    "ResourcePool",
+    "DynamicResourcePool",
+    "LatencyProber",
+    "ProbeConfig",
+    "aggregate_probes",
+    "infer_distance_matrix",
+    "quantize_to_tiers",
+    "tier_recovery_accuracy",
+    "render_allocation",
+    "render_topology",
+    "render_vm_counts",
+    "PoolSpec",
+    "RequestSpec",
+    "LARGE_REQUESTS",
+    "SMALL_REQUESTS",
+    "random_topology",
+    "random_pool",
+    "random_request",
+    "random_requests",
+    "feasible_random_requests",
+]

@@ -1,0 +1,168 @@
+"""Random topology, pool, and request generators.
+
+The paper's simulations (Section V.A) use a cloud of 3 racks × 10 nodes where
+"the instances on each physical node are distributed randomly" and "the types
+and numbers of the twenty requests are also generated randomly". These
+generators reproduce that setup with explicit seeds, plus the two request
+scenarios of Fig. 5 / Fig. 6 (ordinary vs. "relatively small number of VMs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.distance import DistanceModel
+from repro.cluster.node import PhysicalNode
+from repro.cluster.resources import ResourcePool
+from repro.cluster.topology import Topology
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+
+@dataclass(frozen=True, slots=True)
+class PoolSpec:
+    """Shape parameters for a randomly provisioned pool.
+
+    ``capacity_low``/``capacity_high`` bound the per-node, per-type instance
+    counts drawn uniformly at random (inclusive bounds).
+    """
+
+    racks: int = 3
+    nodes_per_rack: int = 10
+    clouds: int = 1
+    capacity_low: int = 0
+    capacity_high: int = 4
+
+    def __post_init__(self) -> None:
+        if self.racks < 1 or self.nodes_per_rack < 1 or self.clouds < 1:
+            raise ValidationError("racks, nodes_per_rack, clouds must be >= 1")
+        if not (0 <= self.capacity_low <= self.capacity_high):
+            raise ValidationError(
+                "need 0 <= capacity_low <= capacity_high, got "
+                f"({self.capacity_low}, {self.capacity_high})"
+            )
+
+
+def random_topology(
+    spec: PoolSpec, catalog: VMTypeCatalog, seed=None
+) -> Topology:
+    """Generate a topology whose node capacities are uniform random draws."""
+    rng = ensure_rng(seed)
+    nodes: list[PhysicalNode] = []
+    node_id = 0
+    rack_id = 0
+    for cloud_id in range(spec.clouds):
+        for _ in range(spec.racks):
+            for _ in range(spec.nodes_per_rack):
+                cap = rng.integers(
+                    spec.capacity_low, spec.capacity_high + 1, size=len(catalog)
+                )
+                nodes.append(
+                    PhysicalNode(
+                        node_id=node_id,
+                        rack_id=rack_id,
+                        cloud_id=cloud_id,
+                        capacity=cap,
+                    )
+                )
+                node_id += 1
+            rack_id += 1
+    return Topology(nodes)
+
+
+def random_pool(
+    spec: PoolSpec,
+    catalog: VMTypeCatalog,
+    seed=None,
+    *,
+    distance_model: DistanceModel | None = None,
+) -> ResourcePool:
+    """Generate a :class:`ResourcePool` with random per-node capacities."""
+    topo = random_topology(spec, catalog, seed)
+    return ResourcePool(topo, catalog, distance_model=distance_model)
+
+
+@dataclass(frozen=True, slots=True)
+class RequestSpec:
+    """Shape parameters for random request vectors.
+
+    ``low``/``high`` bound each per-type count (inclusive); ``min_total``
+    re-draws degenerate all-zero requests so every generated request asks for
+    at least one VM.
+    """
+
+    low: int = 0
+    high: int = 4
+    min_total: int = 1
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.low <= self.high):
+            raise ValidationError(f"need 0 <= low <= high, got ({self.low}, {self.high})")
+        if self.min_total < 0:
+            raise ValidationError("min_total must be >= 0")
+        if self.min_total > 0 and self.high == 0:
+            raise ValidationError("high must be positive when min_total > 0")
+
+
+#: Fig. 5 scenario: "the same request configurations as the previous
+#: simulations" — moderately sized clusters.
+LARGE_REQUESTS = RequestSpec(low=0, high=6, min_total=4)
+
+#: Fig. 6 scenario: "a request sequence with a relatively small number of
+#: VMs" — small clusters, which leave more slack for global re-balancing.
+SMALL_REQUESTS = RequestSpec(low=0, high=2, min_total=1)
+
+
+def random_request(
+    spec: RequestSpec, num_types: int, seed=None
+) -> np.ndarray:
+    """Draw one request vector of per-type counts."""
+    rng = ensure_rng(seed)
+    while True:
+        r = rng.integers(spec.low, spec.high + 1, size=num_types)
+        if int(r.sum()) >= spec.min_total:
+            return r.astype(np.int64)
+
+
+def random_requests(
+    spec: RequestSpec, num_types: int, count: int, seed=None
+) -> list[np.ndarray]:
+    """Draw *count* independent request vectors from one stream."""
+    if count < 0:
+        raise ValidationError("count must be >= 0")
+    rng = ensure_rng(seed)
+    return [random_request(spec, num_types, rng) for _ in range(count)]
+
+
+def feasible_random_requests(
+    pool: ResourcePool,
+    spec: RequestSpec,
+    count: int,
+    seed=None,
+    *,
+    max_draws: int = 10_000,
+) -> list[np.ndarray]:
+    """Draw *count* requests, each individually satisfiable by the full pool.
+
+    Feasibility is checked against the pool's *maximum* capacity, matching
+    the paper's admission rule (requests beyond ``Σ M`` are refused; requests
+    beyond current availability merely wait).
+    """
+    rng = ensure_rng(seed)
+    out: list[np.ndarray] = []
+    draws = 0
+    total = pool.max_capacity.sum(axis=0)
+    while len(out) < count:
+        draws += 1
+        if draws > max_draws:
+            raise ValidationError(
+                f"could not draw {count} feasible requests in {max_draws} tries; "
+                "loosen RequestSpec or enlarge the pool"
+            )
+        r = random_request(spec, pool.num_types, rng)
+        if np.all(r <= total):
+            out.append(r)
+    return out

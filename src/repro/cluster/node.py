@@ -1,0 +1,95 @@
+"""Physical nodes (servers) hosting virtual machines.
+
+A :class:`PhysicalNode` records its position in the datacenter hierarchy
+(cloud → rack → node) and its per-VM-type capacity, i.e. one row of the
+paper's ``M`` matrix: ``M[i, j]`` is the maximum number of instances of type
+``V_j`` node ``N_i`` can provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.util.errors import ValidationError
+from repro.util.validation import as_int_vector
+
+
+@dataclass(frozen=True, slots=True)
+class NodeResources:
+    """Raw hardware resources of a server, used to derive VM capacities."""
+
+    memory_gb: float
+    cpu_units: float
+    storage_gb: float
+
+    def __post_init__(self) -> None:
+        if min(self.memory_gb, self.cpu_units, self.storage_gb) < 0:
+            raise ValidationError("node resources must be non-negative")
+
+
+@dataclass(frozen=True)
+class PhysicalNode:
+    """One physical server.
+
+    Attributes
+    ----------
+    node_id:
+        Global index ``i`` of the node (row of ``M``/``C``/``L``/``D``).
+    rack_id:
+        Index of the rack containing this node.
+    cloud_id:
+        Index of the cloud (data center / LAN) containing the rack.
+    capacity:
+        Length-``m`` integer vector; ``capacity[j]`` is the maximum number of
+        type-``j`` VMs this node can host (the paper's ``M[i, :]`` row).
+    name:
+        Optional human-readable label (defaults to ``"N{node_id}"``).
+    """
+
+    node_id: int
+    rack_id: int
+    cloud_id: int
+    capacity: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0 or self.rack_id < 0 or self.cloud_id < 0:
+            raise ValidationError("node/rack/cloud ids must be non-negative")
+        cap = as_int_vector(self.capacity, name=f"capacity of node {self.node_id}")
+        object.__setattr__(self, "capacity", cap)
+        if not self.name:
+            object.__setattr__(self, "name", f"N{self.node_id}")
+
+    @property
+    def total_capacity(self) -> int:
+        """Total VM instances this node can host, summed over types."""
+        return int(self.capacity.sum())
+
+    def can_host(self, type_index: int, count: int = 1) -> bool:
+        """True if the node's *maximum* capacity admits *count* type-``j`` VMs."""
+        return bool(self.capacity[type_index] >= count)
+
+
+def capacity_from_resources(
+    resources: NodeResources, catalog: VMTypeCatalog
+) -> np.ndarray:
+    """Derive a per-type capacity row from raw hardware resources.
+
+    ``capacity[j] = floor(min(mem / mem_j, cpu / cpu_j, disk / disk_j))`` —
+    the number of type-``j`` VMs that would fit if the node hosted only that
+    type. This mirrors how providers size instance counts per server and is a
+    convenience for topology generators; the paper's model takes ``M``
+    directly, which remains supported.
+    """
+    caps = np.empty(len(catalog), dtype=np.int64)
+    for j, vmt in enumerate(catalog):
+        ratios = (
+            resources.memory_gb / vmt.memory_gb,
+            resources.cpu_units / vmt.cpu_units,
+            resources.storage_gb / vmt.storage_gb,
+        )
+        caps[j] = int(np.floor(min(ratios)))
+    return caps

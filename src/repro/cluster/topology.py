@@ -1,0 +1,275 @@
+"""Hierarchical datacenter topology: clouds → racks → nodes.
+
+Section II of the paper defines node-to-node distance by position in this
+hierarchy: 0 on the same node, ``d1`` within a rack, ``d2`` across racks,
+``d3`` across clouds. :class:`Topology` is the immutable structural model the
+distance matrix (:mod:`repro.cluster.distance`) is derived from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.node import PhysicalNode
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Rack:
+    """A rack: a set of node ids sharing a top-of-rack switch."""
+
+    rack_id: int
+    cloud_id: int
+    node_ids: tuple[int, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.node_ids:
+            raise ValidationError(f"rack {self.rack_id} must contain at least one node")
+        if not self.name:
+            object.__setattr__(self, "name", f"R{self.rack_id}")
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+
+@dataclass(frozen=True)
+class Cloud:
+    """A cloud (data center / LAN): a set of rack ids."""
+
+    cloud_id: int
+    rack_ids: tuple[int, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.rack_ids:
+            raise ValidationError(f"cloud {self.cloud_id} must contain at least one rack")
+        if not self.name:
+            object.__setattr__(self, "name", f"DC{self.cloud_id}")
+
+
+class Topology:
+    """Immutable cloud → rack → node hierarchy.
+
+    Construct via :meth:`build` (regular shapes) or by passing explicit
+    :class:`PhysicalNode` objects. The node list order defines global node
+    indices used by every matrix in the package.
+    """
+
+    def __init__(self, nodes: "list[PhysicalNode] | tuple[PhysicalNode, ...]") -> None:
+        nodes = tuple(nodes)
+        if not nodes:
+            raise ValidationError("Topology requires at least one node")
+        for i, node in enumerate(nodes):
+            if node.node_id != i:
+                raise ValidationError(
+                    f"node at position {i} has node_id {node.node_id}; "
+                    "node_ids must equal list positions"
+                )
+        m = len(nodes[0].capacity)
+        for node in nodes:
+            if len(node.capacity) != m:
+                raise ValidationError(
+                    "all nodes must have capacity vectors of equal length"
+                )
+        self._nodes = nodes
+        self._rack_of = np.array([n.rack_id for n in nodes], dtype=np.int64)
+        self._cloud_of = np.array([n.cloud_id for n in nodes], dtype=np.int64)
+
+        racks: dict[int, list[int]] = {}
+        rack_cloud: dict[int, int] = {}
+        for node in nodes:
+            racks.setdefault(node.rack_id, []).append(node.node_id)
+            prev = rack_cloud.setdefault(node.rack_id, node.cloud_id)
+            if prev != node.cloud_id:
+                raise ValidationError(
+                    f"rack {node.rack_id} spans clouds {prev} and {node.cloud_id}"
+                )
+        self._racks = tuple(
+            Rack(rack_id=r, cloud_id=rack_cloud[r], node_ids=tuple(ids))
+            for r, ids in sorted(racks.items())
+        )
+        clouds: dict[int, list[int]] = {}
+        for rack in self._racks:
+            clouds.setdefault(rack.cloud_id, []).append(rack.rack_id)
+        self._clouds = tuple(
+            Cloud(cloud_id=c, rack_ids=tuple(rids)) for c, rids in sorted(clouds.items())
+        )
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def build(
+        cls,
+        racks_per_cloud: "int | list[int]",
+        nodes_per_rack: int,
+        capacity: "np.ndarray | list[int]",
+        *,
+        clouds: int = 1,
+    ) -> "Topology":
+        """Build a regular topology with uniform per-node *capacity*.
+
+        Parameters
+        ----------
+        racks_per_cloud:
+            Racks in each cloud (an int, or one int per cloud).
+        nodes_per_rack:
+            Nodes in every rack.
+        capacity:
+            Per-type capacity row shared by all nodes.
+        clouds:
+            Number of clouds (default 1 — the paper's simulations use one).
+        """
+        if clouds < 1:
+            raise ValidationError("clouds must be >= 1")
+        if nodes_per_rack < 1:
+            raise ValidationError("nodes_per_rack must be >= 1")
+        if isinstance(racks_per_cloud, int):
+            per_cloud = [racks_per_cloud] * clouds
+        else:
+            per_cloud = list(racks_per_cloud)
+            if len(per_cloud) != clouds:
+                raise ValidationError(
+                    f"racks_per_cloud has {len(per_cloud)} entries for {clouds} clouds"
+                )
+        cap = np.asarray(capacity, dtype=np.int64)
+        nodes: list[PhysicalNode] = []
+        rack_id = 0
+        node_id = 0
+        for cloud_id, nracks in enumerate(per_cloud):
+            if nracks < 1:
+                raise ValidationError("each cloud must contain at least one rack")
+            for _ in range(nracks):
+                for _ in range(nodes_per_rack):
+                    nodes.append(
+                        PhysicalNode(
+                            node_id=node_id,
+                            rack_id=rack_id,
+                            cloud_id=cloud_id,
+                            capacity=cap.copy(),
+                        )
+                    )
+                    node_id += 1
+                rack_id += 1
+        return cls(nodes)
+
+    # ------------------------------------------------------------- accessors
+
+    @property
+    def nodes(self) -> tuple[PhysicalNode, ...]:
+        return self._nodes
+
+    @property
+    def racks(self) -> tuple[Rack, ...]:
+        return self._racks
+
+    @property
+    def clouds(self) -> tuple[Cloud, ...]:
+        return self._clouds
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_racks(self) -> int:
+        return len(self._racks)
+
+    @property
+    def num_clouds(self) -> int:
+        return len(self._clouds)
+
+    @property
+    def num_types(self) -> int:
+        """Length of per-node capacity vectors (``m`` in the paper)."""
+        return len(self._nodes[0].capacity)
+
+    @property
+    def rack_ids(self) -> np.ndarray:
+        """Vector mapping node id → rack id (read-only view)."""
+        v = self._rack_of.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def cloud_ids(self) -> np.ndarray:
+        """Vector mapping node id → cloud id (read-only view)."""
+        v = self._cloud_of.view()
+        v.flags.writeable = False
+        return v
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self):
+        return iter(self._nodes)
+
+    def __getitem__(self, node_id: int) -> PhysicalNode:
+        return self._nodes[node_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(clouds={self.num_clouds}, racks={self.num_racks}, "
+            f"nodes={self.num_nodes})"
+        )
+
+    # ------------------------------------------------------------- relations
+
+    def rack_of(self, node_id: int) -> int:
+        """Rack id containing *node_id*."""
+        return int(self._rack_of[node_id])
+
+    def cloud_of(self, node_id: int) -> int:
+        """Cloud id containing *node_id*."""
+        return int(self._cloud_of[node_id])
+
+    def same_rack(self, a: int, b: int) -> bool:
+        """True if nodes *a* and *b* share a rack."""
+        return bool(self._rack_of[a] == self._rack_of[b])
+
+    def same_cloud(self, a: int, b: int) -> bool:
+        """True if nodes *a* and *b* share a cloud."""
+        return bool(self._cloud_of[a] == self._cloud_of[b])
+
+    def rack_members(self, rack_id: int) -> tuple[int, ...]:
+        """Node ids in rack *rack_id*."""
+        return self._racks[rack_id].node_ids
+
+    def peers_in_rack(self, node_id: int) -> tuple[int, ...]:
+        """Other node ids sharing *node_id*'s rack."""
+        return tuple(
+            i for i in self.rack_members(self.rack_of(node_id)) if i != node_id
+        )
+
+    def capacity_matrix(self) -> np.ndarray:
+        """The full ``M`` matrix (n × m), one capacity row per node."""
+        return np.stack([n.capacity for n in self._nodes]).astype(np.int64)
+
+    def to_networkx(self):
+        """Export the hierarchy as a ``networkx`` tree graph.
+
+        Node names: ``"cloud:{c}"``, ``"rack:{r}"``, ``"node:{i}"``; edges
+        carry no weights (distances come from the distance model). Useful for
+        visualization and for cross-checking the distance matrix against
+        shortest-path hop counts.
+        """
+        import networkx as nx
+
+        g = nx.Graph()
+        root = "core"
+        g.add_node(root, kind="core")
+        for cloud in self._clouds:
+            cname = f"cloud:{cloud.cloud_id}"
+            g.add_node(cname, kind="cloud")
+            g.add_edge(root, cname)
+            for rid in cloud.rack_ids:
+                rname = f"rack:{rid}"
+                g.add_node(rname, kind="rack")
+                g.add_edge(cname, rname)
+                for nid in self._racks[rid].node_ids:
+                    nname = f"node:{nid}"
+                    g.add_node(nname, kind="node")
+                    g.add_edge(rname, nname)
+        return g

@@ -1,0 +1,85 @@
+"""ASCII visualization of topologies and allocations.
+
+Renders the cloud → rack → node hierarchy and, optionally, where an
+allocation's VMs landed — the fastest way to *see* what a placement
+algorithm did. Used by the examples and handy in any REPL session:
+
+>>> print(render_allocation(pool.topology, alloc.matrix))   # doctest: +SKIP
+cloud 0
+  rack 0   [N0 ██··|N1 █···|N2 ····]
+  rack 1   [N3 ····|N4 ····|N5 ····]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.topology import Topology
+from repro.util.errors import ValidationError
+
+#: Glyphs: one per VM hosted; '·' per free slot (by total capacity).
+VM_GLYPH = "█"
+FREE_GLYPH = "·"
+
+
+def render_topology(topo: Topology) -> str:
+    """Hierarchy outline with per-node total capacities."""
+    lines: list[str] = []
+    for cloud in topo.clouds:
+        lines.append(f"cloud {cloud.cloud_id}")
+        for rid in cloud.rack_ids:
+            rack = topo.racks[rid]
+            nodes = " ".join(
+                f"{topo[n].name}(cap {topo[n].total_capacity})"
+                for n in rack.node_ids
+            )
+            lines.append(f"  rack {rid}: {nodes}")
+    return "\n".join(lines)
+
+
+def render_allocation(
+    topo: Topology,
+    allocation: np.ndarray,
+    *,
+    center: "int | None" = None,
+    max_slots: int = 12,
+) -> str:
+    """Rack-by-rack bar view of an allocation matrix.
+
+    Each node shows one ``█`` per hosted VM and one ``·`` per remaining
+    slot (clipped at *max_slots* glyphs); the central node, when given, is
+    marked with ``*``.
+    """
+    alloc = np.asarray(allocation)
+    if alloc.ndim != 2 or alloc.shape[0] != topo.num_nodes:
+        raise ValidationError(
+            f"allocation must have one row per node ({topo.num_nodes}), "
+            f"got shape {alloc.shape}"
+        )
+    counts = alloc.sum(axis=1)
+    lines: list[str] = []
+    for cloud in topo.clouds:
+        lines.append(f"cloud {cloud.cloud_id}")
+        for rid in cloud.rack_ids:
+            rack = topo.racks[rid]
+            cells = []
+            for n in rack.node_ids:
+                node = topo[n]
+                used = int(counts[n])
+                free = max(0, node.total_capacity - used)
+                bar = (VM_GLYPH * used + FREE_GLYPH * free)[:max_slots]
+                mark = "*" if center == n else " "
+                cells.append(f"{node.name}{mark}{bar}")
+            lines.append(f"  rack {rid}   [" + "|".join(cells) + "]")
+    return "\n".join(lines)
+
+
+def render_vm_counts(topo: Topology, allocation: np.ndarray) -> str:
+    """Compact one-line-per-rack VM count summary."""
+    alloc = np.asarray(allocation)
+    counts = alloc.sum(axis=1)
+    parts = []
+    for rack in topo.racks:
+        total = int(sum(counts[n] for n in rack.node_ids))
+        parts.append(f"rack {rack.rack_id}: {total} VMs")
+    return " | ".join(parts)

@@ -1,0 +1,138 @@
+"""Virtual machine types and catalogs.
+
+Section II of the paper classifies VMs by capability and shows three Amazon
+EC2 instance types (Table I). :class:`VMType` captures one such type and
+:class:`VMTypeCatalog` an ordered collection ``{V_0 … V_{m-1}}`` whose index
+order defines the column order of every request vector and capacity matrix in
+the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True, slots=True)
+class VMType:
+    """One virtual-machine type (an "instance type" in EC2 terms).
+
+    Attributes
+    ----------
+    name:
+        Unique, human-readable identifier (e.g. ``"small"``).
+    memory_gb:
+        Allocated RAM in gigabytes.
+    cpu_units:
+        Abstract compute units (EC2 "compute units").
+    storage_gb:
+        Local instance storage in gigabytes.
+    platform_bits:
+        Word width of the guest platform (32 or 64).
+    map_slots / reduce_slots:
+        Hadoop task slots this VM type hosts; used by the MapReduce
+        simulator. Larger instances run more concurrent tasks.
+    """
+
+    name: str
+    memory_gb: float
+    cpu_units: float
+    storage_gb: float
+    platform_bits: int = 64
+    map_slots: int = 1
+    reduce_slots: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("VMType.name must be non-empty")
+        if self.memory_gb <= 0 or self.cpu_units <= 0 or self.storage_gb <= 0:
+            raise ValidationError(
+                f"VMType {self.name!r} must have positive memory/cpu/storage"
+            )
+        if self.platform_bits not in (32, 64):
+            raise ValidationError(
+                f"VMType {self.name!r}: platform_bits must be 32 or 64"
+            )
+        if self.map_slots < 0 or self.reduce_slots < 0:
+            raise ValidationError(f"VMType {self.name!r}: slots must be >= 0")
+
+    @property
+    def resource_vector(self) -> tuple[float, float, float]:
+        """(memory, cpu, storage) triple, used for capacity derivation."""
+        return (self.memory_gb, self.cpu_units, self.storage_gb)
+
+
+# Table I of the paper: three instance types available in Amazon EC2.
+EC2_SMALL = VMType(
+    name="small", memory_gb=1.7, cpu_units=1, storage_gb=160,
+    platform_bits=32, map_slots=1, reduce_slots=1,
+)
+EC2_MEDIUM = VMType(
+    name="medium", memory_gb=3.75, cpu_units=2, storage_gb=410,
+    platform_bits=64, map_slots=2, reduce_slots=1,
+)
+EC2_LARGE = VMType(
+    name="large", memory_gb=7.5, cpu_units=4, storage_gb=850,
+    platform_bits=64, map_slots=4, reduce_slots=2,
+)
+
+
+class VMTypeCatalog:
+    """Ordered, immutable collection of :class:`VMType` objects.
+
+    The catalog fixes the meaning of index ``j`` everywhere: request vector
+    entry ``R[j]``, capacity entry ``M[i, j]``, and allocation entry
+    ``C[i, j]`` all refer to ``catalog[j]``.
+    """
+
+    def __init__(self, types: "list[VMType] | tuple[VMType, ...]") -> None:
+        types = tuple(types)
+        if not types:
+            raise ValidationError("VMTypeCatalog requires at least one type")
+        names = [t.name for t in types]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate VM type names in catalog: {names}")
+        self._types = types
+        self._index = {t.name: j for j, t in enumerate(types)}
+
+    @classmethod
+    def ec2_default(cls) -> "VMTypeCatalog":
+        """The Table I catalog: small / medium / large."""
+        return cls([EC2_SMALL, EC2_MEDIUM, EC2_LARGE])
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def __iter__(self):
+        return iter(self._types)
+
+    def __getitem__(self, j: int) -> VMType:
+        return self._types[j]
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, VMTypeCatalog) and self._types == other._types
+
+    def __hash__(self) -> int:
+        return hash(self._types)
+
+    def __repr__(self) -> str:
+        return f"VMTypeCatalog({[t.name for t in self._types]})"
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Type names in index order."""
+        return tuple(t.name for t in self._types)
+
+    def index_of(self, name: str) -> int:
+        """Return the column index of the type called *name*."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown VM type {name!r}; catalog has {self.names}"
+            ) from None
+
+    def by_name(self, name: str) -> VMType:
+        """Return the :class:`VMType` called *name*."""
+        return self._types[self.index_of(name)]

@@ -1,0 +1,236 @@
+"""Affinity-aware VM migration: failure repair and re-consolidation.
+
+The paper's related work cites affinity-aware virtual-cluster *migration*
+as the complementary mechanism to placement ([4], [24]), and its conclusion
+asks how placement should react "when some VMs are down or reconfigured".
+This module provides both motions:
+
+* :func:`plan_repair` — after node failures, re-place the lost VMs of an
+  allocation on the surviving pool, minimizing the repaired cluster's
+  distance (an exact per-center fill over the *kept* VMs plus residual
+  demand);
+* :func:`plan_consolidation` — after churn frees capacity, recompute the
+  optimal allocation for a running cluster and emit the migration moves
+  that take it there, applying them only when the affinity gain outweighs
+  the migration cost.
+
+Moves carry an explicit cost model (bytes of VM memory over the move's
+distance band), so policies can trade distance improvement against
+migration traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.resources import ResourcePool
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.core.distance import cluster_distance
+from repro.core.placement.exact import fill_from_center
+from repro.core.problem import Allocation
+from repro.util.errors import ValidationError
+
+GB = 1024**3
+
+
+@dataclass(frozen=True, slots=True)
+class Move:
+    """One VM migration: a type-``vm_type`` VM from ``src`` to ``dst``."""
+
+    vm_type: int
+    src: int
+    dst: int
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValidationError("move count must be >= 1")
+        if self.src == self.dst:
+            raise ValidationError("move must change nodes")
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """A target allocation plus the moves that reach it."""
+
+    before: Allocation
+    after: Allocation
+    moves: tuple[Move, ...]
+    cost_bytes: float
+    distance_gain: float
+
+    @property
+    def num_moves(self) -> int:
+        return int(sum(m.count for m in self.moves))
+
+    @property
+    def worthwhile(self) -> bool:
+        """True when the plan improves affinity at all."""
+        return self.distance_gain > 1e-9
+
+
+def diff_moves(before: np.ndarray, after: np.ndarray) -> tuple[Move, ...]:
+    """Express an allocation change as per-type migration moves.
+
+    For each VM type, surplus nodes (``before > after``) send VMs to deficit
+    nodes (``after > before``) in index order — any pairing has the same
+    count, and count is what the cost model charges per (src, dst) band.
+    """
+    if before.shape != after.shape:
+        raise ValidationError("allocation shapes differ")
+    if not np.array_equal(before.sum(axis=0), after.sum(axis=0)):
+        raise ValidationError("migration cannot change the demand vector")
+    moves: list[Move] = []
+    for j in range(before.shape[1]):
+        delta = after[:, j] - before[:, j]
+        sources = [[int(i), int(-delta[i])] for i in np.flatnonzero(delta < 0)]
+        sinks = [[int(i), int(delta[i])] for i in np.flatnonzero(delta > 0)]
+        si = 0
+        for dst, need in sinks:
+            while need > 0:
+                src_entry = sources[si]
+                take = min(need, src_entry[1])
+                moves.append(Move(vm_type=j, src=src_entry[0], dst=dst, count=take))
+                need -= take
+                src_entry[1] -= take
+                if src_entry[1] == 0:
+                    si += 1
+    return tuple(moves)
+
+
+def migration_cost_bytes(
+    moves: tuple[Move, ...], catalog: VMTypeCatalog
+) -> float:
+    """Total bytes shipped: each move copies the VM's memory image."""
+    return float(
+        sum(m.count * catalog[m.vm_type].memory_gb * GB for m in moves)
+    )
+
+
+def _best_fill(
+    demand: np.ndarray, remaining: np.ndarray, dist: np.ndarray
+) -> "Allocation | None":
+    """Exact SD solve against an explicit remaining matrix."""
+    best: "Allocation | None" = None
+    for k in range(remaining.shape[0]):
+        matrix = fill_from_center(demand, remaining, dist[:, k])
+        if matrix is None:
+            continue
+        dc = float(matrix.sum(axis=1).astype(np.float64) @ dist[:, k])
+        if best is None or dc < best.distance - 1e-12:
+            best = Allocation(matrix=matrix, center=k, distance=dc)
+    return best
+
+
+def plan_repair(
+    allocation: Allocation,
+    pool: ResourcePool,
+    failed_nodes: "list[int] | np.ndarray",
+) -> "MigrationPlan | None":
+    """Re-place the VMs an allocation lost to *failed_nodes*.
+
+    The surviving VMs stay where they are (restarting healthy VMs is
+    gratuitous); only the lost residual demand is re-placed, on the pool's
+    current remaining capacity, choosing positions that minimize the
+    *repaired cluster's* total distance. Returns ``None`` when the surviving
+    pool cannot host the residual demand.
+
+    The pool must already reflect the failure (e.g. a
+    :class:`~repro.cluster.dynamics.DynamicResourcePool` after
+    ``fail_node``), and `allocation` must still be committed in it.
+    """
+    failed = set(int(i) for i in failed_nodes)
+    kept = allocation.matrix.copy()
+    lost = np.zeros_like(kept)
+    for i in failed:
+        lost[i] = kept[i]
+        kept[i] = 0
+    residual = lost.sum(axis=0)
+    if residual.sum() == 0:
+        return MigrationPlan(
+            before=allocation,
+            after=allocation,
+            moves=(),
+            cost_bytes=0.0,
+            distance_gain=0.0,
+        )
+    dist = pool.distance_matrix
+    remaining = pool.remaining
+    # Score candidate fills by the distance of kept + fill.
+    best_total: "Allocation | None" = None
+    for k in range(remaining.shape[0]):
+        fill = fill_from_center(residual, remaining, dist[:, k])
+        if fill is None:
+            continue
+        total = kept + fill
+        dc, center = cluster_distance(total, dist)
+        if best_total is None or dc < best_total.distance - 1e-12:
+            best_total = Allocation(matrix=total, center=center, distance=dc)
+    if best_total is None:
+        return None
+    moves = diff_moves(allocation.matrix, best_total.matrix)
+    return MigrationPlan(
+        before=allocation,
+        after=best_total,
+        moves=moves,
+        cost_bytes=migration_cost_bytes(moves, pool.catalog),
+        distance_gain=allocation.distance - best_total.distance,
+    )
+
+
+def plan_consolidation(
+    allocation: Allocation,
+    pool: ResourcePool,
+    *,
+    min_gain: float = 1e-9,
+) -> "MigrationPlan | None":
+    """Re-optimize a running cluster after churn frees capacity.
+
+    Solves the SD problem for the cluster's demand against the pool state
+    *with the cluster's own allocation released* (its VMs may stay put), and
+    emits the move set. Returns ``None`` when no strictly better allocation
+    exists (gain ≤ *min_gain*).
+
+    `allocation` must currently be committed in *pool*; the pool is left
+    untouched — callers apply the plan with :func:`apply_plan`.
+    """
+    demand = allocation.demand
+    remaining = pool.remaining + allocation.matrix  # own VMs are movable
+    best = _best_fill(demand, remaining, pool.distance_matrix)
+    if best is None:
+        return None
+    gain = allocation.distance - best.distance
+    if gain <= min_gain:
+        return None
+    moves = diff_moves(allocation.matrix, best.matrix)
+    return MigrationPlan(
+        before=allocation,
+        after=best,
+        moves=moves,
+        cost_bytes=migration_cost_bytes(moves, pool.catalog),
+        distance_gain=gain,
+    )
+
+
+def apply_plan(plan: MigrationPlan, pool: ResourcePool) -> None:
+    """Commit a plan: swap the old allocation for the new one atomically."""
+    pool.release(plan.before.matrix)
+    try:
+        pool.allocate(plan.after.matrix)
+    except Exception:
+        pool.allocate(plan.before.matrix)  # roll back
+        raise
+
+
+def apply_repair(plan: MigrationPlan, pool, failed_nodes) -> None:
+    """Commit a repair on a dynamic pool: evict the stranded rows, then swap
+    in the repaired allocation (which holds nothing on failed nodes)."""
+    failed = set(int(i) for i in failed_nodes)
+    survivors = plan.before.matrix.copy()
+    for i in failed:
+        pool.evict_node(i)
+        survivors[i] = 0
+    pool.release(survivors)
+    pool.allocate(plan.after.matrix)

@@ -1,0 +1,196 @@
+"""Simulated-annealing solver for the GSD problem.
+
+An independent global optimizer to triangulate Algorithm 2's quality: where
+the paper's transfer phase only performs capacity-neutral *exchanges*
+between cluster pairs, annealing also explores unilateral VM moves into
+free capacity and accepts temporary regressions, so it can escape local
+minima Algorithm 2 is stuck in — at a much higher iteration cost.
+
+Moves (chosen uniformly per step):
+
+* **relocate** — move one VM of one request to a node with spare capacity;
+* **exchange** — swap same-type VMs between two requests (the Theorem-2
+  exchange, as a stochastic move).
+
+Acceptance follows Metropolis with a geometric cooling schedule; the best
+state ever seen is returned, so the result never degrades below the
+initialization (Algorithm 1 placements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.resources import ResourcePool
+from repro.core.distance import cluster_distance
+from repro.core.placement.base import BatchPlacementAlgorithm
+from repro.core.placement.greedy import OnlineHeuristic
+from repro.core.problem import Allocation
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+
+@dataclass(frozen=True, slots=True)
+class AnnealingConfig:
+    """Annealing schedule parameters."""
+
+    iterations: int = 5000
+    initial_temperature: float = 2.0
+    cooling: float = 0.999
+    seed: "int | None" = 0
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValidationError("iterations must be >= 1")
+        if self.initial_temperature <= 0:
+            raise ValidationError("initial_temperature must be > 0")
+        if not (0 < self.cooling < 1):
+            raise ValidationError("cooling must be in (0, 1)")
+
+
+class AnnealingGsdSolver(BatchPlacementAlgorithm):
+    """Stochastic global optimizer over a batch of requests."""
+
+    name = "annealing"
+
+    def __init__(
+        self,
+        config: AnnealingConfig | None = None,
+        *,
+        online: "OnlineHeuristic | None" = None,
+        refine_algorithm2: bool = True,
+    ) -> None:
+        self.config = config or AnnealingConfig()
+        self.online = online or OnlineHeuristic()
+        #: When True (default), the annealer starts from Algorithm 2's
+        #: output instead of raw Algorithm 1 placements, making it a strict
+        #: refinement — never worse than the paper's global optimizer.
+        self.refine_algorithm2 = refine_algorithm2
+
+    # ------------------------------------------------------------- internals
+
+    @staticmethod
+    def _dc(matrix: np.ndarray, dist: np.ndarray) -> float:
+        return cluster_distance(matrix, dist)[0]
+
+    def _try_relocate(self, mats, used, remaining, dist, rng):
+        """Propose moving one VM of one request; returns (delta, apply)."""
+        r = int(rng.integers(0, len(mats)))
+        mat = mats[r]
+        occupied = np.argwhere(mat > 0)
+        if occupied.size == 0:
+            return None
+        src, j = occupied[int(rng.integers(0, len(occupied)))]
+        free = np.flatnonzero(remaining[:, j] - used[:, j] > 0)
+        free = free[free != src]
+        if free.size == 0:
+            return None
+        dst = int(free[int(rng.integers(0, free.size))])
+        before = self._dc(mat, dist)
+        mat[src, j] -= 1
+        mat[dst, j] += 1
+        after = self._dc(mat, dist)
+
+        def apply() -> None:
+            used[src, j] -= 1
+            used[dst, j] += 1
+
+        def revert() -> None:
+            mat[src, j] += 1
+            mat[dst, j] -= 1
+
+        return after - before, apply, revert
+
+    def _try_exchange(self, mats, dist, rng):
+        """Propose a same-type VM swap between two requests."""
+        if len(mats) < 2:
+            return None
+        a, b = rng.choice(len(mats), size=2, replace=False)
+        ma, mb = mats[int(a)], mats[int(b)]
+        occ_a = np.argwhere(ma > 0)
+        if occ_a.size == 0:
+            return None
+        u, j = occ_a[int(rng.integers(0, len(occ_a)))]
+        vs = np.flatnonzero(mb[:, j] > 0)
+        if vs.size == 0:
+            return None
+        v = int(vs[int(rng.integers(0, vs.size))])
+        if u == v:
+            return None
+        before = self._dc(ma, dist) + self._dc(mb, dist)
+        ma[u, j] -= 1
+        ma[v, j] += 1
+        mb[v, j] -= 1
+        mb[u, j] += 1
+        after = self._dc(ma, dist) + self._dc(mb, dist)
+
+        def apply() -> None:  # capacity-neutral: nothing to update
+            pass
+
+        def revert() -> None:
+            ma[u, j] += 1
+            ma[v, j] -= 1
+            mb[v, j] += 1
+            mb[u, j] -= 1
+
+        return after - before, apply, revert
+
+    # -------------------------------------------------------------- interface
+
+    def place_batch(self, requests, pool: ResourcePool):
+        """Initialize, anneal, and return the best allocation set found."""
+        cfg = self.config
+        rng = ensure_rng(cfg.seed)
+        # Initialize from sequential Algorithm 1 placements, optionally
+        # improved by Algorithm 2's transfer phase.
+        work = pool.copy()
+        init: list["Allocation | None"] = []
+        for request in requests:
+            alloc = self.online.place(request, work)
+            if alloc is not None:
+                work.allocate(alloc.matrix)
+            init.append(alloc)
+        if self.refine_algorithm2:
+            from repro.core.placement.global_opt import GlobalSubOptimizer
+
+            init = GlobalSubOptimizer(self.online).optimize_transfers(
+                init, pool.distance_matrix
+            )
+        live_idx = [i for i, a in enumerate(init) if a is not None]
+        if not live_idx:
+            return init
+        dist = pool.distance_matrix
+        remaining = pool.remaining  # capacity budget shared by the batch
+        mats = [init[i].matrix.copy() for i in live_idx]
+        used = np.sum(mats, axis=0)
+
+        def total() -> float:
+            return float(sum(self._dc(m, dist) for m in mats))
+
+        current = total()
+        best = current
+        best_mats = [m.copy() for m in mats]
+        temperature = cfg.initial_temperature
+        for _ in range(cfg.iterations):
+            proposal = (
+                self._try_relocate(mats, used, remaining, dist, rng)
+                if rng.random() < 0.5
+                else self._try_exchange(mats, dist, rng)
+            )
+            if proposal is not None:
+                delta, apply, revert = proposal
+                if delta <= 0 or rng.random() < np.exp(-delta / temperature):
+                    apply()
+                    current += delta
+                    if current < best - 1e-12:
+                        best = current
+                        best_mats = [m.copy() for m in mats]
+                else:
+                    revert()
+            temperature *= cfg.cooling
+        out: list["Allocation | None"] = list(init)
+        for idx, matrix in zip(live_idx, best_mats):
+            out[idx] = Allocation.from_matrix(matrix, dist)
+        return out

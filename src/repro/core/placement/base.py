@@ -1,0 +1,101 @@
+"""Placement algorithm interfaces.
+
+All single-request algorithms implement :class:`PlacementAlgorithm`:
+given a request and the current pool state they return an
+:class:`~repro.core.problem.Allocation` (without mutating the pool — callers
+commit via :meth:`ResourcePool.allocate`) or raise.
+
+Outcomes follow the paper's admission semantics:
+
+* request > maximum pool capacity → :class:`InfeasibleRequestError` (refuse);
+* request > current availability  → ``None`` (wait in queue);
+* otherwise → an allocation covering the request exactly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.cluster.resources import ResourcePool
+from repro.core.problem import Allocation, VirtualClusterRequest
+from repro.util.errors import InfeasibleRequestError
+from repro.util.validation import as_int_vector
+
+
+def normalize_request(
+    request: "VirtualClusterRequest | np.ndarray | list[int]", num_types: int
+) -> np.ndarray:
+    """Accept either a request object or a raw vector; return the vector."""
+    if isinstance(request, VirtualClusterRequest):
+        return request.demand
+    return as_int_vector(request, name="request", length=num_types)
+
+
+def check_admissible(demand: np.ndarray, pool: ResourcePool) -> bool:
+    """Apply the paper's two admission rules.
+
+    Returns ``False`` when the request should *wait* (insufficient current
+    availability) and raises :class:`InfeasibleRequestError` when it must be
+    *refused* (exceeds maximum capacity).
+    """
+    if pool.exceeds_max_capacity(demand):
+        raise InfeasibleRequestError(
+            f"request {demand.tolist()} exceeds maximum pool capacity "
+            f"{pool.max_capacity.sum(axis=0).tolist()}"
+        )
+    return pool.can_satisfy(demand)
+
+
+class PlacementAlgorithm(abc.ABC):
+    """Strategy interface for single-request virtual-cluster placement."""
+
+    #: Short name used in experiment tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def place(
+        self,
+        request: "VirtualClusterRequest | np.ndarray",
+        pool: ResourcePool,
+    ) -> "Allocation | None":
+        """Compute an allocation for *request* against *pool*'s current state.
+
+        Must not mutate *pool*. Returns ``None`` if the request cannot be
+        served right now (must wait); raises
+        :class:`~repro.util.errors.InfeasibleRequestError` if it can never be
+        served.
+        """
+
+    def place_and_commit(
+        self,
+        request: "VirtualClusterRequest | np.ndarray",
+        pool: ResourcePool,
+    ) -> "Allocation | None":
+        """Convenience: :meth:`place` then commit to the pool if successful."""
+        alloc = self.place(request, pool)
+        if alloc is not None:
+            pool.allocate(alloc.matrix)
+        return alloc
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BatchPlacementAlgorithm(abc.ABC):
+    """Strategy interface for placing a batch of requests together (GSD)."""
+
+    name: str = "abstract-batch"
+
+    @abc.abstractmethod
+    def place_batch(
+        self,
+        requests: "list[VirtualClusterRequest | np.ndarray]",
+        pool: ResourcePool,
+    ) -> list["Allocation | None"]:
+        """Allocate each request in *requests*; entries are ``None`` for
+        requests that could not be served with the remaining resources.
+
+        Must not mutate *pool*.
+        """

@@ -1,0 +1,172 @@
+"""Baseline placement strategies for comparison.
+
+The paper compares against allocation choices a provider without affinity
+awareness would make. These baselines bracket the heuristic:
+
+* :class:`FirstFitPlacement` — fill nodes in id order (typical naive
+  scheduler; ignores topology entirely).
+* :class:`RandomPlacement` — scatter VMs over random feasible nodes (models
+  an uncoordinated provider; expected worst affinity).
+* :class:`StripedPlacement` — round-robin across racks (deliberate
+  anti-affinity, as used for fault-tolerant spreading; the adversarial lower
+  bound for affinity).
+* :class:`BestFitPlacement` — consolidate on the fullest nodes first
+  (classical Best-Fit VM packing [16]; good utilization, topology-blind).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.resources import ResourcePool
+from repro.core.placement.base import (
+    PlacementAlgorithm,
+    check_admissible,
+    normalize_request,
+)
+from repro.core.problem import Allocation
+from repro.util.rng import ensure_rng
+
+
+def _fill_in_order(
+    order: np.ndarray, demand: np.ndarray, remaining: np.ndarray
+) -> "np.ndarray | None":
+    """Take as much as possible from each node in *order* until covered."""
+    alloc = np.zeros_like(remaining)
+    todo = demand.astype(np.int64).copy()
+    for i in order:
+        if not todo.any():
+            break
+        take = np.minimum(remaining[i], todo)
+        if take.any():
+            alloc[i] = take
+            todo -= take
+    if todo.any():
+        return None
+    return alloc
+
+
+class FirstFitPlacement(PlacementAlgorithm):
+    """Fill nodes in ascending id order, ignoring topology."""
+
+    name = "first-fit"
+
+    def place(self, request, pool: ResourcePool):
+        demand = normalize_request(request, pool.num_types)
+        if not check_admissible(demand, pool):
+            return None
+        matrix = _fill_in_order(
+            np.arange(pool.num_nodes), demand, pool.remaining
+        )
+        if matrix is None:
+            return None
+        return Allocation.from_matrix(matrix, pool.distance_matrix)
+
+
+class BestFitPlacement(PlacementAlgorithm):
+    """Classical Best-Fit packing: most-loaded feasible nodes first.
+
+    Orders nodes by ascending total remaining capacity (so nearly-full nodes
+    are topped up first), the standard consolidation heuristic from the VM
+    packing literature. Topology-blind, but often accidentally compact.
+    """
+
+    name = "best-fit"
+
+    def place(self, request, pool: ResourcePool):
+        demand = normalize_request(request, pool.num_types)
+        if not check_admissible(demand, pool):
+            return None
+        remaining = pool.remaining
+        totals = remaining.sum(axis=1)
+        # Exclude empty nodes from "most loaded" (they cannot contribute).
+        order = sorted(
+            range(pool.num_nodes),
+            key=lambda i: (totals[i] == 0, totals[i], i),
+        )
+        matrix = _fill_in_order(np.asarray(order), demand, remaining)
+        if matrix is None:
+            return None
+        return Allocation.from_matrix(matrix, pool.distance_matrix)
+
+
+class RandomPlacement(PlacementAlgorithm):
+    """Scatter each VM uniformly over nodes with spare capacity."""
+
+    name = "random"
+
+    def __init__(self, seed=None) -> None:
+        self._rng = ensure_rng(seed)
+
+    def place(self, request, pool: ResourcePool):
+        demand = normalize_request(request, pool.num_types)
+        if not check_admissible(demand, pool):
+            return None
+        remaining = pool.remaining.copy()
+        matrix = np.zeros_like(remaining)
+        for j in range(pool.num_types):
+            for _ in range(int(demand[j])):
+                candidates = np.flatnonzero(remaining[:, j] > 0)
+                if candidates.size == 0:
+                    return None
+                i = int(self._rng.choice(candidates))
+                matrix[i, j] += 1
+                remaining[i, j] -= 1
+        return Allocation.from_matrix(matrix, pool.distance_matrix)
+
+
+class StripedPlacement(PlacementAlgorithm):
+    """Round-robin VMs across racks — deliberate anti-affinity.
+
+    Models availability-oriented spreading (one replica per failure domain).
+    Produces near-maximal cluster distances, bounding the heuristic's win.
+    """
+
+    name = "striped"
+
+    def place(self, request, pool: ResourcePool):
+        demand = normalize_request(request, pool.num_types)
+        if not check_admissible(demand, pool):
+            return None
+        remaining = pool.remaining.copy()
+        matrix = np.zeros_like(remaining)
+        topo = pool.topology
+        rack_cycle = [list(r.node_ids) for r in topo.racks]
+        for j in range(pool.num_types):
+            count = int(demand[j])
+            rack_idx = 0
+            placed = 0
+            stall = 0
+            while placed < count:
+                rack_nodes = rack_cycle[rack_idx % len(rack_cycle)]
+                rack_idx += 1
+                host = next(
+                    (i for i in rack_nodes if remaining[i, j] > 0), None
+                )
+                if host is None:
+                    stall += 1
+                    if stall >= len(rack_cycle):
+                        return None  # no rack can host this type anymore
+                    continue
+                stall = 0
+                matrix[host, j] += 1
+                remaining[host, j] -= 1
+                placed += 1
+        return Allocation.from_matrix(matrix, pool.distance_matrix)
+
+
+def random_center_distance(
+    allocation: Allocation, dist: np.ndarray, seed=None
+) -> tuple[float, int]:
+    """Distance of *allocation* measured from a uniformly random center.
+
+    Reproduces Fig. 2's comparison series ("shortest distance with a random
+    central node ... mapped to the same virtual cluster"). The random center
+    is drawn from all nodes, matching a master placed without topology
+    knowledge.
+    """
+    rng = ensure_rng(seed)
+    center = int(rng.integers(0, dist.shape[0]))
+    from repro.core.distance import distance_with_center
+
+    return distance_with_center(allocation.matrix, dist, center), center

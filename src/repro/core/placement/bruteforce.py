@@ -1,0 +1,106 @@
+"""Brute-force SD solver by exhaustive enumeration.
+
+Enumerates *every* feasible allocation matrix ``C`` (all ways of writing each
+``R_j`` as a capped composition over nodes, combined across types) and takes
+the minimum ``DC``. Exponential — usable only for tiny instances — but
+completely assumption-free, so it anchors the property tests that establish
+the exact transportation solver and the MILP encoding are correct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.cluster.resources import ResourcePool
+from repro.core.distance import cluster_distance
+from repro.core.placement.base import (
+    PlacementAlgorithm,
+    check_admissible,
+    normalize_request,
+)
+from repro.core.problem import Allocation, VirtualClusterRequest
+from repro.util.errors import ValidationError
+
+
+def _compositions(total: int, caps: np.ndarray) -> Iterator[tuple[int, ...]]:
+    """All ways to split *total* into per-node amounts within *caps*."""
+    n = caps.shape[0]
+
+    def rec(idx: int, left: int, prefix: list[int]) -> Iterator[tuple[int, ...]]:
+        if idx == n - 1:
+            if left <= caps[idx]:
+                yield tuple(prefix + [left])
+            return
+        # Prune: remaining capacity after idx must cover what's left.
+        tail_cap = int(caps[idx + 1 :].sum())
+        lo = max(0, left - tail_cap)
+        hi = min(int(caps[idx]), left)
+        for take in range(lo, hi + 1):
+            yield from rec(idx + 1, left - take, prefix + [take])
+
+    yield from rec(0, total, [])
+
+
+def enumerate_allocations(
+    demand: np.ndarray, remaining: np.ndarray, *, limit: int = 2_000_000
+) -> Iterator[np.ndarray]:
+    """Yield every feasible allocation matrix for *demand* within *remaining*.
+
+    Raises :class:`ValidationError` after *limit* matrices as a guard against
+    accidental use on non-tiny instances.
+    """
+    n, m = remaining.shape
+    per_type = [list(_compositions(int(demand[j]), remaining[:, j])) for j in range(m)]
+    count = 0
+
+    def rec(j: int, matrix: np.ndarray) -> Iterator[np.ndarray]:
+        nonlocal count
+        if j == m:
+            count += 1
+            if count > limit:
+                raise ValidationError(
+                    f"brute force exceeded {limit} allocations; instance too large"
+                )
+            yield matrix.copy()
+            return
+        for combo in per_type[j]:
+            matrix[:, j] = combo
+            yield from rec(j + 1, matrix)
+        matrix[:, j] = 0
+
+    yield from rec(0, np.zeros((n, m), dtype=np.int64))
+
+
+def solve_sd_bruteforce(
+    request: "VirtualClusterRequest | np.ndarray",
+    pool: ResourcePool,
+    *,
+    limit: int = 2_000_000,
+) -> "Allocation | None":
+    """Exhaustively minimize ``DC`` over all feasible allocations."""
+    demand = normalize_request(request, pool.num_types)
+    if not check_admissible(demand, pool):
+        return None
+    dist = pool.distance_matrix
+    best_dc = np.inf
+    best: "Allocation | None" = None
+    for matrix in enumerate_allocations(demand, pool.remaining, limit=limit):
+        dc, center = cluster_distance(matrix, dist)
+        if dc < best_dc - 1e-12:
+            best_dc = dc
+            best = Allocation(matrix=matrix, center=center, distance=dc)
+    return best
+
+
+class BruteForcePlacement(PlacementAlgorithm):
+    """:class:`PlacementAlgorithm` adapter around :func:`solve_sd_bruteforce`."""
+
+    name = "bruteforce"
+
+    def __init__(self, limit: int = 2_000_000) -> None:
+        self.limit = limit
+
+    def place(self, request, pool):
+        return solve_sd_bruteforce(request, pool, limit=self.limit)

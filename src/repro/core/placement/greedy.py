@@ -1,0 +1,178 @@
+"""Algorithm 1: the online heuristic VM placement algorithm.
+
+Faithful reconstruction of the paper's Section IV.A procedure:
+
+1. Refuse requests exceeding maximum capacity; make requests wait when they
+   exceed current availability (lines 1–5 of Algorithm 1).
+2. Single-node shortcut: if some node alone can host the whole request,
+   allocate everything there (lines 9–14) — the resulting cluster has
+   distance 0.
+3. Otherwise, for each candidate central node: take as much as possible from
+   the center (``com(L[i], R)``), then fill from same-rack peers sorted by
+   how much of the remaining request they can provide (descending — the
+   paper's ``getList(D, i, 0)`` ordering), then from off-rack nodes in
+   ascending distance order with the same secondary sort
+   (``getList(D, i, 1)``).
+4. Keep the allocation with the shortest ``getDist`` over candidate centers.
+
+Two details are configurable because the paper's pseudocode admits both
+readings:
+
+* ``stop`` — ``"best"`` scans every candidate center (matches the paper's
+  O(n²·m) complexity claim and its Fig. 2 description of "the most
+  appropriate central node"); ``"first"`` accepts the first center that
+  yields a complete allocation (the literal ``break L1``), which is faster
+  but can be arbitrarily worse.
+* ``center_order`` — ``"index"`` (deterministic) or ``"random"`` ("we choose
+  one central node randomly" — only meaningful with ``stop="first"``).
+
+A structural note (verified by the test suite): because nearest-first fill
+is optimal for a *fixed* center, ``stop="best"`` attains the exact SD
+optimum. The heuristic's "sub-optimality" in the paper manifests only in the
+``stop="first"`` mode and in the global multi-request setting that
+Algorithm 2 addresses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.resources import ResourcePool
+from repro.core.placement.base import (
+    PlacementAlgorithm,
+    check_admissible,
+    normalize_request,
+)
+from repro.core.problem import Allocation, VirtualClusterRequest
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+
+def com(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The paper's ``com`` operator: element-wise minimum of two vectors.
+
+    ``com(L[i], R) == R`` means node ``i`` alone can provide all of ``R``.
+    """
+    return np.minimum(a, b)
+
+
+def providable(remaining_row: np.ndarray, demand: np.ndarray) -> int:
+    """How many requested VMs (summed over types) a node can contribute."""
+    return int(np.minimum(remaining_row, demand).sum())
+
+
+def _fill_order(
+    center: int, demand: np.ndarray, remaining: np.ndarray, dist: np.ndarray
+) -> np.ndarray:
+    """Node visit order for one candidate center.
+
+    Primary key: distance to the center ascending (center itself first, then
+    its rack, then farther tiers — the paper's rackList/nRackList split
+    generalized to any number of hierarchy levels). Secondary key: providable
+    resources descending ("the more resources they provide, the greater
+    chance of being selected"). Ternary: node index, for determinism.
+    """
+    n = remaining.shape[0]
+    prov = np.minimum(remaining, demand[None, :]).sum(axis=1)
+    order = sorted(range(n), key=lambda i: (dist[i, center], -int(prov[i]), i))
+    return np.asarray(order, dtype=np.int64)
+
+
+def greedy_fill(
+    center: int, demand: np.ndarray, remaining: np.ndarray, dist: np.ndarray
+) -> "np.ndarray | None":
+    """Build one allocation around *center* following Algorithm 1's loop body.
+
+    Returns the allocation matrix, or ``None`` when availability runs out
+    before the request is covered.
+    """
+    n, m = remaining.shape
+    alloc = np.zeros((n, m), dtype=np.int64)
+    todo = demand.astype(np.int64).copy()
+    for i in _fill_order(center, demand, remaining, dist):
+        if not todo.any():
+            break
+        take = com(remaining[i], todo)
+        if take.any():
+            alloc[i] = take
+            todo -= take
+    if todo.any():
+        return None
+    return alloc
+
+
+class OnlineHeuristic(PlacementAlgorithm):
+    """Algorithm 1: greedy affinity-aware placement for one request.
+
+    Parameters
+    ----------
+    stop:
+        ``"best"`` (default) evaluates every candidate center and returns the
+        shortest-distance allocation; ``"first"`` returns the allocation of
+        the first center that completes, after the single-node shortcut.
+    center_order:
+        ``"index"`` (default) tries centers in node-id order; ``"random"``
+        shuffles the candidate order (paper: "choose one central node
+        randomly"). Only affects results when ``stop="first"``.
+    seed:
+        RNG seed for ``center_order="random"``.
+    """
+
+    name = "online-heuristic"
+
+    def __init__(
+        self,
+        *,
+        stop: str = "best",
+        center_order: str = "index",
+        seed=None,
+    ) -> None:
+        if stop not in ("best", "first"):
+            raise ValidationError(f"stop must be 'best' or 'first', got {stop!r}")
+        if center_order not in ("index", "random"):
+            raise ValidationError(
+                f"center_order must be 'index' or 'random', got {center_order!r}"
+            )
+        self.stop = stop
+        self.center_order = center_order
+        self._rng = ensure_rng(seed)
+
+    def _candidate_centers(self, remaining: np.ndarray) -> np.ndarray:
+        """Nodes worth trying as centers: those with any remaining capacity.
+
+        A zero-capacity node can still be the *geometric* center of an
+        allocation, but for hierarchical distance matrices some node of the
+        heaviest rack is always at least as good, and every such node is a
+        candidate.
+        """
+        candidates = np.flatnonzero(remaining.sum(axis=1) > 0)
+        if self.center_order == "random":
+            candidates = self._rng.permutation(candidates)
+        return candidates
+
+    def place(self, request, pool: ResourcePool):
+        demand = normalize_request(request, pool.num_types)
+        if not check_admissible(demand, pool):
+            return None
+        remaining = pool.remaining
+        dist = pool.distance_matrix
+
+        # Lines 9–14: a single node that can host everything wins outright.
+        fits = np.all(remaining >= demand[None, :], axis=1)
+        if fits.any():
+            i = int(np.flatnonzero(fits)[0])
+            matrix = np.zeros_like(remaining)
+            matrix[i] = demand
+            return Allocation(matrix=matrix, center=i, distance=0.0)
+
+        best: "Allocation | None" = None
+        for center in self._candidate_centers(remaining):
+            matrix = greedy_fill(int(center), demand, remaining, dist)
+            if matrix is None:
+                continue
+            dc = float(matrix.sum(axis=1).astype(np.float64) @ dist[:, center])
+            if self.stop == "first":
+                return Allocation(matrix=matrix, center=int(center), distance=dc)
+            if best is None or dc < best.distance - 1e-12:
+                best = Allocation(matrix=matrix, center=int(center), distance=dc)
+        return best

@@ -1,0 +1,123 @@
+"""Executable forms of the paper's Theorem 1 and Theorem 2.
+
+The improvement steps of the placement algorithms rest on two exchange
+lemmas. Implementing them as standalone, unit-tested functions lets the
+optimizers use them and the tests verify them independently of any
+algorithmic context.
+
+**Theorem 1** (Section IV.A). With the central node fixed at ``N_x``, moving
+one VM from node ``q`` to a node ``p`` that is closer to the center
+(``D_xp < D_xq``) shortens the cluster distance by exactly ``D_xq − D_xp``.
+
+**Theorem 2** (Section IV.B). Given two clusters ``C¹`` (center ``N_x``) and
+``C²`` (center ``N_y``), if ``C¹`` holds a type-``j`` VM on ``N_y`` and
+``C²`` holds one on some ``N_k``, exchanging them (each VM moves to the other
+cluster's node) changes the summed distance by ``D_xk − D_xy − D_yk``, an
+improvement whenever ``D_xy + D_yk > D_xk``. The exchange is
+capacity-neutral: per-node, per-type totals across the two clusters are
+unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distance import distance_with_center
+from repro.util.errors import ValidationError
+
+
+def theorem1_delta(dist: np.ndarray, x: int, p: int, q: int) -> float:
+    """Distance change from moving one VM from node *q* to node *p*
+    (center fixed at *x*): ``DC_after − DC_before = D_xp − D_xq``."""
+    return float(dist[p, x] - dist[q, x])
+
+
+def apply_theorem1_move(
+    matrix: np.ndarray, p: int, q: int, vm_type: int
+) -> np.ndarray:
+    """Return a copy of *matrix* with one type-``vm_type`` VM moved q → p."""
+    if matrix[q, vm_type] < 1:
+        raise ValidationError(
+            f"no type-{vm_type} VM on node {q} to move (count={matrix[q, vm_type]})"
+        )
+    out = matrix.copy()
+    out[q, vm_type] -= 1
+    out[p, vm_type] += 1
+    return out
+
+
+def verify_theorem1(
+    matrix: np.ndarray, dist: np.ndarray, x: int, p: int, q: int, vm_type: int
+) -> bool:
+    """Check Theorem 1 numerically on a concrete allocation.
+
+    Returns ``True`` when the measured distance change of the q → p move
+    (with center held at *x*) equals ``D_xp − D_xq``.
+    """
+    before = distance_with_center(matrix, dist, x)
+    after = distance_with_center(apply_theorem1_move(matrix, p, q, vm_type), dist, x)
+    return bool(np.isclose(after - before, theorem1_delta(dist, x, p, q)))
+
+
+def theorem2_delta(dist: np.ndarray, x: int, y: int, k: int) -> float:
+    """Summed-distance change of the Theorem 2 exchange:
+    ``(DC¹ + DC²)_after − (DC¹ + DC²)_before = D_xk − D_xy − D_yk``."""
+    return float(dist[x, k] - dist[x, y] - dist[y, k])
+
+
+def swap_gain(dist: np.ndarray, x: int, y: int, u: int, v: int) -> float:
+    """Gain of the *generalized* exchange used by the global optimizer.
+
+    Cluster 1 (center ``x``) moves one VM from node ``u`` to node ``v``;
+    cluster 2 (center ``y``) moves one same-type VM from ``v`` to ``u``.
+    Positive gain means the summed distance decreases:
+
+        gain = (D_ux − D_vx) + (D_vy − D_uy)
+
+    Theorem 2 is the special case ``u = y`` (then
+    ``gain = D_xy + D_yk − D_xk`` with ``v = k``).
+    """
+    return float((dist[u, x] - dist[v, x]) + (dist[v, y] - dist[u, y]))
+
+
+def apply_theorem2_exchange(
+    m1: np.ndarray, m2: np.ndarray, u: int, v: int, vm_type: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply the exchange: ``m1``'s type-``vm_type`` VM moves u → v while
+    ``m2``'s moves v → u. Returns new matrices; inputs are not modified.
+
+    Raises :class:`ValidationError` when either cluster lacks the VM being
+    exchanged. Per-node combined usage is unchanged, so any allocation pair
+    feasible before the exchange remains feasible after it.
+    """
+    if m1[u, vm_type] < 1:
+        raise ValidationError(f"cluster 1 has no type-{vm_type} VM on node {u}")
+    if m2[v, vm_type] < 1:
+        raise ValidationError(f"cluster 2 has no type-{vm_type} VM on node {v}")
+    a = m1.copy()
+    b = m2.copy()
+    a[u, vm_type] -= 1
+    a[v, vm_type] += 1
+    b[v, vm_type] -= 1
+    b[u, vm_type] += 1
+    return a, b
+
+
+def verify_theorem2(
+    m1: np.ndarray,
+    m2: np.ndarray,
+    dist: np.ndarray,
+    x: int,
+    y: int,
+    k: int,
+    vm_type: int,
+) -> bool:
+    """Check Theorem 2 numerically on concrete allocations.
+
+    ``m1`` must hold a type-``vm_type`` VM on ``y`` and ``m2`` one on ``k``;
+    centers are held fixed at ``x`` and ``y`` while measuring.
+    """
+    before = distance_with_center(m1, dist, x) + distance_with_center(m2, dist, y)
+    a, b = apply_theorem2_exchange(m1, m2, y, k, vm_type)
+    after = distance_with_center(a, dist, x) + distance_with_center(b, dist, y)
+    return bool(np.isclose(after - before, theorem2_delta(dist, x, y, k)))

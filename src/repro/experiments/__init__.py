@@ -1,0 +1,93 @@
+"""Paper experiments: one module per figure plus ablations.
+
+Every experiment takes explicit seeds (defaulting to
+:data:`~repro.experiments.paperconfig.MASTER_SEED`) and returns a result
+dataclass exposing the same series the paper's figure plots; the benchmark
+suite prints them.
+"""
+
+from repro.experiments import paperconfig
+from repro.experiments.example_fig1 import run as run_fig1
+from repro.experiments.center_experiments import (
+    CenterStudyResult,
+    Fig4Result,
+    run_center_study,
+    run_fig4,
+)
+from repro.experiments.global_experiments import (
+    GlobalComparisonResult,
+    OptimalityGapResult,
+    run_comparison,
+    run_fig5,
+    run_fig6,
+    run_gsd_gap,
+)
+from repro.experiments.mapreduce_experiments import (
+    CLUSTER_LAYOUTS,
+    Fig78Result,
+    TopologyRun,
+    build_cluster,
+    build_experiment_pool,
+    experiment_job,
+    experiment_network,
+    run_fig78,
+)
+from repro.experiments.runner import PaperReport, render_markdown, run_all
+from repro.experiments.sensitivity import (
+    LoadPoint,
+    OversubscriptionPoint,
+    RatioPoint,
+    sweep_distance_ratio,
+    sweep_oversubscription,
+    sweep_pool_load,
+)
+from repro.experiments.ablations import (
+    HeuristicGapResult,
+    PolicyRow,
+    SchedulerRow,
+    TransferAblationResult,
+    run_heuristic_gap,
+    run_policy_comparison,
+    run_scheduler_ablation,
+    run_transfer_ablation,
+)
+
+__all__ = [
+    "paperconfig",
+    "PaperReport",
+    "render_markdown",
+    "run_all",
+    "LoadPoint",
+    "OversubscriptionPoint",
+    "RatioPoint",
+    "sweep_distance_ratio",
+    "sweep_oversubscription",
+    "sweep_pool_load",
+    "run_fig1",
+    "CenterStudyResult",
+    "Fig4Result",
+    "run_center_study",
+    "run_fig4",
+    "GlobalComparisonResult",
+    "OptimalityGapResult",
+    "run_comparison",
+    "run_fig5",
+    "run_fig6",
+    "run_gsd_gap",
+    "CLUSTER_LAYOUTS",
+    "Fig78Result",
+    "TopologyRun",
+    "build_cluster",
+    "build_experiment_pool",
+    "experiment_job",
+    "experiment_network",
+    "run_fig78",
+    "HeuristicGapResult",
+    "PolicyRow",
+    "SchedulerRow",
+    "TransferAblationResult",
+    "run_heuristic_gap",
+    "run_policy_comparison",
+    "run_scheduler_ablation",
+    "run_transfer_ablation",
+]

@@ -1,0 +1,241 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Beyond the paper's own figures, these experiments quantify:
+
+* **Heuristic optimality** — Algorithm 1 (best-center mode) vs. the exact
+  transportation solver and the MILP, plus the cost of the literal
+  ``stop="first"`` mode.
+* **Transfer generality** — Algorithm 2 with the literal Theorem-2 exchange
+  vs. the generalized swap search.
+* **Placement policies end-to-end** — mean cluster distance and MapReduce
+  runtime across the heuristic and the affinity-blind baselines.
+* **Scheduler locality** — MapReduce runtime under locality-aware, FIFO,
+  random, and delay scheduling on a fixed cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.generators import feasible_random_requests, random_pool
+from repro.core.placement.baselines import (
+    BestFitPlacement,
+    FirstFitPlacement,
+    RandomPlacement,
+    StripedPlacement,
+)
+from repro.core.placement.exact import solve_sd_exact
+from repro.core.placement.global_opt import GlobalSubOptimizer, total_distance
+from repro.core.placement.greedy import OnlineHeuristic
+from repro.experiments import paperconfig as cfg
+from repro.experiments.mapreduce_experiments import (
+    experiment_job,
+    experiment_network,
+)
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.scheduler import (
+    DelayScheduler,
+    FifoScheduler,
+    LocalityAwareScheduler,
+    RandomScheduler,
+)
+from repro.mapreduce.vmcluster import VirtualCluster
+from repro.util.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class HeuristicGapResult:
+    """Algorithm 1 vs. the exact optimum over a request series."""
+
+    exact_total: float
+    best_mode_total: float
+    first_mode_total: float
+
+    @property
+    def best_mode_gap_pct(self) -> float:
+        if self.exact_total == 0:
+            return 0.0
+        return 100.0 * (self.best_mode_total - self.exact_total) / self.exact_total
+
+    @property
+    def first_mode_gap_pct(self) -> float:
+        if self.exact_total == 0:
+            return 0.0
+        return 100.0 * (self.first_mode_total - self.exact_total) / self.exact_total
+
+
+def run_heuristic_gap(
+    *, seed: int = cfg.MASTER_SEED, num_requests: int = cfg.NUM_REQUESTS
+) -> HeuristicGapResult:
+    """Measure Algorithm 1's gap to the exact SD optimum, per mode.
+
+    Each request is placed against the same fresh pool state by all three
+    solvers (no commits), isolating per-request quality from sequence
+    effects.
+    """
+    rng = ensure_rng(seed)
+    pool = random_pool(cfg.SIM_POOL, cfg.CATALOG, rng, distance_model=cfg.DISTANCES)
+    requests = feasible_random_requests(pool, cfg.FIG5_REQUESTS, num_requests, rng)
+    best_mode = OnlineHeuristic(stop="best")
+    first_mode = OnlineHeuristic(stop="first", center_order="random", seed=rng)
+    exact_total = best_total = first_total = 0.0
+    for demand in requests:
+        exact = solve_sd_exact(demand, pool)
+        if exact is None:
+            continue
+        exact_total += exact.distance
+        best_total += best_mode.place(demand, pool).distance
+        first_total += first_mode.place(demand, pool).distance
+    return HeuristicGapResult(
+        exact_total=exact_total,
+        best_mode_total=best_total,
+        first_mode_total=first_total,
+    )
+
+
+@dataclass(frozen=True)
+class TransferAblationResult:
+    """Generalized vs. literal Theorem-2 transfer in Algorithm 2."""
+
+    online_total: float
+    paper_transfer_total: float
+    general_transfer_total: float
+
+    @property
+    def paper_improvement_pct(self) -> float:
+        if self.online_total == 0:
+            return 0.0
+        return 100.0 * (self.online_total - self.paper_transfer_total) / self.online_total
+
+    @property
+    def general_improvement_pct(self) -> float:
+        if self.online_total == 0:
+            return 0.0
+        return (
+            100.0
+            * (self.online_total - self.general_transfer_total)
+            / self.online_total
+        )
+
+
+def run_transfer_ablation(
+    *,
+    seed: int = cfg.MASTER_SEED,
+    num_requests: int = cfg.NUM_REQUESTS,
+    trials: int = 5,
+) -> TransferAblationResult:
+    """Compare Algorithm 2's transfer variants over identical batches."""
+    rng = ensure_rng(seed)
+    online_total = paper_total = general_total = 0.0
+    for _ in range(trials):
+        pool = random_pool(cfg.SIM_POOL, cfg.CATALOG, rng, distance_model=cfg.DISTANCES)
+        requests = feasible_random_requests(pool, cfg.FIG5_REQUESTS, num_requests, rng)
+        admissible = []
+        budget = pool.available.copy()
+        for r in requests:
+            if np.all(r <= budget):
+                admissible.append(r)
+                budget -= r
+        paper_opt = GlobalSubOptimizer(OnlineHeuristic(), use_paper_transfer=True)
+        general_opt = GlobalSubOptimizer(OnlineHeuristic(), use_paper_transfer=False)
+        online = paper_opt.place_online(admissible, pool)
+        online_total += total_distance(online)
+        paper_total += total_distance(
+            paper_opt.optimize_transfers(online, pool.distance_matrix)
+        )
+        general_total += total_distance(
+            general_opt.optimize_transfers(online, pool.distance_matrix)
+        )
+    return TransferAblationResult(
+        online_total=online_total,
+        paper_transfer_total=paper_total,
+        general_transfer_total=general_total,
+    )
+
+
+@dataclass(frozen=True)
+class PolicyRow:
+    """One placement policy's affinity and end-to-end job runtime."""
+
+    policy: str
+    mean_distance: float
+    runtime: float
+
+
+def run_policy_comparison(
+    *, seed: int = cfg.MASTER_SEED, demand=(4, 8, 2)
+) -> list[PolicyRow]:
+    """Affinity and WordCount runtime per placement policy on one request.
+
+    The end-to-end story of the paper: affinity-aware placement produces a
+    shorter-distance cluster, which runs the same MapReduce job faster than
+    clusters produced by affinity-blind policies.
+    """
+    rng = ensure_rng(seed)
+    demand = np.asarray(demand, dtype=np.int64)
+    policies = [
+        ("online-heuristic", OnlineHeuristic()),
+        ("first-fit", FirstFitPlacement()),
+        ("best-fit", BestFitPlacement()),
+        ("random", RandomPlacement(seed=rng)),
+        ("striped", StripedPlacement()),
+    ]
+    rows: list[PolicyRow] = []
+    job = experiment_job()
+    network = experiment_network()
+    for name, policy in policies:
+        pool = random_pool(
+            cfg.SIM_POOL, cfg.CATALOG, seed, distance_model=cfg.DISTANCES
+        )
+        alloc = policy.place(demand, pool)
+        cluster = VirtualCluster.from_allocation(
+            alloc, pool.distance_matrix, cfg.CATALOG
+        )
+        engine = MapReduceEngine(cluster, network=network, seed=seed)
+        result = engine.run(job, hdfs_seed=seed)
+        rows.append(
+            PolicyRow(policy=name, mean_distance=alloc.distance, runtime=result.runtime)
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class SchedulerRow:
+    """One map scheduler's locality and runtime on a fixed cluster."""
+
+    scheduler: str
+    runtime: float
+    non_data_local_maps: int
+
+
+def run_scheduler_ablation(
+    *, seed: int = cfg.MASTER_SEED, distance: int = 14
+) -> list[SchedulerRow]:
+    """MapReduce runtime under different map schedulers, fixed topology."""
+    from repro.experiments.mapreduce_experiments import build_cluster
+
+    cluster = build_cluster(distance)
+    job = experiment_job()
+    network = experiment_network()
+    schedulers = [
+        ("locality", LocalityAwareScheduler()),
+        ("fifo", FifoScheduler()),
+        ("random", RandomScheduler(seed=seed)),
+        ("delay", DelayScheduler(max_skips=3)),
+    ]
+    rows: list[SchedulerRow] = []
+    for name, sched in schedulers:
+        engine = MapReduceEngine(
+            cluster, network=network, scheduler=sched, seed=seed
+        )
+        result = engine.run(job, hdfs_seed=seed)
+        rows.append(
+            SchedulerRow(
+                scheduler=name,
+                runtime=result.runtime,
+                non_data_local_maps=result.locality().non_data_local_maps,
+            )
+        )
+    return rows

@@ -1,0 +1,163 @@
+"""Figs. 2–4: central-node studies on the simulated cloud.
+
+All three figures come from the same Section V.A simulation — 3 racks × 10
+nodes, randomly provisioned, 20 random requests placed by the online
+heuristic — examined from three angles:
+
+* **Fig. 2** — per request: the heuristic's distance (best central node)
+  versus the *same allocation* measured from a randomly chosen central node.
+* **Fig. 3** — the central node selected for each request (it varies with
+  the request/pool state).
+* **Fig. 4** — for a single request's allocation: the distance as a function
+  of *which* node is forced to be the center (the full center sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.generators import (
+    RequestSpec,
+    feasible_random_requests,
+    random_pool,
+)
+from repro.core.distance import center_distances
+from repro.core.placement.baselines import random_center_distance
+from repro.core.placement.greedy import OnlineHeuristic
+from repro.core.problem import Allocation
+from repro.experiments import paperconfig as cfg
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class PlacedRequest:
+    """One request's outcome in the shared simulation."""
+
+    demand: tuple[int, ...]
+    allocation: Allocation
+    heuristic_distance: float
+    random_center_distance: float
+    random_center: int
+
+
+@dataclass(frozen=True)
+class CenterStudyResult:
+    """Shared outcome consumed by the Fig. 2/3/4 views."""
+
+    placed: tuple[PlacedRequest, ...]
+
+    @property
+    def heuristic_distances(self) -> list[float]:
+        """Fig. 2 series 1."""
+        return [p.heuristic_distance for p in self.placed]
+
+    @property
+    def random_center_distances(self) -> list[float]:
+        """Fig. 2 series 2."""
+        return [p.random_center_distance for p in self.placed]
+
+    @property
+    def centers(self) -> list[int]:
+        """Fig. 3 series: chosen central node per request."""
+        return [p.allocation.center for p in self.placed]
+
+    @property
+    def mean_gap(self) -> float:
+        """Average excess distance of random-center over best-center."""
+        gaps = [
+            p.random_center_distance - p.heuristic_distance for p in self.placed
+        ]
+        return float(np.mean(gaps)) if gaps else 0.0
+
+
+def run_center_study(
+    *,
+    seed: int = cfg.MASTER_SEED,
+    num_requests: int = cfg.NUM_REQUESTS,
+    request_spec: RequestSpec | None = None,
+    release_probability: float = 0.3,
+) -> CenterStudyResult:
+    """Run the shared Fig. 2/3/4 simulation.
+
+    Requests are placed sequentially by the online heuristic; after each
+    placement, previously placed clusters are randomly released with
+    *release_probability* ("requests will arrive and their job will finish
+    randomly"), so the pool state seen by each request differs.
+    """
+    if not (0.0 <= release_probability <= 1.0):
+        raise ValidationError("release_probability must be in [0, 1]")
+    rng = ensure_rng(seed)
+    pool = random_pool(cfg.SIM_POOL, cfg.CATALOG, rng, distance_model=cfg.DISTANCES)
+    spec = request_spec or cfg.FIG5_REQUESTS
+    requests = feasible_random_requests(pool, spec, num_requests, rng)
+    heuristic = OnlineHeuristic()
+    placed: list[PlacedRequest] = []
+    live: list[Allocation] = []
+    for demand in requests:
+        # Random departures free resources before the next arrival.
+        still_live = []
+        for alloc in live:
+            if rng.random() < release_probability:
+                pool.release(alloc.matrix)
+            else:
+                still_live.append(alloc)
+        live = still_live
+        alloc = heuristic.place(demand, pool)
+        if alloc is None:
+            continue  # waits in a real system; skipped in this static study
+        pool.allocate(alloc.matrix)
+        live.append(alloc)
+        rand_dist, rand_center = random_center_distance(
+            alloc, pool.distance_matrix, rng
+        )
+        placed.append(
+            PlacedRequest(
+                demand=tuple(int(x) for x in demand),
+                allocation=alloc,
+                heuristic_distance=alloc.distance,
+                random_center_distance=rand_dist,
+                random_center=rand_center,
+            )
+        )
+    return CenterStudyResult(placed=tuple(placed))
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Fig. 4: the center sweep for one request's allocation."""
+
+    demand: tuple[int, ...]
+    center_distances: tuple[float, ...]
+    best_center: int
+    best_distance: float
+    worst_distance: float
+
+
+def run_fig4(
+    *, seed: int = cfg.MASTER_SEED, request_index: int = 0
+) -> Fig4Result:
+    """Sweep every candidate central node for one placed request.
+
+    ``request_index`` selects which of the study's placed requests to sweep
+    (default: the first).
+    """
+    study = run_center_study(seed=seed)
+    if not (0 <= request_index < len(study.placed)):
+        raise ValidationError(
+            f"request_index {request_index} out of range "
+            f"[0, {len(study.placed)})"
+        )
+    placed = study.placed[request_index]
+    # Rebuild the pool only for its distance matrix (deterministic per seed).
+    pool = random_pool(cfg.SIM_POOL, cfg.CATALOG, seed, distance_model=cfg.DISTANCES)
+    totals = center_distances(placed.allocation.matrix, pool.distance_matrix)
+    return Fig4Result(
+        demand=placed.demand,
+        center_distances=tuple(float(t) for t in totals),
+        best_center=int(np.argmin(totals)),
+        best_distance=float(totals.min()),
+        worst_distance=float(totals.max()),
+    )

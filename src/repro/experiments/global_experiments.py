@@ -1,0 +1,187 @@
+"""Figs. 5–6: online heuristic vs. global sub-optimization.
+
+Section V.A compares Algorithm 1 (requests placed one by one) against
+Algorithm 2 (the same requests placed, then pairwise Theorem-2 transfers)
+under two request scenarios: the ordinary configuration (Fig. 5, where the
+paper reports a 2% shorter distance sum) and a small-request sequence
+(Fig. 6, 12% shorter — small clusters leave more slack to re-balance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.generators import RequestSpec, feasible_random_requests, random_pool
+from repro.core.placement.global_opt import GlobalSubOptimizer, total_distance
+from repro.core.placement.greedy import OnlineHeuristic
+from repro.core.placement.ilp import solve_gsd_milp
+from repro.experiments import paperconfig as cfg
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class GlobalComparisonResult:
+    """Per-request and aggregate distances for one scenario."""
+
+    scenario: str
+    online_distances: tuple[float, ...]
+    global_distances: tuple[float, ...]
+    exchanges: int
+
+    @property
+    def online_total(self) -> float:
+        return float(sum(self.online_distances))
+
+    @property
+    def global_total(self) -> float:
+        return float(sum(self.global_distances))
+
+    @property
+    def improvement_pct(self) -> float:
+        """Percent reduction of the distance sum (the paper's headline)."""
+        if self.online_total == 0:
+            return 0.0
+        return 100.0 * (self.online_total - self.global_total) / self.online_total
+
+
+def run_comparison(
+    scenario: str,
+    *,
+    seed: int = cfg.MASTER_SEED,
+    num_requests: int = cfg.NUM_REQUESTS,
+    trials: int = 1,
+    use_paper_transfer: bool = False,
+) -> GlobalComparisonResult:
+    """Compare Algorithms 1 and 2 on one request scenario.
+
+    ``scenario`` is ``"large"`` (Fig. 5) or ``"small"`` (Fig. 6). With
+    ``trials > 1`` the per-request series comes from the first trial and the
+    exchange count is summed, but totals aggregate over all trials — the
+    improvement percentage then averages out single-draw noise.
+    """
+    spec = _scenario_spec(scenario)
+    if trials < 1:
+        raise ValidationError("trials must be >= 1")
+    rng = ensure_rng(seed)
+    online_all: list[float] = []
+    global_all: list[float] = []
+    first_online: tuple[float, ...] = ()
+    first_global: tuple[float, ...] = ()
+    exchanges = 0
+    for trial in range(trials):
+        pool = random_pool(cfg.SIM_POOL, cfg.CATALOG, rng, distance_model=cfg.DISTANCES)
+        requests = feasible_random_requests(pool, spec, num_requests, rng)
+        # Keep only a jointly satisfiable batch (Algorithm 2, step 1).
+        admissible = []
+        budget = pool.available.copy()
+        for r in requests:
+            if np.all(r <= budget):
+                admissible.append(r)
+                budget -= r
+        optimizer = GlobalSubOptimizer(
+            OnlineHeuristic(), use_paper_transfer=use_paper_transfer
+        )
+        # Algorithm 2 = step 2 (online placement) + step 3 (transfers); run
+        # step 2 once and reuse its output for both series.
+        online_allocs = optimizer.place_online(admissible, pool)
+        global_allocs = optimizer.optimize_transfers(
+            online_allocs, pool.distance_matrix
+        )
+        exchanges += optimizer.last_stats.exchanges
+        online_d = [a.distance for a in online_allocs if a is not None]
+        global_d = [a.distance for a in global_allocs if a is not None]
+        online_all.extend(online_d)
+        global_all.extend(global_d)
+        if trial == 0:
+            first_online = tuple(online_d)
+            first_global = tuple(global_d)
+    if trials == 1:
+        return GlobalComparisonResult(
+            scenario=scenario,
+            online_distances=first_online,
+            global_distances=first_global,
+            exchanges=exchanges,
+        )
+    return GlobalComparisonResult(
+        scenario=scenario,
+        online_distances=tuple(online_all),
+        global_distances=tuple(global_all),
+        exchanges=exchanges,
+    )
+
+
+def _scenario_spec(scenario: str) -> RequestSpec:
+    if scenario == "large":
+        return cfg.FIG5_REQUESTS
+    if scenario == "small":
+        return cfg.FIG6_REQUESTS
+    raise ValidationError(
+        f"unknown scenario {scenario!r}; expected 'large' or 'small'"
+    )
+
+
+def run_fig5(**kwargs) -> GlobalComparisonResult:
+    """Fig. 5: the ordinary request configuration."""
+    return run_comparison("large", **kwargs)
+
+
+def run_fig6(**kwargs) -> GlobalComparisonResult:
+    """Fig. 6: the small-request sequence."""
+    return run_comparison("small", **kwargs)
+
+
+@dataclass(frozen=True)
+class OptimalityGapResult:
+    """Algorithm 2 vs. the exact GSD MILP on a small batch."""
+
+    algo2_total: float
+    gsd_total: float
+
+    @property
+    def gap_pct(self) -> float:
+        if self.gsd_total == 0:
+            return 0.0
+        return 100.0 * (self.algo2_total - self.gsd_total) / self.gsd_total
+
+
+def run_gsd_gap(
+    *,
+    seed: int = cfg.MASTER_SEED,
+    num_requests: int = 4,
+    racks: int = 2,
+    nodes_per_rack: int = 4,
+) -> OptimalityGapResult:
+    """Measure Algorithm 2's sub-optimality against the exact GSD optimum.
+
+    Uses a deliberately small instance so the MILP stays fast; an extension
+    beyond the paper (which never solves GSD exactly).
+    """
+    from repro.cluster.generators import PoolSpec
+
+    rng = ensure_rng(seed)
+    pool = random_pool(
+        PoolSpec(racks=racks, nodes_per_rack=nodes_per_rack, capacity_high=3),
+        cfg.CATALOG,
+        rng,
+        distance_model=cfg.DISTANCES,
+    )
+    spec = cfg.FIG6_REQUESTS
+    requests = []
+    budget = pool.available.copy()
+    while len(requests) < num_requests:
+        r = feasible_random_requests(pool, spec, 1, rng)[0]
+        if np.all(r <= budget):
+            requests.append(r)
+            budget -= r
+    optimizer = GlobalSubOptimizer(OnlineHeuristic())
+    algo2 = optimizer.place_batch(requests, pool)
+    exact = solve_gsd_milp(requests, pool)
+    if exact is None:
+        raise ValidationError("GSD instance unexpectedly infeasible")
+    return OptimalityGapResult(
+        algo2_total=total_distance(algo2),
+        gsd_total=float(sum(a.distance for a in exact)),
+    )

@@ -1,0 +1,151 @@
+"""One-shot experiment runner: regenerate every figure into one report.
+
+``run_all`` executes all paper experiments (plus ablations) with pinned
+seeds and returns a structured :class:`PaperReport`;
+:func:`render_markdown` turns it into an EXPERIMENTS.md-style document.
+Exposed on the CLI as ``python -m repro report [--out FILE]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis import format_series, format_table
+from repro.experiments import paperconfig as cfg
+from repro.experiments.ablations import (
+    HeuristicGapResult,
+    run_heuristic_gap,
+    run_transfer_ablation,
+    TransferAblationResult,
+)
+from repro.experiments.center_experiments import (
+    CenterStudyResult,
+    Fig4Result,
+    run_center_study,
+    run_fig4,
+)
+from repro.experiments.example_fig1 import Fig1Result, run as run_fig1
+from repro.experiments.global_experiments import (
+    GlobalComparisonResult,
+    run_fig5,
+    run_fig6,
+)
+from repro.experiments.mapreduce_experiments import Fig78Result, run_fig78
+
+
+@dataclass(frozen=True)
+class PaperReport:
+    """All experiment outcomes for one seed."""
+
+    seed: int
+    fig1: Fig1Result
+    center_study: CenterStudyResult
+    fig4: Fig4Result
+    fig5: GlobalComparisonResult
+    fig6: GlobalComparisonResult
+    fig78: Fig78Result
+    heuristic_gap: HeuristicGapResult
+    transfer_ablation: TransferAblationResult
+
+
+def run_all(*, seed: int = cfg.MASTER_SEED, trials: int = 5) -> PaperReport:
+    """Execute every experiment; ``trials`` controls Fig. 5/6 averaging."""
+    return PaperReport(
+        seed=seed,
+        fig1=run_fig1(),
+        center_study=run_center_study(seed=seed),
+        fig4=run_fig4(seed=seed),
+        fig5=run_fig5(seed=seed, trials=trials),
+        fig6=run_fig6(seed=seed, trials=trials),
+        fig78=run_fig78(),
+        heuristic_gap=run_heuristic_gap(seed=seed),
+        transfer_ablation=run_transfer_ablation(seed=seed, trials=3),
+    )
+
+
+def render_markdown(report: PaperReport) -> str:
+    """Render a report as a markdown document."""
+    parts: list[str] = [
+        "# Regenerated paper experiments",
+        f"\nSeed: `{report.seed}`. See EXPERIMENTS.md for the paper-vs-measured analysis.\n",
+    ]
+
+    parts.append("## Fig. 1 — worked example (d1=1, d2=2)\n")
+    parts.append("```")
+    rows = [
+        [label, dist, f"N{center}"]
+        for label, dist, center in zip(
+            report.fig1.labels, report.fig1.distances, report.fig1.centers
+        )
+    ]
+    rows.append(["SD optimum", report.fig1.optimal_distance, "-"])
+    parts.append(format_table(["allocation", "DC", "central node"], rows))
+    parts.append("```\n")
+
+    study = report.center_study
+    parts.append("## Fig. 2/3 — central-node strategy over 20 requests\n")
+    parts.append("```")
+    parts.append(format_series("heuristic", study.heuristic_distances, float_fmt="{:.0f}"))
+    parts.append(format_series("random   ", study.random_center_distances, float_fmt="{:.0f}"))
+    parts.append(format_series("centers  ", study.centers))
+    parts.append(f"mean gap: {study.mean_gap:.2f}")
+    parts.append("```\n")
+
+    parts.append("## Fig. 4 — center sweep\n")
+    parts.append("```")
+    parts.append(
+        format_series(
+            "distance", list(report.fig4.center_distances), float_fmt="{:.0f}"
+        )
+    )
+    parts.append(
+        f"best node {report.fig4.best_center}: {report.fig4.best_distance:.0f}; "
+        f"worst: {report.fig4.worst_distance:.0f}"
+    )
+    parts.append("```\n")
+
+    parts.append("## Figs. 5/6 — online vs. global sub-optimization\n")
+    parts.append("```")
+    for name, result, paper in (
+        ("Fig. 5 (ordinary)", report.fig5, cfg.PAPER_FIG5_IMPROVEMENT_PCT),
+        ("Fig. 6 (small)", report.fig6, cfg.PAPER_FIG6_IMPROVEMENT_PCT),
+    ):
+        parts.append(
+            f"{name}: online {result.online_total:.0f} -> global "
+            f"{result.global_total:.0f} ({result.improvement_pct:.1f}% better; "
+            f"paper ~{paper:.0f}%)"
+        )
+    parts.append("```\n")
+
+    parts.append("## Figs. 7/8 — WordCount on four topologies\n")
+    parts.append("```")
+    parts.append(
+        format_table(
+            ["distance", "runtime (s)", "non-data-local maps", "non-local shuffles"],
+            [
+                [r.distance, r.runtime, r.locality.non_data_local_maps, r.locality.non_local_flows]
+                for r in report.fig78.runs
+            ],
+        )
+    )
+    parts.append(f"inversion present: {report.fig78.has_inversion}")
+    parts.append("```\n")
+
+    parts.append("## Ablations\n")
+    parts.append("```")
+    gap = report.heuristic_gap
+    parts.append(
+        f"Algorithm 1 best-center gap to optimum: {gap.best_mode_gap_pct:.1f}%"
+    )
+    parts.append(
+        f"Algorithm 1 first-center gap to optimum: {gap.first_mode_gap_pct:.1f}%"
+    )
+    tr = report.transfer_ablation
+    parts.append(
+        f"transfer improvement — paper form: {tr.paper_improvement_pct:.1f}%, "
+        f"generalized: {tr.general_improvement_pct:.1f}%"
+    )
+    parts.append("```")
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,193 @@
+"""Sensitivity sweeps: where do the paper's conclusions hold?
+
+The paper evaluates one distance ratio (d2/d1 = 2), one pool load, and one
+network. These sweeps map the conclusions' validity region:
+
+* :func:`sweep_distance_ratio` — how the online/global improvement and the
+  heuristic-vs-random-center gap scale as inter-rack distance grows
+  relative to intra-rack (d2/d1 from 1.5 to 8);
+* :func:`sweep_pool_load` — how much Algorithm 2 recovers as the batch
+  load approaches pool capacity (transfers need contention to matter);
+* :func:`sweep_oversubscription` — how the Fig. 7 runtime-vs-distance slope
+  steepens as the cross-rack network degrades (1:1 → 16:1
+  oversubscription).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.distance import DistanceModel
+from repro.cluster.generators import (
+    PoolSpec,
+    RequestSpec,
+    feasible_random_requests,
+    random_pool,
+)
+from repro.core.placement.baselines import random_center_distance
+from repro.core.placement.global_opt import GlobalSubOptimizer, total_distance
+from repro.core.placement.greedy import OnlineHeuristic
+from repro.experiments import paperconfig as cfg
+from repro.experiments.mapreduce_experiments import build_cluster, experiment_job
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.network import NetworkModel
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+
+@dataclass(frozen=True, slots=True)
+class RatioPoint:
+    """One d2/d1 setting's outcomes."""
+
+    ratio: float
+    global_improvement_pct: float
+    random_center_penalty: float  # mean extra distance of a random center
+
+
+def sweep_distance_ratio(
+    ratios=(1.5, 2.0, 4.0, 8.0), *, seed: int = cfg.MASTER_SEED, trials: int = 5
+) -> list[RatioPoint]:
+    """Sweep the inter/intra-rack distance ratio."""
+    out: list[RatioPoint] = []
+    for ratio in ratios:
+        if ratio <= 1.0:
+            raise ValidationError("ratio must exceed 1 (d1 < d2)")
+        model = DistanceModel(
+            intra_rack=1.0, inter_rack=float(ratio), inter_cloud=float(ratio) * 2
+        )
+        rng = ensure_rng(seed)
+        online_total = global_total = 0.0
+        penalties = []
+        for _ in range(trials):
+            pool = random_pool(cfg.SIM_POOL, cfg.CATALOG, rng, distance_model=model)
+            requests = feasible_random_requests(
+                pool, cfg.FIG5_REQUESTS, cfg.NUM_REQUESTS, rng
+            )
+            admissible, budget = [], pool.available.copy()
+            for r in requests:
+                if np.all(r <= budget):
+                    admissible.append(r)
+                    budget -= r
+            opt = GlobalSubOptimizer(OnlineHeuristic())
+            online = opt.place_online(admissible, pool)
+            optimized = opt.optimize_transfers(online, pool.distance_matrix)
+            online_total += total_distance(online)
+            global_total += total_distance(optimized)
+            for alloc in online:
+                if alloc is None:
+                    continue
+                rand, _ = random_center_distance(alloc, pool.distance_matrix, rng)
+                penalties.append(rand - alloc.distance)
+        improvement = (
+            100.0 * (online_total - global_total) / online_total
+            if online_total
+            else 0.0
+        )
+        out.append(
+            RatioPoint(
+                ratio=float(ratio),
+                global_improvement_pct=improvement,
+                random_center_penalty=float(np.mean(penalties)),
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class LoadPoint:
+    """One load level's Algorithm 2 outcome."""
+
+    load_fraction: float
+    online_total: float
+    global_total: float
+    improvement_pct: float
+
+
+def sweep_pool_load(
+    loads=(0.3, 0.5, 0.7, 0.9), *, seed: int = cfg.MASTER_SEED, trials: int = 5
+) -> list[LoadPoint]:
+    """Sweep the fraction of pool capacity the batch consumes."""
+    out: list[LoadPoint] = []
+    for load in loads:
+        if not (0 < load <= 1):
+            raise ValidationError("load must be in (0, 1]")
+        rng = ensure_rng(seed)
+        online_total = global_total = 0.0
+        for _ in range(trials):
+            pool = random_pool(
+                cfg.SIM_POOL, cfg.CATALOG, rng, distance_model=cfg.DISTANCES
+            )
+            target = int(pool.available.sum() * load)
+            admissible, budget = [], pool.available.copy()
+            taken = 0
+            while taken < target:
+                r = feasible_random_requests(pool, cfg.FIG5_REQUESTS, 1, rng)[0]
+                if np.all(r <= budget):
+                    admissible.append(r)
+                    budget -= r
+                    taken += int(r.sum())
+                else:
+                    break
+            opt = GlobalSubOptimizer(OnlineHeuristic())
+            online = opt.place_online(admissible, pool)
+            optimized = opt.optimize_transfers(online, pool.distance_matrix)
+            online_total += total_distance(online)
+            global_total += total_distance(optimized)
+        improvement = (
+            100.0 * (online_total - global_total) / online_total
+            if online_total
+            else 0.0
+        )
+        out.append(
+            LoadPoint(
+                load_fraction=float(load),
+                online_total=online_total,
+                global_total=global_total,
+                improvement_pct=improvement,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class OversubscriptionPoint:
+    """One oversubscription level's runtime-vs-distance slope."""
+
+    oversubscription: float
+    runtimes: tuple[float, ...]  # per FIG7 distance, ascending
+    spread_penalty_pct: float  # runtime(d=22) vs runtime(d=8)
+
+
+def sweep_oversubscription(
+    factors=(1.0, 4.0, 16.0), *, seed: int = 52
+) -> list[OversubscriptionPoint]:
+    """Sweep cross-rack bandwidth degradation (rack bw / factor)."""
+    job = experiment_job()
+    out: list[OversubscriptionPoint] = []
+    for factor in factors:
+        if factor < 1.0:
+            raise ValidationError("oversubscription factor must be >= 1")
+        network = NetworkModel(
+            same_node_bps=400e6,
+            same_rack_bps=100e6,
+            cross_rack_bps=100e6 / factor,
+            cross_cloud_bps=100e6 / (factor * 2.5),
+        )
+        runtimes = []
+        for idx, distance in enumerate(cfg.FIG7_DISTANCES):
+            cluster = build_cluster(distance)
+            engine = MapReduceEngine(
+                cluster, network=network, reducer_policy="slots", seed=seed + idx
+            )
+            runtimes.append(engine.run(job, hdfs_seed=seed + idx).runtime)
+        penalty = 100.0 * (runtimes[-1] - runtimes[0]) / runtimes[0]
+        out.append(
+            OversubscriptionPoint(
+                oversubscription=float(factor),
+                runtimes=tuple(runtimes),
+                spread_penalty_pct=penalty,
+            )
+        )
+    return out

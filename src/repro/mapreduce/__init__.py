@@ -1,0 +1,75 @@
+"""MapReduce substrate: discrete-event simulation of jobs on virtual clusters.
+
+Reproduces the paper's experimental apparatus (Section V.B): HDFS block
+placement, slot-based locality-aware task scheduling, shuffle traffic over
+the cluster distance matrix, and the runtime / data-locality /
+shuffle-locality metrics of Figs. 7–8.
+"""
+
+from repro.mapreduce.network import DistanceBand, NetworkModel, classify_band
+from repro.mapreduce.vmcluster import VMInstance, VirtualCluster
+from repro.mapreduce.hdfs import Block, HDFSModel
+from repro.mapreduce.job import GB, MB, MapReduceJob
+from repro.mapreduce.tasks import (
+    MapTaskRecord,
+    ReduceTaskRecord,
+    ShuffleFlow,
+    TaskState,
+)
+from repro.mapreduce.scheduler import (
+    DelayScheduler,
+    FifoScheduler,
+    LocalityAwareScheduler,
+    MapScheduler,
+    RandomScheduler,
+    place_reducers,
+)
+from repro.mapreduce.metrics import JobResult, LocalityReport
+from repro.mapreduce.stragglers import NO_STRAGGLERS, StragglerModel
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.jobflow import FlowResult, JobFlow, compare_flows_across_clusters
+from repro.mapreduce.workloads import (
+    WORKLOADS,
+    grep,
+    join,
+    sort,
+    terasort,
+    wordcount,
+)
+
+__all__ = [
+    "DistanceBand",
+    "NetworkModel",
+    "classify_band",
+    "VMInstance",
+    "VirtualCluster",
+    "Block",
+    "HDFSModel",
+    "GB",
+    "MB",
+    "MapReduceJob",
+    "MapTaskRecord",
+    "ReduceTaskRecord",
+    "ShuffleFlow",
+    "TaskState",
+    "DelayScheduler",
+    "FifoScheduler",
+    "LocalityAwareScheduler",
+    "MapScheduler",
+    "RandomScheduler",
+    "place_reducers",
+    "JobResult",
+    "LocalityReport",
+    "NO_STRAGGLERS",
+    "StragglerModel",
+    "MapReduceEngine",
+    "FlowResult",
+    "JobFlow",
+    "compare_flows_across_clusters",
+    "WORKLOADS",
+    "grep",
+    "join",
+    "sort",
+    "terasort",
+    "wordcount",
+]

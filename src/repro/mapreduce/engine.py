@@ -1,0 +1,371 @@
+"""Discrete-event MapReduce execution engine.
+
+Simulates one job on a :class:`~repro.mapreduce.vmcluster.VirtualCluster`
+through the paper's three data-exchange phases:
+
+1. **DFS → map.** Each map task reads its split from the nearest replica
+   (time depends on the distance band), then computes. Slots per VM bound
+   concurrency; the map scheduler decides task→slot assignment and thereby
+   data locality.
+2. **Map → reduce (shuffle).** As each map finishes, one flow per reducer is
+   created (uniform partitioning). Each reducer fetches flows with bounded
+   parallelism (``parallel_fetches``, Hadoop's ``parallel.copies``);
+   transfer time follows the flow's distance band, so shuffle overlaps the
+   remaining map waves exactly as in Hadoop.
+3. **Reduce → DFS.** After its last fetch, each reducer computes and writes
+   its output through a replication pipeline whose cost is bounded by the
+   slowest hop.
+
+Everything is deterministic given the scheduler, HDFS layout, and seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.events import EventQueue
+from repro.mapreduce.hdfs import HDFSModel
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.metrics import JobResult
+from repro.mapreduce.network import DistanceBand, NetworkModel
+from repro.mapreduce.scheduler import (
+    LocalityAwareScheduler,
+    MapScheduler,
+    place_reducers,
+)
+from repro.mapreduce.stragglers import NO_STRAGGLERS, StragglerModel
+from repro.mapreduce.tasks import (
+    MapTaskRecord,
+    ReduceTaskRecord,
+    ShuffleFlow,
+    TaskState,
+)
+from repro.mapreduce.vmcluster import VirtualCluster
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+MAP_FINISH = "map_finish"
+FETCH_FINISH = "fetch_finish"
+REDUCE_FINISH = "reduce_finish"
+
+
+@dataclass
+class _ReducerState:
+    """Book-keeping for one reducer's shuffle pipeline."""
+
+    record: ReduceTaskRecord
+    ready: list[ShuffleFlow]
+    active_fetches: int = 0
+    fetched: int = 0
+
+
+@dataclass
+class _MapAttempt:
+    """One execution attempt of a map task (original or speculative backup)."""
+
+    task: MapTaskRecord
+    vm_id: int
+    source_vm: int
+    locality: "DistanceBand"
+    start_time: float
+    scheduled_finish: float
+    speculative: bool = False
+    cancelled: bool = False
+
+
+class MapReduceEngine:
+    """Simulates MapReduce jobs on a virtual cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The provisioned virtual cluster (VMs, slots, distances).
+    network:
+        Transfer-time model (defaults to :class:`NetworkModel`).
+    scheduler:
+        Map-task scheduler (defaults to Hadoop-like locality preference).
+    reducer_policy:
+        Reducer placement: ``"slots"`` / ``"random"`` / ``"center"``.
+    parallel_fetches:
+        Concurrent shuffle fetches per reducer.
+    output_replication:
+        Replicas written by the reduce→DFS phase.
+    disk_contention:
+        0.0 (default) reads local splits at full node disk bandwidth; 1.0
+        divides it by the number of co-located VMs (full sharing);
+        intermediate values interpolate. Affects only node-local reads.
+    stragglers:
+        Per-task slowdown model (default: none, keeping the paper
+        experiments deterministic).
+    speculative_execution:
+        When True, once no map tasks are pending, idle slots launch backup
+        copies of the slowest running maps; the first finishing attempt
+        wins and other attempts are killed (Hadoop's speculation).
+    """
+
+    def __init__(
+        self,
+        cluster: VirtualCluster,
+        *,
+        network: NetworkModel | None = None,
+        scheduler: MapScheduler | None = None,
+        reducer_policy: str = "slots",
+        parallel_fetches: int = 5,
+        output_replication: int = 3,
+        disk_contention: float = 0.0,
+        stragglers: "StragglerModel | None" = None,
+        speculative_execution: bool = False,
+        seed=None,
+    ) -> None:
+        if parallel_fetches < 1:
+            raise ValidationError("parallel_fetches must be >= 1")
+        if output_replication < 1:
+            raise ValidationError("output_replication must be >= 1")
+        if not (0.0 <= disk_contention <= 1.0):
+            raise ValidationError("disk_contention must be in [0, 1]")
+        self.cluster = cluster
+        self.network = network or NetworkModel()
+        self.scheduler = scheduler or LocalityAwareScheduler()
+        self.reducer_policy = reducer_policy
+        self.parallel_fetches = parallel_fetches
+        self.output_replication = output_replication
+        self.disk_contention = disk_contention
+        self.stragglers = stragglers or NO_STRAGGLERS
+        self.speculative_execution = speculative_execution
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------- run
+
+    def run(
+        self,
+        job: MapReduceJob,
+        hdfs: "HDFSModel | None" = None,
+        *,
+        hdfs_seed=None,
+    ) -> JobResult:
+        """Execute *job*; builds the HDFS layout if not supplied."""
+        cluster = self.cluster
+        if hdfs is None:
+            hdfs = HDFSModel.place_file(
+                cluster,
+                job.input_bytes,
+                block_size=job.block_size,
+                replication=min(3, cluster.num_vms),
+                seed=hdfs_seed if hdfs_seed is not None else self._rng,
+            )
+        if hdfs.num_blocks != job.num_maps:
+            raise ValidationError(
+                f"HDFS layout has {hdfs.num_blocks} blocks but job expects "
+                f"{job.num_maps} splits"
+            )
+        if cluster.total_map_slots < 1:
+            raise ValidationError("cluster has no map slots")
+
+        events = EventQueue()
+        maps = [
+            MapTaskRecord(
+                task_id=b.block_id,
+                block_id=b.block_id,
+                input_bytes=b.size_bytes,
+            )
+            for b in hdfs.blocks
+        ]
+        pending = list(maps)
+        free_map_slots = {vm.vm_id: vm.map_slots for vm in cluster.vms}
+
+        reducer_vms = place_reducers(
+            cluster, job.num_reduces, policy=self.reducer_policy, seed=self._rng
+        )
+        reducers = [
+            _ReducerState(
+                record=ReduceTaskRecord(task_id=r, vm_id=vm, start_time=0.0),
+                ready=[],
+            )
+            for r, vm in enumerate(reducer_vms)
+        ]
+        num_maps = len(maps)
+        maps_done = 0
+        reduces_done = 0
+        runtime = 0.0
+
+        # Attempt bookkeeping for straggler speculation.
+        attempts: dict[int, list[_MapAttempt]] = {t.task_id: [] for t in maps}
+
+        # ---------------------------------------------------------- helpers
+
+        def start_map(
+            task: MapTaskRecord, vm_id: int, now: float, *, speculative: bool = False
+        ) -> None:
+            src = hdfs.nearest_replica(task.block_id, vm_id)
+            band = cluster.band(vm_id, src)
+            read = self.network.transfer_time(task.input_bytes, band)
+            if band == DistanceBand.SAME_NODE:
+                # Local read at disk speed, slowed by co-located VMs sharing
+                # the spindle when disk contention is modeled.
+                sharing = 1.0 + self.disk_contention * (
+                    cluster.colocation_count(vm_id) - 1
+                )
+                read = task.input_bytes * sharing / self.network.same_node_bps
+            compute = job.map_compute_time(task.input_bytes)
+            duration = (read + compute) * self.stragglers.draw(self._rng)
+            attempt = _MapAttempt(
+                task=task,
+                vm_id=vm_id,
+                source_vm=src,
+                locality=band,
+                start_time=now,
+                scheduled_finish=now + duration,
+                speculative=speculative,
+            )
+            attempts[task.task_id].append(attempt)
+            task.state = TaskState.RUNNING
+            task.output_bytes = job.map_output_bytes(task.input_bytes)
+            events.schedule(attempt.scheduled_finish, MAP_FINISH, attempt)
+
+        def launch_backups(now: float) -> None:
+            """Speculation: idle slots re-run the slowest live maps."""
+            # Candidates: running tasks with exactly one live attempt,
+            # slowest projected finish first.
+            candidates = sorted(
+                (
+                    t
+                    for t in maps
+                    if t.state is TaskState.RUNNING
+                    and sum(1 for a in attempts[t.task_id] if not a.cancelled) == 1
+                ),
+                key=lambda t: -max(
+                    a.scheduled_finish
+                    for a in attempts[t.task_id]
+                    if not a.cancelled
+                ),
+            )
+            for task in candidates:
+                vm_id = next(
+                    (vm.vm_id for vm in cluster.vms if free_map_slots[vm.vm_id] > 0),
+                    None,
+                )
+                if vm_id is None:
+                    return
+                free_map_slots[vm_id] -= 1
+                start_map(task, vm_id, now, speculative=True)
+
+        def fill_slots(now: float) -> None:
+            """Offer every free slot to the scheduler until none accept."""
+            progress = True
+            while pending and progress:
+                progress = False
+                for vm in cluster.vms:
+                    while pending and free_map_slots[vm.vm_id] > 0:
+                        task = self.scheduler.pick(vm.vm_id, pending, hdfs)
+                        if task is None:
+                            break
+                        pending.remove(task)
+                        free_map_slots[vm.vm_id] -= 1
+                        start_map(task, vm.vm_id, now)
+                        progress = True
+            if (
+                self.speculative_execution
+                and not pending
+                and maps_done < num_maps
+            ):
+                launch_backups(now)
+
+        def try_start_fetches(state: _ReducerState, now: float) -> None:
+            while state.ready and state.active_fetches < self.parallel_fetches:
+                flow = state.ready.pop(0)
+                state.active_fetches += 1
+                flow.start_time = now
+                dur = self.network.transfer_time(flow.size_bytes, flow.band)
+                events.schedule(now + dur, FETCH_FINISH, (state, flow))
+
+        def output_write_time(vm_id: int, output_bytes: float) -> float:
+            """Replication-pipeline cost, bounded by the slowest hop."""
+            if output_bytes <= 0 or self.output_replication == 1:
+                return output_bytes / self.network.same_node_bps
+            bands = sorted(
+                {cluster.band(vm_id, other.vm_id) for other in cluster.vms},
+                reverse=True,
+            )
+            worst = bands[0] if len(cluster) > 1 else DistanceBand.SAME_NODE
+            return self.network.transfer_time(output_bytes, worst)
+
+        def finish_shuffle(state: _ReducerState, now: float) -> None:
+            rec = state.record
+            rec.shuffle_finish_time = now
+            rec.input_bytes = float(sum(f.size_bytes for f in rec.flows))
+            compute = job.reduce_compute_time(rec.input_bytes)
+            rec.output_bytes = rec.input_bytes * job.reduce_selectivity
+            write = output_write_time(rec.vm_id, rec.output_bytes)
+            events.schedule(now + compute + write, REDUCE_FINISH, state)
+
+        # ------------------------------------------------------------- loop
+
+        fill_slots(0.0)
+        while not events.empty:
+            ev = events.pop()
+            now = ev.time
+            if ev.kind == MAP_FINISH:
+                attempt: _MapAttempt = ev.payload
+                task = attempt.task
+                if attempt.cancelled:
+                    continue  # killed backup/original; slot already freed
+                free_map_slots[attempt.vm_id] += 1
+                if task.state is TaskState.DONE:
+                    continue  # a sibling attempt already won
+                # This attempt wins: record its placement and kill siblings.
+                task.vm_id = attempt.vm_id
+                task.source_vm = attempt.source_vm
+                task.locality = attempt.locality
+                task.start_time = attempt.start_time
+                task.finish_time = now
+                task.state = TaskState.DONE
+                maps_done += 1
+                for other in attempts[task.task_id]:
+                    if other is not attempt and not other.cancelled:
+                        other.cancelled = True
+                        free_map_slots[other.vm_id] += 1
+                share = task.output_bytes / job.num_reduces
+                for state in reducers:
+                    flow = ShuffleFlow(
+                        map_task=task.task_id,
+                        reduce_task=state.record.task_id,
+                        src_vm=task.vm_id,
+                        dst_vm=state.record.vm_id,
+                        size_bytes=share,
+                        band=cluster.band(task.vm_id, state.record.vm_id),
+                    )
+                    state.record.flows.append(flow)
+                    state.ready.append(flow)
+                    try_start_fetches(state, now)
+                fill_slots(now)
+            elif ev.kind == FETCH_FINISH:
+                state, flow = ev.payload
+                flow.finish_time = now
+                state.active_fetches -= 1
+                state.fetched += 1
+                try_start_fetches(state, now)
+                if state.fetched == num_maps:
+                    finish_shuffle(state, now)
+            elif ev.kind == REDUCE_FINISH:
+                state = ev.payload
+                state.record.finish_time = now
+                state.record.state = TaskState.DONE
+                reduces_done += 1
+                runtime = now
+            else:  # pragma: no cover - defensive
+                raise ValidationError(f"unknown event kind {ev.kind!r}")
+
+        if maps_done != num_maps or reduces_done != job.num_reduces:
+            raise ValidationError(
+                f"job did not complete: {maps_done}/{num_maps} maps, "
+                f"{reduces_done}/{job.num_reduces} reduces"
+            )
+        return JobResult(
+            job_name=job.name,
+            cluster_affinity=cluster.affinity,
+            runtime=runtime,
+            map_records=maps,
+            reduce_records=[s.record for s in reducers],
+        )

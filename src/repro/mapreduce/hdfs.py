@@ -1,0 +1,184 @@
+"""Distributed file system model: blocks, replicas, rack-aware placement.
+
+Models the HDFS behaviour that determines map-task data locality: an input
+file is split into fixed-size blocks, each block is replicated ``r`` times,
+and the replica placement policy follows Hadoop's default:
+
+1. first replica on a (randomly chosen) "writer" VM,
+2. second replica on a VM in a *different* rack (fault tolerance),
+3. third replica on a different VM in the *same* rack as the second,
+4. further replicas on random VMs not yet holding the block.
+
+When the cluster spans a single rack (or too few VMs), the policy degrades
+gracefully to "any VM not yet holding the block".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mapreduce.network import DistanceBand
+from repro.mapreduce.vmcluster import VirtualCluster
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    """One HDFS block: its index, size, and replica-holding VM ids."""
+
+    block_id: int
+    size_bytes: int
+    replicas: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValidationError("block size must be >= 0")
+        if not self.replicas:
+            raise ValidationError(f"block {self.block_id} has no replicas")
+        if len(set(self.replicas)) != len(self.replicas):
+            raise ValidationError(
+                f"block {self.block_id} has duplicate replica VMs {self.replicas}"
+            )
+
+
+class HDFSModel:
+    """Block layout of one input file over a virtual cluster."""
+
+    def __init__(self, cluster: VirtualCluster, blocks: list[Block]) -> None:
+        self.cluster = cluster
+        self.blocks = tuple(blocks)
+        for b in self.blocks:
+            for vm in b.replicas:
+                if not (0 <= vm < cluster.num_vms):
+                    raise ValidationError(
+                        f"block {b.block_id} replica on unknown VM {vm}"
+                    )
+
+    # ----------------------------------------------------------- construction
+
+    @classmethod
+    def place_file(
+        cls,
+        cluster: VirtualCluster,
+        total_bytes: int,
+        *,
+        block_size: int = 64 * 1024 * 1024,
+        replication: int = 3,
+        seed=None,
+    ) -> "HDFSModel":
+        """Split a file into blocks and place replicas rack-aware.
+
+        The final block may be short (``total_bytes`` need not be a multiple
+        of ``block_size``). Replication is capped at the cluster size.
+        """
+        if total_bytes <= 0:
+            raise ValidationError("total_bytes must be > 0")
+        if block_size <= 0:
+            raise ValidationError("block_size must be > 0")
+        if replication < 1:
+            raise ValidationError("replication must be >= 1")
+        rng = ensure_rng(seed)
+        replication = min(replication, cluster.num_vms)
+        num_blocks = int(np.ceil(total_bytes / block_size))
+        blocks: list[Block] = []
+        for b in range(num_blocks):
+            size = min(block_size, total_bytes - b * block_size)
+            replicas = cls._place_replicas(cluster, replication, rng)
+            blocks.append(Block(block_id=b, size_bytes=size, replicas=replicas))
+        return cls(cluster, blocks)
+
+    @staticmethod
+    def _place_replicas(
+        cluster: VirtualCluster, replication: int, rng: np.random.Generator
+    ) -> tuple[int, ...]:
+        """Hadoop-default rack-aware replica placement for one block."""
+        chosen: list[int] = []
+        all_vms = np.arange(cluster.num_vms)
+
+        def pick(candidates: np.ndarray) -> "int | None":
+            candidates = np.setdiff1d(candidates, np.asarray(chosen))
+            if candidates.size == 0:
+                return None
+            return int(rng.choice(candidates))
+
+        # 1. writer replica: uniformly random VM.
+        first = pick(all_vms)
+        chosen.append(first)
+        if replication >= 2:
+            # 2. off-rack replica (band worse than SAME_RACK relative to first).
+            off_rack = np.array(
+                [
+                    v
+                    for v in all_vms
+                    if cluster.band(first, int(v)) >= DistanceBand.CROSS_RACK
+                ],
+                dtype=np.int64,
+            )
+            second = pick(off_rack)
+            if second is None:
+                second = pick(all_vms)  # single-rack cluster: anywhere else
+            if second is not None:
+                chosen.append(second)
+        if replication >= 3 and len(chosen) >= 2:
+            # 3. same rack as the second replica.
+            anchor = chosen[1]
+            same_rack = np.array(
+                [
+                    v
+                    for v in all_vms
+                    if cluster.band(anchor, int(v)) <= DistanceBand.SAME_RACK
+                ],
+                dtype=np.int64,
+            )
+            third = pick(same_rack)
+            if third is None:
+                third = pick(all_vms)
+            if third is not None:
+                chosen.append(third)
+        while len(chosen) < replication:
+            extra = pick(all_vms)
+            if extra is None:
+                break
+            chosen.append(extra)
+        return tuple(chosen)
+
+    # -------------------------------------------------------------- accessors
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(b.size_bytes for b in self.blocks)
+
+    def replicas_of(self, block_id: int) -> tuple[int, ...]:
+        """VM ids holding *block_id*."""
+        return self.blocks[block_id].replicas
+
+    def blocks_on(self, vm_id: int) -> list[int]:
+        """Block ids with a replica on VM *vm_id*."""
+        return [b.block_id for b in self.blocks if vm_id in b.replicas]
+
+    def locality_of(self, block_id: int, vm_id: int) -> DistanceBand:
+        """Best distance band from *vm_id* to any replica of *block_id*."""
+        bands = [
+            self.cluster.band(vm_id, replica)
+            for replica in self.blocks[block_id].replicas
+        ]
+        return min(bands)
+
+    def nearest_replica(self, block_id: int, vm_id: int) -> int:
+        """Replica VM closest to *vm_id* (the one a map task would read)."""
+        return self.cluster.nearest(vm_id, list(self.blocks[block_id].replicas))
+
+    def replica_balance(self) -> np.ndarray:
+        """Replica count per VM — diagnostic for placement skew."""
+        counts = np.zeros(self.cluster.num_vms, dtype=np.int64)
+        for b in self.blocks:
+            for vm in b.replicas:
+                counts[vm] += 1
+        return counts

@@ -1,0 +1,84 @@
+"""MapReduce job specification.
+
+A :class:`MapReduceJob` captures everything the engine needs to simulate one
+job: input size and split granularity, the number of reduce tasks, per-byte
+compute costs for the map and reduce functions, and the *map selectivity*
+(intermediate bytes produced per input byte — the knob that distinguishes
+WordCount from Sort from Grep and controls how shuffle-heavy a job is).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ValidationError
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+@dataclass(frozen=True, slots=True)
+class MapReduceJob:
+    """Specification of one MapReduce job.
+
+    Attributes
+    ----------
+    name:
+        Workload label (appears in results).
+    input_bytes:
+        Total input size in the DFS.
+    block_size:
+        Split/block size; the number of map tasks is
+        ``ceil(input_bytes / block_size)``.
+    num_reduces:
+        Reduce task count (the paper's experiment uses 1).
+    map_selectivity:
+        Intermediate output bytes per map input byte (WordCount with a
+        combiner ≈ 0.2, Sort = 1.0, Grep ≈ 0.01).
+    reduce_selectivity:
+        Final output bytes per reduce input byte.
+    map_cost_s_per_mb / reduce_cost_s_per_mb:
+        CPU seconds per megabyte processed by the user map/reduce function.
+    combiner:
+        Whether a combiner pre-aggregates map output locally (already folded
+        into ``map_selectivity`` — kept as metadata for reporting).
+    """
+
+    name: str
+    input_bytes: int
+    block_size: int = 64 * MB
+    num_reduces: int = 1
+    map_selectivity: float = 1.0
+    reduce_selectivity: float = 1.0
+    map_cost_s_per_mb: float = 0.05
+    reduce_cost_s_per_mb: float = 0.05
+    combiner: bool = False
+
+    def __post_init__(self) -> None:
+        if self.input_bytes <= 0:
+            raise ValidationError("input_bytes must be > 0")
+        if self.block_size <= 0:
+            raise ValidationError("block_size must be > 0")
+        if self.num_reduces < 1:
+            raise ValidationError("num_reduces must be >= 1")
+        if self.map_selectivity < 0 or self.reduce_selectivity < 0:
+            raise ValidationError("selectivities must be >= 0")
+        if self.map_cost_s_per_mb < 0 or self.reduce_cost_s_per_mb < 0:
+            raise ValidationError("compute costs must be >= 0")
+
+    @property
+    def num_maps(self) -> int:
+        """Map task count = number of input splits."""
+        return -(-self.input_bytes // self.block_size)  # ceil division
+
+    def map_output_bytes(self, input_bytes: int) -> float:
+        """Intermediate bytes produced by a map over *input_bytes*."""
+        return input_bytes * self.map_selectivity
+
+    def map_compute_time(self, input_bytes: int) -> float:
+        """CPU seconds of the user map function over *input_bytes*."""
+        return (input_bytes / MB) * self.map_cost_s_per_mb
+
+    def reduce_compute_time(self, input_bytes: float) -> float:
+        """CPU seconds of the user reduce function over *input_bytes*."""
+        return (input_bytes / MB) * self.reduce_cost_s_per_mb

@@ -1,0 +1,95 @@
+"""Job results and locality metrics (the paper's Fig. 7/8 measurements)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mapreduce.network import DistanceBand
+from repro.mapreduce.tasks import MapTaskRecord, ReduceTaskRecord, ShuffleFlow
+
+
+@dataclass(frozen=True, slots=True)
+class LocalityReport:
+    """Counts behind Fig. 8: map data locality and shuffle locality."""
+
+    total_maps: int
+    data_local_maps: int
+    rack_local_maps: int
+    remote_maps: int
+    total_flows: int
+    node_local_flows: int
+    rack_local_flows: int
+    remote_flows: int
+
+    @property
+    def non_data_local_maps(self) -> int:
+        """Fig. 8's first series: maps that read their split over the network."""
+        return self.total_maps - self.data_local_maps
+
+    @property
+    def non_local_flows(self) -> int:
+        """Fig. 8's second series: shuffle transfers leaving the map's node."""
+        return self.total_flows - self.node_local_flows
+
+    @property
+    def data_local_fraction(self) -> float:
+        return self.data_local_maps / self.total_maps if self.total_maps else 0.0
+
+    @property
+    def local_shuffle_fraction(self) -> float:
+        return self.node_local_flows / self.total_flows if self.total_flows else 0.0
+
+
+@dataclass
+class JobResult:
+    """Complete record of one simulated job execution."""
+
+    job_name: str
+    cluster_affinity: float
+    runtime: float
+    map_records: list[MapTaskRecord] = field(default_factory=list)
+    reduce_records: list[ReduceTaskRecord] = field(default_factory=list)
+
+    @property
+    def flows(self) -> list[ShuffleFlow]:
+        return [f for r in self.reduce_records for f in r.flows]
+
+    @property
+    def map_phase_finish(self) -> float:
+        """Instant the last map task completed."""
+        return max((m.finish_time for m in self.map_records), default=0.0)
+
+    @property
+    def shuffle_finish(self) -> float:
+        """Instant the last shuffle fetch completed."""
+        return max((r.shuffle_finish_time for r in self.reduce_records), default=0.0)
+
+    @property
+    def total_shuffle_bytes(self) -> float:
+        return float(sum(f.size_bytes for f in self.flows))
+
+    def bytes_by_band(self) -> dict[DistanceBand, float]:
+        """Shuffle bytes moved per distance band (traffic breakdown)."""
+        out = {band: 0.0 for band in DistanceBand}
+        for f in self.flows:
+            out[f.band] += f.size_bytes
+        return out
+
+    def locality(self) -> LocalityReport:
+        """Summarize task and flow locality (Fig. 8 rows)."""
+        maps = self.map_records
+        flows = self.flows
+        return LocalityReport(
+            total_maps=len(maps),
+            data_local_maps=sum(1 for m in maps if m.locality == DistanceBand.SAME_NODE),
+            rack_local_maps=sum(1 for m in maps if m.locality == DistanceBand.SAME_RACK),
+            remote_maps=sum(
+                1 for m in maps if m.locality is not None and m.locality >= DistanceBand.CROSS_RACK
+            ),
+            total_flows=len(flows),
+            node_local_flows=sum(1 for f in flows if f.band == DistanceBand.SAME_NODE),
+            rack_local_flows=sum(1 for f in flows if f.band == DistanceBand.SAME_RACK),
+            remote_flows=sum(1 for f in flows if f.band >= DistanceBand.CROSS_RACK),
+        )

@@ -1,0 +1,132 @@
+"""Network transfer-time model over the cluster distance matrix.
+
+Section I of the paper identifies the three MapReduce data-exchange phases
+(DFS→map, map→reduce shuffle, reduce→DFS) and argues network latency between
+VM placements dominates them. This module converts pairwise VM *distance*
+(the affinity metric) into *transfer time*: each distance band maps to an
+effective bandwidth, and same-node transfers bypass the network entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+class DistanceBand(enum.IntEnum):
+    """Discrete distance levels between two VMs (Section II's d-levels)."""
+
+    SAME_NODE = 0
+    SAME_RACK = 1
+    CROSS_RACK = 2
+    CROSS_CLOUD = 3
+
+
+def classify_band(distance: float, intra_rack: float, inter_rack: float) -> DistanceBand:
+    """Map a raw distance value to its band under a hierarchical model."""
+    if distance <= 0:
+        return DistanceBand.SAME_NODE
+    if distance <= intra_rack:
+        return DistanceBand.SAME_RACK
+    if distance <= inter_rack:
+        return DistanceBand.CROSS_RACK
+    return DistanceBand.CROSS_CLOUD
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkModel:
+    """Per-band effective bandwidths (bytes/second) plus per-transfer latency.
+
+    Defaults approximate a 1 GbE datacenter fabric with 4:1 oversubscription
+    at the aggregation layer: disk-speed "transfers" on the same node, full
+    line rate in-rack, a quarter of it across racks, and a tenth across
+    clouds. Absolute values only set the time scale; the paper's claims are
+    about relative runtimes.
+    """
+
+    same_node_bps: float = 400e6
+    same_rack_bps: float = 100e6
+    cross_rack_bps: float = 25e6
+    cross_cloud_bps: float = 10e6
+    latency_per_transfer_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.same_node_bps,
+            self.same_rack_bps,
+            self.cross_rack_bps,
+            self.cross_cloud_bps,
+        )
+        if min(rates) <= 0:
+            raise ValidationError("all bandwidths must be positive")
+        if not (
+            self.same_node_bps
+            >= self.same_rack_bps
+            >= self.cross_rack_bps
+            >= self.cross_cloud_bps
+        ):
+            raise ValidationError(
+                "bandwidths must be monotone: same_node >= same_rack >= "
+                "cross_rack >= cross_cloud"
+            )
+        if self.latency_per_transfer_s < 0:
+            raise ValidationError("latency must be >= 0")
+
+    def bandwidth(self, band: DistanceBand) -> float:
+        """Effective bandwidth for one transfer in *band*."""
+        return {
+            DistanceBand.SAME_NODE: self.same_node_bps,
+            DistanceBand.SAME_RACK: self.same_rack_bps,
+            DistanceBand.CROSS_RACK: self.cross_rack_bps,
+            DistanceBand.CROSS_CLOUD: self.cross_cloud_bps,
+        }[band]
+
+    @classmethod
+    def from_tiers(
+        cls,
+        tier_latencies,
+        *,
+        rack_bps: float = 100e6,
+        latency_per_transfer_s: float = 0.01,
+    ) -> "NetworkModel":
+        """Derive a network model from measured distance tiers.
+
+        Bridges :func:`repro.cluster.measurement.infer_distance_matrix` to
+        the MapReduce simulator: effective bandwidth scales inversely with
+        measured latency (the bandwidth-delay heuristic), anchored so the
+        first (intra-rack) tier runs at *rack_bps*. With one tier, cross
+        bands reuse it (flat fabric); extra tiers map in order to
+        cross-rack and cross-cloud.
+        """
+        tiers = sorted(float(t) for t in np.atleast_1d(np.asarray(tier_latencies)))
+        if not tiers or tiers[0] <= 0:
+            raise ValidationError("tier latencies must be positive")
+        base = tiers[0]
+        scaled = [rack_bps * base / t for t in tiers]
+        rack = scaled[0]
+        cross_rack = scaled[1] if len(scaled) > 1 else scaled[0]
+        cross_cloud = scaled[2] if len(scaled) > 2 else cross_rack / 2.5
+        return cls(
+            same_node_bps=max(rack * 4, rack),
+            same_rack_bps=rack,
+            cross_rack_bps=min(cross_rack, rack),
+            cross_cloud_bps=min(cross_cloud, min(cross_rack, rack)),
+            latency_per_transfer_s=latency_per_transfer_s,
+        )
+
+    def transfer_time(self, num_bytes: float, band: DistanceBand) -> float:
+        """Seconds to move *num_bytes* across one link in *band*.
+
+        Zero-byte transfers still pay the per-transfer latency (connection
+        setup), except degenerate same-node "transfers" of zero bytes which
+        are free.
+        """
+        if num_bytes < 0:
+            raise ValidationError(f"num_bytes must be >= 0, got {num_bytes}")
+        if band == DistanceBand.SAME_NODE and num_bytes == 0:
+            return 0.0
+        return self.latency_per_transfer_s + num_bytes / self.bandwidth(band)

@@ -1,0 +1,186 @@
+"""Task schedulers: which pending map task runs on a freed slot.
+
+The paper observes (Fig. 7/8) that beyond cluster affinity, the *scheduler's*
+task placement decides data locality — the distance-14 cluster lost to the
+distance-16 one because it happened to run more non-data-local maps. These
+policies let that effect be reproduced and ablated:
+
+* :class:`LocalityAwareScheduler` — Hadoop's default: prefer a task whose
+  block is on the requesting VM (node-local), then rack-local, then the task
+  with the nearest replica.
+* :class:`FifoScheduler` — strict task-id order, locality-blind.
+* :class:`RandomScheduler` — uniformly random pending task (models a noisy
+  scheduler; the source of the paper's "affected by the running
+  environment" variance).
+
+Reducer placement policies are provided by :func:`place_reducers`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.mapreduce.hdfs import HDFSModel
+from repro.mapreduce.network import DistanceBand
+from repro.mapreduce.tasks import MapTaskRecord
+from repro.mapreduce.vmcluster import VirtualCluster
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+
+class MapScheduler(abc.ABC):
+    """Strategy: pick the next map task for a VM with a free slot."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def pick(
+        self,
+        vm_id: int,
+        pending: "list[MapTaskRecord]",
+        hdfs: HDFSModel,
+    ) -> "MapTaskRecord | None":
+        """Choose one of *pending* for VM *vm_id* (``None`` leaves the slot
+        idle — only sensible for delay-style policies)."""
+
+
+class LocalityAwareScheduler(MapScheduler):
+    """Hadoop-default locality preference: node-local > rack-local > nearest."""
+
+    name = "locality"
+
+    def pick(self, vm_id, pending, hdfs):
+        if not pending:
+            return None
+        best_task = None
+        best_key = None
+        for task in pending:
+            band = hdfs.locality_of(task.block_id, vm_id)
+            key = (int(band), task.task_id)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_task = task
+        return best_task
+
+
+class FifoScheduler(MapScheduler):
+    """Locality-blind: always the lowest-id pending task."""
+
+    name = "fifo"
+
+    def pick(self, vm_id, pending, hdfs):
+        if not pending:
+            return None
+        return min(pending, key=lambda t: t.task_id)
+
+
+class RandomScheduler(MapScheduler):
+    """Uniformly random pending task."""
+
+    name = "random"
+
+    def __init__(self, seed=None) -> None:
+        self._rng = ensure_rng(seed)
+
+    def pick(self, vm_id, pending, hdfs):
+        if not pending:
+            return None
+        return pending[int(self._rng.integers(0, len(pending)))]
+
+
+class DelayScheduler(MapScheduler):
+    """Delay scheduling (Zaharia et al.): skip up to *max_skips* non-local
+    offers per task before accepting a non-local slot.
+
+    Included as an extension ablation — the paper's related-work section
+    cites locality-based scheduling as the complementary lever to placement.
+    """
+
+    name = "delay"
+
+    def __init__(self, max_skips: int = 3) -> None:
+        if max_skips < 0:
+            raise ValidationError("max_skips must be >= 0")
+        self.max_skips = max_skips
+        self._skips: dict[int, int] = {}
+
+    def pick(self, vm_id, pending, hdfs):
+        if not pending:
+            return None
+        local = [
+            t
+            for t in pending
+            if hdfs.locality_of(t.block_id, vm_id) == DistanceBand.SAME_NODE
+        ]
+        if local:
+            return min(local, key=lambda t: t.task_id)
+        # No local work for this VM: each pending task accrues a skip; run
+        # the lowest-id task that has exhausted its skip budget.
+        ripe = []
+        for t in pending:
+            self._skips[t.task_id] = self._skips.get(t.task_id, 0) + 1
+            if self._skips[t.task_id] > self.max_skips:
+                ripe.append(t)
+        if ripe:
+            return min(ripe, key=lambda t: t.task_id)
+        return None
+
+
+def place_reducers(
+    cluster: VirtualCluster,
+    num_reduces: int,
+    *,
+    policy: str = "slots",
+    seed=None,
+) -> list[int]:
+    """Choose the VM for each reduce task.
+
+    Policies
+    --------
+    ``"slots"``
+        Fill reduce slots in VM-id order (Hadoop's effective behaviour when
+        reducers launch at job start).
+    ``"random"``
+        Uniform over VMs with reduce slots, with replacement up to slot
+        capacity.
+    ``"center"``
+        Greedy medoid: place each reducer on the VM (with a free reduce
+        slot) minimizing total distance to all VMs — the best spot for an
+        all-to-one shuffle. An extension beyond the paper, used in ablations.
+    """
+    slots = np.array([vm.reduce_slots for vm in cluster.vms], dtype=np.int64)
+    if slots.sum() < num_reduces:
+        raise ValidationError(
+            f"cluster has {int(slots.sum())} reduce slots but job needs {num_reduces}"
+        )
+    free = slots.copy()
+    placements: list[int] = []
+    if policy == "slots":
+        vm = 0
+        for _ in range(num_reduces):
+            while free[vm] == 0:
+                vm += 1
+            placements.append(vm)
+            free[vm] -= 1
+    elif policy == "random":
+        rng = ensure_rng(seed)
+        for _ in range(num_reduces):
+            candidates = np.flatnonzero(free > 0)
+            vm = int(rng.choice(candidates))
+            placements.append(vm)
+            free[vm] -= 1
+    elif policy == "center":
+        totals = cluster.distance.sum(axis=1)
+        for _ in range(num_reduces):
+            candidates = np.flatnonzero(free > 0)
+            vm = int(candidates[int(np.argmin(totals[candidates]))])
+            placements.append(vm)
+            free[vm] -= 1
+    else:
+        raise ValidationError(
+            f"unknown reducer placement policy {policy!r}; "
+            "expected 'slots', 'random', or 'center'"
+        )
+    return placements

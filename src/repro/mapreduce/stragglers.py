@@ -1,0 +1,58 @@
+"""Straggler modeling and speculative execution.
+
+Real Hadoop runtimes (like the paper's Fig. 7 measurements) are shaped by
+*stragglers* — tasks that run far slower than their siblings because of
+contention or hardware variance — and by Hadoop's countermeasure,
+*speculative execution*: when slots idle near the end of a phase, the
+scheduler launches backup copies of the slowest running tasks and takes
+whichever copy finishes first.
+
+:class:`StragglerModel` injects per-task slowdowns; the engine (see
+:class:`~repro.mapreduce.engine.MapReduceEngine`) consults it when a map
+task starts and, when speculation is enabled, launches backups once the
+pending queue drains. The Fig. 7 "running environment" noise the paper
+describes is exactly this effect class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+
+@dataclass(frozen=True, slots=True)
+class StragglerModel:
+    """Per-task slowdown distribution.
+
+    Each task independently straggles with ``probability``; a straggler's
+    read+compute time is multiplied by a factor drawn uniformly from
+    ``[min_factor, max_factor]``.
+    """
+
+    probability: float = 0.0
+    min_factor: float = 2.0
+    max_factor: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.probability <= 1.0):
+            raise ValidationError("probability must be in [0, 1]")
+        if not (1.0 <= self.min_factor <= self.max_factor):
+            raise ValidationError("need 1 <= min_factor <= max_factor")
+
+    @property
+    def enabled(self) -> bool:
+        return self.probability > 0.0
+
+    def draw(self, rng: np.random.Generator) -> float:
+        """Slowdown factor for one task execution (1.0 = healthy)."""
+        if self.probability == 0.0 or rng.random() >= self.probability:
+            return 1.0
+        return float(rng.uniform(self.min_factor, self.max_factor))
+
+
+#: No stragglers — the default, keeping all paper experiments deterministic.
+NO_STRAGGLERS = StragglerModel(probability=0.0)

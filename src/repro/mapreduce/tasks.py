@@ -1,0 +1,98 @@
+"""Task records: map tasks, reduce tasks, and their locality classification.
+
+The paper's Fig. 8 counts "non data-local map tasks" and "non local shuffle
+processes" — these records carry exactly that classification, per task and
+per shuffle flow.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.mapreduce.network import DistanceBand
+from repro.util.errors import ValidationError
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a simulated task."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass
+class MapTaskRecord:
+    """One map task's execution record."""
+
+    task_id: int
+    block_id: int
+    vm_id: int = -1
+    source_vm: int = -1
+    locality: "DistanceBand | None" = None
+    start_time: float = -1.0
+    finish_time: float = -1.0
+    input_bytes: int = 0
+    output_bytes: float = 0.0
+    state: TaskState = TaskState.PENDING
+
+    @property
+    def duration(self) -> float:
+        if self.state is not TaskState.DONE:
+            raise ValidationError(f"map task {self.task_id} not finished")
+        return self.finish_time - self.start_time
+
+    @property
+    def data_local(self) -> bool:
+        """True when the task read its split from its own VM/node."""
+        return self.locality == DistanceBand.SAME_NODE
+
+    @property
+    def rack_local(self) -> bool:
+        return self.locality == DistanceBand.SAME_RACK
+
+
+@dataclass
+class ShuffleFlow:
+    """One map→reduce partition transfer."""
+
+    map_task: int
+    reduce_task: int
+    src_vm: int
+    dst_vm: int
+    size_bytes: float
+    band: DistanceBand
+    start_time: float = -1.0
+    finish_time: float = -1.0
+
+    @property
+    def local(self) -> bool:
+        """True when the flow never crossed a rack boundary (the paper's
+        "local shuffle": same node or same rack)."""
+        return self.band <= DistanceBand.SAME_RACK
+
+    @property
+    def node_local(self) -> bool:
+        return self.band == DistanceBand.SAME_NODE
+
+
+@dataclass
+class ReduceTaskRecord:
+    """One reduce task's execution record."""
+
+    task_id: int
+    vm_id: int = -1
+    start_time: float = -1.0
+    shuffle_finish_time: float = -1.0
+    finish_time: float = -1.0
+    input_bytes: float = 0.0
+    output_bytes: float = 0.0
+    state: TaskState = TaskState.PENDING
+    flows: list[ShuffleFlow] = field(default_factory=list)
+
+    @property
+    def shuffle_time(self) -> float:
+        if self.shuffle_finish_time < 0:
+            raise ValidationError(f"reduce task {self.task_id} shuffle not finished")
+        return self.shuffle_finish_time - self.start_time

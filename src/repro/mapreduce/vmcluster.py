@@ -1,0 +1,163 @@
+"""The virtual cluster a MapReduce job runs on.
+
+Bridges the placement layer and the MapReduce simulator: a
+:class:`VirtualCluster` expands an :class:`~repro.core.problem.Allocation`
+into individual VM instances, derives the VM-to-VM distance matrix from the
+physical node distance matrix (distance between VMs on the same node is 0 —
+Section II), and exposes per-VM task slots from the VM-type catalog.
+
+The cluster's *affinity* is exactly the paper's ``DC`` of its allocation —
+the Fig. 7/8 x-axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.core.distance import cluster_distance
+from repro.core.problem import Allocation
+from repro.mapreduce.network import DistanceBand, classify_band
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True, slots=True)
+class VMInstance:
+    """One virtual machine in a provisioned cluster."""
+
+    vm_id: int
+    node_id: int
+    type_index: int
+    map_slots: int
+    reduce_slots: int
+
+
+class VirtualCluster:
+    """A set of VM instances with pairwise distances and task slots."""
+
+    def __init__(
+        self,
+        vms: list[VMInstance],
+        vm_distance: np.ndarray,
+        *,
+        affinity: float,
+        intra_rack: float = 1.0,
+        inter_rack: float = 2.0,
+    ) -> None:
+        if not vms:
+            raise ValidationError("VirtualCluster requires at least one VM")
+        n = len(vms)
+        d = np.asarray(vm_distance, dtype=np.float64)
+        if d.shape != (n, n):
+            raise ValidationError(
+                f"vm_distance must be {n}×{n}, got {d.shape}"
+            )
+        self.vms = tuple(vms)
+        self._distance = d.copy()
+        self._distance.flags.writeable = False
+        self.affinity = float(affinity)
+        self._intra_rack = intra_rack
+        self._inter_rack = inter_rack
+
+    # ----------------------------------------------------------- construction
+
+    @classmethod
+    def from_allocation(
+        cls,
+        allocation: Allocation,
+        node_distance: np.ndarray,
+        catalog: VMTypeCatalog,
+        *,
+        intra_rack: float = 1.0,
+        inter_rack: float = 2.0,
+    ) -> "VirtualCluster":
+        """Expand an allocation matrix into a concrete virtual cluster.
+
+        VM ids are assigned in (node, type) order; the cluster affinity is
+        recomputed as ``DC`` of the allocation under *node_distance* so
+        manually built allocations report consistent values.
+        """
+        placements = allocation.vm_placements()
+        vms = []
+        for vm_id, (node, type_index) in enumerate(placements):
+            vmt = catalog[type_index]
+            vms.append(
+                VMInstance(
+                    vm_id=vm_id,
+                    node_id=node,
+                    type_index=type_index,
+                    map_slots=vmt.map_slots,
+                    reduce_slots=vmt.reduce_slots,
+                )
+            )
+        nodes = np.array([vm.node_id for vm in vms])
+        vm_dist = np.asarray(node_distance, dtype=np.float64)[
+            np.ix_(nodes, nodes)
+        ]
+        dc, _ = cluster_distance(allocation.matrix, np.asarray(node_distance))
+        return cls(
+            vms,
+            vm_dist,
+            affinity=dc,
+            intra_rack=intra_rack,
+            inter_rack=inter_rack,
+        )
+
+    # -------------------------------------------------------------- accessors
+
+    def __len__(self) -> int:
+        return len(self.vms)
+
+    @property
+    def num_vms(self) -> int:
+        return len(self.vms)
+
+    @property
+    def distance(self) -> np.ndarray:
+        """Read-only VM-to-VM distance matrix."""
+        return self._distance
+
+    @property
+    def total_map_slots(self) -> int:
+        return sum(vm.map_slots for vm in self.vms)
+
+    @property
+    def total_reduce_slots(self) -> int:
+        return sum(vm.reduce_slots for vm in self.vms)
+
+    def vm_distance(self, a: int, b: int) -> float:
+        """Distance between VMs *a* and *b* (0 when co-located)."""
+        return float(self._distance[a, b])
+
+    def band(self, a: int, b: int) -> DistanceBand:
+        """Distance band between VMs *a* and *b*."""
+        return classify_band(
+            self._distance[a, b], self._intra_rack, self._inter_rack
+        )
+
+    def colocation_count(self, vm_id: int) -> int:
+        """Number of cluster VMs sharing *vm_id*'s physical node (≥ 1).
+
+        Used by the disk-contention model: co-located VMs share the node's
+        local disk bandwidth when reading their splits.
+        """
+        node = self.vms[vm_id].node_id
+        return sum(1 for vm in self.vms if vm.node_id == node)
+
+    def nearest(self, vm_id: int, candidates: "list[int] | np.ndarray") -> int:
+        """The candidate VM closest to *vm_id* (ties → lowest id)."""
+        cand = np.asarray(candidates, dtype=np.int64)
+        if cand.size == 0:
+            raise ValidationError("nearest() requires at least one candidate")
+        dists = self._distance[vm_id, cand]
+        nearest_ids = cand[dists <= dists.min()]
+        return int(nearest_ids.min())  # tie-break independent of input order
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualCluster(vms={self.num_vms}, affinity={self.affinity:g}, "
+            f"map_slots={self.total_map_slots}, "
+            f"reduce_slots={self.total_reduce_slots})"
+        )

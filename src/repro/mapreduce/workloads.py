@@ -1,0 +1,131 @@
+"""Workload library: job factories with characteristic shuffle profiles.
+
+The paper benchmarks WordCount ("a typical application where Hadoop
+developers get hands on"); the library adds the other canonical MapReduce
+workloads its introduction motivates, distinguished by their *map
+selectivity* (shuffle volume per input byte):
+
+=============  ============  ==========================================
+Workload       Selectivity   Character
+=============  ============  ==========================================
+WordCount      0.20          combiner-aggregated counts; light shuffle
+Sort           1.00          identity map; shuffle == input (heaviest)
+Grep           0.01          rare matches; negligible shuffle
+TeraSort-like  1.00          sort profile with many reducers
+Join           1.50          map output exceeds input (tag + duplicate)
+=============  ============  ==========================================
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.job import GB, MB, MapReduceJob
+
+
+def wordcount(
+    input_bytes: int = 2 * GB,
+    *,
+    block_size: int = 64 * MB,
+    num_reduces: int = 1,
+    combiner: bool = True,
+) -> MapReduceJob:
+    """The paper's benchmark: count word occurrences.
+
+    With the default 2 GiB input and 64 MiB blocks this yields exactly the
+    paper's 32 map tasks and 1 reduce task.
+    """
+    return MapReduceJob(
+        name="wordcount",
+        input_bytes=input_bytes,
+        block_size=block_size,
+        num_reduces=num_reduces,
+        map_selectivity=0.2 if combiner else 0.6,
+        reduce_selectivity=0.1,
+        map_cost_s_per_mb=0.08,
+        reduce_cost_s_per_mb=0.03,
+        combiner=combiner,
+    )
+
+
+def sort(
+    input_bytes: int = 1 * GB,
+    *,
+    block_size: int = 64 * MB,
+    num_reduces: int = 4,
+) -> MapReduceJob:
+    """Identity-map sort: the shuffle-heaviest workload (selectivity 1)."""
+    return MapReduceJob(
+        name="sort",
+        input_bytes=input_bytes,
+        block_size=block_size,
+        num_reduces=num_reduces,
+        map_selectivity=1.0,
+        reduce_selectivity=1.0,
+        map_cost_s_per_mb=0.02,
+        reduce_cost_s_per_mb=0.04,
+    )
+
+
+def grep(
+    input_bytes: int = 4 * GB,
+    *,
+    block_size: int = 64 * MB,
+    num_reduces: int = 1,
+) -> MapReduceJob:
+    """Pattern search: scan-dominated, near-zero shuffle."""
+    return MapReduceJob(
+        name="grep",
+        input_bytes=input_bytes,
+        block_size=block_size,
+        num_reduces=num_reduces,
+        map_selectivity=0.01,
+        reduce_selectivity=1.0,
+        map_cost_s_per_mb=0.05,
+        reduce_cost_s_per_mb=0.01,
+    )
+
+
+def terasort(
+    input_bytes: int = 2 * GB,
+    *,
+    block_size: int = 128 * MB,
+    num_reduces: int = 8,
+) -> MapReduceJob:
+    """TeraSort profile: sort semantics with wide reduce fan-out."""
+    return MapReduceJob(
+        name="terasort",
+        input_bytes=input_bytes,
+        block_size=block_size,
+        num_reduces=num_reduces,
+        map_selectivity=1.0,
+        reduce_selectivity=1.0,
+        map_cost_s_per_mb=0.03,
+        reduce_cost_s_per_mb=0.05,
+    )
+
+
+def join(
+    input_bytes: int = 1 * GB,
+    *,
+    block_size: int = 64 * MB,
+    num_reduces: int = 4,
+) -> MapReduceJob:
+    """Reduce-side join: map output exceeds input (tagging overhead)."""
+    return MapReduceJob(
+        name="join",
+        input_bytes=input_bytes,
+        block_size=block_size,
+        num_reduces=num_reduces,
+        map_selectivity=1.5,
+        reduce_selectivity=0.5,
+        map_cost_s_per_mb=0.06,
+        reduce_cost_s_per_mb=0.08,
+    )
+
+
+WORKLOADS = {
+    "wordcount": wordcount,
+    "sort": sort,
+    "grep": grep,
+    "terasort": terasort,
+    "join": join,
+}

@@ -1,0 +1,36 @@
+"""Shared utilities: error types, RNG handling, validation helpers."""
+
+from repro.util.errors import (
+    ReproError,
+    ValidationError,
+    CapacityError,
+    InfeasibleRequestError,
+    SolverError,
+)
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.validation import (
+    as_int_vector,
+    as_int_matrix,
+    check_nonnegative,
+    check_shape,
+    check_square,
+    check_symmetric,
+    check_zero_diagonal,
+)
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "CapacityError",
+    "InfeasibleRequestError",
+    "SolverError",
+    "ensure_rng",
+    "spawn_rngs",
+    "as_int_vector",
+    "as_int_matrix",
+    "check_nonnegative",
+    "check_shape",
+    "check_square",
+    "check_symmetric",
+    "check_zero_diagonal",
+]

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while the
+subclasses keep failure modes distinguishable:
+
+* :class:`ValidationError` — malformed inputs (bad shapes, negative counts).
+* :class:`CapacityError` — an allocate/release would violate pool capacity.
+* :class:`InfeasibleRequestError` — a request exceeds the pool's *maximum*
+  capacity and can never be served (the paper's "refused" outcome).
+* :class:`SolverError` — an exact solver backend failed or returned an
+  unexpected status.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input value failed structural validation (shape, sign, dtype)."""
+
+
+class CapacityError(ReproError):
+    """An allocation or release would violate resource-pool invariants."""
+
+
+class InfeasibleRequestError(ReproError):
+    """The request exceeds the maximum capacity of the pool (paper: refuse)."""
+
+
+class SolverError(ReproError):
+    """An exact optimization backend failed to produce a usable solution."""

@@ -1,0 +1,70 @@
+"""Minimal discrete-event machinery shared by the cloud and MapReduce simulators.
+
+A deliberately small event heap: time-ordered ``(time, tie_breaker, kind,
+payload)`` tuples. Both simulators in this package are single-threaded
+discrete-event loops, so this is all the infrastructure they need — no
+framework dependency.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One scheduled occurrence."""
+
+    time: float
+    kind: str
+    payload: Any = None
+
+
+class EventQueue:
+    """Time-ordered event heap with deterministic FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def now(self) -> float:
+        """Time of the most recently popped event (simulation clock)."""
+        return self._now
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap
+
+    def schedule(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Add an event; *time* must not precede the current clock."""
+        if time < self._now - 1e-9:
+            raise ValidationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        ev = Event(time=float(time), kind=kind, payload=payload)
+        heapq.heappush(self._heap, (ev.time, next(self._counter), ev))
+        return ev
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock."""
+        if not self._heap:
+            raise ValidationError("pop from empty EventQueue")
+        t, _, ev = heapq.heappop(self._heap)
+        self._now = t
+        return ev
+
+    def peek_time(self) -> float:
+        """Time of the next event without popping."""
+        if not self._heap:
+            raise ValidationError("peek on empty EventQueue")
+        return self._heap[0][0]

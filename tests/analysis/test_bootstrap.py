@@ -1,0 +1,99 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_improvement_pct,
+    bootstrap_mean,
+)
+from repro.util.errors import ValidationError
+
+
+class TestBootstrapMean:
+    def test_estimate_is_sample_mean(self):
+        ci = bootstrap_mean([1.0, 2.0, 3.0], seed=1)
+        assert ci.estimate == pytest.approx(2.0)
+
+    def test_interval_brackets_estimate(self):
+        ci = bootstrap_mean(np.random.default_rng(2).normal(10, 2, 50), seed=2)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_interval_contains_true_mean_usually(self):
+        rng = np.random.default_rng(3)
+        hits = 0
+        for trial in range(20):
+            sample = rng.normal(5.0, 1.0, 40)
+            ci = bootstrap_mean(sample, seed=trial)
+            if 5.0 in ci:
+                hits += 1
+        assert hits >= 16  # ~95% nominal; allow slack
+
+    def test_tighter_with_more_data(self):
+        rng = np.random.default_rng(4)
+        small = bootstrap_mean(rng.normal(0, 1, 10), seed=4)
+        large = bootstrap_mean(rng.normal(0, 1, 1000), seed=4)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_deterministic(self):
+        data = [1.0, 5.0, 3.0, 2.0]
+        assert bootstrap_mean(data, seed=7) == bootstrap_mean(data, seed=7)
+
+    def test_single_value_degenerate(self):
+        ci = bootstrap_mean([4.0], seed=1)
+        assert ci.low == ci.high == ci.estimate == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            bootstrap_mean([])
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValidationError):
+            bootstrap_mean([1.0], confidence=1.0)
+
+    def test_str_rendering(self):
+        s = str(bootstrap_mean([1.0, 2.0], seed=1))
+        assert "95% CI" in s
+
+
+class TestBootstrapImprovement:
+    def test_point_estimate(self):
+        base = [10.0, 10.0]
+        imp = [9.0, 9.0]
+        ci = bootstrap_improvement_pct(base, imp, seed=1)
+        assert ci.estimate == pytest.approx(10.0)
+        assert 10.0 in ci
+
+    def test_no_improvement_centered_at_zero(self):
+        base = [5.0, 7.0, 3.0]
+        ci = bootstrap_improvement_pct(base, base, seed=2)
+        assert ci.estimate == 0.0
+        assert 0.0 in ci
+
+    def test_paired_resampling_detects_consistent_gain(self):
+        """A small but perfectly consistent gain excludes zero."""
+        rng = np.random.default_rng(5)
+        base = rng.uniform(8, 12, 40)
+        imp = base * 0.97  # consistent 3% win
+        ci = bootstrap_improvement_pct(base, imp, seed=5)
+        assert ci.low > 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            bootstrap_improvement_pct([1.0], [1.0, 2.0])
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValidationError):
+            bootstrap_improvement_pct([0.0], [0.0])
+
+    def test_fig5_style_series_has_positive_improvement(self):
+        """End-to-end: the Fig. 5 comparison's gain is bootstrap-solid."""
+        from repro.experiments.global_experiments import run_fig5
+
+        result = run_fig5(trials=5)
+        ci = bootstrap_improvement_pct(
+            result.online_distances, result.global_distances, seed=9
+        )
+        assert ci.estimate > 0.0
+        assert ci.high > ci.low

@@ -1,0 +1,82 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, grouped_series, sparkline
+from repro.util.errors import ValidationError
+
+
+class TestBarChart:
+    def test_rows_match_inputs(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0])
+        assert len(out.splitlines()) == 2
+
+    def test_max_value_fills_width(self):
+        out = bar_chart(["a", "b"], [1.0, 4.0], width=8)
+        lines = out.splitlines()
+        assert "████████" in lines[1]
+        assert "██" in lines[0] and "████████" not in lines[0]
+
+    def test_title(self):
+        out = bar_chart(["a"], [1.0], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_zero_values_ok(self):
+        out = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "0.00" in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            bar_chart(["a"], [-1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            bar_chart([], [])
+
+    def test_value_formatting(self):
+        out = bar_chart(["a"], [3.14159], value_fmt="{:.1f}")
+        assert "3.1" in out and "3.14" not in out
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_extremes(self):
+        s = sparkline([0.0, 1.0])
+        assert s[0] == "▁" and s[1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            sparkline([])
+
+    def test_monotone_series_monotone_glyphs(self):
+        s = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        levels = "▁▂▃▄▅▆▇█"
+        assert [levels.index(c) for c in s] == sorted(
+            levels.index(c) for c in s
+        )
+
+
+class TestGroupedSeries:
+    def test_rows_per_group(self):
+        out = grouped_series(
+            ["x1", "x2"], {"a": [1.0, 2.0], "b": [3.0, 4.0]}
+        )
+        # 2 groups x 2 series + 1 blank separator between groups.
+        assert len(out.splitlines()) == 5
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            grouped_series(["x"], {"a": [1.0, 2.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValidationError):
+            grouped_series(["x"], {})

@@ -1,0 +1,63 @@
+"""Tests for summary statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import Summary, geometric_mean, percent_change
+from repro.util.errors import ValidationError
+
+
+class TestSummary:
+    def test_of_series(self):
+        s = Summary.of([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.total == 6.0
+
+    def test_std_population(self):
+        s = Summary.of([2.0, 4.0])
+        assert s.std == pytest.approx(1.0)
+
+    def test_single_value(self):
+        s = Summary.of([5])
+        assert s.std == 0.0
+        assert s.mean == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Summary.of([])
+
+    def test_generator_input(self):
+        s = Summary.of(x for x in range(4))
+        assert s.count == 4
+
+
+class TestPercentChange:
+    def test_improvement_positive(self):
+        assert percent_change(100, 88) == pytest.approx(12.0)
+
+    def test_regression_negative(self):
+        assert percent_change(100, 110) == pytest.approx(-10.0)
+
+    def test_zero_baseline(self):
+        assert percent_change(0, 5) == 0.0
+
+    def test_no_change(self):
+        assert percent_change(7, 7) == 0.0
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geometric_mean([3, 3, 3]) == pytest.approx(3.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValidationError):
+            geometric_mean([1, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            geometric_mean([])

@@ -1,0 +1,55 @@
+"""Tests for plain-text table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_series, format_table
+from repro.util.errors import ValidationError
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title(self):
+        out = format_table(["h"], [["x"]], title="My table")
+        assert out.startswith("My table")
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159]], float_fmt="{:.2f}")
+        assert "3.14" in out
+        assert "3.14159" not in out
+
+    def test_ints_not_float_formatted(self):
+        out = format_table(["v"], [[7]])
+        assert "7" in out
+        assert "7.000" not in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_no_headers_rejected(self):
+        with pytest.raises(ValidationError):
+            format_table([], [])
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValidationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_row_count_preserved(self):
+        rows = [["r1", 1], ["r2", 2], ["r3", 3]]
+        out = format_table(["n", "v"], rows)
+        assert len(out.splitlines()) == 2 + len(rows)  # header + sep + rows
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        assert format_series("x", [1.0, 2.5]) == "x: 1.00 2.50"
+
+    def test_ints_passed_through(self):
+        assert format_series("c", [1, 2, 3]) == "c: 1 2 3"
+
+    def test_empty(self):
+        assert format_series("e", []) == "e: "

@@ -1,0 +1,71 @@
+"""Tests for the capacity planner."""
+
+import pytest
+
+from repro.cloud.capacity import SLO, plan_capacity
+from repro.cloud.request import poisson_workload
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return poisson_workload(
+        60, 3, mean_interarrival=5.0, mean_duration=100.0, demand_high=2, seed=17
+    )
+
+
+class TestSLO:
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            SLO(max_mean_wait=-1)
+
+
+class TestPlanCapacity:
+    def test_finds_a_feasible_size(self, workload):
+        plan = plan_capacity(workload, slo=SLO(max_mean_wait=30.0))
+        assert plan.feasible
+        assert 1 <= plan.chosen_nodes_per_rack <= 64
+
+    def test_chosen_size_meets_slo(self, workload):
+        slo = SLO(max_mean_wait=30.0)
+        plan = plan_capacity(workload, slo=slo)
+        chosen = next(
+            c
+            for c in plan.explored
+            if c.nodes_per_rack == plan.chosen_nodes_per_rack
+        )
+        assert chosen.meets_slo
+
+    def test_minimality_one_less_fails_or_is_one(self, workload):
+        """No explored smaller size meets the SLO."""
+        plan = plan_capacity(workload, slo=SLO(max_mean_wait=5.0))
+        assert plan.feasible
+        for c in plan.explored:
+            if c.nodes_per_rack < plan.chosen_nodes_per_rack:
+                assert not c.meets_slo
+
+    def test_stricter_slo_needs_no_less_capacity(self, workload):
+        loose = plan_capacity(workload, slo=SLO(max_mean_wait=120.0))
+        strict = plan_capacity(workload, slo=SLO(max_mean_wait=2.0))
+        assert strict.chosen_nodes_per_rack >= loose.chosen_nodes_per_rack
+
+    def test_impossible_slo_infeasible(self, workload):
+        # A single giant request can never avoid refusal on a tiny ceiling.
+        plan = plan_capacity(
+            workload,
+            slo=SLO(max_mean_wait=0.0, max_refused=0),
+            max_nodes_per_rack=1,
+            racks=1,
+            node_capacity=(1, 0, 0),
+        )
+        assert not plan.feasible
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValidationError):
+            plan_capacity([])
+
+    def test_exploration_recorded_sorted(self, workload):
+        plan = plan_capacity(workload, slo=SLO(max_mean_wait=30.0))
+        sizes = [c.nodes_per_rack for c in plan.explored]
+        assert sizes == sorted(sizes)
+        assert len(plan.explored) >= 2  # binary search explored something

@@ -1,0 +1,171 @@
+"""Tests for failure injection and the self-healing provider."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.failures import (
+    FailureEvent,
+    FailureInjector,
+    FailureSimulator,
+    ResilientCloudProvider,
+)
+from repro.cloud.provider import CloudProvider
+from repro.cloud.request import TimedRequest, poisson_workload
+from repro.cluster.dynamics import DynamicResourcePool
+from repro.cluster.topology import Topology
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.core.placement.greedy import OnlineHeuristic
+from repro.core.problem import VirtualClusterRequest
+from repro.util.errors import ValidationError
+
+
+def make_dynamic_pool(racks=2, nodes=3, capacity=(2, 2, 1)):
+    topo = Topology.build(racks, nodes, capacity=list(capacity))
+    return DynamicResourcePool(topo, VMTypeCatalog.ec2_default())
+
+
+def timed(demand, arrival=0.0, duration=100.0):
+    return TimedRequest(
+        request=VirtualClusterRequest(demand=list(demand)),
+        arrival_time=arrival,
+        duration=duration,
+    )
+
+
+class TestFailureEvent:
+    def test_recovery_must_follow_failure(self):
+        with pytest.raises(ValidationError):
+            FailureEvent(node_id=0, fail_time=5.0, recover_time=5.0)
+
+
+class TestFailureInjector:
+    def test_probability_zero_schedules_nothing(self):
+        inj = FailureInjector(failure_probability=0.0, seed=1)
+        assert inj.schedule(30) == []
+
+    def test_probability_one_schedules_all(self):
+        inj = FailureInjector(failure_probability=1.0, seed=2)
+        events = inj.schedule(10)
+        assert len(events) == 10
+        assert {e.node_id for e in events} == set(range(10))
+
+    def test_times_within_horizon(self):
+        inj = FailureInjector(failure_probability=1.0, horizon=50.0, seed=3)
+        for e in inj.schedule(20):
+            assert 0 <= e.fail_time <= 50.0
+            assert e.recover_time > e.fail_time
+
+    def test_deterministic(self):
+        a = FailureInjector(failure_probability=0.5, seed=4).schedule(20)
+        b = FailureInjector(failure_probability=0.5, seed=4).schedule(20)
+        assert a == b
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValidationError):
+            FailureInjector(failure_probability=1.5)
+        with pytest.raises(ValidationError):
+            FailureInjector(horizon=0)
+
+
+class TestResilientProvider:
+    def test_requires_dynamic_pool(self):
+        topo = Topology.build(1, 2, capacity=[1, 1, 1])
+        from repro.cluster.resources import ResourcePool
+
+        static = ResourcePool(topo, VMTypeCatalog.ec2_default())
+        with pytest.raises(ValidationError):
+            ResilientCloudProvider(static, OnlineHeuristic())
+
+    def test_repairable_failure_migrates_lease(self):
+        pool = make_dynamic_pool()
+        provider = ResilientCloudProvider(pool, OnlineHeuristic())
+        lease = provider.submit(timed([4, 3, 1]), now=0.0)
+        victim = int(lease.allocation.used_nodes[0])
+        lost = provider.on_node_failure(victim, now=1.0)
+        assert lost == []
+        assert provider.repair_stats.leases_repaired == 1
+        repaired = provider.active[lease.request_id]
+        assert repaired.allocation.matrix[victim].sum() == 0
+        assert np.array_equal(repaired.allocation.demand, lease.allocation.demand)
+        assert np.array_equal(pool.allocated, repaired.allocation.matrix)
+
+    def test_unrepairable_failure_requeues(self):
+        # Pool with exactly enough capacity: losing a node strands demand.
+        pool = make_dynamic_pool(racks=2, nodes=1, capacity=(2, 0, 0))
+        provider = ResilientCloudProvider(pool, OnlineHeuristic())
+        lease = provider.submit(timed([4, 0, 0]), now=0.0)
+        assert lease is not None
+        victim = int(lease.allocation.used_nodes[0])
+        lost = provider.on_node_failure(victim, now=1.0)
+        assert len(lost) == 1
+        assert provider.repair_stats.leases_lost == 1
+        assert lease.request_id not in provider.active
+        assert len(provider.queue) == 1
+        # The surviving node's VMs were released too (full restart).
+        assert pool.allocated.sum() == 0
+
+    def test_recovery_drains_queue(self):
+        pool = make_dynamic_pool(racks=2, nodes=1, capacity=(2, 0, 0))
+        provider = ResilientCloudProvider(pool, OnlineHeuristic())
+        lease = provider.submit(timed([4, 0, 0]), now=0.0)
+        victim = int(lease.allocation.used_nodes[0])
+        provider.on_node_failure(victim, now=1.0)
+        started = provider.on_node_recovery(victim, now=2.0)
+        assert len(started) == 1
+        assert provider.repair_stats.recoveries == 1
+        assert pool.allocated.sum() == 4
+
+    def test_unaffected_leases_untouched(self):
+        pool = make_dynamic_pool()
+        provider = ResilientCloudProvider(pool, OnlineHeuristic())
+        lease = provider.submit(timed([1, 0, 0]), now=0.0)
+        hosting = int(lease.allocation.used_nodes[0])
+        other = next(i for i in range(pool.num_nodes) if i != hosting)
+        provider.on_node_failure(other, now=1.0)
+        assert provider.repair_stats.leases_repaired == 0
+        assert provider.active[lease.request_id] is lease
+
+
+class TestFailureSimulator:
+    def _run(self, failure_probability, seed=7):
+        pool = make_dynamic_pool(racks=3, nodes=10)
+        provider = ResilientCloudProvider(pool, OnlineHeuristic())
+        wl = poisson_workload(
+            100, 3, mean_interarrival=5.0, mean_duration=120.0, demand_high=3, seed=seed
+        )
+        failures = FailureInjector(
+            failure_probability=failure_probability, horizon=400.0, seed=seed
+        ).schedule(pool.num_nodes)
+        result = FailureSimulator(provider, failures).run(wl)
+        return pool, provider, result
+
+    def test_no_failures_matches_plain_flow(self):
+        pool, provider, result = self._run(0.0)
+        assert provider.repair_stats.failures == 0
+        assert pool.allocated.sum() == 0
+        assert len(provider.active) == 0
+
+    def test_pool_drains_despite_failures(self):
+        pool, provider, result = self._run(0.4)
+        assert provider.repair_stats.failures > 0
+        assert pool.allocated.sum() == 0
+        assert len(provider.active) == 0
+        assert pool.num_active_nodes == pool.num_nodes  # all recovered
+
+    def test_replacements_counted(self):
+        pool, provider, result = self._run(0.4)
+        # Every lost lease re-enters via the queue, so placements >= arrivals
+        # that were placed.
+        assert provider.stats.placed >= provider.stats.completed
+
+    def test_deterministic(self):
+        _, p1, r1 = self._run(0.3, seed=9)
+        _, p2, r2 = self._run(0.3, seed=9)
+        assert r1.distances == r2.distances
+        assert p1.repair_stats == p2.repair_stats
+
+    def test_failures_degrade_mean_affinity(self):
+        """Repairs scatter VMs, so mean distance should not improve."""
+        _, p_calm, r_calm = self._run(0.0, seed=11)
+        _, p_chaos, r_chaos = self._run(0.5, seed=11)
+        assert np.mean(r_chaos.distances) >= np.mean(r_calm.distances) - 1e-9

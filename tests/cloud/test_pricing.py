@@ -1,0 +1,146 @@
+"""Tests for instance pricing and provider billing."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.lease import Lease
+from repro.cloud.pricing import (
+    DEFAULT_HOURLY_PRICES,
+    BillingReport,
+    PriceSheet,
+    lease_cost,
+    max_affordable_duration,
+    within_budget,
+)
+from repro.cloud.request import TimedRequest
+from repro.cluster.vmtypes import VMType, VMTypeCatalog
+from repro.core.problem import Allocation, VirtualClusterRequest
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def prices():
+    return PriceSheet(VMTypeCatalog.ec2_default())
+
+
+def make_lease(demand=(2, 1, 0), duration=3600.0, start=0.0):
+    matrix = np.zeros((3, 3), dtype=np.int64)
+    matrix[0] = demand
+    return Lease(
+        request=TimedRequest(
+            request=VirtualClusterRequest(demand=list(demand)),
+            arrival_time=0.0,
+            duration=duration,
+        ),
+        allocation=Allocation(matrix=matrix, center=0, distance=0.0),
+        start_time=start,
+    )
+
+
+class TestPriceSheet:
+    def test_defaults_match_catalog(self, prices):
+        assert prices.hourly.tolist() == list(DEFAULT_HOURLY_PRICES)
+
+    def test_larger_types_cost_more(self, prices):
+        assert prices.hourly[0] < prices.hourly[1] < prices.hourly[2]
+
+    def test_custom_catalog_needs_prices(self):
+        nano = VMType(name="nano", memory_gb=0.5, cpu_units=1, storage_gb=8)
+        with pytest.raises(ValidationError):
+            PriceSheet(VMTypeCatalog([nano]))
+        sheet = PriceSheet(VMTypeCatalog([nano]), hourly_prices=[0.01])
+        assert sheet.hourly_rate([3]) == pytest.approx(0.03)
+
+    def test_wrong_price_count_rejected(self):
+        with pytest.raises(ValidationError):
+            PriceSheet(VMTypeCatalog.ec2_default(), hourly_prices=[0.1])
+
+    def test_nonpositive_price_rejected(self):
+        with pytest.raises(ValidationError):
+            PriceSheet(VMTypeCatalog.ec2_default(), hourly_prices=[0.1, 0.0, 0.2])
+
+    def test_hourly_rate(self, prices):
+        assert prices.hourly_rate([2, 1, 0]) == pytest.approx(2 * 0.08 + 0.16)
+
+    def test_cost_scales_with_duration(self, prices):
+        one_hour = prices.cost([1, 0, 0], 3600.0)
+        two_hours = prices.cost([1, 0, 0], 7200.0)
+        assert two_hours == pytest.approx(2 * one_hour)
+        assert one_hour == pytest.approx(0.08)
+
+    def test_negative_duration_rejected(self, prices):
+        with pytest.raises(ValidationError):
+            prices.cost([1, 0, 0], -1.0)
+
+
+class TestLeaseCost:
+    def test_fractional_billing(self, prices):
+        lease = make_lease(duration=1800.0)  # half an hour
+        assert lease_cost(lease, prices) == pytest.approx(
+            (2 * 0.08 + 0.16) / 2
+        )
+
+    def test_round_up_hours(self, prices):
+        lease = make_lease(duration=3601.0)
+        assert lease_cost(lease, prices, round_up_hours=True) == pytest.approx(
+            2 * (2 * 0.08 + 0.16)
+        )
+
+
+class TestBudget:
+    def test_within_budget(self, prices):
+        assert within_budget([1, 0, 0], 3600.0, budget=0.08, prices=prices)
+        assert not within_budget([1, 0, 0], 3600.0, budget=0.07, prices=prices)
+
+    def test_max_affordable_duration_inverse_of_cost(self, prices):
+        demand = [2, 1, 0]
+        duration = max_affordable_duration(demand, budget=1.0, prices=prices)
+        assert prices.cost(demand, duration) == pytest.approx(1.0)
+
+    def test_negative_budget_rejected(self, prices):
+        with pytest.raises(ValidationError):
+            max_affordable_duration([1, 0, 0], budget=-1, prices=prices)
+
+
+class TestBillingReport:
+    def test_empty(self, prices):
+        report = BillingReport.from_leases([], prices)
+        assert report.revenue == 0.0
+        assert report.revenue_per_instance_hour == 0.0
+
+    def test_totals(self, prices):
+        leases = [make_lease(duration=3600.0), make_lease(duration=7200.0)]
+        report = BillingReport.from_leases(leases, prices)
+        assert report.leases == 2
+        assert report.revenue == pytest.approx(3 * (2 * 0.08 + 0.16))
+        assert report.instance_hours == pytest.approx(3 * 3)  # 3 VMs x 3 h
+
+    def test_per_type_breakdown_sums_to_revenue(self, prices):
+        leases = [make_lease((1, 2, 1), duration=3600.0)]
+        report = BillingReport.from_leases(leases, prices)
+        assert sum(report.per_type_revenue) == pytest.approx(report.revenue)
+
+    def test_placement_does_not_change_the_bill(self, prices):
+        """Affinity optimization is billing-neutral: the same demand for the
+        same duration costs the same regardless of the allocation shape."""
+        compact = np.zeros((3, 3), dtype=np.int64)
+        compact[0] = [2, 1, 0]
+        spread = np.zeros((3, 3), dtype=np.int64)
+        spread[0] = [1, 0, 0]
+        spread[1] = [1, 1, 0]
+        request = TimedRequest(
+            request=VirtualClusterRequest(demand=[2, 1, 0]),
+            arrival_time=0.0,
+            duration=3600.0,
+        )
+        lease_a = Lease(
+            request=request,
+            allocation=Allocation(matrix=compact, center=0, distance=0.0),
+            start_time=0.0,
+        )
+        lease_b = Lease(
+            request=request,
+            allocation=Allocation(matrix=spread, center=0, distance=1.0),
+            start_time=0.0,
+        )
+        assert lease_cost(lease_a, prices) == lease_cost(lease_b, prices)

@@ -1,0 +1,134 @@
+"""Tests for the cloud provider (pool + queue + policy)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.provider import CloudProvider
+from repro.cloud.queue import RequestQueue
+from repro.cloud.request import TimedRequest
+from repro.core.placement.global_opt import GlobalSubOptimizer
+from repro.core.placement.greedy import OnlineHeuristic
+from repro.core.problem import VirtualClusterRequest
+from repro.util.errors import ValidationError
+
+from tests.conftest import make_pool
+
+
+def timed(demand, arrival=0.0, duration=10.0):
+    return TimedRequest(
+        request=VirtualClusterRequest(demand=list(demand)),
+        arrival_time=arrival,
+        duration=duration,
+    )
+
+
+@pytest.fixture
+def provider():
+    return CloudProvider(make_pool(2, 3, capacity=(2, 1, 1)), OnlineHeuristic())
+
+
+class TestSubmit:
+    def test_immediate_placement(self, provider):
+        lease = provider.submit(timed([2, 1, 0]), now=0.0)
+        assert lease is not None
+        assert provider.stats.placed == 1
+        assert provider.pool.allocated.sum() == 3
+
+    def test_refusal_over_max_capacity(self, provider):
+        lease = provider.submit(timed([99, 0, 0]), now=0.0)
+        assert lease is None
+        assert provider.stats.refused == 1
+        assert len(provider.queue) == 0
+
+    def test_queueing_when_short(self, provider):
+        # Exhaust type-0 capacity (12 smalls total).
+        assert provider.submit(timed([12, 0, 0]), now=0.0) is not None
+        lease = provider.submit(timed([1, 0, 0]), now=1.0)
+        assert lease is None
+        assert len(provider.queue) == 1
+        assert provider.stats.placed == 1
+
+    def test_queue_overflow_rejected(self):
+        provider = CloudProvider(
+            make_pool(1, 1, capacity=(1, 0, 0)),
+            OnlineHeuristic(),
+            queue=RequestQueue(capacity=1),
+        )
+        provider.submit(timed([1, 0, 0]), now=0.0)  # placed
+        provider.submit(timed([1, 0, 0]), now=0.0)  # queued
+        provider.submit(timed([1, 0, 0]), now=0.0)  # queue full
+        assert provider.stats.queue_rejected == 1
+
+    def test_fifo_fairness_no_overtaking(self, provider):
+        """While anything is queued, new arrivals must also queue."""
+        provider.submit(timed([12, 0, 0]), now=0.0)
+        provider.submit(timed([6, 0, 0]), now=1.0)  # queued (no capacity)
+        lease = provider.submit(timed([0, 1, 0]), now=2.0)  # would fit, but...
+        assert lease is None
+        assert len(provider.queue) == 2
+
+
+class TestRelease:
+    def test_release_returns_capacity(self, provider):
+        lease = provider.submit(timed([2, 1, 0]), now=0.0)
+        provider.release(lease.request_id, now=5.0)
+        assert provider.pool.allocated.sum() == 0
+        assert provider.stats.completed == 1
+
+    def test_release_unknown_rejected(self, provider):
+        with pytest.raises(ValidationError):
+            provider.release(12345, now=0.0)
+
+    def test_release_drains_queue(self, provider):
+        first = provider.submit(timed([12, 0, 0]), now=0.0)
+        provider.submit(timed([2, 0, 0], arrival=1.0), now=1.0)  # queued
+        started = provider.release(first.request_id, now=2.0)
+        assert len(started) == 1
+        assert started[0].wait_time == pytest.approx(1.0)
+        assert len(provider.queue) == 0
+
+    def test_drain_respects_capacity(self, provider):
+        first = provider.submit(timed([12, 0, 0]), now=0.0)
+        provider.submit(timed([10, 0, 0], arrival=1.0), now=1.0)
+        provider.submit(timed([10, 0, 0], arrival=1.5), now=1.5)
+        started = provider.release(first.request_id, now=2.0)
+        # Only one of the 10-VM requests fits in the freed 12.
+        assert len(started) == 1
+        assert len(provider.queue) == 1
+
+
+class TestBatchPolicy:
+    def test_batch_drain_uses_algorithm2(self):
+        pool = make_pool(2, 3, capacity=(2, 1, 1))
+        provider = CloudProvider(
+            pool,
+            OnlineHeuristic(),
+            batch_policy=GlobalSubOptimizer(),
+        )
+        first = provider.submit(timed([12, 0, 0]), now=0.0)
+        provider.submit(timed([3, 0, 0], arrival=1.0), now=1.0)
+        provider.submit(timed([3, 0, 0], arrival=1.0), now=1.0)
+        started = provider.release(first.request_id, now=2.0)
+        assert len(started) == 2
+        assert provider.pool.allocated.sum() == 6
+
+    def test_batch_allocations_committed_once(self):
+        pool = make_pool(2, 2, capacity=(2, 0, 0))
+        provider = CloudProvider(
+            pool, OnlineHeuristic(), batch_policy=GlobalSubOptimizer()
+        )
+        first = provider.submit(timed([8, 0, 0]), now=0.0)
+        provider.submit(timed([4, 0, 0], arrival=1.0), now=1.0)
+        provider.release(first.request_id, now=2.0)
+        assert provider.pool.allocated.sum() == 4
+
+
+class TestStats:
+    def test_mean_distance_over_placed(self, provider):
+        provider.submit(timed([1, 0, 0]), now=0.0)
+        provider.submit(timed([0, 1, 0]), now=0.0)
+        assert provider.stats.mean_distance == 0.0  # both single-node
+
+    def test_empty_stats(self, provider):
+        assert provider.stats.mean_distance == 0.0
+        assert provider.stats.mean_wait == 0.0

@@ -1,0 +1,133 @@
+"""Tests for the bounded request queue and the getRequests admission scan."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.queue import QueueDiscipline, RequestQueue
+from repro.cloud.request import TimedRequest
+from repro.core.problem import VirtualClusterRequest
+from repro.util.errors import ValidationError
+
+
+def timed(demand, priority=0, arrival=0.0):
+    return TimedRequest(
+        request=VirtualClusterRequest(demand=list(demand)),
+        arrival_time=arrival,
+        duration=10.0,
+        priority=priority,
+    )
+
+
+class TestBasics:
+    def test_submit_and_len(self):
+        q = RequestQueue()
+        assert q.submit(timed([1, 0]))
+        assert len(q) == 1
+
+    def test_capacity_bound(self):
+        q = RequestQueue(capacity=2)
+        assert q.submit(timed([1, 0]))
+        assert q.submit(timed([1, 0]))
+        assert q.is_full
+        assert not q.submit(timed([1, 0]))
+        assert len(q) == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            RequestQueue(capacity=0)
+
+    def test_invalid_discipline_rejected(self):
+        with pytest.raises(ValidationError):
+            RequestQueue(discipline="lifo")
+
+    def test_cancel(self):
+        q = RequestQueue()
+        r = timed([1, 0])
+        q.submit(r)
+        assert q.cancel(r.request_id)
+        assert len(q) == 0
+        assert not q.cancel(r.request_id)
+
+
+class TestOrdering:
+    def test_fifo_order(self):
+        q = RequestQueue(discipline=QueueDiscipline.FIFO)
+        a, b, c = timed([1, 0]), timed([2, 0]), timed([3, 0])
+        for r in (a, b, c):
+            q.submit(r)
+        assert [r.request_id for r in q] == [a.request_id, b.request_id, c.request_id]
+
+    def test_priority_order(self):
+        q = RequestQueue(discipline=QueueDiscipline.PRIORITY)
+        low = timed([1, 0], priority=5)
+        high = timed([2, 0], priority=1)
+        q.submit(low)
+        q.submit(high)
+        assert [r.request_id for r in q] == [high.request_id, low.request_id]
+
+    def test_priority_ties_fifo(self):
+        q = RequestQueue(discipline=QueueDiscipline.PRIORITY)
+        a = timed([1, 0], priority=1)
+        b = timed([2, 0], priority=1)
+        q.submit(a)
+        q.submit(b)
+        assert [r.request_id for r in q] == [a.request_id, b.request_id]
+
+
+class TestPeekAdmissible:
+    def test_jointly_satisfiable_batch(self):
+        q = RequestQueue()
+        q.submit(timed([3, 0]))
+        q.submit(timed([3, 0]))
+        q.submit(timed([3, 0]))
+        batch = q.peek_admissible(np.array([7, 0]))
+        # First two fit (6 <= 7); the third would need 9.
+        assert len(batch) == 2
+
+    def test_skips_oversized_but_admits_later(self):
+        """A large head-of-line request must not block smaller ones."""
+        q = RequestQueue()
+        big = timed([10, 0])
+        small = timed([2, 0])
+        q.submit(big)
+        q.submit(small)
+        batch = q.peek_admissible(np.array([5, 0]))
+        assert [r.request_id for r in batch] == [small.request_id]
+
+    def test_does_not_modify_queue(self):
+        q = RequestQueue()
+        q.submit(timed([1, 0]))
+        q.peek_admissible(np.array([5, 0]))
+        assert len(q) == 1
+
+    def test_priority_discipline_scan_order(self):
+        q = RequestQueue(discipline=QueueDiscipline.PRIORITY)
+        low = timed([3, 0], priority=9)
+        high = timed([3, 0], priority=0)
+        q.submit(low)
+        q.submit(high)
+        batch = q.peek_admissible(np.array([3, 0]))
+        assert [r.request_id for r in batch] == [high.request_id]
+
+    def test_empty_availability(self):
+        q = RequestQueue()
+        q.submit(timed([1, 0]))
+        assert q.peek_admissible(np.array([0, 0])) == []
+
+
+class TestRemoveBatch:
+    def test_removes_only_batch(self):
+        q = RequestQueue()
+        a, b = timed([1, 0]), timed([2, 0])
+        q.submit(a)
+        q.submit(b)
+        q.remove_batch([a])
+        assert [r.request_id for r in q] == [b.request_id]
+
+    def test_remove_then_resubmit(self):
+        q = RequestQueue()
+        a = timed([1, 0])
+        q.submit(a)
+        q.remove_batch([a])
+        assert q.submit(a)
+        assert len(q) == 1

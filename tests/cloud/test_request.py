@@ -1,0 +1,72 @@
+"""Tests for timed requests and workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.request import TimedRequest, poisson_workload
+from repro.core.problem import VirtualClusterRequest
+from repro.util.errors import ValidationError
+
+
+def timed(demand=(1, 0, 0), arrival=0.0, duration=10.0, priority=0):
+    return TimedRequest(
+        request=VirtualClusterRequest(demand=list(demand)),
+        arrival_time=arrival,
+        duration=duration,
+        priority=priority,
+    )
+
+
+class TestTimedRequest:
+    def test_properties(self):
+        r = timed((1, 2, 0), arrival=5.0, duration=3.0)
+        assert r.demand.tolist() == [1, 2, 0]
+        assert r.request_id == r.request.request_id
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValidationError):
+            timed(arrival=-1.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValidationError):
+            timed(duration=0.0)
+
+
+class TestPoissonWorkload:
+    def test_count_and_ordering(self):
+        wl = poisson_workload(50, 3, seed=1)
+        assert len(wl) == 50
+        arrivals = [r.arrival_time for r in wl]
+        assert arrivals == sorted(arrivals)
+
+    def test_no_empty_demands(self):
+        wl = poisson_workload(100, 3, seed=2, demand_low=0, demand_high=2)
+        assert all(r.demand.sum() > 0 for r in wl)
+
+    def test_demand_bounds(self):
+        wl = poisson_workload(100, 3, seed=3, demand_low=1, demand_high=2)
+        for r in wl:
+            assert r.demand.min() >= 1 and r.demand.max() <= 2
+
+    def test_deterministic(self):
+        a = poisson_workload(10, 3, seed=4)
+        b = poisson_workload(10, 3, seed=4)
+        assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+        assert all(np.array_equal(x.demand, y.demand) for x, y in zip(a, b))
+
+    def test_mean_interarrival_scales(self):
+        fast = poisson_workload(200, 3, mean_interarrival=1.0, seed=5)
+        slow = poisson_workload(200, 3, mean_interarrival=10.0, seed=5)
+        assert slow[-1].arrival_time > fast[-1].arrival_time
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValidationError):
+            poisson_workload(-1, 3)
+        with pytest.raises(ValidationError):
+            poisson_workload(1, 3, mean_interarrival=0)
+        with pytest.raises(ValidationError):
+            poisson_workload(1, 3, mean_duration=0)
+
+    def test_durations_positive(self):
+        wl = poisson_workload(100, 3, seed=6)
+        assert all(r.duration > 0 for r in wl)

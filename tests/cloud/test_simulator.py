@@ -1,0 +1,99 @@
+"""Tests for the event-driven cloud simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.provider import CloudProvider
+from repro.cloud.request import TimedRequest, poisson_workload
+from repro.cloud.simulator import CloudSimulator
+from repro.core.placement.greedy import OnlineHeuristic
+from repro.core.problem import VirtualClusterRequest
+
+from tests.conftest import make_pool
+
+
+def timed(demand, arrival, duration):
+    return TimedRequest(
+        request=VirtualClusterRequest(demand=list(demand)),
+        arrival_time=arrival,
+        duration=duration,
+    )
+
+
+def run(workload, pool=None):
+    pool = pool or make_pool(2, 3, capacity=(2, 1, 1))
+    provider = CloudProvider(pool, OnlineHeuristic())
+    return CloudSimulator(provider).run(workload), provider
+
+
+class TestLifecycle:
+    def test_all_complete_and_pool_drains(self):
+        wl = poisson_workload(30, 3, demand_high=2, seed=1)
+        result, provider = run(wl)
+        assert provider.stats.placed == provider.stats.completed
+        assert provider.pool.allocated.sum() == 0
+        assert len(provider.active) == 0
+
+    def test_every_placed_request_has_distance(self):
+        wl = poisson_workload(20, 3, demand_high=2, seed=2)
+        result, provider = run(wl)
+        assert len(result.distances) == provider.stats.placed
+
+    def test_makespan_is_last_event(self):
+        wl = [timed([1, 0, 0], arrival=0.0, duration=100.0)]
+        result, _ = run(wl)
+        assert result.makespan == pytest.approx(100.0)
+
+    def test_deterministic(self):
+        wl = poisson_workload(40, 3, demand_high=2, seed=3)
+        r1, _ = run(wl)
+        r2, _ = run(wl)
+        assert r1.distances == r2.distances
+        assert r1.makespan == r2.makespan
+
+
+class TestQueueing:
+    def test_blocked_request_waits_for_departure(self):
+        pool = make_pool(1, 1, capacity=(1, 0, 0))
+        wl = [
+            timed([1, 0, 0], arrival=0.0, duration=10.0),
+            timed([1, 0, 0], arrival=1.0, duration=5.0),
+        ]
+        result, provider = run(wl, pool)
+        assert provider.stats.placed == 2
+        # Second request waited until t=10 (first departure).
+        assert result.waits[1] == pytest.approx(9.0)
+
+    def test_utilization_peaks_under_contention(self):
+        pool = make_pool(1, 1, capacity=(2, 0, 0))
+        wl = [
+            timed([2, 0, 0], arrival=0.0, duration=50.0),
+            timed([2, 0, 0], arrival=1.0, duration=50.0),
+        ]
+        result, _ = run(wl, pool)
+        peak = max(s.utilization for s in result.utilization)
+        assert peak == pytest.approx(1.0)
+
+    def test_queue_depth_recorded(self):
+        pool = make_pool(1, 1, capacity=(1, 0, 0))
+        wl = [
+            timed([1, 0, 0], arrival=0.0, duration=10.0),
+            timed([1, 0, 0], arrival=1.0, duration=1.0),
+            timed([1, 0, 0], arrival=2.0, duration=1.0),
+        ]
+        result, _ = run(wl, pool)
+        assert max(s.queued for s in result.utilization) == 2
+
+
+class TestRefusals:
+    def test_oversized_request_refused_not_queued(self):
+        wl = [timed([999, 0, 0], arrival=0.0, duration=1.0)]
+        result, provider = run(wl)
+        assert provider.stats.refused == 1
+        assert provider.stats.placed == 0
+        assert result.distances == []
+
+    def test_mean_utilization_zero_when_all_refused(self):
+        wl = [timed([999, 0, 0], arrival=0.0, duration=1.0)]
+        result, _ = run(wl)
+        assert result.mean_utilization == 0.0

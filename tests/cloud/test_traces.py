@@ -1,0 +1,94 @@
+"""Tests for trace serialization round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cloud.request import poisson_workload
+from repro.cloud.traces import load_trace, save_trace
+from repro.cluster.distance import DistanceModel
+from repro.cluster.generators import PoolSpec, random_pool
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def setup():
+    catalog = VMTypeCatalog.ec2_default()
+    pool = random_pool(
+        PoolSpec(racks=2, nodes_per_rack=3, capacity_high=3),
+        catalog,
+        seed=4,
+        distance_model=DistanceModel(1.0, 3.0, 9.0),
+    )
+    workload = poisson_workload(25, 3, seed=5)
+    return pool, workload
+
+
+class TestRoundTrip:
+    def test_pool_restored(self, setup, tmp_path):
+        pool, workload = setup
+        path = tmp_path / "trace.json"
+        save_trace(path, pool=pool, workload=workload)
+        loaded_pool, _ = load_trace(path)
+        assert loaded_pool.num_nodes == pool.num_nodes
+        assert np.array_equal(loaded_pool.max_capacity, pool.max_capacity)
+        assert np.array_equal(loaded_pool.distance_matrix, pool.distance_matrix)
+        assert loaded_pool.catalog == pool.catalog
+
+    def test_workload_restored(self, setup, tmp_path):
+        pool, workload = setup
+        path = tmp_path / "trace.json"
+        save_trace(path, pool=pool, workload=workload)
+        _, loaded = load_trace(path)
+        assert len(loaded) == len(workload)
+        for orig, back in zip(workload, loaded):
+            assert np.array_equal(orig.demand, back.demand)
+            assert back.arrival_time == orig.arrival_time
+            assert back.duration == orig.duration
+            assert back.priority == orig.priority
+
+    def test_replay_gives_identical_simulation(self, setup, tmp_path):
+        from repro.cloud.provider import CloudProvider
+        from repro.cloud.simulator import CloudSimulator
+        from repro.core.placement.greedy import OnlineHeuristic
+
+        pool, workload = setup
+        path = tmp_path / "trace.json"
+        save_trace(path, pool=pool, workload=workload)
+        loaded_pool, loaded_wl = load_trace(path)
+
+        r1 = CloudSimulator(CloudProvider(pool, OnlineHeuristic())).run(workload)
+        r2 = CloudSimulator(CloudProvider(loaded_pool, OnlineHeuristic())).run(loaded_wl)
+        assert r1.distances == r2.distances
+        assert r1.makespan == r2.makespan
+
+
+class TestValidation:
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, setup, tmp_path):
+        pool, workload = setup
+        path = tmp_path / "trace.json"
+        save_trace(path, pool=pool, workload=workload)
+        doc = json.loads(path.read_text())
+        doc["version"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValidationError):
+            load_trace(path)
+
+    def test_node_order_normalized(self, setup, tmp_path):
+        """Traces with shuffled node entries load into canonical order."""
+        pool, workload = setup
+        path = tmp_path / "trace.json"
+        save_trace(path, pool=pool, workload=workload)
+        doc = json.loads(path.read_text())
+        doc["pool"]["nodes"] = list(reversed(doc["pool"]["nodes"]))
+        path.write_text(json.dumps(doc))
+        loaded_pool, _ = load_trace(path)
+        assert np.array_equal(loaded_pool.max_capacity, pool.max_capacity)

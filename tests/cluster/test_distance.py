@@ -1,0 +1,117 @@
+"""Tests for the hierarchical distance model and matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.distance import (
+    DistanceModel,
+    PAPER_EXPERIMENT_DISTANCES,
+    build_distance_matrix,
+    hop_distance_matrix,
+    satisfies_triangle_inequality,
+    validate_distance_matrix,
+)
+from repro.cluster.topology import Topology
+from repro.util.errors import ValidationError
+
+
+class TestDistanceModel:
+    def test_paper_weights(self):
+        assert PAPER_EXPERIMENT_DISTANCES.intra_rack == 1.0
+        assert PAPER_EXPERIMENT_DISTANCES.inter_rack == 2.0
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ValidationError):
+            DistanceModel(intra_rack=2.0, inter_rack=1.0)
+
+    def test_zero_intra_rack_rejected(self):
+        # Paper requires 0 < d1.
+        with pytest.raises(ValidationError):
+            DistanceModel(intra_rack=0.0, inter_rack=1.0, inter_cloud=2.0)
+
+    def test_point_distances(self):
+        topo = Topology.build(2, 2, capacity=[1], clouds=2)
+        m = DistanceModel(intra_rack=1, inter_rack=2, inter_cloud=5)
+        assert m.distance(topo, 0, 0) == 0.0
+        assert m.distance(topo, 0, 1) == 1.0
+        assert m.distance(topo, 0, 2) == 2.0
+        assert m.distance(topo, 0, 4) == 5.0
+
+
+class TestBuildDistanceMatrix:
+    @pytest.fixture
+    def topo(self):
+        return Topology.build(2, 2, capacity=[1], clouds=2)  # 8 nodes
+
+    def test_diagonal_zero(self, topo):
+        d = build_distance_matrix(topo)
+        assert np.all(np.diag(d) == 0)
+
+    def test_symmetric(self, topo):
+        d = build_distance_matrix(topo)
+        assert np.array_equal(d, d.T)
+
+    def test_tier_values(self, topo):
+        d = build_distance_matrix(topo, DistanceModel(1, 2, 4))
+        assert d[0, 1] == 1  # same rack
+        assert d[0, 2] == 2  # same cloud, other rack
+        assert d[0, 4] == 4  # other cloud
+
+    def test_matches_pointwise_model(self, topo):
+        model = DistanceModel(1, 3, 9)
+        d = build_distance_matrix(topo, model)
+        for a in range(topo.num_nodes):
+            for b in range(topo.num_nodes):
+                assert d[a, b] == model.distance(topo, a, b)
+
+    def test_triangle_inequality(self, topo):
+        d = build_distance_matrix(topo, DistanceModel(1, 2, 4))
+        assert satisfies_triangle_inequality(d)
+
+    def test_triangle_violation_detected(self):
+        d = np.array(
+            [
+                [0.0, 1.0, 5.0],
+                [1.0, 0.0, 1.0],
+                [5.0, 1.0, 0.0],
+            ]
+        )
+        assert not satisfies_triangle_inequality(d)
+
+
+class TestValidateDistanceMatrix:
+    def test_valid_passes_and_copies(self):
+        src = np.array([[0.0, 1.0], [1.0, 0.0]])
+        out = validate_distance_matrix(src)
+        out[0, 1] = 9
+        assert src[0, 1] == 1.0
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_distance_matrix([[0, 1], [2, 0]])
+
+    def test_nonzero_diagonal_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_distance_matrix([[1, 1], [1, 0]])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_distance_matrix([[0, -1], [-1, 0]])
+
+
+class TestHopDistance:
+    def test_values(self):
+        topo = Topology.build(2, 2, capacity=[1], clouds=2)
+        d = hop_distance_matrix(topo)
+        assert d[0, 0] == 0
+        assert d[0, 1] == 2
+        assert d[0, 2] == 4
+        assert d[0, 4] == 6
+
+    def test_same_ordering_as_model(self):
+        """Hop distances must rank node pairs identically to DistanceModel."""
+        topo = Topology.build(2, 3, capacity=[1], clouds=2)
+        hier = build_distance_matrix(topo, DistanceModel(1, 2, 4))
+        hops = hop_distance_matrix(topo)
+        # Monotone relation: sorting pairs by either metric gives same order.
+        assert np.array_equal(np.sign(hier[0] - hier[1]), np.sign(hops[0] - hops[1]))

@@ -1,0 +1,140 @@
+"""Tests for random topology / pool / request generators."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.generators import (
+    LARGE_REQUESTS,
+    SMALL_REQUESTS,
+    PoolSpec,
+    RequestSpec,
+    feasible_random_requests,
+    random_pool,
+    random_request,
+    random_requests,
+    random_topology,
+)
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def catalog():
+    return VMTypeCatalog.ec2_default()
+
+
+class TestPoolSpec:
+    def test_paper_defaults(self):
+        spec = PoolSpec()
+        assert spec.racks == 3
+        assert spec.nodes_per_rack == 10
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            PoolSpec(racks=0)
+
+    def test_invalid_capacity_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            PoolSpec(capacity_low=3, capacity_high=2)
+
+
+class TestRandomTopology:
+    def test_shape(self, catalog):
+        topo = random_topology(PoolSpec(racks=3, nodes_per_rack=10), catalog, seed=1)
+        assert topo.num_nodes == 30
+        assert topo.num_racks == 3
+
+    def test_capacities_within_bounds(self, catalog):
+        spec = PoolSpec(capacity_low=1, capacity_high=3)
+        topo = random_topology(spec, catalog, seed=2)
+        m = topo.capacity_matrix()
+        assert m.min() >= 1
+        assert m.max() <= 3
+
+    def test_deterministic(self, catalog):
+        a = random_topology(PoolSpec(), catalog, seed=9).capacity_matrix()
+        b = random_topology(PoolSpec(), catalog, seed=9).capacity_matrix()
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self, catalog):
+        a = random_topology(PoolSpec(), catalog, seed=1).capacity_matrix()
+        b = random_topology(PoolSpec(), catalog, seed=2).capacity_matrix()
+        assert not np.array_equal(a, b)
+
+    def test_multicloud(self, catalog):
+        topo = random_topology(PoolSpec(racks=2, nodes_per_rack=2, clouds=2), catalog, seed=3)
+        assert topo.num_clouds == 2
+        assert topo.num_nodes == 8
+
+
+class TestRandomPool:
+    def test_pool_usable(self, catalog):
+        pool = random_pool(PoolSpec(), catalog, seed=4)
+        assert pool.num_nodes == 30
+        assert pool.allocated.sum() == 0
+
+
+class TestRequestSpec:
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            RequestSpec(low=2, high=1)
+
+    def test_impossible_min_total_rejected(self):
+        with pytest.raises(ValidationError):
+            RequestSpec(low=0, high=0, min_total=1)
+
+    def test_scenario_specs_are_ordered(self):
+        # The "small" scenario must actually request fewer VMs than "large".
+        assert SMALL_REQUESTS.high < LARGE_REQUESTS.high
+
+
+class TestRandomRequest:
+    def test_bounds(self):
+        spec = RequestSpec(low=1, high=3)
+        r = random_request(spec, 3, seed=5)
+        assert r.min() >= 1 and r.max() <= 3
+
+    def test_min_total_respected(self):
+        spec = RequestSpec(low=0, high=1, min_total=2)
+        for seed in range(20):
+            assert random_request(spec, 3, seed=seed).sum() >= 2
+
+    def test_deterministic(self):
+        spec = RequestSpec()
+        assert np.array_equal(
+            random_request(spec, 3, seed=7), random_request(spec, 3, seed=7)
+        )
+
+    def test_count(self):
+        out = random_requests(RequestSpec(), 3, 10, seed=1)
+        assert len(out) == 10
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            random_requests(RequestSpec(), 3, -1)
+
+
+class TestFeasibleRandomRequests:
+    def test_all_within_max_capacity(self, catalog):
+        pool = random_pool(PoolSpec(capacity_high=2), catalog, seed=11)
+        reqs = feasible_random_requests(
+            pool, RequestSpec(low=0, high=6, min_total=5), 15, seed=12
+        )
+        total = pool.max_capacity.sum(axis=0)
+        assert len(reqs) == 15
+        for r in reqs:
+            assert np.all(r <= total)
+
+    def test_impossible_spec_raises(self, catalog):
+        pool = random_pool(
+            PoolSpec(racks=1, nodes_per_rack=1, capacity_high=1), catalog, seed=1
+        )
+        # Requests of >= 30 VMs can never fit a <= 3-VM pool.
+        with pytest.raises(ValidationError):
+            feasible_random_requests(
+                pool,
+                RequestSpec(low=10, high=12, min_total=30),
+                1,
+                seed=2,
+                max_draws=50,
+            )

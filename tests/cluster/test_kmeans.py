@@ -1,0 +1,62 @@
+"""Direct tests for the exact 1-D k-means DP used by tier quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.measurement import _kmeans_1d_exact
+
+
+class TestExactKMeans:
+    def test_two_clean_clusters(self):
+        values = np.array([1.0, 1.1, 0.9, 5.0, 5.1, 4.9])
+        centers = np.sort(_kmeans_1d_exact(values, 2))
+        assert centers[0] == pytest.approx(1.0, abs=0.01)
+        assert centers[1] == pytest.approx(5.0, abs=0.01)
+
+    def test_dominant_cluster_does_not_swallow_minority(self):
+        """The failure mode of quantile-seeded Lloyd: one small near tier,
+        one huge far tier."""
+        values = np.concatenate([[1.0, 1.05], np.full(50, 4.0)])
+        centers = np.sort(_kmeans_1d_exact(values, 2))
+        assert centers[0] == pytest.approx(1.025, abs=0.01)
+        assert centers[1] == pytest.approx(4.0, abs=0.01)
+
+    def test_three_tiers(self):
+        values = np.array([1.0] * 4 + [2.0] * 8 + [4.0] * 16)
+        centers = np.sort(_kmeans_1d_exact(values, 3))
+        assert np.allclose(centers, [1.0, 2.0, 4.0])
+
+    def test_k_one_is_mean(self):
+        values = np.array([1.0, 2.0, 6.0])
+        assert _kmeans_1d_exact(values, 1)[0] == pytest.approx(3.0)
+
+    def test_k_equals_n_zero_cost(self):
+        values = np.array([1.0, 2.0, 3.0])
+        centers = np.sort(_kmeans_1d_exact(values, 3))
+        assert np.allclose(centers, values)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(0.1, 100.0, allow_nan=False), min_size=3, max_size=20
+        ),
+        k=st.integers(1, 3),
+    )
+    def test_property_beats_or_matches_lloyd_style_split(self, values, k):
+        """The DP solution's SSE is minimal among contiguous partitions, so
+        it must not exceed the SSE of an arbitrary quantile split."""
+        xs = np.sort(np.asarray(values))
+        k = min(k, len(np.unique(xs)))
+        centers = _kmeans_1d_exact(xs, k)
+
+        def sse(cs):
+            assign = np.argmin(np.abs(xs[:, None] - np.asarray(cs)[None, :]), axis=1)
+            return sum(
+                ((xs[assign == c] - np.asarray(cs)[c]) ** 2).sum()
+                for c in range(len(cs))
+            )
+
+        quantile_centers = np.quantile(xs, np.linspace(0, 1, k + 2)[1:-1])
+        assert sse(centers) <= sse(np.unique(quantile_centers)) + 1e-6

@@ -1,0 +1,148 @@
+"""Tests for measured-latency distance inference."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.distance import DistanceModel, build_distance_matrix
+from repro.cluster.measurement import (
+    LatencyProber,
+    ProbeConfig,
+    aggregate_probes,
+    infer_distance_matrix,
+    quantize_to_tiers,
+    tier_recovery_accuracy,
+)
+from repro.cluster.topology import Topology
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def topo():
+    return Topology.build(2, 3, capacity=[1])  # 6 nodes, 2 racks
+
+
+class TestProbeConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"samples_per_pair": 0},
+            {"jitter": -0.1},
+            {"outlier_probability": 1.0},
+            {"outlier_factor": 0.5},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            ProbeConfig(**kwargs)
+
+
+class TestLatencyProber:
+    def test_self_probe_zero(self, topo):
+        prober = LatencyProber(topo, seed=1)
+        assert prober.probe(0, 0) == 0.0
+
+    def test_probe_near_truth(self, topo):
+        prober = LatencyProber(
+            topo, config=ProbeConfig(jitter=0.01, outlier_probability=0.0), seed=2
+        )
+        truth = build_distance_matrix(topo)
+        samples = [prober.probe(0, 3) for _ in range(50)]
+        assert np.median(samples) == pytest.approx(truth[0, 3], rel=0.05)
+
+    def test_probe_all_shape_and_symmetry(self, topo):
+        prober = LatencyProber(topo, config=ProbeConfig(samples_per_pair=3), seed=3)
+        samples = prober.probe_all()
+        assert samples.shape == (3, 6, 6)
+        assert np.allclose(samples, samples.transpose(0, 2, 1))
+
+    def test_deterministic(self, topo):
+        a = LatencyProber(topo, seed=4).probe_all()
+        b = LatencyProber(topo, seed=4).probe_all()
+        assert np.array_equal(a, b)
+
+
+class TestAggregateProbes:
+    def test_median_rejects_outliers(self):
+        base = np.ones((5, 2, 2))
+        for s in range(5):
+            base[s, 0, 0] = base[s, 1, 1] = 0.0
+        base[0, 0, 1] = base[0, 1, 0] = 100.0  # one outlier sample
+        agg = aggregate_probes(base)
+        assert agg[0, 1] == pytest.approx(1.0)
+
+    def test_diagonal_zero(self):
+        agg = aggregate_probes(np.ones((2, 3, 3)))
+        assert np.all(np.diag(agg) == 0)
+
+    def test_symmetric_output(self):
+        arr = np.random.default_rng(5).random((3, 4, 4))
+        agg = aggregate_probes(arr)
+        assert np.allclose(agg, agg.T)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            aggregate_probes(np.ones((3, 2)))
+
+
+class TestQuantizeToTiers:
+    def test_recovers_clean_tiers(self, topo):
+        truth = build_distance_matrix(topo, DistanceModel(1, 2, 4))
+        quantized, tiers = quantize_to_tiers(truth, 2)
+        assert np.allclose(quantized, truth)
+        assert np.allclose(np.sort(tiers), [1.0, 2.0])
+
+    def test_noisy_input_snaps(self, topo):
+        truth = build_distance_matrix(topo)
+        noisy = truth * (1 + 0.05 * np.random.default_rng(6).standard_normal(truth.shape))
+        noisy = (noisy + noisy.T) / 2
+        np.fill_diagonal(noisy, 0)
+        quantized, tiers = quantize_to_tiers(np.abs(noisy), 2)
+        assert len(np.unique(quantized[quantized > 0])) <= 2
+
+    def test_single_tier(self):
+        m = np.array([[0.0, 1.1], [1.1, 0.0]])
+        quantized, tiers = quantize_to_tiers(m, 1)
+        assert np.allclose(quantized[0, 1], 1.1)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            quantize_to_tiers(np.zeros((2, 3)), 2)
+        with pytest.raises(ValidationError):
+            quantize_to_tiers(np.zeros((2, 2)), 0)
+
+    def test_all_zero_matrix(self):
+        quantized, tiers = quantize_to_tiers(np.zeros((3, 3)), 2)
+        assert np.all(quantized == 0)
+
+
+class TestEndToEnd:
+    def test_recovery_at_realistic_noise(self, topo):
+        inferred, tiers = infer_distance_matrix(
+            topo,
+            num_tiers=2,
+            config=ProbeConfig(samples_per_pair=7, jitter=0.08),
+            seed=7,
+        )
+        assert tier_recovery_accuracy(inferred, topo) == pytest.approx(1.0)
+        assert tiers[0] < tiers[1]
+
+    def test_inferred_matrix_usable_by_solvers(self, topo):
+        """The inferred matrix plugs straight into the SD machinery."""
+        from repro.core.distance import cluster_distance
+
+        inferred, _ = infer_distance_matrix(topo, num_tiers=2, seed=8)
+        counts = np.array([2, 1, 0, 0, 1, 0])
+        dc, center = cluster_distance(counts, inferred)
+        assert dc > 0
+        assert 0 <= center < 6
+
+    def test_three_level_hierarchy(self):
+        topo = Topology.build(2, 2, capacity=[1], clouds=2)
+        inferred, tiers = infer_distance_matrix(
+            topo,
+            num_tiers=3,
+            config=ProbeConfig(samples_per_pair=9, jitter=0.05),
+            seed=9,
+        )
+        assert len(tiers) == 3
+        assert tier_recovery_accuracy(inferred, topo) == pytest.approx(1.0)

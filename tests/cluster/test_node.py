@@ -1,0 +1,75 @@
+"""Tests for physical nodes and capacity derivation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import NodeResources, PhysicalNode, capacity_from_resources
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.util.errors import ValidationError
+
+
+class TestPhysicalNode:
+    def test_basic(self):
+        n = PhysicalNode(node_id=0, rack_id=0, cloud_id=0, capacity=[2, 1, 0])
+        assert n.capacity.tolist() == [2, 1, 0]
+        assert n.name == "N0"
+
+    def test_custom_name(self):
+        n = PhysicalNode(node_id=1, rack_id=0, cloud_id=0, capacity=[1], name="web-1")
+        assert n.name == "web-1"
+
+    def test_total_capacity(self):
+        n = PhysicalNode(node_id=0, rack_id=0, cloud_id=0, capacity=[2, 3, 1])
+        assert n.total_capacity == 6
+
+    def test_can_host(self):
+        n = PhysicalNode(node_id=0, rack_id=0, cloud_id=0, capacity=[2, 0, 1])
+        assert n.can_host(0, 2)
+        assert not n.can_host(0, 3)
+        assert not n.can_host(1)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValidationError):
+            PhysicalNode(node_id=-1, rack_id=0, cloud_id=0, capacity=[1])
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            PhysicalNode(node_id=0, rack_id=0, cloud_id=0, capacity=[-1])
+
+
+class TestNodeResources:
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            NodeResources(memory_gb=-1, cpu_units=1, storage_gb=1)
+
+
+class TestCapacityFromResources:
+    def test_exact_fit(self):
+        cat = VMTypeCatalog.ec2_default()
+        # Exactly enough for 2 small instances by memory.
+        res = NodeResources(memory_gb=3.4, cpu_units=8, storage_gb=2000)
+        caps = capacity_from_resources(res, cat)
+        assert caps[cat.index_of("small")] == 2
+
+    def test_binding_constraint_is_min(self):
+        cat = VMTypeCatalog.ec2_default()
+        # Plenty of memory/storage but only 2 cpu units -> 2 smalls, 1 medium.
+        res = NodeResources(memory_gb=100, cpu_units=2, storage_gb=10_000)
+        caps = capacity_from_resources(res, cat)
+        assert caps[cat.index_of("small")] == 2
+        assert caps[cat.index_of("medium")] == 1
+        assert caps[cat.index_of("large")] == 0
+
+    def test_zero_resources(self):
+        cat = VMTypeCatalog.ec2_default()
+        caps = capacity_from_resources(
+            NodeResources(memory_gb=0, cpu_units=0, storage_gb=0), cat
+        )
+        assert caps.tolist() == [0, 0, 0]
+
+    def test_dtype(self):
+        cat = VMTypeCatalog.ec2_default()
+        caps = capacity_from_resources(
+            NodeResources(memory_gb=16, cpu_units=8, storage_gb=2000), cat
+        )
+        assert caps.dtype == np.int64

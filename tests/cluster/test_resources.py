@@ -1,0 +1,189 @@
+"""Tests for the resource pool (matrices M, C, L, A and mutation rules)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.distance import DistanceModel
+from repro.cluster.resources import ResourcePool
+from repro.cluster.topology import Topology
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.util.errors import CapacityError, ValidationError
+
+
+@pytest.fixture
+def pool():
+    topo = Topology.build(2, 2, capacity=[2, 1, 1])  # 4 nodes
+    return ResourcePool(topo, VMTypeCatalog.ec2_default())
+
+
+class TestConstruction:
+    def test_initially_empty(self, pool):
+        assert pool.allocated.sum() == 0
+        assert np.array_equal(pool.remaining, pool.max_capacity)
+
+    def test_catalog_length_mismatch_rejected(self):
+        topo = Topology.build(1, 1, capacity=[1, 1])
+        with pytest.raises(ValidationError):
+            ResourcePool(topo, VMTypeCatalog.ec2_default())
+
+    def test_initial_allocation_respected(self):
+        topo = Topology.build(1, 2, capacity=[2, 1, 1])
+        alloc = np.array([[1, 0, 0], [0, 1, 0]])
+        pool = ResourcePool(topo, VMTypeCatalog.ec2_default(), allocated=alloc)
+        assert pool.allocated.sum() == 2
+        assert pool.remaining[0, 0] == 1
+
+    def test_initial_allocation_over_capacity_rejected(self):
+        topo = Topology.build(1, 1, capacity=[1, 1, 1])
+        with pytest.raises(CapacityError):
+            ResourcePool(
+                topo, VMTypeCatalog.ec2_default(), allocated=np.array([[2, 0, 0]])
+            )
+
+    def test_from_table_matches_paper_table2(self):
+        """Table II: N1, N2 in rack R1; N3 in rack R2."""
+        cat = VMTypeCatalog.ec2_default()
+        rows = [
+            (1, 1, "small", 2),
+            (1, 1, "medium", 3),
+            (1, 2, "small", 3),
+            (1, 2, "large", 1),
+            (2, 3, "medium", 2),
+            (2, 3, "large", 2),
+        ]
+        pool = ResourcePool.from_table(rows, cat)
+        assert pool.num_nodes == 3
+        assert pool.topology.num_racks == 2
+        assert pool.max_capacity[0].tolist() == [2, 3, 0]  # N1
+        assert pool.max_capacity[1].tolist() == [3, 0, 1]  # N2
+        assert pool.max_capacity[2].tolist() == [0, 2, 2]  # N3
+        assert pool.topology.same_rack(0, 1)
+        assert not pool.topology.same_rack(0, 2)
+
+    def test_from_table_node_in_two_racks_rejected(self):
+        cat = VMTypeCatalog.ec2_default()
+        rows = [(1, 1, "small", 1), (2, 1, "small", 1)]
+        with pytest.raises(ValidationError):
+            ResourcePool.from_table(rows, cat)
+
+    def test_from_table_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ResourcePool.from_table([], VMTypeCatalog.ec2_default())
+
+
+class TestMatrices:
+    def test_l_equals_m_minus_c(self, pool):
+        a = np.zeros((4, 3), dtype=np.int64)
+        a[0, 0] = 2
+        a[1, 1] = 1
+        pool.allocate(a)
+        assert np.array_equal(pool.remaining, pool.max_capacity - pool.allocated)
+
+    def test_available_is_column_sums_of_l(self, pool):
+        a = np.zeros((4, 3), dtype=np.int64)
+        a[0, 0] = 1
+        pool.allocate(a)
+        assert pool.available.tolist() == [2 * 4 - 1, 4, 4]
+
+    def test_max_capacity_read_only(self, pool):
+        with pytest.raises(ValueError):
+            pool.max_capacity[0, 0] = 99
+
+    def test_allocated_returns_copy(self, pool):
+        snap = pool.allocated
+        snap[0, 0] = 99
+        assert pool.allocated[0, 0] == 0
+
+    def test_distance_matrix_read_only(self, pool):
+        with pytest.raises(ValueError):
+            pool.distance_matrix[0, 1] = 3.0
+
+    def test_distance_matrix_shape(self, pool):
+        assert pool.distance_matrix.shape == (4, 4)
+
+    def test_utilization(self, pool):
+        assert pool.utilization == 0.0
+        a = np.zeros((4, 3), dtype=np.int64)
+        a[0] = [2, 1, 1]
+        pool.allocate(a)
+        assert pool.utilization == pytest.approx(4 / 16)
+
+
+class TestPredicates:
+    def test_exceeds_max_capacity(self, pool):
+        assert pool.exceeds_max_capacity([9, 0, 0])
+        assert not pool.exceeds_max_capacity([8, 4, 4])
+
+    def test_can_satisfy_tracks_allocation(self, pool):
+        assert pool.can_satisfy([8, 0, 0])
+        a = np.zeros((4, 3), dtype=np.int64)
+        a[:, 0] = 2
+        pool.allocate(a)
+        assert not pool.can_satisfy([1, 0, 0])
+        assert pool.can_satisfy([0, 4, 4])
+
+
+class TestMutation:
+    def test_allocate_release_roundtrip(self, pool):
+        a = np.zeros((4, 3), dtype=np.int64)
+        a[2] = [1, 1, 0]
+        pool.allocate(a)
+        assert pool.allocated.sum() == 2
+        pool.release(a)
+        assert pool.allocated.sum() == 0
+
+    def test_over_allocate_rejected_and_unchanged(self, pool):
+        a = np.zeros((4, 3), dtype=np.int64)
+        a[0, 0] = 3  # capacity is 2
+        with pytest.raises(CapacityError):
+            pool.allocate(a)
+        assert pool.allocated.sum() == 0
+
+    def test_over_release_rejected_and_unchanged(self, pool):
+        a = np.zeros((4, 3), dtype=np.int64)
+        a[0, 0] = 1
+        pool.allocate(a)
+        b = a.copy()
+        b[0, 0] = 2
+        with pytest.raises(CapacityError):
+            pool.release(b)
+        assert pool.allocated.sum() == 1
+
+    def test_wrong_shape_rejected(self, pool):
+        with pytest.raises(ValidationError):
+            pool.allocate(np.zeros((3, 3), dtype=np.int64))
+
+    def test_cumulative_allocations(self, pool):
+        a = np.zeros((4, 3), dtype=np.int64)
+        a[0, 0] = 1
+        pool.allocate(a)
+        pool.allocate(a)
+        assert pool.allocated[0, 0] == 2
+        with pytest.raises(CapacityError):
+            pool.allocate(a)
+
+
+class TestSnapshotCopy:
+    def test_snapshot_restore(self, pool):
+        a = np.zeros((4, 3), dtype=np.int64)
+        a[1, 1] = 1
+        snap = pool.snapshot()
+        pool.allocate(a)
+        pool.restore(snap)
+        assert pool.allocated.sum() == 0
+
+    def test_restore_over_capacity_rejected(self, pool):
+        bad = np.full((4, 3), 99, dtype=np.int64)
+        with pytest.raises(CapacityError):
+            pool.restore(bad)
+
+    def test_copy_is_independent(self, pool):
+        clone = pool.copy()
+        a = np.zeros((4, 3), dtype=np.int64)
+        a[0, 0] = 1
+        clone.allocate(a)
+        assert pool.allocated.sum() == 0
+        assert clone.allocated.sum() == 1
+
+    def test_copy_shares_topology(self, pool):
+        assert pool.copy().topology is pool.topology

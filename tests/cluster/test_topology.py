@@ -1,0 +1,151 @@
+"""Tests for the cloud → rack → node hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import PhysicalNode
+from repro.cluster.topology import Cloud, Rack, Topology
+from repro.util.errors import ValidationError
+
+
+class TestBuild:
+    def test_shape(self):
+        topo = Topology.build(3, 10, capacity=[1, 1, 1])
+        assert topo.num_nodes == 30
+        assert topo.num_racks == 3
+        assert topo.num_clouds == 1
+        assert topo.num_types == 3
+
+    def test_multicloud(self):
+        topo = Topology.build(2, 2, capacity=[1], clouds=3)
+        assert topo.num_clouds == 3
+        assert topo.num_racks == 6
+        assert topo.num_nodes == 12
+
+    def test_ragged_racks_per_cloud(self):
+        topo = Topology.build([1, 3], 2, capacity=[1], clouds=2)
+        assert topo.num_racks == 4
+        assert len(topo.clouds[0].rack_ids) == 1
+        assert len(topo.clouds[1].rack_ids) == 3
+
+    def test_ragged_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Topology.build([1, 2, 3], 2, capacity=[1], clouds=2)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValidationError):
+            Topology.build(1, 0, capacity=[1])
+
+    def test_zero_clouds_rejected(self):
+        with pytest.raises(ValidationError):
+            Topology.build(1, 1, capacity=[1], clouds=0)
+
+    def test_capacity_copied_per_node(self):
+        topo = Topology.build(1, 2, capacity=[3, 1])
+        assert topo[0].capacity is not topo[1].capacity
+        assert topo[0].capacity.tolist() == [3, 1]
+
+
+class TestRelations:
+    @pytest.fixture
+    def topo(self):
+        return Topology.build(2, 3, capacity=[1], clouds=2)  # 12 nodes
+
+    def test_rack_of(self, topo):
+        assert topo.rack_of(0) == 0
+        assert topo.rack_of(3) == 1
+        assert topo.rack_of(11) == 3
+
+    def test_cloud_of(self, topo):
+        assert topo.cloud_of(0) == 0
+        assert topo.cloud_of(6) == 1
+
+    def test_same_rack(self, topo):
+        assert topo.same_rack(0, 2)
+        assert not topo.same_rack(0, 3)
+
+    def test_same_cloud(self, topo):
+        assert topo.same_cloud(0, 5)
+        assert not topo.same_cloud(0, 6)
+
+    def test_rack_members(self, topo):
+        assert topo.rack_members(0) == (0, 1, 2)
+
+    def test_peers_in_rack(self, topo):
+        assert topo.peers_in_rack(1) == (0, 2)
+
+    def test_rack_ids_vector(self, topo):
+        assert topo.rack_ids.tolist()[:6] == [0, 0, 0, 1, 1, 1]
+
+    def test_rack_ids_read_only(self, topo):
+        with pytest.raises(ValueError):
+            topo.rack_ids[0] = 5
+
+    def test_iteration_and_getitem(self, topo):
+        nodes = list(topo)
+        assert len(nodes) == 12
+        assert topo[4] is nodes[4]
+
+    def test_capacity_matrix(self, topo):
+        m = topo.capacity_matrix()
+        assert m.shape == (12, 1)
+        assert np.all(m == 1)
+
+
+class TestValidation:
+    def test_nonsequential_ids_rejected(self):
+        nodes = [
+            PhysicalNode(node_id=1, rack_id=0, cloud_id=0, capacity=[1]),
+        ]
+        with pytest.raises(ValidationError):
+            Topology(nodes)
+
+    def test_rack_spanning_clouds_rejected(self):
+        nodes = [
+            PhysicalNode(node_id=0, rack_id=0, cloud_id=0, capacity=[1]),
+            PhysicalNode(node_id=1, rack_id=0, cloud_id=1, capacity=[1]),
+        ]
+        with pytest.raises(ValidationError):
+            Topology(nodes)
+
+    def test_mismatched_capacity_lengths_rejected(self):
+        nodes = [
+            PhysicalNode(node_id=0, rack_id=0, cloud_id=0, capacity=[1]),
+            PhysicalNode(node_id=1, rack_id=0, cloud_id=0, capacity=[1, 2]),
+        ]
+        with pytest.raises(ValidationError):
+            Topology(nodes)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Topology([])
+
+    def test_rack_requires_node(self):
+        with pytest.raises(ValidationError):
+            Rack(rack_id=0, cloud_id=0, node_ids=())
+
+    def test_cloud_requires_rack(self):
+        with pytest.raises(ValidationError):
+            Cloud(cloud_id=0, rack_ids=())
+
+
+class TestNetworkxExport:
+    def test_tree_structure(self):
+        topo = Topology.build(2, 3, capacity=[1])
+        g = topo.to_networkx()
+        # core + 1 cloud + 2 racks + 6 nodes
+        assert g.number_of_nodes() == 1 + 1 + 2 + 6
+        # A tree has n-1 edges.
+        assert g.number_of_edges() == g.number_of_nodes() - 1
+
+    def test_hop_counts_match_hierarchy(self):
+        import networkx as nx
+
+        topo = Topology.build(2, 2, capacity=[1], clouds=2)
+        g = topo.to_networkx()
+        # Same rack: node -> rack -> node = 2 hops.
+        assert nx.shortest_path_length(g, "node:0", "node:1") == 2
+        # Same cloud, different rack: 4 hops.
+        assert nx.shortest_path_length(g, "node:0", "node:2") == 4
+        # Different cloud: 6 hops.
+        assert nx.shortest_path_length(g, "node:0", "node:4") == 6

@@ -1,0 +1,66 @@
+"""Tests for ASCII topology/allocation rendering."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import Topology
+from repro.cluster.visualize import (
+    render_allocation,
+    render_topology,
+    render_vm_counts,
+)
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def topo():
+    return Topology.build(2, 2, capacity=[2, 1, 0])
+
+
+class TestRenderTopology:
+    def test_all_levels_present(self, topo):
+        out = render_topology(topo)
+        assert "cloud 0" in out
+        assert "rack 0" in out and "rack 1" in out
+        for n in range(4):
+            assert f"N{n}" in out
+
+    def test_capacities_shown(self, topo):
+        assert "cap 3" in render_topology(topo)
+
+
+class TestRenderAllocation:
+    def test_vm_glyphs_match_counts(self, topo):
+        alloc = np.zeros((4, 3), dtype=np.int64)
+        alloc[0] = [2, 1, 0]  # 3 VMs on N0 (full)
+        alloc[2] = [1, 0, 0]
+        out = render_allocation(topo, alloc)
+        assert "N0 ███" in out
+        assert "N2 █··" in out
+        assert "N1 ···" in out
+
+    def test_center_marked(self, topo):
+        alloc = np.zeros((4, 3), dtype=np.int64)
+        alloc[1, 0] = 1
+        out = render_allocation(topo, alloc, center=1)
+        assert "N1*" in out
+
+    def test_overflow_clipped(self, topo):
+        alloc = np.zeros((4, 3), dtype=np.int64)
+        alloc[0] = [2, 1, 0]
+        out = render_allocation(topo, alloc, max_slots=2)
+        assert "███" not in out
+
+    def test_wrong_shape_rejected(self, topo):
+        with pytest.raises(ValidationError):
+            render_allocation(topo, np.zeros((3, 3), dtype=np.int64))
+
+
+class TestRenderVmCounts:
+    def test_per_rack_totals(self, topo):
+        alloc = np.zeros((4, 3), dtype=np.int64)
+        alloc[0, 0] = 2
+        alloc[3, 0] = 1
+        out = render_vm_counts(topo, alloc)
+        assert "rack 0: 2 VMs" in out
+        assert "rack 1: 1 VMs" in out

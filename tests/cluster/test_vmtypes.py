@@ -1,0 +1,104 @@
+"""Tests for VM types and the Table I catalog."""
+
+import pytest
+
+from repro.cluster.vmtypes import (
+    EC2_LARGE,
+    EC2_MEDIUM,
+    EC2_SMALL,
+    VMType,
+    VMTypeCatalog,
+)
+from repro.util.errors import ValidationError
+
+
+class TestVMType:
+    def test_table1_small(self):
+        assert EC2_SMALL.memory_gb == 1.7
+        assert EC2_SMALL.cpu_units == 1
+        assert EC2_SMALL.storage_gb == 160
+        assert EC2_SMALL.platform_bits == 32
+
+    def test_table1_medium(self):
+        assert EC2_MEDIUM.memory_gb == 3.75
+        assert EC2_MEDIUM.cpu_units == 2
+        assert EC2_MEDIUM.storage_gb == 410
+        assert EC2_MEDIUM.platform_bits == 64
+
+    def test_table1_large(self):
+        assert EC2_LARGE.memory_gb == 7.5
+        assert EC2_LARGE.cpu_units == 4
+        assert EC2_LARGE.storage_gb == 850
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            VMType(name="", memory_gb=1, cpu_units=1, storage_gb=1)
+
+    def test_nonpositive_memory_rejected(self):
+        with pytest.raises(ValidationError):
+            VMType(name="x", memory_gb=0, cpu_units=1, storage_gb=1)
+
+    def test_bad_platform_rejected(self):
+        with pytest.raises(ValidationError):
+            VMType(name="x", memory_gb=1, cpu_units=1, storage_gb=1, platform_bits=16)
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ValidationError):
+            VMType(name="x", memory_gb=1, cpu_units=1, storage_gb=1, map_slots=-1)
+
+    def test_resource_vector(self):
+        assert EC2_SMALL.resource_vector == (1.7, 1, 160)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            EC2_SMALL.memory_gb = 2.0
+
+    def test_slot_scaling_with_size(self):
+        # Larger types should run at least as many concurrent tasks.
+        assert EC2_SMALL.map_slots <= EC2_MEDIUM.map_slots <= EC2_LARGE.map_slots
+
+
+class TestVMTypeCatalog:
+    def test_default_order(self):
+        cat = VMTypeCatalog.ec2_default()
+        assert cat.names == ("small", "medium", "large")
+
+    def test_len(self):
+        assert len(VMTypeCatalog.ec2_default()) == 3
+
+    def test_index_of(self):
+        cat = VMTypeCatalog.ec2_default()
+        assert cat.index_of("medium") == 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(ValidationError):
+            VMTypeCatalog.ec2_default().index_of("xlarge")
+
+    def test_by_name(self):
+        assert VMTypeCatalog.ec2_default().by_name("large") is EC2_LARGE
+
+    def test_getitem(self):
+        assert VMTypeCatalog.ec2_default()[0] is EC2_SMALL
+
+    def test_iteration_order(self):
+        assert list(VMTypeCatalog.ec2_default()) == [EC2_SMALL, EC2_MEDIUM, EC2_LARGE]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            VMTypeCatalog([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            VMTypeCatalog([EC2_SMALL, EC2_SMALL])
+
+    def test_equality(self):
+        assert VMTypeCatalog.ec2_default() == VMTypeCatalog.ec2_default()
+
+    def test_hashable(self):
+        assert hash(VMTypeCatalog.ec2_default()) == hash(VMTypeCatalog.ec2_default())
+
+    def test_custom_catalog(self):
+        tiny = VMType(name="nano", memory_gb=0.5, cpu_units=1, storage_gb=10)
+        cat = VMTypeCatalog([tiny])
+        assert cat.names == ("nano",)
+        assert cat.index_of("nano") == 0

@@ -1,0 +1,66 @@
+"""Shared fixtures: catalogs, topologies, and pools of various sizes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    DistanceModel,
+    PhysicalNode,
+    PoolSpec,
+    ResourcePool,
+    Topology,
+    VMTypeCatalog,
+    random_pool,
+)
+
+
+@pytest.fixture
+def catalog() -> VMTypeCatalog:
+    """The Table I catalog: small / medium / large."""
+    return VMTypeCatalog.ec2_default()
+
+
+@pytest.fixture
+def two_rack_topology(catalog) -> Topology:
+    """2 racks × 3 nodes, uniform capacity [2, 2, 1]."""
+    return Topology.build(2, 3, capacity=[2, 2, 1])
+
+
+@pytest.fixture
+def tiny_pool(two_rack_topology, catalog) -> ResourcePool:
+    """6-node pool suitable for brute-force cross-validation."""
+    return ResourcePool(
+        two_rack_topology,
+        catalog,
+        distance_model=DistanceModel(intra_rack=1.0, inter_rack=2.0, inter_cloud=4.0),
+    )
+
+
+@pytest.fixture
+def paper_pool(catalog) -> ResourcePool:
+    """The Section V.A simulation pool: 3 racks × 10 nodes, random capacity."""
+    return random_pool(
+        PoolSpec(racks=3, nodes_per_rack=10, capacity_high=2), catalog, seed=42
+    )
+
+
+@pytest.fixture
+def multicloud_pool(catalog) -> ResourcePool:
+    """Two clouds × 2 racks × 2 nodes — exercises the d3 tier."""
+    topo = Topology.build(2, 2, capacity=[2, 2, 1], clouds=2)
+    return ResourcePool(topo, catalog)
+
+
+def make_pool(
+    racks: int = 2,
+    nodes_per_rack: int = 3,
+    capacity=(2, 2, 1),
+    *,
+    clouds: int = 1,
+) -> ResourcePool:
+    """Non-fixture helper for parametrized tests."""
+    catalog = VMTypeCatalog.ec2_default()
+    topo = Topology.build(racks, nodes_per_rack, capacity=list(capacity), clouds=clouds)
+    return ResourcePool(topo, catalog)

@@ -1,0 +1,133 @@
+"""Tests for Definition 1: cluster distance DC and center search."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import (
+    best_centers,
+    center_distances,
+    cluster_distance,
+    distance_with_center,
+)
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def dist():
+    """4 nodes: {0,1} rack A, {2,3} rack B, d1=1, d2=2."""
+    d = np.full((4, 4), 2.0)
+    d[0, 1] = d[1, 0] = 1.0
+    d[2, 3] = d[3, 2] = 1.0
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+class TestCenterDistances:
+    def test_matrix_input(self, dist):
+        c = np.zeros((4, 2), dtype=np.int64)
+        c[0] = [2, 0]  # 2 VMs on node 0
+        c[1] = [0, 1]  # 1 VM on node 1
+        totals = center_distances(c, dist)
+        # Center 0: 1*d1; center 1: 2*d1; centers 2,3: 3 VMs * d2.
+        assert totals.tolist() == [1.0, 2.0, 6.0, 6.0]
+
+    def test_vector_input_equivalent(self, dist):
+        c = np.zeros((4, 2), dtype=np.int64)
+        c[0] = [2, 0]
+        c[1] = [0, 1]
+        counts = c.sum(axis=1)
+        assert np.array_equal(center_distances(c, dist), center_distances(counts, dist))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValidationError):
+            center_distances(np.array([1, 1]), np.zeros((2, 3)))
+
+    def test_size_mismatch_rejected(self, dist):
+        with pytest.raises(ValidationError):
+            center_distances(np.array([1, 1]), dist)
+
+    def test_3d_input_rejected(self, dist):
+        with pytest.raises(ValidationError):
+            center_distances(np.zeros((2, 2, 2)), dist)
+
+
+class TestClusterDistance:
+    def test_single_node_cluster_is_zero(self, dist):
+        counts = np.array([5, 0, 0, 0])
+        dc, center = cluster_distance(counts, dist)
+        assert dc == 0.0
+        assert center == 0
+
+    def test_two_nodes_same_rack(self, dist):
+        counts = np.array([2, 1, 0, 0])
+        dc, center = cluster_distance(counts, dist)
+        # Center at 0: 1*d1 = 1; center at 1: 2*d1 = 2.
+        assert dc == 1.0
+        assert center == 0
+
+    def test_cross_rack(self, dist):
+        counts = np.array([1, 0, 0, 1])
+        dc, _ = cluster_distance(counts, dist)
+        assert dc == 2.0
+
+    def test_center_weighted_by_vm_count(self, dist):
+        # Heavier node attracts the center even against symmetry.
+        counts = np.array([1, 0, 0, 3])
+        dc, center = cluster_distance(counts, dist)
+        assert center == 3
+        assert dc == 2.0  # 1 VM at d2 from node 3
+
+    def test_tie_breaks_to_lowest_index(self, dist):
+        counts = np.array([1, 1, 0, 0])
+        _, center = cluster_distance(counts, dist)
+        assert center == 0
+
+    def test_paper_example_dc_values(self):
+        """Section III.A: DC1 = 2*d1 + d2 etc. under d1=1, d2=2."""
+        d1, d2 = 1.0, 2.0
+        # 2 racks x 3 nodes.
+        d = np.full((6, 6), d2)
+        for rack in ([0, 1, 2], [3, 4, 5]):
+            for a in rack:
+                for b in rack:
+                    d[a, b] = 0.0 if a == b else d1
+        # 4 VMs on node 0, 2 on node 1 (same rack), 1 on node 3 (other rack).
+        counts = np.array([4, 2, 0, 1, 0, 0])
+        dc, center = cluster_distance(counts, d)
+        assert dc == 2 * d1 + d2
+        assert center == 0
+
+
+class TestDistanceWithCenter:
+    def test_forced_center(self, dist):
+        counts = np.array([2, 1, 0, 0])
+        assert distance_with_center(counts, dist, 0) == 1.0
+        assert distance_with_center(counts, dist, 1) == 2.0
+        assert distance_with_center(counts, dist, 3) == 6.0
+
+    def test_forced_center_never_below_dc(self, dist):
+        counts = np.array([1, 2, 0, 3])
+        dc, _ = cluster_distance(counts, dist)
+        for k in range(4):
+            assert distance_with_center(counts, dist, k) >= dc
+
+    def test_out_of_range_rejected(self, dist):
+        with pytest.raises(ValidationError):
+            distance_with_center(np.array([1, 0, 0, 0]), dist, 4)
+
+
+class TestBestCenters:
+    def test_symmetric_cluster_has_multiple_centers(self, dist):
+        counts = np.array([1, 1, 0, 0])
+        assert best_centers(counts, dist).tolist() == [0, 1]
+
+    def test_unique_center(self, dist):
+        counts = np.array([3, 1, 0, 0])
+        assert best_centers(counts, dist).tolist() == [0]
+
+    def test_all_on_one_node_paper_remark(self, dist):
+        """Paper: with VMs in one rack on distinct nodes, "any of the
+        allocated nodes could be the central one"."""
+        counts = np.array([1, 1, 0, 0])
+        centers = best_centers(counts, dist)
+        assert set(centers) == {0, 1}

@@ -1,0 +1,127 @@
+"""Tests for Algorithm 1, the online heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement.exact import solve_sd_exact
+from repro.core.placement.greedy import OnlineHeuristic, com, greedy_fill, providable
+from repro.util.errors import InfeasibleRequestError, ValidationError
+
+from tests.conftest import make_pool
+
+
+class TestComOperator:
+    def test_elementwise_min(self):
+        assert com(np.array([3, 1]), np.array([2, 5])).tolist() == [2, 1]
+
+    def test_full_coverage_condition(self):
+        """com(L[i], R) == R means node i can provide everything (line 10)."""
+        l_row = np.array([2, 4, 1])
+        r = np.array([2, 3, 1])
+        assert np.array_equal(com(l_row, r), r)
+
+    def test_providable(self):
+        assert providable(np.array([2, 4, 1]), np.array([3, 1, 0])) == 3
+
+
+class TestGreedyFill:
+    def test_center_takes_max_share(self):
+        remaining = np.array([[2, 1], [2, 1], [2, 1]])
+        dist = np.array([[0.0, 1, 2], [1, 0.0, 2], [2, 2, 0.0]])
+        alloc = greedy_fill(0, np.array([3, 2]), remaining, dist)
+        assert alloc[0].tolist() == [2, 1]
+
+    def test_incomplete_returns_none(self):
+        remaining = np.array([[1, 0], [1, 0]])
+        dist = np.zeros((2, 2))
+        assert greedy_fill(0, np.array([3, 0]), remaining, dist) is None
+
+    def test_secondary_sort_prefers_bigger_provider(self):
+        """Among equal-distance nodes the fuller provider is used first."""
+        remaining = np.array([[1, 0], [1, 0], [3, 0]])
+        dist = np.array([[0.0, 1, 1], [1, 0.0, 1], [1, 1, 0.0]])
+        alloc = greedy_fill(0, np.array([4, 0]), remaining, dist)
+        # Node 2 (3 providable) is preferred over node 1 (1 providable).
+        assert alloc[2, 0] == 3
+        assert alloc[1, 0] == 0
+
+
+class TestOnlineHeuristic:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            OnlineHeuristic(stop="sometimes")
+        with pytest.raises(ValidationError):
+            OnlineHeuristic(center_order="by-name")
+
+    def test_single_node_shortcut(self):
+        pool = make_pool(2, 3, capacity=(3, 3, 2))
+        alloc = OnlineHeuristic().place([2, 2, 1], pool)
+        assert alloc.distance == 0.0
+        assert alloc.num_nodes_used == 1
+
+    def test_infeasible_raises(self):
+        pool = make_pool(1, 2, capacity=(1, 1, 1))
+        with pytest.raises(InfeasibleRequestError):
+            OnlineHeuristic().place([3, 0, 0], pool)
+
+    def test_wait_returns_none(self):
+        pool = make_pool(1, 2, capacity=(1, 0, 0))
+        pool.allocate(np.array([[1, 0, 0], [1, 0, 0]]))
+        assert OnlineHeuristic().place([1, 0, 0], pool) is None
+
+    def test_demand_exactly_met(self):
+        pool = make_pool(3, 4, capacity=(1, 1, 1))
+        alloc = OnlineHeuristic().place([4, 3, 2], pool)
+        assert alloc.demand.tolist() == [4, 3, 2]
+        assert np.all(alloc.matrix <= pool.remaining)
+
+    def test_best_mode_matches_exact_optimum(self):
+        """Structural property (DESIGN.md §5): nearest-first fill is optimal
+        per center, so the best-center sweep attains the SD optimum."""
+        pool = make_pool(3, 4, capacity=(2, 1, 1))
+        for demand in ([4, 3, 2], [8, 0, 0], [1, 4, 4], [10, 4, 1]):
+            heur = OnlineHeuristic(stop="best").place(demand, pool)
+            exact = solve_sd_exact(demand, pool)
+            assert heur.distance == pytest.approx(exact.distance), demand
+
+    def test_first_mode_feasible_but_maybe_worse(self):
+        pool = make_pool(3, 4, capacity=(2, 1, 1))
+        demand = [8, 2, 1]
+        first = OnlineHeuristic(stop="first", center_order="random", seed=3).place(
+            demand, pool
+        )
+        best = OnlineHeuristic(stop="best").place(demand, pool)
+        assert first.demand.tolist() == list(demand)
+        assert first.distance >= best.distance
+
+    def test_random_order_deterministic_given_seed(self):
+        pool = make_pool(3, 4, capacity=(2, 1, 1))
+        demand = [8, 2, 1]
+        a = OnlineHeuristic(stop="first", center_order="random", seed=11).place(demand, pool)
+        b = OnlineHeuristic(stop="first", center_order="random", seed=11).place(demand, pool)
+        assert a.distance == b.distance
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_place_and_commit(self):
+        pool = make_pool(2, 3)
+        alloc = OnlineHeuristic().place_and_commit([2, 1, 1], pool)
+        assert np.array_equal(pool.allocated, alloc.matrix)
+
+    def test_does_not_mutate_pool(self):
+        pool = make_pool(2, 3)
+        OnlineHeuristic().place([2, 1, 1], pool)
+        assert pool.allocated.sum() == 0
+
+    def test_skips_empty_nodes_as_centers(self):
+        """A depleted node never hosts VMs; the heuristic still succeeds."""
+        pool = make_pool(2, 2, capacity=(2, 0, 0))
+        pool.allocate(np.array([[2, 0, 0], [0, 0, 0], [0, 0, 0], [0, 0, 0]]))
+        alloc = OnlineHeuristic().place([3, 0, 0], pool)
+        assert alloc is not None
+        assert alloc.matrix[0].sum() == 0
+
+    def test_complexity_shortcut_single_node_first_match(self):
+        """The paper returns the FIRST node that fits everything."""
+        pool = make_pool(2, 3, capacity=(3, 3, 2))
+        alloc = OnlineHeuristic().place([1, 0, 0], pool)
+        assert alloc.used_nodes.tolist() == [0]

@@ -1,0 +1,107 @@
+"""Tests for request and allocation types."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import Allocation, VirtualClusterRequest
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def dist():
+    d = np.full((3, 3), 2.0)
+    d[0, 1] = d[1, 0] = 1.0
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+class TestVirtualClusterRequest:
+    def test_basic(self):
+        r = VirtualClusterRequest(demand=[2, 4, 1])
+        assert r.total_vms == 7
+        assert r.num_types == 3
+
+    def test_ids_auto_increment(self):
+        a = VirtualClusterRequest(demand=[1])
+        b = VirtualClusterRequest(demand=[1])
+        assert b.request_id > a.request_id
+
+    def test_explicit_id_kept(self):
+        assert VirtualClusterRequest(demand=[1], request_id=77).request_id == 77
+
+    def test_empty_demand_rejected(self):
+        with pytest.raises(ValidationError):
+            VirtualClusterRequest(demand=[0, 0])
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValidationError):
+            VirtualClusterRequest(demand=[-1, 2])
+
+    def test_demand_immutable(self):
+        r = VirtualClusterRequest(demand=[1, 2])
+        with pytest.raises(ValueError):
+            r.demand[0] = 9
+
+
+class TestAllocation:
+    def test_from_matrix_computes_center(self, dist):
+        m = np.array([[2, 0], [1, 0], [0, 0]])
+        alloc = Allocation.from_matrix(m, dist)
+        assert alloc.center == 0
+        assert alloc.distance == 1.0
+
+    def test_with_center_forced(self, dist):
+        m = np.array([[2, 0], [1, 0], [0, 0]])
+        alloc = Allocation.with_center(m, dist, 2)
+        assert alloc.center == 2
+        assert alloc.distance == 6.0
+
+    def test_node_counts_and_totals(self, dist):
+        m = np.array([[2, 1], [0, 1], [0, 0]])
+        alloc = Allocation.from_matrix(m, dist)
+        assert alloc.node_counts.tolist() == [3, 1, 0]
+        assert alloc.total_vms == 4
+        assert alloc.demand.tolist() == [2, 2]
+
+    def test_used_nodes(self, dist):
+        m = np.array([[1, 0], [0, 0], [0, 2]])
+        alloc = Allocation.from_matrix(m, dist)
+        assert alloc.used_nodes.tolist() == [0, 2]
+        assert alloc.num_nodes_used == 2
+
+    def test_serves(self, dist):
+        m = np.array([[1, 2], [0, 0], [0, 0]])
+        alloc = Allocation.from_matrix(m, dist)
+        assert alloc.serves(VirtualClusterRequest(demand=[1, 2]))
+        assert not alloc.serves(VirtualClusterRequest(demand=[2, 1]))
+
+    def test_fits(self, dist):
+        m = np.array([[1, 0], [0, 0], [0, 0]])
+        alloc = Allocation.from_matrix(m, dist)
+        assert alloc.fits(np.array([[1, 0], [0, 0], [0, 0]]))
+        assert not alloc.fits(np.zeros((3, 2), dtype=np.int64))
+
+    def test_recentered(self, dist):
+        m = np.array([[2, 0], [1, 0], [0, 0]])
+        forced = Allocation.with_center(m, dist, 2)
+        fixed = forced.recentered(dist)
+        assert fixed.center == 0
+        assert fixed.distance == 1.0
+
+    def test_vm_placements_expansion(self, dist):
+        m = np.array([[2, 1], [0, 0], [0, 1]])
+        alloc = Allocation.from_matrix(m, dist)
+        assert alloc.vm_placements() == [(0, 0), (0, 0), (0, 1), (2, 1)]
+
+    def test_matrix_immutable(self, dist):
+        alloc = Allocation.from_matrix(np.array([[1, 0], [0, 0], [0, 0]]), dist)
+        with pytest.raises(ValueError):
+            alloc.matrix[0, 0] = 5
+
+    def test_invalid_center_rejected(self):
+        with pytest.raises(ValidationError):
+            Allocation(matrix=np.array([[1]]), center=3, distance=0.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValidationError):
+            Allocation(matrix=np.array([[1]]), center=0, distance=-1.0)

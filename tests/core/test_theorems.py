@@ -1,0 +1,163 @@
+"""Tests for Theorems 1 and 2, including Hypothesis property checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import distance_with_center
+from repro.core.theorems import (
+    apply_theorem1_move,
+    apply_theorem2_exchange,
+    swap_gain,
+    theorem1_delta,
+    theorem2_delta,
+    verify_theorem1,
+    verify_theorem2,
+)
+from repro.util.errors import ValidationError
+
+
+def hierarchical_distance(num_racks: int, per_rack: int, d1=1.0, d2=2.0):
+    n = num_racks * per_rack
+    rack = np.repeat(np.arange(num_racks), per_rack)
+    d = np.where(rack[:, None] == rack[None, :], d1, d2)
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+@pytest.fixture
+def dist():
+    return hierarchical_distance(2, 3)
+
+
+class TestTheorem1:
+    def test_delta_formula(self, dist):
+        assert theorem1_delta(dist, x=0, p=1, q=3) == dist[1, 0] - dist[3, 0]
+
+    def test_move_closer_reduces_distance(self, dist):
+        m = np.zeros((6, 2), dtype=np.int64)
+        m[0, 0] = 2
+        m[3, 0] = 1  # one VM in the far rack
+        before = distance_with_center(m, dist, 0)
+        after = distance_with_center(apply_theorem1_move(m, p=1, q=3, vm_type=0), dist, 0)
+        assert after < before
+        assert after - before == theorem1_delta(dist, 0, 1, 3)
+
+    def test_move_without_vm_rejected(self, dist):
+        m = np.zeros((6, 2), dtype=np.int64)
+        with pytest.raises(ValidationError):
+            apply_theorem1_move(m, p=0, q=1, vm_type=0)
+
+    def test_move_returns_copy(self, dist):
+        m = np.zeros((6, 2), dtype=np.int64)
+        m[3, 0] = 1
+        out = apply_theorem1_move(m, p=0, q=3, vm_type=0)
+        assert m[3, 0] == 1
+        assert out[3, 0] == 0 and out[0, 0] == 1
+
+    def test_verify_on_concrete_allocation(self, dist):
+        m = np.zeros((6, 2), dtype=np.int64)
+        m[0, 0] = 1
+        m[4, 1] = 2
+        assert verify_theorem1(m, dist, x=0, p=1, q=4, vm_type=1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        x=st.integers(0, 5),
+        p=st.integers(0, 5),
+        q=st.integers(0, 5),
+        vm_type=st.integers(0, 1),
+        data=st.data(),
+    )
+    def test_property_delta_always_matches_measurement(self, x, p, q, vm_type, data):
+        """Theorem 1's delta formula holds for arbitrary allocations/moves."""
+        dist = hierarchical_distance(2, 3)
+        m = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.integers(0, 3), min_size=2, max_size=2),
+                    min_size=6,
+                    max_size=6,
+                )
+            ),
+            dtype=np.int64,
+        )
+        m[q, vm_type] += 1  # guarantee a VM exists to move
+        assert verify_theorem1(m, dist, x=x, p=p, q=q, vm_type=vm_type)
+
+
+class TestTheorem2:
+    def test_delta_formula(self, dist):
+        assert theorem2_delta(dist, x=0, y=3, k=4) == dist[0, 4] - dist[0, 3] - dist[3, 4]
+
+    def test_exchange_improves_when_triangle_strict(self, dist):
+        """Cluster 1 (center 0) holds a VM on cluster 2's center (node 3);
+        cluster 2 holds one on node 4. D_03 + D_34 = 3 > D_04 = 2."""
+        m1 = np.zeros((6, 2), dtype=np.int64)
+        m1[0, 0] = 2
+        m1[3, 0] = 1
+        m2 = np.zeros((6, 2), dtype=np.int64)
+        m2[3, 1] = 1
+        m2[4, 0] = 1
+        before = distance_with_center(m1, dist, 0) + distance_with_center(m2, dist, 3)
+        a, b = apply_theorem2_exchange(m1, m2, u=3, v=4, vm_type=0)
+        after = distance_with_center(a, dist, 0) + distance_with_center(b, dist, 3)
+        assert after - before == theorem2_delta(dist, 0, 3, 4)
+        assert after < before
+
+    def test_exchange_capacity_neutral(self, dist):
+        m1 = np.zeros((6, 2), dtype=np.int64)
+        m1[3, 0] = 2
+        m2 = np.zeros((6, 2), dtype=np.int64)
+        m2[4, 0] = 1
+        combined_before = m1 + m2
+        a, b = apply_theorem2_exchange(m1, m2, u=3, v=4, vm_type=0)
+        assert np.array_equal(a + b, combined_before)
+
+    def test_exchange_preserves_demands(self, dist):
+        m1 = np.zeros((6, 2), dtype=np.int64)
+        m1[3, 0] = 2
+        m1[0, 1] = 1
+        m2 = np.zeros((6, 2), dtype=np.int64)
+        m2[4, 0] = 3
+        a, b = apply_theorem2_exchange(m1, m2, u=3, v=4, vm_type=0)
+        assert np.array_equal(a.sum(axis=0), m1.sum(axis=0))
+        assert np.array_equal(b.sum(axis=0), m2.sum(axis=0))
+
+    def test_missing_vm_rejected(self, dist):
+        m = np.zeros((6, 2), dtype=np.int64)
+        with pytest.raises(ValidationError):
+            apply_theorem2_exchange(m, m, u=0, v=1, vm_type=0)
+
+    def test_verify_theorem2(self, dist):
+        m1 = np.zeros((6, 2), dtype=np.int64)
+        m1[0, 0] = 1
+        m1[3, 0] = 1
+        m2 = np.zeros((6, 2), dtype=np.int64)
+        m2[5, 0] = 1
+        assert verify_theorem2(m1, m2, dist, x=0, y=3, k=5, vm_type=0)
+
+    def test_swap_gain_reduces_to_theorem2(self, dist):
+        # With u = y the general gain equals -theorem2_delta.
+        x, y, k = 0, 3, 4
+        assert swap_gain(dist, x, y, u=y, v=k) == -theorem2_delta(dist, x, y, k)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        x=st.integers(0, 5),
+        y=st.integers(0, 5),
+        u=st.integers(0, 5),
+        v=st.integers(0, 5),
+    )
+    def test_property_swap_gain_matches_measurement(self, x, y, u, v):
+        """The generalized swap-gain formula equals the measured change."""
+        dist = hierarchical_distance(2, 3)
+        m1 = np.zeros((6, 1), dtype=np.int64)
+        m1[u, 0] = 1
+        m2 = np.zeros((6, 1), dtype=np.int64)
+        m2[v, 0] = 1
+        before = distance_with_center(m1, dist, x) + distance_with_center(m2, dist, y)
+        a, b = apply_theorem2_exchange(m1, m2, u=u, v=v, vm_type=0)
+        after = distance_with_center(a, dist, x) + distance_with_center(b, dist, y)
+        assert before - after == pytest.approx(swap_gain(dist, x, y, u, v))

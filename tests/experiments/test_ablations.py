@@ -1,0 +1,85 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_heuristic_gap,
+    run_policy_comparison,
+    run_scheduler_ablation,
+    run_transfer_ablation,
+)
+
+
+class TestHeuristicGap:
+    @pytest.fixture(scope="class")
+    def gap(self):
+        return run_heuristic_gap(seed=3, num_requests=10)
+
+    def test_best_mode_is_optimal(self, gap):
+        """The structural result: best-center Algorithm 1 attains the optimum."""
+        assert gap.best_mode_gap_pct == pytest.approx(0.0, abs=1e-9)
+
+    def test_first_mode_strictly_worse(self, gap):
+        assert gap.first_mode_total >= gap.best_mode_total
+
+    def test_totals_positive(self, gap):
+        assert gap.exact_total > 0
+
+
+class TestTransferAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_transfer_ablation(seed=3, trials=3)
+
+    def test_both_variants_improve_or_hold(self, result):
+        assert result.paper_transfer_total <= result.online_total + 1e-9
+        assert result.general_transfer_total <= result.online_total + 1e-9
+
+    def test_general_at_least_as_good(self, result):
+        assert result.general_transfer_total <= result.paper_transfer_total + 1e-9
+
+    def test_improvement_percentages_ordered(self, result):
+        assert result.general_improvement_pct >= result.paper_improvement_pct - 1e-9
+
+
+class TestPolicyComparison:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_policy_comparison(seed=3)
+
+    def test_all_policies_present(self, rows):
+        assert {r.policy for r in rows} == {
+            "online-heuristic",
+            "first-fit",
+            "best-fit",
+            "random",
+            "striped",
+        }
+
+    def test_heuristic_has_shortest_distance(self, rows):
+        by_policy = {r.policy: r for r in rows}
+        best = min(r.mean_distance for r in rows)
+        assert by_policy["online-heuristic"].mean_distance == best
+
+    def test_heuristic_runtime_not_beaten_by_blind_spreaders(self, rows):
+        by_policy = {r.policy: r for r in rows}
+        heuristic = by_policy["online-heuristic"].runtime
+        assert heuristic <= by_policy["striped"].runtime + 1e-9
+        assert heuristic <= by_policy["random"].runtime + 1e-9
+
+
+class TestSchedulerAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_scheduler_ablation(seed=3)
+
+    def test_all_schedulers_present(self, rows):
+        assert {r.scheduler for r in rows} == {"locality", "fifo", "random", "delay"}
+
+    def test_locality_schedulers_have_fewest_nonlocal_maps(self, rows):
+        by = {r.scheduler: r for r in rows}
+        assert by["delay"].non_data_local_maps <= by["fifo"].non_data_local_maps
+        assert by["locality"].non_data_local_maps <= by["fifo"].non_data_local_maps
+
+    def test_all_runtimes_positive(self, rows):
+        assert all(r.runtime > 0 for r in rows)

@@ -1,0 +1,68 @@
+"""Tests for the Fig. 2/3/4 center studies."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.center_experiments import run_center_study, run_fig4
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_center_study(seed=7)
+
+
+class TestCenterStudy:
+    def test_all_requests_placed(self, study):
+        assert len(study.placed) == 20
+
+    def test_random_center_never_beats_best(self, study):
+        """Fig. 2's defining property."""
+        for p in study.placed:
+            assert p.random_center_distance >= p.heuristic_distance
+
+    def test_gap_is_positive_on_average(self, study):
+        assert study.mean_gap > 0
+
+    def test_centers_vary_across_requests(self, study):
+        """Fig. 3: the central node is request-dependent."""
+        assert len(set(study.centers)) > 1
+
+    def test_deterministic(self):
+        a = run_center_study(seed=11)
+        b = run_center_study(seed=11)
+        assert a.heuristic_distances == b.heuristic_distances
+        assert a.random_center_distances == b.random_center_distances
+
+    def test_seed_changes_outcome(self):
+        a = run_center_study(seed=11)
+        b = run_center_study(seed=12)
+        assert a.heuristic_distances != b.heuristic_distances
+
+    def test_invalid_release_probability(self):
+        with pytest.raises(ValidationError):
+            run_center_study(release_probability=1.5)
+
+    def test_allocation_demands_match(self, study):
+        for p in study.placed:
+            assert tuple(int(x) for x in p.allocation.demand) == p.demand
+
+
+class TestFig4:
+    def test_sweep_covers_all_nodes(self):
+        result = run_fig4(seed=7)
+        assert len(result.center_distances) == 30  # 3 racks x 10 nodes
+
+    def test_best_matches_minimum(self):
+        result = run_fig4(seed=7)
+        assert result.best_distance == min(result.center_distances)
+        assert result.center_distances[result.best_center] == result.best_distance
+
+    def test_center_choice_matters(self):
+        """Fig. 4's point: distance varies strongly with the center."""
+        result = run_fig4(seed=7)
+        assert result.worst_distance > result.best_distance
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(ValidationError):
+            run_fig4(seed=7, request_index=99)

@@ -1,0 +1,58 @@
+"""Tests for the Section III.A worked example (Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import Allocation
+from repro.experiments.example_fig1 import (
+    REQUEST,
+    build_example_pool,
+    example_allocations,
+    run,
+)
+
+
+class TestExamplePool:
+    def test_two_racks(self):
+        pool = build_example_pool()
+        assert pool.topology.num_racks == 2
+
+    def test_no_single_node_fits(self):
+        pool = build_example_pool()
+        assert not np.any(np.all(pool.remaining >= REQUEST[None, :], axis=1))
+
+
+class TestExampleAllocations:
+    def test_all_serve_the_request(self):
+        pool = build_example_pool()
+        for ex in example_allocations():
+            assert ex.matrix.sum(axis=0).tolist() == REQUEST.tolist()
+            assert np.all(ex.matrix <= pool.remaining)
+
+    @pytest.mark.parametrize("d1,d2", [(1.0, 2.0), (1.0, 3.0), (2.0, 5.0)])
+    def test_symbolic_distances_hold(self, d1, d2):
+        """DC values reduce to the paper's closed forms for any d1 < d2."""
+        pool = build_example_pool(d1=d1, d2=d2)
+        dist = pool.distance_matrix
+        for ex in example_allocations():
+            alloc = Allocation.from_matrix(ex.matrix, dist)
+            expected = ex.expected_d1_coeff * d1 + ex.expected_d2_coeff * d2
+            assert alloc.distance == pytest.approx(expected), ex.label
+
+    def test_dc1_dc2_are_mirrors(self):
+        result = run()
+        assert result.distances[0] == result.distances[1]
+        assert result.centers[0] != result.centers[1]
+
+
+class TestRun:
+    def test_optimum_beats_all_examples(self):
+        result = run()
+        assert result.optimal_distance <= min(result.distances)
+
+    def test_optimal_value(self):
+        # Center takes (2,2,1); remaining 2 mediums from same-rack peers.
+        assert run().optimal_distance == pytest.approx(2.0)
+
+    def test_labels(self):
+        assert run().labels == ("DC1", "DC2", "DC3", "DC4")

@@ -1,0 +1,78 @@
+"""Tests for the Fig. 5/6 online-vs-global comparison."""
+
+import pytest
+
+from repro.experiments.global_experiments import (
+    run_comparison,
+    run_fig5,
+    run_fig6,
+    run_gsd_gap,
+)
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5(trials=3)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_fig6(trials=3)
+
+
+class TestComparison:
+    def test_global_never_worse(self, fig5, fig6):
+        for result in (fig5, fig6):
+            assert result.global_total <= result.online_total + 1e-9
+
+    def test_per_request_counts_match(self, fig5):
+        assert len(fig5.online_distances) == len(fig5.global_distances)
+
+    def test_improvement_percent_consistent(self, fig5):
+        expected = (
+            100.0 * (fig5.online_total - fig5.global_total) / fig5.online_total
+        )
+        assert fig5.improvement_pct == pytest.approx(expected)
+
+    def test_scenarios_differ_in_scale(self, fig5, fig6):
+        """Small-request totals must be much smaller than large-request ones."""
+        assert fig6.online_total < fig5.online_total
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValidationError):
+            run_comparison("medium")
+
+    def test_invalid_trials_rejected(self):
+        with pytest.raises(ValidationError):
+            run_comparison("large", trials=0)
+
+    def test_deterministic(self):
+        a = run_fig5(seed=5, trials=1)
+        b = run_fig5(seed=5, trials=1)
+        assert a.online_distances == b.online_distances
+        assert a.global_total == b.global_total
+
+    def test_paper_shape_improvement_positive(self):
+        """Across enough trials, the transfer phase must find real savings
+        (paper: 2% large / 12% small)."""
+        result = run_fig5(trials=10)
+        assert result.improvement_pct > 0.5
+        assert result.exchanges > 0
+
+    def test_paper_transfer_mode_runs(self):
+        result = run_fig5(trials=1, use_paper_transfer=True)
+        assert result.global_total <= result.online_total + 1e-9
+
+
+class TestGSDGap:
+    def test_algo2_upper_bounds_exact(self):
+        gap = run_gsd_gap(seed=3)
+        assert gap.algo2_total >= gap.gsd_total - 1e-9
+        assert gap.gap_pct >= -1e-9
+
+    def test_zero_exact_total_handled(self):
+        # gap_pct must not divide by zero when the optimum is 0.
+        for seed in range(3, 8):
+            gap = run_gsd_gap(seed=seed, num_requests=2)
+            assert gap.gap_pct >= 0 or gap.gsd_total > 0

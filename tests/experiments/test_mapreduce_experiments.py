@@ -1,0 +1,115 @@
+"""Tests for the Fig. 7/8 WordCount experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import paperconfig as cfg
+from repro.experiments.mapreduce_experiments import (
+    CLUSTER_LAYOUTS,
+    build_cluster,
+    build_experiment_pool,
+    experiment_job,
+    run_fig78,
+)
+from repro.util.errors import ValidationError
+
+
+class TestClusterLayouts:
+    def test_targets_match_config(self):
+        assert tuple(sorted(CLUSTER_LAYOUTS)) == cfg.FIG7_DISTANCES
+
+    @pytest.mark.parametrize("target", sorted(CLUSTER_LAYOUTS))
+    def test_measured_distance_equals_target(self, target):
+        cluster = build_cluster(target)
+        assert cluster.affinity == pytest.approx(target)
+
+    def test_equal_capability(self):
+        """All four clusters: 16 medium VMs, identical slot counts."""
+        clusters = [build_cluster(t) for t in cfg.FIG7_DISTANCES]
+        assert len({c.num_vms for c in clusters}) == 1
+        assert len({c.total_map_slots for c in clusters}) == 1
+        assert len({c.total_reduce_slots for c in clusters}) == 1
+
+    def test_one_map_wave(self):
+        """32 map slots >= the paper's 32 map tasks."""
+        job = experiment_job()
+        cluster = build_cluster(8)
+        assert job.num_maps == cfg.WORDCOUNT_MAPS
+        assert cluster.total_map_slots >= job.num_maps
+
+    def test_layouts_fit_the_pool(self):
+        pool = build_experiment_pool()
+        for layout in CLUSTER_LAYOUTS.values():
+            for node, count in layout.items():
+                assert count <= pool.max_capacity[node, 1]
+
+    def test_unknown_distance_rejected(self):
+        with pytest.raises(ValidationError):
+            build_cluster(99)
+
+
+class TestRunFig78:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig78()
+
+    def test_four_runs_in_order(self, result):
+        assert result.distances == list(cfg.FIG7_DISTANCES)
+
+    def test_shortest_distance_fastest(self, result):
+        """Fig. 7's headline: the most compact cluster wins."""
+        assert result.runtimes[0] == min(result.runtimes)
+
+    def test_paper_inversion_reproduced(self, result):
+        """The distance-14 cluster runs slower than the distance-16 one."""
+        by_distance = dict(zip(result.distances, result.runtimes))
+        assert by_distance[14] > by_distance[16]
+        assert result.has_inversion
+
+    def test_inversion_explained_by_shuffle_locality(self, result):
+        """Fig. 8: the d=16 run had fewer non-local shuffles that time."""
+        by_distance = dict(zip(result.distances, result.non_local_shuffles))
+        assert by_distance[14] > by_distance[16]
+
+    def test_locality_counts_bounded(self, result):
+        for run in result.runs:
+            assert 0 <= run.locality.non_data_local_maps <= cfg.WORDCOUNT_MAPS
+            assert 0 <= run.locality.non_local_flows <= run.locality.total_flows
+
+    def test_deterministic(self):
+        a = run_fig78()
+        b = run_fig78()
+        assert a.runtimes == b.runtimes
+
+    def test_slots_policy_restores_monotonicity(self):
+        """Without the environment noise (random reducer placement), runtime
+        is monotone in distance — the inversion is an environment artifact,
+        exactly as the paper argues."""
+        result = run_fig78(reducer_policy="slots")
+        assert result.runtimes == sorted(result.runtimes)
+
+
+class TestWorkloadMix:
+    @pytest.fixture(scope="class")
+    def mix(self):
+        from repro.experiments.mapreduce_experiments import run_workload_mix
+
+        return run_workload_mix()
+
+    def test_all_workloads_on_all_clusters(self, mix):
+        assert set(mix.workloads) == {"wordcount", "sort", "grep"}
+        for w in mix.workloads:
+            assert len(mix.runtimes[w]) == len(mix.distances)
+
+    def test_compact_cluster_fastest_for_every_workload(self, mix):
+        for w in mix.workloads:
+            series = mix.runtimes[w]
+            assert series[0] == min(series)
+
+    def test_sort_has_largest_relative_penalty(self, mix):
+        assert mix.spread_penalty_pct("sort") > mix.spread_penalty_pct("wordcount")
+
+    def test_grep_has_smallest_absolute_penalty(self, mix):
+        grep_pen = mix.spread_penalty_seconds("grep")
+        assert grep_pen <= mix.spread_penalty_seconds("sort")
+        assert grep_pen <= mix.spread_penalty_seconds("wordcount")

@@ -1,0 +1,52 @@
+"""Tests for the all-experiments runner and report rendering."""
+
+import pytest
+
+from repro.experiments.runner import render_markdown, run_all
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_all(trials=1)
+
+
+class TestRunAll:
+    def test_all_sections_populated(self, report):
+        assert len(report.fig1.distances) == 4
+        assert len(report.center_study.placed) == 20
+        assert len(report.fig4.center_distances) == 30
+        assert len(report.fig78.runs) == 4
+        assert report.fig5.online_total > 0
+
+    def test_internal_consistency(self, report):
+        assert report.fig5.global_total <= report.fig5.online_total
+        assert report.fig6.global_total <= report.fig6.online_total
+        assert report.heuristic_gap.best_mode_gap_pct == pytest.approx(0.0)
+
+    def test_deterministic(self, report):
+        again = run_all(trials=1)
+        assert again.fig78.runtimes == report.fig78.runtimes
+        assert (
+            again.center_study.heuristic_distances
+            == report.center_study.heuristic_distances
+        )
+
+
+class TestRenderMarkdown:
+    def test_contains_every_figure(self, report):
+        text = render_markdown(report)
+        for marker in ("Fig. 1", "Fig. 2/3", "Fig. 4", "Figs. 5/6", "Figs. 7/8", "Ablations"):
+            assert marker in text
+
+    def test_mentions_paper_targets(self, report):
+        text = render_markdown(report)
+        assert "paper ~2%" in text
+        assert "paper ~12%" in text
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["report", "--trials", "1", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "Regenerated paper experiments" in out.read_text()

@@ -1,0 +1,66 @@
+"""Tests for the sensitivity sweeps."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    sweep_distance_ratio,
+    sweep_oversubscription,
+    sweep_pool_load,
+)
+from repro.util.errors import ValidationError
+
+
+class TestDistanceRatio:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_distance_ratio(ratios=(1.5, 4.0), trials=2)
+
+    def test_penalty_grows_with_ratio(self, points):
+        """A random center costs more when racks are farther apart."""
+        assert points[0].random_center_penalty < points[-1].random_center_penalty
+
+    def test_improvement_nonnegative(self, points):
+        assert all(p.global_improvement_pct >= 0 for p in points)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValidationError):
+            sweep_distance_ratio(ratios=(1.0,), trials=1)
+
+
+class TestPoolLoad:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_pool_load(loads=(0.3, 0.9), trials=2)
+
+    def test_contention_enables_transfers(self, points):
+        """Algorithm 2 recovers more (or equal) at higher load."""
+        assert points[-1].improvement_pct >= points[0].improvement_pct - 1e-9
+
+    def test_totals_consistent(self, points):
+        for p in points:
+            assert p.global_total <= p.online_total + 1e-9
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValidationError):
+            sweep_pool_load(loads=(0.0,), trials=1)
+
+
+class TestOversubscription:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_oversubscription(factors=(1.0, 16.0))
+
+    def test_flat_network_makes_distance_irrelevant(self, points):
+        """With no oversubscription, topology barely matters (<10%)."""
+        assert points[0].spread_penalty_pct < 10.0
+
+    def test_oversubscription_steepens_the_slope(self, points):
+        assert points[-1].spread_penalty_pct > points[0].spread_penalty_pct
+
+    def test_runtimes_ascending_with_distance_when_congested(self, points):
+        congested = points[-1]
+        assert list(congested.runtimes) == sorted(congested.runtimes)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValidationError):
+            sweep_oversubscription(factors=(0.5,))

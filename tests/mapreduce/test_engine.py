@@ -1,0 +1,194 @@
+"""Tests for the discrete-event MapReduce engine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.core.problem import Allocation
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.hdfs import HDFSModel
+from repro.mapreduce.job import MB, MapReduceJob
+from repro.mapreduce.network import DistanceBand, NetworkModel
+from repro.mapreduce.scheduler import FifoScheduler
+from repro.mapreduce.tasks import TaskState
+from repro.mapreduce.vmcluster import VirtualCluster
+from repro.util.errors import ValidationError
+
+from tests.conftest import make_pool
+
+
+def build_cluster(layout, capacity=(4, 4, 2), racks=2, nodes=2):
+    pool = make_pool(racks, nodes, capacity=capacity)
+    catalog = VMTypeCatalog.ec2_default()
+    m = np.zeros((pool.num_nodes, 3), dtype=np.int64)
+    for node, counts in layout.items():
+        m[node] = counts
+    alloc = Allocation.from_matrix(m, pool.distance_matrix)
+    return VirtualCluster.from_allocation(alloc, pool.distance_matrix, catalog)
+
+
+def small_job(**kwargs):
+    defaults = dict(
+        name="test",
+        input_bytes=8 * MB,
+        block_size=2 * MB,  # 4 map tasks
+        num_reduces=1,
+        map_selectivity=0.5,
+        map_cost_s_per_mb=0.1,
+        reduce_cost_s_per_mb=0.1,
+    )
+    defaults.update(kwargs)
+    return MapReduceJob(**defaults)
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster({0: [0, 2, 0], 2: [0, 2, 0]})  # 4 medium VMs, 2 racks
+
+
+class TestCompletion:
+    def test_all_tasks_complete(self, cluster):
+        result = MapReduceEngine(cluster, seed=1).run(small_job(), hdfs_seed=1)
+        assert all(m.state is TaskState.DONE for m in result.map_records)
+        assert all(r.state is TaskState.DONE for r in result.reduce_records)
+
+    def test_runtime_positive_and_consistent(self, cluster):
+        result = MapReduceEngine(cluster, seed=1).run(small_job(), hdfs_seed=1)
+        assert result.runtime > 0
+        assert result.runtime >= result.shuffle_finish >= 0
+        assert result.runtime == max(r.finish_time for r in result.reduce_records)
+
+    def test_map_count_matches_job(self, cluster):
+        result = MapReduceEngine(cluster, seed=1).run(small_job(), hdfs_seed=1)
+        assert len(result.map_records) == 4
+
+    def test_reduce_count_matches_job(self, cluster):
+        job = small_job(num_reduces=2)
+        result = MapReduceEngine(cluster, seed=1).run(job, hdfs_seed=1)
+        assert len(result.reduce_records) == 2
+
+    def test_deterministic(self, cluster):
+        a = MapReduceEngine(cluster, seed=3).run(small_job(), hdfs_seed=3)
+        b = MapReduceEngine(cluster, seed=3).run(small_job(), hdfs_seed=3)
+        assert a.runtime == b.runtime
+
+    def test_flow_accounting(self, cluster):
+        job = small_job(num_reduces=2)
+        result = MapReduceEngine(cluster, seed=1).run(job, hdfs_seed=1)
+        # One flow per (map, reduce) pair.
+        assert len(result.flows) == 4 * 2
+
+    def test_shuffle_bytes_match_selectivity(self, cluster):
+        job = small_job(map_selectivity=0.5)
+        result = MapReduceEngine(cluster, seed=1).run(job, hdfs_seed=1)
+        assert result.total_shuffle_bytes == pytest.approx(8 * MB * 0.5)
+
+    def test_reduce_input_equals_flow_sum(self, cluster):
+        result = MapReduceEngine(cluster, seed=1).run(small_job(), hdfs_seed=1)
+        rec = result.reduce_records[0]
+        assert rec.input_bytes == pytest.approx(sum(f.size_bytes for f in rec.flows))
+
+
+class TestOrderingInvariants:
+    def test_map_before_its_flows(self, cluster):
+        result = MapReduceEngine(cluster, seed=2).run(small_job(), hdfs_seed=2)
+        finish = {m.task_id: m.finish_time for m in result.map_records}
+        for f in result.flows:
+            assert f.start_time >= finish[f.map_task] - 1e-9
+
+    def test_shuffle_after_last_needed_flow(self, cluster):
+        result = MapReduceEngine(cluster, seed=2).run(small_job(), hdfs_seed=2)
+        for rec in result.reduce_records:
+            last_flow = max(f.finish_time for f in rec.flows)
+            assert rec.shuffle_finish_time == pytest.approx(last_flow)
+
+    def test_reduce_finishes_after_shuffle(self, cluster):
+        result = MapReduceEngine(cluster, seed=2).run(small_job(), hdfs_seed=2)
+        for rec in result.reduce_records:
+            assert rec.finish_time >= rec.shuffle_finish_time
+
+    def test_slot_concurrency_respected(self, cluster):
+        """No VM ever runs more concurrent map tasks than its slots."""
+        result = MapReduceEngine(cluster, seed=4).run(
+            small_job(input_bytes=32 * MB), hdfs_seed=4
+        )
+        slots = {vm.vm_id: vm.map_slots for vm in cluster.vms}
+        events = []
+        for m in result.map_records:
+            events.append((m.start_time, 1, m.vm_id))
+            events.append((m.finish_time, -1, m.vm_id))
+        events.sort(key=lambda e: (e[0], e[1]))
+        running = {vm: 0 for vm in slots}
+        for _, delta, vm in events:
+            running[vm] += delta
+            assert running[vm] <= slots[vm]
+
+
+class TestLocalityEffects:
+    def test_data_local_tasks_read_faster(self):
+        """Jobs on a co-located cluster finish no later than spread ones."""
+        compact = build_cluster({0: [0, 4, 0]})
+        spread = build_cluster({0: [0, 1, 0], 1: [0, 1, 0], 2: [0, 1, 0], 3: [0, 1, 0]})
+        job = small_job(input_bytes=32 * MB, map_selectivity=1.0)
+        rc = MapReduceEngine(compact, seed=5).run(job, hdfs_seed=5)
+        rs = MapReduceEngine(spread, seed=5).run(job, hdfs_seed=5)
+        assert rc.runtime <= rs.runtime + 1e-9
+
+    def test_locality_recorded_per_task(self, cluster):
+        result = MapReduceEngine(cluster, seed=6).run(small_job(), hdfs_seed=6)
+        for m in result.map_records:
+            assert m.locality is not None
+            assert m.source_vm >= 0
+
+    def test_single_node_cluster_all_local(self):
+        cluster = build_cluster({0: [0, 4, 0]})
+        result = MapReduceEngine(cluster, seed=7).run(small_job(), hdfs_seed=7)
+        loc = result.locality()
+        assert loc.non_data_local_maps == 0
+        assert loc.non_local_flows == 0
+
+
+class TestConfiguration:
+    def test_invalid_parallel_fetches_rejected(self, cluster):
+        with pytest.raises(ValidationError):
+            MapReduceEngine(cluster, parallel_fetches=0)
+
+    def test_invalid_replication_rejected(self, cluster):
+        with pytest.raises(ValidationError):
+            MapReduceEngine(cluster, output_replication=0)
+
+    def test_custom_hdfs_accepted(self, cluster):
+        job = small_job()
+        hdfs = HDFSModel.place_file(cluster, job.input_bytes, block_size=job.block_size, seed=8)
+        result = MapReduceEngine(cluster, seed=8).run(job, hdfs=hdfs)
+        assert len(result.map_records) == hdfs.num_blocks
+
+    def test_mismatched_hdfs_rejected(self, cluster):
+        job = small_job()
+        hdfs = HDFSModel.place_file(cluster, job.input_bytes, block_size=4 * MB, seed=9)
+        with pytest.raises(ValidationError):
+            MapReduceEngine(cluster, seed=9).run(job, hdfs=hdfs)
+
+    def test_fifo_scheduler_at_most_as_local(self, cluster):
+        job = small_job(input_bytes=32 * MB)
+        loc_result = MapReduceEngine(cluster, seed=10).run(job, hdfs_seed=10)
+        fifo_result = MapReduceEngine(
+            cluster, scheduler=FifoScheduler(), seed=10
+        ).run(job, hdfs_seed=10)
+        assert (
+            fifo_result.locality().data_local_maps
+            <= loc_result.locality().data_local_maps
+        )
+
+    def test_slower_network_slower_job(self, cluster):
+        job = small_job(map_selectivity=1.0)
+        fast = NetworkModel()
+        slow = NetworkModel(
+            same_node_bps=400e6,
+            same_rack_bps=10e6,
+            cross_rack_bps=2e6,
+            cross_cloud_bps=1e6,
+        )
+        rf = MapReduceEngine(cluster, network=fast, seed=11).run(job, hdfs_seed=11)
+        rs = MapReduceEngine(cluster, network=slow, seed=11).run(job, hdfs_seed=11)
+        assert rs.runtime > rf.runtime

@@ -1,0 +1,167 @@
+"""Edge-case tests for the MapReduce engine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.core.problem import Allocation
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.job import MB, MapReduceJob
+from repro.mapreduce.network import NetworkModel
+from repro.mapreduce.vmcluster import VirtualCluster
+from repro.util.errors import ValidationError
+
+from tests.conftest import make_pool
+
+
+def build_cluster(layout):
+    pool = make_pool(2, 2, capacity=(4, 4, 2))
+    catalog = VMTypeCatalog.ec2_default()
+    m = np.zeros((4, 3), dtype=np.int64)
+    for node, counts in layout.items():
+        m[node] = counts
+    alloc = Allocation.from_matrix(m, pool.distance_matrix)
+    return VirtualCluster.from_allocation(alloc, pool.distance_matrix, catalog)
+
+
+class TestZeroSelectivity:
+    def test_zero_shuffle_job_completes(self):
+        """A selectivity-0 job (pure filter) moves no shuffle bytes but the
+        flows still exist (empty partitions are fetched in Hadoop too)."""
+        cluster = build_cluster({0: [0, 2, 0], 2: [0, 2, 0]})
+        job = MapReduceJob(
+            name="filter",
+            input_bytes=8 * MB,
+            block_size=2 * MB,
+            map_selectivity=0.0,
+        )
+        result = MapReduceEngine(cluster, seed=1).run(job, hdfs_seed=1)
+        assert result.total_shuffle_bytes == 0.0
+        assert len(result.flows) == 4
+        assert result.runtime > 0
+
+    def test_zero_cost_functions(self):
+        cluster = build_cluster({0: [0, 2, 0]})
+        job = MapReduceJob(
+            name="noop",
+            input_bytes=2 * MB,
+            block_size=2 * MB,
+            map_cost_s_per_mb=0.0,
+            reduce_cost_s_per_mb=0.0,
+        )
+        result = MapReduceEngine(cluster, seed=1).run(job, hdfs_seed=1)
+        # Still takes transfer time, but compute contributes nothing.
+        assert result.runtime > 0
+
+
+class TestSingleVM:
+    def test_single_vm_cluster_runs_everything(self):
+        cluster = build_cluster({1: [0, 1, 0]})
+        job = MapReduceJob(name="solo", input_bytes=8 * MB, block_size=2 * MB)
+        result = MapReduceEngine(cluster, seed=2).run(job, hdfs_seed=2)
+        assert {m.vm_id for m in result.map_records} == {0}
+        loc = result.locality()
+        assert loc.data_local_maps == loc.total_maps
+        assert loc.non_local_flows == 0
+
+    def test_single_vm_multiple_waves(self):
+        """One medium VM = 2 map slots; 8 tasks need 4 waves."""
+        cluster = build_cluster({1: [0, 1, 0]})
+        job = MapReduceJob(name="waves", input_bytes=16 * MB, block_size=2 * MB)
+        result = MapReduceEngine(cluster, seed=3).run(job, hdfs_seed=3)
+        starts = sorted({round(m.start_time, 9) for m in result.map_records})
+        assert len(starts) >= 4  # at least four distinct wave starts
+
+
+class TestReplication:
+    def test_output_replication_one_writes_locally(self):
+        cluster = build_cluster({0: [0, 2, 0], 2: [0, 2, 0]})
+        job = MapReduceJob(
+            name="r1",
+            input_bytes=4 * MB,
+            block_size=2 * MB,
+            reduce_selectivity=1.0,
+        )
+        r1 = MapReduceEngine(cluster, output_replication=1, seed=4).run(
+            job, hdfs_seed=4
+        )
+        r3 = MapReduceEngine(cluster, output_replication=3, seed=4).run(
+            job, hdfs_seed=4
+        )
+        assert r1.runtime <= r3.runtime
+
+
+class TestManyReducers:
+    def test_reducers_spread_over_vms(self):
+        cluster = build_cluster({0: [0, 2, 0], 2: [0, 2, 0]})
+        job = MapReduceJob(
+            name="wide", input_bytes=8 * MB, block_size=2 * MB, num_reduces=4
+        )
+        result = MapReduceEngine(cluster, seed=5).run(job, hdfs_seed=5)
+        assert len({r.vm_id for r in result.reduce_records}) == 4
+
+    def test_more_reducers_than_slots_rejected(self):
+        cluster = build_cluster({1: [0, 1, 0]})  # 1 reduce slot
+        job = MapReduceJob(
+            name="toowide", input_bytes=2 * MB, block_size=2 * MB, num_reduces=3
+        )
+        with pytest.raises(ValidationError):
+            MapReduceEngine(cluster, seed=6).run(job, hdfs_seed=6)
+
+
+class TestDiskContention:
+    def test_contention_slows_colocated_reads(self):
+        compact = build_cluster({0: [0, 4, 0]})
+        job = MapReduceJob(
+            name="c",
+            input_bytes=32 * MB,
+            block_size=2 * MB,
+            map_selectivity=0.0,
+            map_cost_s_per_mb=0.0,
+        )
+        free = MapReduceEngine(compact, disk_contention=0.0, seed=7).run(
+            job, hdfs_seed=7
+        )
+        contended = MapReduceEngine(compact, disk_contention=1.0, seed=7).run(
+            job, hdfs_seed=7
+        )
+        assert contended.runtime > free.runtime
+
+    def test_contention_irrelevant_for_singleton_nodes(self):
+        spread = build_cluster(
+            {0: [0, 1, 0], 1: [0, 1, 0], 2: [0, 1, 0], 3: [0, 1, 0]}
+        )
+        job = MapReduceJob(name="s", input_bytes=8 * MB, block_size=2 * MB)
+        a = MapReduceEngine(spread, disk_contention=0.0, seed=8).run(job, hdfs_seed=8)
+        b = MapReduceEngine(spread, disk_contention=1.0, seed=8).run(job, hdfs_seed=8)
+        assert a.runtime == pytest.approx(b.runtime)
+
+    def test_invalid_contention_rejected(self):
+        cluster = build_cluster({0: [0, 1, 0]})
+        with pytest.raises(ValidationError):
+            MapReduceEngine(cluster, disk_contention=1.5)
+
+
+class TestNetworkExtremes:
+    def test_zero_latency_network(self):
+        cluster = build_cluster({0: [0, 2, 0], 2: [0, 2, 0]})
+        net = NetworkModel(latency_per_transfer_s=0.0)
+        job = MapReduceJob(name="z", input_bytes=4 * MB, block_size=2 * MB)
+        result = MapReduceEngine(cluster, network=net, seed=9).run(job, hdfs_seed=9)
+        assert result.runtime > 0
+
+    def test_parallel_fetches_one_serializes_shuffle(self):
+        cluster = build_cluster({0: [0, 2, 0], 2: [0, 2, 0]})
+        job = MapReduceJob(
+            name="p",
+            input_bytes=16 * MB,
+            block_size=2 * MB,
+            map_selectivity=1.0,
+        )
+        serial = MapReduceEngine(cluster, parallel_fetches=1, seed=10).run(
+            job, hdfs_seed=10
+        )
+        parallel = MapReduceEngine(cluster, parallel_fetches=8, seed=10).run(
+            job, hdfs_seed=10
+        )
+        assert serial.shuffle_finish >= parallel.shuffle_finish

@@ -1,0 +1,131 @@
+"""Tests for HDFS block placement."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.core.problem import Allocation
+from repro.mapreduce.hdfs import Block, HDFSModel
+from repro.mapreduce.network import DistanceBand
+from repro.mapreduce.vmcluster import VirtualCluster
+from repro.util.errors import ValidationError
+
+from tests.conftest import make_pool
+
+MB = 1024 * 1024
+
+
+def build_cluster(spread="two-rack"):
+    pool = make_pool(2, 2, capacity=(4, 4, 2))
+    catalog = VMTypeCatalog.ec2_default()
+    m = np.zeros((4, 3), dtype=np.int64)
+    if spread == "two-rack":
+        m[0, 1] = 2
+        m[1, 1] = 2
+        m[2, 1] = 2
+        m[3, 1] = 2
+    else:  # single node
+        m[0, 1] = 4
+    alloc = Allocation.from_matrix(m, pool.distance_matrix)
+    return VirtualCluster.from_allocation(alloc, pool.distance_matrix, catalog)
+
+
+class TestBlock:
+    def test_valid(self):
+        b = Block(block_id=0, size_bytes=64, replicas=(0, 1))
+        assert b.size_bytes == 64
+
+    def test_no_replicas_rejected(self):
+        with pytest.raises(ValidationError):
+            Block(block_id=0, size_bytes=1, replicas=())
+
+    def test_duplicate_replicas_rejected(self):
+        with pytest.raises(ValidationError):
+            Block(block_id=0, size_bytes=1, replicas=(1, 1))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            Block(block_id=0, size_bytes=-1, replicas=(0,))
+
+
+class TestPlaceFile:
+    def test_block_count_and_sizes(self):
+        cluster = build_cluster()
+        hdfs = HDFSModel.place_file(cluster, 130 * MB, block_size=64 * MB, seed=1)
+        assert hdfs.num_blocks == 3
+        sizes = [b.size_bytes for b in hdfs.blocks]
+        assert sizes == [64 * MB, 64 * MB, 2 * MB]
+        assert hdfs.total_bytes == 130 * MB
+
+    def test_replication_factor(self):
+        cluster = build_cluster()
+        hdfs = HDFSModel.place_file(cluster, 256 * MB, replication=3, seed=2)
+        assert all(len(b.replicas) == 3 for b in hdfs.blocks)
+
+    def test_replication_capped_at_cluster_size(self):
+        cluster = build_cluster("single")  # 4 VMs on one node
+        hdfs = HDFSModel.place_file(cluster, 64 * MB, replication=10, seed=3)
+        assert all(len(b.replicas) <= cluster.num_vms for b in hdfs.blocks)
+
+    def test_replicas_unique_per_block(self):
+        cluster = build_cluster()
+        hdfs = HDFSModel.place_file(cluster, 512 * MB, replication=3, seed=4)
+        for b in hdfs.blocks:
+            assert len(set(b.replicas)) == len(b.replicas)
+
+    def test_rack_aware_second_replica(self):
+        """With 2 racks available, replicas of each block span both racks."""
+        cluster = build_cluster()
+        hdfs = HDFSModel.place_file(cluster, 512 * MB, replication=3, seed=5)
+        for b in hdfs.blocks:
+            bands = {
+                cluster.band(b.replicas[0], r) for r in b.replicas[1:]
+            }
+            assert DistanceBand.CROSS_RACK in bands
+
+    def test_deterministic(self):
+        cluster = build_cluster()
+        a = HDFSModel.place_file(cluster, 256 * MB, seed=6)
+        b = HDFSModel.place_file(cluster, 256 * MB, seed=6)
+        assert [x.replicas for x in a.blocks] == [y.replicas for y in b.blocks]
+
+    def test_invalid_params_rejected(self):
+        cluster = build_cluster()
+        with pytest.raises(ValidationError):
+            HDFSModel.place_file(cluster, 0)
+        with pytest.raises(ValidationError):
+            HDFSModel.place_file(cluster, 1, block_size=0)
+        with pytest.raises(ValidationError):
+            HDFSModel.place_file(cluster, 1, replication=0)
+
+
+class TestQueries:
+    @pytest.fixture
+    def hdfs(self):
+        return HDFSModel.place_file(build_cluster(), 256 * MB, seed=7)
+
+    def test_replicas_of(self, hdfs):
+        assert hdfs.replicas_of(0) == hdfs.blocks[0].replicas
+
+    def test_blocks_on_inverts_replicas(self, hdfs):
+        for vm in range(hdfs.cluster.num_vms):
+            for blk in hdfs.blocks_on(vm):
+                assert vm in hdfs.replicas_of(blk)
+
+    def test_locality_of_replica_holder_is_node(self, hdfs):
+        blk = hdfs.blocks[0]
+        assert hdfs.locality_of(blk.block_id, blk.replicas[0]) == DistanceBand.SAME_NODE
+
+    def test_nearest_replica_is_a_replica(self, hdfs):
+        for vm in range(hdfs.cluster.num_vms):
+            nearest = hdfs.nearest_replica(0, vm)
+            assert nearest in hdfs.replicas_of(0)
+
+    def test_replica_balance_sums_to_total_replicas(self, hdfs):
+        balance = hdfs.replica_balance()
+        assert balance.sum() == sum(len(b.replicas) for b in hdfs.blocks)
+
+    def test_unknown_replica_vm_rejected(self):
+        cluster = build_cluster()
+        with pytest.raises(ValidationError):
+            HDFSModel(cluster, [Block(block_id=0, size_bytes=1, replicas=(99,))])

@@ -1,0 +1,75 @@
+"""Tests for job specifications and the workload library."""
+
+import pytest
+
+from repro.mapreduce.job import GB, MB, MapReduceJob
+from repro.mapreduce.workloads import WORKLOADS, grep, join, sort, terasort, wordcount
+from repro.util.errors import ValidationError
+
+
+class TestMapReduceJob:
+    def test_num_maps_ceil(self):
+        job = MapReduceJob(name="x", input_bytes=130 * MB, block_size=64 * MB)
+        assert job.num_maps == 3
+
+    def test_num_maps_exact(self):
+        job = MapReduceJob(name="x", input_bytes=2 * GB, block_size=64 * MB)
+        assert job.num_maps == 32
+
+    def test_map_output_scaling(self):
+        job = MapReduceJob(name="x", input_bytes=MB, map_selectivity=0.5)
+        assert job.map_output_bytes(100) == 50.0
+
+    def test_map_compute_time(self):
+        job = MapReduceJob(name="x", input_bytes=MB, map_cost_s_per_mb=2.0)
+        assert job.map_compute_time(MB) == pytest.approx(2.0)
+
+    def test_reduce_compute_time(self):
+        job = MapReduceJob(name="x", input_bytes=MB, reduce_cost_s_per_mb=4.0)
+        assert job.reduce_compute_time(2 * MB) == pytest.approx(8.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"input_bytes": 0},
+            {"input_bytes": 1, "block_size": 0},
+            {"input_bytes": 1, "num_reduces": 0},
+            {"input_bytes": 1, "map_selectivity": -0.1},
+            {"input_bytes": 1, "map_cost_s_per_mb": -1},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            MapReduceJob(name="x", **kwargs)
+
+
+class TestWorkloads:
+    def test_paper_wordcount_shape(self):
+        """2 GiB / 64 MiB = the paper's 32 maps; 1 reduce."""
+        job = wordcount()
+        assert job.num_maps == 32
+        assert job.num_reduces == 1
+
+    def test_wordcount_combiner_reduces_shuffle(self):
+        with_c = wordcount(combiner=True)
+        without = wordcount(combiner=False)
+        assert with_c.map_selectivity < without.map_selectivity
+
+    def test_sort_is_shuffle_heaviest(self):
+        assert sort().map_selectivity == 1.0
+        assert sort().map_selectivity > wordcount().map_selectivity > grep().map_selectivity
+
+    def test_join_expands_input(self):
+        assert join().map_selectivity > 1.0
+
+    def test_terasort_fan_out(self):
+        assert terasort().num_reduces > 1
+
+    def test_registry_complete(self):
+        assert set(WORKLOADS) == {"wordcount", "sort", "grep", "terasort", "join"}
+        for name, factory in WORKLOADS.items():
+            assert factory().name == name
+
+    def test_custom_sizes(self):
+        job = wordcount(input_bytes=GB, block_size=128 * MB)
+        assert job.num_maps == 8

@@ -1,0 +1,80 @@
+"""Tests for multi-job workflows."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.mapreduce_experiments import build_cluster
+from repro.mapreduce import (
+    JobFlow,
+    MapReduceEngine,
+    compare_flows_across_clusters,
+    grep,
+    sort,
+    wordcount,
+)
+from repro.mapreduce.job import MB, MapReduceJob
+from repro.util.errors import ValidationError
+
+
+def small(name="a", blocks=4, selectivity=0.5):
+    return MapReduceJob(
+        name=name,
+        input_bytes=blocks * 4 * MB,
+        block_size=4 * MB,
+        map_selectivity=selectivity,
+    )
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return MapReduceEngine(build_cluster(8), seed=1)
+
+
+class TestJobFlow:
+    def test_per_job_results(self, engine):
+        flow = JobFlow(engine, seed=2)
+        result = flow.run([small("a"), small("b"), small("c")])
+        assert len(result.results) == 3
+        assert [r.job_name for r in result.results] == ["a", "b", "c"]
+
+    def test_makespan_is_sum_of_runtimes(self, engine):
+        result = JobFlow(engine, seed=2).run([small("a"), small("b")])
+        assert result.makespan == pytest.approx(sum(result.runtimes))
+
+    def test_empty_flow_rejected(self, engine):
+        with pytest.raises(ValidationError):
+            JobFlow(engine).run([])
+
+    def test_deterministic(self, engine):
+        jobs = [small("a"), small("b")]
+        r1 = JobFlow(engine, seed=3).run(jobs)
+        r2 = JobFlow(engine, seed=3).run(jobs)
+        assert r1.runtimes == r2.runtimes
+
+    def test_aggregate_metrics(self, engine):
+        result = JobFlow(engine, seed=4).run([small("a", selectivity=1.0)])
+        assert result.total_shuffle_bytes == pytest.approx(4 * 4 * MB)
+        assert 0.0 <= result.mean_data_local_fraction <= 1.0
+
+    def test_slowest_job(self, engine):
+        result = JobFlow(engine, seed=5).run(
+            [small("light", selectivity=0.1), small("heavy", selectivity=2.0)]
+        )
+        assert result.slowest_job().job_name == "heavy"
+
+
+class TestCompareFlows:
+    def test_sorted_by_affinity(self):
+        clusters = [build_cluster(d) for d in (16, 8, 22)]
+        jobs = [small("a"), small("b")]
+        rows = compare_flows_across_clusters(clusters, jobs, seed=6)
+        affinities = [a for a, _ in rows]
+        assert affinities == sorted(affinities)
+
+    def test_compact_cluster_not_slower_for_shuffle_mix(self):
+        clusters = [build_cluster(d) for d in (8, 22)]
+        jobs = [small("s1", selectivity=1.0), small("s2", selectivity=1.0)]
+        rows = compare_flows_across_clusters(clusters, jobs, seed=7)
+        compact_makespan = rows[0][1].makespan
+        spread_makespan = rows[-1][1].makespan
+        assert compact_makespan <= spread_makespan + 1e-9

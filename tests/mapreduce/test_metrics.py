@@ -1,0 +1,87 @@
+"""Tests for locality reports and job-result metrics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.core.problem import Allocation
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.job import MB, MapReduceJob
+from repro.mapreduce.metrics import JobResult, LocalityReport
+from repro.mapreduce.network import DistanceBand
+from repro.mapreduce.vmcluster import VirtualCluster
+
+from tests.conftest import make_pool
+
+
+def run_job(seed=1):
+    pool = make_pool(2, 2, capacity=(4, 4, 2))
+    catalog = VMTypeCatalog.ec2_default()
+    m = np.zeros((4, 3), dtype=np.int64)
+    m[0, 1] = 2
+    m[2, 1] = 2
+    alloc = Allocation.from_matrix(m, pool.distance_matrix)
+    cluster = VirtualCluster.from_allocation(alloc, pool.distance_matrix, catalog)
+    job = MapReduceJob(
+        name="t", input_bytes=16 * MB, block_size=2 * MB, map_selectivity=1.0
+    )
+    return MapReduceEngine(cluster, seed=seed).run(job, hdfs_seed=seed)
+
+
+class TestLocalityReport:
+    def test_counts_partition_maps(self):
+        result = run_job()
+        loc = result.locality()
+        assert (
+            loc.data_local_maps + loc.rack_local_maps + loc.remote_maps
+            == loc.total_maps
+        )
+
+    def test_counts_partition_flows(self):
+        loc = run_job().locality()
+        assert (
+            loc.node_local_flows + loc.rack_local_flows + loc.remote_flows
+            == loc.total_flows
+        )
+
+    def test_non_data_local_complement(self):
+        loc = run_job().locality()
+        assert loc.non_data_local_maps == loc.total_maps - loc.data_local_maps
+
+    def test_fractions_in_unit_interval(self):
+        loc = run_job().locality()
+        assert 0.0 <= loc.data_local_fraction <= 1.0
+        assert 0.0 <= loc.local_shuffle_fraction <= 1.0
+
+    def test_empty_report_fractions(self):
+        loc = LocalityReport(
+            total_maps=0,
+            data_local_maps=0,
+            rack_local_maps=0,
+            remote_maps=0,
+            total_flows=0,
+            node_local_flows=0,
+            rack_local_flows=0,
+            remote_flows=0,
+        )
+        assert loc.data_local_fraction == 0.0
+        assert loc.local_shuffle_fraction == 0.0
+
+
+class TestJobResult:
+    def test_bytes_by_band_sums_to_shuffle(self):
+        result = run_job()
+        per_band = result.bytes_by_band()
+        assert sum(per_band.values()) == pytest.approx(result.total_shuffle_bytes)
+
+    def test_bands_cover_all_levels(self):
+        per_band = run_job().bytes_by_band()
+        assert set(per_band) == set(DistanceBand)
+
+    def test_map_phase_finish_le_runtime(self):
+        result = run_job()
+        assert result.map_phase_finish <= result.runtime
+
+    def test_cluster_affinity_propagated(self):
+        result = run_job()
+        assert result.cluster_affinity > 0

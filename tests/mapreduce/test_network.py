@@ -1,0 +1,70 @@
+"""Tests for the network transfer-time model."""
+
+import pytest
+
+from repro.mapreduce.network import DistanceBand, NetworkModel, classify_band
+from repro.util.errors import ValidationError
+
+
+class TestClassifyBand:
+    def test_bands(self):
+        assert classify_band(0.0, 1.0, 2.0) == DistanceBand.SAME_NODE
+        assert classify_band(1.0, 1.0, 2.0) == DistanceBand.SAME_RACK
+        assert classify_band(2.0, 1.0, 2.0) == DistanceBand.CROSS_RACK
+        assert classify_band(4.0, 1.0, 2.0) == DistanceBand.CROSS_CLOUD
+
+    def test_band_ordering(self):
+        assert (
+            DistanceBand.SAME_NODE
+            < DistanceBand.SAME_RACK
+            < DistanceBand.CROSS_RACK
+            < DistanceBand.CROSS_CLOUD
+        )
+
+    def test_scaled_distances(self):
+        # Works for non-unit d1/d2 too.
+        assert classify_band(3.0, 3.0, 7.0) == DistanceBand.SAME_RACK
+        assert classify_band(7.0, 3.0, 7.0) == DistanceBand.CROSS_RACK
+
+
+class TestNetworkModel:
+    def test_default_monotone_bandwidths(self):
+        net = NetworkModel()
+        bws = [net.bandwidth(b) for b in DistanceBand]
+        assert bws == sorted(bws, reverse=True)
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValidationError):
+            NetworkModel(same_rack_bps=1e6, cross_rack_bps=2e6)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValidationError):
+            NetworkModel(cross_cloud_bps=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValidationError):
+            NetworkModel(latency_per_transfer_s=-0.1)
+
+    def test_transfer_time_scales_with_bytes(self):
+        net = NetworkModel(latency_per_transfer_s=0.0)
+        t1 = net.transfer_time(1e6, DistanceBand.SAME_RACK)
+        t2 = net.transfer_time(2e6, DistanceBand.SAME_RACK)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_farther_band_slower(self):
+        net = NetworkModel()
+        nbytes = 64e6
+        times = [net.transfer_time(nbytes, b) for b in DistanceBand]
+        assert times == sorted(times)
+
+    def test_latency_added(self):
+        net = NetworkModel(latency_per_transfer_s=0.5)
+        assert net.transfer_time(0, DistanceBand.SAME_RACK) == pytest.approx(0.5)
+
+    def test_zero_bytes_same_node_free(self):
+        net = NetworkModel(latency_per_transfer_s=0.5)
+        assert net.transfer_time(0, DistanceBand.SAME_NODE) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValidationError):
+            NetworkModel().transfer_time(-1, DistanceBand.SAME_RACK)

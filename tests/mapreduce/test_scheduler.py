@@ -1,0 +1,139 @@
+"""Tests for map-task schedulers and reducer placement."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.core.problem import Allocation
+from repro.mapreduce.hdfs import Block, HDFSModel
+from repro.mapreduce.network import DistanceBand
+from repro.mapreduce.scheduler import (
+    DelayScheduler,
+    FifoScheduler,
+    LocalityAwareScheduler,
+    RandomScheduler,
+    place_reducers,
+)
+from repro.mapreduce.tasks import MapTaskRecord
+from repro.mapreduce.vmcluster import VirtualCluster
+from repro.util.errors import ValidationError
+
+from tests.conftest import make_pool
+
+
+@pytest.fixture
+def cluster():
+    """4 medium VMs on 4 nodes over 2 racks."""
+    pool = make_pool(2, 2, capacity=(2, 2, 1))
+    catalog = VMTypeCatalog.ec2_default()
+    m = np.zeros((4, 3), dtype=np.int64)
+    m[:, 1] = 1
+    alloc = Allocation.from_matrix(m, pool.distance_matrix)
+    return VirtualCluster.from_allocation(alloc, pool.distance_matrix, catalog)
+
+
+@pytest.fixture
+def hdfs(cluster):
+    """Three blocks with hand-placed replicas (no randomness)."""
+    blocks = [
+        Block(block_id=0, size_bytes=10, replicas=(0,)),
+        Block(block_id=1, size_bytes=10, replicas=(1,)),
+        Block(block_id=2, size_bytes=10, replicas=(3,)),
+    ]
+    return HDFSModel(cluster, blocks)
+
+
+def pending_tasks(n=3):
+    return [MapTaskRecord(task_id=i, block_id=i, input_bytes=10) for i in range(n)]
+
+
+class TestLocalityAware:
+    def test_prefers_node_local(self, hdfs):
+        sched = LocalityAwareScheduler()
+        task = sched.pick(1, pending_tasks(), hdfs)
+        assert task.block_id == 1
+
+    def test_falls_back_to_rack_local(self, hdfs):
+        sched = LocalityAwareScheduler()
+        # VM 1 with only block 0 (replica on VM 0, same rack) pending.
+        pending = [MapTaskRecord(task_id=0, block_id=0, input_bytes=10)]
+        task = sched.pick(1, pending, hdfs)
+        assert task.block_id == 0
+
+    def test_ties_break_by_task_id(self, hdfs):
+        sched = LocalityAwareScheduler()
+        pending = [
+            MapTaskRecord(task_id=5, block_id=1, input_bytes=10),
+            MapTaskRecord(task_id=2, block_id=1, input_bytes=10),
+        ]
+        assert sched.pick(1, pending, hdfs).task_id == 2
+
+    def test_empty_pending(self, hdfs):
+        assert LocalityAwareScheduler().pick(0, [], hdfs) is None
+
+
+class TestFifo:
+    def test_lowest_id_regardless_of_locality(self, hdfs):
+        pending = pending_tasks()
+        assert FifoScheduler().pick(3, pending, hdfs).task_id == 0
+
+    def test_empty(self, hdfs):
+        assert FifoScheduler().pick(0, [], hdfs) is None
+
+
+class TestRandom:
+    def test_picks_from_pending(self, hdfs):
+        sched = RandomScheduler(seed=1)
+        pending = pending_tasks()
+        assert sched.pick(0, pending, hdfs) in pending
+
+    def test_deterministic(self, hdfs):
+        a = RandomScheduler(seed=2).pick(0, pending_tasks(), hdfs)
+        b = RandomScheduler(seed=2).pick(0, pending_tasks(), hdfs)
+        assert a.task_id == b.task_id
+
+
+class TestDelay:
+    def test_local_task_taken_immediately(self, hdfs):
+        sched = DelayScheduler(max_skips=3)
+        task = sched.pick(0, pending_tasks(), hdfs)
+        assert task.block_id == 0
+
+    def test_nonlocal_deferred_until_skips_exhausted(self, hdfs):
+        sched = DelayScheduler(max_skips=2)
+        pending = [MapTaskRecord(task_id=0, block_id=2, input_bytes=10)]
+        # Block 2's replica is on VM 3; VM 0 offers repeatedly.
+        assert sched.pick(0, pending, hdfs) is None  # skip 1
+        assert sched.pick(0, pending, hdfs) is None  # skip 2
+        assert sched.pick(0, pending, hdfs) is not None  # budget exhausted
+
+    def test_invalid_skips_rejected(self):
+        with pytest.raises(ValidationError):
+            DelayScheduler(max_skips=-1)
+
+
+class TestPlaceReducers:
+    def test_slots_policy_fills_in_order(self, cluster):
+        assert place_reducers(cluster, 2, policy="slots") == [0, 1]
+
+    def test_slots_policy_respects_capacity(self, cluster):
+        # Each medium VM has 1 reduce slot; 4 reducers = all four VMs.
+        assert place_reducers(cluster, 4, policy="slots") == [0, 1, 2, 3]
+
+    def test_too_many_reducers_rejected(self, cluster):
+        with pytest.raises(ValidationError):
+            place_reducers(cluster, 99, policy="slots")
+
+    def test_random_policy_deterministic(self, cluster):
+        a = place_reducers(cluster, 2, policy="random", seed=5)
+        b = place_reducers(cluster, 2, policy="random", seed=5)
+        assert a == b
+
+    def test_center_policy_minimizes_total_distance(self, cluster):
+        placement = place_reducers(cluster, 1, policy="center")
+        totals = cluster.distance.sum(axis=1)
+        assert totals[placement[0]] == totals.min()
+
+    def test_unknown_policy_rejected(self, cluster):
+        with pytest.raises(ValidationError):
+            place_reducers(cluster, 1, policy="magnetic")

@@ -1,0 +1,91 @@
+"""Tests for the virtual-cluster bridge between placement and MapReduce."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.core.problem import Allocation
+from repro.mapreduce.network import DistanceBand
+from repro.mapreduce.vmcluster import VMInstance, VirtualCluster
+from repro.util.errors import ValidationError
+
+from tests.conftest import make_pool
+
+
+@pytest.fixture
+def setup():
+    pool = make_pool(2, 2, capacity=(2, 2, 1))
+    catalog = VMTypeCatalog.ec2_default()
+    m = np.zeros((4, 3), dtype=np.int64)
+    m[0] = [1, 1, 0]  # 1 small + 1 medium on node 0
+    m[1] = [0, 1, 0]  # 1 medium on node 1 (same rack)
+    m[2] = [0, 0, 1]  # 1 large on node 2 (other rack)
+    alloc = Allocation.from_matrix(m, pool.distance_matrix)
+    cluster = VirtualCluster.from_allocation(alloc, pool.distance_matrix, catalog)
+    return pool, alloc, cluster
+
+
+class TestFromAllocation:
+    def test_vm_expansion(self, setup):
+        _, _, cluster = setup
+        assert cluster.num_vms == 4
+        assert [vm.node_id for vm in cluster.vms] == [0, 0, 1, 2]
+        assert [vm.type_index for vm in cluster.vms] == [0, 1, 1, 2]
+
+    def test_affinity_is_dc(self, setup):
+        _, alloc, cluster = setup
+        assert cluster.affinity == alloc.distance
+
+    def test_slots_from_catalog(self, setup):
+        _, _, cluster = setup
+        # small: 1 map slot; medium: 2 each; large: 4.
+        assert cluster.total_map_slots == 1 + 2 + 2 + 4
+        assert cluster.total_reduce_slots == 1 + 1 + 1 + 2
+
+    def test_vm_distance_same_node_zero(self, setup):
+        _, _, cluster = setup
+        assert cluster.vm_distance(0, 1) == 0.0
+
+    def test_vm_distance_matches_node_distance(self, setup):
+        pool, _, cluster = setup
+        assert cluster.vm_distance(0, 2) == pool.distance_matrix[0, 1]
+        assert cluster.vm_distance(0, 3) == pool.distance_matrix[0, 2]
+
+    def test_bands(self, setup):
+        _, _, cluster = setup
+        assert cluster.band(0, 1) == DistanceBand.SAME_NODE
+        assert cluster.band(0, 2) == DistanceBand.SAME_RACK
+        assert cluster.band(0, 3) == DistanceBand.CROSS_RACK
+
+    def test_distance_matrix_read_only(self, setup):
+        _, _, cluster = setup
+        with pytest.raises(ValueError):
+            cluster.distance[0, 1] = 9.0
+
+
+class TestNearest:
+    def test_prefers_same_node(self, setup):
+        _, _, cluster = setup
+        assert cluster.nearest(0, [1, 2, 3]) == 1
+
+    def test_tie_breaks_lowest_id(self, setup):
+        _, _, cluster = setup
+        # VMs 0 and 1 are both on node 0 (distance 0 from each other).
+        assert cluster.nearest(2, [0, 1]) in (0, 1)
+        assert cluster.nearest(2, [1, 0]) == cluster.nearest(2, [0, 1])
+
+    def test_empty_candidates_rejected(self, setup):
+        _, _, cluster = setup
+        with pytest.raises(ValidationError):
+            cluster.nearest(0, [])
+
+
+class TestValidation:
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValidationError):
+            VirtualCluster([], np.zeros((0, 0)), affinity=0.0)
+
+    def test_distance_shape_mismatch_rejected(self):
+        vm = VMInstance(vm_id=0, node_id=0, type_index=0, map_slots=1, reduce_slots=1)
+        with pytest.raises(ValidationError):
+            VirtualCluster([vm], np.zeros((2, 2)), affinity=0.0)

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if hasattr(a, "_name_parser_map")
+        )
+        commands = set(sub._name_parser_map)
+        assert {
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "ablations",
+            "simulate",
+        } <= commands
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "DC1" in out and "SD optimum" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "heuristic" in out and "random" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "center" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "best" in capsys.readouterr().out
+
+    def test_fig5_with_trials(self, capsys):
+        assert main(["fig5", "--trials", "1"]) == 0
+        assert "improvement" in capsys.readouterr().out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6", "--trials", "1"]) == 0
+        assert "improvement" in capsys.readouterr().out
+
+    def test_fig7_chart(self, capsys):
+        assert main(["fig7", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime" in out
+        assert "█" in out  # the ASCII bars
+
+    def test_fig8_alias(self, capsys):
+        assert main(["fig8"]) == 0
+        assert "WordCount" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--requests", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "placed" in out and "mean cluster distance" in out
+
+    def test_simulate_batch(self, capsys):
+        assert main(["simulate", "--requests", "20", "--batch"]) == 0
+        assert "Algorithm 2" in capsys.readouterr().out
+
+    def test_simulate_unknown_policy(self, capsys):
+        assert main(["simulate", "--policy", "psychic"]) == 2
+
+    def test_seed_changes_fig2(self, capsys):
+        main(["fig2", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["fig2", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+
+class TestTraceCommand:
+    def test_record_and_replay(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.json")
+        assert main(["trace", "--out", trace, "--requests", "10"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--replay", trace]) == 0
+        out = capsys.readouterr().out
+        assert "Replayed trace" in out and "placed" in out
+
+    def test_missing_args_errors(self, capsys):
+        assert main(["trace"]) == 2

@@ -1,0 +1,284 @@
+"""Cross-module property-based tests (Hypothesis).
+
+These complement the per-module suites with invariants that must hold under
+*arbitrary* operation sequences and inputs:
+
+* DC algebraic properties (scaling, monotonicity, single-node zero);
+* resource-pool conservation under random allocate/release/fail/recover;
+* transfer-phase conservation (demand and joint feasibility) under random
+  batches;
+* MapReduce engine conservation (bytes, task counts) under random job
+  shapes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.dynamics import DynamicResourcePool
+from repro.cluster.topology import Topology
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.core.distance import cluster_distance, distance_with_center
+from repro.core.placement.global_opt import GlobalSubOptimizer, total_distance
+from repro.core.placement.greedy import OnlineHeuristic
+from repro.util.errors import CapacityError
+
+
+def hier_dist(racks: int, per_rack: int, d1: float, d2: float) -> np.ndarray:
+    rack = np.repeat(np.arange(racks), per_rack)
+    d = np.where(rack[:, None] == rack[None, :], d1, d2)
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+class TestDCProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        counts=st.lists(st.integers(0, 5), min_size=6, max_size=6),
+        scale=st.floats(0.1, 10.0),
+    )
+    def test_dc_scales_linearly_with_distances(self, counts, scale):
+        counts = np.array(counts)
+        if counts.sum() == 0:
+            return
+        d = hier_dist(2, 3, 1.0, 2.0)
+        dc1, _ = cluster_distance(counts, d)
+        dc2, _ = cluster_distance(counts, d * scale)
+        assert dc2 == pytest.approx(dc1 * scale)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        counts=st.lists(st.integers(0, 5), min_size=6, max_size=6),
+        node=st.integers(0, 5),
+    )
+    def test_adding_a_vm_never_decreases_dc(self, counts, node):
+        counts = np.array(counts)
+        if counts.sum() == 0:
+            return
+        d = hier_dist(2, 3, 1.0, 2.0)
+        before, _ = cluster_distance(counts, d)
+        grown = counts.copy()
+        grown[node] += 1
+        after, _ = cluster_distance(grown, d)
+        # Adding a VM adds a non-negative term for every candidate center.
+        assert after >= before - 1e-9
+
+    @settings(max_examples=80, deadline=None)
+    @given(counts=st.lists(st.integers(0, 5), min_size=6, max_size=6))
+    def test_dc_is_min_over_forced_centers(self, counts):
+        counts = np.array(counts)
+        if counts.sum() == 0:
+            return
+        d = hier_dist(2, 3, 1.0, 2.0)
+        dc, center = cluster_distance(counts, d)
+        forced = [distance_with_center(counts, d, k) for k in range(6)]
+        assert dc == pytest.approx(min(forced))
+        assert forced[center] == pytest.approx(dc)
+
+    @settings(max_examples=40, deadline=None)
+    @given(node=st.integers(0, 5), total=st.integers(1, 10))
+    def test_single_node_cluster_distance_zero(self, node, total):
+        d = hier_dist(2, 3, 1.0, 2.0)
+        counts = np.zeros(6, dtype=np.int64)
+        counts[node] = total
+        dc, center = cluster_distance(counts, d)
+        assert dc == 0.0
+        assert center == node
+
+
+def _ops_strategy():
+    return st.lists(
+        st.tuples(
+            st.sampled_from(["allocate", "release", "fail", "recover"]),
+            st.integers(0, 5),  # node
+            st.integers(0, 2),  # type
+            st.integers(1, 2),  # count
+        ),
+        min_size=1,
+        max_size=30,
+    )
+
+
+class TestPoolConservation:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_ops_strategy())
+    def test_invariants_under_random_op_sequences(self, ops):
+        """Whatever succeeds, 0 <= C <= M and L = effective M - C hold."""
+        topo = Topology.build(2, 3, capacity=[2, 2, 1])
+        pool = DynamicResourcePool(topo, VMTypeCatalog.ec2_default())
+        for op, node, vm_type, count in ops:
+            delta = np.zeros((6, 3), dtype=np.int64)
+            delta[node, vm_type] = count
+            try:
+                if op == "allocate":
+                    pool.allocate(delta)
+                elif op == "release":
+                    pool.release(delta)
+                elif op == "fail":
+                    pool.fail_node(node)
+                else:
+                    pool.recover_node(node)
+            except (CapacityError, Exception):
+                # Rejected ops must leave the pool consistent (checked below).
+                pass
+            alloc = pool.allocated
+            assert alloc.min() >= 0
+            assert np.all(alloc <= topo.capacity_matrix())
+            assert np.all(pool.remaining >= 0)
+            assert np.all(pool.available >= 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=_ops_strategy())
+    def test_allocate_release_ledger_balances(self, ops):
+        """Total allocated equals successful allocations minus releases."""
+        topo = Topology.build(2, 3, capacity=[2, 2, 1])
+        pool = DynamicResourcePool(topo, VMTypeCatalog.ec2_default())
+        ledger = 0
+        for op, node, vm_type, count in ops:
+            if op not in ("allocate", "release"):
+                continue
+            delta = np.zeros((6, 3), dtype=np.int64)
+            delta[node, vm_type] = count
+            try:
+                if op == "allocate":
+                    pool.allocate(delta)
+                    ledger += count
+                else:
+                    pool.release(delta)
+                    ledger -= count
+            except CapacityError:
+                pass
+        assert pool.allocated.sum() == ledger
+
+
+class TestBatchOptimizationProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        demands=st.lists(
+            st.lists(st.integers(0, 2), min_size=3, max_size=3),
+            min_size=2,
+            max_size=5,
+        ),
+        seed=st.integers(0, 100),
+    )
+    def test_transfers_conserve_everything(self, demands, seed):
+        topo = Topology.build(2, 3, capacity=[2, 2, 1])
+        from repro.cluster.resources import ResourcePool
+
+        pool = ResourcePool(topo, VMTypeCatalog.ec2_default())
+        batch = [np.array(d) for d in demands if sum(d) > 0]
+        # Keep a jointly feasible prefix.
+        budget = pool.available.copy()
+        feasible = []
+        for r in batch:
+            if np.all(r <= budget):
+                feasible.append(r)
+                budget -= r
+        if not feasible:
+            return
+        opt = GlobalSubOptimizer(OnlineHeuristic())
+        online = opt.place_online(feasible, pool)
+        optimized = opt.optimize_transfers(online, pool.distance_matrix)
+        placed = [(a, b) for a, b in zip(online, optimized) if a is not None]
+        # Demands preserved per request.
+        for before, after in placed:
+            assert np.array_equal(before.demand, after.demand)
+        # Joint feasibility preserved.
+        combined = sum(b.matrix for _, b in placed)
+        assert np.all(combined <= pool.remaining)
+        # Total distance never worse.
+        assert total_distance([b for _, b in placed]) <= total_distance(
+            [a for a, _ in placed]
+        ) + 1e-9
+
+
+class TestEngineConservation:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        blocks=st.integers(1, 12),
+        reduces=st.integers(1, 3),
+        selectivity=st.floats(0.0, 2.0),
+        seed=st.integers(0, 50),
+    )
+    def test_bytes_and_tasks_conserved(self, blocks, reduces, selectivity, seed):
+        from repro.core.problem import Allocation
+        from repro.mapreduce.engine import MapReduceEngine
+        from repro.mapreduce.job import MB, MapReduceJob
+        from repro.mapreduce.vmcluster import VirtualCluster
+
+        topo = Topology.build(2, 2, capacity=[4, 4, 2])
+        from repro.cluster.resources import ResourcePool
+
+        pool = ResourcePool(topo, VMTypeCatalog.ec2_default())
+        m = np.zeros((4, 3), dtype=np.int64)
+        m[:, 1] = 1  # four medium VMs
+        cluster = VirtualCluster.from_allocation(
+            Allocation.from_matrix(m, pool.distance_matrix),
+            pool.distance_matrix,
+            pool.catalog,
+        )
+        job = MapReduceJob(
+            name="prop",
+            input_bytes=blocks * 2 * MB,
+            block_size=2 * MB,
+            num_reduces=reduces,
+            map_selectivity=selectivity,
+        )
+        result = MapReduceEngine(cluster, seed=seed).run(job, hdfs_seed=seed)
+        assert len(result.map_records) == blocks
+        assert len(result.reduce_records) == reduces
+        assert len(result.flows) == blocks * reduces
+        expected_shuffle = job.input_bytes * selectivity
+        assert result.total_shuffle_bytes == pytest.approx(expected_shuffle)
+        # Every reducer's input equals its fetched flow bytes.
+        for rec in result.reduce_records:
+            assert rec.input_bytes == pytest.approx(
+                sum(f.size_bytes for f in rec.flows)
+            )
+        # Time ordering.
+        assert result.runtime >= result.shuffle_finish >= 0.0
+
+
+class TestTimelineProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        reservations=st.lists(
+            st.tuples(
+                st.integers(1, 3),       # demand
+                st.floats(0.0, 50.0),    # start offset
+                st.floats(0.1, 30.0),    # duration
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_earliest_fit_is_minimal_and_feasible(self, reservations):
+        """earliest_fit returns a feasible start, and no earlier breakpoint
+        admits the demand."""
+        from repro.cloud.reservations import ResourceTimeline
+
+        tl = ResourceTimeline(0.0, np.array([6]))
+        for demand, start, duration in reservations:
+            if tl.fits(np.array([demand]), start, duration):
+                tl.reserve(np.array([demand]), start, duration)
+        probe = np.array([3])
+        t = tl.earliest_fit(probe, 5.0)
+        assert tl.fits(probe, t, 5.0)
+        for bp in [0.0] + tl.breakpoints:
+            if bp < t - 1e-9:
+                assert not tl.fits(probe, bp, 5.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        demand=st.integers(1, 4),
+        start=st.floats(0.0, 40.0),
+        duration=st.floats(0.5, 20.0),
+    )
+    def test_reserve_never_goes_negative(self, demand, start, duration):
+        from repro.cloud.reservations import ResourceTimeline
+
+        tl = ResourceTimeline(0.0, np.array([4]))
+        tl.reserve(np.array([demand]), start, duration)
+        for bp in tl.breakpoints:
+            assert tl.available_at(bp).min() >= 0

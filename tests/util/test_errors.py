@@ -1,0 +1,32 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.util.errors import (
+    CapacityError,
+    InfeasibleRequestError,
+    ReproError,
+    SolverError,
+    ValidationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [ValidationError, CapacityError, InfeasibleRequestError, SolverError],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_validation_error_is_value_error():
+    # Callers using plain ValueError handling still catch validation issues.
+    assert issubclass(ValidationError, ValueError)
+
+
+def test_single_except_clause_catches_everything():
+    for exc in (ValidationError, CapacityError, InfeasibleRequestError, SolverError):
+        try:
+            raise exc("boom")
+        except ReproError as caught:
+            assert "boom" in str(caught)

@@ -1,0 +1,56 @@
+"""Tests for deterministic RNG handling."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(123).integers(0, 1000, size=10)
+        b = ensure_rng(123).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9)
+        b = ensure_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passes_through_unchanged(self):
+        gen = np.random.default_rng(5)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(ss), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        a, b = spawn_rngs(42, 2)
+        assert a.integers(0, 10**9) != b.integers(0, 10**9)
+
+    def test_deterministic_from_int_seed(self):
+        first = [g.integers(0, 10**9) for g in spawn_rngs(9, 3)]
+        second = [g.integers(0, 10**9) for g in spawn_rngs(9, 3)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(3)
+        children = spawn_rngs(gen, 2)
+        assert len(children) == 2
+        assert all(isinstance(c, np.random.Generator) for c in children)

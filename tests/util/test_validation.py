@@ -1,0 +1,114 @@
+"""Tests for structural validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.util.validation import (
+    as_int_matrix,
+    as_int_vector,
+    check_nonnegative,
+    check_shape,
+    check_square,
+    check_symmetric,
+    check_zero_diagonal,
+)
+
+
+class TestAsIntVector:
+    def test_list_coerced(self):
+        v = as_int_vector([1, 2, 3])
+        assert v.dtype == np.int64
+        assert v.tolist() == [1, 2, 3]
+
+    def test_float_integers_accepted(self):
+        assert as_int_vector([1.0, 2.0]).tolist() == [1, 2]
+
+    def test_fractional_rejected(self):
+        with pytest.raises(ValidationError):
+            as_int_vector([1.5, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            as_int_vector([1, -1])
+
+    def test_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            as_int_vector([[1, 2]])
+
+    def test_length_enforced(self):
+        with pytest.raises(ValidationError):
+            as_int_vector([1, 2], length=3)
+
+    def test_length_accepted(self):
+        assert as_int_vector([1, 2, 3], length=3).shape == (3,)
+
+    def test_returns_copy(self):
+        src = np.array([1, 2, 3], dtype=np.int64)
+        out = as_int_vector(src)
+        out[0] = 99
+        assert src[0] == 1
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValidationError):
+            as_int_vector(["a", "b"])
+
+
+class TestAsIntMatrix:
+    def test_coerced(self):
+        m = as_int_matrix([[1, 2], [3, 4]])
+        assert m.dtype == np.int64
+
+    def test_vector_rejected(self):
+        with pytest.raises(ValidationError):
+            as_int_matrix([1, 2])
+
+    def test_shape_enforced(self):
+        with pytest.raises(ValidationError):
+            as_int_matrix([[1, 2]], shape=(2, 2))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            as_int_matrix([[1, -2]])
+
+    def test_fractional_rejected(self):
+        with pytest.raises(ValidationError):
+            as_int_matrix([[0.5]])
+
+
+class TestChecks:
+    def test_nonnegative_ok(self):
+        check_nonnegative(np.array([0, 1]))
+
+    def test_nonnegative_fails(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative(np.array([-1]))
+
+    def test_shape_ok(self):
+        check_shape(np.zeros((2, 3)), (2, 3))
+
+    def test_shape_fails(self):
+        with pytest.raises(ValidationError):
+            check_shape(np.zeros((2, 3)), (3, 2))
+
+    def test_square_ok(self):
+        check_square(np.zeros((3, 3)))
+
+    def test_square_fails(self):
+        with pytest.raises(ValidationError):
+            check_square(np.zeros((2, 3)))
+
+    def test_symmetric_ok(self):
+        m = np.array([[0.0, 1.0], [1.0, 0.0]])
+        check_symmetric(m)
+
+    def test_symmetric_fails(self):
+        with pytest.raises(ValidationError):
+            check_symmetric(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_zero_diagonal_ok(self):
+        check_zero_diagonal(np.array([[0.0, 1.0], [1.0, 0.0]]))
+
+    def test_zero_diagonal_fails(self):
+        with pytest.raises(ValidationError):
+            check_zero_diagonal(np.eye(2))
