@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Fault-tolerant MapReduce: task failures, VM deaths, and recovery metrics.
+
+Runs one slot-bound WordCount three ways on the same packed 8-VM cluster:
+
+1. failure-free (the baseline — bit-identical to an engine with no fault
+   model at all);
+2. with seeded task-level faults (map crashes, reduce crashes, shuffle
+   fetch failures) recovered by bounded retries with exponential backoff;
+3. with a correlated rack outage killing half the cluster mid-map, forcing
+   map re-execution, slot blacklisting, and reducer relocation —
+
+then re-places the same request with the rack-spread constraint
+(``OnlineHeuristic(max_vms_per_rack=2)``) and repeats the rack outage to
+show the affinity-vs-resilience tradeoff.
+
+Run:  python examples/fault_tolerant_job.py
+"""
+
+from repro.analysis import format_table
+from repro.experiments.fault_recovery import (
+    run_spread_study,
+    study_job,
+    study_pool,
+    vm_deaths_from_failures,
+)
+from repro.core import OnlineHeuristic
+from repro.core.problem import VirtualClusterRequest
+from repro.mapreduce import MapReduceEngine, TaskFaultModel, VirtualCluster
+
+import numpy as np
+
+SEED = 7
+
+
+def build_packed_cluster():
+    pool = study_pool()
+    demand = np.array([0, 8, 0], dtype=np.int64)
+    allocation = OnlineHeuristic().place(
+        VirtualClusterRequest(demand=demand, tag="example"), pool
+    )
+    return pool, VirtualCluster.from_allocation(
+        allocation, pool.distance_matrix, pool.catalog
+    )
+
+
+def describe(label, result, baseline_runtime):
+    rec = result.recovery
+    return [
+        label,
+        f"{result.runtime:.1f}",
+        f"{result.slowdown_vs(baseline_runtime):.2f}x",
+        rec.total_task_failures if rec else 0,
+        rec.vm_deaths if rec else 0,
+        rec.maps_invalidated if rec else 0,
+        rec.reducers_relocated if rec else 0,
+        f"{rec.wasted_time:.1f}" if rec else "0.0",
+    ]
+
+
+def main() -> None:
+    pool, cluster = build_packed_cluster()
+    job = study_job()
+
+    def engine(faults=None):
+        return MapReduceEngine(
+            cluster, reducer_policy="slots", seed=SEED, faults=faults
+        )
+
+    baseline = engine().run(job, hdfs_seed=SEED)
+
+    flaky = engine(
+        TaskFaultModel(
+            map_failure_probability=0.15,
+            reduce_failure_probability=0.1,
+            fetch_failure_probability=0.05,
+            seed=SEED,
+        )
+    ).run(job, hdfs_seed=SEED)
+
+    # Correlated outage: the heaviest rack (4 of 8 VMs) dies mid-map.
+    rack_ids = pool.topology.rack_ids
+    dead_nodes = [
+        vm.node_id for vm in cluster.vms if rack_ids[vm.node_id] == 0
+    ]
+    kill_time = 0.25 * baseline.runtime
+    deaths = vm_deaths_from_failures(
+        cluster, [(n, kill_time) for n in sorted(set(dead_nodes))]
+    )
+    rack_loss = engine(TaskFaultModel(vm_deaths=deaths, seed=SEED)).run(
+        job, hdfs_seed=SEED
+    )
+
+    print(
+        format_table(
+            [
+                "scenario",
+                "runtime (s)",
+                "slowdown",
+                "task failures",
+                "VM deaths",
+                "maps redone",
+                "reducers moved",
+                "wasted (s)",
+            ],
+            [
+                describe("failure-free", baseline, baseline.runtime),
+                describe("flaky tasks", flaky, baseline.runtime),
+                describe("rack outage", rack_loss, baseline.runtime),
+            ],
+            title="WordCount (64 maps / 4 reduces) on a packed 8-VM cluster:",
+        )
+    )
+    if flaky.recovery:
+        print(f"\nmap attempt histogram (flaky run): {flaky.recovery.map_attempts}")
+
+    study = run_spread_study(seed=SEED)
+    print(
+        format_table(
+            ["placement", "distance", "VMs lost", "slowdown"],
+            [
+                [
+                    run.label,
+                    run.affinity,
+                    run.vms_lost,
+                    f"{run.slowdown:.2f}x",
+                ]
+                for run in (study.packed, study.spread)
+            ],
+            title="\nSame rack outage, packed vs rack-spread placement:",
+        )
+    )
+    print(
+        f"\nSpreading to <=2 VMs per rack costs affinity "
+        f"({study.packed.affinity:.0f} -> {study.spread.affinity:.0f}) but "
+        f"avoids {study.slowdown_reduction_pct:.0f}% of the failure-induced "
+        "slowdown: fewer slots die with the rack, so fewer maps re-run and "
+        "fewer reducers relocate and re-fetch their shuffle."
+    )
+
+
+if __name__ == "__main__":
+    main()

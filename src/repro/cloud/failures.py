@@ -7,16 +7,30 @@ Combines the future-work machinery into the serving path: a
 * on failure, every lease with VMs on the dead node is repaired in place
   via :func:`repro.core.migration.plan_repair` (surviving VMs stay, lost
   VMs are re-placed with minimum cluster distance); leases that cannot be
-  repaired are terminated and their requests re-queued;
+  repaired are terminated and their requests re-queued — up to a bounded
+  ``max_resubmits`` retry budget per request, after which the request is
+  rejected;
 * on recovery, the node rejoins the pool and a queue drain runs.
 
+The injector supports two regimes: the original *one-shot* schedule (each
+node fails at most once per run) and a *renewal* MTBF/MTTR process
+(``mtbf=...``) where nodes fail repeatedly with exponential up-times and
+repair times. Either regime can add *rack-correlated bursts*
+(``rack_burst_probability``): a failing node takes its whole rack down with
+it, modeling top-of-rack switch and power-domain failures — the reliability
+scenario that motivates the rack-spread placement constraint in
+:class:`repro.core.placement.greedy.OnlineHeuristic`.
+
 The event simulator (:class:`repro.cloud.simulator.CloudSimulator`) gains
-two event kinds for this; :class:`FailureSimulator` wires everything up.
+two event kinds for this; :class:`FailureSimulator` wires everything up and
+can forward node deaths into jobs running on affected leases via its
+``on_lease_failure`` hook (see :mod:`repro.experiments.fault_recovery`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -50,10 +64,22 @@ class FailureEvent:
 class FailureInjector:
     """Draws a random failure/recovery schedule for a pool's nodes.
 
-    Each node independently fails with ``failure_probability``; failed
-    nodes go down at a uniform time within the horizon and stay down for an
-    exponential repair time. At most one failure per node per run (enough
-    to exercise repair; real MTBF modeling would layer on top).
+    Two regimes:
+
+    * **One-shot** (default, ``mtbf=None``): each node independently fails
+      with ``failure_probability`` at a uniform time within the horizon and
+      stays down for an exponential repair time — at most one failure per
+      node per run.
+    * **Renewal** (``mtbf`` set): each node alternates exponential up-times
+      (mean ``mtbf``) and exponential down-times (mean ``mean_repair_time``)
+      for the whole horizon, so nodes can fail repeatedly — the standard
+      MTBF/MTTR availability model.
+
+    Either regime can be made *rack-correlated*: with
+    ``rack_burst_probability``, each drawn failure escalates into a full
+    rack outage — every rack peer goes down at the same instant with its
+    own repair draw. Overlapping failures of the same node are merged so
+    the schedule never double-fails a node.
     """
 
     def __init__(
@@ -62,28 +88,103 @@ class FailureInjector:
         failure_probability: float = 0.1,
         horizon: float = 1000.0,
         mean_repair_time: float = 200.0,
+        mtbf: "float | None" = None,
+        rack_burst_probability: float = 0.0,
         seed=None,
     ) -> None:
         if not (0.0 <= failure_probability <= 1.0):
             raise ValidationError("failure_probability must be in [0, 1]")
         if horizon <= 0 or mean_repair_time <= 0:
             raise ValidationError("horizon and mean_repair_time must be > 0")
+        if mtbf is not None and mtbf <= 0:
+            raise ValidationError("mtbf must be > 0 when set")
+        if not (0.0 <= rack_burst_probability <= 1.0):
+            raise ValidationError("rack_burst_probability must be in [0, 1]")
         self.failure_probability = failure_probability
         self.horizon = horizon
         self.mean_repair_time = mean_repair_time
+        self.mtbf = mtbf
+        self.rack_burst_probability = rack_burst_probability
         self._rng = ensure_rng(seed)
 
-    def schedule(self, num_nodes: int) -> list[FailureEvent]:
-        """Draw the failure schedule for *num_nodes* nodes."""
-        events = []
+    def _repair(self) -> float:
+        return float(self._rng.exponential(self.mean_repair_time)) + 1e-6
+
+    def _primary_failures(self, num_nodes: int) -> list[FailureEvent]:
+        events: list[FailureEvent] = []
+        if self.mtbf is None:
+            for node in range(num_nodes):
+                if self._rng.random() < self.failure_probability:
+                    t = float(self._rng.uniform(0, self.horizon))
+                    events.append(
+                        FailureEvent(
+                            node_id=node, fail_time=t, recover_time=t + self._repair()
+                        )
+                    )
+            return events
         for node in range(num_nodes):
-            if self._rng.random() < self.failure_probability:
-                t = float(self._rng.uniform(0, self.horizon))
-                repair = float(self._rng.exponential(self.mean_repair_time)) + 1e-6
+            t = float(self._rng.exponential(self.mtbf))
+            while t < self.horizon:
+                repair = self._repair()
                 events.append(
                     FailureEvent(node_id=node, fail_time=t, recover_time=t + repair)
                 )
+                t = t + repair + float(self._rng.exponential(self.mtbf))
         return events
+
+    @staticmethod
+    def _merge_per_node(events: list[FailureEvent]) -> list[FailureEvent]:
+        """Drop failures that would start while the node is still down."""
+        per_node: dict[int, list[FailureEvent]] = {}
+        for ev in events:
+            per_node.setdefault(ev.node_id, []).append(ev)
+        merged: list[FailureEvent] = []
+        for node in sorted(per_node):
+            last_recover = -np.inf
+            for ev in sorted(per_node[node], key=lambda e: e.fail_time):
+                if ev.fail_time < last_recover:
+                    continue  # node is already down; the outages overlap
+                merged.append(ev)
+                last_recover = ev.recover_time
+        return merged
+
+    def schedule(
+        self, num_nodes: int, *, rack_ids: "np.ndarray | list[int] | None" = None
+    ) -> list[FailureEvent]:
+        """Draw the failure schedule for *num_nodes* nodes.
+
+        ``rack_ids`` (node id → rack id, e.g. ``topology.rack_ids``) is
+        required when ``rack_burst_probability > 0``.
+        """
+        primaries = self._primary_failures(num_nodes)
+        if self.rack_burst_probability > 0.0:
+            if rack_ids is None:
+                raise ValidationError(
+                    "rack_burst_probability > 0 requires rack_ids"
+                )
+            racks = np.asarray(rack_ids, dtype=np.int64)
+            if racks.shape != (num_nodes,):
+                raise ValidationError(
+                    f"rack_ids must have one entry per node ({num_nodes})"
+                )
+            bursts: list[FailureEvent] = []
+            for ev in primaries:
+                if self._rng.random() >= self.rack_burst_probability:
+                    continue
+                for peer in np.flatnonzero(racks == racks[ev.node_id]):
+                    if int(peer) == ev.node_id:
+                        continue
+                    bursts.append(
+                        FailureEvent(
+                            node_id=int(peer),
+                            fail_time=ev.fail_time,
+                            recover_time=ev.fail_time + self._repair(),
+                        )
+                    )
+            return self._merge_per_node(primaries + bursts)
+        if self.mtbf is None:
+            return primaries  # already one per node, in node order
+        return self._merge_per_node(primaries)
 
 
 @dataclass
@@ -96,6 +197,9 @@ class RepairStats:
     leases_lost: int = 0
     vms_migrated: int = 0
     migration_bytes: float = 0.0
+    #: Requests dropped because their lease died more than ``max_resubmits``
+    #: times (the retry budget ran out).
+    requeue_rejected: int = 0
 
 
 class ResilientCloudProvider(CloudProvider):
@@ -103,21 +207,32 @@ class ResilientCloudProvider(CloudProvider):
 
     Requires the dynamic pool (failure handling needs ``fail_node`` /
     ``evict_node``); everything else behaves like :class:`CloudProvider`.
+
+    ``max_resubmits`` bounds how many times one request may be re-queued
+    after unrepairable failures; past the budget the request is counted as
+    rejected (``stats.queue_rejected`` and ``repair_stats.requeue_rejected``)
+    instead of churning forever under sustained failures.
     """
 
-    def __init__(self, pool: DynamicResourcePool, policy, **kwargs) -> None:
+    def __init__(
+        self, pool: DynamicResourcePool, policy, *, max_resubmits: int = 3, **kwargs
+    ) -> None:
         if not isinstance(pool, DynamicResourcePool):
             raise ValidationError(
                 "ResilientCloudProvider requires a DynamicResourcePool"
             )
+        if max_resubmits < 0:
+            raise ValidationError("max_resubmits must be >= 0")
         super().__init__(pool, policy, **kwargs)
+        self.max_resubmits = max_resubmits
         self.repair_stats = RepairStats()
+        self._resubmits: dict[int, int] = {}
 
     def on_node_failure(self, node_id: int, now: float) -> list[TimedRequest]:
         """Handle a node failure: repair affected leases, re-queue the rest.
 
-        Returns the requests whose leases could not be repaired (they are
-        re-submitted to the queue with their original durations).
+        Returns the requests whose leases could not be repaired (re-queued
+        with their original durations while their retry budget lasts).
         """
         self.repair_stats.failures += 1
         self.pool.fail_node(node_id)
@@ -135,6 +250,12 @@ class ResilientCloudProvider(CloudProvider):
                 del self.active[lease.request_id]
                 self.repair_stats.leases_lost += 1
                 lost_requests.append(lease.request)
+                resubmits = self._resubmits.get(lease.request_id, 0)
+                if resubmits >= self.max_resubmits:
+                    self.repair_stats.requeue_rejected += 1
+                    self.stats.queue_rejected += 1
+                    continue
+                self._resubmits[lease.request_id] = resubmits + 1
                 if not self.queue.submit(lease.request):
                     self.stats.queue_rejected += 1
                 continue
@@ -158,13 +279,25 @@ class ResilientCloudProvider(CloudProvider):
 
 
 class FailureSimulator:
-    """Event loop combining workload churn with node failures/recoveries."""
+    """Event loop combining workload churn with node failures/recoveries.
+
+    ``on_lease_failure(lease, node_id, now)`` is invoked for every active
+    lease touching a failing node *before* the provider repairs or evicts
+    it — the hook through which cloud-layer node deaths propagate into
+    MapReduce jobs executing on those leases (map task-level VM deaths with
+    :func:`repro.experiments.fault_recovery.vm_deaths_from_failures`).
+    """
 
     def __init__(
-        self, provider: ResilientCloudProvider, failures: list[FailureEvent]
+        self,
+        provider: ResilientCloudProvider,
+        failures: list[FailureEvent],
+        *,
+        on_lease_failure: "Callable[[Lease, int, float], None] | None" = None,
     ) -> None:
         self.provider = provider
         self.failures = list(failures)
+        self.on_lease_failure = on_lease_failure
 
     def run(self, workload: list[TimedRequest]) -> SimulationResult:
         """Process arrivals, departures, failures, and recoveries to completion."""
@@ -176,7 +309,9 @@ class FailureSimulator:
             events.schedule(f.recover_time, NODE_RECOVERY, f.node_id)
 
         provider = self.provider
-        result = SimulationResult(stats=provider.stats)
+        result = SimulationResult(
+            stats=provider.stats, repairs=provider.repair_stats
+        )
         # A request can be placed more than once when an unrepairable
         # failure kills its lease and it is re-queued. Each placement is a
         # new *generation* with its own departure event; departures of dead
@@ -207,6 +342,10 @@ class FailureSimulator:
                     for lease in provider.release(request_id, now):
                         record_lease(lease)
             elif ev.kind == NODE_FAILURE:
+                if self.on_lease_failure is not None:
+                    for lease in list(provider.active.values()):
+                        if lease.allocation.matrix[ev.payload].sum() > 0:
+                            self.on_lease_failure(lease, ev.payload, now)
                 provider.on_node_failure(ev.payload, now)
             elif ev.kind == NODE_RECOVERY:
                 for lease in provider.on_node_recovery(ev.payload, now):

@@ -40,6 +40,10 @@ class SimulationResult:
     distances: list[float] = field(default_factory=list)
     waits: list[float] = field(default_factory=list)
     makespan: float = 0.0
+    #: Failure-handling outcomes (a :class:`repro.cloud.failures.RepairStats`);
+    #: populated by :class:`~repro.cloud.failures.FailureSimulator`, ``None``
+    #: for failure-free runs. Annotated loosely to avoid a circular import.
+    repairs: "object | None" = None
 
     @property
     def mean_utilization(self) -> float:

@@ -78,24 +78,67 @@ def _fill_order(
     return np.asarray(order, dtype=np.int64)
 
 
+def _clip_to_budget(take: np.ndarray, budget: int) -> np.ndarray:
+    """Reduce *take* so its total is ≤ *budget*, trimming later types first.
+
+    Deterministic: walks VM types from last to first, so the clip always
+    sheds the same VMs for the same inputs.
+    """
+    take = take.copy()
+    excess = int(take.sum()) - budget
+    for t in range(take.shape[0] - 1, -1, -1):
+        if excess <= 0:
+            break
+        cut = min(int(take[t]), excess)
+        take[t] -= cut
+        excess -= cut
+    return take
+
+
 def greedy_fill(
-    center: int, demand: np.ndarray, remaining: np.ndarray, dist: np.ndarray
+    center: int,
+    demand: np.ndarray,
+    remaining: np.ndarray,
+    dist: np.ndarray,
+    *,
+    rack_ids: "np.ndarray | None" = None,
+    max_vms_per_rack: "int | None" = None,
 ) -> "np.ndarray | None":
     """Build one allocation around *center* following Algorithm 1's loop body.
 
-    Returns the allocation matrix, or ``None`` when availability runs out
-    before the request is covered.
+    When ``max_vms_per_rack`` is given (with ``rack_ids`` mapping node → rack),
+    no rack contributes more than that many VMs — the failure-domain spread
+    constraint: a rack-level outage (ToR switch, power domain) can then kill
+    at most ``max_vms_per_rack`` of the cluster's VMs, at the cost of longer
+    cluster distance.
+
+    Returns the allocation matrix, or ``None`` when availability (or the
+    per-rack budget) runs out before the request is covered.
     """
     n, m = remaining.shape
     alloc = np.zeros((n, m), dtype=np.int64)
     todo = demand.astype(np.int64).copy()
+    rack_budget: "dict[int, int] | None" = None
+    if max_vms_per_rack is not None:
+        if rack_ids is None:
+            raise ValidationError("max_vms_per_rack requires rack_ids")
+        rack_budget = {}
     for i in _fill_order(center, demand, remaining, dist):
         if not todo.any():
             break
         take = com(remaining[i], todo)
+        if rack_budget is not None:
+            rack = int(rack_ids[i])
+            budget = rack_budget.get(rack, max_vms_per_rack)
+            if budget <= 0:
+                continue
+            if int(take.sum()) > budget:
+                take = _clip_to_budget(take, budget)
         if take.any():
             alloc[i] = take
             todo -= take
+            if rack_budget is not None:
+                rack_budget[rack] = budget - int(take.sum())
     if todo.any():
         return None
     return alloc
@@ -116,6 +159,12 @@ class OnlineHeuristic(PlacementAlgorithm):
         randomly"). Only affects results when ``stop="first"``.
     seed:
         RNG seed for ``center_order="random"``.
+    max_vms_per_rack:
+        Optional failure-domain spread constraint: cap how many of the
+        request's VMs may land in any single rack. A rack-correlated outage
+        then costs at most this many VMs (k-resilience against rack
+        failures), traded against cluster affinity — spread allocations have
+        longer distance than the unconstrained greedy packing.
     """
 
     name = "online-heuristic"
@@ -126,6 +175,7 @@ class OnlineHeuristic(PlacementAlgorithm):
         stop: str = "best",
         center_order: str = "index",
         seed=None,
+        max_vms_per_rack: "int | None" = None,
     ) -> None:
         if stop not in ("best", "first"):
             raise ValidationError(f"stop must be 'best' or 'first', got {stop!r}")
@@ -133,8 +183,11 @@ class OnlineHeuristic(PlacementAlgorithm):
             raise ValidationError(
                 f"center_order must be 'index' or 'random', got {center_order!r}"
             )
+        if max_vms_per_rack is not None and max_vms_per_rack < 1:
+            raise ValidationError("max_vms_per_rack must be >= 1 when set")
         self.stop = stop
         self.center_order = center_order
+        self.max_vms_per_rack = max_vms_per_rack
         self._rng = ensure_rng(seed)
 
     def _candidate_centers(self, remaining: np.ndarray) -> np.ndarray:
@@ -156,18 +209,33 @@ class OnlineHeuristic(PlacementAlgorithm):
             return None
         remaining = pool.remaining
         dist = pool.distance_matrix
+        rack_ids = None
+        if self.max_vms_per_rack is not None:
+            rack_ids = pool.topology.rack_ids
 
-        # Lines 9–14: a single node that can host everything wins outright.
-        fits = np.all(remaining >= demand[None, :], axis=1)
-        if fits.any():
-            i = int(np.flatnonzero(fits)[0])
-            matrix = np.zeros_like(remaining)
-            matrix[i] = demand
-            return Allocation(matrix=matrix, center=i, distance=0.0)
+        # Lines 9–14: a single node that can host everything wins outright —
+        # unless the spread constraint forbids that many VMs in one rack.
+        if (
+            self.max_vms_per_rack is None
+            or int(demand.sum()) <= self.max_vms_per_rack
+        ):
+            fits = np.all(remaining >= demand[None, :], axis=1)
+            if fits.any():
+                i = int(np.flatnonzero(fits)[0])
+                matrix = np.zeros_like(remaining)
+                matrix[i] = demand
+                return Allocation(matrix=matrix, center=i, distance=0.0)
 
         best: "Allocation | None" = None
         for center in self._candidate_centers(remaining):
-            matrix = greedy_fill(int(center), demand, remaining, dist)
+            matrix = greedy_fill(
+                int(center),
+                demand,
+                remaining,
+                dist,
+                rack_ids=rack_ids,
+                max_vms_per_rack=self.max_vms_per_rack,
+            )
             if matrix is None:
                 continue
             dc = float(matrix.sum(axis=1).astype(np.float64) @ dist[:, center])

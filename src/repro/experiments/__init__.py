@@ -41,6 +41,13 @@ from repro.experiments.sensitivity import (
     sweep_oversubscription,
     sweep_pool_load,
 )
+from repro.experiments.fault_recovery import (
+    LeaseFaultCollector,
+    PlacementRun,
+    SpreadStudyResult,
+    run_spread_study,
+    vm_deaths_from_failures,
+)
 from repro.experiments.ablations import (
     HeuristicGapResult,
     PolicyRow,
@@ -82,6 +89,11 @@ __all__ = [
     "experiment_job",
     "experiment_network",
     "run_fig78",
+    "LeaseFaultCollector",
+    "PlacementRun",
+    "SpreadStudyResult",
+    "run_spread_study",
+    "vm_deaths_from_failures",
     "HeuristicGapResult",
     "PolicyRow",
     "SchedulerRow",

@@ -1,0 +1,274 @@
+"""Affinity vs. resilience: rack failures against packed and spread clusters.
+
+The paper optimizes cluster *affinity* — packing a virtual cluster's VMs as
+close together as possible. This extension study measures the cost of that
+objective under *correlated rack failures*: a tightly packed cluster
+concentrates many VMs in few racks, so one rack-level outage (ToR switch,
+power domain) kills a large fraction of the cluster mid-job and triggers
+expensive recovery (map re-execution, reducer relocation, full shuffle
+re-fetch). Spreading placement with
+``OnlineHeuristic(max_vms_per_rack=k)`` bounds the blast radius at the cost
+of longer cluster distance.
+
+Two layers are wired together here:
+
+* :func:`vm_deaths_from_failures` translates cloud-level node failures into
+  the engine-level :class:`~repro.mapreduce.faults.VMDeath` events of the
+  VMs a cluster hosts on those nodes;
+* :class:`LeaseFaultCollector` is an ``on_lease_failure`` hook for
+  :class:`~repro.cloud.failures.FailureSimulator` that accumulates, per
+  lease, the VM deaths a MapReduce job on that lease would observe —
+  node-failure times become job-relative.
+
+:func:`run_spread_study` is the headline experiment (benchmarked by
+``benchmarks/test_bench_extension_fault_recovery.py``): place the same
+request packed and spread, kill the heaviest rack mid-map-phase, and
+compare failure-induced slowdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.lease import Lease
+from repro.cluster.resources import ResourcePool
+from repro.cluster.topology import Topology
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.core.placement.greedy import OnlineHeuristic
+from repro.core.problem import Allocation, VirtualClusterRequest
+from repro.experiments import paperconfig as cfg
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.faults import TaskFaultModel, VMDeath
+from repro.mapreduce.job import GB, MB, MapReduceJob
+from repro.mapreduce.metrics import JobResult
+from repro.mapreduce.network import NetworkModel
+from repro.mapreduce.vmcluster import VirtualCluster
+from repro.util.errors import ValidationError
+
+#: Index of the "medium" type in the Table I catalog.
+MEDIUM = 1
+
+
+def vm_deaths_from_failures(
+    cluster: VirtualCluster,
+    failures: "list[tuple[int, float]]",
+) -> list[VMDeath]:
+    """Translate node-level failures into the cluster's VM-level deaths.
+
+    *failures* is a list of ``(node_id, time)`` pairs (or objects with
+    ``node_id`` / ``fail_time`` attributes, e.g.
+    :class:`~repro.cloud.failures.FailureEvent`). Every VM of *cluster*
+    hosted on a failing node dies at that node's failure time. VM ids
+    follow the cluster's own ordering, which is the
+    ``Allocation.vm_placements()`` (node, type) order — the same ids the
+    engine uses.
+    """
+    deaths: list[VMDeath] = []
+    for item in failures:
+        if hasattr(item, "node_id"):
+            node, time = int(item.node_id), float(item.fail_time)
+        else:
+            node, time = int(item[0]), float(item[1])
+        for vm in cluster.vms:
+            if vm.node_id == node:
+                deaths.append(VMDeath(vm_id=vm.vm_id, time=time))
+    return deaths
+
+
+@dataclass
+class LeaseFaultCollector:
+    """``on_lease_failure`` hook accumulating per-lease VM deaths.
+
+    Pass an instance to
+    :class:`~repro.cloud.failures.FailureSimulator` as
+    ``on_lease_failure=collector``; after the run, ``deaths[request_id]``
+    holds the :class:`VMDeath` events (times relative to the lease start,
+    i.e. job time) that a MapReduce job executing on that lease would see.
+    """
+
+    deaths: dict[int, list[VMDeath]] = field(default_factory=dict)
+
+    def __call__(self, lease: Lease, node_id: int, now: float) -> None:
+        row = lease.allocation.matrix[node_id]
+        if row.sum() == 0:  # pragma: no cover - simulator already filters
+            return
+        # vm_placements() order defines vm ids; collect ids on this node.
+        offset = 0
+        dead: list[int] = []
+        for n, counts in enumerate(lease.allocation.matrix):
+            n_vms = int(counts.sum())
+            if n == node_id:
+                dead.extend(range(offset, offset + n_vms))
+            offset += n_vms
+        rel = max(float(now - lease.start_time), 1e-9)
+        bucket = self.deaths.setdefault(lease.request_id, [])
+        bucket.extend(VMDeath(vm_id=v, time=rel) for v in dead)
+
+
+# --------------------------------------------------------------------- study
+
+
+def study_pool(
+    *, racks: int = 4, nodes_per_rack: int = 2, vms_per_node: int = 2
+) -> ResourcePool:
+    """Small physical cloud where packing and spreading differ sharply.
+
+    Each node hosts *vms_per_node* medium VMs, so with the defaults an
+    8-VM request packs into 2 racks but can be spread across all 4.
+    """
+    catalog = VMTypeCatalog.ec2_default()
+    capacity = [0, 0, 0]
+    capacity[MEDIUM] = vms_per_node
+    topo = Topology.build(racks, nodes_per_rack, capacity=capacity)
+    return ResourcePool(topo, catalog, distance_model=cfg.DISTANCES)
+
+
+def study_job() -> MapReduceJob:
+    """A slot-bound, map-heavy job: 64 maps on 16 slots → four map waves.
+
+    Losing slots then directly stretches the map phase, so the blast radius
+    of a rack failure (how many slots die with the rack) dominates recovery
+    cost — the regime where the spread constraint pays off. A single-wave
+    job would mask the effect: with every map already running, surviving
+    slots finish the re-runs in one extra wave regardless of placement.
+    """
+    return MapReduceJob(
+        name="wordcount",
+        input_bytes=4 * GB,
+        block_size=64 * MB,
+        num_reduces=4,
+        map_selectivity=0.3,
+        reduce_selectivity=0.05,
+        map_cost_s_per_mb=0.03,
+        reduce_cost_s_per_mb=0.005,
+        combiner=False,
+    )
+
+
+def _heaviest_rack(
+    allocation: Allocation, rack_ids: np.ndarray
+) -> tuple[int, list[int]]:
+    """The rack hosting the most of the allocation's VMs, and its nodes."""
+    per_node = allocation.matrix.sum(axis=1)
+    racks = np.unique(rack_ids)
+    loads = [(int(per_node[rack_ids == r].sum()), int(r)) for r in racks]
+    load, rack = max(loads, key=lambda lr: (lr[0], -lr[1]))
+    if load == 0:
+        raise ValidationError("allocation hosts no VMs on any rack")
+    nodes = [int(n) for n in np.flatnonzero(rack_ids == rack)]
+    return rack, nodes
+
+
+@dataclass(frozen=True)
+class PlacementRun:
+    """One placement flavor's outcome under the rack failure."""
+
+    label: str
+    affinity: float
+    vms_lost: int
+    baseline_runtime: float
+    faulted_runtime: float
+    result: JobResult
+
+    @property
+    def slowdown(self) -> float:
+        """Failure-induced slowdown vs the same placement's clean run."""
+        return self.faulted_runtime / self.baseline_runtime
+
+
+@dataclass(frozen=True)
+class SpreadStudyResult:
+    """Packed vs spread placement under an identical rack outage."""
+
+    packed: PlacementRun
+    spread: PlacementRun
+    failed_rack: int
+
+    @property
+    def slowdown_reduction_pct(self) -> float:
+        """How much of the failure-induced slowdown the spread avoids."""
+        packed_excess = self.packed.slowdown - 1.0
+        spread_excess = self.spread.slowdown - 1.0
+        if packed_excess <= 0:
+            return 0.0
+        return 100.0 * (packed_excess - spread_excess) / packed_excess
+
+
+def run_spread_study(
+    *,
+    num_vms: int = 8,
+    max_vms_per_rack: int = 2,
+    failure_fraction: float = 0.25,
+    seed: int = 7,
+    job: "MapReduceJob | None" = None,
+    network: "NetworkModel | None" = None,
+) -> SpreadStudyResult:
+    """Measure the affinity-vs-resilience tradeoff under a rack outage.
+
+    Places one *num_vms*-VM request twice on the same (empty) pool — once
+    with the paper's pure affinity heuristic ("packed") and once with the
+    ``max_vms_per_rack`` spread constraint ("spread") — then kills the rack
+    hosting the most VMs of each placement at ``failure_fraction`` of that
+    placement's failure-free runtime and compares slowdowns. The packed
+    cluster loses more VMs to the outage, so it re-executes more maps,
+    relocates more reducers, and slows down more; the spread cluster trades
+    a longer distance (lower affinity) for a bounded blast radius.
+    """
+    if not (0.0 < failure_fraction < 1.0):
+        raise ValidationError("failure_fraction must be in (0, 1)")
+    pool = study_pool()
+    rack_ids = pool.topology.rack_ids
+    job = job or study_job()
+    network = network or NetworkModel()
+    demand = np.zeros(pool.num_types, dtype=np.int64)
+    demand[MEDIUM] = num_vms
+    request = VirtualClusterRequest(demand=demand, tag="spread-study")
+
+    placements = [
+        ("packed", OnlineHeuristic().place(request, pool)),
+        (
+            "spread",
+            OnlineHeuristic(max_vms_per_rack=max_vms_per_rack).place(
+                request, pool
+            ),
+        ),
+    ]
+    failed_rack = -1
+    runs: dict[str, PlacementRun] = {}
+    for label, allocation in placements:
+        if allocation is None:
+            raise ValidationError(f"{label} placement failed on an empty pool")
+        cluster = VirtualCluster.from_allocation(
+            allocation, pool.distance_matrix, pool.catalog
+        )
+        baseline = MapReduceEngine(
+            cluster, network=network, reducer_policy="slots", seed=seed
+        ).run(job, hdfs_seed=seed)
+        # Kill the rack this placement leans on hardest, mid map phase.
+        rack, nodes = _heaviest_rack(allocation, rack_ids)
+        if label == "packed":
+            failed_rack = rack
+        kill_time = failure_fraction * baseline.runtime
+        deaths = vm_deaths_from_failures(
+            cluster, [(n, kill_time) for n in nodes]
+        )
+        faulted = MapReduceEngine(
+            cluster,
+            network=network,
+            reducer_policy="slots",
+            seed=seed,
+            faults=TaskFaultModel(vm_deaths=deaths, seed=seed),
+        ).run(job, hdfs_seed=seed)
+        runs[label] = PlacementRun(
+            label=label,
+            affinity=cluster.affinity,
+            vms_lost=len(deaths),
+            baseline_runtime=baseline.runtime,
+            faulted_runtime=faulted.runtime,
+            result=faulted,
+        )
+    return SpreadStudyResult(
+        packed=runs["packed"], spread=runs["spread"], failed_rack=failed_rack
+    )

@@ -24,8 +24,9 @@ from repro.mapreduce.scheduler import (
     RandomScheduler,
     place_reducers,
 )
-from repro.mapreduce.metrics import JobResult, LocalityReport
+from repro.mapreduce.metrics import JobResult, LocalityReport, RecoveryReport
 from repro.mapreduce.stragglers import NO_STRAGGLERS, StragglerModel
+from repro.mapreduce.faults import NO_FAULTS, TaskFaultModel, VMDeath
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.jobflow import FlowResult, JobFlow, compare_flows_across_clusters
 from repro.mapreduce.workloads import (
@@ -60,8 +61,12 @@ __all__ = [
     "place_reducers",
     "JobResult",
     "LocalityReport",
+    "RecoveryReport",
     "NO_STRAGGLERS",
     "StragglerModel",
+    "NO_FAULTS",
+    "TaskFaultModel",
+    "VMDeath",
     "MapReduceEngine",
     "FlowResult",
     "JobFlow",

@@ -16,23 +16,41 @@ through the paper's three data-exchange phases:
    its output through a replication pipeline whose cost is bounded by the
    slowest hop.
 
-Everything is deterministic given the scheduler, HDFS layout, and seeds.
+Fault tolerance (optional, via :class:`~repro.mapreduce.faults.TaskFaultModel`)
+mirrors Hadoop's recovery machinery:
+
+* a failed map/reduce attempt re-executes after exponential backoff with
+  jitter, up to ``max_attempts`` total failures before the job aborts;
+* a failed shuffle fetch retries with capped backoff; after
+  ``max_fetch_retries`` failures the source map output is condemned and the
+  map re-executes (Hadoop's "too many fetch failures");
+* a mid-job VM death blacklists the VM's slots, kills its running attempts,
+  invalidates *completed* map outputs stored on it (forcing re-runs for
+  reducers that had not yet fetched them), and relocates any reducer that
+  lived there — the relocated reducer re-fetches its entire shuffle.
+
+Everything is deterministic given the scheduler, HDFS layout, and seeds;
+with faults disabled the engine consumes no extra randomness and produces
+bit-identical results to the failure-unaware code path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.util.events import EventQueue
+from repro.mapreduce.faults import NO_FAULTS, TaskFaultModel
 from repro.mapreduce.hdfs import HDFSModel
 from repro.mapreduce.job import MapReduceJob
-from repro.mapreduce.metrics import JobResult
+from repro.mapreduce.metrics import JobResult, RecoveryReport
 from repro.mapreduce.network import DistanceBand, NetworkModel
 from repro.mapreduce.scheduler import (
     LocalityAwareScheduler,
     MapScheduler,
+    pick_recovery_vm,
     place_reducers,
 )
 from repro.mapreduce.stragglers import NO_STRAGGLERS, StragglerModel
@@ -43,12 +61,20 @@ from repro.mapreduce.tasks import (
     TaskState,
 )
 from repro.mapreduce.vmcluster import VirtualCluster
-from repro.util.errors import ValidationError
+from repro.util.errors import JobFailedError, ValidationError
+from repro.util.retry import FETCH_RETRY, TASK_RETRY, RetryPolicy
 from repro.util.rng import ensure_rng
 
 MAP_FINISH = "map_finish"
 FETCH_FINISH = "fetch_finish"
 REDUCE_FINISH = "reduce_finish"
+MAP_FAIL = "map_fail"
+MAP_RETRY = "map_retry"
+FETCH_FAIL = "fetch_fail"
+FETCH_RETRY_EVENT = "fetch_retry"
+REDUCE_FAIL = "reduce_fail"
+REDUCE_RETRY = "reduce_retry"
+VM_DEATH = "vm_death"
 
 
 @dataclass
@@ -58,12 +84,16 @@ class _ReducerState:
     record: ReduceTaskRecord
     ready: list[ShuffleFlow]
     active_fetches: int = 0
-    fetched: int = 0
+    #: Map ids whose partition this reducer holds (successfully fetched).
+    fetched_maps: set[int] = field(default_factory=set)
+    #: Bumped on relocation/restart so stale REDUCE_* events are ignored.
+    epoch: int = 0
+    failures: int = 0
 
 
 @dataclass
 class _MapAttempt:
-    """One execution attempt of a map task (original or speculative backup)."""
+    """One execution attempt of a map task (original, backup, or re-run)."""
 
     task: MapTaskRecord
     vm_id: int
@@ -73,6 +103,7 @@ class _MapAttempt:
     scheduled_finish: float
     speculative: bool = False
     cancelled: bool = False
+    finished: bool = False
 
 
 class MapReduceEngine:
@@ -103,6 +134,21 @@ class MapReduceEngine:
         When True, once no map tasks are pending, idle slots launch backup
         copies of the slowest running maps; the first finishing attempt
         wins and other attempts are killed (Hadoop's speculation).
+    faults:
+        Fault injector (default: none). See the module docstring for the
+        recovery semantics it triggers.
+    max_attempts:
+        Failure budget per task (Hadoop's ``mapreduce.map|reduce.maxattempts``,
+        default 4): the job aborts with :class:`JobFailedError` when one
+        task accumulates this many failures.
+    task_retry / fetch_retry:
+        Backoff policies for task re-execution and shuffle-fetch retries
+        (defaults: :data:`repro.util.retry.TASK_RETRY` /
+        :data:`repro.util.retry.FETCH_RETRY`). Jitter draws come from the
+        fault model's RNG, keeping retry timing tied to the fault seed.
+    max_fetch_retries:
+        Fetch failures tolerated per flow before the source map output is
+        condemned and the map re-executes.
     """
 
     def __init__(
@@ -117,6 +163,11 @@ class MapReduceEngine:
         disk_contention: float = 0.0,
         stragglers: "StragglerModel | None" = None,
         speculative_execution: bool = False,
+        faults: "TaskFaultModel | None" = None,
+        max_attempts: int = 4,
+        task_retry: "RetryPolicy | None" = None,
+        fetch_retry: "RetryPolicy | None" = None,
+        max_fetch_retries: int = 3,
         seed=None,
     ) -> None:
         if parallel_fetches < 1:
@@ -125,6 +176,10 @@ class MapReduceEngine:
             raise ValidationError("output_replication must be >= 1")
         if not (0.0 <= disk_contention <= 1.0):
             raise ValidationError("disk_contention must be in [0, 1]")
+        if max_attempts < 1:
+            raise ValidationError("max_attempts must be >= 1")
+        if max_fetch_retries < 0:
+            raise ValidationError("max_fetch_retries must be >= 0")
         self.cluster = cluster
         self.network = network or NetworkModel()
         self.scheduler = scheduler or LocalityAwareScheduler()
@@ -134,6 +189,11 @@ class MapReduceEngine:
         self.disk_contention = disk_contention
         self.stragglers = stragglers or NO_STRAGGLERS
         self.speculative_execution = speculative_execution
+        self.faults = faults or NO_FAULTS
+        self.max_attempts = max_attempts
+        self.task_retry = task_retry or TASK_RETRY
+        self.fetch_retry = fetch_retry or FETCH_RETRY
+        self.max_fetch_retries = max_fetch_retries
         self._rng = ensure_rng(seed)
 
     # ------------------------------------------------------------------- run
@@ -163,6 +223,10 @@ class MapReduceEngine:
         if cluster.total_map_slots < 1:
             raise ValidationError("cluster has no map slots")
 
+        faults = self.faults
+        faulty = faults.enabled
+        recovery = RecoveryReport() if faulty else None
+
         events = EventQueue()
         maps = [
             MapTaskRecord(
@@ -172,6 +236,7 @@ class MapReduceEngine:
             )
             for b in hdfs.blocks
         ]
+        task_by_id = {t.task_id: t for t in maps}
         pending = list(maps)
         free_map_slots = {vm.vm_id: vm.map_slots for vm in cluster.vms}
 
@@ -185,20 +250,39 @@ class MapReduceEngine:
             )
             for r, vm in enumerate(reducer_vms)
         ]
+        reduce_slots_used: dict[int, int] = {}
+        for vm in reducer_vms:
+            reduce_slots_used[vm] = reduce_slots_used.get(vm, 0) + 1
         num_maps = len(maps)
         maps_done = 0
         reduces_done = 0
         runtime = 0.0
+        dead_vms: set[int] = set()
+        map_failures: dict[int, int] = {}
 
-        # Attempt bookkeeping for straggler speculation.
+        # Attempt bookkeeping for straggler speculation and fault recovery.
         attempts: dict[int, list[_MapAttempt]] = {t.task_id: [] for t in maps}
+
+        if faulty:
+            for death in faults.vm_deaths:
+                events.schedule(death.time, VM_DEATH, death.vm_id)
 
         # ---------------------------------------------------------- helpers
 
         def start_map(
             task: MapTaskRecord, vm_id: int, now: float, *, speculative: bool = False
         ) -> None:
-            src = hdfs.nearest_replica(task.block_id, vm_id)
+            if dead_vms:
+                live = [
+                    r for r in hdfs.replicas_of(task.block_id) if r not in dead_vms
+                ]
+                if not live:
+                    raise JobFailedError(
+                        f"every replica of block {task.block_id} is on a dead VM"
+                    )
+                src = cluster.nearest(vm_id, live)
+            else:
+                src = hdfs.nearest_replica(task.block_id, vm_id)
             band = cluster.band(vm_id, src)
             read = self.network.transfer_time(task.input_bytes, band)
             if band == DistanceBand.SAME_NODE:
@@ -222,7 +306,11 @@ class MapReduceEngine:
             attempts[task.task_id].append(attempt)
             task.state = TaskState.RUNNING
             task.output_bytes = job.map_output_bytes(task.input_bytes)
-            events.schedule(attempt.scheduled_finish, MAP_FINISH, attempt)
+            fail_frac = faults.draw_map_failure() if faulty else None
+            if fail_frac is None:
+                events.schedule(attempt.scheduled_finish, MAP_FINISH, attempt)
+            else:
+                events.schedule(now + duration * fail_frac, MAP_FAIL, attempt)
 
         def launch_backups(now: float) -> None:
             """Speculation: idle slots re-run the slowest live maps."""
@@ -233,12 +321,17 @@ class MapReduceEngine:
                     t
                     for t in maps
                     if t.state is TaskState.RUNNING
-                    and sum(1 for a in attempts[t.task_id] if not a.cancelled) == 1
+                    and sum(
+                        1
+                        for a in attempts[t.task_id]
+                        if not a.cancelled and not a.finished
+                    )
+                    == 1
                 ),
                 key=lambda t: -max(
                     a.scheduled_finish
                     for a in attempts[t.task_id]
-                    if not a.cancelled
+                    if not a.cancelled and not a.finished
                 ),
             )
             for task in candidates:
@@ -278,7 +371,11 @@ class MapReduceEngine:
                 state.active_fetches += 1
                 flow.start_time = now
                 dur = self.network.transfer_time(flow.size_bytes, flow.band)
-                events.schedule(now + dur, FETCH_FINISH, (state, flow))
+                fail_frac = faults.draw_fetch_failure() if faulty else None
+                if fail_frac is None:
+                    events.schedule(now + dur, FETCH_FINISH, (state, flow))
+                else:
+                    events.schedule(now + dur * fail_frac, FETCH_FAIL, (state, flow))
 
         def output_write_time(vm_id: int, output_bytes: float) -> float:
             """Replication-pipeline cost, bounded by the slowest hop."""
@@ -298,7 +395,182 @@ class MapReduceEngine:
             compute = job.reduce_compute_time(rec.input_bytes)
             rec.output_bytes = rec.input_bytes * job.reduce_selectivity
             write = output_write_time(rec.vm_id, rec.output_bytes)
-            events.schedule(now + compute + write, REDUCE_FINISH, state)
+            fail_frac = faults.draw_reduce_failure() if faulty else None
+            if fail_frac is None:
+                events.schedule(
+                    now + compute + write, REDUCE_FINISH, (state, state.epoch)
+                )
+            else:
+                events.schedule(
+                    now + (compute + write) * fail_frac,
+                    REDUCE_FAIL,
+                    (state, state.epoch),
+                )
+
+        def invalidate_map_output(task: MapTaskRecord, now: float) -> None:
+            """A completed map's output became unusable: cancel un-fetched
+            flows and re-queue the map (reducers holding the data keep it)."""
+            nonlocal maps_done
+            if task.state is not TaskState.DONE:
+                return  # already re-queued by a concurrent invalidation
+            recovery.maps_invalidated += 1
+            for st in reducers:
+                if st.record.state is TaskState.DONE:
+                    continue
+                if task.task_id in st.fetched_maps:
+                    continue
+                for f in list(st.record.flows):
+                    if f.map_task == task.task_id and not f.cancelled:
+                        f.cancelled = True
+                        st.record.flows.remove(f)
+                        if f in st.ready:
+                            st.ready.remove(f)
+            task.state = TaskState.PENDING
+            maps_done -= 1
+            pending.append(task)
+
+        def fail_map_attempt(attempt: _MapAttempt, now: float) -> None:
+            """Count one failed attempt; re-queue with backoff if nothing
+            else is running this task; abort past the failure budget."""
+            task = attempt.task
+            recovery.map_failures += 1
+            recovery.wasted_time += now - attempt.start_time
+            n = map_failures.get(task.task_id, 0) + 1
+            map_failures[task.task_id] = n
+            if n >= self.max_attempts:
+                raise JobFailedError(
+                    f"map task {task.task_id} failed {n} attempts "
+                    f"(max_attempts={self.max_attempts})"
+                )
+            live_sibling = any(
+                a is not attempt and not a.cancelled and not a.finished
+                for a in attempts[task.task_id]
+            )
+            if not live_sibling:
+                task.state = TaskState.PENDING
+                delay = self.task_retry.delay(n, rng=faults.rng)
+                events.schedule(now + delay, MAP_RETRY, task)
+
+        def emit_flows(task: MapTaskRecord, now: float) -> None:
+            """Create shuffle flows for a completed map, skipping reducers
+            that already hold its partition (re-runs after invalidation)."""
+            share = task.output_bytes / job.num_reduces
+            for state in reducers:
+                if (
+                    state.record.state is TaskState.DONE
+                    or task.task_id in state.fetched_maps
+                ):
+                    continue
+                flow = ShuffleFlow(
+                    map_task=task.task_id,
+                    reduce_task=state.record.task_id,
+                    src_vm=task.vm_id,
+                    dst_vm=state.record.vm_id,
+                    size_bytes=share,
+                    band=cluster.band(task.vm_id, state.record.vm_id),
+                )
+                state.record.flows.append(flow)
+                state.ready.append(flow)
+                try_start_fetches(state, now)
+
+        def restart_shuffle(state: _ReducerState, now: float) -> None:
+            """Re-execute a reduce attempt: re-fetch every map output,
+            condemning any whose hosting VM has since died."""
+            rec = state.record
+            state.fetched_maps.clear()
+            state.ready = []
+            for f in list(rec.flows):
+                if f.cancelled:
+                    continue
+                task = task_by_id[f.map_task]
+                if task.state is not TaskState.DONE:
+                    continue  # already re-running; a fresh flow will arrive
+                if task.vm_id in dead_vms:
+                    invalidate_map_output(task, now)
+                else:
+                    state.ready.append(f)
+            fill_slots(now)
+            try_start_fetches(state, now)
+
+        def handle_vm_death(vm_id: int, now: float) -> None:
+            if vm_id in dead_vms or not (0 <= vm_id < cluster.num_vms):
+                return  # duplicate/foreign death report (e.g. cloud layer)
+            if reduces_done == job.num_reduces:
+                return  # job already complete; the lease outlived the run
+            dead_vms.add(vm_id)
+            recovery.vm_deaths += 1
+            free_map_slots[vm_id] = 0  # blacklist the VM's map slots
+            # 1. Kill attempts running on the VM; re-queue orphaned tasks.
+            for task in maps:
+                for a in attempts[task.task_id]:
+                    if a.vm_id != vm_id or a.cancelled or a.finished:
+                        continue
+                    a.cancelled = True
+                    recovery.wasted_time += now - a.start_time
+                    if task.state is TaskState.RUNNING:
+                        live = any(
+                            not b.cancelled and not b.finished
+                            for b in attempts[task.task_id]
+                        )
+                        if not live:
+                            task.state = TaskState.PENDING
+                            pending.append(task)
+            # 2. Completed map outputs stored on the VM die with it.
+            for task in maps:
+                if task.state is not TaskState.DONE or task.vm_id != vm_id:
+                    continue
+                needed = any(
+                    st.record.state is not TaskState.DONE
+                    and task.task_id not in st.fetched_maps
+                    for st in reducers
+                )
+                if needed:
+                    invalidate_map_output(task, now)
+            # 3. Relocate reducers that lived on the VM (their fetched data
+            # is gone; the new attempt re-fetches everything).
+            for st in reducers:
+                rec = st.record
+                if rec.state is TaskState.DONE or rec.vm_id != vm_id:
+                    continue
+                new_vm = pick_recovery_vm(
+                    cluster, dead_vms=dead_vms, reduce_slots_used=reduce_slots_used
+                )
+                if new_vm is None:
+                    raise JobFailedError(
+                        f"no live VM with a free reduce slot to relocate "
+                        f"reduce task {rec.task_id}"
+                    )
+                recovery.reducers_relocated += 1
+                reduce_slots_used[vm_id] -= 1
+                reduce_slots_used[new_vm] = reduce_slots_used.get(new_vm, 0) + 1
+                st.epoch += 1  # void any scheduled REDUCE_FINISH/REDUCE_FAIL
+                rec.attempts += 1
+                rec.vm_id = new_vm
+                rec.shuffle_finish_time = -1.0
+                st.fetched_maps.clear()
+                for f in rec.flows:
+                    f.cancelled = True  # in-flight fetches die on arrival
+                rec.flows = []
+                st.ready = []
+                for task in maps:
+                    if task.state is not TaskState.DONE:
+                        continue
+                    if task.vm_id in dead_vms:
+                        invalidate_map_output(task, now)
+                        continue
+                    share = task.output_bytes / job.num_reduces
+                    flow = ShuffleFlow(
+                        map_task=task.task_id,
+                        reduce_task=rec.task_id,
+                        src_vm=task.vm_id,
+                        dst_vm=new_vm,
+                        size_bytes=share,
+                        band=cluster.band(task.vm_id, new_vm),
+                    )
+                    rec.flows.append(flow)
+                    st.ready.append(flow)
+                try_start_fetches(st, now)
+            fill_slots(now)
 
         # ------------------------------------------------------------- loop
 
@@ -311,6 +583,7 @@ class MapReduceEngine:
                 task = attempt.task
                 if attempt.cancelled:
                     continue  # killed backup/original; slot already freed
+                attempt.finished = True
                 free_map_slots[attempt.vm_id] += 1
                 if task.state is TaskState.DONE:
                     continue  # a sibling attempt already won
@@ -321,46 +594,124 @@ class MapReduceEngine:
                 task.start_time = attempt.start_time
                 task.finish_time = now
                 task.state = TaskState.DONE
+                task.attempts = len(attempts[task.task_id])
                 maps_done += 1
                 for other in attempts[task.task_id]:
-                    if other is not attempt and not other.cancelled:
+                    if other is not attempt and not other.cancelled and not other.finished:
                         other.cancelled = True
                         free_map_slots[other.vm_id] += 1
-                share = task.output_bytes / job.num_reduces
-                for state in reducers:
-                    flow = ShuffleFlow(
-                        map_task=task.task_id,
-                        reduce_task=state.record.task_id,
-                        src_vm=task.vm_id,
-                        dst_vm=state.record.vm_id,
-                        size_bytes=share,
-                        band=cluster.band(task.vm_id, state.record.vm_id),
-                    )
-                    state.record.flows.append(flow)
-                    state.ready.append(flow)
-                    try_start_fetches(state, now)
+                emit_flows(task, now)
                 fill_slots(now)
             elif ev.kind == FETCH_FINISH:
                 state, flow = ev.payload
-                flow.finish_time = now
                 state.active_fetches -= 1
-                state.fetched += 1
+                if flow.cancelled:
+                    try_start_fetches(state, now)
+                    continue
+                flow.finish_time = now
+                state.fetched_maps.add(flow.map_task)
                 try_start_fetches(state, now)
-                if state.fetched == num_maps:
+                if len(state.fetched_maps) == num_maps:
                     finish_shuffle(state, now)
             elif ev.kind == REDUCE_FINISH:
-                state = ev.payload
+                state, epoch = ev.payload
+                if epoch != state.epoch:
+                    continue  # reducer was relocated/restarted meanwhile
                 state.record.finish_time = now
                 state.record.state = TaskState.DONE
                 reduces_done += 1
                 runtime = now
+            elif ev.kind == MAP_FAIL:
+                attempt = ev.payload
+                if attempt.cancelled:
+                    continue
+                attempt.finished = True
+                free_map_slots[attempt.vm_id] += 1
+                if attempt.task.state is TaskState.DONE:
+                    fill_slots(now)
+                    continue  # a sibling won; the loss is harmless
+                fail_map_attempt(attempt, now)
+                fill_slots(now)
+            elif ev.kind == MAP_RETRY:
+                task = ev.payload
+                if task.state is not TaskState.PENDING or task in pending:
+                    continue
+                pending.append(task)
+                fill_slots(now)
+            elif ev.kind == FETCH_FAIL:
+                state, flow = ev.payload
+                state.active_fetches -= 1
+                if flow.cancelled:
+                    try_start_fetches(state, now)
+                    continue
+                recovery.fetch_failures += 1
+                recovery.wasted_time += now - flow.start_time
+                flow.attempts += 1
+                if flow.attempts > self.max_fetch_retries:
+                    # Too many fetch failures: condemn the map output and
+                    # charge the failure to the map task (Hadoop semantics).
+                    task = task_by_id[flow.map_task]
+                    n = map_failures.get(task.task_id, 0) + 1
+                    map_failures[task.task_id] = n
+                    if n >= self.max_attempts:
+                        raise JobFailedError(
+                            f"map task {task.task_id} condemned after repeated "
+                            f"fetch failures (max_attempts={self.max_attempts})"
+                        )
+                    invalidate_map_output(task, now)
+                    fill_slots(now)
+                else:
+                    delay = self.fetch_retry.delay(flow.attempts, rng=faults.rng)
+                    events.schedule(now + delay, FETCH_RETRY_EVENT, (state, flow))
+                try_start_fetches(state, now)
+            elif ev.kind == FETCH_RETRY_EVENT:
+                state, flow = ev.payload
+                if flow.cancelled:
+                    continue
+                state.ready.append(flow)
+                try_start_fetches(state, now)
+            elif ev.kind == REDUCE_FAIL:
+                state, epoch = ev.payload
+                if epoch != state.epoch:
+                    continue
+                rec = state.record
+                recovery.reduce_failures += 1
+                recovery.wasted_time += now - rec.shuffle_finish_time
+                state.failures += 1
+                if state.failures >= self.max_attempts:
+                    raise JobFailedError(
+                        f"reduce task {rec.task_id} failed {state.failures} "
+                        f"attempts (max_attempts={self.max_attempts})"
+                    )
+                state.epoch += 1
+                rec.attempts += 1
+                rec.shuffle_finish_time = -1.0
+                delay = self.task_retry.delay(state.failures, rng=faults.rng)
+                events.schedule(now + delay, REDUCE_RETRY, state)
+            elif ev.kind == REDUCE_RETRY:
+                state = ev.payload
+                if state.record.state is TaskState.DONE:
+                    continue  # defensive: nothing to restart
+                restart_shuffle(state, now)
+            elif ev.kind == VM_DEATH:
+                handle_vm_death(ev.payload, now)
             else:  # pragma: no cover - defensive
                 raise ValidationError(f"unknown event kind {ev.kind!r}")
 
         if maps_done != num_maps or reduces_done != job.num_reduces:
-            raise ValidationError(
+            message = (
                 f"job did not complete: {maps_done}/{num_maps} maps, "
                 f"{reduces_done}/{job.num_reduces} reduces"
+            )
+            if faulty:
+                raise JobFailedError(message)
+            raise ValidationError(message)
+        if faulty:
+            recovery.map_attempts = dict(
+                sorted(Counter(len(attempts[t.task_id]) for t in maps).items())
+            )
+            recovery.reduce_attempts = dict(
+                sorted(Counter(s.record.attempts for s in reducers).items())
             )
         return JobResult(
             job_name=job.name,
@@ -368,4 +719,5 @@ class MapReduceEngine:
             runtime=runtime,
             map_records=maps,
             reduce_records=[s.record for s in reducers],
+            recovery=recovery,
         )

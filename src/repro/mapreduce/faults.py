@@ -1,0 +1,139 @@
+"""Task-level fault injection for the MapReduce engine.
+
+Real MapReduce clusters lose work mid-job: map and reduce attempts crash,
+shuffle fetches time out, and whole VMs (or the nodes under them) die taking
+their stored map outputs with them. :class:`TaskFaultModel` injects all four
+fault classes into :class:`~repro.mapreduce.engine.MapReduceEngine`'s event
+loop; the engine supplies the Hadoop-style recovery (bounded re-execution
+with backoff, capped fetch retries, output invalidation and slot
+blacklisting on VM death).
+
+Design constraints:
+
+* **Isolation.** The model owns its own seeded RNG, so enabling faults never
+  perturbs the engine's main stream (HDFS layout, reducer placement,
+  straggler draws stay identical with and without faults).
+* **Zero-cost when disabled.** With all probabilities at 0 and no scheduled
+  VM deaths the engine takes exactly the seed code paths and produces
+  bit-identical results.
+* **Partial progress.** A failure draw returns the *fraction of the attempt's
+  duration* at which the fault strikes, so failed attempts waste a realistic
+  amount of simulated time rather than failing instantaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+
+@dataclass(frozen=True, slots=True)
+class VMDeath:
+    """One scheduled mid-job VM death."""
+
+    vm_id: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.vm_id < 0:
+            raise ValidationError("vm_id must be >= 0")
+        if self.time < 0:
+            raise ValidationError("death time must be >= 0")
+
+
+class TaskFaultModel:
+    """Seeded fault source consulted by the engine at attempt boundaries.
+
+    Parameters
+    ----------
+    map_failure_probability / reduce_failure_probability:
+        Chance that one task *attempt* fails mid-execution.
+    fetch_failure_probability:
+        Chance that one shuffle fetch fails mid-transfer.
+    vm_deaths:
+        Scheduled VM deaths (``VMDeath`` objects or ``(vm_id, time)``
+        pairs). Deaths can also come from the cloud layer — see
+        :func:`repro.experiments.fault_recovery.vm_deaths_from_failures`.
+    seed:
+        Seed for the model's private RNG stream.
+    """
+
+    def __init__(
+        self,
+        *,
+        map_failure_probability: float = 0.0,
+        reduce_failure_probability: float = 0.0,
+        fetch_failure_probability: float = 0.0,
+        vm_deaths=(),
+        seed=None,
+    ) -> None:
+        for name, p in (
+            ("map_failure_probability", map_failure_probability),
+            ("reduce_failure_probability", reduce_failure_probability),
+            ("fetch_failure_probability", fetch_failure_probability),
+        ):
+            if not (0.0 <= p <= 1.0):
+                raise ValidationError(f"{name} must be in [0, 1], got {p}")
+        self.map_failure_probability = map_failure_probability
+        self.reduce_failure_probability = reduce_failure_probability
+        self.fetch_failure_probability = fetch_failure_probability
+        self.vm_deaths = tuple(
+            d if isinstance(d, VMDeath) else VMDeath(vm_id=int(d[0]), time=float(d[1]))
+            for d in vm_deaths
+        )
+        self._rng = ensure_rng(seed)
+
+    @property
+    def enabled(self) -> bool:
+        """True when this model can produce any fault at all."""
+        return bool(
+            self.map_failure_probability > 0.0
+            or self.reduce_failure_probability > 0.0
+            or self.fetch_failure_probability > 0.0
+            or self.vm_deaths
+        )
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The model's private stream (engine uses it for backoff jitter so
+        retry timing is tied to the fault seed, not the layout seed)."""
+        return self._rng
+
+    def _draw(self, probability: float) -> "float | None":
+        """Failure point as a fraction of the attempt duration, or ``None``.
+
+        The short-circuit on ``probability == 0.0`` is load-bearing: it keeps
+        the RNG stream unconsumed so partially-enabled models stay
+        reproducible per fault class.
+        """
+        if probability == 0.0 or self._rng.random() >= probability:
+            return None
+        return float(self._rng.uniform(0.05, 0.95))
+
+    def draw_map_failure(self) -> "float | None":
+        """Fault draw for one map attempt (see :meth:`_draw`)."""
+        return self._draw(self.map_failure_probability)
+
+    def draw_reduce_failure(self) -> "float | None":
+        """Fault draw for one reduce attempt (see :meth:`_draw`)."""
+        return self._draw(self.reduce_failure_probability)
+
+    def draw_fetch_failure(self) -> "float | None":
+        """Fault draw for one shuffle fetch (see :meth:`_draw`)."""
+        return self._draw(self.fetch_failure_probability)
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskFaultModel(map={self.map_failure_probability:g}, "
+            f"reduce={self.reduce_failure_probability:g}, "
+            f"fetch={self.fetch_failure_probability:g}, "
+            f"vm_deaths={len(self.vm_deaths)})"
+        )
+
+
+#: No faults — the default, keeping all paper experiments bit-identical.
+NO_FAULTS = TaskFaultModel()

@@ -43,6 +43,44 @@ class LocalityReport:
 
 
 @dataclass
+class RecoveryReport:
+    """Fault-recovery accounting for one job run under injected faults.
+
+    Attached to :class:`JobResult` when the engine ran with an enabled
+    :class:`~repro.mapreduce.faults.TaskFaultModel`; ``None`` otherwise so
+    failure-free results stay identical to the seed engine's.
+    """
+
+    map_failures: int = 0
+    reduce_failures: int = 0
+    fetch_failures: int = 0
+    vm_deaths: int = 0
+    #: Completed map outputs lost to a VM death (each forces a re-run).
+    maps_invalidated: int = 0
+    #: Reducers moved off a dead VM (each re-fetches its whole shuffle).
+    reducers_relocated: int = 0
+    #: Simulated seconds spent in attempts/fetches that did not complete.
+    wasted_time: float = 0.0
+    #: Histogram: number of execution attempts -> count of map tasks.
+    map_attempts: dict[int, int] = field(default_factory=dict)
+    #: Histogram: number of execution attempts -> count of reduce tasks.
+    reduce_attempts: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_task_failures(self) -> int:
+        return self.map_failures + self.reduce_failures
+
+    @property
+    def total_faults(self) -> int:
+        return (
+            self.map_failures
+            + self.reduce_failures
+            + self.fetch_failures
+            + self.vm_deaths
+        )
+
+
+@dataclass
 class JobResult:
     """Complete record of one simulated job execution."""
 
@@ -51,6 +89,8 @@ class JobResult:
     runtime: float
     map_records: list[MapTaskRecord] = field(default_factory=list)
     reduce_records: list[ReduceTaskRecord] = field(default_factory=list)
+    #: Present only for runs with fault injection enabled.
+    recovery: "RecoveryReport | None" = None
 
     @property
     def flows(self) -> list[ShuffleFlow]:
@@ -69,6 +109,13 @@ class JobResult:
     @property
     def total_shuffle_bytes(self) -> float:
         return float(sum(f.size_bytes for f in self.flows))
+
+    def slowdown_vs(self, baseline_runtime: float) -> float:
+        """Failure-induced slowdown relative to a failure-free run
+        (1.0 = no slowdown)."""
+        if baseline_runtime <= 0:
+            raise ValueError("baseline_runtime must be > 0")
+        return self.runtime / baseline_runtime
 
     def bytes_by_band(self) -> dict[DistanceBand, float]:
         """Shuffle bytes moved per distance band (traffic breakdown)."""

@@ -184,3 +184,29 @@ def place_reducers(
             "expected 'slots', 'random', or 'center'"
         )
     return placements
+
+
+def pick_recovery_vm(
+    cluster: VirtualCluster,
+    *,
+    dead_vms: "set[int]",
+    reduce_slots_used: "dict[int, int]",
+) -> "int | None":
+    """Choose a live VM with a free reduce slot for a relocated reducer.
+
+    Among candidates, prefer the VM minimizing total distance to the live
+    part of the cluster (the ``"center"`` idea — the relocated reducer must
+    re-fetch its entire shuffle, so shuffle distance dominates its restart
+    cost). Returns ``None`` when no live VM has a free reduce slot.
+    """
+    live = [vm.vm_id for vm in cluster.vms if vm.vm_id not in dead_vms]
+    candidates = [
+        vm.vm_id
+        for vm in cluster.vms
+        if vm.vm_id not in dead_vms
+        and reduce_slots_used.get(vm.vm_id, 0) < vm.reduce_slots
+    ]
+    if not candidates:
+        return None
+    totals = cluster.distance[:, live].sum(axis=1)
+    return min(candidates, key=lambda v: (totals[v], v))

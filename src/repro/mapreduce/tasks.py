@@ -36,6 +36,7 @@ class MapTaskRecord:
     input_bytes: int = 0
     output_bytes: float = 0.0
     state: TaskState = TaskState.PENDING
+    attempts: int = 1
 
     @property
     def duration(self) -> float:
@@ -65,6 +66,8 @@ class ShuffleFlow:
     band: DistanceBand
     start_time: float = -1.0
     finish_time: float = -1.0
+    attempts: int = 0
+    cancelled: bool = False
 
     @property
     def local(self) -> bool:
@@ -89,6 +92,7 @@ class ReduceTaskRecord:
     input_bytes: float = 0.0
     output_bytes: float = 0.0
     state: TaskState = TaskState.PENDING
+    attempts: int = 1
     flows: list[ShuffleFlow] = field(default_factory=list)
 
     @property

@@ -5,8 +5,10 @@ from repro.util.errors import (
     ValidationError,
     CapacityError,
     InfeasibleRequestError,
+    JobFailedError,
     SolverError,
 )
+from repro.util.retry import FETCH_RETRY, TASK_RETRY, RetryPolicy
 from repro.util.rng import ensure_rng, spawn_rngs
 from repro.util.validation import (
     as_int_vector,
@@ -23,7 +25,11 @@ __all__ = [
     "ValidationError",
     "CapacityError",
     "InfeasibleRequestError",
+    "JobFailedError",
     "SolverError",
+    "RetryPolicy",
+    "TASK_RETRY",
+    "FETCH_RETRY",
     "ensure_rng",
     "spawn_rngs",
     "as_int_vector",

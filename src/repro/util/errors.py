@@ -33,3 +33,9 @@ class InfeasibleRequestError(ReproError):
 
 class SolverError(ReproError):
     """An exact optimization backend failed to produce a usable solution."""
+
+
+class JobFailedError(ReproError):
+    """A simulated MapReduce job could not complete under injected faults
+    (a task exhausted its attempt budget, or recovery ran out of healthy
+    VMs/replicas)."""

@@ -1,0 +1,77 @@
+"""Exponential backoff with jitter, deterministic under a seeded RNG.
+
+Shared by every recovery path in the package: the MapReduce engine uses one
+policy for task re-execution delays and another (shorter, capped) one for
+shuffle-fetch retries; cloud-layer components can reuse the same schedule
+logic. Keeping backoff in one place guarantees all retry delays are
+reproducible when the caller threads a seeded generator through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Exponential backoff schedule: ``base_delay * factor**(attempt-1)``.
+
+    Attributes
+    ----------
+    base_delay:
+        Delay before the first retry (seconds).
+    factor:
+        Multiplier applied per additional failed attempt (>= 1).
+    max_delay:
+        Cap on the undithered delay (Hadoop caps fetch-retry backoff the
+        same way).
+    jitter:
+        Fraction in ``[0, 1]``; the delay is scaled by a factor drawn
+        uniformly from ``[1 - jitter, 1 + jitter]``. Jitter requires the
+        caller to pass an RNG so schedules stay deterministic under a seed.
+    """
+
+    base_delay: float = 1.0
+    factor: float = 2.0
+    max_delay: float = 60.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0:
+            raise ValidationError("base_delay must be > 0")
+        if self.factor < 1.0:
+            raise ValidationError("factor must be >= 1")
+        if self.max_delay < self.base_delay:
+            raise ValidationError("max_delay must be >= base_delay")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValidationError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng: "np.random.Generator | None" = None) -> float:
+        """Backoff before retry number *attempt* (1-based: first retry = 1)."""
+        if attempt < 1:
+            raise ValidationError(f"attempt must be >= 1, got {attempt}")
+        d = min(self.base_delay * self.factor ** (attempt - 1), self.max_delay)
+        if self.jitter > 0.0:
+            if rng is None:
+                raise ValidationError("jitter requires an RNG for determinism")
+            d *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return d
+
+    def schedule(
+        self, attempts: int, rng: "np.random.Generator | None" = None
+    ) -> list[float]:
+        """The full delay sequence for *attempts* consecutive retries."""
+        if attempts < 0:
+            raise ValidationError(f"attempts must be >= 0, got {attempts}")
+        return [self.delay(a, rng) for a in range(1, attempts + 1)]
+
+
+#: Default task re-execution backoff (Hadoop-style seconds scale).
+TASK_RETRY = RetryPolicy(base_delay=2.0, factor=2.0, max_delay=60.0, jitter=0.2)
+
+#: Default shuffle-fetch retry backoff (short, tightly capped).
+FETCH_RETRY = RetryPolicy(base_delay=0.5, factor=2.0, max_delay=8.0, jitter=0.2)

@@ -67,6 +67,102 @@ class TestFailureInjector:
             FailureInjector(horizon=0)
 
 
+class TestRenewalInjector:
+    def test_mtbf_allows_repeated_failures(self):
+        inj = FailureInjector(
+            mtbf=50.0, horizon=1000.0, mean_repair_time=10.0, seed=5
+        )
+        events = inj.schedule(4)
+        per_node = {}
+        for e in events:
+            per_node.setdefault(e.node_id, []).append(e)
+        assert max(len(v) for v in per_node.values()) >= 2
+
+    def test_intervals_never_overlap_per_node(self):
+        inj = FailureInjector(
+            mtbf=20.0, horizon=500.0, mean_repair_time=30.0, seed=6
+        )
+        per_node = {}
+        for e in inj.schedule(6):
+            per_node.setdefault(e.node_id, []).append(e)
+        for evs in per_node.values():
+            evs.sort(key=lambda e: e.fail_time)
+            for a, b in zip(evs, evs[1:]):
+                assert b.fail_time >= a.recover_time
+
+    def test_mtbf_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            FailureInjector(mtbf=0.0)
+
+    def test_deterministic(self):
+        a = FailureInjector(mtbf=30.0, horizon=300.0, seed=8).schedule(5)
+        b = FailureInjector(mtbf=30.0, horizon=300.0, seed=8).schedule(5)
+        assert a == b
+
+    def test_higher_mtbf_fails_less(self):
+        fragile = FailureInjector(mtbf=20.0, horizon=1000.0, seed=9).schedule(8)
+        sturdy = FailureInjector(mtbf=500.0, horizon=1000.0, seed=9).schedule(8)
+        assert len(fragile) > len(sturdy)
+
+
+class TestRackBursts:
+    RACK_IDS = [0, 0, 0, 1, 1, 1]  # 2 racks × 3 nodes
+
+    def test_burst_requires_rack_ids(self):
+        inj = FailureInjector(
+            failure_probability=1.0, rack_burst_probability=0.5, seed=1
+        )
+        with pytest.raises(ValidationError):
+            inj.schedule(6)
+        with pytest.raises(ValidationError):
+            inj.schedule(6, rack_ids=[0, 0, 1])  # wrong length
+
+    def test_burst_probability_validated(self):
+        with pytest.raises(ValidationError):
+            FailureInjector(rack_burst_probability=1.5)
+
+    def test_certain_burst_takes_whole_rack(self):
+        # Seed 0 yields exactly one primary failure (node 2) at p=0.15.
+        calm = FailureInjector(
+            failure_probability=0.15, horizon=100.0, seed=0
+        ).schedule(6)
+        assert [e.node_id for e in calm] == [2]
+        burst = FailureInjector(
+            failure_probability=0.15,
+            horizon=100.0,
+            rack_burst_probability=1.0,
+            seed=0,
+        ).schedule(6, rack_ids=self.RACK_IDS)
+        assert {e.node_id for e in burst} == {0, 1, 2}  # node 2's whole rack
+        primary = next(e for e in burst if e.node_id == 2)
+        for e in burst:
+            assert e.fail_time == primary.fail_time  # correlated instant
+        # Repairs stay independent per node.
+        assert len({e.recover_time for e in burst}) == 3
+
+    def test_zero_burst_matches_plain_schedule(self):
+        plain = FailureInjector(failure_probability=0.5, seed=3).schedule(6)
+        with_ids = FailureInjector(failure_probability=0.5, seed=3).schedule(
+            6, rack_ids=self.RACK_IDS
+        )
+        assert plain == with_ids
+
+    def test_burst_never_double_fails_a_node(self):
+        inj = FailureInjector(
+            failure_probability=0.8,
+            horizon=200.0,
+            rack_burst_probability=1.0,
+            seed=4,
+        )
+        per_node = {}
+        for e in inj.schedule(6, rack_ids=self.RACK_IDS):
+            per_node.setdefault(e.node_id, []).append(e)
+        for evs in per_node.values():
+            evs.sort(key=lambda e: e.fail_time)
+            for a, b in zip(evs, evs[1:]):
+                assert b.fail_time >= a.recover_time
+
+
 class TestResilientProvider:
     def test_requires_dynamic_pool(self):
         topo = Topology.build(1, 2, capacity=[1, 1, 1])
@@ -169,3 +265,137 @@ class TestFailureSimulator:
         _, p_calm, r_calm = self._run(0.0, seed=11)
         _, p_chaos, r_chaos = self._run(0.5, seed=11)
         assert np.mean(r_chaos.distances) >= np.mean(r_calm.distances) - 1e-9
+
+    def test_result_carries_repair_stats(self):
+        _, provider, result = self._run(0.4)
+        assert result.repairs is provider.repair_stats
+        assert result.repairs.failures > 0
+
+    def test_plain_simulator_has_no_repairs(self):
+        from repro.cloud.simulator import CloudSimulator
+
+        pool = make_dynamic_pool()
+        provider = CloudProvider(pool, OnlineHeuristic())
+        result = CloudSimulator(provider).run([timed([1, 0, 0])])
+        assert result.repairs is None
+
+
+class TestResubmitCap:
+    """Satellite: unrepairable leases stop re-queueing past max_resubmits."""
+
+    def _fragile(self, max_resubmits):
+        # Exactly enough capacity: any node failure strands the request.
+        pool = make_dynamic_pool(racks=2, nodes=1, capacity=(2, 0, 0))
+        provider = ResilientCloudProvider(
+            pool, OnlineHeuristic(), max_resubmits=max_resubmits
+        )
+        return pool, provider
+
+    def test_negative_cap_rejected(self):
+        pool = make_dynamic_pool()
+        with pytest.raises(ValidationError):
+            ResilientCloudProvider(pool, OnlineHeuristic(), max_resubmits=-1)
+
+    def test_zero_cap_drops_on_first_loss(self):
+        pool, provider = self._fragile(0)
+        lease = provider.submit(timed([4, 0, 0]), now=0.0)
+        victim = int(lease.allocation.used_nodes[0])
+        lost = provider.on_node_failure(victim, now=1.0)
+        assert len(lost) == 1
+        assert len(provider.queue) == 0  # not re-queued
+        assert provider.repair_stats.requeue_rejected == 1
+        assert provider.stats.queue_rejected == 1
+
+    def test_cap_allows_budgeted_retries_then_drops(self):
+        pool, provider = self._fragile(1)
+        lease = provider.submit(timed([4, 0, 0]), now=0.0)
+        victim = int(lease.allocation.used_nodes[0])
+        provider.on_node_failure(victim, now=1.0)
+        assert len(provider.queue) == 1  # first loss: within budget
+        replaced = provider.on_node_recovery(victim, now=2.0)
+        assert len(replaced) == 1
+        victim2 = int(replaced[0].allocation.used_nodes[0])
+        provider.on_node_failure(victim2, now=3.0)
+        assert len(provider.queue) == 0  # budget exhausted: dropped
+        assert provider.repair_stats.requeue_rejected == 1
+        assert provider.repair_stats.leases_lost == 2
+
+    def test_simulation_terminates_under_sustained_failures(self):
+        # Renewal failures keep killing the only viable nodes; the cap
+        # guarantees the event loop still drains.
+        pool, provider = self._fragile(2)
+        failures = FailureInjector(
+            mtbf=30.0, horizon=400.0, mean_repair_time=20.0, seed=13
+        ).schedule(pool.num_nodes)
+        result = FailureSimulator(provider, failures).run(
+            [timed([4, 0, 0], duration=300.0)]
+        )
+        assert len(provider.active) == 0
+        assert result.makespan > 0
+
+
+class TestLeaseFailureHook:
+    def test_hook_sees_affected_leases_only(self):
+        pool = make_dynamic_pool()
+        provider = ResilientCloudProvider(pool, OnlineHeuristic())
+        seen = []
+
+        def hook(lease, node_id, now):
+            seen.append((lease.request_id, node_id, now))
+            assert lease.allocation.matrix[node_id].sum() > 0
+
+        req = timed([4, 3, 1], duration=50.0)
+        failures = [FailureEvent(node_id=0, fail_time=5.0, recover_time=30.0)]
+        FailureSimulator(provider, failures, on_lease_failure=hook).run([req])
+        # Node 0 hosts part of the only lease (it spans several nodes).
+        assert all(n == 0 and t == 5.0 for _, n, t in seen)
+
+    def test_hook_not_called_for_empty_nodes(self):
+        pool = make_dynamic_pool()
+        provider = ResilientCloudProvider(pool, OnlineHeuristic())
+        calls = []
+        req = timed([1, 0, 0], duration=50.0)
+        # The single-VM lease lands on node 0 (single-node shortcut picks
+        # the first node with capacity); fail a node in the other rack.
+        failures = [
+            FailureEvent(node_id=5, fail_time=5.0, recover_time=30.0)
+        ]
+        FailureSimulator(
+            provider,
+            failures,
+            on_lease_failure=lambda l, n, t: calls.append((l, n, t)),
+        ).run([req])
+        assert calls == []
+
+
+class TestGenerationBookkeeping:
+    """Regression: re-placed leases must not depart on the dead
+    generation's event, nor leak when their own event fires."""
+
+    def _run_replacement(self):
+        pool = make_dynamic_pool(racks=2, nodes=1, capacity=(2, 0, 0))
+        provider = ResilientCloudProvider(pool, OnlineHeuristic())
+        req = timed([4, 0, 0], arrival=0.0, duration=100.0)
+        # Unrepairable failure at t=10 kills generation 1 (would depart at
+        # t=100); recovery at t=20 re-places it as generation 2 (departs at
+        # t=120).
+        failures = [FailureEvent(node_id=0, fail_time=10.0, recover_time=20.0)]
+        result = FailureSimulator(provider, failures).run([req])
+        return pool, provider, result
+
+    def test_stale_departure_does_not_release_replacement(self):
+        pool, provider, result = self._run_replacement()
+        # Had the t=100 departure of the dead generation released the
+        # re-placed lease, the makespan would stop at 100.
+        assert result.makespan == pytest.approx(120.0)
+
+    def test_replacement_departs_on_its_own_event(self):
+        pool, provider, result = self._run_replacement()
+        assert len(provider.active) == 0
+        assert pool.allocated.sum() == 0
+
+    def test_bookkeeping_counts_both_generations(self):
+        pool, provider, result = self._run_replacement()
+        assert provider.stats.placed == 2  # original + replacement
+        assert provider.repair_stats.leases_lost == 1
+        assert len(result.waits) == 2

@@ -125,3 +125,64 @@ class TestOnlineHeuristic:
         pool = make_pool(2, 3, capacity=(3, 3, 2))
         alloc = OnlineHeuristic().place([1, 0, 0], pool)
         assert alloc.used_nodes.tolist() == [0]
+
+
+class TestRackSpreadConstraint:
+    """max_vms_per_rack: the failure-domain spread option of Algorithm 1."""
+
+    def _rack_loads(self, alloc, pool):
+        rack_ids = pool.topology.rack_ids
+        per_node = alloc.matrix.sum(axis=1)
+        return {
+            int(r): int(per_node[rack_ids == r].sum())
+            for r in np.unique(rack_ids)
+        }
+
+    def test_cap_validated(self):
+        with pytest.raises(ValidationError):
+            OnlineHeuristic(max_vms_per_rack=0)
+
+    def test_cap_respected(self):
+        pool = make_pool(4, 2, capacity=(0, 2, 0))
+        alloc = OnlineHeuristic(max_vms_per_rack=2).place([0, 8, 0], pool)
+        assert alloc is not None
+        loads = self._rack_loads(alloc, pool)
+        assert all(load <= 2 for load in loads.values())
+        assert sum(loads.values()) == 8
+
+    def test_unconstrained_packs_tighter(self):
+        pool = make_pool(4, 2, capacity=(0, 2, 0))
+        packed = OnlineHeuristic().place([0, 8, 0], pool)
+        spread = OnlineHeuristic(max_vms_per_rack=2).place([0, 8, 0], pool)
+        assert packed.distance <= spread.distance
+        assert max(self._rack_loads(packed, pool).values()) > 2
+
+    def test_cap_overrides_single_node_shortcut(self):
+        pool = make_pool(2, 2, capacity=(8, 0, 0))
+        alloc = OnlineHeuristic(max_vms_per_rack=2).place([4, 0, 0], pool)
+        assert alloc is not None
+        assert max(self._rack_loads(alloc, pool).values()) <= 2
+
+    def test_shortcut_still_used_when_cap_allows(self):
+        pool = make_pool(2, 2, capacity=(8, 0, 0))
+        alloc = OnlineHeuristic(max_vms_per_rack=4).place([4, 0, 0], pool)
+        assert alloc.distance == 0.0
+        assert alloc.num_nodes_used == 1
+
+    def test_infeasible_cap_returns_none(self):
+        # 8 VMs over 2 racks with a 2-per-rack cap cannot fit.
+        pool = make_pool(2, 2, capacity=(0, 4, 0))
+        assert OnlineHeuristic(max_vms_per_rack=2).place([0, 8, 0], pool) is None
+
+    def test_cap_clip_is_typewise_deterministic(self):
+        pool = make_pool(2, 2, capacity=(2, 2, 1))
+        a = OnlineHeuristic(max_vms_per_rack=3).place([2, 2, 1], pool)
+        b = OnlineHeuristic(max_vms_per_rack=3).place([2, 2, 1], pool)
+        assert np.array_equal(a.matrix, b.matrix)
+        assert max(self._rack_loads(a, pool).values()) <= 3
+
+    def test_unconstrained_default_unchanged(self):
+        pool = make_pool(3, 4, capacity=(2, 1, 1))
+        a = OnlineHeuristic().place([6, 2, 1], pool)
+        b = OnlineHeuristic(max_vms_per_rack=None).place([6, 2, 1], pool)
+        assert np.array_equal(a.matrix, b.matrix)

@@ -1,0 +1,99 @@
+"""Tests for the affinity-vs-resilience fault-recovery study."""
+
+import pytest
+
+from repro.cloud.failures import FailureEvent
+from repro.cloud.lease import Lease
+from repro.cloud.request import TimedRequest
+from repro.core.problem import Allocation, VirtualClusterRequest
+from repro.experiments.fault_recovery import (
+    LeaseFaultCollector,
+    run_spread_study,
+    study_job,
+    study_pool,
+    vm_deaths_from_failures,
+)
+from repro.mapreduce.faults import VMDeath
+from repro.mapreduce.vmcluster import VirtualCluster
+from repro.util.errors import ValidationError
+
+import numpy as np
+
+
+def build_cluster():
+    pool = study_pool()
+    m = np.zeros((pool.num_nodes, pool.num_types), dtype=np.int64)
+    m[0, 1] = 2
+    m[1, 1] = 2
+    alloc = Allocation.from_matrix(m, pool.distance_matrix)
+    return pool, alloc, VirtualCluster.from_allocation(
+        alloc, pool.distance_matrix, pool.catalog
+    )
+
+
+class TestVMDeathsFromFailures:
+    def test_tuple_failures_map_to_hosted_vms(self):
+        _, _, cluster = build_cluster()
+        deaths = vm_deaths_from_failures(cluster, [(0, 5.0)])
+        assert deaths == [VMDeath(vm_id=0, time=5.0), VMDeath(vm_id=1, time=5.0)]
+
+    def test_failure_event_objects_accepted(self):
+        _, _, cluster = build_cluster()
+        ev = FailureEvent(node_id=1, fail_time=3.0, recover_time=10.0)
+        deaths = vm_deaths_from_failures(cluster, [ev])
+        assert {d.vm_id for d in deaths} == {2, 3}
+        assert all(d.time == 3.0 for d in deaths)
+
+    def test_unhosted_node_yields_nothing(self):
+        _, _, cluster = build_cluster()
+        assert vm_deaths_from_failures(cluster, [(7, 1.0)]) == []
+
+
+class TestLeaseFaultCollector:
+    def test_collects_job_relative_deaths(self):
+        pool, alloc, _ = build_cluster()
+        request = TimedRequest(
+            request=VirtualClusterRequest(demand=[0, 4, 0]),
+            arrival_time=0.0,
+            duration=100.0,
+        )
+        lease = Lease(request=request, allocation=alloc, start_time=10.0)
+        collector = LeaseFaultCollector()
+        collector(lease, 1, 25.0)
+        deaths = collector.deaths[lease.request_id]
+        assert {d.vm_id for d in deaths} == {2, 3}
+        assert all(d.time == 15.0 for d in deaths)  # 25 − lease start 10
+
+
+class TestSpreadStudy:
+    def test_spread_reduces_failure_slowdown(self):
+        study = run_spread_study()
+        assert study.packed.affinity <= study.spread.affinity
+        assert study.spread.vms_lost < study.packed.vms_lost
+        assert study.spread.slowdown < study.packed.slowdown
+        assert study.slowdown_reduction_pct > 0.0
+
+    def test_recovery_metrics_populated(self):
+        study = run_spread_study()
+        for run in (study.packed, study.spread):
+            rec = run.result.recovery
+            assert rec is not None
+            assert rec.vm_deaths == run.vms_lost
+            assert rec.maps_invalidated > 0
+
+    def test_deterministic(self):
+        a = run_spread_study(seed=3)
+        b = run_spread_study(seed=3)
+        assert a.packed.faulted_runtime == b.packed.faulted_runtime
+        assert a.spread.faulted_runtime == b.spread.faulted_runtime
+
+    def test_failure_fraction_validated(self):
+        with pytest.raises(ValidationError):
+            run_spread_study(failure_fraction=0.0)
+        with pytest.raises(ValidationError):
+            run_spread_study(failure_fraction=1.0)
+
+    def test_study_job_is_slot_bound(self):
+        job = study_job()
+        # 64 maps over 16 slots → several map waves (see study_job docstring).
+        assert job.num_maps == 64

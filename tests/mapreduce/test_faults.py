@@ -1,0 +1,312 @@
+"""Tests for task-level fault injection and engine recovery."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.core.problem import Allocation
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.faults import NO_FAULTS, TaskFaultModel, VMDeath
+from repro.mapreduce.job import MB, MapReduceJob
+from repro.mapreduce.tasks import TaskState
+from repro.mapreduce.vmcluster import VirtualCluster
+from repro.util.errors import JobFailedError, ValidationError
+
+from tests.conftest import make_pool
+
+
+def build_cluster(layout, capacity=(4, 4, 2), racks=2, nodes=2):
+    pool = make_pool(racks, nodes, capacity=capacity)
+    catalog = VMTypeCatalog.ec2_default()
+    m = np.zeros((pool.num_nodes, 3), dtype=np.int64)
+    for node, counts in layout.items():
+        m[node] = counts
+    alloc = Allocation.from_matrix(m, pool.distance_matrix)
+    return VirtualCluster.from_allocation(alloc, pool.distance_matrix, catalog)
+
+
+def small_job(**kwargs):
+    defaults = dict(
+        name="test",
+        input_bytes=8 * MB,
+        block_size=2 * MB,  # 4 map tasks
+        num_reduces=1,
+        map_selectivity=0.5,
+        map_cost_s_per_mb=0.1,
+        reduce_cost_s_per_mb=0.1,
+    )
+    defaults.update(kwargs)
+    return MapReduceJob(**defaults)
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster({0: [0, 2, 0], 2: [0, 2, 0]})  # 4 medium VMs, 2 racks
+
+
+class TestModelValidation:
+    def test_probability_bounds(self):
+        with pytest.raises(ValidationError):
+            TaskFaultModel(map_failure_probability=1.5)
+        with pytest.raises(ValidationError):
+            TaskFaultModel(fetch_failure_probability=-0.1)
+
+    def test_vm_death_validation(self):
+        with pytest.raises(ValidationError):
+            VMDeath(vm_id=-1, time=1.0)
+        with pytest.raises(ValidationError):
+            VMDeath(vm_id=0, time=-1.0)
+
+    def test_vm_deaths_accept_tuples(self):
+        model = TaskFaultModel(vm_deaths=[(1, 5.0)])
+        assert model.vm_deaths == (VMDeath(vm_id=1, time=5.0),)
+
+    def test_enabled(self):
+        assert not NO_FAULTS.enabled
+        assert TaskFaultModel(map_failure_probability=0.1).enabled
+        assert TaskFaultModel(vm_deaths=[(0, 1.0)]).enabled
+
+    def test_zero_probability_draw_consumes_no_randomness(self):
+        model = TaskFaultModel(map_failure_probability=0.0, seed=1)
+        state = model.rng.bit_generator.state["state"]["state"]
+        assert model.draw_map_failure() is None
+        assert model.rng.bit_generator.state["state"]["state"] == state
+
+
+class TestDisabledIsBitIdentical:
+    def test_disabled_model_matches_no_model(self, cluster):
+        job = small_job(num_reduces=2)
+        plain = MapReduceEngine(cluster, seed=3).run(job, hdfs_seed=3)
+        gated = MapReduceEngine(
+            cluster, seed=3, faults=TaskFaultModel(seed=99)
+        ).run(job, hdfs_seed=3)
+        assert gated.runtime == plain.runtime
+        assert [m.finish_time for m in gated.map_records] == [
+            m.finish_time for m in plain.map_records
+        ]
+        assert [r.finish_time for r in gated.reduce_records] == [
+            r.finish_time for r in plain.reduce_records
+        ]
+        assert gated.recovery is None
+
+    def test_faults_do_not_perturb_hdfs_layout(self, cluster):
+        job = small_job()
+        plain = MapReduceEngine(cluster, seed=3).run(job, hdfs_seed=3)
+        faulty = MapReduceEngine(
+            cluster,
+            seed=3,
+            faults=TaskFaultModel(map_failure_probability=0.5, seed=11),
+        ).run(job, hdfs_seed=3)
+        # Same block → same first-choice VM ordering comes from the same
+        # main-stream draws; only timing differs under faults.
+        assert len(faulty.map_records) == len(plain.map_records)
+
+
+class TestTaskFailureRecovery:
+    def test_map_failures_recovered(self, cluster):
+        result = MapReduceEngine(
+            cluster,
+            seed=2,
+            faults=TaskFaultModel(map_failure_probability=0.4, seed=5),
+        ).run(small_job(), hdfs_seed=2)
+        assert all(m.state is TaskState.DONE for m in result.map_records)
+        rec = result.recovery
+        assert rec is not None
+        assert rec.map_failures > 0
+        assert rec.wasted_time > 0
+        assert sum(rec.map_attempts.values()) == len(result.map_records)
+        assert any(k > 1 for k in rec.map_attempts)
+
+    def test_failed_runs_slower_than_clean(self, cluster):
+        job = small_job()
+        clean = MapReduceEngine(cluster, seed=2).run(job, hdfs_seed=2)
+        faulty = MapReduceEngine(
+            cluster,
+            seed=2,
+            faults=TaskFaultModel(map_failure_probability=0.5, seed=5),
+        ).run(job, hdfs_seed=2)
+        assert faulty.runtime > clean.runtime
+        assert faulty.slowdown_vs(clean.runtime) > 1.0
+
+    def test_reduce_failures_recovered(self, cluster):
+        result = MapReduceEngine(
+            cluster,
+            seed=2,
+            faults=TaskFaultModel(reduce_failure_probability=0.6, seed=0),
+        ).run(small_job(num_reduces=2), hdfs_seed=2)
+        rec = result.recovery
+        assert rec.reduce_failures > 0
+        assert all(r.state is TaskState.DONE for r in result.reduce_records)
+        assert any(r.attempts > 1 for r in result.reduce_records)
+        assert sum(rec.reduce_attempts.values()) == 2
+
+    def test_fetch_failures_retried(self, cluster):
+        result = MapReduceEngine(
+            cluster,
+            seed=2,
+            faults=TaskFaultModel(fetch_failure_probability=0.3, seed=9),
+        ).run(small_job(num_reduces=2), hdfs_seed=2)
+        rec = result.recovery
+        assert rec.fetch_failures > 0
+        assert all(r.state is TaskState.DONE for r in result.reduce_records)
+
+    def test_deterministic_under_fault_seed(self, cluster):
+        def run():
+            return MapReduceEngine(
+                cluster,
+                seed=2,
+                faults=TaskFaultModel(
+                    map_failure_probability=0.3,
+                    reduce_failure_probability=0.2,
+                    fetch_failure_probability=0.1,
+                    seed=13,
+                ),
+            ).run(small_job(num_reduces=2), hdfs_seed=2)
+
+        a, b = run(), run()
+        assert a.runtime == b.runtime
+        assert a.recovery.map_attempts == b.recovery.map_attempts
+        assert a.recovery.wasted_time == b.recovery.wasted_time
+
+    def test_different_fault_seeds_differ(self, cluster):
+        runtimes = set()
+        for fault_seed in range(12):
+            result = MapReduceEngine(
+                cluster,
+                seed=2,
+                faults=TaskFaultModel(
+                    map_failure_probability=0.3, seed=fault_seed
+                ),
+            ).run(small_job(), hdfs_seed=2)
+            runtimes.add(result.runtime)
+        assert len(runtimes) > 1
+
+    def test_max_attempts_exhaustion_aborts(self, cluster):
+        with pytest.raises(JobFailedError):
+            MapReduceEngine(
+                cluster,
+                seed=2,
+                max_attempts=2,
+                faults=TaskFaultModel(map_failure_probability=1.0, seed=3),
+            ).run(small_job(), hdfs_seed=2)
+
+    def test_max_attempts_one_fails_on_first_fault(self, cluster):
+        with pytest.raises(JobFailedError):
+            MapReduceEngine(
+                cluster,
+                seed=2,
+                max_attempts=1,
+                faults=TaskFaultModel(map_failure_probability=0.9, seed=3),
+            ).run(small_job(), hdfs_seed=2)
+
+
+class TestVMDeath:
+    def test_death_invalidates_and_blacklists(self, cluster):
+        clean = MapReduceEngine(cluster, seed=4).run(
+            small_job(num_reduces=2), hdfs_seed=4
+        )
+        # Kill a VM after some maps finished but before the job ends.
+        mid = 0.5 * clean.runtime
+        result = MapReduceEngine(
+            cluster,
+            seed=4,
+            faults=TaskFaultModel(vm_deaths=[(0, mid)], seed=4),
+        ).run(small_job(num_reduces=2), hdfs_seed=4)
+        rec = result.recovery
+        assert rec.vm_deaths == 1
+        assert all(m.state is TaskState.DONE for m in result.map_records)
+        assert all(r.state is TaskState.DONE for r in result.reduce_records)
+        # Nothing may finish on the dead VM after its death.
+        for m in result.map_records:
+            if m.vm_id == 0:
+                assert m.finish_time <= mid
+        assert result.runtime >= clean.runtime
+
+    def test_dead_reducer_relocates(self, cluster):
+        clean = MapReduceEngine(cluster, seed=4, reducer_policy="slots").run(
+            small_job(num_reduces=1), hdfs_seed=4
+        )
+        reducer_vm = clean.reduce_records[0].vm_id
+        result = MapReduceEngine(
+            cluster,
+            seed=4,
+            reducer_policy="slots",
+            faults=TaskFaultModel(
+                vm_deaths=[(reducer_vm, 0.5 * clean.runtime)], seed=4
+            ),
+        ).run(small_job(num_reduces=1), hdfs_seed=4)
+        rec = result.recovery
+        assert rec.reducers_relocated == 1
+        moved = result.reduce_records[0]
+        assert moved.state is TaskState.DONE
+        assert moved.vm_id != reducer_vm
+        assert moved.attempts == 2
+
+    def test_all_vms_dead_aborts(self, cluster):
+        with pytest.raises(JobFailedError):
+            MapReduceEngine(
+                cluster,
+                seed=4,
+                faults=TaskFaultModel(
+                    vm_deaths=[(v, 0.01) for v in range(4)], seed=4
+                ),
+            ).run(small_job(), hdfs_seed=4)
+
+    def test_duplicate_death_events_count_once(self, cluster):
+        clean = MapReduceEngine(cluster, seed=4).run(
+            small_job(num_reduces=2), hdfs_seed=4
+        )
+        t1, t2 = 0.3 * clean.runtime, 0.5 * clean.runtime
+        result = MapReduceEngine(
+            cluster,
+            seed=4,
+            faults=TaskFaultModel(vm_deaths=[(0, t1), (0, t2)], seed=4),
+        ).run(small_job(num_reduces=2), hdfs_seed=4)
+        assert result.recovery.vm_deaths == 1
+
+    def test_death_after_job_end_is_noop(self, cluster):
+        clean = MapReduceEngine(cluster, seed=4).run(small_job(), hdfs_seed=4)
+        result = MapReduceEngine(
+            cluster,
+            seed=4,
+            faults=TaskFaultModel(
+                vm_deaths=[(0, clean.runtime * 100.0)], seed=4
+            ),
+        ).run(small_job(), hdfs_seed=4)
+        assert result.runtime == clean.runtime
+        assert result.recovery.vm_deaths == 0
+
+
+class TestRecoveryReport:
+    def test_attempt_histograms_cover_all_tasks(self, cluster):
+        job = small_job(num_reduces=2)
+        result = MapReduceEngine(
+            cluster,
+            seed=6,
+            faults=TaskFaultModel(
+                map_failure_probability=0.3,
+                reduce_failure_probability=0.3,
+                seed=21,
+            ),
+        ).run(job, hdfs_seed=6)
+        rec = result.recovery
+        assert sum(rec.map_attempts.values()) == len(result.map_records)
+        assert sum(rec.reduce_attempts.values()) == len(result.reduce_records)
+        assert rec.total_task_failures == rec.map_failures + rec.reduce_failures
+        assert rec.total_faults >= rec.total_task_failures
+
+    def test_record_attempts_match_histogram(self, cluster):
+        result = MapReduceEngine(
+            cluster,
+            seed=6,
+            faults=TaskFaultModel(map_failure_probability=0.4, seed=0),
+        ).run(small_job(), hdfs_seed=6)
+        from collections import Counter
+
+        observed = Counter(m.attempts for m in result.map_records)
+        assert dict(observed) == result.recovery.map_attempts
+
+    def test_slowdown_vs_requires_positive_baseline(self, cluster):
+        result = MapReduceEngine(cluster, seed=1).run(small_job(), hdfs_seed=1)
+        with pytest.raises(ValueError):
+            result.slowdown_vs(0.0)

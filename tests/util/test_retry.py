@@ -1,0 +1,103 @@
+"""Tests for the shared exponential-backoff retry policy."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.util.retry import FETCH_RETRY, TASK_RETRY, RetryPolicy
+from repro.util.rng import ensure_rng
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        RetryPolicy()
+
+    def test_base_delay_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(base_delay=0.0)
+
+    def test_factor_must_be_at_least_one(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(factor=0.5)
+
+    def test_max_delay_must_cover_base(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(base_delay=10.0, max_delay=5.0)
+
+    def test_jitter_range(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValidationError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestDelay:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(base_delay=1.0, factor=2.0, max_delay=100.0)
+        assert policy.delay(1) == 1.0
+        assert policy.delay(2) == 2.0
+        assert policy.delay(3) == 4.0
+        assert policy.delay(4) == 8.0
+
+    def test_cap(self):
+        policy = RetryPolicy(base_delay=1.0, factor=10.0, max_delay=50.0)
+        assert policy.delay(5) == 50.0
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy().delay(0)
+
+    def test_jitter_requires_rng(self):
+        policy = RetryPolicy(jitter=0.2)
+        with pytest.raises(ValidationError):
+            policy.delay(1)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=4.0, jitter=0.25)
+        rng = ensure_rng(0)
+        delays = [policy.delay(1, rng=rng) for _ in range(200)]
+        assert all(3.0 <= d <= 5.0 for d in delays)
+        assert min(delays) < 4.0 < max(delays)
+
+    def test_jitter_deterministic_under_seed(self):
+        policy = RetryPolicy(jitter=0.3)
+        a = [policy.delay(i, rng=ensure_rng(7)) for i in range(1, 6)]
+        b = [policy.delay(i, rng=ensure_rng(7)) for i in range(1, 6)]
+        assert a == b
+
+    def test_zero_jitter_ignores_rng_stream(self):
+        rng = ensure_rng(3)
+        before = rng.bit_generator.state["state"]["state"]
+        RetryPolicy().delay(4, rng=rng)
+        assert rng.bit_generator.state["state"]["state"] == before
+
+
+class TestSchedule:
+    def test_schedule_matches_delays(self):
+        policy = RetryPolicy(base_delay=1.0, factor=3.0, max_delay=100.0)
+        assert policy.schedule(3) == [1.0, 3.0, 9.0]
+
+    def test_schedule_empty(self):
+        assert RetryPolicy().schedule(0) == []
+
+    def test_schedule_negative_raises(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy().schedule(-1)
+
+
+class TestSharedPolicies:
+    def test_task_retry_slower_than_fetch_retry(self):
+        assert TASK_RETRY.base_delay > FETCH_RETRY.base_delay
+        assert TASK_RETRY.max_delay > FETCH_RETRY.max_delay
+
+    def test_shared_policies_have_jitter(self):
+        assert TASK_RETRY.jitter > 0
+        assert FETCH_RETRY.jitter > 0
+
+    def test_fetch_retry_is_capped_tightly(self):
+        rng = ensure_rng(0)
+        assert all(
+            FETCH_RETRY.delay(a, rng=rng)
+            <= FETCH_RETRY.max_delay * (1 + FETCH_RETRY.jitter)
+            for a in range(1, 10)
+        )
