@@ -1,0 +1,183 @@
+"""Extension bench: incremental service state vs. per-request full rescan.
+
+The point of :class:`~repro.service.state.ClusterState` is that a long-lived
+allocator never rebuilds pool state: ``L``, ``A``, and the O(n²) distance
+matrix stay warm across requests. The honest baseline is what a *stateless*
+placement server has to do instead — reconstruct the :class:`ResourcePool`
+(which rebuilds the distance matrix) and replay the active-lease ledger on
+every request before it can place.
+
+Both sides run the same Algorithm-1 policy over the same seeded request
+stream at three pool sizes, releasing leases beyond a sliding window so
+utilization stays bounded. Mean and p99 decision latency per size go into
+``benchmarks/results/service_bench.json`` (rewritten on full runs; smoke
+runs — ``SERVICE_BENCH_SMOKE=1`` — shrink the sizes and leave the committed
+numbers alone).
+"""
+
+import functools
+import json
+import os
+import time
+from collections import deque
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.analysis.stats import percentiles
+from repro.cluster import PoolSpec, ResourcePool, VMTypeCatalog, random_pool
+from repro.core import OnlineHeuristic
+from repro.service import (
+    ClusterState,
+    PlaceRequest,
+    PlacementService,
+    ReleaseRequest,
+    ServiceConfig,
+)
+
+from benchmarks.conftest import emit
+
+SMOKE = os.environ.get("SERVICE_BENCH_SMOKE") == "1"
+#: (racks, nodes_per_rack) — 30/90/240 nodes on full runs.
+SIZES = [(2, 4), (3, 6), (4, 8)] if SMOKE else [(3, 10), (6, 15), (12, 20)]
+NUM_REQUESTS = 15 if SMOKE else 60
+WINDOW = 12  # active leases kept; older ones are released
+RESULTS_PATH = Path(__file__).parent / "results" / "service_bench.json"
+
+
+def request_demands(num_types: int, count: int, seed: int):
+    rng = np.random.default_rng(seed)
+    demands = []
+    for _ in range(count):
+        while True:
+            demand = rng.integers(0, 3, size=num_types)
+            if demand.sum() > 0:
+                break
+        demands.append(tuple(int(d) for d in demand))
+    return demands
+
+
+def run_incremental(pool: ResourcePool, demands) -> list[float]:
+    """Decision latencies through the service's warm ClusterState."""
+    service = PlacementService(
+        ClusterState.from_pool(pool),
+        config=ServiceConfig(max_batch=1, enable_transfers=False),
+    )
+    latencies: list[float] = []
+    active: deque[int] = deque()
+    for i, demand in enumerate(demands):
+        start = time.perf_counter()
+        ticket = service.submit(PlaceRequest(demand=demand, request_id=i))
+        service.step()
+        latencies.append(time.perf_counter() - start)
+        if ticket.done and ticket.decision.placed:
+            active.append(i)
+        elif not ticket.done:
+            # Unsatisfiable right now — drop it from the queue so it does
+            # not linger into later steps (the naive side drops it too).
+            service._queue.cancel(i)
+            service._pending.pop(i, None)
+        while len(active) > WINDOW:
+            service.release(ReleaseRequest(request_id=active.popleft()))
+    return latencies
+
+
+def run_naive(pool: ResourcePool, demands) -> list[float]:
+    """Decision latencies for a stateless per-request full-rescan server."""
+    heuristic = OnlineHeuristic()
+    ledger: dict[int, np.ndarray] = {}
+    latencies: list[float] = []
+    active: deque[int] = deque()
+    for i, demand in enumerate(demands):
+        start = time.perf_counter()
+        fresh = ResourcePool(
+            pool.topology, pool.catalog, distance_model=pool.distance_model
+        )
+        for matrix in ledger.values():
+            fresh.allocate(matrix)
+        allocation = (
+            heuristic.place(list(demand), fresh)
+            if fresh.can_satisfy(np.asarray(demand))
+            else None
+        )
+        latencies.append(time.perf_counter() - start)
+        if allocation is not None:
+            ledger[i] = allocation.matrix
+            active.append(i)
+        while len(active) > WINDOW:
+            del ledger[active.popleft()]
+    return latencies
+
+
+def run_comparison():
+    catalog = VMTypeCatalog.ec2_default()
+    records = []
+    for racks, nodes_per_rack in SIZES:
+        pool = random_pool(
+            PoolSpec(racks=racks, nodes_per_rack=nodes_per_rack,
+                     capacity_high=4),
+            catalog,
+            seed=29,
+        )
+        demands = request_demands(pool.num_types, NUM_REQUESTS, seed=31)
+        naive = run_naive(pool, demands)
+        incremental = run_incremental(pool, demands)
+        naive_p = percentiles(naive, points=(50.0, 99.0))
+        inc_p = percentiles(incremental, points=(50.0, 99.0))
+        records.append(
+            {
+                "nodes": pool.num_nodes,
+                "requests": NUM_REQUESTS,
+                "naive_mean_ms": float(np.mean(naive)) * 1000,
+                "naive_p50_ms": naive_p[50.0] * 1000,
+                "naive_p99_ms": naive_p[99.0] * 1000,
+                "incremental_mean_ms": float(np.mean(incremental)) * 1000,
+                "incremental_p50_ms": inc_p[50.0] * 1000,
+                "incremental_p99_ms": inc_p[99.0] * 1000,
+                "speedup": float(np.mean(naive) / np.mean(incremental)),
+            }
+        )
+    return records
+
+
+def test_incremental_state_beats_full_rescan(benchmark):
+    records = benchmark.pedantic(
+        functools.partial(run_comparison), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            rec["nodes"],
+            f"{rec['naive_mean_ms']:.3f}",
+            f"{rec['naive_p99_ms']:.3f}",
+            f"{rec['incremental_mean_ms']:.3f}",
+            f"{rec['incremental_p99_ms']:.3f}",
+            f"{rec['speedup']:.1f}x",
+        ]
+        for rec in records
+    ]
+    emit(
+        "Extension — placement service: incremental state vs. full rescan",
+        format_table(
+            [
+                "nodes",
+                "rescan mean (ms)",
+                "rescan p99 (ms)",
+                "service mean (ms)",
+                "service p99 (ms)",
+                "speedup",
+            ],
+            rows,
+        ),
+    )
+    if not SMOKE:
+        RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+        RESULTS_PATH.write_text(
+            json.dumps({"window": WINDOW, "sizes": records}, indent=1)
+        )
+    # The incremental state must win where it matters: the largest pool,
+    # where the naive side's O(n²) distance rebuild dominates.
+    largest = records[-1]
+    assert largest["incremental_mean_ms"] < largest["naive_mean_ms"]
+    # And the advantage should grow with pool size, not shrink.
+    assert records[-1]["speedup"] >= records[0]["speedup"] * 0.5

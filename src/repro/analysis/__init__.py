@@ -1,6 +1,6 @@
 """Analysis helpers: summary statistics and table rendering."""
 
-from repro.analysis.stats import Summary, geometric_mean, percent_change
+from repro.analysis.stats import Summary, geometric_mean, percent_change, percentiles
 from repro.analysis.tables import format_series, format_table
 from repro.analysis.charts import bar_chart, grouped_series, sparkline
 from repro.analysis.bootstrap import (
@@ -16,6 +16,7 @@ __all__ = [
     "Summary",
     "geometric_mean",
     "percent_change",
+    "percentiles",
     "format_series",
     "format_table",
     "bar_chart",

@@ -36,6 +36,22 @@ class Summary:
         )
 
 
+def percentiles(values, points=(50.0, 95.0, 99.0)) -> dict[float, float]:
+    """Percentile summary of a series (linear interpolation).
+
+    Returns ``{point: value}`` for each requested *point*; an empty series
+    maps every point to 0.0 (latency/wait reports over zero samples).
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    pts = [float(p) for p in points]
+    if any(not 0.0 <= p <= 100.0 for p in pts):
+        raise ValidationError(f"percentile points must lie in [0, 100]: {pts}")
+    if arr.size == 0:
+        return {p: 0.0 for p in pts}
+    computed = np.percentile(arr, pts)
+    return {p: float(v) for p, v in zip(pts, computed)}
+
+
 def percent_change(baseline: float, improved: float) -> float:
     """Relative improvement of *improved* over *baseline*, in percent.
 

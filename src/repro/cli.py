@@ -8,6 +8,8 @@ Usage::
     python -m repro fig7 --chart    # runtime bars per cluster distance
     python -m repro ablations
     python -m repro simulate --requests 200 --policy heuristic
+    python -m repro serve --port 8571        # online placement service (TCP)
+    python -m repro loadgen --requests 500 --mode open --rate 1000
 
 Every command accepts ``--seed`` for reproducibility; figures default to the
 seed-pinned paper configuration.
@@ -207,14 +209,130 @@ def _cmd_simulate(args) -> int:
             ["placed", stats.placed],
             ["refused", stats.refused],
             ["queue-rejected", stats.queue_rejected],
+            ["acceptance rate", result.acceptance_rate],
             ["mean cluster distance", stats.mean_distance],
             ["mean wait (s)", stats.mean_wait],
+            ["wait p50 (s)", result.wait_p50],
+            ["wait p95 (s)", result.wait_p95],
+            ["wait p99 (s)", result.wait_p99],
             ["mean utilization", result.mean_utilization],
             ["makespan (s)", result.makespan],
         ],
         title=f"Cloud simulation — policy={args.policy}"
         + (" + Algorithm 2 drains" if args.batch else ""),
     ))
+    return 0
+
+
+def _build_service(args):
+    from repro.cluster import PoolSpec, random_pool
+    from repro.core import OnlineHeuristic
+    from repro.service import ClusterState, PlacementService, ServiceConfig
+
+    pool = random_pool(
+        PoolSpec(racks=args.racks, nodes_per_rack=args.nodes,
+                 capacity_high=args.capacity),
+        cfg.CATALOG,
+        seed=args.seed,
+        distance_model=cfg.DISTANCES,
+    )
+    config = ServiceConfig(
+        queue_capacity=args.queue_capacity,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        enable_transfers=not args.no_transfers,
+        max_wait=args.max_wait,
+    )
+    state = ClusterState.from_pool(pool)
+    return PlacementService(state, policy=OnlineHeuristic(), config=config)
+
+
+def _cmd_serve(args) -> int:
+    import time
+
+    from repro.service import ServiceEndpoint, save_checkpoint
+
+    service = _build_service(args)
+    endpoint = ServiceEndpoint(service, host=args.host, port=args.port)
+    endpoint.start()
+    host, port = endpoint.address
+    print(f"placement service listening on {host}:{port} "
+          f"({service.state.num_nodes} nodes, "
+          f"batch window {args.batch_window*1000:.1f} ms)")
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\ndraining...")
+    finally:
+        endpoint.stop()
+        if args.checkpoint:
+            save_checkpoint(args.checkpoint, service.state)
+            print(f"wrote checkpoint to {args.checkpoint}")
+    stats = service.stats
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["submitted", stats.submitted],
+            ["placed", stats.placed],
+            ["refused", stats.refused],
+            ["rejected", stats.rejected],
+            ["released", stats.released],
+            ["acceptance rate", stats.acceptance_rate],
+            ["mean cluster distance", stats.mean_distance],
+            ["transfer gain", stats.transfer_gain],
+        ],
+        title="Placement service — final stats",
+    ))
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.service import LoadGenConfig, run_loadgen
+
+    service = _build_service(args)
+    service.start()
+    config = LoadGenConfig(
+        num_requests=args.requests,
+        mode=args.mode,
+        rate=args.rate,
+        concurrency=args.concurrency,
+        mean_hold=args.hold,
+        demand_high=args.demand_high,
+        seed=args.seed,
+    )
+    try:
+        report = run_loadgen(service, config)
+    finally:
+        service.drain()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["mode", report.mode],
+            ["submitted", report.submitted],
+            ["placed", report.placed],
+            ["refused", report.refused],
+            ["rejected", report.rejected],
+            ["timed out", report.timed_out],
+            ["acceptance rate", report.acceptance_rate],
+            ["throughput (req/s)", report.throughput],
+            ["latency p50 (ms)", report.latency_p50 * 1000],
+            ["latency p95 (ms)", report.latency_p95 * 1000],
+            ["latency p99 (ms)", report.latency_p99 * 1000],
+            ["mean cluster distance", report.mean_distance],
+            ["transfer gain", report.transfer_gain],
+        ],
+        title=f"Load generator — {report.mode}-loop over in-process service",
+    ))
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(json.dumps(report.to_dict(), indent=1))
+        print(f"wrote report to {args.json}")
     return 0
 
 
@@ -313,6 +431,42 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--policy", default="heuristic")
     ps.add_argument("--batch", action="store_true",
                     help="drain the queue with Algorithm 2 batches")
+    def add_service_args(p):
+        p.add_argument("--racks", type=int, default=3)
+        p.add_argument("--nodes", type=int, default=10)
+        p.add_argument("--capacity", type=int, default=4)
+        p.add_argument("--queue-capacity", type=int, default=256)
+        p.add_argument("--batch-window", type=float, default=0.005,
+                       help="seconds the scheduler waits to coalesce arrivals")
+        p.add_argument("--max-batch", type=int, default=64)
+        p.add_argument("--max-wait", type=float, default=None,
+                       help="time out queued requests after this many seconds")
+        p.add_argument("--no-transfers", action="store_true",
+                       help="skip the Algorithm-2 transfer phase on batches")
+
+    pserve = add("serve", _cmd_serve, "run the online placement service (TCP)")
+    add_service_args(pserve)
+    pserve.add_argument("--host", default="127.0.0.1")
+    pserve.add_argument("--port", type=int, default=0,
+                        help="listen port (0 = ephemeral)")
+    pserve.add_argument("--duration", type=float, default=None,
+                        help="serve for this many seconds, then drain and exit")
+    pserve.add_argument("--checkpoint",
+                        help="write a state checkpoint to this file on shutdown")
+
+    pl = add("loadgen", _cmd_loadgen, "drive an in-process service with load")
+    add_service_args(pl)
+    pl.add_argument("--requests", type=int, default=200)
+    pl.add_argument("--mode", choices=["open", "closed"], default="open")
+    pl.add_argument("--rate", type=float, default=500.0,
+                    help="open-loop offered arrival rate (req/s)")
+    pl.add_argument("--concurrency", type=int, default=8,
+                    help="closed-loop in-flight requests")
+    pl.add_argument("--hold", type=float, default=0.05,
+                    help="mean lease holding time (s)")
+    pl.add_argument("--demand-high", type=int, default=3)
+    pl.add_argument("--json", help="also write the report as JSON to this file")
+
     pr = add("report", _cmd_report, "run every experiment, emit a markdown report")
     pr.add_argument("--out", help="write the report to this file (default: stdout)")
     pr.add_argument("--trials", type=int, default=5)

@@ -50,9 +50,11 @@ class RequestQueue:
             )
         self.capacity = capacity
         self.discipline = discipline
-        self._items: deque[TimedRequest] = deque()
+        # Each entry carries its own submission sequence number so duplicate
+        # request ids (resubmissions) stay individually ordered — a shared
+        # id → seq map would be corrupted by cancel-then-drain interleavings.
+        self._items: deque[tuple[int, TimedRequest]] = deque()
         self._seq = 0
-        self._order: dict[int, int] = {}  # request_id -> submission sequence
 
     def __len__(self) -> int:
         return len(self._items)
@@ -68,25 +70,27 @@ class RequestQueue:
         """Enqueue *request*; returns ``False`` when the queue is full."""
         if self.is_full:
             return False
-        self._items.append(request)
-        self._order[request.request_id] = self._seq
+        self._items.append((self._seq, request))
         self._seq += 1
         return True
 
     def cancel(self, request_id: int) -> bool:
-        """Remove a queued request ("users can also cancel their jobs")."""
-        for item in self._items:
-            if item.request_id == request_id:
-                self._items.remove(item)
-                self._order.pop(request_id, None)
+        """Remove a queued request ("users can also cancel their jobs").
+
+        Removes the oldest queued entry with *request_id*; later entries
+        sharing the id (resubmissions) keep their place.
+        """
+        for entry in self._items:
+            if entry[1].request_id == request_id:
+                self._items.remove(entry)
                 return True
         return False
 
     def _ordered(self) -> list[TimedRequest]:
-        items = list(self._items)
+        entries = list(self._items)
         if self.discipline == QueueDiscipline.PRIORITY:
-            items.sort(key=lambda r: (r.priority, self._order[r.request_id]))
-        return items
+            entries.sort(key=lambda e: (e[1].priority, e[0]))
+        return [request for _, request in entries]
 
     def peek_admissible(self, available: np.ndarray) -> list[TimedRequest]:
         """The paper's ``getRequests``: a jointly satisfiable batch.
@@ -105,8 +109,19 @@ class RequestQueue:
         return batch
 
     def remove_batch(self, batch: list[TimedRequest]) -> None:
-        """Dequeue every request in *batch* (after successful placement)."""
-        ids = {r.request_id for r in batch}
-        self._items = deque(r for r in self._items if r.request_id not in ids)
-        for rid in ids:
-            self._order.pop(rid, None)
+        """Dequeue every request in *batch* (after successful placement).
+
+        Matches one queue entry per batch member, oldest first, so duplicate
+        ids don't over-remove resubmitted requests.
+        """
+        counts: dict[int, int] = {}
+        for request in batch:
+            counts[request.request_id] = counts.get(request.request_id, 0) + 1
+        kept: deque[tuple[int, TimedRequest]] = deque()
+        for entry in self._items:
+            rid = entry[1].request_id
+            if counts.get(rid, 0) > 0:
+                counts[rid] -= 1
+            else:
+                kept.append(entry)
+        self._items = kept

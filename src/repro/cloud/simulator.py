@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.stats import percentiles
 from repro.util.events import EventQueue
 from repro.cloud.provider import CloudProvider, ProviderStats
 from repro.cloud.request import TimedRequest
@@ -50,6 +51,30 @@ class SimulationResult:
         if not self.utilization:
             return 0.0
         return float(np.mean([s.utilization for s in self.utilization]))
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of submitted requests that were placed (0 if none)."""
+        if not self.stats.submitted:
+            return 0.0
+        return self.stats.placed / self.stats.submitted
+
+    @property
+    def wait_percentiles(self) -> dict[float, float]:
+        """p50/p95/p99 of per-request queueing delay (zeros when empty)."""
+        return percentiles(self.waits)
+
+    @property
+    def wait_p50(self) -> float:
+        return self.wait_percentiles[50.0]
+
+    @property
+    def wait_p95(self) -> float:
+        return self.wait_percentiles[95.0]
+
+    @property
+    def wait_p99(self) -> float:
+        return self.wait_percentiles[99.0]
 
 
 class CloudSimulator:

@@ -1,0 +1,84 @@
+"""Online placement service: the long-lived serving layer.
+
+The paper frames Algorithm 1 as an *online* procedure — "requests arrive
+randomly, their service time are also random" — but the rest of this package
+exercises it through one-shot batch simulations. This subpackage adds the
+missing serving layer: a long-lived allocator daemon that keeps incremental
+cluster state between requests, admits or rejects arrivals under bounded
+queueing, groups concurrent arrivals into batches optimized with Algorithm 2's
+pairwise transfers, checkpoints its state for restart, and ships with a load
+generator for latency/throughput measurement.
+
+Modules
+-------
+``state``
+    :class:`ClusterState` — a :class:`~repro.cluster.resources.ResourcePool`
+    with incrementally maintained free-capacity/rack aggregates, a lease
+    ledger, and versioned snapshots.
+``api``
+    Typed request/decision dataclasses and the JSON wire codec.
+``server``
+    :class:`PlacementService` — admission control, batching window, transfer
+    optimization, graceful drain.
+``checkpoint``
+    JSON snapshot/restore of the full allocator state.
+``transport``
+    Line-delimited-JSON TCP endpoint and client (stdlib only).
+``loadgen``
+    Open-loop Poisson and closed-loop load generators with latency
+    percentiles.
+"""
+
+from repro.service.api import (
+    DecisionStatus,
+    PlaceRequest,
+    PlacementDecision,
+    ReleaseRequest,
+    ReleaseResponse,
+    decode_message,
+    encode_message,
+)
+from repro.service.state import ClusterState, StateSnapshot
+from repro.service.server import (
+    PlacementService,
+    ServiceConfig,
+    ServiceStats,
+    Ticket,
+)
+from repro.service.checkpoint import (
+    CHECKPOINT_VERSION,
+    checkpoint_bytes,
+    checkpoint_to_dict,
+    load_checkpoint,
+    save_checkpoint,
+    state_from_checkpoint,
+)
+from repro.service.transport import ServiceClient, ServiceEndpoint
+from repro.service.loadgen import LoadGenConfig, LoadReport, run_loadgen
+
+__all__ = [
+    "DecisionStatus",
+    "PlaceRequest",
+    "PlacementDecision",
+    "ReleaseRequest",
+    "ReleaseResponse",
+    "decode_message",
+    "encode_message",
+    "ClusterState",
+    "StateSnapshot",
+    "PlacementService",
+    "ServiceConfig",
+    "ServiceStats",
+    "Ticket",
+    "CHECKPOINT_VERSION",
+    "checkpoint_bytes",
+    "checkpoint_to_dict",
+    "load_checkpoint",
+    "save_checkpoint",
+    "state_from_checkpoint",
+    "ServiceClient",
+    "ServiceEndpoint",
+    "LoadGenConfig",
+    "LoadReport",
+    "run_loadgen",
+]

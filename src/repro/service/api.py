@@ -1,0 +1,200 @@
+"""Typed service API: requests, decisions, and the JSON wire codec.
+
+The service speaks four message kinds — ``place``, ``decision``, ``release``,
+``release_response`` — each a frozen dataclass with an
+:func:`encode_message`/:func:`decode_message` JSON codec. Allocations travel
+as sparse ``[node, type, count]`` triples so wire size scales with the
+cluster's footprint, not the pool's node count.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import Allocation, VirtualClusterRequest
+from repro.util.errors import ValidationError
+
+
+class DecisionStatus:
+    """Terminal outcomes a submitted request can reach."""
+
+    #: Allocation committed; the decision carries the placement.
+    PLACED = "placed"
+    #: Demand exceeds the pool's *maximum* capacity — can never be served.
+    REFUSED = "refused"
+    #: Admission control shed the request (wait queue at capacity).
+    REJECTED = "rejected"
+    #: The request waited longer than the configured ``max_wait``.
+    TIMEOUT = "timeout"
+    #: The service drained/shut down before the request could be placed.
+    DROPPED = "dropped"
+    #: Release outcomes.
+    RELEASED = "released"
+    UNKNOWN_LEASE = "unknown_lease"
+
+    TERMINAL_PLACE = (PLACED, REFUSED, REJECTED, TIMEOUT, DROPPED)
+
+
+@dataclass(frozen=True)
+class PlaceRequest:
+    """A placement request as it arrives on the wire.
+
+    ``request_id`` is auto-assigned (via the core request counter) when
+    negative, mirroring :class:`~repro.core.problem.VirtualClusterRequest`.
+    """
+
+    demand: tuple[int, ...]
+    request_id: int = -1
+    priority: int = 0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        demand = tuple(int(d) for d in self.demand)
+        if not demand or any(d < 0 for d in demand) or sum(demand) == 0:
+            raise ValidationError(
+                f"demand must be non-negative with at least one VM, got {demand}"
+            )
+        object.__setattr__(self, "demand", demand)
+        if self.request_id < 0:
+            core = VirtualClusterRequest(demand=list(demand), tag=self.tag)
+            object.__setattr__(self, "request_id", core.request_id)
+
+    def to_core(self) -> VirtualClusterRequest:
+        """The core request object placement algorithms consume."""
+        return VirtualClusterRequest(
+            demand=list(self.demand), request_id=self.request_id, tag=self.tag
+        )
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """The service's verdict on one :class:`PlaceRequest`.
+
+    ``placements`` is the sparse allocation — ``(node, vm_type, count)``
+    triples — present only for :data:`DecisionStatus.PLACED`. ``latency`` is
+    the submit-to-decision time in seconds as measured by the service.
+    """
+
+    request_id: int
+    status: str
+    placements: tuple[tuple[int, int, int], ...] = ()
+    center: int = -1
+    distance: float = 0.0
+    latency: float = 0.0
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in DecisionStatus.TERMINAL_PLACE:
+            raise ValidationError(f"invalid decision status {self.status!r}")
+        placements = tuple(
+            (int(n), int(t), int(c)) for n, t, c in self.placements
+        )
+        object.__setattr__(self, "placements", placements)
+
+    @property
+    def placed(self) -> bool:
+        return self.status == DecisionStatus.PLACED
+
+    def allocation_matrix(self, num_nodes: int, num_types: int) -> np.ndarray:
+        """Densify the sparse placement into an ``n × m`` matrix."""
+        matrix = np.zeros((num_nodes, num_types), dtype=np.int64)
+        for node, vm_type, count in self.placements:
+            matrix[node, vm_type] += count
+        return matrix
+
+
+@dataclass(frozen=True)
+class ReleaseRequest:
+    """Ask the service to free the lease held by ``request_id``."""
+
+    request_id: int
+
+
+@dataclass(frozen=True)
+class ReleaseResponse:
+    """Outcome of a release: ``released`` or ``unknown_lease``."""
+
+    request_id: int
+    status: str
+    freed_vms: int = 0
+
+    def __post_init__(self) -> None:
+        if self.status not in (DecisionStatus.RELEASED, DecisionStatus.UNKNOWN_LEASE):
+            raise ValidationError(f"invalid release status {self.status!r}")
+
+    @property
+    def released(self) -> bool:
+        return self.status == DecisionStatus.RELEASED
+
+
+# ------------------------------------------------------------------- codec
+
+def allocation_to_placements(allocation: Allocation) -> tuple[tuple[int, int, int], ...]:
+    """Sparse ``(node, type, count)`` triples for an allocation matrix."""
+    matrix = allocation.matrix
+    return tuple(
+        (int(i), int(j), int(matrix[i, j])) for i, j in np.argwhere(matrix > 0)
+    )
+
+
+def decision_from_allocation(
+    request_id: int, allocation: Allocation, *, latency: float = 0.0
+) -> PlacementDecision:
+    """Build a ``placed`` decision from a committed allocation."""
+    return PlacementDecision(
+        request_id=request_id,
+        status=DecisionStatus.PLACED,
+        placements=allocation_to_placements(allocation),
+        center=allocation.center,
+        distance=allocation.distance,
+        latency=latency,
+    )
+
+
+_KINDS = {
+    "place": PlaceRequest,
+    "decision": PlacementDecision,
+    "release": ReleaseRequest,
+    "release_response": ReleaseResponse,
+}
+_KIND_OF = {cls: kind for kind, cls in _KINDS.items()}
+
+
+def encode_message(message) -> str:
+    """Serialize one API dataclass to a single-line JSON string."""
+    kind = _KIND_OF.get(type(message))
+    if kind is None:
+        raise ValidationError(f"cannot encode {type(message).__name__} messages")
+    doc = {"kind": kind}
+    for name in message.__dataclass_fields__:
+        value = getattr(message, name)
+        if isinstance(value, tuple):
+            value = [list(v) if isinstance(v, tuple) else v for v in value]
+        doc[name] = value
+    return json.dumps(doc, separators=(",", ":"))
+
+
+def decode_message(line: str):
+    """Parse a line produced by :func:`encode_message` back to its dataclass."""
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"not a valid service message: {exc}") from exc
+    if not isinstance(doc, dict) or "kind" not in doc:
+        raise ValidationError("service message must be an object with a 'kind'")
+    kind = doc.pop("kind")
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise ValidationError(f"unknown message kind {kind!r}")
+    fields = set(cls.__dataclass_fields__)
+    unknown = set(doc) - fields
+    if unknown:
+        raise ValidationError(f"unknown fields for {kind!r}: {sorted(unknown)}")
+    if "demand" in doc:
+        doc["demand"] = tuple(doc["demand"])
+    if "placements" in doc:
+        doc["placements"] = tuple(tuple(p) for p in doc["placements"])
+    return cls(**doc)

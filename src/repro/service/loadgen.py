@@ -1,0 +1,248 @@
+"""Load generators for the placement service.
+
+Two standard shapes from serving-systems practice:
+
+* **open-loop** — arrivals follow a Poisson process at a fixed offered rate,
+  independent of how fast the service answers (the honest way to measure
+  latency under load: a slow server cannot slow the arrival clock down);
+* **closed-loop** — a fixed number of workers each keep exactly one request
+  in flight (submit → decision → hold → release → repeat), which measures
+  sustainable throughput at bounded concurrency.
+
+Both report throughput, acceptance rate, decision-latency percentiles
+(p50/p95/p99), and the mean committed cluster distance. Placed leases are
+held for an exponential service time and then released, so the generator
+exercises the allocate *and* release paths and the pool reaches a steady
+state instead of simply filling up.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.analysis.stats import percentiles
+from repro.service.api import DecisionStatus, PlaceRequest, ReleaseRequest
+from repro.service.server import PlacementService, Ticket
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+OPEN_LOOP = "open"
+CLOSED_LOOP = "closed"
+
+
+@dataclass(frozen=True, slots=True)
+class LoadGenConfig:
+    """Workload shape for one :func:`run_loadgen` run.
+
+    ``rate`` is the offered arrival rate (requests/second) in open-loop
+    mode; ``concurrency`` is the worker count in closed-loop mode.
+    ``mean_hold`` is the mean of the exponential lease holding time —
+    placed clusters are released that long after their decision.
+    """
+
+    num_requests: int = 200
+    mode: str = OPEN_LOOP
+    rate: float = 500.0
+    concurrency: int = 8
+    mean_hold: float = 0.05
+    demand_low: int = 0
+    demand_high: int = 3
+    decision_timeout: float = 30.0
+    seed: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in (OPEN_LOOP, CLOSED_LOOP):
+            raise ValidationError(
+                f"mode must be {OPEN_LOOP!r} or {CLOSED_LOOP!r}, got {self.mode!r}"
+            )
+        if self.num_requests < 1:
+            raise ValidationError("num_requests must be >= 1")
+        if self.rate <= 0 or self.mean_hold <= 0:
+            raise ValidationError("rate and mean_hold must be > 0")
+        if self.concurrency < 1:
+            raise ValidationError("concurrency must be >= 1")
+        if not 0 <= self.demand_low <= self.demand_high:
+            raise ValidationError(
+                "need 0 <= demand_low <= demand_high, got "
+                f"({self.demand_low}, {self.demand_high})"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class LoadReport:
+    """Measured outcome of one load-generation run."""
+
+    mode: str
+    submitted: int
+    placed: int
+    refused: int
+    rejected: int
+    timed_out: int
+    dropped: int
+    duration: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    mean_distance: float
+    transfer_gain: float
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.placed / self.submitted if self.submitted else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Terminal decisions per second over the run."""
+        return self.submitted / self.duration if self.duration > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        doc = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        doc["acceptance_rate"] = self.acceptance_rate
+        doc["throughput"] = self.throughput
+        return doc
+
+
+class _Releaser:
+    """Background thread returning placed leases after their holding time."""
+
+    def __init__(self, service: PlacementService) -> None:
+        self._service = service
+        self._heap: list[tuple[float, int]] = []
+        self._cv = threading.Condition()
+        self._done = False
+        self._thread = threading.Thread(
+            target=self._run, name="loadgen-releaser", daemon=True
+        )
+        self._thread.start()
+
+    def schedule(self, request_id: int, hold: float) -> None:
+        with self._cv:
+            heapq.heappush(self._heap, (time.monotonic() + hold, request_id))
+            self._cv.notify()
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                while not self._heap and not self._done:
+                    self._cv.wait()
+                if not self._heap and self._done:
+                    return
+                due, request_id = self._heap[0]
+                wait = due - time.monotonic()
+                if wait > 0:
+                    self._cv.wait(timeout=wait)
+                    continue
+                heapq.heappop(self._heap)
+            self._service.release(ReleaseRequest(request_id=request_id))
+
+    def finish(self) -> None:
+        """Release everything still scheduled, then stop."""
+        with self._cv:
+            pending = [rid for _, rid in self._heap]
+            self._heap.clear()
+            self._done = True
+            self._cv.notify()
+        self._thread.join(timeout=5.0)
+        for request_id in pending:
+            self._service.release(ReleaseRequest(request_id=request_id))
+
+
+def _random_demands(config: LoadGenConfig, num_types: int, rng):
+    demands = []
+    for _ in range(config.num_requests):
+        while True:
+            demand = rng.integers(
+                config.demand_low, config.demand_high + 1, size=num_types
+            )
+            if demand.sum() > 0:
+                break
+        demands.append(tuple(int(d) for d in demand))
+    return demands
+
+
+def run_loadgen(service: PlacementService, config: LoadGenConfig) -> LoadReport:
+    """Drive *service* with the configured workload and measure it.
+
+    The service's background loop must already be running (:meth:`start`);
+    leases placed by the run are released by a background releaser as their
+    holding time elapses (keeping the pool in steady state), and any still
+    held at the end are drained so the pool returns to its pre-run
+    utilization.
+    """
+    if not service.running:
+        raise ValidationError("start the service before running the load generator")
+    rng = ensure_rng(config.seed)
+    demands = _random_demands(config, service.state.num_types, rng)
+    holds = [float(rng.exponential(config.mean_hold)) + 1e-6 for _ in demands]
+    releaser = _Releaser(service)
+
+    def release_on_placement(hold: float):
+        def callback(decision) -> None:
+            if decision is not None and decision.placed:
+                releaser.schedule(decision.request_id, hold)
+        return callback
+
+    started = time.monotonic()
+    if config.mode == OPEN_LOOP:
+        gaps = [float(rng.exponential(1.0 / config.rate)) for _ in demands]
+        tickets: list[Ticket] = []
+        for demand, gap, hold in zip(demands, gaps, holds):
+            time.sleep(gap)
+            ticket = service.submit(PlaceRequest(demand=demand))
+            ticket.add_done_callback(release_on_placement(hold))
+            tickets.append(ticket)
+        decisions = [t.result(timeout=config.decision_timeout) for t in tickets]
+    else:
+        decisions = [None] * len(demands)
+        next_index = 0
+        index_lock = threading.Lock()
+
+        def worker() -> None:
+            nonlocal next_index
+            while True:
+                with index_lock:
+                    if next_index >= len(demands):
+                        return
+                    i = next_index
+                    next_index += 1
+                ticket = service.submit(PlaceRequest(demand=demands[i]))
+                ticket.add_done_callback(release_on_placement(holds[i]))
+                decisions[i] = ticket.result(timeout=config.decision_timeout)
+
+        workers = [
+            threading.Thread(target=worker, name=f"loadgen-{w}", daemon=True)
+            for w in range(config.concurrency)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+
+    duration = time.monotonic() - started
+    counts = {status: 0 for status in DecisionStatus.TERMINAL_PLACE}
+    latencies: list[float] = []
+    for decision in decisions:
+        if decision is None:
+            continue
+        counts[decision.status] += 1
+        latencies.append(decision.latency)
+    releaser.finish()
+    pcts = percentiles(latencies)
+    return LoadReport(
+        mode=config.mode,
+        submitted=len(demands),
+        placed=counts[DecisionStatus.PLACED],
+        refused=counts[DecisionStatus.REFUSED],
+        rejected=counts[DecisionStatus.REJECTED],
+        timed_out=counts[DecisionStatus.TIMEOUT],
+        dropped=counts[DecisionStatus.DROPPED],
+        duration=duration,
+        latency_p50=pcts[50.0],
+        latency_p95=pcts[95.0],
+        latency_p99=pcts[99.0],
+        mean_distance=service.stats.mean_distance,
+        transfer_gain=service.stats.transfer_gain,
+    )

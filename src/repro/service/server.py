@@ -1,0 +1,477 @@
+"""The placement service: a long-lived allocator daemon.
+
+:class:`PlacementService` wraps a :class:`~repro.service.state.ClusterState`
+behind the serving loop the paper's online setting implies:
+
+* **Admission control** — requests whose demand exceeds maximum pool capacity
+  are refused outright (the paper's "refuse" outcome); when the bounded wait
+  queue is full, arrivals are rejected with backpressure instead of queueing
+  unboundedly.
+* **Batching window** — the scheduler loop sleeps ``batch_window`` seconds
+  after traffic appears so concurrent arrivals coalesce, then runs one
+  :meth:`PlacementService.step`: the jointly satisfiable batch (the paper's
+  ``getRequests``) is placed sequentially with Algorithm 1, and batches of
+  two or more allocations go through Algorithm 2's pairwise Theorem-2
+  transfer phase. Transfers are applied only when they strictly shrink the
+  summed distance, so batching never does worse than per-request placement.
+* **Graceful drain** — :meth:`drain` stops admission, keeps stepping until
+  the queue empties or a deadline passes, and resolves whatever remains as
+  ``dropped`` so no caller is left hanging.
+
+The scheduler is exposed both as an explicit :meth:`step` (deterministic,
+used by tests and benchmarks) and as a background thread
+(:meth:`start`/:meth:`stop`) for live serving; both run the same code path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.cloud.queue import QueueDiscipline, RequestQueue
+from repro.cloud.request import TimedRequest
+from repro.core.placement.greedy import OnlineHeuristic
+from repro.core.placement.transfer import transfer_pair
+from repro.service.api import (
+    DecisionStatus,
+    PlaceRequest,
+    PlacementDecision,
+    ReleaseRequest,
+    ReleaseResponse,
+    decision_from_allocation,
+)
+from repro.service.state import ClusterState
+from repro.util.errors import ValidationError
+
+#: Sentinel duration for queue entries — the service learns true holding
+#: times only when the client releases, so the queue's duration field is
+#: never consulted.
+_UNKNOWN_DURATION = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Tunables for one :class:`PlacementService`.
+
+    ``batch_window`` only affects the background loop (how long it waits for
+    concurrent arrivals to coalesce); ``max_batch`` caps how many requests a
+    single :meth:`~PlacementService.step` may place — ``max_batch=1``
+    degenerates to pure per-request Algorithm-1 serving.
+    """
+
+    queue_capacity: int = 256
+    discipline: str = QueueDiscipline.FIFO
+    batch_window: float = 0.005
+    max_batch: int = 64
+    enable_transfers: bool = True
+    max_wait: float | None = None
+    transfer_rounds: int = 10
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValidationError("queue_capacity must be >= 1")
+        if self.batch_window < 0:
+            raise ValidationError("batch_window must be >= 0")
+        if self.max_batch < 1:
+            raise ValidationError("max_batch must be >= 1")
+        if self.max_wait is not None and self.max_wait <= 0:
+            raise ValidationError("max_wait must be > 0 when set")
+        if self.transfer_rounds < 1:
+            raise ValidationError("transfer_rounds must be >= 1")
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate serving outcomes since service construction."""
+
+    submitted: int = 0
+    placed: int = 0
+    refused: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+    dropped: int = 0
+    released: int = 0
+    batches: int = 0
+    transfer_exchanges: int = 0
+    transfer_gain: float = 0.0
+    total_distance: float = 0.0
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Placed fraction of all submissions (0 when nothing submitted)."""
+        return self.placed / self.submitted if self.submitted else 0.0
+
+    @property
+    def mean_distance(self) -> float:
+        """Average committed cluster distance (post-transfer)."""
+        return self.total_distance / self.placed if self.placed else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (for the transport's ``stats`` op)."""
+        doc = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        doc["acceptance_rate"] = self.acceptance_rate
+        doc["mean_distance"] = self.mean_distance
+        return doc
+
+
+class Ticket:
+    """Handle for one in-flight placement request.
+
+    The service resolves the ticket exactly once with a terminal
+    :class:`~repro.service.api.PlacementDecision`; :meth:`result` blocks
+    until then.
+    """
+
+    __slots__ = ("request_id", "_event", "_decision", "_callbacks", "_cb_lock")
+
+    def __init__(self, request_id: int) -> None:
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._decision: PlacementDecision | None = None
+        self._callbacks: list = []
+        self._cb_lock = threading.Lock()
+
+    def _resolve(self, decision: PlacementDecision) -> None:
+        with self._cb_lock:
+            self._decision = decision
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(decision)
+
+    def add_done_callback(self, callback) -> None:
+        """Run ``callback(decision)`` on resolution (immediately if done)."""
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self._decision)
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def decision(self) -> PlacementDecision | None:
+        """The terminal decision, or ``None`` while still pending."""
+        return self._decision
+
+    def result(self, timeout: float | None = None) -> PlacementDecision | None:
+        """Wait for the decision; ``None`` if *timeout* expires first."""
+        if self._event.wait(timeout):
+            return self._decision
+        return None
+
+
+class PlacementService:
+    """Long-lived online placement daemon over a :class:`ClusterState`.
+
+    Parameters
+    ----------
+    state:
+        The incremental allocator state (owned by the service).
+    policy:
+        Single-request placement algorithm (default: Algorithm 1 with
+        ``stop="best"``).
+    config:
+        Serving tunables; see :class:`ServiceConfig`.
+    """
+
+    def __init__(
+        self,
+        state: ClusterState,
+        *,
+        policy: OnlineHeuristic | None = None,
+        config: ServiceConfig | None = None,
+    ) -> None:
+        self.state = state
+        self.policy = policy or OnlineHeuristic()
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats()
+        self._lock = threading.RLock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue = RequestQueue(
+            capacity=self.config.queue_capacity,
+            discipline=self.config.discipline,
+        )
+        self._pending: dict[int, tuple[Ticket, float]] = {}
+        self._accepting = True
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------ submission
+
+    def submit(self, request: PlaceRequest) -> Ticket:
+        """Admit, refuse, or reject *request*; returns its ticket.
+
+        Refusals (demand can never fit) and rejections (queue full, or the
+        service is draining) resolve the ticket immediately; admitted
+        requests resolve on a later :meth:`step`.
+        """
+        ticket = Ticket(request.request_id)
+        now = time.monotonic()
+        with self._lock:
+            self.stats.submitted += 1
+            core = request.to_core()
+            if not self._accepting:
+                self.stats.rejected += 1
+                ticket._resolve(
+                    PlacementDecision(
+                        request_id=request.request_id,
+                        status=DecisionStatus.REJECTED,
+                        detail="service is draining",
+                    )
+                )
+                return ticket
+            if self.state.exceeds_max_capacity(core.demand):
+                self.stats.refused += 1
+                ticket._resolve(
+                    PlacementDecision(
+                        request_id=request.request_id,
+                        status=DecisionStatus.REFUSED,
+                        detail="demand exceeds maximum pool capacity",
+                    )
+                )
+                return ticket
+            timed = TimedRequest(
+                request=core,
+                arrival_time=now,
+                duration=_UNKNOWN_DURATION,
+                priority=request.priority,
+            )
+            if not self._queue.submit(timed):
+                self.stats.rejected += 1
+                ticket._resolve(
+                    PlacementDecision(
+                        request_id=request.request_id,
+                        status=DecisionStatus.REJECTED,
+                        detail="wait queue at capacity",
+                    )
+                )
+                return ticket
+            self._pending[request.request_id] = (ticket, now)
+            self._wakeup.notify_all()
+        return ticket
+
+    def release(self, request: ReleaseRequest) -> ReleaseResponse:
+        """Free the lease held by ``request.request_id`` (immediate).
+
+        Freed capacity is visible to the next :meth:`step`; the background
+        loop is woken so queued requests can be drained promptly.
+        """
+        with self._lock:
+            try:
+                allocation = self.state.release_lease(request.request_id)
+            except ValidationError:
+                return ReleaseResponse(
+                    request_id=request.request_id,
+                    status=DecisionStatus.UNKNOWN_LEASE,
+                )
+            self.stats.released += 1
+            self._wakeup.notify_all()
+            return ReleaseResponse(
+                request_id=request.request_id,
+                status=DecisionStatus.RELEASED,
+                freed_vms=allocation.total_vms,
+            )
+
+    # -------------------------------------------------------------- scheduler
+
+    def step(self, now: float | None = None) -> list[PlacementDecision]:
+        """Run one scheduling cycle; returns the decisions it produced.
+
+        Expires over-age waiters, admits the jointly satisfiable batch (up to
+        ``max_batch``), places it sequentially with the policy, then — for
+        batches of at least two — runs the pairwise transfer phase and swaps
+        in any strictly improved allocations.
+        """
+        if now is None:
+            now = time.monotonic()
+        decisions: list[PlacementDecision] = []
+        with self._lock:
+            decisions.extend(self._expire(now))
+            batch = self._queue.peek_admissible(self.state.available)
+            if len(batch) > self.config.max_batch:
+                batch = batch[: self.config.max_batch]
+            if not batch:
+                return decisions
+            self.stats.batches += 1
+            placed: list[tuple[TimedRequest, object]] = []
+            for timed in batch:
+                if not self.state.can_satisfy(timed.demand):
+                    continue
+                allocation = self.policy.place(timed.request, self.state)
+                if allocation is None:
+                    continue
+                self.state.allocate_lease(timed.request_id, allocation)
+                placed.append((timed, allocation))
+            if self.config.enable_transfers and len(placed) > 1:
+                placed = self._optimize_batch(placed)
+            placed_requests = []
+            for timed, allocation in placed:
+                ticket, enqueued = self._pending.pop(
+                    timed.request_id, (None, now)
+                )
+                latency = max(0.0, now - enqueued)
+                decision = decision_from_allocation(
+                    timed.request_id, allocation, latency=latency
+                )
+                self.stats.placed += 1
+                self.stats.total_distance += allocation.distance
+                placed_requests.append(timed)
+                decisions.append(decision)
+                if ticket is not None:
+                    ticket._resolve(decision)
+            self._queue.remove_batch(placed_requests)
+        return decisions
+
+    def _expire(self, now: float) -> list[PlacementDecision]:
+        """Resolve queued requests that outwaited ``max_wait`` as timeouts."""
+        if self.config.max_wait is None:
+            return []
+        expired: list[PlacementDecision] = []
+        for timed in list(self._queue):
+            entry = self._pending.get(timed.request_id)
+            enqueued = entry[1] if entry else timed.arrival_time
+            if now - enqueued <= self.config.max_wait:
+                continue
+            self._queue.cancel(timed.request_id)
+            self.stats.timed_out += 1
+            decision = PlacementDecision(
+                request_id=timed.request_id,
+                status=DecisionStatus.TIMEOUT,
+                latency=max(0.0, now - enqueued),
+                detail=f"exceeded max_wait={self.config.max_wait}",
+            )
+            if entry is not None:
+                del self._pending[timed.request_id]
+                entry[0]._resolve(decision)
+            expired.append(decision)
+        return expired
+
+    def _optimize_batch(self, placed):
+        """Algorithm 2 step 3 over the batch: apply improving transfers only.
+
+        Exchanges are capacity-neutral pairwise, so each improved pair is
+        swapped into the lease ledger via release-then-allocate; the summed
+        distance can only shrink (``transfer_pair`` returns positive-gain
+        results or leaves the pair untouched).
+        """
+        dist = self.state.distance_matrix
+        entries = list(placed)
+        for _ in range(self.config.transfer_rounds):
+            changed = False
+            for i in range(len(entries)):
+                for j in range(i + 1, len(entries)):
+                    t1, a1 = entries[i]
+                    t2, a2 = entries[j]
+                    if a1.center == a2.center:
+                        continue
+                    result = transfer_pair(a1, a2, dist)
+                    if not result.improved or result.gain <= 1e-9:
+                        continue
+                    # Exchanges are capacity-neutral only for the *pair*, so
+                    # both old leases must be freed before either new one is
+                    # committed (a swapped VM may land on a slot the partner
+                    # still holds).
+                    self.state.release_lease(t1.request_id)
+                    self.state.release_lease(t2.request_id)
+                    self.state.allocate_lease(t1.request_id, result.first)
+                    self.state.allocate_lease(t2.request_id, result.second)
+                    entries[i] = (t1, result.first)
+                    entries[j] = (t2, result.second)
+                    self.stats.transfer_exchanges += result.exchanges
+                    self.stats.transfer_gain += result.gain
+                    changed = True
+            if not changed:
+                break
+        return entries
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def queued(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def start(self) -> None:
+        """Launch the background scheduler loop (idempotent)."""
+        with self._lock:
+            if self.running:
+                return
+            self._stop.clear()
+            self._accepting = True
+            self._thread = threading.Thread(
+                target=self._loop, name="placement-service", daemon=True
+            )
+            self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            with self._wakeup:
+                if len(self._queue) == 0:
+                    self._wakeup.wait(timeout=0.05)
+            if self._stop.is_set():
+                break
+            if self.config.batch_window > 0 and len(self._queue) > 0:
+                # The batching window: let concurrent arrivals coalesce.
+                time.sleep(self.config.batch_window)
+            self.step()
+
+    def stop(self) -> None:
+        """Halt the background loop without touching queued requests."""
+        self._stop.set()
+        with self._lock:
+            self._wakeup.notify_all()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=5.0)
+        self._thread = None
+
+    def drain(self, timeout: float = 5.0) -> list[PlacementDecision]:
+        """Graceful shutdown: stop admission, serve what we can, drop the rest.
+
+        Returns the decisions produced during the drain (placements plus the
+        final ``dropped`` resolutions). The background loop, if running, is
+        stopped first so the drain owns the scheduler.
+        """
+        with self._lock:
+            self._accepting = False
+        self.stop()
+        deadline = time.monotonic() + timeout
+        decisions: list[PlacementDecision] = []
+        while time.monotonic() < deadline:
+            with self._lock:
+                if len(self._queue) == 0:
+                    break
+            produced = self.step()
+            decisions.extend(produced)
+            if not produced:
+                # No forward progress is possible without new releases, and
+                # none can arrive that we'd wait for — drop what remains.
+                break
+        with self._lock:
+            for timed in list(self._queue):
+                self._queue.cancel(timed.request_id)
+                entry = self._pending.pop(timed.request_id, None)
+                self.stats.dropped += 1
+                decision = PlacementDecision(
+                    request_id=timed.request_id,
+                    status=DecisionStatus.DROPPED,
+                    detail="service drained before placement",
+                )
+                if entry is not None:
+                    entry[0]._resolve(decision)
+                decisions.append(decision)
+        return decisions
+
+    def __repr__(self) -> str:
+        return (
+            f"PlacementService(queued={self.queued}, "
+            f"leases={self.state.num_leases}, running={self.running})"
+        )

@@ -1,0 +1,266 @@
+"""Incremental cluster state for the online placement service.
+
+A long-lived allocator cannot afford to rebuild pool state per request:
+constructing a :class:`~repro.cluster.resources.ResourcePool` stacks the
+capacity matrix and rebuilds the O(n²) distance matrix, and a stateless
+server would additionally have to replay every active lease to recover ``C``.
+:class:`ClusterState` keeps all of that warm across allocate/release
+operations:
+
+* ``L = M − C`` (free capacity) is updated in place instead of recomputed,
+* the per-type availability vector ``A`` and per-rack free aggregates are
+  maintained incrementally,
+* the distance matrix is inherited (cached) from the pool construction and
+  never rebuilt,
+* every active allocation is tracked in a lease ledger keyed by request id so
+  releases arrive as ids on the wire, not matrices,
+* a monotonically increasing version stamps every mutation, giving cheap
+  versioned snapshots (and letting a checkpoint say exactly which state it
+  captured).
+
+``ClusterState`` *is a* ``ResourcePool``, so every placement algorithm in
+:mod:`repro.core.placement` runs against it unchanged — the differential
+guarantee that the service places exactly like a direct
+:class:`~repro.core.placement.greedy.OnlineHeuristic` call falls out of this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.distance import DistanceModel
+from repro.cluster.resources import ResourcePool
+from repro.cluster.topology import Topology
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.core.problem import Allocation
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """A point-in-time capture of a :class:`ClusterState`.
+
+    ``allocated`` is a defensive copy of ``C``; ``leases`` maps request id to
+    the :class:`~repro.core.problem.Allocation` held at capture time
+    (allocations are immutable, so sharing them is safe).
+    """
+
+    version: int
+    allocated: np.ndarray
+    leases: dict[int, Allocation]
+
+
+class ClusterState(ResourcePool):
+    """A :class:`ResourcePool` with incremental aggregates and a lease ledger.
+
+    All mutation goes through :meth:`allocate`/:meth:`release` (raw matrices)
+    or :meth:`allocate_lease`/:meth:`release_lease` (ledger-tracked); both
+    paths keep the cached free-capacity matrix, availability vector, and
+    per-rack aggregates exact and bump :attr:`version`.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        catalog: VMTypeCatalog,
+        *,
+        distance_model: DistanceModel | None = None,
+        allocated: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(
+            topology, catalog, distance_model=distance_model, allocated=allocated
+        )
+        self._rack_ids = np.asarray(topology.rack_ids, dtype=np.int64)
+        self._num_racks = topology.num_racks
+        self._leases: dict[int, Allocation] = {}
+        self._version = 0
+        self._rebuild_aggregates()
+
+    @classmethod
+    def from_pool(cls, pool: ResourcePool) -> "ClusterState":
+        """Adopt an existing pool's topology, catalog, and allocations."""
+        return cls(
+            pool.topology,
+            pool.catalog,
+            distance_model=pool.distance_model,
+            allocated=pool.allocated,
+        )
+
+    # ----------------------------------------------------------- aggregates
+
+    def _rebuild_aggregates(self) -> None:
+        self._free = self._max - self._alloc
+        self._avail = self._free.sum(axis=0)
+        rack_free = np.zeros((self._num_racks, self.num_types), dtype=np.int64)
+        np.add.at(rack_free, self._rack_ids, self._free)
+        self._rack_free = rack_free
+
+    @property
+    def remaining(self) -> np.ndarray:
+        """``L`` from the incremental cache (read-only view, no recompute)."""
+        v = self._free.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def available(self) -> np.ndarray:
+        """``A`` from the incremental cache (copy)."""
+        return self._avail.copy()
+
+    @property
+    def rack_free(self) -> np.ndarray:
+        """Per-rack free capacity (num_racks × m, read-only view)."""
+        v = self._rack_free.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on every allocate/release/restore."""
+        return self._version
+
+    # ------------------------------------------------------------- mutation
+
+    def allocate(self, allocation: np.ndarray) -> None:
+        super().allocate(allocation)
+        a = np.asarray(allocation, dtype=np.int64)
+        self._free -= a
+        self._avail -= a.sum(axis=0)
+        np.subtract.at(self._rack_free, self._rack_ids, a)
+        self._version += 1
+
+    def release(self, allocation: np.ndarray) -> None:
+        super().release(allocation)
+        a = np.asarray(allocation, dtype=np.int64)
+        self._free += a
+        self._avail += a.sum(axis=0)
+        np.add.at(self._rack_free, self._rack_ids, a)
+        self._version += 1
+
+    def restore(self, snapshot: np.ndarray) -> None:
+        super().restore(snapshot)
+        self._rebuild_aggregates()
+        self._version += 1
+
+    # ---------------------------------------------------------------- leases
+
+    @property
+    def leases(self) -> dict[int, Allocation]:
+        """Active allocations by request id (shallow copy of the ledger)."""
+        return dict(self._leases)
+
+    @property
+    def num_leases(self) -> int:
+        return len(self._leases)
+
+    def allocate_lease(self, request_id: int, allocation: Allocation) -> None:
+        """Commit *allocation* and record it under *request_id*."""
+        if request_id in self._leases:
+            raise ValidationError(
+                f"request {request_id} already holds an active lease"
+            )
+        self.allocate(allocation.matrix)
+        self._leases[request_id] = allocation
+
+    def release_lease(self, request_id: int) -> Allocation:
+        """Free the allocation held by *request_id* and return it."""
+        allocation = self._leases.pop(request_id, None)
+        if allocation is None:
+            raise ValidationError(f"no active lease for request {request_id}")
+        self.release(allocation.matrix)
+        return allocation
+
+    def swap_lease(self, request_id: int, allocation: Allocation) -> Allocation:
+        """Replace the lease of *request_id* with *allocation* atomically.
+
+        Used by the batch transfer phase: the old matrix is released before
+        the new one is committed, so capacity-neutral exchanges always fit.
+        Returns the previous allocation; on a failed commit the old lease is
+        reinstated and the error propagates.
+        """
+        old = self.release_lease(request_id)
+        try:
+            self.allocate_lease(request_id, allocation)
+        except Exception:
+            self.allocate_lease(request_id, old)
+            raise
+        return old
+
+    def adopt_lease(self, request_id: int, allocation: Allocation) -> None:
+        """Register a lease already counted in ``C`` (checkpoint restore).
+
+        Unlike :meth:`allocate_lease` this does *not* mutate capacity — the
+        allocation must already be part of the ``allocated`` matrix the state
+        was constructed with.
+        """
+        if request_id in self._leases:
+            raise ValidationError(
+                f"request {request_id} already holds an active lease"
+            )
+        if np.any(allocation.matrix > self._alloc):
+            raise ValidationError(
+                f"adopted lease {request_id} is not covered by the allocated matrix"
+            )
+        self._leases[request_id] = allocation
+
+    # ------------------------------------------------------------- snapshots
+
+    def snapshot_state(self) -> StateSnapshot:
+        """Capture version, ``C``, and the lease ledger."""
+        return StateSnapshot(
+            version=self._version,
+            allocated=self._alloc.copy(),
+            leases=dict(self._leases),
+        )
+
+    def restore_state(self, snapshot: StateSnapshot) -> None:
+        """Reset to a :meth:`snapshot_state` capture (version included)."""
+        self.restore(snapshot.allocated)
+        self._leases = dict(snapshot.leases)
+        self._version = snapshot.version
+
+    def copy(self) -> "ClusterState":
+        """Deep copy sharing the immutable topology/catalog/distances."""
+        clone = ClusterState(
+            self._topology,
+            self._catalog,
+            distance_model=self._model,
+            allocated=self._alloc,
+        )
+        clone._leases = dict(self._leases)
+        clone._version = self._version
+        return clone
+
+    # ---------------------------------------------------------- verification
+
+    def verify_consistency(self, *, check_leases: bool = True) -> None:
+        """Assert every incremental aggregate matches a from-scratch rescan.
+
+        Raises :class:`ValidationError` on any divergence. With
+        ``check_leases`` (the default) the summed lease matrices must equal
+        ``C`` exactly — true whenever all traffic goes through the ledger.
+        """
+        expected_free = self._max - self._alloc
+        if not np.array_equal(self._free, expected_free):
+            raise ValidationError("incremental free-capacity matrix diverged")
+        if not np.array_equal(self._avail, expected_free.sum(axis=0)):
+            raise ValidationError("incremental availability vector diverged")
+        rack_free = np.zeros((self._num_racks, self.num_types), dtype=np.int64)
+        np.add.at(rack_free, self._rack_ids, expected_free)
+        if not np.array_equal(self._rack_free, rack_free):
+            raise ValidationError("incremental per-rack aggregates diverged")
+        if check_leases:
+            total = np.zeros_like(self._alloc)
+            for allocation in self._leases.values():
+                total += allocation.matrix
+            if not np.array_equal(total, self._alloc):
+                raise ValidationError("lease ledger does not sum to C")
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterState(nodes={self.num_nodes}, types={self.num_types}, "
+            f"leases={len(self._leases)}, version={self._version}, "
+            f"allocated={int(self._alloc.sum())}/{int(self._max.sum())})"
+        )

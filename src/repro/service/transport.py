@@ -1,0 +1,204 @@
+"""Line-delimited JSON TCP transport for the placement service (stdlib only).
+
+One request per line, one response per line. Every exchange is an envelope::
+
+    {"op": "place", "message": {...PlaceRequest fields...}}
+    {"op": "release", "message": {...ReleaseRequest fields...}}
+    {"op": "stats"}
+    {"op": "checkpoint"}
+    {"op": "ping"}
+
+Responses are ``{"ok": true, ...payload...}`` or ``{"ok": false, "error": msg}``.
+Placement responses embed the terminal decision; the handler thread blocks on
+the service ticket while the scheduler loop works, so clients see exactly one
+synchronous round trip per request.
+
+:class:`ServiceEndpoint` wraps a :class:`~repro.service.server.PlacementService`
+in a ``socketserver.ThreadingTCPServer``; :class:`ServiceClient` is the
+matching blocking client. Both are deliberately minimal — the serving
+intelligence lives in the service, not the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+
+from repro.service.api import (
+    PlaceRequest,
+    ReleaseRequest,
+    encode_message,
+    decode_message,
+)
+from repro.service.checkpoint import checkpoint_to_dict
+from repro.service.server import PlacementService
+from repro.util.errors import ReproError, ValidationError
+
+#: How long a handler waits for the scheduler to decide one placement.
+DECISION_TIMEOUT = 30.0
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        service: PlacementService = self.server.service  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8").strip()
+            if not line:
+                continue
+            try:
+                response = self._dispatch(service, line)
+            except ReproError as exc:
+                response = {"ok": False, "error": str(exc)}
+            except Exception as exc:  # defensive: never kill the connection
+                response = {"ok": False, "error": f"internal error: {exc}"}
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+
+    def _dispatch(self, service: PlacementService, line: str) -> dict:
+        try:
+            envelope = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"not a valid envelope: {exc}") from exc
+        if not isinstance(envelope, dict) or "op" not in envelope:
+            raise ValidationError("envelope must be an object with an 'op'")
+        op = envelope["op"]
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "stats":
+            return {"ok": True, "stats": service.stats.to_dict()}
+        if op == "checkpoint":
+            with service._lock:
+                doc = checkpoint_to_dict(service.state)
+            return {"ok": True, "checkpoint": doc}
+        if op == "place":
+            message = decode_message(json.dumps(envelope.get("message", {}) | {"kind": "place"}))
+            ticket = service.submit(message)
+            decision = ticket.result(timeout=DECISION_TIMEOUT)
+            if decision is None:
+                raise ValidationError("placement decision timed out")
+            return {"ok": True, "decision": json.loads(encode_message(decision))}
+        if op == "release":
+            message = decode_message(
+                json.dumps(envelope.get("message", {}) | {"kind": "release"})
+            )
+            response = service.release(message)
+            return {"ok": True, "release": json.loads(encode_message(response))}
+        raise ValidationError(f"unknown op {op!r}")
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class ServiceEndpoint:
+    """TCP front end for one :class:`PlacementService`.
+
+    ``port=0`` (the default) binds an ephemeral port; read :attr:`address`
+    after :meth:`start`. The underlying service's scheduler loop is started
+    and stopped together with the endpoint.
+    """
+
+    def __init__(
+        self,
+        service: PlacementService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self._server = _Server((host, port), _Handler)
+        self._server.service = service  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` pair."""
+        return self._server.server_address[:2]
+
+    def start(self) -> "ServiceEndpoint":
+        """Start the service scheduler and the accept loop (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self.service.start()
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="placement-endpoint",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, *, drain: bool = True) -> None:
+        """Stop accepting connections; optionally drain the service."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if drain:
+            self.service.drain()
+        else:
+            self.service.stop()
+
+    def __enter__(self) -> "ServiceEndpoint":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class ServiceClient:
+    """Blocking line-protocol client for a :class:`ServiceEndpoint`."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def _call(self, envelope: dict) -> dict:
+        self._file.write((json.dumps(envelope) + "\n").encode("utf-8"))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ValidationError("server closed the connection")
+        response = json.loads(line.decode("utf-8"))
+        if not response.get("ok"):
+            raise ValidationError(response.get("error", "unknown server error"))
+        return response
+
+    def ping(self) -> bool:
+        return bool(self._call({"op": "ping"}).get("pong"))
+
+    def place(self, request: PlaceRequest):
+        """Submit a placement and block for its terminal decision."""
+        message = json.loads(encode_message(request))
+        message.pop("kind")
+        response = self._call({"op": "place", "message": message})
+        return decode_message(json.dumps(response["decision"]))
+
+    def release(self, request_id: int):
+        """Release a lease by id."""
+        message = json.loads(encode_message(ReleaseRequest(request_id=request_id)))
+        message.pop("kind")
+        response = self._call({"op": "release", "message": message})
+        return decode_message(json.dumps(response["release"]))
+
+    def stats(self) -> dict:
+        return self._call({"op": "stats"})["stats"]
+
+    def checkpoint(self) -> dict:
+        """Fetch the server's live checkpoint document."""
+        return self._call({"op": "checkpoint"})["checkpoint"]
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.analysis.stats import Summary, geometric_mean, percent_change
+from repro.analysis.stats import (
+    Summary,
+    geometric_mean,
+    percent_change,
+    percentiles,
+)
 from repro.util.errors import ValidationError
 
 
@@ -61,3 +66,23 @@ class TestGeometricMean:
     def test_empty_rejected(self):
         with pytest.raises(ValidationError):
             geometric_mean([])
+
+
+class TestPercentiles:
+    def test_default_points(self):
+        values = list(range(1, 101))
+        pcts = percentiles(values)
+        assert set(pcts) == {50.0, 95.0, 99.0}
+        assert pcts[50.0] == pytest.approx(50.5)
+
+    def test_custom_points(self):
+        pcts = percentiles([1.0, 2.0, 3.0, 4.0], points=(0.0, 100.0))
+        assert pcts[0.0] == 1.0
+        assert pcts[100.0] == 4.0
+
+    def test_empty_series_yields_zeros(self):
+        assert percentiles([]) == {50.0: 0.0, 95.0: 0.0, 99.0: 0.0}
+
+    def test_out_of_range_point_rejected(self):
+        with pytest.raises(ValidationError):
+            percentiles([1.0], points=(101.0,))

@@ -131,3 +131,68 @@ class TestRemoveBatch:
         q.remove_batch([a])
         assert q.submit(a)
         assert len(q) == 1
+
+
+def timed_with_id(demand, request_id, priority=0, arrival=0.0):
+    return TimedRequest(
+        request=VirtualClusterRequest(demand=list(demand), request_id=request_id),
+        arrival_time=arrival,
+        duration=10.0,
+        priority=priority,
+    )
+
+
+class TestCancelThenDrain:
+    """Regression: cancel followed by a full drain must keep ordering exact
+    for every discipline, including when request ids repeat (resubmission)."""
+
+    @pytest.mark.parametrize("discipline", QueueDiscipline.ALL)
+    def test_cancel_then_drain_preserves_order(self, discipline):
+        q = RequestQueue(discipline=discipline)
+        requests = [
+            timed_with_id([1, 0], request_id=i, priority=10 - i)
+            for i in range(5)
+        ]
+        for request in requests:
+            q.submit(request)
+        assert q.cancel(2)
+        batch = q.peek_admissible(np.array([99, 99]))
+        expected = [r for r in requests if r.request_id != 2]
+        if discipline == QueueDiscipline.PRIORITY:
+            expected.sort(key=lambda r: r.priority)
+        assert [r.request_id for r in batch] == [r.request_id for r in expected]
+        q.remove_batch(batch)
+        assert len(q) == 0
+
+    @pytest.mark.parametrize("discipline", QueueDiscipline.ALL)
+    def test_duplicate_id_cancel_removes_oldest_only(self, discipline):
+        q = RequestQueue(discipline=discipline)
+        first = timed_with_id([1, 0], request_id=7, priority=1)
+        other = timed_with_id([2, 0], request_id=8, priority=2)
+        second = timed_with_id([3, 0], request_id=7, priority=3)
+        for request in (first, other, second):
+            q.submit(request)
+        assert q.cancel(7)
+        # The resubmission (demand [3,0]) must survive, in its own position;
+        # previously a shared id->seq map raised KeyError under priority here.
+        remaining = list(q)
+        assert [list(r.demand) for r in remaining] == [[2, 0], [3, 0]]
+        batch = q.peek_admissible(np.array([99, 99]))
+        assert [list(r.demand) for r in batch] == [[2, 0], [3, 0]]
+        q.remove_batch(batch)
+        assert len(q) == 0
+
+    def test_duplicate_id_remove_batch_is_not_greedy(self):
+        q = RequestQueue()
+        a = timed_with_id([1, 0], request_id=5)
+        b = timed_with_id([2, 0], request_id=5)
+        q.submit(a)
+        q.submit(b)
+        q.remove_batch([a])
+        assert [list(r.demand) for r in q] == [[2, 0]]
+
+    def test_cancel_missing_id_is_noop(self):
+        q = RequestQueue()
+        q.submit(timed_with_id([1, 0], request_id=1))
+        assert not q.cancel(99)
+        assert len(q) == 1

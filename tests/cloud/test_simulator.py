@@ -97,3 +97,31 @@ class TestRefusals:
         wl = [timed([999, 0, 0], arrival=0.0, duration=1.0)]
         result, _ = run(wl)
         assert result.mean_utilization == 0.0
+
+
+class TestResultMetrics:
+    def test_acceptance_rate_and_wait_percentiles(self):
+        wl = poisson_workload(40, 3, demand_high=2, seed=9)
+        result, provider = run(wl)
+        assert result.acceptance_rate == pytest.approx(
+            provider.stats.placed / provider.stats.submitted
+        )
+        assert 0.0 < result.acceptance_rate <= 1.0
+        pcts = result.wait_percentiles
+        assert set(pcts) == {50.0, 95.0, 99.0}
+        assert result.wait_p50 <= result.wait_p95 <= result.wait_p99
+        assert result.wait_p99 <= max(result.waits)
+
+    def test_percentiles_match_numpy(self):
+        wl = poisson_workload(40, 3, demand_high=2, seed=10)
+        result, _ = run(wl)
+        assert result.wait_p95 == pytest.approx(
+            float(np.percentile(result.waits, 95.0))
+        )
+
+    def test_empty_run_yields_zeros(self):
+        result, _ = run([])
+        assert result.acceptance_rate == 0.0
+        assert result.wait_p50 == 0.0
+        assert result.wait_p95 == 0.0
+        assert result.wait_p99 == 0.0

@@ -1,0 +1,110 @@
+"""Tests for checkpoint/restore: byte-identical round trips, versioning."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import PoolSpec, VMTypeCatalog, random_pool
+from repro.service import (
+    CHECKPOINT_VERSION,
+    ClusterState,
+    PlaceRequest,
+    PlacementService,
+    ServiceConfig,
+    checkpoint_bytes,
+    checkpoint_to_dict,
+    load_checkpoint,
+    save_checkpoint,
+    state_from_checkpoint,
+)
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def busy_state() -> ClusterState:
+    """A state with a realistic mix of live leases placed by the service."""
+    catalog = VMTypeCatalog.ec2_default()
+    pool = random_pool(
+        PoolSpec(racks=3, nodes_per_rack=6, capacity_high=3), catalog, seed=3
+    )
+    state = ClusterState.from_pool(pool)
+    service = PlacementService(state, config=ServiceConfig(max_batch=16))
+    rng = np.random.default_rng(17)
+    for i in range(12):
+        demand = rng.integers(0, 3, size=state.num_types)
+        if demand.sum() == 0:
+            demand[0] = 1
+        service.submit(
+            PlaceRequest(
+                demand=tuple(int(d) for d in demand), request_id=500 + i
+            )
+        )
+    service.step()
+    assert state.num_leases > 0
+    return state
+
+
+class TestRoundTrip:
+    def test_restore_reproduces_state(self, busy_state):
+        doc = checkpoint_to_dict(busy_state)
+        restored = state_from_checkpoint(doc)
+        assert restored.version == busy_state.version
+        assert restored.num_leases == busy_state.num_leases
+        assert np.array_equal(restored.allocated, busy_state.allocated)
+        assert np.array_equal(restored.remaining, busy_state.remaining)
+        assert np.array_equal(
+            restored.distance_matrix, busy_state.distance_matrix
+        )
+        for request_id, lease in busy_state.leases.items():
+            twin = restored.leases[request_id]
+            assert np.array_equal(twin.matrix, lease.matrix)
+            assert twin.center == lease.center
+            assert twin.distance == lease.distance
+        restored.verify_consistency()
+
+    def test_checkpoint_is_byte_identical_after_restore(self, busy_state):
+        first = checkpoint_bytes(busy_state)
+        restored = state_from_checkpoint(json.loads(first))
+        second = checkpoint_bytes(restored)
+        assert first == second
+
+    def test_file_round_trip(self, busy_state, tmp_path):
+        path = tmp_path / "state.json"
+        save_checkpoint(path, busy_state)
+        restored = load_checkpoint(path)
+        assert checkpoint_bytes(restored) == path.read_text()
+        restored.verify_consistency()
+
+    def test_empty_state_round_trips(self, paper_pool):
+        state = ClusterState.from_pool(paper_pool)
+        restored = state_from_checkpoint(checkpoint_to_dict(state))
+        assert restored.num_leases == 0
+        assert checkpoint_bytes(restored) == checkpoint_bytes(state)
+
+
+class TestValidation:
+    def test_unknown_version_rejected(self, busy_state):
+        doc = checkpoint_to_dict(busy_state)
+        doc["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(ValidationError):
+            state_from_checkpoint(doc)
+
+    def test_missing_version_rejected(self, busy_state):
+        doc = checkpoint_to_dict(busy_state)
+        del doc["version"]
+        with pytest.raises(ValidationError):
+            state_from_checkpoint(doc)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError):
+            load_checkpoint(path)
+
+    def test_lease_not_covered_by_allocated_rejected(self, busy_state):
+        doc = checkpoint_to_dict(busy_state)
+        # Claim an extra VM the allocated matrix doesn't account for.
+        doc["leases"][0]["placements"][0][2] += 1
+        with pytest.raises(ValidationError):
+            state_from_checkpoint(doc)

@@ -1,0 +1,115 @@
+"""Tests for the open- and closed-loop load generators."""
+
+import pytest
+
+from repro.cluster import PoolSpec, VMTypeCatalog, random_pool
+from repro.service import (
+    ClusterState,
+    LoadGenConfig,
+    PlacementService,
+    ServiceConfig,
+    run_loadgen,
+)
+from repro.service.loadgen import CLOSED_LOOP, OPEN_LOOP
+from repro.util.errors import ValidationError
+
+
+def make_service() -> PlacementService:
+    catalog = VMTypeCatalog.ec2_default()
+    pool = random_pool(
+        PoolSpec(racks=3, nodes_per_rack=8, capacity_high=3), catalog, seed=11
+    )
+    return PlacementService(
+        ClusterState.from_pool(pool),
+        config=ServiceConfig(batch_window=0.001),
+    )
+
+
+@pytest.mark.parametrize("mode", [OPEN_LOOP, CLOSED_LOOP])
+def test_loadgen_reaches_steady_state(mode):
+    service = make_service()
+    service.start()
+    try:
+        report = run_loadgen(
+            service,
+            LoadGenConfig(
+                num_requests=40,
+                mode=mode,
+                rate=2000.0,
+                concurrency=4,
+                mean_hold=0.005,
+                demand_high=2,
+                seed=42,
+            ),
+        )
+    finally:
+        service.stop()
+    assert report.mode == mode
+    assert report.submitted == 40
+    terminal = (
+        report.placed
+        + report.refused
+        + report.rejected
+        + report.timed_out
+        + report.dropped
+    )
+    assert terminal == 40
+    assert report.placed > 0
+    assert 0.0 < report.acceptance_rate <= 1.0
+    assert report.throughput > 0.0
+    assert report.latency_p50 <= report.latency_p95 <= report.latency_p99
+    assert report.mean_distance >= 0.0
+    # The releaser returned every placed lease: pool back to empty.
+    assert service.state.num_leases == 0
+    service.state.verify_consistency()
+
+
+def test_loadgen_requires_running_service():
+    service = make_service()
+    with pytest.raises(ValidationError):
+        run_loadgen(service, LoadGenConfig(num_requests=1))
+
+
+def test_report_to_dict_has_derived_fields():
+    service = make_service()
+    service.start()
+    try:
+        report = run_loadgen(
+            service,
+            LoadGenConfig(
+                num_requests=5, rate=5000.0, mean_hold=0.001, seed=1
+            ),
+        )
+    finally:
+        service.stop()
+    doc = report.to_dict()
+    assert doc["acceptance_rate"] == report.acceptance_rate
+    assert doc["throughput"] == report.throughput
+    assert set(doc) >= {"submitted", "placed", "latency_p99", "mean_distance"}
+
+
+def test_seeded_workloads_are_reproducible():
+    from repro.service.loadgen import _random_demands
+    from repro.util.rng import ensure_rng
+
+    config = LoadGenConfig(num_requests=20, seed=7)
+    a = _random_demands(config, 3, ensure_rng(7))
+    b = _random_demands(config, 3, ensure_rng(7))
+    assert a == b
+    assert all(sum(d) > 0 for d in a)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"mode": "sawtooth"},
+        {"num_requests": 0},
+        {"rate": 0.0},
+        {"mean_hold": 0.0},
+        {"concurrency": 0},
+        {"demand_low": 3, "demand_high": 2},
+    ],
+)
+def test_invalid_config_rejected(kwargs):
+    with pytest.raises(ValidationError):
+        LoadGenConfig(**kwargs)

@@ -1,0 +1,264 @@
+"""Tests for PlacementService: differential equivalence, batching, admission."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import PoolSpec, ResourcePool, VMTypeCatalog, random_pool
+from repro.core import OnlineHeuristic
+from repro.service import (
+    ClusterState,
+    DecisionStatus,
+    PlaceRequest,
+    PlacementService,
+    ReleaseRequest,
+    ServiceConfig,
+)
+from repro.util.errors import ValidationError
+
+
+def make_state(seed=7, racks=3, nodes_per_rack=8, capacity_high=3):
+    catalog = VMTypeCatalog.ec2_default()
+    pool = random_pool(
+        PoolSpec(racks=racks, nodes_per_rack=nodes_per_rack, capacity_high=capacity_high),
+        catalog,
+        seed=seed,
+    )
+    return ClusterState.from_pool(pool)
+
+
+def make_service(state=None, **config_kwargs) -> PlacementService:
+    state = state or make_state()
+    return PlacementService(state, config=ServiceConfig(**config_kwargs))
+
+
+def random_demands(rng, num_types, count, high=3):
+    demands = []
+    for _ in range(count):
+        while True:
+            demand = rng.integers(0, high, size=num_types)
+            if demand.sum() > 0:
+                break
+        demands.append(tuple(int(d) for d in demand))
+    return demands
+
+
+class TestDifferentialEquivalence:
+    """ISSUE acceptance: with a quiesced cluster and batch size 1, service
+    decisions must be identical to direct OnlineHeuristic.place calls."""
+
+    def test_matches_direct_heuristic_for_50_seeded_requests(self):
+        state = make_state(seed=13)
+        mirror = ResourcePool(
+            state.topology,
+            state.catalog,
+            distance_model=state.distance_model,
+        )
+        service = make_service(state, max_batch=1, enable_transfers=False)
+        heuristic = OnlineHeuristic()
+        rng = np.random.default_rng(99)
+        demands = random_demands(rng, state.num_types, 50)
+        for i, demand in enumerate(demands):
+            ticket = service.submit(PlaceRequest(demand=demand, request_id=1000 + i))
+            decisions = service.step()
+            expected = heuristic.place(list(demand), mirror)
+            if expected is None:
+                # The service leaves unsatisfiable requests queued — no
+                # terminal decision yet, and the mirror pool is untouched.
+                assert not ticket.done
+                assert decisions == []
+                service._queue.cancel(1000 + i)
+                service._pending.pop(1000 + i, None)
+                continue
+            assert ticket.done
+            decision = ticket.decision
+            assert decision.placed
+            assert decision.center == expected.center
+            assert decision.distance == pytest.approx(expected.distance)
+            dense = decision.allocation_matrix(
+                state.num_nodes, state.num_types
+            )
+            assert np.array_equal(dense, expected.matrix)
+            mirror.allocate(expected.matrix)
+        assert np.array_equal(state.allocated, mirror.allocated)
+        state.verify_consistency()
+
+
+class TestBatching:
+    def test_batched_distance_never_worse_than_sequential(self):
+        state = make_state(seed=21)
+        mirror = ResourcePool(
+            state.topology,
+            state.catalog,
+            distance_model=state.distance_model,
+        )
+        service = make_service(state, max_batch=16, enable_transfers=True)
+        heuristic = OnlineHeuristic()
+        rng = np.random.default_rng(5)
+        demands = random_demands(rng, state.num_types, 8)
+        tickets = [
+            service.submit(PlaceRequest(demand=d, request_id=2000 + i))
+            for i, d in enumerate(demands)
+        ]
+        service.step()
+        sequential = 0.0
+        for demand in demands:
+            allocation = heuristic.place(list(demand), mirror)
+            if allocation is not None:
+                mirror.allocate(allocation.matrix)
+                sequential += allocation.distance
+        batched = sum(
+            t.decision.distance for t in tickets if t.done and t.decision.placed
+        )
+        assert batched <= sequential + 1e-9
+        state.verify_consistency()
+
+    def test_transfer_gain_is_accounted(self):
+        # With transfers on, any applied exchange must show up in stats and
+        # shrink total distance accordingly.
+        state = make_state(seed=21)
+        service = make_service(state, max_batch=16, enable_transfers=True)
+        rng = np.random.default_rng(5)
+        for i, demand in enumerate(random_demands(rng, state.num_types, 8)):
+            service.submit(PlaceRequest(demand=demand, request_id=3000 + i))
+        service.step()
+        assert service.stats.transfer_gain >= 0.0
+        if service.stats.transfer_exchanges:
+            assert service.stats.transfer_gain > 0.0
+        state.verify_consistency()
+
+    def test_max_batch_caps_one_step(self):
+        state = make_state()
+        service = make_service(state, max_batch=2)
+        for i in range(5):
+            service.submit(PlaceRequest(demand=(1, 0, 0), request_id=4000 + i))
+        decisions = service.step()
+        assert len([d for d in decisions if d.placed]) <= 2
+        assert service.queued == 5 - len(decisions)
+
+
+class TestAdmissionControl:
+    def test_impossible_demand_refused_immediately(self):
+        service = make_service()
+        ticket = service.submit(PlaceRequest(demand=(10_000, 0, 0)))
+        assert ticket.done
+        assert ticket.decision.status == DecisionStatus.REFUSED
+        assert service.stats.refused == 1
+        assert service.queued == 0
+
+    def test_full_queue_rejects_with_backpressure(self):
+        service = make_service(queue_capacity=2)
+        t1 = service.submit(PlaceRequest(demand=(1, 0, 0)))
+        t2 = service.submit(PlaceRequest(demand=(1, 0, 0)))
+        t3 = service.submit(PlaceRequest(demand=(1, 0, 0)))
+        assert not t1.done and not t2.done
+        assert t3.done
+        assert t3.decision.status == DecisionStatus.REJECTED
+        assert service.stats.rejected == 1
+
+    def test_max_wait_times_out_starved_requests(self):
+        state = make_state()
+        service = make_service(state, max_wait=5.0)
+        # Saturate the pool so the request cannot currently be satisfied.
+        state.allocate(state.remaining.copy())
+        ticket = service.submit(PlaceRequest(demand=(1, 0, 0)))
+        assert service.step() == []  # still waiting, within max_wait
+        assert not ticket.done
+        decisions = service.step(now=time.monotonic() + 10.0)
+        assert ticket.done
+        assert ticket.decision.status == DecisionStatus.TIMEOUT
+        assert ticket.decision.latency >= 5.0
+        assert [d.status for d in decisions] == [DecisionStatus.TIMEOUT]
+        assert service.stats.timed_out == 1
+        assert service.queued == 0
+
+    def test_release_unknown_lease(self):
+        service = make_service()
+        response = service.release(ReleaseRequest(request_id=123456))
+        assert response.status == DecisionStatus.UNKNOWN_LEASE
+
+    def test_release_frees_capacity_for_waiters(self):
+        state = make_state()
+        service = make_service(state)
+        # Occupy everything through the ledger.
+        first = service.submit(
+            PlaceRequest(demand=tuple(int(a) for a in state.available))
+        )
+        service.step()
+        assert first.done and first.decision.placed
+        waiter = service.submit(PlaceRequest(demand=(1, 0, 0)))
+        service.step()
+        assert not waiter.done
+        response = service.release(ReleaseRequest(request_id=first.request_id))
+        assert response.released
+        service.step()
+        assert waiter.done and waiter.decision.placed
+        state.verify_consistency()
+
+
+class TestLifecycle:
+    def test_background_loop_serves_submissions(self):
+        service = make_service(batch_window=0.001)
+        service.start()
+        try:
+            assert service.running
+            ticket = service.submit(PlaceRequest(demand=(1, 1, 0)))
+            decision = ticket.result(timeout=5.0)
+            assert decision is not None and decision.placed
+            assert decision.latency >= 0.0
+        finally:
+            service.stop()
+        assert not service.running
+
+    def test_drain_places_what_it_can_and_drops_the_rest(self):
+        state = make_state()
+        service = make_service(state)
+        feasible = service.submit(PlaceRequest(demand=(1, 0, 0)))
+        # Needs the *entire* pool: admissible now, impossible once the
+        # feasible request ahead of it is placed.
+        blocked = service.submit(
+            PlaceRequest(demand=tuple(int(a) for a in state.available))
+        )
+        decisions = service.drain(timeout=1.0)
+        assert feasible.done and feasible.decision.placed
+        assert blocked.done
+        assert blocked.decision.status == DecisionStatus.DROPPED
+        statuses = {d.status for d in decisions}
+        assert statuses == {DecisionStatus.PLACED, DecisionStatus.DROPPED}
+        assert service.queued == 0
+        assert service.stats.dropped == 1
+
+    def test_submissions_after_drain_are_rejected(self):
+        service = make_service()
+        service.drain(timeout=0.1)
+        ticket = service.submit(PlaceRequest(demand=(1, 0, 0)))
+        assert ticket.done
+        assert ticket.decision.status == DecisionStatus.REJECTED
+        assert "drain" in ticket.decision.detail
+
+
+class TestServiceConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queue_capacity": 0},
+            {"batch_window": -0.1},
+            {"max_batch": 0},
+            {"max_wait": 0.0},
+            {"transfer_rounds": 0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            ServiceConfig(**kwargs)
+
+    def test_stats_snapshot_shape(self):
+        service = make_service()
+        service.submit(PlaceRequest(demand=(1, 0, 0)))
+        service.step()
+        doc = service.stats.to_dict()
+        assert doc["submitted"] == 1
+        assert doc["placed"] == 1
+        assert doc["acceptance_rate"] == 1.0
+        assert doc["mean_distance"] >= 0.0

@@ -98,3 +98,51 @@ class TestTraceCommand:
 
     def test_missing_args_errors(self, capsys):
         assert main(["trace"]) == 2
+
+
+class TestServiceCommands:
+    def test_serve_and_loadgen_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if hasattr(a, "_name_parser_map")
+        )
+        assert {"serve", "loadgen"} <= set(sub._name_parser_map)
+
+    def test_simulate_reports_acceptance_and_wait_percentiles(self, capsys):
+        assert main(["simulate", "--requests", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "acceptance rate" in out
+        assert "wait p50 (s)" in out and "wait p99 (s)" in out
+
+    def test_loadgen_runs_end_to_end(self, capsys, tmp_path):
+        report_path = str(tmp_path / "report.json")
+        assert main([
+            "loadgen", "--requests", "20", "--rate", "2000",
+            "--hold", "0.005", "--seed", "3", "--json", report_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "acceptance rate" in out and "latency p99 (ms)" in out
+        import json
+        report = json.loads(open(report_path).read())
+        assert report["submitted"] == 20
+        assert report["placed"] > 0
+
+    def test_loadgen_closed_loop(self, capsys):
+        assert main([
+            "loadgen", "--requests", "10", "--mode", "closed",
+            "--concurrency", "2", "--hold", "0.002", "--seed", "4",
+        ]) == 0
+        assert "closed-loop" in capsys.readouterr().out
+
+    def test_serve_duration_writes_checkpoint(self, capsys, tmp_path):
+        from repro.service import load_checkpoint
+
+        path = str(tmp_path / "ckpt.json")
+        assert main([
+            "serve", "--duration", "0.05", "--checkpoint", path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "placement service listening on" in out
+        assert "final stats" in out
+        state = load_checkpoint(path)
+        state.verify_consistency()
