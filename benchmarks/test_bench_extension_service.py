@@ -76,8 +76,7 @@ def run_incremental(pool: ResourcePool, demands) -> list[float]:
         elif not ticket.done:
             # Unsatisfiable right now — drop it from the queue so it does
             # not linger into later steps (the naive side drops it too).
-            service._queue.cancel(i)
-            service._pending.pop(i, None)
+            service.cancel(i)
         while len(active) > WINDOW:
             service.release(ReleaseRequest(request_id=active.popleft()))
     return latencies

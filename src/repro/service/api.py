@@ -31,11 +31,13 @@ class DecisionStatus:
     TIMEOUT = "timeout"
     #: The service drained/shut down before the request could be placed.
     DROPPED = "dropped"
+    #: The caller withdrew the request before it was placed.
+    CANCELLED = "cancelled"
     #: Release outcomes.
     RELEASED = "released"
     UNKNOWN_LEASE = "unknown_lease"
 
-    TERMINAL_PLACE = (PLACED, REFUSED, REJECTED, TIMEOUT, DROPPED)
+    TERMINAL_PLACE = (PLACED, REFUSED, REJECTED, TIMEOUT, DROPPED, CANCELLED)
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,7 @@ used by tests and benchmarks) and as a background thread
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass
@@ -42,7 +43,9 @@ from repro.service.api import (
     decision_from_allocation,
 )
 from repro.service.state import ClusterState
-from repro.util.errors import ValidationError
+from repro.util.errors import ReproError, ValidationError
+
+_log = logging.getLogger(__name__)
 
 #: Sentinel duration for queue entries — the service learns true holding
 #: times only when the client releases, so the queue's duration field is
@@ -91,8 +94,10 @@ class ServiceStats:
     rejected: int = 0
     timed_out: int = 0
     dropped: int = 0
+    cancelled: int = 0
     released: int = 0
     batches: int = 0
+    step_errors: int = 0
     transfer_exchanges: int = 0
     transfer_gain: float = 0.0
     total_distance: float = 0.0
@@ -224,6 +229,23 @@ class PlacementService:
                     )
                 )
                 return ticket
+            if (
+                request.request_id in self._pending
+                or self.state.has_lease(request.request_id)
+            ):
+                # A duplicate id would orphan the first ticket (submit would
+                # overwrite its _pending entry) and later blow up the
+                # scheduler when allocate_lease sees the id twice — refuse it
+                # at the door instead.
+                self.stats.rejected += 1
+                ticket._resolve(
+                    PlacementDecision(
+                        request_id=request.request_id,
+                        status=DecisionStatus.REJECTED,
+                        detail="duplicate request id (pending or holding a lease)",
+                    )
+                )
+                return ticket
             if self.state.exceeds_max_capacity(core.demand):
                 self.stats.refused += 1
                 ticket._resolve(
@@ -298,17 +320,25 @@ class PlacementService:
                 return decisions
             self.stats.batches += 1
             placed: list[tuple[TimedRequest, object]] = []
+            failed: list[tuple[TimedRequest, str]] = []
             for timed in batch:
                 if not self.state.can_satisfy(timed.demand):
                     continue
-                allocation = self.policy.place(timed.request, self.state)
-                if allocation is None:
+                try:
+                    allocation = self.policy.place(timed.request, self.state)
+                    if allocation is None:
+                        continue
+                    self.state.allocate_lease(timed.request_id, allocation)
+                except ReproError as exc:
+                    # submit() refuses duplicate ids up front, but a bad
+                    # request must fail alone — never abort the cycle (and,
+                    # from the background loop, kill the scheduler thread).
+                    failed.append((timed, f"placement failed: {exc}"))
                     continue
-                self.state.allocate_lease(timed.request_id, allocation)
                 placed.append((timed, allocation))
             if self.config.enable_transfers and len(placed) > 1:
                 placed = self._optimize_batch(placed)
-            placed_requests = []
+            done_requests = []
             for timed, allocation in placed:
                 ticket, enqueued = self._pending.pop(
                     timed.request_id, (None, now)
@@ -319,12 +349,58 @@ class PlacementService:
                 )
                 self.stats.placed += 1
                 self.stats.total_distance += allocation.distance
-                placed_requests.append(timed)
+                done_requests.append(timed)
                 decisions.append(decision)
                 if ticket is not None:
                     ticket._resolve(decision)
-            self._queue.remove_batch(placed_requests)
+            # Failures resolve after placements, so a forced duplicate id in
+            # the same batch cannot steal the ticket of the copy that placed.
+            for timed, detail in failed:
+                decisions.append(self._evict(timed, now, detail))
+                done_requests.append(timed)
+            self._queue.remove_batch(done_requests)
         return decisions
+
+    def _evict(self, timed: TimedRequest, now: float, detail: str) -> PlacementDecision:
+        """Resolve a queued request as rejected (queue removal is the
+        caller's job — :meth:`step` folds evictees into ``remove_batch``)."""
+        entry = self._pending.pop(timed.request_id, None)
+        self.stats.rejected += 1
+        enqueued = entry[1] if entry else timed.arrival_time
+        decision = PlacementDecision(
+            request_id=timed.request_id,
+            status=DecisionStatus.REJECTED,
+            latency=max(0.0, now - enqueued),
+            detail=detail,
+        )
+        if entry is not None:
+            entry[0]._resolve(decision)
+        return decision
+
+    def cancel(self, request_id: int) -> bool:
+        """Withdraw a still-queued request (the caller gave up waiting).
+
+        Resolves its ticket as ``cancelled`` and removes the queue entry so
+        the request cannot be placed later as a lease no caller tracks.
+        Returns ``False`` when the request is not pending — never submitted,
+        already decided, or already placed (an existing lease is *not*
+        released; use :meth:`release` for that).
+        """
+        with self._lock:
+            entry = self._pending.pop(request_id, None)
+            if entry is None:
+                return False
+            self._queue.cancel(request_id)
+            self.stats.cancelled += 1
+            entry[0]._resolve(
+                PlacementDecision(
+                    request_id=request_id,
+                    status=DecisionStatus.CANCELLED,
+                    latency=max(0.0, time.monotonic() - entry[1]),
+                    detail="withdrawn before placement",
+                )
+            )
+            return True
 
     def _expire(self, now: float) -> list[PlacementDecision]:
         """Resolve queued requests that outwaited ``max_wait`` as timeouts."""
@@ -412,16 +488,31 @@ class PlacementService:
             self._thread.start()
 
     def _loop(self) -> None:
+        made_progress = True
         while not self._stop.is_set():
             with self._wakeup:
-                if len(self._queue) == 0:
+                # Sleep while idle — and also after a no-progress step, when
+                # the queue holds only waiters that nothing short of a
+                # release or a new arrival can unblock (both notify the
+                # condition); re-stepping immediately would busy-spin.
+                if len(self._queue) == 0 or not made_progress:
                     self._wakeup.wait(timeout=0.05)
+                queued = len(self._queue)
             if self._stop.is_set():
                 break
-            if self.config.batch_window > 0 and len(self._queue) > 0:
+            if queued == 0:
+                made_progress = True
+                continue
+            if self.config.batch_window > 0:
                 # The batching window: let concurrent arrivals coalesce.
                 time.sleep(self.config.batch_window)
-            self.step()
+            try:
+                made_progress = bool(self.step())
+            except Exception:
+                # One poisoned request must never kill the scheduler thread.
+                self.stats.step_errors += 1
+                _log.exception("placement service scheduler step failed")
+                made_progress = False
 
     def stop(self) -> None:
         """Halt the background loop without touching queued requests."""

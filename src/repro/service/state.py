@@ -75,6 +75,7 @@ class ClusterState(ResourcePool):
         self._rack_ids = np.asarray(topology.rack_ids, dtype=np.int64)
         self._num_racks = topology.num_racks
         self._leases: dict[int, Allocation] = {}
+        self._lease_sum = np.zeros_like(self._alloc)
         self._version = 0
         self._rebuild_aggregates()
 
@@ -155,6 +156,10 @@ class ClusterState(ResourcePool):
     def num_leases(self) -> int:
         return len(self._leases)
 
+    def has_lease(self, request_id: int) -> bool:
+        """Whether *request_id* currently holds an active lease."""
+        return request_id in self._leases
+
     def allocate_lease(self, request_id: int, allocation: Allocation) -> None:
         """Commit *allocation* and record it under *request_id*."""
         if request_id in self._leases:
@@ -163,6 +168,7 @@ class ClusterState(ResourcePool):
             )
         self.allocate(allocation.matrix)
         self._leases[request_id] = allocation
+        self._lease_sum += allocation.matrix
 
     def release_lease(self, request_id: int) -> Allocation:
         """Free the allocation held by *request_id* and return it."""
@@ -170,6 +176,7 @@ class ClusterState(ResourcePool):
         if allocation is None:
             raise ValidationError(f"no active lease for request {request_id}")
         self.release(allocation.matrix)
+        self._lease_sum -= allocation.matrix
         return allocation
 
     def swap_lease(self, request_id: int, allocation: Allocation) -> Allocation:
@@ -193,17 +200,21 @@ class ClusterState(ResourcePool):
 
         Unlike :meth:`allocate_lease` this does *not* mutate capacity — the
         allocation must already be part of the ``allocated`` matrix the state
-        was constructed with.
+        was constructed with. Coverage is checked *cumulatively*: the adopted
+        leases together may never claim more of a slot than ``C`` holds, so a
+        corrupt checkpoint fails here rather than leaving a ledger that no
+        longer sums to ``C``.
         """
         if request_id in self._leases:
             raise ValidationError(
                 f"request {request_id} already holds an active lease"
             )
-        if np.any(allocation.matrix > self._alloc):
+        if np.any(self._lease_sum + allocation.matrix > self._alloc):
             raise ValidationError(
                 f"adopted lease {request_id} is not covered by the allocated matrix"
             )
         self._leases[request_id] = allocation
+        self._lease_sum += allocation.matrix
 
     # ------------------------------------------------------------- snapshots
 
@@ -219,6 +230,9 @@ class ClusterState(ResourcePool):
         """Reset to a :meth:`snapshot_state` capture (version included)."""
         self.restore(snapshot.allocated)
         self._leases = dict(snapshot.leases)
+        self._lease_sum = np.zeros_like(self._alloc)
+        for allocation in self._leases.values():
+            self._lease_sum += allocation.matrix
         self._version = snapshot.version
 
     def copy(self) -> "ClusterState":
@@ -230,6 +244,7 @@ class ClusterState(ResourcePool):
             allocated=self._alloc,
         )
         clone._leases = dict(self._leases)
+        clone._lease_sum = self._lease_sum.copy()
         clone._version = self._version
         return clone
 
@@ -251,12 +266,13 @@ class ClusterState(ResourcePool):
         np.add.at(rack_free, self._rack_ids, expected_free)
         if not np.array_equal(self._rack_free, rack_free):
             raise ValidationError("incremental per-rack aggregates diverged")
-        if check_leases:
-            total = np.zeros_like(self._alloc)
-            for allocation in self._leases.values():
-                total += allocation.matrix
-            if not np.array_equal(total, self._alloc):
-                raise ValidationError("lease ledger does not sum to C")
+        total = np.zeros_like(self._alloc)
+        for allocation in self._leases.values():
+            total += allocation.matrix
+        if not np.array_equal(total, self._lease_sum):
+            raise ValidationError("incremental lease-sum matrix diverged")
+        if check_leases and not np.array_equal(total, self._alloc):
+            raise ValidationError("lease ledger does not sum to C")
 
     def __repr__(self) -> str:
         return (

@@ -77,6 +77,14 @@ class _Handler(socketserver.StreamRequestHandler):
             ticket = service.submit(message)
             decision = ticket.result(timeout=DECISION_TIMEOUT)
             if decision is None:
+                # Withdraw the queued request before giving up — otherwise a
+                # later release could place it into a lease no client knows
+                # about, consuming capacity forever. If cancellation races
+                # with a concurrent placement the ticket is already resolved
+                # and the real (placed) decision goes back to the client.
+                service.cancel(message.request_id)
+                decision = ticket.result(timeout=1.0)
+            if decision is None:
                 raise ValidationError("placement decision timed out")
             return {"ok": True, "decision": json.loads(encode_message(decision))}
         if op == "release":

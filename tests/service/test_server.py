@@ -5,6 +5,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.cloud.request import TimedRequest
 from repro.cluster import PoolSpec, ResourcePool, VMTypeCatalog, random_pool
 from repro.core import OnlineHeuristic
 from repro.service import (
@@ -68,8 +69,7 @@ class TestDifferentialEquivalence:
                 # terminal decision yet, and the mirror pool is untouched.
                 assert not ticket.done
                 assert decisions == []
-                service._queue.cancel(1000 + i)
-                service._pending.pop(1000 + i, None)
+                assert service.cancel(1000 + i)
                 continue
             assert ticket.done
             decision = ticket.decision
@@ -197,6 +197,82 @@ class TestAdmissionControl:
         state.verify_consistency()
 
 
+class TestDuplicatesAndCancel:
+    def test_duplicate_queued_id_rejected_at_submit(self):
+        state = make_state()
+        service = make_service(state)
+        saturation = state.remaining.copy()
+        state.allocate(saturation)  # force the first submission to wait
+        first = service.submit(PlaceRequest(demand=(1, 0, 0), request_id=77))
+        dup = service.submit(PlaceRequest(demand=(1, 0, 0), request_id=77))
+        assert not first.done
+        assert dup.done
+        assert dup.decision.status == DecisionStatus.REJECTED
+        assert "duplicate" in dup.decision.detail
+        # The original ticket survives the duplicate and is still served.
+        state.release(saturation)
+        service.step()
+        assert first.done and first.decision.placed
+
+    def test_duplicate_of_active_lease_rejected_at_submit(self):
+        service = make_service()
+        first = service.submit(PlaceRequest(demand=(1, 0, 0), request_id=88))
+        service.step()
+        assert first.done and first.decision.placed
+        dup = service.submit(PlaceRequest(demand=(1, 0, 0), request_id=88))
+        assert dup.done
+        assert dup.decision.status == DecisionStatus.REJECTED
+        assert "duplicate" in dup.decision.detail
+
+    def test_step_survives_forced_duplicate_queue_entry(self):
+        # Regression: two queue entries sharing an id (injected past submit's
+        # guard) used to raise out of step() and kill the scheduler thread.
+        state = make_state()
+        service = make_service(state)
+        ticket = service.submit(PlaceRequest(demand=(1, 0, 0), request_id=99))
+        rogue = TimedRequest(
+            request=PlaceRequest(demand=(1, 0, 0), request_id=99).to_core(),
+            arrival_time=0.0,
+            duration=1.0,
+        )
+        assert service._queue.submit(rogue)
+        decisions = service.step()
+        assert ticket.done and ticket.decision.placed
+        assert sorted(d.status for d in decisions) == [
+            DecisionStatus.PLACED,
+            DecisionStatus.REJECTED,
+        ]
+        assert service.queued == 0
+        assert state.has_lease(99)
+        state.verify_consistency()
+
+    def test_cancel_withdraws_queued_request(self):
+        state = make_state()
+        service = make_service(state)
+        saturation = state.remaining.copy()
+        state.allocate(saturation)
+        ticket = service.submit(PlaceRequest(demand=(1, 0, 0), request_id=55))
+        assert not ticket.done
+        assert service.cancel(55)
+        assert ticket.done
+        assert ticket.decision.status == DecisionStatus.CANCELLED
+        assert service.queued == 0
+        assert service.stats.cancelled == 1
+        # Capacity freed later must NOT resurrect the withdrawn request as a
+        # lease no caller tracks.
+        state.release(saturation)
+        assert service.step() == []
+        assert not state.has_lease(55)
+
+    def test_cancel_unknown_or_decided_request_returns_false(self):
+        service = make_service()
+        assert not service.cancel(123456)
+        ticket = service.submit(PlaceRequest(demand=(1, 0, 0), request_id=5))
+        service.step()
+        assert ticket.decision.placed
+        assert not service.cancel(5)  # placed; the lease stays
+
+
 class TestLifecycle:
     def test_background_loop_serves_submissions(self):
         service = make_service(batch_window=0.001)
@@ -210,6 +286,26 @@ class TestLifecycle:
         finally:
             service.stop()
         assert not service.running
+
+    def test_background_loop_survives_starvation_then_serves(self):
+        # With the queue non-empty but nothing admissible the loop must park
+        # on the condition (not spin) and still serve once capacity frees.
+        state = make_state()
+        service = make_service(state, batch_window=0.0)
+        saturation = state.remaining.copy()
+        with service._lock:
+            state.allocate(saturation)
+        service.start()
+        try:
+            ticket = service.submit(PlaceRequest(demand=(1, 0, 0)))
+            assert ticket.result(timeout=0.2) is None  # starved, still queued
+            with service._lock:
+                state.release(saturation)
+                service._wakeup.notify_all()
+            decision = ticket.result(timeout=5.0)
+            assert decision is not None and decision.placed
+        finally:
+            service.stop()
 
     def test_drain_places_what_it_can_and_drops_the_rest(self):
         state = make_state()

@@ -124,6 +124,23 @@ class TestLeaseLedger:
         assert np.array_equal(restored.available, before)
         restored.verify_consistency()
 
+    def test_adopt_lease_coverage_is_cumulative(self, paper_pool):
+        # Each copy fits under C on its own, but the second on top of the
+        # first claims more than C holds — adoption must refuse it so the
+        # ledger always sums within the allocated matrix.
+        heuristic = OnlineHeuristic()
+        allocation = heuristic.place([1, 1, 0], paper_pool)
+        restored = ClusterState(
+            paper_pool.topology,
+            paper_pool.catalog,
+            distance_model=paper_pool.distance_model,
+            allocated=allocation.matrix,
+        )
+        restored.adopt_lease(1, allocation)
+        with pytest.raises(ValidationError):
+            restored.adopt_lease(2, allocation)
+        restored.verify_consistency()
+
 
 class TestSnapshots:
     def test_snapshot_restore_round_trip(self, state):

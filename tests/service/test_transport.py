@@ -2,6 +2,7 @@
 
 import json
 import socket
+import time
 
 import numpy as np
 import pytest
@@ -9,6 +10,7 @@ import pytest
 from repro.cluster import PoolSpec, VMTypeCatalog, random_pool
 from repro.service import (
     ClusterState,
+    DecisionStatus,
     PlaceRequest,
     PlacementService,
     ServiceClient,
@@ -16,6 +18,7 @@ from repro.service import (
     ServiceEndpoint,
     state_from_checkpoint,
 )
+from repro.service import transport
 from repro.util.errors import ValidationError
 
 
@@ -108,3 +111,22 @@ def test_malformed_envelope_gets_error_response(endpoint):
 def test_client_raises_on_server_error(client):
     with pytest.raises(ValidationError):
         client._call({"op": "warp"})
+
+
+def test_handler_timeout_cancels_queued_request(endpoint, client, monkeypatch):
+    # Regression: when the handler gave up waiting, the request stayed
+    # queued and a later release could place it into a lease no client
+    # knew about. Now the handler withdraws it and reports `cancelled`.
+    monkeypatch.setattr(transport, "DECISION_TIMEOUT", 0.2)
+    service = endpoint.service
+    state = service.state
+    with service._lock:
+        saturation = state.remaining.copy()
+        state.allocate(saturation)  # starve the request so the wait times out
+    decision = client.place(PlaceRequest(demand=(1, 0, 0), request_id=950))
+    assert decision.status == DecisionStatus.CANCELLED
+    assert service.queued == 0
+    with service._lock:
+        state.release(saturation)
+    time.sleep(0.3)  # give the background loop a chance to misbehave
+    assert not state.has_lease(950)
