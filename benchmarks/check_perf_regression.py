@@ -1,0 +1,88 @@
+"""Perf-regression gate for the vectorized placement kernels.
+
+Measures live mean per-placement latency of ``OnlineHeuristic(stop="best")``
+with kernels enabled at the 90-node reference size (the same pool, request,
+and seed the scalability bench records) and compares it against the
+committed post-kernel number in ``benchmarks/results/scalability_bench.json``.
+Exits non-zero when the live measurement is more than ``--factor`` (default
+2x) slower than the committed baseline — a hard regression of the kernel hot
+path — while absorbing ordinary CI-runner jitter.
+
+Run from the repo root::
+
+    PYTHONPATH=src:. python benchmarks/check_perf_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster import PoolSpec, random_pool
+from repro.core.placement.greedy import OnlineHeuristic
+from repro.experiments import paperconfig as cfg
+
+RESULTS_PATH = Path(__file__).parent / "results" / "scalability_bench.json"
+GATE_NODES = 90
+REQUEST = np.array([8, 8, 4])
+
+
+def measure_live(repeats: int) -> float:
+    """Mean per-placement latency (ms) at the gate size, kernels enabled."""
+    pool = random_pool(
+        PoolSpec(racks=3, nodes_per_rack=30, capacity_high=2),
+        cfg.CATALOG,
+        seed=5,
+        distance_model=cfg.DISTANCES,
+    )
+    heuristic = OnlineHeuristic(stop="best", use_kernels=True)
+    heuristic.place(REQUEST, pool)  # warm-up (builds the topology cache)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        heuristic.place(REQUEST, pool)
+    return (time.perf_counter() - start) / repeats * 1000
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="fail when live latency exceeds committed x this (default 2.0)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=20,
+        help="placements averaged for the live measurement (default 20)",
+    )
+    args = parser.parse_args(argv)
+
+    committed = json.loads(RESULTS_PATH.read_text())
+    by_nodes = {rec["nodes"]: rec for rec in committed["heuristic"]}
+    if GATE_NODES not in by_nodes:
+        print(
+            f"error: no {GATE_NODES}-node record in {RESULTS_PATH}; "
+            "re-run the full scalability bench",
+            file=sys.stderr,
+        )
+        return 2
+    baseline_ms = by_nodes[GATE_NODES]["kernel_ms"]
+    live_ms = measure_live(args.repeats)
+    limit_ms = baseline_ms * args.factor
+    verdict = "OK" if live_ms <= limit_ms else "REGRESSION"
+    print(
+        f"{verdict}: live {live_ms:.3f} ms vs committed {baseline_ms:.3f} ms "
+        f"at {GATE_NODES} nodes (limit {limit_ms:.3f} ms = {args.factor:g}x)"
+    )
+    return 0 if live_ms <= limit_ms else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -303,6 +303,7 @@ def _cmd_loadgen(args) -> int:
         mean_hold=args.hold,
         demand_high=args.demand_high,
         seed=args.seed,
+        profile=args.profile,
     )
     try:
         report = run_loadgen(service, config)
@@ -327,6 +328,20 @@ def _cmd_loadgen(args) -> int:
         ],
         title=f"Load generator — {report.mode}-loop over in-process service",
     ))
+    if report.profile is not None:
+        phases = report.profile["phases"]
+        rows = [
+            [name, doc["count"], doc["self_s"] * 1000, doc["inclusive_s"] * 1000]
+            for name, doc in sorted(
+                phases.items(), key=lambda kv: -kv[1]["self_s"]
+            )
+        ]
+        rows.append(["total", "", report.profile["total_s"] * 1000, ""])
+        print(format_table(
+            ["phase", "count", "self (ms)", "inclusive (ms)"],
+            rows,
+            title="Placement time breakdown",
+        ))
     if args.json:
         import json
         from pathlib import Path
@@ -465,6 +480,9 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--hold", type=float, default=0.05,
                     help="mean lease holding time (s)")
     pl.add_argument("--demand-high", type=int, default=3)
+    pl.add_argument("--profile", action="store_true",
+                    help="report where placement time goes "
+                         "(admission / center sweep / fill / transfer)")
     pl.add_argument("--json", help="also write the report as JSON to this file")
 
     pr = add("report", _cmd_report, "run every experiment, emit a markdown report")

@@ -24,6 +24,7 @@ from repro.cluster.distance import (
     hop_distance_matrix,
 )
 from repro.cluster.resources import ResourcePool
+from repro.cluster.topocache import TopologyCache
 from repro.cluster.dynamics import DynamicResourcePool
 from repro.cluster.measurement import (
     LatencyProber,
@@ -69,6 +70,7 @@ __all__ = [
     "satisfies_triangle_inequality",
     "hop_distance_matrix",
     "ResourcePool",
+    "TopologyCache",
     "DynamicResourcePool",
     "LatencyProber",
     "ProbeConfig",

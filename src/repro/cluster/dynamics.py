@@ -44,9 +44,14 @@ class DynamicResourcePool(ResourcePool):
         *,
         distance_model: DistanceModel | None = None,
         allocated: np.ndarray | None = None,
+        cache=None,
     ) -> None:
         super().__init__(
-            topology, catalog, distance_model=distance_model, allocated=allocated
+            topology,
+            catalog,
+            distance_model=distance_model,
+            allocated=allocated,
+            cache=cache,
         )
         self._active = np.ones(self.num_nodes, dtype=bool)
         self._reconfigured = self._max.copy()
@@ -104,6 +109,11 @@ class DynamicResourcePool(ResourcePool):
     def static_distance_matrix(self) -> np.ndarray:
         """The underlying physical distances, ignoring liveness."""
         return self._distance
+
+    def _topology_cache_valid(self) -> bool:
+        """The cached sorted orders describe static distances, which match
+        the effective matrix only while every node is live."""
+        return bool(self._active.all())
 
     def allocate(self, allocation: np.ndarray) -> None:
         """Reject any allocation touching a failed node, then delegate."""
@@ -169,6 +179,7 @@ class DynamicResourcePool(ResourcePool):
             self._catalog,
             distance_model=self._model,
             allocated=self._alloc,
+            cache=self._cache,
         )
         clone._active = self._active.copy()
         clone._reconfigured = self._reconfigured.copy()

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.distance import DistanceModel, build_distance_matrix
+from repro.cluster.topocache import TopologyCache
 from repro.cluster.topology import Topology
 from repro.cluster.vmtypes import VMTypeCatalog
 from repro.util.errors import CapacityError, ValidationError
@@ -38,6 +39,12 @@ class ResourcePool:
         Hierarchical weights used to derive the distance matrix ``D``.
     allocated:
         Optional initial ``C`` matrix (defaults to all-zero).
+    cache:
+        Optional :class:`~repro.cluster.topocache.TopologyCache` to adopt.
+        When it matches this topology and distance model, the pool reuses
+        its distance matrix (skipping the O(n²) rebuild) and its sorted
+        lookups; a mismatched cache is silently ignored. ``copy()`` passes
+        the cache along, so working copies share one set of structures.
     """
 
     def __init__(
@@ -47,6 +54,7 @@ class ResourcePool:
         *,
         distance_model: DistanceModel | None = None,
         allocated: np.ndarray | None = None,
+        cache: TopologyCache | None = None,
     ) -> None:
         if len(catalog) != topology.num_types:
             raise ValidationError(
@@ -64,8 +72,13 @@ class ResourcePool:
             self._alloc = as_int_matrix(allocated, name="allocated", shape=(n, m))
             if np.any(self._alloc > self._max):
                 raise CapacityError("initial allocation exceeds node capacities")
-        self._distance = build_distance_matrix(topology, self._model)
-        self._distance.flags.writeable = False
+        if cache is not None and cache.matches(topology, self._model):
+            self._cache: TopologyCache | None = cache
+            self._distance = cache.distance
+        else:
+            self._cache = None
+            self._distance = build_distance_matrix(topology, self._model)
+            self._distance.flags.writeable = False
 
     # ------------------------------------------------------------ construction
 
@@ -166,6 +179,31 @@ class ResourcePool:
         """``D`` — read-only n × n distance matrix."""
         return self._distance
 
+    def _topology_cache_valid(self) -> bool:
+        """Whether the effective distances equal the static topology's.
+
+        True for the base pool (its ``distance_matrix`` *is* the static
+        matrix); subclasses that mask or rewrite distances override this.
+        """
+        return True
+
+    @property
+    def topology_cache(self) -> "TopologyCache | None":
+        """Sorted-distance lookups for the vectorized placement kernels.
+
+        Built lazily on first access and shared by :meth:`copy`; ``None``
+        whenever the pool's effective distance matrix has diverged from the
+        static topology distances (see
+        :mod:`repro.cluster.topocache` for the invariants).
+        """
+        if not self._topology_cache_valid():
+            return None
+        if self._cache is None:
+            self._cache = TopologyCache.build(
+                self._topology, self._model, distance=self._distance
+            )
+        return self._cache
+
     @property
     def utilization(self) -> float:
         """Fraction of total VM slots currently allocated (0 when empty pool)."""
@@ -238,12 +276,13 @@ class ResourcePool:
         self._alloc = s.copy()
 
     def copy(self) -> "ResourcePool":
-        """Deep copy sharing the immutable topology/catalog."""
+        """Deep copy sharing the immutable topology/catalog/distances."""
         return ResourcePool(
             self._topology,
             self._catalog,
             distance_model=self._model,
             allocated=self._alloc,
+            cache=self.topology_cache,
         )
 
     def __repr__(self) -> str:

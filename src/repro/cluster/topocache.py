@@ -1,0 +1,140 @@
+"""Per-topology derived structures for the vectorized placement kernels.
+
+A long-lived allocator knows one thing its per-request code never exploits:
+the physical topology — and therefore the distance matrix ``D`` — is
+immutable while allocations churn. Everything derivable from ``D`` alone can
+be computed once and shared by every working copy of the pool:
+
+* ``center_orders[c]`` — the node visit order around center ``c`` sorted by
+  ``(D[i, c], i)``: the *stable per-center distance argsort*. Any
+  distance-ascending order yields the same aggregate fill lower bound, so
+  the sweep kernel prunes candidate centers without a single per-request
+  sort.
+* ``d_sorted[c]`` — ``D[:, c]`` in that order (nondecreasing), ready for
+  cumulative-sum fills and bound dot products.
+* ``tier_ranks[c, i]`` — the rank of ``D[i, c]`` among the distinct
+  distance values of column ``c`` (0 = the center itself, 1 = its rack, …).
+  A monotone integer transform of the distance column: sorting by
+  ``(tier_ranks[c], -providable, index)`` reproduces the reference fill
+  order ``(D[i, c], -providable, index)`` exactly, with cheap integer keys.
+* ``tier_starts[c]`` — boundaries of the distance tiers inside
+  ``center_orders[c]`` (``tier_starts[c][t]`` is the first position of tier
+  ``t``; the slice up to ``tier_starts[c][1]`` is the center, up to
+  ``tier_starts[c][2]`` its rack, and so on).
+
+**Invariants.** A cache is valid for a pool exactly while the pool's
+*effective* distance matrix is the cached one (``pool.distance_matrix is
+cache.distance``). Allocation churn never invalidates it; anything that
+changes effective distances does — :class:`~repro.cluster.dynamics.DynamicResourcePool`
+returns a liveness-masked matrix, so such pools advertise no cache (the
+kernels then sort from the live matrix instead). ``copy()``/``snapshot()``
+share the cache: it is read-only and keyed by object identity of the
+topology and equality of the distance model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.distance import DistanceModel, build_distance_matrix
+from repro.cluster.topology import Topology
+
+
+class TopologyCache:
+    """Immutable distance-derived lookups shared by all pools on a topology.
+
+    Build via :meth:`build`; all arrays are read-only. See the module
+    docstring for the field semantics and validity invariants.
+    """
+
+    __slots__ = (
+        "topology",
+        "model",
+        "distance",
+        "center_orders",
+        "d_sorted",
+        "tier_ranks",
+        "tier_starts",
+        "rack_ids",
+    )
+
+    def __init__(
+        self,
+        topology: Topology,
+        model: DistanceModel,
+        distance: np.ndarray,
+        center_orders: np.ndarray,
+        d_sorted: np.ndarray,
+        tier_ranks: np.ndarray,
+        tier_starts: tuple[np.ndarray, ...],
+        rack_ids: np.ndarray,
+    ) -> None:
+        self.topology = topology
+        self.model = model
+        self.distance = distance
+        self.center_orders = center_orders
+        self.d_sorted = d_sorted
+        self.tier_ranks = tier_ranks
+        self.tier_starts = tier_starts
+        self.rack_ids = rack_ids
+
+    @classmethod
+    def build(
+        cls,
+        topology: Topology,
+        model: DistanceModel | None = None,
+        *,
+        distance: np.ndarray | None = None,
+    ) -> "TopologyCache":
+        """Derive the cache from *topology* (and *distance*, if prebuilt)."""
+        model = model or DistanceModel()
+        if distance is None:
+            distance = build_distance_matrix(topology, model)
+            distance.flags.writeable = False
+        n = distance.shape[0]
+        # D is symmetric, but take explicit columns so the cache stays
+        # correct for any validated (symmetric) matrix a pool may carry.
+        cols = np.ascontiguousarray(distance.T)  # row c == D[:, c]
+        index_rows = np.broadcast_to(np.arange(n), (n, n))
+        center_orders = np.lexsort((index_rows, cols), axis=-1)
+        d_sorted = np.take_along_axis(cols, center_orders, axis=1)
+        if n > 1:
+            steps = (d_sorted[:, 1:] != d_sorted[:, :-1]).astype(np.int64)
+            rank_in_order = np.concatenate(
+                [np.zeros((n, 1), dtype=np.int64), np.cumsum(steps, axis=1)],
+                axis=1,
+            )
+        else:
+            rank_in_order = np.zeros((n, n), dtype=np.int64)
+        tier_ranks = np.empty((n, n), dtype=np.int64)
+        np.put_along_axis(tier_ranks, center_orders, rank_in_order, axis=1)
+        tier_starts = tuple(
+            np.concatenate(
+                [[0], np.flatnonzero(rank_in_order[c, 1:] != rank_in_order[c, :-1]) + 1]
+            )
+            for c in range(n)
+        )
+        for arr in (center_orders, d_sorted, tier_ranks):
+            arr.flags.writeable = False
+        rack_ids = np.asarray(topology.rack_ids, dtype=np.int64)
+        return cls(
+            topology=topology,
+            model=model,
+            distance=distance,
+            center_orders=center_orders,
+            d_sorted=d_sorted,
+            tier_ranks=tier_ranks,
+            tier_starts=tier_starts,
+            rack_ids=rack_ids,
+        )
+
+    def matches(self, topology: Topology, model: DistanceModel) -> bool:
+        """Whether this cache was built for exactly this topology + model."""
+        return self.topology is topology and self.model == model
+
+    @property
+    def num_nodes(self) -> int:
+        return self.distance.shape[0]
+
+    def __repr__(self) -> str:
+        return f"TopologyCache(nodes={self.num_nodes})"

@@ -64,6 +64,18 @@ class GlobalSubOptimizer(BatchPlacementAlgorithm):
     use_paper_transfer:
         Restrict exchanges to the literal Theorem 2 precondition instead of
         the generalized swap search (ablation knob).
+    worklist:
+        Skip pairs whose allocations are unchanged since they last converged
+        (both the generalized and the literal-paper transfer). The transfer
+        functions are pure, so recomputing such a pair provably returns the
+        same rejected result — skipping it preserves the fixpoint, the
+        applied exchanges, and every statistic bit for bit. ``False``
+        restores the full O(k²)-per-round re-sweep (ablation/benchmark
+        baseline).
+    timer:
+        Optional :class:`~repro.util.timing.PhaseTimer` for the ``transfer``
+        phase; defaults to sharing the online policy's timer so one report
+        covers the whole pipeline.
     """
 
     name = "global-subopt"
@@ -74,12 +86,16 @@ class GlobalSubOptimizer(BatchPlacementAlgorithm):
         *,
         max_rounds: int = 10,
         use_paper_transfer: bool = False,
+        worklist: bool = True,
+        timer=None,
     ) -> None:
         if max_rounds < 1:
             raise ValidationError("max_rounds must be >= 1")
         self.online = online or OnlineHeuristic()
         self.max_rounds = max_rounds
         self.use_paper_transfer = use_paper_transfer
+        self.worklist = bool(worklist)
+        self.timer = timer if timer is not None else self.online.timer
         self.last_stats = GlobalOptimizationStats()
 
     # ------------------------------------------------------------------ steps
@@ -100,34 +116,55 @@ class GlobalSubOptimizer(BatchPlacementAlgorithm):
     def optimize_transfers(
         self, allocations: list["Allocation | None"], dist: np.ndarray
     ) -> list["Allocation | None"]:
-        """Step 3: pairwise Theorem-2 transfers to a fixpoint."""
+        """Step 3: pairwise Theorem-2 transfers to a fixpoint.
+
+        With :attr:`worklist` enabled, each allocation carries a change
+        stamp; a pair is recomputed only when at least one side changed
+        since the pair last converged (an accepted ``transfer_pair`` result
+        is itself a pair fixpoint, so accepted pairs are marked converged at
+        their new stamps too). Transfers are pure functions of the two
+        allocations, so every skip replaces a provably identical
+        recomputation — round count, applied exchanges, and the final
+        allocations are exactly those of the full re-sweep.
+        """
         from repro.core.placement.transfer import transfer_pair_paper
 
         allocs = list(allocations)
         live = [i for i, a in enumerate(allocs) if a is not None]
         exchanges = 0
         rounds = 0
-        for _ in range(self.max_rounds):
-            rounds += 1
-            changed = False
-            for ai in range(len(live)):
-                for bi in range(ai + 1, len(live)):
-                    i, j = live[ai], live[bi]
-                    a1, a2 = allocs[i], allocs[j]
-                    if a1.center == a2.center:
-                        continue  # paper: "If two requests share the same
-                        # central node, do nothing."
-                    if self.use_paper_transfer:
-                        result = transfer_pair_paper(a1, a2, dist)
-                    else:
-                        result = transfer_pair(a1, a2, dist)
-                    if result.improved and result.gain > 1e-9:
-                        allocs[i] = result.first
-                        allocs[j] = result.second
-                        exchanges += result.exchanges
-                        changed = True
-            if not changed:
-                break
+        stamps = {i: 0 for i in live}
+        converged: dict[tuple[int, int], tuple[int, int]] = {}
+        with self.timer.phase("transfer"):
+            for _ in range(self.max_rounds):
+                rounds += 1
+                changed = False
+                for ai in range(len(live)):
+                    for bi in range(ai + 1, len(live)):
+                        i, j = live[ai], live[bi]
+                        a1, a2 = allocs[i], allocs[j]
+                        if a1.center == a2.center:
+                            continue  # paper: "If two requests share the same
+                            # central node, do nothing."
+                        if (
+                            self.worklist
+                            and converged.get((i, j)) == (stamps[i], stamps[j])
+                        ):
+                            continue
+                        if self.use_paper_transfer:
+                            result = transfer_pair_paper(a1, a2, dist)
+                        else:
+                            result = transfer_pair(a1, a2, dist)
+                        if result.improved and result.gain > 1e-9:
+                            allocs[i] = result.first
+                            allocs[j] = result.second
+                            stamps[i] += 1
+                            stamps[j] += 1
+                            exchanges += result.exchanges
+                            changed = True
+                        converged[(i, j)] = (stamps[i], stamps[j])
+                if not changed:
+                    break
         self.last_stats.exchanges = exchanges
         self.last_stats.rounds = rounds
         return allocs

@@ -38,6 +38,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.resources import ResourcePool
+from repro.core.placement import kernels
 from repro.core.placement.base import (
     PlacementAlgorithm,
     check_admissible,
@@ -46,6 +47,7 @@ from repro.core.placement.base import (
 from repro.core.problem import Allocation, VirtualClusterRequest
 from repro.util.errors import ValidationError
 from repro.util.rng import ensure_rng
+from repro.util.timing import PhaseTimer
 
 
 def com(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -61,7 +63,7 @@ def providable(remaining_row: np.ndarray, demand: np.ndarray) -> int:
     return int(np.minimum(remaining_row, demand).sum())
 
 
-def _fill_order(
+def _reference_fill_order(
     center: int, demand: np.ndarray, remaining: np.ndarray, dist: np.ndarray
 ) -> np.ndarray:
     """Node visit order for one candidate center.
@@ -78,21 +80,9 @@ def _fill_order(
     return np.asarray(order, dtype=np.int64)
 
 
-def _clip_to_budget(take: np.ndarray, budget: int) -> np.ndarray:
-    """Reduce *take* so its total is ≤ *budget*, trimming later types first.
-
-    Deterministic: walks VM types from last to first, so the clip always
-    sheds the same VMs for the same inputs.
-    """
-    take = take.copy()
-    excess = int(take.sum()) - budget
-    for t in range(take.shape[0] - 1, -1, -1):
-        if excess <= 0:
-            break
-        cut = min(int(take[t]), excess)
-        take[t] -= cut
-        excess -= cut
-    return take
+#: Budget clip shared with the vectorized kernels (moved there; re-exported
+#: here because the rack-limited loop below predates the kernels module).
+_clip_to_budget = kernels.clip_to_budget
 
 
 def greedy_fill(
@@ -114,6 +104,31 @@ def greedy_fill(
 
     Returns the allocation matrix, or ``None`` when availability (or the
     per-rack budget) runs out before the request is covered.
+
+    Delegates to the vectorized kernels in
+    :mod:`repro.core.placement.kernels`, which are bit-identical to the
+    sequential formulation retained as :func:`_reference_greedy_fill`.
+    """
+    if max_vms_per_rack is None:
+        return kernels.fill_one(center, demand, remaining, dist)
+    return kernels.fill_one_rack_limited(
+        center, demand, remaining, dist, rack_ids, max_vms_per_rack
+    )
+
+
+def _reference_greedy_fill(
+    center: int,
+    demand: np.ndarray,
+    remaining: np.ndarray,
+    dist: np.ndarray,
+    *,
+    rack_ids: "np.ndarray | None" = None,
+    max_vms_per_rack: "int | None" = None,
+) -> "np.ndarray | None":
+    """The original per-node-loop formulation of :func:`greedy_fill`.
+
+    Kept as the executable specification the vectorized kernels are
+    property-tested against (byte-identical allocations).
     """
     n, m = remaining.shape
     alloc = np.zeros((n, m), dtype=np.int64)
@@ -123,7 +138,7 @@ def greedy_fill(
         if rack_ids is None:
             raise ValidationError("max_vms_per_rack requires rack_ids")
         rack_budget = {}
-    for i in _fill_order(center, demand, remaining, dist):
+    for i in _reference_fill_order(center, demand, remaining, dist):
         if not todo.any():
             break
         take = com(remaining[i], todo)
@@ -165,6 +180,16 @@ class OnlineHeuristic(PlacementAlgorithm):
         then costs at most this many VMs (k-resilience against rack
         failures), traded against cluster affinity — spread allocations have
         longer distance than the unconstrained greedy packing.
+    use_kernels:
+        Run the candidate-center sweep through the vectorized kernels
+        (:mod:`repro.core.placement.kernels`), which are bit-identical to
+        the reference loop but prune and batch centers as tensor
+        operations. ``False`` forces the original per-center Python loop
+        (kept for property testing and ablation).
+    timer:
+        Optional :class:`~repro.util.timing.PhaseTimer`; when enabled it
+        receives the ``admission`` / ``center_sweep`` / ``fill`` phase
+        breakdown of every :meth:`place` call.
     """
 
     name = "online-heuristic"
@@ -176,6 +201,8 @@ class OnlineHeuristic(PlacementAlgorithm):
         center_order: str = "index",
         seed=None,
         max_vms_per_rack: "int | None" = None,
+        use_kernels: bool = True,
+        timer: "PhaseTimer | None" = None,
     ) -> None:
         if stop not in ("best", "first"):
             raise ValidationError(f"stop must be 'best' or 'first', got {stop!r}")
@@ -188,6 +215,8 @@ class OnlineHeuristic(PlacementAlgorithm):
         self.stop = stop
         self.center_order = center_order
         self.max_vms_per_rack = max_vms_per_rack
+        self.use_kernels = bool(use_kernels)
+        self.timer = timer if timer is not None else PhaseTimer()
         self._rng = ensure_rng(seed)
 
     def _candidate_centers(self, remaining: np.ndarray) -> np.ndarray:
@@ -204,8 +233,11 @@ class OnlineHeuristic(PlacementAlgorithm):
         return candidates
 
     def place(self, request, pool: ResourcePool):
+        timer = self.timer
         demand = normalize_request(request, pool.num_types)
-        if not check_admissible(demand, pool):
+        with timer.phase("admission"):
+            admissible = check_admissible(demand, pool)
+        if not admissible:
             return None
         remaining = pool.remaining
         dist = pool.distance_matrix
@@ -226,9 +258,40 @@ class OnlineHeuristic(PlacementAlgorithm):
                 matrix[i] = demand
                 return Allocation(matrix=matrix, center=i, distance=0.0)
 
+        with timer.phase("center_sweep"):
+            candidates = self._candidate_centers(remaining)
+            if self.use_kernels:
+                return self._sweep_kernels(
+                    candidates, demand, remaining, dist, pool, rack_ids
+                )
+            return self._sweep_reference(
+                candidates, demand, remaining, dist, rack_ids
+            )
+
+    def _sweep_kernels(self, candidates, demand, remaining, dist, pool, rack_ids):
+        """Vectorized candidate sweep (bit-identical to the reference)."""
+        cache = getattr(pool, "topology_cache", None)
+        sweep = kernels.sweep_best if self.stop == "best" else kernels.sweep_first
+        result = sweep(
+            candidates,
+            demand,
+            remaining,
+            dist,
+            cache=cache,
+            rack_ids=rack_ids,
+            max_vms_per_rack=self.max_vms_per_rack,
+            timer=self.timer if self.timer.enabled else None,
+        )
+        if result is None:
+            return None
+        matrix, center, dc = result
+        return Allocation(matrix=matrix, center=center, distance=dc)
+
+    def _sweep_reference(self, candidates, demand, remaining, dist, rack_ids):
+        """The original per-center Python loop (executable specification)."""
         best: "Allocation | None" = None
-        for center in self._candidate_centers(remaining):
-            matrix = greedy_fill(
+        for center in candidates:
+            matrix = _reference_greedy_fill(
                 int(center),
                 demand,
                 remaining,

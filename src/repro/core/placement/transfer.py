@@ -49,14 +49,51 @@ def best_exchange(
 
     Returns ``(u, v, vm_type, gain)`` — cluster 1 moves a type-``vm_type``
     VM from ``u`` to ``v``, cluster 2 the reverse — or ``None`` when no
-    exchange has positive gain. Vectorized per type: the gain
+    exchange has positive gain.
+
+    Vectorized across *all* VM types at once: since the gain
+    ``phi[u] − phi[v]`` does not depend on the type, the per-type maximum is
+    ``max(phi over cluster-1 holders) − min(phi over cluster-2 holders)`` —
+    two masked reductions over the allocation matrices instead of a per-type
+    Python loop with an outer-difference matrix. Float subtraction is
+    monotone, so this picks exactly the value the per-type matrix max would;
+    the winning ``(u, v)`` pair is then re-derived inside the single winning
+    type with the reference argmax, preserving tie-breaking bit for bit
+    (smallest type achieving the maximum gain, then first row-major pair).
+    """
+    # Per-node swap potentials: phi1[u] = D_ux − D_uy is what cluster 1
+    # saves (per VM) by vacating u, and cluster 2 loses by occupying it.
+    phi = dist[:, x] - dist[:, y]
+    give = np.where(m1 > 0, phi[:, None], -np.inf).max(axis=0)
+    gain_ceiling = give - np.where(m2 > 0, phi[:, None], np.inf).min(axis=0)
+    j = int(np.argmax(gain_ceiling))  # first type attaining the max
+    if not (gain_ceiling[j] > tol):
+        return None
+    us = np.flatnonzero(m1[:, j] > 0)
+    vs = np.flatnonzero(m2[:, j] > 0)
+    gains = phi[us][:, None] - phi[vs][None, :]
+    idx = np.unravel_index(np.argmax(gains), gains.shape)
+    return (int(us[idx[0]]), int(vs[idx[1]]), j, float(gains[idx]))
+
+
+def _reference_best_exchange(
+    m1: np.ndarray,
+    m2: np.ndarray,
+    dist: np.ndarray,
+    x: int,
+    y: int,
+    *,
+    tol: float = 1e-9,
+) -> "tuple[int, int, int, float] | None":
+    """The original per-type loop of :func:`best_exchange`.
+
+    Kept as the executable specification the vectorized version is
+    property-tested against (identical tuples on every input). The gain
     ``(D_ux − D_vx) + (D_vy − D_uy)`` is an outer sum over candidate source
-    and destination nodes.
+    and destination nodes, evaluated per VM type.
     """
     m = m1.shape[1]
     best: "tuple[int, int, int, float] | None" = None
-    # Per-node swap potentials: phi1[u] = D_ux − D_uy is what cluster 1
-    # saves (per VM) by vacating u, and cluster 2 loses by occupying it.
     phi = dist[:, x] - dist[:, y]
     for j in range(m):
         us = np.flatnonzero(m1[:, j] > 0)
@@ -87,14 +124,77 @@ def transfer_pair(
     re-optimized after the exchange search converges and the search restarts
     if recentering changed a center — matching Algorithm 2's intent of
     minimizing the *true* summed ``DC``.
+
+    The recenter check computes the center-distance vectors directly
+    (``counts @ D`` + first-minimum argmin — the exact
+    :func:`~repro.core.distance.cluster_distance` expression) instead of
+    constructing throwaway :class:`Allocation` objects, whose validation
+    dominated the Algorithm-2 transfer phase. The original formulation is
+    retained as :func:`_reference_transfer_pair` and property-tested to
+    return bit-identical results.
     """
     m1 = a1.matrix.copy()
     m2 = a2.matrix.copy()
     x, y = a1.center, a2.center
     start = a1.distance + a2.distance
     exchanges = 0
+    totals: "tuple[np.ndarray, np.ndarray] | None" = None
     while exchanges < max_exchanges:
         step = best_exchange(m1, m2, dist, x, y, tol=tol)
+        if step is None:
+            if not recenter:
+                break
+            t1 = m1.sum(axis=1).astype(np.float64) @ dist
+            t2 = m2.sum(axis=1).astype(np.float64) @ dist
+            nx, ny = int(np.argmin(t1)), int(np.argmin(t2))
+            if nx == x and ny == y:
+                totals = (t1, t2)
+                break
+            x, y = nx, ny
+            continue
+        u, v, j, _gain = step
+        m1, m2 = apply_theorem2_exchange(m1, m2, u, v, j)
+        exchanges += 1
+    else:
+        raise ValidationError(
+            f"transfer_pair did not converge in {max_exchanges} exchanges"
+        )
+    if recenter:
+        t1, t2 = totals
+        out1 = Allocation(matrix=m1, center=x, distance=float(t1[x]))
+        out2 = Allocation(matrix=m2, center=y, distance=float(t2[y]))
+    else:
+        out1 = Allocation.with_center(m1, dist, x)
+        out2 = Allocation.with_center(m2, dist, y)
+    return TransferResult(
+        first=out1,
+        second=out2,
+        gain=start - (out1.distance + out2.distance),
+        exchanges=exchanges,
+    )
+
+
+def _reference_transfer_pair(
+    a1: Allocation,
+    a2: Allocation,
+    dist: np.ndarray,
+    *,
+    recenter: bool = True,
+    max_exchanges: int = 10_000,
+    tol: float = 1e-9,
+) -> TransferResult:
+    """The original :func:`transfer_pair` with ``Allocation``-based
+    recentering, kept as the executable specification (and the pre-kernel
+    benchmark baseline). ``Allocation.from_matrix`` applies the same
+    ``counts @ D`` + first-minimum argmin the fast path inlines, so both
+    produce bit-identical results."""
+    m1 = a1.matrix.copy()
+    m2 = a2.matrix.copy()
+    x, y = a1.center, a2.center
+    start = a1.distance + a2.distance
+    exchanges = 0
+    while exchanges < max_exchanges:
+        step = _reference_best_exchange(m1, m2, dist, x, y, tol=tol)
         if step is None:
             if not recenter:
                 break

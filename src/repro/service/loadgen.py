@@ -41,6 +41,9 @@ class LoadGenConfig:
     mode; ``concurrency`` is the worker count in closed-loop mode.
     ``mean_hold`` is the mean of the exponential lease holding time —
     placed clusters are released that long after their decision.
+    ``profile`` enables the service's phase timer for the run and attaches
+    its breakdown (admission / center sweep / fill / transfer) to the
+    report.
     """
 
     num_requests: int = 200
@@ -52,6 +55,7 @@ class LoadGenConfig:
     demand_high: int = 3
     decision_timeout: float = 30.0
     seed: "int | None" = None
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in (OPEN_LOOP, CLOSED_LOOP):
@@ -73,7 +77,13 @@ class LoadGenConfig:
 
 @dataclass(frozen=True, slots=True)
 class LoadReport:
-    """Measured outcome of one load-generation run."""
+    """Measured outcome of one load-generation run.
+
+    ``profile`` is the phase-timer report (``None`` unless the run was
+    configured with ``profile=True``): total seconds spent inside
+    :meth:`~repro.service.server.PlacementService.step` plus per-phase
+    self/inclusive times whose self components sum to that total.
+    """
 
     mode: str
     submitted: int
@@ -88,6 +98,7 @@ class LoadReport:
     latency_p99: float
     mean_distance: float
     transfer_gain: float
+    profile: "dict | None" = None
 
     @property
     def acceptance_rate(self) -> float:
@@ -177,6 +188,9 @@ def run_loadgen(service: PlacementService, config: LoadGenConfig) -> LoadReport:
     rng = ensure_rng(config.seed)
     demands = _random_demands(config, service.state.num_types, rng)
     holds = [float(rng.exponential(config.mean_hold)) + 1e-6 for _ in demands]
+    if config.profile:
+        service.timer.enabled = True
+        service.timer.reset()
     releaser = _Releaser(service)
 
     def release_on_placement(hold: float):
@@ -245,4 +259,5 @@ def run_loadgen(service: PlacementService, config: LoadGenConfig) -> LoadReport:
         latency_p99=pcts[99.0],
         mean_distance=service.stats.mean_distance,
         transfer_gain=service.stats.transfer_gain,
+        profile=service.timer.report() if config.profile else None,
     )

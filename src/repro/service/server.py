@@ -44,6 +44,7 @@ from repro.service.api import (
 )
 from repro.service.state import ClusterState
 from repro.util.errors import ReproError, ValidationError
+from repro.util.timing import PhaseTimer
 
 _log = logging.getLogger(__name__)
 
@@ -194,6 +195,11 @@ class PlacementService:
         self.policy = policy or OnlineHeuristic()
         self.config = config or ServiceConfig()
         self.stats = ServiceStats()
+        # One timer spans the whole pipeline: the policy's place() phases
+        # (admission / center_sweep / fill) nest under the service's step
+        # and transfer phases. Disabled (zero-overhead) unless a caller —
+        # e.g. `repro loadgen --profile` — enables it.
+        self.timer: PhaseTimer = getattr(self.policy, "timer", None) or PhaseTimer()
         self._lock = threading.RLock()
         self._wakeup = threading.Condition(self._lock)
         self._queue = RequestQueue(
@@ -311,7 +317,7 @@ class PlacementService:
         if now is None:
             now = time.monotonic()
         decisions: list[PlacementDecision] = []
-        with self._lock:
+        with self._lock, self.timer.phase("step"):
             decisions.extend(self._expire(now))
             batch = self._queue.peek_admissible(self.state.available)
             if len(batch) > self.config.max_batch:
@@ -433,35 +439,52 @@ class PlacementService:
         swapped into the lease ledger via release-then-allocate; the summed
         distance can only shrink (``transfer_pair`` returns positive-gain
         results or leaves the pair untouched).
+
+        Pairs are scheduled through the same change-stamp worklist as
+        :meth:`repro.core.placement.global_opt.GlobalSubOptimizer.optimize_transfers`:
+        ``transfer_pair`` is pure, so a pair whose allocations are unchanged
+        since it last converged would return the same rejected result —
+        skipping it leaves the committed leases and stats bit-identical.
         """
         dist = self.state.distance_matrix
         entries = list(placed)
-        for _ in range(self.config.transfer_rounds):
-            changed = False
-            for i in range(len(entries)):
-                for j in range(i + 1, len(entries)):
-                    t1, a1 = entries[i]
-                    t2, a2 = entries[j]
-                    if a1.center == a2.center:
-                        continue
-                    result = transfer_pair(a1, a2, dist)
-                    if not result.improved or result.gain <= 1e-9:
-                        continue
-                    # Exchanges are capacity-neutral only for the *pair*, so
-                    # both old leases must be freed before either new one is
-                    # committed (a swapped VM may land on a slot the partner
-                    # still holds).
-                    self.state.release_lease(t1.request_id)
-                    self.state.release_lease(t2.request_id)
-                    self.state.allocate_lease(t1.request_id, result.first)
-                    self.state.allocate_lease(t2.request_id, result.second)
-                    entries[i] = (t1, result.first)
-                    entries[j] = (t2, result.second)
-                    self.stats.transfer_exchanges += result.exchanges
-                    self.stats.transfer_gain += result.gain
-                    changed = True
-            if not changed:
-                break
+        stamps = [0] * len(entries)
+        converged: dict[tuple[int, int], tuple[int, int]] = {}
+        with self.timer.phase("transfer"):
+            for _ in range(self.config.transfer_rounds):
+                changed = False
+                for i in range(len(entries)):
+                    for j in range(i + 1, len(entries)):
+                        t1, a1 = entries[i]
+                        t2, a2 = entries[j]
+                        if a1.center == a2.center:
+                            continue
+                        if converged.get((i, j)) == (stamps[i], stamps[j]):
+                            continue
+                        result = transfer_pair(a1, a2, dist)
+                        if not result.improved or result.gain <= 1e-9:
+                            converged[(i, j)] = (stamps[i], stamps[j])
+                            continue
+                        # Exchanges are capacity-neutral only for the *pair*,
+                        # so both old leases must be freed before either new
+                        # one is committed (a swapped VM may land on a slot
+                        # the partner still holds).
+                        self.state.release_lease(t1.request_id)
+                        self.state.release_lease(t2.request_id)
+                        self.state.allocate_lease(t1.request_id, result.first)
+                        self.state.allocate_lease(t2.request_id, result.second)
+                        entries[i] = (t1, result.first)
+                        entries[j] = (t2, result.second)
+                        stamps[i] += 1
+                        stamps[j] += 1
+                        # An accepted transfer_pair result is itself a pair
+                        # fixpoint — mark it converged at the new stamps.
+                        converged[(i, j)] = (stamps[i], stamps[j])
+                        self.stats.transfer_exchanges += result.exchanges
+                        self.stats.transfer_gain += result.gain
+                        changed = True
+                if not changed:
+                    break
         return entries
 
     # ------------------------------------------------------------- lifecycle

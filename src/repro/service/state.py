@@ -68,9 +68,14 @@ class ClusterState(ResourcePool):
         *,
         distance_model: DistanceModel | None = None,
         allocated: np.ndarray | None = None,
+        cache=None,
     ) -> None:
         super().__init__(
-            topology, catalog, distance_model=distance_model, allocated=allocated
+            topology,
+            catalog,
+            distance_model=distance_model,
+            allocated=allocated,
+            cache=cache,
         )
         self._rack_ids = np.asarray(topology.rack_ids, dtype=np.int64)
         self._num_racks = topology.num_racks
@@ -87,6 +92,7 @@ class ClusterState(ResourcePool):
             pool.catalog,
             distance_model=pool.distance_model,
             allocated=pool.allocated,
+            cache=pool.topology_cache,
         )
 
     # ----------------------------------------------------------- aggregates
@@ -242,6 +248,7 @@ class ClusterState(ResourcePool):
             self._catalog,
             distance_model=self._model,
             allocated=self._alloc,
+            cache=self.topology_cache,
         )
         clone._leases = dict(self._leases)
         clone._lease_sum = self._lease_sum.copy()

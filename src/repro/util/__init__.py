@@ -10,6 +10,7 @@ from repro.util.errors import (
 )
 from repro.util.retry import FETCH_RETRY, TASK_RETRY, RetryPolicy
 from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.timing import PhaseTimer
 from repro.util.validation import (
     as_int_vector,
     as_int_matrix,
@@ -30,6 +31,7 @@ __all__ = [
     "RetryPolicy",
     "TASK_RETRY",
     "FETCH_RETRY",
+    "PhaseTimer",
     "ensure_rng",
     "spawn_rngs",
     "as_int_vector",

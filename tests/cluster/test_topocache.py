@@ -1,0 +1,149 @@
+"""Tests for the topology-derived sorted-order cache (TopologyCache)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    DynamicResourcePool,
+    PoolSpec,
+    ResourcePool,
+    TopologyCache,
+    VMTypeCatalog,
+    EC2_SMALL,
+    EC2_MEDIUM,
+    EC2_LARGE,
+    random_pool,
+    random_topology,
+)
+from repro.cluster.distance import DistanceModel
+from repro.service.state import ClusterState
+
+CATALOG = VMTypeCatalog([EC2_SMALL, EC2_MEDIUM, EC2_LARGE])
+SPEC = PoolSpec(racks=3, nodes_per_rack=5, clouds=2)
+
+
+@pytest.fixture
+def pool():
+    return random_pool(SPEC, CATALOG, seed=7)
+
+
+class TestBuild:
+    def test_center_orders_sorted_by_distance_then_index(self, pool):
+        cache = pool.topology_cache
+        dist = pool.distance_matrix
+        n = pool.num_nodes
+        for c in range(n):
+            order = cache.center_orders[c]
+            assert sorted(order.tolist()) == list(range(n))
+            keys = [(dist[i, c], i) for i in order]
+            assert keys == sorted(keys)
+
+    def test_d_sorted_matches_orders(self, pool):
+        cache = pool.topology_cache
+        dist = pool.distance_matrix
+        for c in range(pool.num_nodes):
+            np.testing.assert_array_equal(
+                cache.d_sorted[c], dist[cache.center_orders[c], c]
+            )
+            assert np.all(np.diff(cache.d_sorted[c]) >= 0)
+
+    def test_tier_ranks_are_monotone_transform_of_distance(self, pool):
+        cache = pool.topology_cache
+        dist = pool.distance_matrix
+        for c in range(pool.num_nodes):
+            d = dist[:, c]
+            r = cache.tier_ranks[c]
+            # equal distances share a rank; larger distance → larger rank
+            for i in range(pool.num_nodes):
+                for j in range(pool.num_nodes):
+                    if d[i] < d[j]:
+                        assert r[i] < r[j]
+                    elif d[i] == d[j]:
+                        assert r[i] == r[j]
+
+    def test_tier_starts_bound_tiers(self, pool):
+        cache = pool.topology_cache
+        for c in range(pool.num_nodes):
+            starts = cache.tier_starts[c]
+            assert starts[0] == 0
+            ds = cache.d_sorted[c]
+            boundaries = [0] + [
+                k for k in range(1, len(ds)) if ds[k] != ds[k - 1]
+            ]
+            assert starts.tolist() == boundaries
+            # first tier is the center itself at distance zero
+            assert cache.center_orders[c][0] == c
+            assert ds[0] == 0.0
+
+    def test_arrays_read_only(self, pool):
+        cache = pool.topology_cache
+        for arr in (cache.center_orders, cache.d_sorted, cache.tier_ranks):
+            assert not arr.flags.writeable
+
+    def test_matches(self, pool):
+        cache = pool.topology_cache
+        assert cache.matches(pool.topology, pool.distance_model)
+        other = random_topology(SPEC, CATALOG, seed=8)
+        assert not cache.matches(other, pool.distance_model)
+        assert not cache.matches(
+            pool.topology, DistanceModel(intra_rack=0.5, inter_rack=2.0, inter_cloud=9.0)
+        )
+
+    def test_standalone_build_equals_pool_distance(self, pool):
+        cache = TopologyCache.build(pool.topology, pool.distance_model)
+        np.testing.assert_array_equal(cache.distance, pool.distance_matrix)
+        assert repr(cache).startswith("TopologyCache(")
+
+
+class TestSharing:
+    def test_copy_shares_cache_and_distance(self, pool):
+        cache = pool.topology_cache
+        clone = pool.copy()
+        assert clone.topology_cache is cache
+        assert clone.distance_matrix is pool.distance_matrix
+
+    def test_property_is_idempotent(self, pool):
+        assert pool.topology_cache is pool.topology_cache
+
+    def test_mismatched_cache_is_ignored(self, pool):
+        foreign = TopologyCache.build(
+            random_topology(SPEC, CATALOG, seed=9), pool.distance_model
+        )
+        rebuilt = ResourcePool(
+            pool.topology, pool.catalog, distance_model=pool.distance_model,
+            cache=foreign,
+        )
+        assert rebuilt.topology_cache is not foreign
+        np.testing.assert_array_equal(
+            rebuilt.distance_matrix, pool.distance_matrix
+        )
+
+    def test_cluster_state_inherits_cache(self, pool):
+        cache = pool.topology_cache
+        state = ClusterState.from_pool(pool)
+        assert state.topology_cache is cache
+        assert state.copy().topology_cache is cache
+
+
+class TestDynamicInvalidation:
+    def test_failed_node_invalidates(self):
+        topo = random_topology(SPEC, CATALOG, seed=11)
+        pool = DynamicResourcePool(topo, CATALOG)
+        assert pool.topology_cache is not None
+        pool.fail_node(3)
+        assert pool.topology_cache is None
+
+    def test_recovery_restores_cache(self):
+        topo = random_topology(SPEC, CATALOG, seed=12)
+        pool = DynamicResourcePool(topo, CATALOG)
+        cache = pool.topology_cache
+        pool.fail_node(0)
+        assert pool.topology_cache is None
+        pool.recover_node(0)
+        assert pool.topology_cache is cache
+
+    def test_dynamic_copy_carries_cache(self):
+        topo = random_topology(SPEC, CATALOG, seed=13)
+        pool = DynamicResourcePool(topo, CATALOG)
+        cache = pool.topology_cache
+        assert pool.copy().topology_cache is cache

@@ -64,6 +64,64 @@ def test_loadgen_reaches_steady_state(mode):
     service.state.verify_consistency()
 
 
+def test_profile_breakdown_sums_to_total():
+    catalog = VMTypeCatalog.ec2_default()
+    # capacity_high=2 < demand_low=3 ⇒ no single node can host a request, so
+    # every placement goes through the candidate-center sweep (and batches
+    # through the transfer phase), exercising all profiled phases.
+    pool = random_pool(
+        PoolSpec(racks=3, nodes_per_rack=8, capacity_high=2), catalog, seed=11
+    )
+    service = PlacementService(
+        ClusterState.from_pool(pool),
+        config=ServiceConfig(batch_window=0.001),
+    )
+    service.start()
+    try:
+        report = run_loadgen(
+            service,
+            LoadGenConfig(
+                num_requests=30,
+                rate=2000.0,
+                mean_hold=0.005,
+                demand_low=3,
+                demand_high=3,
+                seed=3,
+                profile=True,
+            ),
+        )
+    finally:
+        service.stop()
+    profile = report.profile
+    assert profile is not None
+    assert profile["total_s"] > 0.0
+    # Self times partition the wall time inside step(): no double counting,
+    # nothing unattributed.
+    assert sum(p["self_s"] for p in profile["phases"].values()) == pytest.approx(
+        profile["total_s"], rel=1e-9
+    )
+    assert "step" in profile["phases"]
+    assert "admission" in profile["phases"]
+    assert "center_sweep" in profile["phases"]
+    for doc in profile["phases"].values():
+        assert doc["inclusive_s"] >= doc["self_s"] >= 0.0
+    assert report.to_dict()["profile"] == profile
+
+
+def test_profile_disabled_by_default():
+    service = make_service()
+    service.start()
+    try:
+        report = run_loadgen(
+            service,
+            LoadGenConfig(num_requests=5, rate=5000.0, mean_hold=0.001, seed=1),
+        )
+    finally:
+        service.stop()
+    assert report.profile is None
+    assert not service.timer.enabled
+
+
 def test_loadgen_requires_running_service():
     service = make_service()
     with pytest.raises(ValidationError):

@@ -1,0 +1,113 @@
+"""Tests for the nestable phase timers (repro.util.timing)."""
+
+import time
+
+import pytest
+
+from repro.util import PhaseTimer
+from repro.util.timing import _NULL_PHASE
+
+
+class TestDisabled:
+    def test_disabled_phase_is_shared_noop(self):
+        timer = PhaseTimer(enabled=False)
+        assert timer.phase("a") is _NULL_PHASE
+        assert timer.phase("b") is _NULL_PHASE
+
+    def test_disabled_records_nothing(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            with timer.phase("b"):
+                pass
+        assert timer.breakdown() == {}
+        assert timer.inclusive() == {}
+        assert timer.counts() == {}
+        assert timer.total() == 0.0
+
+    def test_default_is_disabled(self):
+        assert not PhaseTimer().enabled
+
+
+class TestAccounting:
+    def test_single_phase(self):
+        timer = PhaseTimer(enabled=True)
+        with timer.phase("work"):
+            time.sleep(0.005)
+        assert timer.counts() == {"work": 1}
+        assert timer.breakdown()["work"] >= 0.004
+        assert timer.breakdown()["work"] == timer.inclusive()["work"]
+        assert timer.total() == pytest.approx(timer.breakdown()["work"])
+
+    def test_nested_self_time_excludes_children(self):
+        timer = PhaseTimer(enabled=True)
+        with timer.phase("outer"):
+            time.sleep(0.004)
+            with timer.phase("inner"):
+                time.sleep(0.004)
+        self_times = timer.breakdown()
+        incl = timer.inclusive()
+        assert incl["outer"] >= self_times["outer"] + self_times["inner"]
+        assert self_times["inner"] >= 0.003
+        # outer's self time excludes the inner sleep
+        assert self_times["outer"] < incl["outer"] - 0.003
+
+    def test_breakdown_sums_to_total(self):
+        timer = PhaseTimer(enabled=True)
+        for _ in range(3):
+            with timer.phase("step"):
+                with timer.phase("admission"):
+                    time.sleep(0.001)
+                with timer.phase("sweep"):
+                    with timer.phase("fill"):
+                        time.sleep(0.001)
+        assert sum(timer.breakdown().values()) == pytest.approx(
+            timer.total(), rel=1e-9
+        )
+        assert timer.counts() == {"step": 3, "admission": 3, "sweep": 3, "fill": 3}
+
+    def test_sibling_roots_accumulate_total(self):
+        timer = PhaseTimer(enabled=True)
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        assert timer.total() == pytest.approx(
+            timer.breakdown()["a"] + timer.breakdown()["b"]
+        )
+
+    def test_exception_still_closes_phase(self):
+        timer = PhaseTimer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with timer.phase("boom"):
+                raise RuntimeError("x")
+        assert timer.counts() == {"boom": 1}
+        assert timer._stack == []
+
+
+class TestLifecycle:
+    def test_reset_keeps_enabled_flag(self):
+        timer = PhaseTimer(enabled=True)
+        with timer.phase("a"):
+            pass
+        timer.reset()
+        assert timer.enabled
+        assert timer.breakdown() == {}
+        assert timer.total() == 0.0
+
+    def test_report_shape(self):
+        timer = PhaseTimer(enabled=True)
+        with timer.phase("a"):
+            with timer.phase("b"):
+                pass
+        report = timer.report()
+        assert set(report) == {"total_s", "phases"}
+        assert set(report["phases"]) == {"a", "b"}
+        for doc in report["phases"].values():
+            assert set(doc) == {"self_s", "inclusive_s", "count"}
+        assert report["total_s"] == pytest.approx(
+            sum(p["self_s"] for p in report["phases"].values())
+        )
+
+    def test_repr_mentions_state(self):
+        assert "disabled" in repr(PhaseTimer())
+        assert "enabled" in repr(PhaseTimer(enabled=True))
