@@ -41,10 +41,10 @@ def measure_live(repeats: int) -> float:
         distance_model=cfg.DISTANCES,
     )
     heuristic = OnlineHeuristic(stop="best", use_kernels=True)
-    heuristic.place(REQUEST, pool)  # warm-up (builds the topology cache)
+    heuristic.place(pool, REQUEST)  # warm-up (builds the topology cache)
     start = time.perf_counter()
     for _ in range(repeats):
-        heuristic.place(REQUEST, pool)
+        heuristic.place(pool, REQUEST)
     return (time.perf_counter() - start) / repeats * 1000
 
 

@@ -37,7 +37,7 @@ def run_comparison(trials: int = 5):
         algo2 = opt.optimize_transfers(online, pool.distance_matrix)
         annealed = AnnealingGsdSolver(
             AnnealingConfig(iterations=6000, seed=seed)
-        ).place_batch(admissible, pool)
+        ).place_batch(pool, admissible)
         totals["online"] += total_distance(online)
         totals["algorithm 2"] += total_distance(algo2)
         totals["annealing"] += total_distance(annealed)

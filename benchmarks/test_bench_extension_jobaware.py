@@ -44,7 +44,7 @@ def test_jobaware_provisioning(benchmark):
     compact = solve_sd_exact(DEMAND, pool)
     spread = spread_fill(DEMAND, pool)
     for job in (sort(), wordcount(combiner=False), grep()):
-        chosen = JobAwarePlacement(job).place(DEMAND, pool)
+        chosen = JobAwarePlacement(job).place(pool, DEMAND).allocation
         rt_compact = engine_runtime(job, compact, pool, catalog)
         rt_spread = engine_runtime(job, spread, pool, catalog)
         rt_chosen = engine_runtime(job, chosen, pool, catalog)

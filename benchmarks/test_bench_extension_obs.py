@@ -1,0 +1,107 @@
+"""Extension bench: observability overhead — null vs. live registry.
+
+The observability layer promises "zero overhead when disabled": with
+``obs=None`` every instrumented call site touches the shared null
+instrument and nothing else. This bench quantifies both sides of that
+promise on the placement hot path — repeated ``OnlineHeuristic.place``
+calls against one pool — and on the raw instrument operations:
+
+* ``place`` with ``obs=None`` vs. a live :class:`MetricsRegistry` (the
+  per-call cost of real counters/histograms, typically a few percent);
+* a counter-increment microbench, null vs. live (the per-operation floor);
+* full Prometheus + line-JSON exposition of a populated registry.
+
+Run with ``pytest benchmarks/test_bench_extension_obs.py --benchmark-only``.
+"""
+
+import functools
+
+from repro.analysis import format_table
+from repro.cluster import PoolSpec, VMTypeCatalog, random_pool
+from repro.core import OnlineHeuristic
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    to_json_lines,
+    to_prometheus,
+)
+
+from benchmarks.conftest import emit
+
+DEMAND = [2, 2, 1]
+
+
+def build_pool():
+    return random_pool(
+        PoolSpec(racks=4, nodes_per_rack=10, capacity_high=4),
+        VMTypeCatalog.ec2_default(),
+        seed=5,
+    )
+
+
+def test_place_null_registry(benchmark):
+    pool = build_pool()
+    algo = OnlineHeuristic()
+    result = benchmark(functools.partial(algo.place, pool, DEMAND, obs=None))
+    assert result.placed
+
+
+def test_place_live_registry(benchmark):
+    pool = build_pool()
+    algo = OnlineHeuristic()
+    obs = MetricsRegistry()
+    result = benchmark(functools.partial(algo.place, pool, DEMAND, obs=obs))
+    assert result.placed
+    emit(
+        "live-registry series after bench",
+        format_table(
+            ["series", "value"],
+            [
+                [name, f"{value:.0f}"]
+                for (name, _), value in sorted(obs.flatten().items())
+                if name.endswith("_total")
+            ],
+        ),
+    )
+
+
+def test_counter_inc_null(benchmark):
+    counter = NULL_REGISTRY.counter("repro_bench_null_total")
+
+    def bump():
+        for _ in range(1000):
+            counter.inc()
+
+    benchmark(bump)
+
+
+def test_counter_inc_live(benchmark):
+    counter = MetricsRegistry().counter("repro_bench_live_total")
+
+    def bump():
+        for _ in range(1000):
+            counter.inc()
+
+    benchmark(bump)
+    assert counter.value > 0
+
+
+def populated_registry():
+    obs = MetricsRegistry()
+    pool = build_pool()
+    algo = OnlineHeuristic()
+    for _ in range(50):
+        algo.place(pool, DEMAND, obs=obs)
+    return obs
+
+
+def test_exposition_prometheus(benchmark):
+    obs = populated_registry()
+    text = benchmark(functools.partial(to_prometheus, obs))
+    assert "repro_placement_requests_total" in text
+
+
+def test_exposition_json_lines(benchmark):
+    obs = populated_registry()
+    text = benchmark(functools.partial(to_json_lines, obs))
+    assert "repro_placement_requests_total" in text

@@ -96,7 +96,7 @@ def run_naive(pool: ResourcePool, demands) -> list[float]:
         for matrix in ledger.values():
             fresh.allocate(matrix)
         allocation = (
-            heuristic.place(list(demand), fresh)
+            heuristic.place(fresh, list(demand))
             if fresh.can_satisfy(np.asarray(demand))
             else None
         )

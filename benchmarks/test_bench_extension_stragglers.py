@@ -26,7 +26,7 @@ def build():
     pool = random_pool(
         PoolSpec(racks=3, nodes_per_rack=10, capacity_high=3), catalog, seed=7
     )
-    alloc = OnlineHeuristic().place(np.array([8, 6, 2]), pool)
+    alloc = OnlineHeuristic().place(pool, np.array([8, 6, 2])).allocation
     return VirtualCluster.from_allocation(alloc, pool.distance_matrix, catalog)
 
 

@@ -49,10 +49,10 @@ RESULTS_PATH = Path(__file__).parent / "results" / "scalability_bench.json"
 
 
 def _mean_placement_s(heuristic: OnlineHeuristic, pool, repeats: int) -> float:
-    heuristic.place(REQUEST, pool)  # warm-up (builds the topology cache)
+    heuristic.place(pool, REQUEST)  # warm-up (builds the topology cache)
     start = time.perf_counter()
     for _ in range(repeats):
-        heuristic.place(REQUEST, pool)
+        heuristic.place(pool, REQUEST)
     return (time.perf_counter() - start) / repeats
 
 

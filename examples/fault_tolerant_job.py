@@ -37,8 +37,8 @@ def build_packed_cluster():
     pool = study_pool()
     demand = np.array([0, 8, 0], dtype=np.int64)
     allocation = OnlineHeuristic().place(
-        VirtualClusterRequest(demand=demand, tag="example"), pool
-    )
+        pool, VirtualClusterRequest(demand=demand, tag="example")
+    ).allocation
     return pool, VirtualCluster.from_allocation(
         allocation, pool.distance_matrix, pool.catalog
     )

@@ -41,7 +41,7 @@ def main() -> None:
         ("random placement", RandomPlacement(seed=1)),
         ("striped across racks", StripedPlacement()),
     ]:
-        alloc = algo.place(request, pool)
+        alloc = algo.place(pool, request).allocation
         rows.append([name, alloc.distance, alloc.center, alloc.num_nodes_used])
 
     exact = solve_sd_exact(request, pool)
@@ -56,7 +56,7 @@ def main() -> None:
         )
     )
 
-    best = OnlineHeuristic().place(request, pool)
+    best = OnlineHeuristic().place(pool, request).allocation
     print("\nCommitting the heuristic's allocation to the pool...")
     pool.allocate(best.matrix)
     print(f"Pool utilization is now {pool.utilization:.1%}")

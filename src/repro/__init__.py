@@ -15,8 +15,8 @@ Quickstart::
 
     catalog = VMTypeCatalog.ec2_default()
     pool = random_pool(PoolSpec(racks=3, nodes_per_rack=10), catalog, seed=7)
-    alloc = OnlineHeuristic().place([2, 4, 1], pool)
-    print(alloc.distance, alloc.center)
+    result = OnlineHeuristic().place(pool, [2, 4, 1])
+    print(result.distance, result.center)
 """
 
 from repro.cluster import (

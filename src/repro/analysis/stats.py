@@ -40,14 +40,23 @@ def percentiles(values, points=(50.0, 95.0, 99.0)) -> dict[float, float]:
     """Percentile summary of a series (linear interpolation).
 
     Returns ``{point: value}`` for each requested *point*; an empty series
-    maps every point to 0.0 (latency/wait reports over zero samples).
+    maps every point to 0.0 (latency/wait reports over zero samples). A
+    bare scalar — one latency measurement, not wrapped in a list — counts
+    as a single-sample series, and a single sample is every percentile of
+    itself (returned exactly, with no interpolation arithmetic).
     """
-    arr = np.asarray(list(values), dtype=np.float64)
+    try:
+        arr = np.asarray(list(values), dtype=np.float64)
+    except TypeError:
+        arr = np.asarray([values], dtype=np.float64)
     pts = [float(p) for p in points]
     if any(not 0.0 <= p <= 100.0 for p in pts):
         raise ValidationError(f"percentile points must lie in [0, 100]: {pts}")
     if arr.size == 0:
         return {p: 0.0 for p in pts}
+    if arr.size == 1:
+        only = float(arr[0])
+        return {p: only for p in pts}
     computed = np.percentile(arr, pts)
     return {p: float(v) for p, v in zip(pts, computed)}
 

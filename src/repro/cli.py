@@ -10,6 +10,7 @@ Usage::
     python -m repro simulate --requests 200 --policy heuristic
     python -m repro serve --port 8571        # online placement service (TCP)
     python -m repro loadgen --requests 500 --mode open --rate 1000
+    python -m repro obs --port 8571          # scrape a running service's metrics
 
 Every command accepts ``--seed`` for reproducibility; figures default to the
 seed-pinned paper configuration.
@@ -227,6 +228,7 @@ def _cmd_simulate(args) -> int:
 def _build_service(args):
     from repro.cluster import PoolSpec, random_pool
     from repro.core import OnlineHeuristic
+    from repro.obs import MetricsRegistry
     from repro.service import ClusterState, PlacementService, ServiceConfig
 
     pool = random_pool(
@@ -244,7 +246,9 @@ def _build_service(args):
         max_wait=args.max_wait,
     )
     state = ClusterState.from_pool(pool)
-    return PlacementService(state, policy=OnlineHeuristic(), config=config)
+    return PlacementService(
+        state, policy=OnlineHeuristic(), config=config, obs=MetricsRegistry()
+    )
 
 
 def _cmd_serve(args) -> int:
@@ -348,6 +352,28 @@ def _cmd_loadgen(args) -> int:
 
         Path(args.json).write_text(json.dumps(report.to_dict(), indent=1))
         print(f"wrote report to {args.json}")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs import parse_prometheus
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.host, args.port) as client:
+        body = client.metrics(format=args.format)
+    if args.raw or args.format == "json":
+        print(body, end="" if body.endswith("\n") else "\n")
+        return 0
+    rows = []
+    for (name, labels), value in sorted(parse_prometheus(body).items()):
+        if not args.buckets and any(k == "le" for k, _ in labels):
+            continue
+        rows.append([name, ",".join(f"{k}={v}" for k, v in labels), value])
+    print(format_table(
+        ["series", "labels", "value"],
+        rows,
+        title=f"metrics @ {args.host}:{args.port}",
+    ))
     return 0
 
 
@@ -484,6 +510,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="report where placement time goes "
                          "(admission / center sweep / fill / transfer)")
     pl.add_argument("--json", help="also write the report as JSON to this file")
+
+    po = add("obs", _cmd_obs, "scrape metrics from a running placement service")
+    po.add_argument("--host", default="127.0.0.1")
+    po.add_argument("--port", type=int, required=True)
+    po.add_argument("--format", choices=["prom", "json"], default="prom")
+    po.add_argument("--raw", action="store_true",
+                    help="print the exposition text verbatim")
+    po.add_argument("--buckets", action="store_true",
+                    help="include histogram bucket rows in the table")
 
     pr = add("report", _cmd_report, "run every experiment, emit a markdown report")
     pr.add_argument("--out", help="write the report to this file (default: stdout)")

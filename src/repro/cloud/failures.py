@@ -201,6 +201,19 @@ class RepairStats:
     #: times (the retry budget ran out).
     requeue_rejected: int = 0
 
+    def to_metrics(self, registry) -> None:
+        """Export every field through the unified ``repro_stats`` gauge
+        (``source="cloud_repairs"``); see docs/OBSERVABILITY.md."""
+        gauge = registry.gauge(
+            "repro_stats",
+            "Unified stats-object export; one series per source and field.",
+            labels=("source", "field"),
+        )
+        for name in self.__dataclass_fields__:
+            gauge.labels(source="cloud_repairs", field=name).set(
+                float(getattr(self, name))
+            )
+
 
 class ResilientCloudProvider(CloudProvider):
     """A provider over a :class:`DynamicResourcePool` that repairs leases.

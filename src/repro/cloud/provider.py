@@ -94,7 +94,7 @@ class CloudProvider:
             self.stats.refused += 1
             return None
         if len(self.queue) == 0 and self.pool.can_satisfy(request.demand):
-            alloc = self.policy.place(request.request, self.pool)
+            alloc = self.policy.place(self.pool, request.request).allocation
             if alloc is not None:
                 return self._start_lease(request, alloc, now)
         if not self.queue.submit(request):
@@ -123,7 +123,7 @@ class CloudProvider:
         started: list[Lease] = []
         if self.batch_policy is not None:
             allocations = self.batch_policy.place_batch(
-                [r.request for r in batch], self.pool
+                self.pool, [r.request for r in batch]
             )
             placed_requests = []
             for req, alloc in zip(batch, allocations):
@@ -138,7 +138,7 @@ class CloudProvider:
             for req in batch:
                 if not self.pool.can_satisfy(req.demand):
                     continue
-                alloc = self.policy.place(req.request, self.pool)
+                alloc = self.policy.place(self.pool, req.request).allocation
                 if alloc is None:
                     continue
                 started.append(self._start_lease(req, alloc, now))

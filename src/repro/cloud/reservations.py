@@ -217,7 +217,7 @@ class ReservingCloudProvider(CloudProvider):
         )
         if mine.start > now + 1e-9:
             return None
-        alloc = self.policy.place(request.request, self.pool)
+        alloc = self.policy.place(self.pool, request.request).allocation
         if alloc is None:
             return None
         self.queue.remove_batch([request])
@@ -238,7 +238,7 @@ class ReservingCloudProvider(CloudProvider):
         for planned in self.last_plan:
             if planned.start > now + 1e-9:
                 continue
-            alloc = self.policy.place(planned.request.request, self.pool)
+            alloc = self.policy.place(self.pool, planned.request.request).allocation
             if alloc is None:
                 continue  # plan said it fits; placement may still decline
             started.append(self._start_lease(planned.request, alloc, now))

@@ -76,6 +76,40 @@ class SimulationResult:
     def wait_p99(self) -> float:
         return self.wait_percentiles[99.0]
 
+    def to_metrics(self, registry) -> None:
+        """Export the run's summary through the unified ``repro_stats``
+        gauge (``source="cloud_simulation"``), chaining to the repair
+        stats' own export when the run handled failures; see
+        docs/OBSERVABILITY.md for the mapping.
+        """
+        gauge = registry.gauge(
+            "repro_stats",
+            "Unified stats-object export; one series per source and field.",
+            labels=("source", "field"),
+        )
+
+        def put(name: str, value) -> None:
+            gauge.labels(source="cloud_simulation", field=name).set(float(value))
+
+        for name in (
+            "submitted",
+            "placed",
+            "refused",
+            "queue_rejected",
+            "completed",
+        ):
+            put(name, getattr(self.stats, name, 0))
+        put("mean_distance", self.stats.mean_distance)
+        put("mean_wait", self.stats.mean_wait)
+        put("acceptance_rate", self.acceptance_rate)
+        put("mean_utilization", self.mean_utilization)
+        put("makespan", self.makespan)
+        put("wait_p50", self.wait_p50)
+        put("wait_p95", self.wait_p95)
+        put("wait_p99", self.wait_p99)
+        if self.repairs is not None and hasattr(self.repairs, "to_metrics"):
+            self.repairs.to_metrics(registry)
+
 
 class CloudSimulator:
     """Run a timed workload through a provider to completion."""

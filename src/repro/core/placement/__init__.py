@@ -2,6 +2,7 @@
 
 from repro.core.placement.base import (
     PlacementAlgorithm,
+    PlacementResult,
     BatchPlacementAlgorithm,
     check_admissible,
     normalize_request,
@@ -47,6 +48,7 @@ from repro.core.placement.baselines import (
 
 __all__ = [
     "PlacementAlgorithm",
+    "PlacementResult",
     "BatchPlacementAlgorithm",
     "check_admissible",
     "normalize_request",

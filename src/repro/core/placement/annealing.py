@@ -139,16 +139,16 @@ class AnnealingGsdSolver(BatchPlacementAlgorithm):
 
     # -------------------------------------------------------------- interface
 
-    def place_batch(self, requests, pool: ResourcePool):
+    def _place_batch(self, pool: ResourcePool, requests, *, rng=None, obs=None):
         """Initialize, anneal, and return the best allocation set found."""
         cfg = self.config
-        rng = ensure_rng(cfg.seed)
+        rng = rng if rng is not None else ensure_rng(cfg.seed)
         # Initialize from sequential Algorithm 1 placements, optionally
         # improved by Algorithm 2's transfer phase.
         work = pool.copy()
         init: list["Allocation | None"] = []
         for request in requests:
-            alloc = self.online.place(request, work)
+            alloc = self.online.place(work, request, obs=obs).allocation
             if alloc is not None:
                 work.allocate(alloc.matrix)
             init.append(alloc)
@@ -156,7 +156,7 @@ class AnnealingGsdSolver(BatchPlacementAlgorithm):
             from repro.core.placement.global_opt import GlobalSubOptimizer
 
             init = GlobalSubOptimizer(self.online).optimize_transfers(
-                init, pool.distance_matrix
+                init, pool.distance_matrix, obs=obs
             )
         live_idx = [i for i, a in enumerate(init) if a is not None]
         if not live_idx:

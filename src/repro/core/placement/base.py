@@ -1,27 +1,66 @@
-"""Placement algorithm interfaces.
+"""Placement algorithm interfaces: the one-call placement protocol.
 
-All single-request algorithms implement :class:`PlacementAlgorithm`:
-given a request and the current pool state they return an
-:class:`~repro.core.problem.Allocation` (without mutating the pool — callers
-commit via :meth:`ResourcePool.allocate`) or raise.
+Every single-request algorithm conforms to one protocol::
+
+    result = algo.place(pool, request, rng=None, obs=None)   # PlacementResult
+
+``pool`` comes first (the state being placed into), then the request;
+``rng`` optionally overrides the algorithm's internal randomness for the
+call, and ``obs`` is a :class:`~repro.obs.registry.MetricsRegistry` (or
+``None`` for the shared null registry — instrumentation never changes
+placement outputs). The returned :class:`PlacementResult` carries the
+allocation (or ``None`` when the request must wait), the chosen center and
+distance, and a per-call metrics snapshot.
+
+Batch (GSD) algorithms conform to the analogous
+``place_batch(pool, requests, *, rng=None, obs=None)``.
+
+Algorithms implement the ``_place`` / ``_place_batch`` hooks; the public
+methods live on the base classes and handle result wrapping, per-call
+metrics, and **deprecation shims**: the pre-protocol argument order
+(``place(request, pool)``, ``place_batch(requests, pool)``) still works —
+detected by which positional argument is the :class:`ResourcePool` — but
+warns once per class and returns the legacy raw ``Allocation | None`` (or
+list thereof) so existing callers keep their semantics while they migrate.
 
 Outcomes follow the paper's admission semantics:
 
 * request > maximum pool capacity → :class:`InfeasibleRequestError` (refuse);
-* request > current availability  → ``None`` (wait in queue);
+* request > current availability  → no allocation (wait in queue);
 * otherwise → an allocation covering the request exactly.
 """
 
 from __future__ import annotations
 
 import abc
+import time
+import warnings
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.cluster.resources import ResourcePool
 from repro.core.problem import Allocation, VirtualClusterRequest
-from repro.util.errors import InfeasibleRequestError
+from repro.obs.registry import DISTANCE_BUCKETS, ensure_registry
+from repro.util.errors import InfeasibleRequestError, ValidationError
 from repro.util.validation import as_int_vector
+
+#: Classes that have already emitted the legacy-argument-order warning.
+_legacy_warned: set[type] = set()
+
+
+def _warn_legacy(cls: type, method: str) -> None:
+    if cls in _legacy_warned:
+        return
+    _legacy_warned.add(cls)
+    legacy = "requests, pool" if method == "place_batch" else "request, pool"
+    warnings.warn(
+        f"{cls.__name__}.{method}({legacy}) argument order is deprecated; "
+        f"pass the pool first ({method}(pool, ...)) — see docs/API.md for "
+        "the migration guide and deprecation timeline",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def normalize_request(
@@ -48,36 +87,179 @@ def check_admissible(demand: np.ndarray, pool: ResourcePool) -> bool:
     return pool.can_satisfy(demand)
 
 
+@dataclass(frozen=True)
+class PlacementResult:
+    """Outcome of one protocol-style :meth:`PlacementAlgorithm.place` call.
+
+    ``allocation`` is ``None`` when the request is admissible but cannot be
+    served right now (must wait). ``metrics`` is a small per-call snapshot
+    (algorithm name, wall seconds, allocation shape) — observational only,
+    never part of the placement decision.
+    """
+
+    allocation: "Allocation | None"
+    algorithm: str = ""
+    elapsed: float = 0.0
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def placed(self) -> bool:
+        return self.allocation is not None
+
+    @property
+    def center(self) -> "int | None":
+        """Central node of the allocation, or ``None`` when waiting."""
+        return self.allocation.center if self.allocation is not None else None
+
+    @property
+    def distance(self) -> float:
+        """Cluster distance ``DC(C)``; ``nan`` when nothing was placed."""
+        return (
+            self.allocation.distance
+            if self.allocation is not None
+            else float("nan")
+        )
+
+    def __bool__(self) -> bool:
+        return self.placed
+
+    def __repr__(self) -> str:
+        body = repr(self.allocation) if self.placed else "waiting"
+        return f"PlacementResult({self.algorithm}: {body})"
+
+
+def _call_metrics(algorithm: str, allocation: "Allocation | None") -> dict:
+    if allocation is None:
+        return {"algorithm": algorithm, "placed": 0}
+    return {
+        "algorithm": algorithm,
+        "placed": 1,
+        "vms": allocation.total_vms,
+        "nodes_used": allocation.num_nodes_used,
+        "center": allocation.center,
+        "distance": allocation.distance,
+    }
+
+
+def _split_single(method: str, cls: type, pool, request):
+    """Resolve the (pool, request) pair for either argument order.
+
+    Returns ``(pool, request, legacy)``; warns once per class on the
+    deprecated ``(request, pool)`` order.
+    """
+    if isinstance(pool, ResourcePool):
+        if request is None:
+            raise ValidationError(f"{method}(pool, request): request is required")
+        return pool, request, False
+    if isinstance(request, ResourcePool):
+        _warn_legacy(cls, method)
+        return request, pool, True
+    raise ValidationError(
+        f"{method} expects a ResourcePool as the first argument "
+        f"(got {type(pool).__name__}, {type(request).__name__})"
+    )
+
+
 class PlacementAlgorithm(abc.ABC):
     """Strategy interface for single-request virtual-cluster placement."""
 
-    #: Short name used in experiment tables.
+    #: Short name used in experiment tables and metric labels.
     name: str = "abstract"
 
     @abc.abstractmethod
-    def place(
+    def _place(
         self,
-        request: "VirtualClusterRequest | np.ndarray",
         pool: ResourcePool,
+        request: "VirtualClusterRequest | np.ndarray",
+        *,
+        rng=None,
+        obs=None,
     ) -> "Allocation | None":
         """Compute an allocation for *request* against *pool*'s current state.
 
         Must not mutate *pool*. Returns ``None`` if the request cannot be
         served right now (must wait); raises
         :class:`~repro.util.errors.InfeasibleRequestError` if it can never be
-        served.
+        served. ``rng`` overrides the algorithm's internal randomness for
+        this call; ``obs`` receives instrumentation (never affects the
+        result).
         """
+
+    def place(
+        self,
+        pool: "ResourcePool | VirtualClusterRequest | np.ndarray",
+        request: "VirtualClusterRequest | np.ndarray | ResourcePool | None" = None,
+        *,
+        rng=None,
+        obs=None,
+    ) -> "PlacementResult | Allocation | None":
+        """Place *request* into *pool*; returns a :class:`PlacementResult`.
+
+        The deprecated ``place(request, pool)`` order is still accepted
+        (warns once per class) and returns the legacy raw
+        ``Allocation | None``.
+        """
+        pool, request, legacy = _split_single("place", type(self), pool, request)
+        if legacy:
+            return self._place(pool, request, rng=rng, obs=obs)
+        registry = ensure_registry(obs)
+        requests_total = registry.counter(
+            "repro_placement_requests_total",
+            "Placement protocol calls by algorithm and outcome.",
+            labels=("algorithm", "outcome"),
+        )
+        started = time.perf_counter()
+        try:
+            allocation = self._place(pool, request, rng=rng, obs=obs)
+        except InfeasibleRequestError:
+            requests_total.labels(algorithm=self.name, outcome="refused").inc()
+            raise
+        elapsed = time.perf_counter() - started
+        outcome = "placed" if allocation is not None else "wait"
+        requests_total.labels(algorithm=self.name, outcome=outcome).inc()
+        registry.histogram(
+            "repro_placement_seconds",
+            "Wall seconds per placement protocol call.",
+            labels=("algorithm",),
+        ).labels(algorithm=self.name).observe(elapsed)
+        if allocation is not None:
+            registry.histogram(
+                "repro_placement_distance",
+                "Committed cluster distance DC(C) per placed request.",
+                labels=("algorithm",),
+                buckets=DISTANCE_BUCKETS,
+            ).labels(algorithm=self.name).observe(allocation.distance)
+        return PlacementResult(
+            allocation=allocation,
+            algorithm=self.name,
+            elapsed=elapsed,
+            metrics=_call_metrics(self.name, allocation),
+        )
 
     def place_and_commit(
         self,
-        request: "VirtualClusterRequest | np.ndarray",
-        pool: ResourcePool,
-    ) -> "Allocation | None":
-        """Convenience: :meth:`place` then commit to the pool if successful."""
-        alloc = self.place(request, pool)
-        if alloc is not None:
-            pool.allocate(alloc.matrix)
-        return alloc
+        pool: "ResourcePool | VirtualClusterRequest | np.ndarray",
+        request: "VirtualClusterRequest | np.ndarray | ResourcePool | None" = None,
+        *,
+        rng=None,
+        obs=None,
+    ) -> "PlacementResult | Allocation | None":
+        """:meth:`place`, then commit the allocation to the pool if placed.
+
+        Follows the same dual argument-order rules as :meth:`place`.
+        """
+        pool_, request_, legacy = _split_single(
+            "place_and_commit", type(self), pool, request
+        )
+        if legacy:
+            alloc = self._place(pool_, request_, rng=rng, obs=obs)
+            if alloc is not None:
+                pool_.allocate(alloc.matrix)
+            return alloc
+        result = self.place(pool_, request_, rng=rng, obs=obs)
+        if result.placed:
+            pool_.allocate(result.allocation.matrix)
+        return result
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -89,13 +271,45 @@ class BatchPlacementAlgorithm(abc.ABC):
     name: str = "abstract-batch"
 
     @abc.abstractmethod
-    def place_batch(
+    def _place_batch(
         self,
-        requests: "list[VirtualClusterRequest | np.ndarray]",
         pool: ResourcePool,
+        requests: "list[VirtualClusterRequest | np.ndarray]",
+        *,
+        rng=None,
+        obs=None,
     ) -> list["Allocation | None"]:
         """Allocate each request in *requests*; entries are ``None`` for
         requests that could not be served with the remaining resources.
 
         Must not mutate *pool*.
         """
+
+    def place_batch(
+        self,
+        pool: "ResourcePool | list",
+        requests: "list | ResourcePool | None" = None,
+        *,
+        rng=None,
+        obs=None,
+    ) -> list["Allocation | None"]:
+        """Place every request in the batch against *pool*.
+
+        The deprecated ``place_batch(requests, pool)`` order is accepted
+        with a once-per-class warning. Both orders return the legacy
+        ``list[Allocation | None]`` (per-entry results; batch callers
+        aggregate their own metrics via ``obs``).
+        """
+        if isinstance(pool, ResourcePool):
+            if requests is None:
+                raise ValidationError(
+                    "place_batch(pool, requests): requests is required"
+                )
+            return self._place_batch(pool, requests, rng=rng, obs=obs)
+        if isinstance(requests, ResourcePool):
+            _warn_legacy(type(self), "place_batch")
+            return self._place_batch(requests, pool, rng=rng, obs=obs)
+        raise ValidationError(
+            "place_batch expects a ResourcePool as the first argument "
+            f"(got {type(pool).__name__}, {type(requests).__name__})"
+        )

@@ -51,7 +51,7 @@ class FirstFitPlacement(PlacementAlgorithm):
 
     name = "first-fit"
 
-    def place(self, request, pool: ResourcePool):
+    def _place(self, pool: ResourcePool, request, *, rng=None, obs=None):
         demand = normalize_request(request, pool.num_types)
         if not check_admissible(demand, pool):
             return None
@@ -73,7 +73,7 @@ class BestFitPlacement(PlacementAlgorithm):
 
     name = "best-fit"
 
-    def place(self, request, pool: ResourcePool):
+    def _place(self, pool: ResourcePool, request, *, rng=None, obs=None):
         demand = normalize_request(request, pool.num_types)
         if not check_admissible(demand, pool):
             return None
@@ -98,10 +98,11 @@ class RandomPlacement(PlacementAlgorithm):
     def __init__(self, seed=None) -> None:
         self._rng = ensure_rng(seed)
 
-    def place(self, request, pool: ResourcePool):
+    def _place(self, pool: ResourcePool, request, *, rng=None, obs=None):
         demand = normalize_request(request, pool.num_types)
         if not check_admissible(demand, pool):
             return None
+        draw = rng if rng is not None else self._rng
         remaining = pool.remaining.copy()
         matrix = np.zeros_like(remaining)
         for j in range(pool.num_types):
@@ -109,7 +110,7 @@ class RandomPlacement(PlacementAlgorithm):
                 candidates = np.flatnonzero(remaining[:, j] > 0)
                 if candidates.size == 0:
                     return None
-                i = int(self._rng.choice(candidates))
+                i = int(draw.choice(candidates))
                 matrix[i, j] += 1
                 remaining[i, j] -= 1
         return Allocation.from_matrix(matrix, pool.distance_matrix)
@@ -124,7 +125,7 @@ class StripedPlacement(PlacementAlgorithm):
 
     name = "striped"
 
-    def place(self, request, pool: ResourcePool):
+    def _place(self, pool: ResourcePool, request, *, rng=None, obs=None):
         demand = normalize_request(request, pool.num_types)
         if not check_admissible(demand, pool):
             return None

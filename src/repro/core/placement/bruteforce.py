@@ -102,5 +102,5 @@ class BruteForcePlacement(PlacementAlgorithm):
     def __init__(self, limit: int = 2_000_000) -> None:
         self.limit = limit
 
-    def place(self, request, pool):
+    def _place(self, pool, request, *, rng=None, obs=None):
         return solve_sd_bruteforce(request, pool, limit=self.limit)

@@ -95,5 +95,5 @@ class ExactPlacement(PlacementAlgorithm):
 
     name = "exact"
 
-    def place(self, request, pool):
+    def _place(self, pool, request, *, rng=None, obs=None):
         return solve_sd_exact(request, pool)

@@ -101,20 +101,24 @@ class GlobalSubOptimizer(BatchPlacementAlgorithm):
     # ------------------------------------------------------------------ steps
 
     def place_online(
-        self, requests, pool: ResourcePool
+        self, requests, pool: ResourcePool, *, obs=None
     ) -> list["Allocation | None"]:
         """Step 2: sequential Algorithm-1 placement on a working copy."""
         work = pool.copy()
         out: list[Allocation | None] = []
         for request in requests:
-            alloc = self.online.place(request, work)
+            alloc = self.online.place(work, request, obs=obs).allocation
             if alloc is not None:
                 work.allocate(alloc.matrix)
             out.append(alloc)
         return out
 
     def optimize_transfers(
-        self, allocations: list["Allocation | None"], dist: np.ndarray
+        self,
+        allocations: list["Allocation | None"],
+        dist: np.ndarray,
+        *,
+        obs=None,
     ) -> list["Allocation | None"]:
         """Step 3: pairwise Theorem-2 transfers to a fixpoint.
 
@@ -128,6 +132,26 @@ class GlobalSubOptimizer(BatchPlacementAlgorithm):
         allocations are exactly those of the full re-sweep.
         """
         from repro.core.placement.transfer import transfer_pair_paper
+        from repro.obs.registry import DISTANCE_BUCKETS, ensure_registry
+
+        registry = ensure_registry(obs)
+        attempts_total = registry.counter(
+            "repro_transfer_attempts_total",
+            "Allocation pairs evaluated for a Theorem-2 transfer.",
+        )
+        applied_total = registry.counter(
+            "repro_transfer_applied_total",
+            "Pair transfers that improved the summed distance and were applied.",
+        )
+        exchanges_total = registry.counter(
+            "repro_transfer_exchanges_total",
+            "Individual VM exchanges applied across all accepted transfers.",
+        )
+        gain_hist = registry.histogram(
+            "repro_transfer_gain_distance",
+            "Distance gained per accepted pair transfer.",
+            buckets=DISTANCE_BUCKETS,
+        )
 
         allocs = list(allocations)
         live = [i for i, a in enumerate(allocs) if a is not None]
@@ -155,6 +179,7 @@ class GlobalSubOptimizer(BatchPlacementAlgorithm):
                             result = transfer_pair_paper(a1, a2, dist)
                         else:
                             result = transfer_pair(a1, a2, dist)
+                        attempts_total.inc()
                         if result.improved and result.gain > 1e-9:
                             allocs[i] = result.first
                             allocs[j] = result.second
@@ -162,6 +187,9 @@ class GlobalSubOptimizer(BatchPlacementAlgorithm):
                             stamps[j] += 1
                             exchanges += result.exchanges
                             changed = True
+                            applied_total.inc()
+                            exchanges_total.inc(result.exchanges)
+                            gain_hist.observe(result.gain)
                         converged[(i, j)] = (stamps[i], stamps[j])
                 if not changed:
                     break
@@ -171,16 +199,16 @@ class GlobalSubOptimizer(BatchPlacementAlgorithm):
 
     # -------------------------------------------------------------- interface
 
-    def place_batch(self, requests, pool: ResourcePool):
+    def _place_batch(self, pool: ResourcePool, requests, *, rng=None, obs=None):
         """Run steps 2 and 3; step 1 (queue admission) lives in
         :class:`repro.cloud.queue.RequestQueue`."""
         self.last_stats = GlobalOptimizationStats()
-        allocs = self.place_online(requests, pool)
+        allocs = self.place_online(requests, pool, obs=obs)
         placed = [a for a in allocs if a is not None]
         self.last_stats.initial_total_distance = float(
             sum(a.distance for a in placed)
         )
-        allocs = self.optimize_transfers(allocs, pool.distance_matrix)
+        allocs = self.optimize_transfers(allocs, pool.distance_matrix, obs=obs)
         placed = [a for a in allocs if a is not None]
         self.last_stats.final_total_distance = float(
             sum(a.distance for a in placed)

@@ -219,7 +219,7 @@ class OnlineHeuristic(PlacementAlgorithm):
         self.timer = timer if timer is not None else PhaseTimer()
         self._rng = ensure_rng(seed)
 
-    def _candidate_centers(self, remaining: np.ndarray) -> np.ndarray:
+    def _candidate_centers(self, remaining: np.ndarray, rng=None) -> np.ndarray:
         """Nodes worth trying as centers: those with any remaining capacity.
 
         A zero-capacity node can still be the *geometric* center of an
@@ -229,10 +229,10 @@ class OnlineHeuristic(PlacementAlgorithm):
         """
         candidates = np.flatnonzero(remaining.sum(axis=1) > 0)
         if self.center_order == "random":
-            candidates = self._rng.permutation(candidates)
+            candidates = (rng or self._rng).permutation(candidates)
         return candidates
 
-    def place(self, request, pool: ResourcePool):
+    def _place(self, pool: ResourcePool, request, *, rng=None, obs=None):
         timer = self.timer
         demand = normalize_request(request, pool.num_types)
         with timer.phase("admission"):
@@ -259,16 +259,18 @@ class OnlineHeuristic(PlacementAlgorithm):
                 return Allocation(matrix=matrix, center=i, distance=0.0)
 
         with timer.phase("center_sweep"):
-            candidates = self._candidate_centers(remaining)
+            candidates = self._candidate_centers(remaining, rng)
             if self.use_kernels:
                 return self._sweep_kernels(
-                    candidates, demand, remaining, dist, pool, rack_ids
+                    candidates, demand, remaining, dist, pool, rack_ids, obs
                 )
             return self._sweep_reference(
                 candidates, demand, remaining, dist, rack_ids
             )
 
-    def _sweep_kernels(self, candidates, demand, remaining, dist, pool, rack_ids):
+    def _sweep_kernels(
+        self, candidates, demand, remaining, dist, pool, rack_ids, obs=None
+    ):
         """Vectorized candidate sweep (bit-identical to the reference)."""
         cache = getattr(pool, "topology_cache", None)
         sweep = kernels.sweep_best if self.stop == "best" else kernels.sweep_first
@@ -281,6 +283,7 @@ class OnlineHeuristic(PlacementAlgorithm):
             rack_ids=rack_ids,
             max_vms_per_rack=self.max_vms_per_rack,
             timer=self.timer if self.timer.enabled else None,
+            obs=obs,
         )
         if result is None:
             return None

@@ -278,5 +278,5 @@ class MilpPlacement(PlacementAlgorithm):
     def __init__(self, options: MilpOptions | None = None) -> None:
         self.options = options or MilpOptions()
 
-    def place(self, request, pool):
+    def _place(self, pool, request, *, rng=None, obs=None):
         return solve_sd_milp(request, pool, options=self.options)

@@ -191,7 +191,7 @@ class JobAwarePlacement(PlacementAlgorithm):
         self.network = network or NetworkModel()
         self.last_predictions: dict[str, RuntimePrediction] = {}
 
-    def place(self, request, pool: ResourcePool):
+    def _place(self, pool: ResourcePool, request, *, rng=None, obs=None):
         demand = normalize_request(request, pool.num_types)
         if not check_admissible(demand, pool):
             return None

@@ -38,6 +38,8 @@ the reference does.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.util.errors import ValidationError
@@ -225,6 +227,58 @@ def _exact_distance(matrix: np.ndarray, dist: np.ndarray, center: int) -> float:
     return float(matrix.sum(axis=1).astype(np.float64) @ dist[:, center])
 
 
+class _SweepInstruments:
+    """Per-sweep counters for the candidate-center screen/prune/fill trio.
+
+    Built only for a live registry; ``None`` elsewhere keeps the sweep's
+    hot loop free of instrument calls. Counting never influences which
+    centers are filled or which allocation wins.
+    """
+
+    __slots__ = ("screened", "pruned", "filled", "fill_seconds")
+
+    def __init__(self, obs) -> None:
+        self.screened = obs.counter(
+            "repro_placement_centers_screened_total",
+            "Candidate centers evaluated by the screening pass.",
+        )
+        self.pruned = obs.counter(
+            "repro_placement_centers_pruned_total",
+            "Candidate centers discarded by screening without an exact fill.",
+        )
+        self.filled = obs.counter(
+            "repro_placement_centers_filled_total",
+            "Candidate centers given an exact Algorithm-1 fill.",
+        )
+        self.fill_seconds = obs.histogram(
+            "repro_placement_fill_seconds",
+            "Wall seconds per exact candidate-center fill.",
+        )
+
+
+def _sweep_instruments(obs) -> "_SweepInstruments | None":
+    if obs is None or not getattr(obs, "enabled", False):
+        return None
+    return _SweepInstruments(obs)
+
+
+def _timed_fill(
+    ins, timer, center, demand, remaining, dist, cache, rack_ids, max_vms_per_rack
+):
+    if ins is None:
+        return _exact_fill(
+            timer, center, demand, remaining, dist, cache, rack_ids,
+            max_vms_per_rack,
+        )
+    started = time.perf_counter()
+    matrix = _exact_fill(
+        timer, center, demand, remaining, dist, cache, rack_ids, max_vms_per_rack
+    )
+    ins.fill_seconds.observe(time.perf_counter() - started)
+    ins.filled.inc()
+    return matrix
+
+
 def sweep_best(
     candidates: np.ndarray,
     demand: np.ndarray,
@@ -235,28 +289,38 @@ def sweep_best(
     rack_ids=None,
     max_vms_per_rack: "int | None" = None,
     timer=None,
+    obs=None,
 ) -> "tuple[np.ndarray, int, float] | None":
     """Evaluate *candidates* in order, returning the reference winner.
 
     Returns ``(matrix, center, dc)`` for the center the reference
     ``stop="best"`` loop would select (same incumbent-update rule, same tie
-    handling), or ``None`` when no candidate completes.
+    handling), or ``None`` when no candidate completes. ``obs`` (a metrics
+    registry) receives screened/pruned/filled counts and fill timings;
+    it never affects the result.
     """
     if max_vms_per_rack is None and np.any(remaining.sum(axis=0) < demand):
         return None  # completion is center-independent without rack budgets
+    ins = _sweep_instruments(obs)
     candidates = np.asarray(candidates, dtype=np.int64)
     best: "tuple[np.ndarray, int, float] | None" = None
     threshold = np.inf
     for start in range(0, candidates.shape[0], CHUNK):
         block = candidates[start : start + CHUNK]
         screen = _screen_distances(block, demand, remaining, dist, cache)
+        if ins is not None:
+            ins.screened.inc(block.shape[0])
         if best is not None and np.all(screen >= threshold):
+            if ins is not None:
+                ins.pruned.inc(block.shape[0])
             continue
         for pos, center in enumerate(block):
             if best is not None and screen[pos] >= threshold:
+                if ins is not None:
+                    ins.pruned.inc()
                 continue
-            matrix = _exact_fill(
-                timer, int(center), demand, remaining, dist, cache,
+            matrix = _timed_fill(
+                ins, timer, int(center), demand, remaining, dist, cache,
                 rack_ids, max_vms_per_rack,
             )
             if matrix is None:
@@ -278,11 +342,13 @@ def sweep_first(
     rack_ids=None,
     max_vms_per_rack: "int | None" = None,
     timer=None,
+    obs=None,
 ) -> "tuple[np.ndarray, int, float] | None":
     """First candidate whose fill completes (the reference ``stop="first"``)."""
+    ins = _sweep_instruments(obs)
     for center in candidates:
-        matrix = _exact_fill(
-            timer, int(center), demand, remaining, dist, cache,
+        matrix = _timed_fill(
+            ins, timer, int(center), demand, remaining, dist, cache,
             rack_ids, max_vms_per_rack,
         )
         if matrix is None:

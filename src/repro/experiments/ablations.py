@@ -86,8 +86,8 @@ def run_heuristic_gap(
         if exact is None:
             continue
         exact_total += exact.distance
-        best_total += best_mode.place(demand, pool).distance
-        first_total += first_mode.place(demand, pool).distance
+        best_total += best_mode.place(pool, demand).distance
+        first_total += first_mode.place(pool, demand).distance
     return HeuristicGapResult(
         exact_total=exact_total,
         best_mode_total=best_total,
@@ -189,7 +189,7 @@ def run_policy_comparison(
         pool = random_pool(
             cfg.SIM_POOL, cfg.CATALOG, seed, distance_model=cfg.DISTANCES
         )
-        alloc = policy.place(demand, pool)
+        alloc = policy.place(pool, demand).allocation
         cluster = VirtualCluster.from_allocation(
             alloc, pool.distance_matrix, cfg.CATALOG
         )

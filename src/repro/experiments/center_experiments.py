@@ -105,7 +105,7 @@ def run_center_study(
             else:
                 still_live.append(alloc)
         live = still_live
-        alloc = heuristic.place(demand, pool)
+        alloc = heuristic.place(pool, demand).allocation
         if alloc is None:
             continue  # waits in a real system; skipped in this static study
         pool.allocate(alloc.matrix)

@@ -227,12 +227,12 @@ def run_spread_study(
     request = VirtualClusterRequest(demand=demand, tag="spread-study")
 
     placements = [
-        ("packed", OnlineHeuristic().place(request, pool)),
+        ("packed", OnlineHeuristic().place(pool, request).allocation),
         (
             "spread",
             OnlineHeuristic(max_vms_per_rack=max_vms_per_rack).place(
-                request, pool
-            ),
+                pool, request
+            ).allocation,
         ),
     ]
     failed_rack = -1

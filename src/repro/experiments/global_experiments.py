@@ -177,7 +177,7 @@ def run_gsd_gap(
             requests.append(r)
             budget -= r
     optimizer = GlobalSubOptimizer(OnlineHeuristic())
-    algo2 = optimizer.place_batch(requests, pool)
+    algo2 = optimizer.place_batch(pool, requests)
     exact = solve_gsd_milp(requests, pool)
     if exact is None:
         raise ValidationError("GSD instance unexpectedly infeasible")

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.registry import ensure_registry
 from repro.util.events import EventQueue
 from repro.mapreduce.faults import NO_FAULTS, TaskFaultModel
 from repro.mapreduce.hdfs import HDFSModel
@@ -149,6 +150,11 @@ class MapReduceEngine:
     max_fetch_retries:
         Fetch failures tolerated per flow before the source map output is
         condemned and the map re-executes.
+    obs:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` receiving the
+        ``repro_mr_*`` series (attempts, retries, backoff, shuffle traffic,
+        locality, invalidations). Instrumentation is observational only —
+        results are bit-identical with ``obs=None``.
     """
 
     def __init__(
@@ -168,6 +174,7 @@ class MapReduceEngine:
         task_retry: "RetryPolicy | None" = None,
         fetch_retry: "RetryPolicy | None" = None,
         max_fetch_retries: int = 3,
+        obs=None,
         seed=None,
     ) -> None:
         if parallel_fetches < 1:
@@ -195,6 +202,45 @@ class MapReduceEngine:
         self.fetch_retry = fetch_retry or FETCH_RETRY
         self.max_fetch_retries = max_fetch_retries
         self._rng = ensure_rng(seed)
+        self.obs = ensure_registry(obs)
+        self._m_jobs = self.obs.counter(
+            "repro_mr_jobs_total", "MapReduce jobs completed successfully."
+        )
+        self._m_attempts = self.obs.counter(
+            "repro_mr_task_attempts_total",
+            "Task execution attempts by kind, counted at job completion.",
+            labels=("kind",),
+        )
+        self._m_retries = self.obs.counter(
+            "repro_mr_task_retries_total",
+            "Re-executions scheduled after a failure, by kind.",
+            labels=("kind",),
+        )
+        self._m_backoff = self.obs.counter(
+            "repro_mr_backoff_seconds_total",
+            "Simulated seconds spent in retry backoff sleeps.",
+        )
+        self._m_invalidations = self.obs.counter(
+            "repro_mr_map_output_invalidations_total",
+            "Completed map outputs condemned and re-queued.",
+        )
+        self._m_vm_deaths = self.obs.counter(
+            "repro_mr_vm_deaths_total", "Mid-job VM deaths handled by the engine."
+        )
+        self._m_shuffle_bytes = self.obs.counter(
+            "repro_mr_shuffle_bytes_total",
+            "Bytes successfully fetched during shuffle.",
+        )
+        self._m_map_locality = self.obs.counter(
+            "repro_mr_map_locality_total",
+            "Winning map attempts by data-locality band.",
+            labels=("band",),
+        )
+        self._m_shuffle_flows = self.obs.counter(
+            "repro_mr_shuffle_flows_total",
+            "Completed shuffle fetches by distance band.",
+            labels=("band",),
+        )
 
     # ------------------------------------------------------------------- run
 
@@ -414,6 +460,7 @@ class MapReduceEngine:
             if task.state is not TaskState.DONE:
                 return  # already re-queued by a concurrent invalidation
             recovery.maps_invalidated += 1
+            self._m_invalidations.inc()
             for st in reducers:
                 if st.record.state is TaskState.DONE:
                     continue
@@ -449,6 +496,8 @@ class MapReduceEngine:
             if not live_sibling:
                 task.state = TaskState.PENDING
                 delay = self.task_retry.delay(n, rng=faults.rng)
+                self._m_retries.labels(kind="map").inc()
+                self._m_backoff.inc(delay)
                 events.schedule(now + delay, MAP_RETRY, task)
 
         def emit_flows(task: MapTaskRecord, now: float) -> None:
@@ -499,6 +548,7 @@ class MapReduceEngine:
                 return  # job already complete; the lease outlived the run
             dead_vms.add(vm_id)
             recovery.vm_deaths += 1
+            self._m_vm_deaths.inc()
             free_map_slots[vm_id] = 0  # blacklist the VM's map slots
             # 1. Kill attempts running on the VM; re-queue orphaned tasks.
             for task in maps:
@@ -596,6 +646,9 @@ class MapReduceEngine:
                 task.state = TaskState.DONE
                 task.attempts = len(attempts[task.task_id])
                 maps_done += 1
+                self._m_map_locality.labels(
+                    band=attempt.locality.name.lower()
+                ).inc()
                 for other in attempts[task.task_id]:
                     if other is not attempt and not other.cancelled and not other.finished:
                         other.cancelled = True
@@ -610,6 +663,8 @@ class MapReduceEngine:
                     continue
                 flow.finish_time = now
                 state.fetched_maps.add(flow.map_task)
+                self._m_shuffle_bytes.inc(flow.size_bytes)
+                self._m_shuffle_flows.labels(band=flow.band.name.lower()).inc()
                 try_start_fetches(state, now)
                 if len(state.fetched_maps) == num_maps:
                     finish_shuffle(state, now)
@@ -662,6 +717,8 @@ class MapReduceEngine:
                     fill_slots(now)
                 else:
                     delay = self.fetch_retry.delay(flow.attempts, rng=faults.rng)
+                    self._m_retries.labels(kind="fetch").inc()
+                    self._m_backoff.inc(delay)
                     events.schedule(now + delay, FETCH_RETRY_EVENT, (state, flow))
                 try_start_fetches(state, now)
             elif ev.kind == FETCH_RETRY_EVENT:
@@ -687,6 +744,8 @@ class MapReduceEngine:
                 rec.attempts += 1
                 rec.shuffle_finish_time = -1.0
                 delay = self.task_retry.delay(state.failures, rng=faults.rng)
+                self._m_retries.labels(kind="reduce").inc()
+                self._m_backoff.inc(delay)
                 events.schedule(now + delay, REDUCE_RETRY, state)
             elif ev.kind == REDUCE_RETRY:
                 state = ev.payload
@@ -713,6 +772,13 @@ class MapReduceEngine:
             recovery.reduce_attempts = dict(
                 sorted(Counter(s.record.attempts for s in reducers).items())
             )
+        self._m_jobs.inc()
+        self._m_attempts.labels(kind="map").inc(
+            sum(len(attempts[t.task_id]) for t in maps)
+        )
+        self._m_attempts.labels(kind="reduce").inc(
+            sum(s.record.attempts for s in reducers)
+        )
         return JobResult(
             job_name=job.name,
             cluster_affinity=cluster.affinity,

@@ -79,6 +79,38 @@ class RecoveryReport:
             + self.vm_deaths
         )
 
+    def to_metrics(self, registry) -> None:
+        """Export every field through the unified ``repro_stats`` gauge
+        (``source="mapreduce_recovery"``). The attempt histograms flatten to
+        ``map_attempts_<n>`` / ``reduce_attempts_<n>`` fields; see
+        docs/OBSERVABILITY.md for the full mapping.
+        """
+        gauge = registry.gauge(
+            "repro_stats",
+            "Unified stats-object export; one series per source and field.",
+            labels=("source", "field"),
+        )
+
+        def put(name: str, value) -> None:
+            gauge.labels(source="mapreduce_recovery", field=name).set(float(value))
+
+        for name in (
+            "map_failures",
+            "reduce_failures",
+            "fetch_failures",
+            "vm_deaths",
+            "maps_invalidated",
+            "reducers_relocated",
+            "wasted_time",
+        ):
+            put(name, getattr(self, name))
+        put("total_task_failures", self.total_task_failures)
+        put("total_faults", self.total_faults)
+        for n, count in self.map_attempts.items():
+            put(f"map_attempts_{n}", count)
+        for n, count in self.reduce_attempts.items():
+            put(f"reduce_attempts_{n}", count)
+
 
 @dataclass
 class JobResult:

@@ -1,0 +1,401 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The observability layer the rest of the package instruments against. Design
+constraints, in order:
+
+* **Deterministic output.** Exposition (``repro.obs.export``) must be
+  byte-stable under seeded runs, so histograms use *fixed* exponential
+  buckets chosen at declaration time (never adapted to data), families
+  render in sorted-name order, and label sets render in declaration order.
+* **Zero overhead when disabled.** Every instrumented call site works
+  against the instrument *interface*; :data:`NULL_REGISTRY` hands out a
+  shared no-op instrument, so disabled instrumentation costs one attribute
+  lookup and an empty method call — no allocation, no locking, no branches
+  at the call site.
+* **Thread safety.** The placement service mutates metrics from the
+  scheduler thread, transport handler threads, and load-generator callbacks
+  concurrently; one registry-wide lock covers all mutations (the hot path
+  is a counter bump — contention is negligible at service request rates).
+
+Instrument families follow the Prometheus data model: a family has a kind,
+a name, optional help text, and optional label names; ``family.labels(...)``
+returns (creating on first use) the child instrument for one label-value
+combination. A family declared without labels acts as its own single child.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+from repro.util.errors import ValidationError
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` bucket upper bounds: ``start, start·factor, …`` (Prometheus
+    convention; the ``+Inf`` bucket is implicit)."""
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValidationError(
+            "exponential_buckets needs start > 0, factor > 1, count >= 1"
+        )
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Latency buckets: ~10 µs to ~84 s, factor 2. Wide enough for both kernel
+#: fills and whole drain cycles; fixed so output is deterministic.
+LATENCY_BUCKETS = exponential_buckets(1e-5, 2.0, 23)
+
+#: Cluster-distance buckets (DC values and transfer gains): 1 to 32768.
+DISTANCE_BUCKETS = exponential_buckets(1.0, 2.0, 16)
+
+#: Byte-volume buckets: 1 KiB to ~4 TiB, factor 4.
+BYTES_BUCKETS = exponential_buckets(1024.0, 4.0, 16)
+
+#: Small-count buckets (batch sizes, attempts): 1 to 1024, factor 2.
+COUNT_BUCKETS = exponential_buckets(1.0, 2.0, 11)
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument; every mutator is a no-op.
+
+    ``labels`` returns ``self`` so labeled and unlabeled call sites both
+    collapse to nothing. Reads return 0 so the null registry is also safe
+    to *report* from.
+    """
+
+    __slots__ = ()
+
+    def labels(self, **_kv) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValidationError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Value that can move both ways."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Cumulative histogram over fixed (declaration-time) bucket bounds."""
+
+    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, lock: threading.Lock, buckets: tuple[float, ...]) -> None:
+        self._lock = lock
+        self.buckets = buckets
+        self._counts = [0] * (len(buckets) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs ending at ``+Inf``."""
+        out = []
+        running = 0
+        for bound, n in zip(self.buckets, self._counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), self._count))
+        return out
+
+
+_KIND_FACTORY = {COUNTER: Counter, GAUGE: Gauge}
+
+
+class MetricFamily:
+    """One named metric with zero or more label dimensions."""
+
+    __slots__ = ("kind", "name", "help", "label_names", "buckets", "_lock", "_children")
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        label_names: tuple[str, ...],
+        lock: threading.Lock,
+        buckets: "tuple[float, ...] | None" = None,
+    ) -> None:
+        self.kind = kind
+        self.name = name
+        self.help = help_text
+        self.label_names = label_names
+        self.buckets = buckets
+        self._lock = lock
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def _make_child(self):
+        if self.kind == HISTOGRAM:
+            return Histogram(self._lock, self.buckets)
+        return _KIND_FACTORY[self.kind](self._lock)
+
+    def labels(self, **labelvalues):
+        """Child instrument for one label-value combination (created lazily)."""
+        if set(labelvalues) != set(self.label_names):
+            raise ValidationError(
+                f"{self.name} expects labels {self.label_names}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[n]) for n in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    def _default(self):
+        if self.label_names:
+            raise ValidationError(
+                f"{self.name} is labeled {self.label_names}; use .labels(...)"
+            )
+        return self.labels()
+
+    # Unlabeled families act as their own single child.
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+    @property
+    def count(self) -> int:
+        return self._default().count
+
+    @property
+    def sum(self) -> float:
+        return self._default().sum
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        return self._default().cumulative()
+
+    def samples(self) -> list[tuple[tuple[str, ...], object]]:
+        """``(label_values, instrument)`` pairs in sorted label order."""
+        return sorted(self._children.items(), key=lambda kv: kv[0])
+
+
+class MetricsRegistry:
+    """Container of metric families; the unit of exposition.
+
+    ``counter``/``gauge``/``histogram`` are idempotent declarations: calling
+    them again with the same name returns the existing family (and validates
+    that the kind and labels agree), so instrumented components can simply
+    declare what they need at construction time and share series naturally.
+    """
+
+    #: Real registries record; the null registry reports ``False`` so code
+    #: can skip *building* expensive observations (never required for
+    #: correctness — every instrument call is safe on both).
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+
+    def _declare(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        labels: tuple[str, ...],
+        buckets: "tuple[float, ...] | None" = None,
+    ) -> MetricFamily:
+        labels = tuple(labels)
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind or family.label_names != labels:
+                raise ValidationError(
+                    f"metric {name!r} redeclared as {kind}{labels} "
+                    f"(was {family.kind}{family.label_names})"
+                )
+            return family
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(
+                    kind, name, help_text, labels, self._lock, buckets
+                )
+                self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", labels=()) -> MetricFamily:
+        return self._declare(COUNTER, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels=()) -> MetricFamily:
+        return self._declare(GAUGE, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels=(),
+        buckets: tuple[float, ...] = LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValidationError("histogram buckets must be sorted and unique")
+        return self._declare(HISTOGRAM, name, help, labels, tuple(buckets))
+
+    def families(self) -> list[MetricFamily]:
+        """All families, sorted by name (the deterministic exposition order)."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> "MetricFamily | None":
+        return self._families.get(name)
+
+    def flatten(self) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+        """Every sample as ``(series_name, ((label, value), ...)) → number``.
+
+        Histograms expand to ``name_bucket`` (with an ``le`` label),
+        ``name_sum``, and ``name_count`` series — the exact sample set both
+        exposition formats carry, which makes this the comparison key for
+        round-trip tests.
+        """
+        out: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+        for family in self.families():
+            for values, inst in family.samples():
+                base = tuple(zip(family.label_names, values))
+                if family.kind == HISTOGRAM:
+                    for bound, cum in inst.cumulative():
+                        le = format_bound(bound)
+                        out[(family.name + "_bucket", base + (("le", le),))] = float(cum)
+                    out[(family.name + "_sum", base)] = float(inst.sum)
+                    out[(family.name + "_count", base)] = float(inst.count)
+                else:
+                    out[(family.name, base)] = float(inst.value)
+        return out
+
+
+class NullRegistry(MetricsRegistry):
+    """Registry that records nothing and costs (almost) nothing.
+
+    Declarations return the shared :data:`NULL_INSTRUMENT`; exposition sees
+    an empty registry. Pass this (or ``obs=None``, which components map to
+    it) to run fully un-instrumented — outputs are bit-identical either way,
+    the null registry just skips the bookkeeping.
+    """
+
+    enabled = False
+
+    def _declare(self, kind, name, help_text, labels, buckets=None):  # type: ignore[override]
+        return NULL_INSTRUMENT
+
+    def histogram(self, name, help="", labels=(), buckets=LATENCY_BUCKETS):  # type: ignore[override]
+        return NULL_INSTRUMENT
+
+    def families(self) -> list[MetricFamily]:
+        return []
+
+    def get(self, name):
+        return None
+
+    def flatten(self):
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+def ensure_registry(obs: "MetricsRegistry | None") -> MetricsRegistry:
+    """Map the conventional ``obs=None`` to the shared null registry."""
+    return obs if obs is not None else NULL_REGISTRY
+
+
+def format_bound(bound: float) -> str:
+    """Deterministic ``le`` label for a bucket bound (``+Inf`` for ∞)."""
+    if bound == float("inf"):
+        return "+Inf"
+    return repr(bound)

@@ -1,0 +1,92 @@
+"""Trace spans layered on :class:`repro.util.timing.PhaseTimer`.
+
+The phase timer already measures exactly the tree we want to trace —
+admission → center sweep → fill → transfer — so spans are not a second
+clock: a :class:`SpanRecorder` attaches to a timer's ``observer`` hook and
+turns every phase exit into
+
+* one observation in a ``repro_phase_seconds{phase=...}`` histogram on the
+  metrics registry (latency distribution per phase, exported with
+  everything else), and
+* one :class:`Span` in a bounded ring buffer of recent spans (the "what
+  just happened" view the CLI pretty-prints).
+
+Span ``start`` values come from ``time.perf_counter`` and are only
+meaningful relative to each other within one process.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.registry import LATENCY_BUCKETS, MetricsRegistry
+from repro.util.errors import ValidationError
+from repro.util.timing import PhaseTimer
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One completed phase: name, perf-counter start, duration, parent phase."""
+
+    name: str
+    start: float
+    duration: float
+    parent: "str | None"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "parent": self.parent,
+        }
+
+
+class SpanRecorder:
+    """Record phase exits from one or more timers into a registry + ring.
+
+    Attach with :meth:`attach`; the timer is enabled as a side effect
+    (spans require measurement). Detach restores the observer slot but
+    leaves the enabled flag alone — whoever enabled profiling decides when
+    it stops.
+    """
+
+    def __init__(self, registry: MetricsRegistry, max_spans: int = 256) -> None:
+        if max_spans < 1:
+            raise ValidationError("max_spans must be >= 1")
+        self.registry = registry
+        self._ring: deque[Span] = deque(maxlen=max_spans)
+        self._hist = registry.histogram(
+            "repro_phase_seconds",
+            "Wall seconds per timed phase (inclusive of child phases).",
+            labels=("phase",),
+            buckets=LATENCY_BUCKETS,
+        )
+
+    def record(self, name: str, start: float, duration: float, parent) -> None:
+        """Observer-hook entry point; safe to call directly in tests."""
+        self._hist.labels(phase=name).observe(duration)
+        self._ring.append(Span(name, start, duration, parent))
+
+    def attach(self, timer: PhaseTimer) -> PhaseTimer:
+        """Start receiving spans from *timer* (enables it); returns it."""
+        timer.observer = self.record
+        timer.enabled = True
+        return timer
+
+    def detach(self, timer: PhaseTimer) -> None:
+        # Bound-method equality, not identity: each ``self.record`` access
+        # builds a fresh bound method object.
+        if timer.observer == self.record:
+            timer.observer = None
+
+    def spans(self) -> list[Span]:
+        """Most recent spans, oldest first."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)

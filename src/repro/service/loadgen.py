@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass
 
 from repro.analysis.stats import percentiles
+from repro.obs.registry import MetricsRegistry
 from repro.service.api import DecisionStatus, PlaceRequest, ReleaseRequest
 from repro.service.server import PlacementService, Ticket
 from repro.util.errors import ValidationError
@@ -185,6 +186,25 @@ def run_loadgen(service: PlacementService, config: LoadGenConfig) -> LoadReport:
     """
     if not service.running:
         raise ValidationError("start the service before running the load generator")
+    # Decision accounting flows through the metrics registry (the same one
+    # `repro obs` scrapes); a service running with the null registry gets a
+    # private live one so the report stays correct either way.
+    registry = service.obs if service.obs.enabled else MetricsRegistry()
+    decisions_total = registry.counter(
+        "repro_loadgen_decisions_total",
+        "Terminal decisions observed by the load generator, by status.",
+        labels=("status",),
+    )
+    latency_hist = registry.histogram(
+        "repro_loadgen_latency_seconds",
+        "Decision latency observed by the load generator.",
+    )
+    cells = {
+        status: decisions_total.labels(status=status)
+        for status in DecisionStatus.TERMINAL_PLACE
+    }
+    # Delta snapshots let repeated runs against one service share the series.
+    baseline = {status: cell.value for status, cell in cells.items()}
     rng = ensure_rng(config.seed)
     demands = _random_demands(config, service.state.num_types, rng)
     holds = [float(rng.exponential(config.mean_hold)) + 1e-6 for _ in demands]
@@ -236,13 +256,16 @@ def run_loadgen(service: PlacementService, config: LoadGenConfig) -> LoadReport:
             w.join()
 
     duration = time.monotonic() - started
-    counts = {status: 0 for status in DecisionStatus.TERMINAL_PLACE}
     latencies: list[float] = []
     for decision in decisions:
         if decision is None:
             continue
-        counts[decision.status] += 1
+        cells[decision.status].inc()
+        latency_hist.observe(decision.latency)
         latencies.append(decision.latency)
+    counts = {
+        status: int(cell.value - baseline[status]) for status, cell in cells.items()
+    }
     releaser.finish()
     pcts = percentiles(latencies)
     return LoadReport(

@@ -34,6 +34,12 @@ from repro.cloud.queue import QueueDiscipline, RequestQueue
 from repro.cloud.request import TimedRequest
 from repro.core.placement.greedy import OnlineHeuristic
 from repro.core.placement.transfer import transfer_pair
+from repro.obs.registry import (
+    COUNT_BUCKETS,
+    DISTANCE_BUCKETS,
+    MetricsRegistry,
+    ensure_registry,
+)
 from repro.service.api import (
     DecisionStatus,
     PlaceRequest,
@@ -120,6 +126,17 @@ class ServiceStats:
         doc["mean_distance"] = self.mean_distance
         return doc
 
+    def to_metrics(self, registry) -> None:
+        """Export every field through the unified ``repro_stats`` gauge
+        (``source="service"``); see docs/OBSERVABILITY.md for the mapping."""
+        gauge = registry.gauge(
+            "repro_stats",
+            "Unified stats-object export; one series per source and field.",
+            labels=("source", "field"),
+        )
+        for field, value in self.to_dict().items():
+            gauge.labels(source="service", field=field).set(float(value))
+
 
 class Ticket:
     """Handle for one in-flight placement request.
@@ -190,11 +207,72 @@ class PlacementService:
         *,
         policy: OnlineHeuristic | None = None,
         config: ServiceConfig | None = None,
+        obs: "MetricsRegistry | None" = None,
     ) -> None:
         self.state = state
         self.policy = policy or OnlineHeuristic()
         self.config = config or ServiceConfig()
         self.stats = ServiceStats()
+        # Observability: all instruments come from one registry (the shared
+        # null registry when obs is None — every recording below is then a
+        # no-op and the serving path is unchanged).
+        self.obs = ensure_registry(obs)
+        self._m_queue_depth = self.obs.gauge(
+            "repro_service_queue_depth", "Requests currently waiting in the queue."
+        )
+        self._m_admissions = self.obs.counter(
+            "repro_service_admissions_total",
+            "Admission-control outcomes at submit time.",
+            labels=("outcome",),
+        )
+        self._m_decisions = self.obs.counter(
+            "repro_service_decisions_total",
+            "Terminal decisions by status.",
+            labels=("status",),
+        )
+        self._m_wait = self.obs.histogram(
+            "repro_service_wait_seconds",
+            "Submit-to-decision latency of placed requests.",
+        )
+        self._m_step = self.obs.histogram(
+            "repro_service_step_seconds", "Wall seconds per scheduler step."
+        )
+        self._m_batch = self.obs.histogram(
+            "repro_service_batch_requests",
+            "Requests admitted per scheduling batch.",
+            buckets=COUNT_BUCKETS,
+        )
+        self._m_batch_gain = self.obs.histogram(
+            "repro_service_batch_gain_distance",
+            "Distance gained by the batch transfer phase, per batch with gain.",
+            buckets=DISTANCE_BUCKETS,
+        )
+        self._m_releases = self.obs.counter(
+            "repro_service_releases_total", "Leases released by clients."
+        )
+        self._m_checkpoint = self.obs.histogram(
+            "repro_service_checkpoint_seconds",
+            "Wall seconds to serialize a live checkpoint of the service state.",
+        )
+        # The batch transfer phase shares the repro_transfer_* series with
+        # GlobalSubOptimizer.optimize_transfers — same semantics, same names.
+        self._m_transfer_attempts = self.obs.counter(
+            "repro_transfer_attempts_total",
+            "Allocation pairs evaluated for a Theorem-2 transfer.",
+        )
+        self._m_transfer_applied = self.obs.counter(
+            "repro_transfer_applied_total",
+            "Pair transfers that improved the summed distance and were applied.",
+        )
+        self._m_transfer_exchanges = self.obs.counter(
+            "repro_transfer_exchanges_total",
+            "Individual VM exchanges applied across all accepted transfers.",
+        )
+        self._m_transfer_gain = self.obs.histogram(
+            "repro_transfer_gain_distance",
+            "Distance gained per accepted pair transfer.",
+            buckets=DISTANCE_BUCKETS,
+        )
         # One timer spans the whole pipeline: the policy's place() phases
         # (admission / center_sweep / fill) nest under the service's step
         # and transfer phases. Disabled (zero-overhead) unless a caller —
@@ -227,6 +305,8 @@ class PlacementService:
             core = request.to_core()
             if not self._accepting:
                 self.stats.rejected += 1
+                self._m_admissions.labels(outcome="rejected_draining").inc()
+                self._m_decisions.labels(status=DecisionStatus.REJECTED).inc()
                 ticket._resolve(
                     PlacementDecision(
                         request_id=request.request_id,
@@ -244,6 +324,8 @@ class PlacementService:
                 # scheduler when allocate_lease sees the id twice — refuse it
                 # at the door instead.
                 self.stats.rejected += 1
+                self._m_admissions.labels(outcome="rejected_duplicate").inc()
+                self._m_decisions.labels(status=DecisionStatus.REJECTED).inc()
                 ticket._resolve(
                     PlacementDecision(
                         request_id=request.request_id,
@@ -254,6 +336,8 @@ class PlacementService:
                 return ticket
             if self.state.exceeds_max_capacity(core.demand):
                 self.stats.refused += 1
+                self._m_admissions.labels(outcome="refused").inc()
+                self._m_decisions.labels(status=DecisionStatus.REFUSED).inc()
                 ticket._resolve(
                     PlacementDecision(
                         request_id=request.request_id,
@@ -270,6 +354,8 @@ class PlacementService:
             )
             if not self._queue.submit(timed):
                 self.stats.rejected += 1
+                self._m_admissions.labels(outcome="rejected_queue_full").inc()
+                self._m_decisions.labels(status=DecisionStatus.REJECTED).inc()
                 ticket._resolve(
                     PlacementDecision(
                         request_id=request.request_id,
@@ -279,6 +365,8 @@ class PlacementService:
                 )
                 return ticket
             self._pending[request.request_id] = (ticket, now)
+            self._m_admissions.labels(outcome="admitted").inc()
+            self._m_queue_depth.set(len(self._queue))
             self._wakeup.notify_all()
         return ticket
 
@@ -297,6 +385,8 @@ class PlacementService:
                     status=DecisionStatus.UNKNOWN_LEASE,
                 )
             self.stats.released += 1
+            self._m_releases.inc()
+            self._m_decisions.labels(status=DecisionStatus.RELEASED).inc()
             self._wakeup.notify_all()
             return ReleaseResponse(
                 request_id=request.request_id,
@@ -316,6 +406,13 @@ class PlacementService:
         """
         if now is None:
             now = time.monotonic()
+        started = time.perf_counter()
+        try:
+            return self._step_locked(now)
+        finally:
+            self._m_step.observe(time.perf_counter() - started)
+
+    def _step_locked(self, now: float) -> list[PlacementDecision]:
         decisions: list[PlacementDecision] = []
         with self._lock, self.timer.phase("step"):
             decisions.extend(self._expire(now))
@@ -323,15 +420,19 @@ class PlacementService:
             if len(batch) > self.config.max_batch:
                 batch = batch[: self.config.max_batch]
             if not batch:
+                self._m_queue_depth.set(len(self._queue))
                 return decisions
             self.stats.batches += 1
+            self._m_batch.observe(len(batch))
             placed: list[tuple[TimedRequest, object]] = []
             failed: list[tuple[TimedRequest, str]] = []
             for timed in batch:
                 if not self.state.can_satisfy(timed.demand):
                     continue
                 try:
-                    allocation = self.policy.place(timed.request, self.state)
+                    allocation = self.policy.place(
+                        self.state, timed.request, obs=self.obs
+                    ).allocation
                     if allocation is None:
                         continue
                     self.state.allocate_lease(timed.request_id, allocation)
@@ -355,6 +456,8 @@ class PlacementService:
                 )
                 self.stats.placed += 1
                 self.stats.total_distance += allocation.distance
+                self._m_decisions.labels(status=DecisionStatus.PLACED).inc()
+                self._m_wait.observe(latency)
                 done_requests.append(timed)
                 decisions.append(decision)
                 if ticket is not None:
@@ -365,6 +468,7 @@ class PlacementService:
                 decisions.append(self._evict(timed, now, detail))
                 done_requests.append(timed)
             self._queue.remove_batch(done_requests)
+            self._m_queue_depth.set(len(self._queue))
         return decisions
 
     def _evict(self, timed: TimedRequest, now: float, detail: str) -> PlacementDecision:
@@ -372,6 +476,7 @@ class PlacementService:
         caller's job — :meth:`step` folds evictees into ``remove_batch``)."""
         entry = self._pending.pop(timed.request_id, None)
         self.stats.rejected += 1
+        self._m_decisions.labels(status=DecisionStatus.REJECTED).inc()
         enqueued = entry[1] if entry else timed.arrival_time
         decision = PlacementDecision(
             request_id=timed.request_id,
@@ -398,6 +503,8 @@ class PlacementService:
                 return False
             self._queue.cancel(request_id)
             self.stats.cancelled += 1
+            self._m_decisions.labels(status=DecisionStatus.CANCELLED).inc()
+            self._m_queue_depth.set(len(self._queue))
             entry[0]._resolve(
                 PlacementDecision(
                     request_id=request_id,
@@ -420,6 +527,7 @@ class PlacementService:
                 continue
             self._queue.cancel(timed.request_id)
             self.stats.timed_out += 1
+            self._m_decisions.labels(status=DecisionStatus.TIMEOUT).inc()
             decision = PlacementDecision(
                 request_id=timed.request_id,
                 status=DecisionStatus.TIMEOUT,
@@ -448,6 +556,7 @@ class PlacementService:
         """
         dist = self.state.distance_matrix
         entries = list(placed)
+        gain_before = self.stats.transfer_gain
         stamps = [0] * len(entries)
         converged: dict[tuple[int, int], tuple[int, int]] = {}
         with self.timer.phase("transfer"):
@@ -462,6 +571,7 @@ class PlacementService:
                         if converged.get((i, j)) == (stamps[i], stamps[j]):
                             continue
                         result = transfer_pair(a1, a2, dist)
+                        self._m_transfer_attempts.inc()
                         if not result.improved or result.gain <= 1e-9:
                             converged[(i, j)] = (stamps[i], stamps[j])
                             continue
@@ -482,9 +592,15 @@ class PlacementService:
                         converged[(i, j)] = (stamps[i], stamps[j])
                         self.stats.transfer_exchanges += result.exchanges
                         self.stats.transfer_gain += result.gain
+                        self._m_transfer_applied.inc()
+                        self._m_transfer_exchanges.inc(result.exchanges)
+                        self._m_transfer_gain.observe(result.gain)
                         changed = True
                 if not changed:
                     break
+        batch_gain = self.stats.transfer_gain - gain_before
+        if batch_gain > 0:
+            self._m_batch_gain.observe(batch_gain)
         return entries
 
     # ------------------------------------------------------------- lifecycle
@@ -574,6 +690,7 @@ class PlacementService:
                 self._queue.cancel(timed.request_id)
                 entry = self._pending.pop(timed.request_id, None)
                 self.stats.dropped += 1
+                self._m_decisions.labels(status=DecisionStatus.DROPPED).inc()
                 decision = PlacementDecision(
                     request_id=timed.request_id,
                     status=DecisionStatus.DROPPED,
@@ -582,6 +699,7 @@ class PlacementService:
                 if entry is not None:
                     entry[0]._resolve(decision)
                 decisions.append(decision)
+            self._m_queue_depth.set(len(self._queue))
         return decisions
 
     def __repr__(self) -> str:

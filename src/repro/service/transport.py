@@ -6,6 +6,7 @@ One request per line, one response per line. Every exchange is an envelope::
     {"op": "release", "message": {...ReleaseRequest fields...}}
     {"op": "stats"}
     {"op": "checkpoint"}
+    {"op": "metrics", "format": "prom"}
     {"op": "ping"}
 
 Responses are ``{"ok": true, ...payload...}`` or ``{"ok": false, "error": msg}``.
@@ -25,7 +26,9 @@ import json
 import socket
 import socketserver
 import threading
+import time
 
+from repro.obs.export import render
 from repro.service.api import (
     PlaceRequest,
     ReleaseRequest,
@@ -69,9 +72,14 @@ class _Handler(socketserver.StreamRequestHandler):
         if op == "stats":
             return {"ok": True, "stats": service.stats.to_dict()}
         if op == "checkpoint":
+            started = time.perf_counter()
             with service._lock:
                 doc = checkpoint_to_dict(service.state)
+            service._m_checkpoint.observe(time.perf_counter() - started)
             return {"ok": True, "checkpoint": doc}
+        if op == "metrics":
+            fmt = envelope.get("format", "prom")
+            return {"ok": True, "format": fmt, "body": render(service.obs, fmt)}
         if op == "place":
             message = decode_message(json.dumps(envelope.get("message", {}) | {"kind": "place"}))
             ticket = service.submit(message)
@@ -198,6 +206,14 @@ class ServiceClient:
     def checkpoint(self) -> dict:
         """Fetch the server's live checkpoint document."""
         return self._call({"op": "checkpoint"})["checkpoint"]
+
+    def metrics(self, format: str = "prom") -> str:
+        """Scrape the server's metrics registry.
+
+        ``format`` is ``"prom"`` (Prometheus exposition text) or ``"json"``
+        (one JSON document per metric family, newline-delimited).
+        """
+        return self._call({"op": "metrics", "format": format})["body"]
 
     def close(self) -> None:
         try:

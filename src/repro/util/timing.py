@@ -77,20 +77,36 @@ class _Phase:
         )
         timer._incl[self._name] = timer._incl.get(self._name, 0.0) + duration
         timer._count[self._name] = timer._count.get(self._name, 0) + 1
+        parent = None
         if timer._stack:
             timer._stack[-1]._child += duration
+            parent = timer._stack[-1]._name
         else:
             timer._root_total += duration
+        if timer.observer is not None:
+            timer.observer(self._name, self._start, duration, parent)
         return False
 
 
 class PhaseTimer:
     """Accumulating phase timer; see the module docstring for semantics."""
 
-    __slots__ = ("enabled", "_stack", "_self", "_incl", "_count", "_root_total")
+    __slots__ = (
+        "enabled",
+        "observer",
+        "_stack",
+        "_self",
+        "_incl",
+        "_count",
+        "_root_total",
+    )
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
+        #: Optional callback ``(name, start, duration, parent)`` fired on
+        #: every phase exit while the timer is enabled. Trace-span recording
+        #: (``repro.obs.spans``) layers on this hook; it must not raise.
+        self.observer = None
         self._stack: list[_Phase] = []
         self._self: dict[str, float] = {}
         self._incl: dict[str, float] = {}

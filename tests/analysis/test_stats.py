@@ -86,3 +86,12 @@ class TestPercentiles:
     def test_out_of_range_point_rejected(self):
         with pytest.raises(ValidationError):
             percentiles([1.0], points=(101.0,))
+
+    def test_single_sample_is_every_percentile_of_itself(self):
+        # Regression: one sample must come back exactly (no interpolation
+        # arithmetic) for every requested point.
+        pcts = percentiles([3.7], points=(0.0, 50.0, 99.9, 100.0))
+        assert pcts == {0.0: 3.7, 50.0: 3.7, 99.9: 3.7, 100.0: 3.7}
+
+    def test_bare_scalar_counts_as_single_sample(self):
+        assert percentiles(2.5) == {50.0: 2.5, 95.0: 2.5, 99.0: 2.5}

@@ -1,0 +1,83 @@
+"""Cloud-layer stats exports through the unified ``repro_stats`` gauge."""
+
+from repro.cloud.failures import RepairStats
+from repro.cloud.provider import ProviderStats
+from repro.cloud.simulator import SimulationResult, UtilizationSample
+from repro.obs import MetricsRegistry
+
+
+def stat(flat, source, field):
+    return flat[("repro_stats", (("source", source), ("field", field)))]
+
+
+class TestRepairStats:
+    def test_every_field_exported(self):
+        stats = RepairStats(
+            failures=4,
+            recoveries=3,
+            leases_repaired=2,
+            leases_lost=1,
+            vms_migrated=5,
+            migration_bytes=1.5e9,
+            requeue_rejected=1,
+        )
+        obs = MetricsRegistry()
+        stats.to_metrics(obs)
+        flat = obs.flatten()
+        for field in RepairStats.__dataclass_fields__:
+            assert stat(flat, "cloud_repairs", field) == float(
+                getattr(stats, field)
+            )
+
+
+class TestSimulationResult:
+    def build(self, repairs=None):
+        return SimulationResult(
+            stats=ProviderStats(
+                submitted=10,
+                placed=8,
+                refused=1,
+                queue_rejected=1,
+                completed=7,
+                total_distance=16.0,
+                total_wait=4.0,
+            ),
+            utilization=[
+                UtilizationSample(time=0.0, utilization=0.25, queued=0, active=1),
+                UtilizationSample(time=1.0, utilization=0.75, queued=1, active=2),
+            ],
+            waits=[0.1, 0.2, 0.5],
+            makespan=12.5,
+            repairs=repairs,
+        )
+
+    def test_summary_fields_exported(self):
+        obs = MetricsRegistry()
+        result = self.build()
+        result.to_metrics(obs)
+        flat = obs.flatten()
+        assert stat(flat, "cloud_simulation", "submitted") == 10.0
+        assert stat(flat, "cloud_simulation", "placed") == 8.0
+        assert stat(flat, "cloud_simulation", "acceptance_rate") == 0.8
+        assert stat(flat, "cloud_simulation", "mean_distance") == 2.0
+        assert stat(flat, "cloud_simulation", "mean_utilization") == 0.5
+        assert stat(flat, "cloud_simulation", "makespan") == 12.5
+        assert stat(flat, "cloud_simulation", "wait_p50") == result.wait_p50
+        # No repair stats on a failure-free run.
+        assert not any(
+            labels == (("source", "cloud_repairs"), ("field", "failures"))
+            for _, labels in flat
+        )
+
+    def test_chains_repair_export(self):
+        obs = MetricsRegistry()
+        self.build(repairs=RepairStats(failures=2, recoveries=2)).to_metrics(obs)
+        flat = obs.flatten()
+        assert stat(flat, "cloud_repairs", "failures") == 2.0
+        assert stat(flat, "cloud_simulation", "submitted") == 10.0
+
+    def test_sources_share_one_family(self):
+        obs = MetricsRegistry()
+        self.build(repairs=RepairStats(failures=1)).to_metrics(obs)
+        families = [f.name for f in obs.families()]
+        assert families == ["repro_stats"]

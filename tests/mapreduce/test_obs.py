@@ -1,0 +1,187 @@
+"""MapReduce-engine observability: bit-identical simulation with a live
+registry, repro_mr_* series agreeing with the RecoveryReport, and the
+stats-object export."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.core.problem import Allocation
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.faults import TaskFaultModel
+from repro.mapreduce.job import MB, MapReduceJob
+from repro.mapreduce.metrics import RecoveryReport
+from repro.mapreduce.vmcluster import VirtualCluster
+from repro.obs import MetricsRegistry
+
+from tests.conftest import make_pool
+
+
+def build_cluster(layout, capacity=(4, 4, 2), racks=2, nodes=2):
+    pool = make_pool(racks, nodes, capacity=capacity)
+    catalog = VMTypeCatalog.ec2_default()
+    m = np.zeros((pool.num_nodes, 3), dtype=np.int64)
+    for node, counts in layout.items():
+        m[node] = counts
+    alloc = Allocation.from_matrix(m, pool.distance_matrix)
+    return VirtualCluster.from_allocation(alloc, pool.distance_matrix, catalog)
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster({0: [0, 2, 0], 2: [0, 2, 0]})
+
+
+def small_job(**kwargs):
+    defaults = dict(
+        name="test",
+        input_bytes=8 * MB,
+        block_size=2 * MB,
+        num_reduces=2,
+        map_selectivity=0.5,
+        map_cost_s_per_mb=0.1,
+        reduce_cost_s_per_mb=0.1,
+    )
+    defaults.update(kwargs)
+    return MapReduceJob(**defaults)
+
+
+FAULTS = dict(
+    map_failure_probability=0.3,
+    fetch_failure_probability=0.2,
+    reduce_failure_probability=0.2,
+    vm_deaths=[(1, 2.0)],
+    seed=11,
+)
+
+
+class TestBitIdentical:
+    def test_registry_does_not_perturb_simulation(self, cluster):
+        job = small_job()
+        bare = MapReduceEngine(
+            cluster, faults=TaskFaultModel(**FAULTS), seed=3
+        ).run(job, hdfs_seed=3)
+        observed = MapReduceEngine(
+            cluster,
+            faults=TaskFaultModel(**FAULTS),
+            obs=MetricsRegistry(),
+            seed=3,
+        ).run(job, hdfs_seed=3)
+        assert bare.runtime == observed.runtime
+        assert [m.finish_time for m in bare.map_records] == [
+            m.finish_time for m in observed.map_records
+        ]
+        assert [r.finish_time for r in bare.reduce_records] == [
+            r.finish_time for r in observed.reduce_records
+        ]
+
+    def test_default_engine_uses_null_registry(self, cluster):
+        engine = MapReduceEngine(cluster)
+        assert not engine.obs.enabled
+        engine.run(small_job(), hdfs_seed=3)
+        assert engine.obs.flatten() == {}
+
+
+class TestSeriesMatchReport:
+    def test_counters_agree_with_recovery_report(self, cluster):
+        obs = MetricsRegistry()
+        engine = MapReduceEngine(
+            cluster, faults=TaskFaultModel(**FAULTS), obs=obs, seed=3
+        )
+        result = engine.run(small_job(), hdfs_seed=3)
+        recovery = result.recovery
+        assert recovery is not None
+        flat = obs.flatten()
+        assert flat[("repro_mr_jobs_total", ())] == 1.0
+        assert flat[("repro_mr_vm_deaths_total", ())] == float(recovery.vm_deaths)
+        assert flat[("repro_mr_map_output_invalidations_total", ())] == float(
+            recovery.maps_invalidated
+        )
+        attempts = flat[("repro_mr_task_attempts_total", (("kind", "map"),))]
+        assert attempts == float(
+            sum(n * count for n, count in recovery.map_attempts.items())
+        )
+        # Shuffle counters measure bytes/flows actually moved, which includes
+        # fetches later invalidated by reducer relocation — never less than
+        # what the final records retain.
+        assert flat[("repro_mr_shuffle_bytes_total", ())] >= float(
+            result.total_shuffle_bytes
+        )
+        locality = sum(
+            v
+            for (name, _), v in flat.items()
+            if name == "repro_mr_map_locality_total"
+        )
+        # Each invalidated map output means one extra successful completion
+        # beyond the surviving records.
+        assert locality == float(
+            len(result.map_records) + recovery.maps_invalidated
+        )
+        flows = sum(
+            v
+            for (name, _), v in flat.items()
+            if name == "repro_mr_shuffle_flows_total"
+        )
+        assert flows >= float(len(result.flows))
+
+    def test_shuffle_counters_exact_without_faults(self, cluster):
+        obs = MetricsRegistry()
+        result = MapReduceEngine(cluster, obs=obs, seed=3).run(
+            small_job(), hdfs_seed=3
+        )
+        flat = obs.flatten()
+        assert flat[("repro_mr_shuffle_bytes_total", ())] == float(
+            result.total_shuffle_bytes
+        )
+        flows = sum(
+            v
+            for (name, _), v in flat.items()
+            if name == "repro_mr_shuffle_flows_total"
+        )
+        assert flows == float(len(result.flows))
+
+    def test_retry_counters_track_failures(self, cluster):
+        obs = MetricsRegistry()
+        engine = MapReduceEngine(
+            cluster,
+            faults=TaskFaultModel(map_failure_probability=0.4, seed=11),
+            obs=obs,
+            seed=3,
+        )
+        result = engine.run(small_job(), hdfs_seed=3)
+        flat = obs.flatten()
+        retries = flat.get(
+            ("repro_mr_task_retries_total", (("kind", "map"),)), 0.0
+        )
+        assert retries == float(result.recovery.map_failures)
+        if retries:
+            assert flat[("repro_mr_backoff_seconds_total", ())] > 0.0
+
+
+class TestRecoveryToMetrics:
+    def test_fields_and_attempt_histograms_exported(self):
+        report = RecoveryReport(
+            map_failures=3,
+            vm_deaths=1,
+            maps_invalidated=2,
+            wasted_time=4.5,
+            map_attempts={1: 2, 3: 1},
+            reduce_attempts={2: 1},
+        )
+        obs = MetricsRegistry()
+        report.to_metrics(obs)
+        flat = obs.flatten()
+
+        def stat(field):
+            return flat[
+                ("repro_stats", (("source", "mapreduce_recovery"), ("field", field)))
+            ]
+
+        assert stat("map_failures") == 3.0
+        assert stat("vm_deaths") == 1.0
+        assert stat("wasted_time") == 4.5
+        assert stat("total_task_failures") == 3.0
+        assert stat("total_faults") == float(report.total_faults)
+        assert stat("map_attempts_1") == 2.0
+        assert stat("map_attempts_3") == 1.0
+        assert stat("reduce_attempts_2") == 1.0

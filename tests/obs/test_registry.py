@@ -1,0 +1,179 @@
+"""Unit tests for the metrics registry instruments and the null registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    COUNT_BUCKETS,
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    ensure_registry,
+    exponential_buckets,
+    format_bound,
+)
+from repro.util.errors import ValidationError
+
+
+class TestBuckets:
+    def test_exponential_progression(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            exponential_buckets(0.0, 2.0, 4)
+        with pytest.raises(ValidationError):
+            exponential_buckets(1.0, 1.0, 4)
+        with pytest.raises(ValidationError):
+            exponential_buckets(1.0, 2.0, 0)
+
+    def test_format_bound(self):
+        assert format_bound(float("inf")) == "+Inf"
+        assert format_bound(0.5) == "0.5"
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        r = MetricsRegistry()
+        c = r.counter("c_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_inc_rejected(self):
+        c = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValidationError):
+            c.inc(-1.0)
+
+    def test_labeled_children_are_independent(self):
+        fam = MetricsRegistry().counter("c_total", labels=("k",))
+        fam.labels(k="a").inc()
+        fam.labels(k="b").inc(3)
+        assert fam.labels(k="a").value == 1.0
+        assert fam.labels(k="b").value == 3.0
+
+    def test_wrong_labels_rejected(self):
+        fam = MetricsRegistry().counter("c_total", labels=("k",))
+        with pytest.raises(ValidationError):
+            fam.labels(wrong="x")
+        with pytest.raises(ValidationError):
+            fam.inc()  # labeled family has no default child
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(10.0)
+        g.inc(2.0)
+        g.dec(5.0)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.0)
+        cumulative = dict(h.cumulative())
+        assert cumulative[1.0] == 1
+        assert cumulative[2.0] == 2
+        assert cumulative[4.0] == 3
+        assert cumulative[float("inf")] == 4
+
+    def test_boundary_value_goes_to_lower_bucket(self):
+        # Prometheus buckets are upper-inclusive: observe(le) counts in le.
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert dict(h.cumulative())[1.0] == 1
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValidationError):
+            MetricsRegistry().histogram("h", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_declarations_are_idempotent(self):
+        r = MetricsRegistry()
+        a = r.counter("c_total", "help")
+        b = r.counter("c_total")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(ValidationError):
+            r.gauge("x")
+
+    def test_label_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x", labels=("a",))
+        with pytest.raises(ValidationError):
+            r.counter("x", labels=("b",))
+
+    def test_families_sorted_by_name(self):
+        r = MetricsRegistry()
+        r.counter("zzz")
+        r.gauge("aaa")
+        assert [f.name for f in r.families()] == ["aaa", "zzz"]
+
+    def test_flatten_expands_histograms(self):
+        r = MetricsRegistry()
+        r.histogram("h", buckets=(1.0,)).observe(0.5)
+        flat = r.flatten()
+        assert flat[("h_bucket", (("le", "1.0"),))] == 1.0
+        assert flat[("h_bucket", (("le", "+Inf"),))] == 1.0
+        assert flat[("h_sum", ())] == 0.5
+        assert flat[("h_count", ())] == 1.0
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        r = MetricsRegistry()
+        c = r.counter("c_total")
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000.0
+
+
+class TestNullRegistry:
+    def test_every_instrument_is_the_shared_null(self):
+        r = NullRegistry()
+        assert r.counter("c") is NULL_INSTRUMENT
+        assert r.gauge("g") is NULL_INSTRUMENT
+        assert r.histogram("h", buckets=COUNT_BUCKETS) is NULL_INSTRUMENT
+        assert r.counter("c", labels=("k",)).labels(k="x") is NULL_INSTRUMENT
+
+    def test_mutations_are_noops_and_reads_are_zero(self):
+        c = NULL_REGISTRY.counter("c")
+        c.inc(5)
+        c.set(3)
+        c.observe(1.0)
+        c.dec()
+        assert c.value == 0.0
+        assert c.count == 0
+        assert c.sum == 0.0
+
+    def test_exposition_is_empty(self):
+        NULL_REGISTRY.counter("c").inc()
+        assert NULL_REGISTRY.families() == []
+        assert NULL_REGISTRY.flatten() == {}
+        assert NULL_REGISTRY.get("c") is None
+
+    def test_disabled_flag(self):
+        assert MetricsRegistry().enabled
+        assert not NULL_REGISTRY.enabled
+
+    def test_ensure_registry(self):
+        assert ensure_registry(None) is NULL_REGISTRY
+        live = MetricsRegistry()
+        assert ensure_registry(live) is live

@@ -1,0 +1,84 @@
+"""SpanRecorder over the PhaseTimer observer hook."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Span, SpanRecorder
+from repro.util.errors import ValidationError
+from repro.util.timing import PhaseTimer
+
+
+class TestSpanRecorder:
+    def test_attach_records_phase_exits(self):
+        registry = MetricsRegistry()
+        recorder = SpanRecorder(registry)
+        timer = PhaseTimer()
+        recorder.attach(timer)
+        assert timer.enabled
+        with timer.phase("outer"):
+            with timer.phase("inner"):
+                pass
+        names = [s.name for s in recorder.spans()]
+        assert names == ["inner", "outer"]  # exits fire inner-first
+        inner = recorder.spans()[0]
+        assert inner.parent == "outer"
+        assert recorder.spans()[1].parent is None
+
+    def test_histogram_receives_observations(self):
+        registry = MetricsRegistry()
+        recorder = SpanRecorder(registry)
+        timer = recorder.attach(PhaseTimer())
+        with timer.phase("fill"):
+            pass
+        fam = registry.get("repro_phase_seconds")
+        assert fam.labels(phase="fill").count == 1
+
+    def test_ring_is_bounded(self):
+        recorder = SpanRecorder(MetricsRegistry(), max_spans=3)
+        for i in range(10):
+            recorder.record(f"p{i}", 0.0, 0.001, None)
+        assert len(recorder) == 3
+        assert [s.name for s in recorder.spans()] == ["p7", "p8", "p9"]
+
+    def test_detach_stops_recording(self):
+        recorder = SpanRecorder(MetricsRegistry())
+        timer = recorder.attach(PhaseTimer())
+        recorder.detach(timer)
+        with timer.phase("quiet"):
+            pass
+        assert len(recorder) == 0
+
+    def test_detach_leaves_foreign_observer(self):
+        recorder = SpanRecorder(MetricsRegistry())
+        timer = PhaseTimer()
+        other = lambda *a: None  # noqa: E731
+        timer.observer = other
+        recorder.detach(timer)
+        assert timer.observer is other
+
+    def test_clear(self):
+        recorder = SpanRecorder(MetricsRegistry())
+        recorder.record("p", 0.0, 0.1, None)
+        recorder.clear()
+        assert recorder.spans() == []
+
+    def test_invalid_max_spans(self):
+        with pytest.raises(ValidationError):
+            SpanRecorder(MetricsRegistry(), max_spans=0)
+
+    def test_span_to_dict(self):
+        span = Span("fill", 1.0, 0.25, "sweep")
+        assert span.to_dict() == {
+            "name": "fill",
+            "start": 1.0,
+            "duration": 0.25,
+            "parent": "sweep",
+        }
+
+    def test_disabled_timer_emits_nothing(self):
+        recorder = SpanRecorder(MetricsRegistry())
+        timer = PhaseTimer()
+        timer.observer = recorder.record  # attached but not enabled
+        with timer.phase("skipped"):
+            pass
+        assert len(recorder) == 0

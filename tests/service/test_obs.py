@@ -1,0 +1,183 @@
+"""Service-layer observability: metrics op over TCP, loadgen-registry
+consistency, checkpoint timing, and the stats export."""
+
+import pytest
+
+from repro.cluster import PoolSpec, random_pool
+from repro.cluster.vmtypes import VMTypeCatalog
+from repro.core import OnlineHeuristic
+from repro.obs import MetricsRegistry, parse_json_lines, parse_prometheus
+from repro.service import (
+    ClusterState,
+    LoadGenConfig,
+    PlacementService,
+    PlaceRequest,
+    ServiceClient,
+    ServiceConfig,
+    ServiceEndpoint,
+    run_loadgen,
+)
+from repro.util.errors import ValidationError
+
+
+def build_service(obs=None, **config_kwargs):
+    pool = random_pool(
+        PoolSpec(racks=3, nodes_per_rack=10, capacity_high=4),
+        VMTypeCatalog.ec2_default(),
+        seed=42,
+    )
+    config = ServiceConfig(batch_window=0.002, **config_kwargs)
+    return PlacementService(
+        ClusterState.from_pool(pool),
+        policy=OnlineHeuristic(),
+        config=config,
+        obs=obs,
+    )
+
+
+class TestServiceMetrics:
+    def test_submit_and_step_populate_series(self):
+        obs = MetricsRegistry()
+        service = build_service(obs)
+        service.start()
+        try:
+            tickets = [
+                service.submit(PlaceRequest(demand=(1, 1, 0))) for _ in range(5)
+            ]
+            for t in tickets:
+                assert t.result(timeout=5.0) is not None
+        finally:
+            service.drain()
+        flat = obs.flatten()
+        admitted = flat[
+            ("repro_service_admissions_total", (("outcome", "admitted"),))
+        ]
+        assert admitted == 5.0
+        placed = flat[("repro_service_decisions_total", (("status", "placed"),))]
+        assert placed == 5.0
+        assert flat[("repro_service_wait_seconds_count", ())] == 5.0
+        assert flat[("repro_service_step_seconds_count", ())] >= 1.0
+        assert ("repro_service_queue_depth", ()) in flat
+
+    def test_null_registry_service_works(self):
+        service = build_service(obs=None)
+        service.start()
+        try:
+            ticket = service.submit(PlaceRequest(demand=(1, 0, 0)))
+            assert ticket.result(timeout=5.0).placed
+        finally:
+            service.drain()
+        assert not service.obs.enabled
+        assert service.obs.flatten() == {}
+
+    def test_stats_to_metrics_mapping(self):
+        obs = MetricsRegistry()
+        service = build_service()
+        service.stats.submitted = 7
+        service.stats.placed = 5
+        service.stats.to_metrics(obs)
+        flat = obs.flatten()
+        assert flat[
+            ("repro_stats", (("source", "service"), ("field", "submitted")))
+        ] == 7.0
+        assert flat[
+            ("repro_stats", (("source", "service"), ("field", "placed")))
+        ] == 5.0
+        # Derived fields ride along.
+        assert (
+            "repro_stats",
+            (("source", "service"), ("field", "acceptance_rate")),
+        ) in flat
+
+
+class TestTransportMetricsOp:
+    def test_scrape_both_formats(self):
+        obs = MetricsRegistry()
+        service = build_service(obs)
+        with ServiceEndpoint(service) as endpoint:
+            host, port = endpoint.address
+            with ServiceClient(host, port) as client:
+                decision = client.place(PlaceRequest(demand=(1, 1, 0)))
+                assert decision.placed
+                prom = client.metrics()
+                js = client.metrics(format="json")
+        prom_samples = parse_prometheus(prom)
+        json_samples = parse_json_lines(js)
+        key = ("repro_service_admissions_total", (("outcome", "admitted"),))
+        assert prom_samples[key] == 1.0
+        assert json_samples[key] == 1.0
+
+    def test_checkpoint_observes_duration(self):
+        obs = MetricsRegistry()
+        service = build_service(obs)
+        with ServiceEndpoint(service) as endpoint:
+            host, port = endpoint.address
+            with ServiceClient(host, port) as client:
+                client.checkpoint()
+                samples = parse_prometheus(client.metrics())
+        assert samples[("repro_service_checkpoint_seconds_count", ())] == 1.0
+
+    def test_unknown_format_is_an_error(self):
+        service = build_service(MetricsRegistry())
+        with ServiceEndpoint(service) as endpoint:
+            host, port = endpoint.address
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ValidationError, match="format"):
+                    client.metrics(format="xml")
+
+
+class TestLoadgenRegistry:
+    def test_report_counts_come_from_registry(self):
+        obs = MetricsRegistry()
+        service = build_service(obs)
+        service.start()
+        try:
+            report = run_loadgen(
+                service,
+                LoadGenConfig(num_requests=30, rate=3000.0, seed=3),
+            )
+        finally:
+            service.drain()
+        flat = obs.flatten()
+        placed = flat[("repro_loadgen_decisions_total", (("status", "placed"),))]
+        assert report.placed == int(placed)
+        assert report.submitted == 30
+        assert flat[("repro_loadgen_latency_seconds_count", ())] == float(
+            report.submitted
+        )
+
+    def test_null_service_registry_still_reports(self):
+        service = build_service(obs=None)
+        service.start()
+        try:
+            report = run_loadgen(
+                service, LoadGenConfig(num_requests=10, rate=3000.0, seed=3)
+            )
+        finally:
+            service.drain()
+        assert report.submitted == 10
+        assert report.placed + report.refused + report.rejected >= 0
+        # The service's null registry stays empty.
+        assert service.obs.flatten() == {}
+
+    def test_repeated_runs_share_series_via_deltas(self):
+        obs = MetricsRegistry()
+        service = build_service(obs)
+        service.start()
+        try:
+            first = run_loadgen(
+                service, LoadGenConfig(num_requests=10, rate=3000.0, seed=3)
+            )
+            second = run_loadgen(
+                service, LoadGenConfig(num_requests=10, rate=3000.0, seed=4)
+            )
+        finally:
+            service.drain()
+        assert first.submitted == second.submitted == 10
+        flat = obs.flatten()
+        total = sum(
+            v
+            for (name, _), v in flat.items()
+            if name == "repro_loadgen_decisions_total"
+        )
+        assert total == 20.0

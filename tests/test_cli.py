@@ -146,3 +146,77 @@ class TestServiceCommands:
         assert "final stats" in out
         state = load_checkpoint(path)
         state.verify_consistency()
+
+
+class TestObsCommand:
+    @pytest.fixture
+    def endpoint(self):
+        from repro.cluster import PoolSpec, random_pool
+        from repro.cluster.vmtypes import VMTypeCatalog
+        from repro.core import OnlineHeuristic
+        from repro.obs import MetricsRegistry
+        from repro.service import (
+            ClusterState,
+            PlaceRequest,
+            PlacementService,
+            ServiceClient,
+            ServiceConfig,
+            ServiceEndpoint,
+        )
+
+        pool = random_pool(
+            PoolSpec(racks=2, nodes_per_rack=4, capacity_high=4),
+            VMTypeCatalog.ec2_default(),
+            seed=7,
+        )
+        service = PlacementService(
+            ClusterState.from_pool(pool),
+            policy=OnlineHeuristic(),
+            config=ServiceConfig(batch_window=0.002),
+            obs=MetricsRegistry(),
+        )
+        with ServiceEndpoint(service) as ep:
+            host, port = ep.address
+            with ServiceClient(host, port) as client:
+                assert client.place(PlaceRequest(demand=(1, 1, 0))).placed
+            yield ep
+
+    def test_obs_registered(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions if hasattr(a, "_name_parser_map"))
+        assert "obs" in sub._name_parser_map
+
+    def test_obs_table_view(self, capsys, endpoint):
+        host, port = endpoint.address
+        assert main(["obs", "--host", host, "--port", str(port)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_service_admissions_total" in out
+        assert "outcome=admitted" in out
+        # Bucket series are hidden unless --buckets is passed.
+        assert "le=" not in out
+
+    def test_obs_buckets_flag(self, capsys, endpoint):
+        host, port = endpoint.address
+        assert main([
+            "obs", "--host", host, "--port", str(port), "--buckets",
+        ]) == 0
+        assert "le=" in capsys.readouterr().out
+
+    def test_obs_raw_prometheus(self, capsys, endpoint):
+        host, port = endpoint.address
+        assert main([
+            "obs", "--host", host, "--port", str(port), "--raw",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_service_decisions_total counter" in out
+
+    def test_obs_json_format(self, capsys, endpoint):
+        import json
+
+        host, port = endpoint.address
+        assert main([
+            "obs", "--host", host, "--port", str(port), "--format", "json",
+        ]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        docs = [json.loads(line) for line in lines]
+        assert any(d["name"] == "repro_service_decisions_total" for d in docs)
