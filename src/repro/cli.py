@@ -245,6 +245,22 @@ def _build_service(args):
         enable_transfers=not args.no_transfers,
         max_wait=args.max_wait,
     )
+    if getattr(args, "shards", 0):
+        from repro.service.shard import (
+            FabricConfig,
+            ShardedPlacementFabric,
+            resolve_plan,
+        )
+
+        return ShardedPlacementFabric(
+            pool,
+            plan=resolve_plan(args.shard_plan, args.shards),
+            config=FabricConfig(
+                rebalance_interval=args.rebalance_interval,
+                service=config,
+            ),
+            obs=MetricsRegistry(),
+        )
     state = ClusterState.from_pool(pool)
     return PlacementService(
         state, policy=OnlineHeuristic(), config=config, obs=MetricsRegistry()
@@ -252,16 +268,19 @@ def _build_service(args):
 
 
 def _cmd_serve(args) -> int:
+    import json
     import time
+    from pathlib import Path
 
-    from repro.service import ServiceEndpoint, save_checkpoint
+    from repro.service import ServiceEndpoint
 
     service = _build_service(args)
     endpoint = ServiceEndpoint(service, host=args.host, port=args.port)
     endpoint.start()
     host, port = endpoint.address
+    shards = getattr(service, "num_shards", 1)
     print(f"placement service listening on {host}:{port} "
-          f"({service.state.num_nodes} nodes, "
+          f"({service.num_nodes} nodes, {shards} shard(s), "
           f"batch window {args.batch_window*1000:.1f} ms)")
     try:
         if args.duration is not None:
@@ -274,7 +293,9 @@ def _cmd_serve(args) -> int:
     finally:
         endpoint.stop()
         if args.checkpoint:
-            save_checkpoint(args.checkpoint, service.state)
+            Path(args.checkpoint).write_text(
+                json.dumps(service.checkpoint_doc(), indent=1)
+            )
             print(f"wrote checkpoint to {args.checkpoint}")
     stats = service.stats
     print(format_table(
@@ -484,6 +505,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="time out queued requests after this many seconds")
         p.add_argument("--no-transfers", action="store_true",
                        help="skip the Algorithm-2 transfer phase on batches")
+        p.add_argument("--shards", type=int, default=0,
+                       help="run a sharded fabric with this many shards "
+                            "(0 = single service)")
+        p.add_argument("--shard-plan", default="rack-group",
+                       choices=["by-rack", "rack-group", "capacity-balanced"],
+                       help="how racks are assigned to shards")
+        p.add_argument("--rebalance-interval", type=float, default=None,
+                       help="seconds between cross-shard rebalance sweeps "
+                            "(default: off)")
 
     pserve = add("serve", _cmd_serve, "run the online placement service (TCP)")
     add_service_args(pserve)

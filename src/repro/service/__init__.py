@@ -27,6 +27,10 @@ Modules
 ``loadgen``
     Open-loop Poisson and closed-loop load generators with latency
     percentiles.
+``shard``
+    :class:`ShardedPlacementFabric` — rack-aligned pool partitions, a
+    scoring router with spillover, cross-shard rebalancing, and
+    fabric-level checkpoint/restore (see :doc:`docs/SHARDING`).
 """
 
 from repro.service.api import (
@@ -55,6 +59,19 @@ from repro.service.checkpoint import (
 )
 from repro.service.transport import ServiceClient, ServiceEndpoint
 from repro.service.loadgen import LoadGenConfig, LoadReport, run_loadgen
+from repro.service.shard import (
+    ByRackPlan,
+    CapacityBalancedPlan,
+    FabricConfig,
+    FabricStats,
+    RackGroupPlan,
+    ShardedPlacementFabric,
+    ShardPlan,
+    ShardRouter,
+    fabric_from_checkpoint,
+    load_fabric_checkpoint,
+    save_fabric_checkpoint,
+)
 
 __all__ = [
     "DecisionStatus",
@@ -81,4 +98,15 @@ __all__ = [
     "LoadGenConfig",
     "LoadReport",
     "run_loadgen",
+    "ByRackPlan",
+    "CapacityBalancedPlan",
+    "FabricConfig",
+    "FabricStats",
+    "RackGroupPlan",
+    "ShardPlan",
+    "ShardRouter",
+    "ShardedPlacementFabric",
+    "fabric_from_checkpoint",
+    "load_fabric_checkpoint",
+    "save_fabric_checkpoint",
 ]

@@ -206,7 +206,7 @@ def run_loadgen(service: PlacementService, config: LoadGenConfig) -> LoadReport:
     # Delta snapshots let repeated runs against one service share the series.
     baseline = {status: cell.value for status, cell in cells.items()}
     rng = ensure_rng(config.seed)
-    demands = _random_demands(config, service.state.num_types, rng)
+    demands = _random_demands(config, service.num_types, rng)
     holds = [float(rng.exponential(config.mean_hold)) + 1e-6 for _ in demands]
     if config.profile:
         service.timer.enabled = True

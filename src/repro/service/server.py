@@ -614,6 +614,44 @@ class PlacementService:
         with self._lock:
             return len(self._queue)
 
+    @property
+    def num_types(self) -> int:
+        """VM types in the catalog (shard-transparent demand-vector length)."""
+        return self.state.num_types
+
+    @property
+    def num_nodes(self) -> int:
+        """Physical nodes under management (shard-transparent)."""
+        return self.state.num_nodes
+
+    def checkpoint_doc(self) -> dict:
+        """A consistent checkpoint document of the live state.
+
+        Part of the serving surface shared with the sharded fabric, so the
+        transport's ``checkpoint`` op works against either.
+        """
+        from repro.service.checkpoint import checkpoint_to_dict
+
+        started = time.perf_counter()
+        with self._lock:
+            doc = checkpoint_to_dict(self.state)
+        self._m_checkpoint.observe(time.perf_counter() - started)
+        return doc
+
+    def describe_shards(self) -> list[dict]:
+        """A one-entry shard summary: the unsharded service is shard 0."""
+        with self._lock:
+            return [
+                {
+                    "shard": 0,
+                    "racks": list(range(self.state.topology.num_racks)),
+                    "nodes": self.state.num_nodes,
+                    "leases": self.state.num_leases,
+                    "queued": len(self._queue),
+                    "utilization": self.state.utilization,
+                }
+            ]
+
     def start(self) -> None:
         """Launch the background scheduler loop (idempotent)."""
         with self._lock:

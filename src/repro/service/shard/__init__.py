@@ -1,0 +1,55 @@
+"""Sharded placement fabric: rack-aligned partitions of one pool.
+
+See :mod:`repro.service.shard.plan` (how the pool is cut),
+:mod:`repro.service.shard.router` (who serves each request first), and
+:mod:`repro.service.shard.fabric` (the serving surface gluing N
+:class:`~repro.service.server.PlacementService` workers together).
+"""
+
+from repro.service.shard.fabric import (
+    FABRIC_CHECKPOINT_VERSION,
+    FabricConfig,
+    FabricStats,
+    RebalanceReport,
+    Shard,
+    ShardedPlacementFabric,
+    fabric_from_checkpoint,
+    load_fabric_checkpoint,
+    save_fabric_checkpoint,
+)
+from repro.service.shard.plan import (
+    ByRackPlan,
+    CapacityBalancedPlan,
+    ExplicitPlan,
+    RackGroupPlan,
+    ShardAssignment,
+    ShardPlan,
+    assignment_from_racks,
+    resolve_plan,
+    shard_topology,
+)
+from repro.service.shard.router import RouteResult, ShardRouter, estimate_dc
+
+__all__ = [
+    "FABRIC_CHECKPOINT_VERSION",
+    "ByRackPlan",
+    "CapacityBalancedPlan",
+    "ExplicitPlan",
+    "FabricConfig",
+    "FabricStats",
+    "RackGroupPlan",
+    "RebalanceReport",
+    "RouteResult",
+    "Shard",
+    "ShardAssignment",
+    "ShardPlan",
+    "ShardRouter",
+    "ShardedPlacementFabric",
+    "assignment_from_racks",
+    "estimate_dc",
+    "fabric_from_checkpoint",
+    "load_fabric_checkpoint",
+    "resolve_plan",
+    "save_fabric_checkpoint",
+    "shard_topology",
+]

@@ -1,0 +1,1019 @@
+"""The sharded placement fabric: N rack-aligned placement services, one front.
+
+:class:`ShardedPlacementFabric` cuts a pristine :class:`ResourcePool` into
+rack-aligned shards (:mod:`repro.service.shard.plan`), runs one
+:class:`~repro.service.server.PlacementService` per shard over its own
+:class:`~repro.service.state.ClusterState`, and fronts them with a
+:class:`~repro.service.shard.router.ShardRouter`:
+
+* **submit** — the router ranks shards by free-capacity-scaled estimated
+  ``DC``; the request goes to the best shard, *spills over* to the next-best
+  when a shard declines at the door (queue full, draining), and is refused
+  or rejected at the fabric level when no shard can admit it. Decisions come
+  back in **global** node ids — clients never see the partition.
+* **rebalance** — a periodic (or explicitly invoked) sweep that applies the
+  paper's Theorem-2 logic across shard boundaries through a two-phase
+  reserve/commit on the owning shards: *migrations* re-place a badly-fitted
+  lease into the shard the router now prefers (reserve capacity in the
+  target, then commit by freeing the source), and *pairwise transfers* run
+  :func:`~repro.core.placement.transfer.transfer_pair` over the global
+  distance matrix for candidate lease pairs, committing only results that
+  remain rack-aligned (each post-transfer allocation contained in a single
+  shard). Every applied move strictly shrinks the summed cluster distance.
+* **checkpoint/restore** — per-shard checkpoints plus a router manifest
+  (plan, rack assignment, lease owners) in one deterministic JSON document;
+  ``checkpoint → restore → checkpoint`` is byte-identical.
+* **drain** — per-shard graceful drain; whatever cannot be served resolves
+  as ``dropped`` exactly like the single service.
+
+Lock ordering (deadlock-free by construction): shard service locks are only
+ever taken in ascending shard-id order, and the fabric's own bookkeeping
+lock is only taken *after* (or without) shard locks, never before.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import logging
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.cloud.traces import catalog_from_dict, catalog_to_dict, pool_from_dict, pool_to_dict
+from repro.cluster.resources import ResourcePool
+from repro.core.placement.greedy import OnlineHeuristic
+from repro.core.placement.transfer import transfer_pair
+from repro.core.problem import Allocation, VirtualClusterRequest
+from repro.obs.registry import DISTANCE_BUCKETS, ensure_registry
+from repro.service.api import (
+    DecisionStatus,
+    PlaceRequest,
+    PlacementDecision,
+    ReleaseRequest,
+    ReleaseResponse,
+)
+from repro.service.checkpoint import checkpoint_to_dict, state_from_checkpoint
+from repro.service.server import PlacementService, ServiceConfig, Ticket
+from repro.service.shard.plan import (
+    ByRackPlan,
+    ShardAssignment,
+    ShardPlan,
+    assignment_from_racks,
+    shard_topology,
+)
+from repro.service.shard.router import ShardRouter
+from repro.service.state import ClusterState
+from repro.util.errors import ReproError, ValidationError
+from repro.util.timing import PhaseTimer
+
+_log = logging.getLogger(__name__)
+
+FABRIC_CHECKPOINT_VERSION = 1
+
+#: Owner-map sentinel: the request is being routed but no shard admitted yet.
+_ROUTING = -1
+
+
+@dataclass(frozen=True, slots=True)
+class FabricConfig:
+    """Tunables for one :class:`ShardedPlacementFabric`.
+
+    ``service`` is the per-shard :class:`ServiceConfig` (every shard gets the
+    same one). ``rebalance_interval=None`` disables the background sweep —
+    :meth:`ShardedPlacementFabric.rebalance` stays available for explicit,
+    deterministic invocation.
+    """
+
+    spillover: bool = True
+    rebalance_interval: "float | None" = None
+    rebalance_candidates: int = 8
+    rebalance_max_pairs: int = 64
+    rebalance_min_gain: float = 1e-9
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+
+    def __post_init__(self) -> None:
+        if self.rebalance_interval is not None and self.rebalance_interval <= 0:
+            raise ValidationError("rebalance_interval must be > 0 when set")
+        if self.rebalance_candidates < 1:
+            raise ValidationError("rebalance_candidates must be >= 1")
+        if self.rebalance_max_pairs < 0:
+            raise ValidationError("rebalance_max_pairs must be >= 0")
+        if self.rebalance_min_gain < 0:
+            raise ValidationError("rebalance_min_gain must be >= 0")
+
+
+@dataclass
+class FabricStats:
+    """Aggregate fabric-level outcomes (shard stats are tracked per shard).
+
+    Spillover submissions are counted once here, not once per shard tried,
+    so ``submitted`` is the true arrival count. ``batch_transfer_gain`` is
+    the summed per-shard batch-transfer gain (filled when read through
+    :attr:`ShardedPlacementFabric.stats`).
+    """
+
+    submitted: int = 0
+    placed: int = 0
+    refused: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+    dropped: int = 0
+    cancelled: int = 0
+    released: int = 0
+    spillovers: int = 0
+    rebalance_migrations: int = 0
+    rebalance_transfers: int = 0
+    rebalance_gain: float = 0.0
+    batch_transfer_gain: float = 0.0
+    total_distance: float = 0.0
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Placed fraction of all submissions (0 when nothing submitted)."""
+        return self.placed / self.submitted if self.submitted else 0.0
+
+    @property
+    def mean_distance(self) -> float:
+        """Average committed cluster distance across placed requests."""
+        return self.total_distance / self.placed if self.placed else 0.0
+
+    @property
+    def transfer_gain(self) -> float:
+        """All distance recovered by optimization: batch + rebalance."""
+        return self.batch_transfer_gain + self.rebalance_gain
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (for the transport's ``stats`` op)."""
+        doc = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        doc["acceptance_rate"] = self.acceptance_rate
+        doc["mean_distance"] = self.mean_distance
+        doc["transfer_gain"] = self.transfer_gain
+        return doc
+
+
+@dataclass(frozen=True, slots=True)
+class RebalanceReport:
+    """Outcome of one :meth:`ShardedPlacementFabric.rebalance` sweep."""
+
+    candidates: int
+    pairs_considered: int
+    migrations: int
+    transfers: int
+    gain: float
+
+    @property
+    def moves(self) -> int:
+        return self.migrations + self.transfers
+
+
+class Shard:
+    """One rack-aligned partition: id maps plus its placement service.
+
+    ``to_global[i]`` is the global node id of local node ``i``; decisions
+    produced by the shard's service are translated through it before any
+    caller outside the fabric sees them.
+    """
+
+    __slots__ = ("shard_id", "racks", "to_global", "_to_local", "service")
+
+    def __init__(
+        self,
+        shard_id: int,
+        racks: tuple[int, ...],
+        node_ids: tuple[int, ...],
+        service: PlacementService,
+        num_global_nodes: int,
+    ) -> None:
+        self.shard_id = shard_id
+        self.racks = racks
+        self.to_global = np.asarray(node_ids, dtype=np.int64)
+        self.to_global.flags.writeable = False
+        to_local = np.full(num_global_nodes, -1, dtype=np.int64)
+        to_local[self.to_global] = np.arange(len(node_ids), dtype=np.int64)
+        to_local.flags.writeable = False
+        self._to_local = to_local
+        self.service = service
+
+    @property
+    def state(self) -> ClusterState:
+        return self.service.state
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.to_global.shape[0])
+
+    def translate(self, decision: PlacementDecision) -> PlacementDecision:
+        """Rewrite a shard-local decision into global node ids."""
+        if not decision.placed:
+            return decision
+        placements = tuple(
+            (int(self.to_global[node]), vm_type, count)
+            for node, vm_type, count in decision.placements
+        )
+        return replace(
+            decision,
+            placements=placements,
+            center=int(self.to_global[decision.center]),
+        )
+
+    def contains(self, global_rows: np.ndarray) -> bool:
+        """Whether every global node id in *global_rows* lives in this shard."""
+        return bool(np.all(self._to_local[global_rows] >= 0))
+
+    def global_allocation(self, allocation: Allocation, num_types: int) -> Allocation:
+        """Lift a shard-local allocation into the global index space."""
+        matrix = np.zeros((self._to_local.shape[0], num_types), dtype=np.int64)
+        matrix[self.to_global] = allocation.matrix
+        return Allocation(
+            matrix=matrix,
+            center=int(self.to_global[allocation.center]),
+            distance=allocation.distance,
+        )
+
+    def local_allocation(self, allocation: Allocation) -> Allocation:
+        """Restrict a global, shard-pure allocation to local node ids.
+
+        Rack alignment makes the restriction distance-exact: the local
+        distance matrix is the global one restricted to this shard's rows
+        and columns, so the cached distance carries over unchanged.
+        """
+        center = int(self._to_local[allocation.center])
+        if center < 0:
+            raise ValidationError(
+                f"allocation center {allocation.center} is outside shard "
+                f"{self.shard_id}"
+            )
+        return Allocation(
+            matrix=allocation.matrix[self.to_global],
+            center=center,
+            distance=allocation.distance,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Shard(id={self.shard_id}, racks={list(self.racks)}, "
+            f"nodes={self.num_nodes}, leases={self.state.num_leases})"
+        )
+
+
+class ShardedPlacementFabric:
+    """Rack-aligned shards behind one shard-transparent serving surface.
+
+    Parameters
+    ----------
+    pool:
+        The *pristine* global pool (no prior allocations — restore existing
+        leases through :func:`fabric_from_checkpoint` instead).
+    plan:
+        A :class:`~repro.service.shard.plan.ShardPlan` (or a prebuilt
+        :class:`~repro.service.shard.plan.ShardAssignment`); defaults to
+        one shard per rack.
+    policy_factory:
+        Zero-arg callable producing the per-shard placement policy
+        (default: a fresh Algorithm-1 :class:`OnlineHeuristic` per shard —
+        policies are stateful enough that sharing one across shard threads
+        is not allowed).
+    config / obs:
+        Fabric tunables and the metrics registry shared by the fabric and
+        every shard service (counters therefore aggregate fabric-wide;
+        per-shard series live in the ``repro_shard_*`` family).
+    """
+
+    def __init__(
+        self,
+        pool: ResourcePool,
+        *,
+        plan: "ShardPlan | ShardAssignment | None" = None,
+        policy_factory=None,
+        config: "FabricConfig | None" = None,
+        obs=None,
+    ) -> None:
+        if int(pool.allocated.sum()) != 0:
+            raise ValidationError(
+                "the fabric requires a pristine pool; restore live leases "
+                "via fabric_from_checkpoint"
+            )
+        self.config = config or FabricConfig()
+        self.obs = ensure_registry(obs)
+        self.timer = PhaseTimer()
+        self._pool = pool
+        self._dist = pool.distance_matrix
+        if plan is None:
+            plan = ByRackPlan()
+        assignment = plan if isinstance(plan, ShardAssignment) else plan.partition(pool.topology)
+        self.assignment = assignment
+        policy_factory = policy_factory or OnlineHeuristic
+        self._shards: list[Shard] = []
+        for shard_id, (racks, node_ids) in enumerate(
+            zip(assignment.racks, assignment.nodes)
+        ):
+            topo = shard_topology(pool.topology, node_ids)
+            state = ClusterState(
+                topo, pool.catalog, distance_model=pool.distance_model
+            )
+            service = PlacementService(
+                state,
+                policy=policy_factory(),
+                config=self.config.service,
+                obs=self.obs,
+            )
+            self._shards.append(
+                Shard(shard_id, racks, node_ids, service, pool.num_nodes)
+            )
+        self._router = ShardRouter([s.state for s in self._shards])
+        self._stats = FabricStats()
+        #: request id → owning shard id (or _ROUTING while being placed).
+        self._owners: dict[int, int] = {}
+        self._flock = threading.Lock()
+        self._rebalance_lock = threading.Lock()
+        self._rebalance_stop = threading.Event()
+        self._rebalance_thread: "threading.Thread | None" = None
+        # --- instruments -------------------------------------------------
+        self._m_admission = self.obs.counter(
+            "repro_service_admission_total",
+            "Per-shard admission outcomes, including refusals recorded "
+            "before any queue is touched.",
+            labels=("shard", "outcome"),
+        )
+        self._m_spill = self.obs.counter(
+            "repro_shard_spillovers_total",
+            "Requests a shard declined at the door and the router spilled "
+            "to the next-best shard.",
+            labels=("shard",),
+        )
+        self._m_shard_queue = self.obs.gauge(
+            "repro_shard_queue_depth",
+            "Requests waiting in each shard's queue.",
+            labels=("shard",),
+        )
+        self._m_shard_leases = self.obs.gauge(
+            "repro_shard_leases",
+            "Active leases held by each shard.",
+            labels=("shard",),
+        )
+        self._m_shard_util = self.obs.gauge(
+            "repro_shard_utilization",
+            "Fraction of each shard's VM slots currently allocated.",
+            labels=("shard",),
+        )
+        self._m_rebalance = self.obs.counter(
+            "repro_shard_rebalance_total",
+            "Cross-shard rebalance moves applied, by kind.",
+            labels=("kind",),
+        )
+        self._m_rebalance_gain = self.obs.histogram(
+            "repro_shard_rebalance_gain_distance",
+            "Distance recovered per applied rebalance move.",
+            buckets=DISTANCE_BUCKETS,
+        )
+        self._m_checkpoint = self.obs.histogram(
+            "repro_service_checkpoint_seconds",
+            "Wall seconds to serialize a live checkpoint of the service state.",
+        )
+        self._refresh_gauges()
+
+    # -------------------------------------------------------------- shape
+
+    @property
+    def shards(self) -> tuple[Shard, ...]:
+        return tuple(self._shards)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._pool.num_nodes
+
+    @property
+    def num_types(self) -> int:
+        return self._pool.num_types
+
+    @property
+    def pool(self) -> ResourcePool:
+        """The global pool the fabric was partitioned from (topology oracle;
+        its allocation matrix is *not* maintained — see
+        :meth:`global_allocated`)."""
+        return self._pool
+
+    @property
+    def stats(self) -> FabricStats:
+        """A consistent copy of fabric-level stats with shard gains folded in."""
+        with self._flock:
+            stats = replace(self._stats)
+        stats.batch_transfer_gain = float(
+            sum(s.service.stats.transfer_gain for s in self._shards)
+        )
+        return stats
+
+    @property
+    def queued(self) -> int:
+        return sum(s.service.queued for s in self._shards)
+
+    def owner_of(self, request_id: int) -> "int | None":
+        """Shard id holding (or placing) *request_id*, if any."""
+        with self._flock:
+            owner = self._owners.get(request_id)
+        return None if owner is None or owner == _ROUTING else owner
+
+    # --------------------------------------------------------- submission
+
+    def submit(self, request: PlaceRequest) -> Ticket:
+        """Route *request* to the best shard; spill over on declines.
+
+        Returns a ticket whose decision is already translated to global
+        node ids. When no shard can admit, the ticket resolves immediately:
+        ``refused`` when every shard's maximum capacity is exceeded,
+        ``rejected`` otherwise.
+        """
+        ticket = Ticket(request.request_id)
+        with self._flock:
+            self._stats.submitted += 1
+            if request.request_id in self._owners:
+                self._stats.rejected += 1
+                ticket._resolve(
+                    PlacementDecision(
+                        request_id=request.request_id,
+                        status=DecisionStatus.REJECTED,
+                        detail="duplicate request id (pending or holding a lease)",
+                    )
+                )
+                return ticket
+            self._owners[request.request_id] = _ROUTING
+        demand = np.asarray(request.demand, dtype=np.int64)
+        with self.timer.phase("route"):
+            route = self._router.route(demand)
+        for shard_id in route.refused:
+            # The satellite fix: a refusal that never reaches a queue is
+            # still attributed to the shard that refused it.
+            self._m_admission.labels(shard=str(shard_id), outcome="refused").inc()
+        candidates = route.ranked if self.config.spillover else route.ranked[:1]
+        for shard_id in candidates:
+            shard = self._shards[shard_id]
+            inner = shard.service.submit(request)
+            decision = inner.decision
+            if inner.done and decision is not None and not decision.placed:
+                # Declined at the door (queue full, draining, duplicate) —
+                # spill to the next-best shard.
+                self._m_admission.labels(
+                    shard=str(shard_id), outcome="rejected"
+                ).inc()
+                self._m_spill.labels(shard=str(shard_id)).inc()
+                with self._flock:
+                    self._stats.spillovers += 1
+                continue
+            self._m_admission.labels(shard=str(shard_id), outcome="admitted").inc()
+            with self._flock:
+                self._owners[request.request_id] = shard_id
+            inner.add_done_callback(
+                self._decision_callback(shard, request.request_id, ticket)
+            )
+            self._m_shard_queue.labels(shard=str(shard_id)).set(
+                shard.service.queued
+            )
+            return ticket
+        # No shard admitted: refuse when nobody could *ever* serve it,
+        # reject when shards exist but all declined right now.
+        with self._flock:
+            del self._owners[request.request_id]
+            if route.ranked:
+                self._stats.rejected += 1
+                status, detail = (
+                    DecisionStatus.REJECTED,
+                    f"all {len(candidates)} candidate shard(s) declined",
+                )
+            else:
+                self._stats.refused += 1
+                status, detail = (
+                    DecisionStatus.REFUSED,
+                    "demand exceeds the maximum capacity of every shard",
+                )
+        ticket._resolve(
+            PlacementDecision(
+                request_id=request.request_id, status=status, detail=detail
+            )
+        )
+        return ticket
+
+    def _decision_callback(self, shard: Shard, request_id: int, outer: Ticket):
+        def callback(decision: PlacementDecision) -> None:
+            translated = shard.translate(decision)
+            with self._flock:
+                if translated.placed:
+                    self._stats.placed += 1
+                    self._stats.total_distance += translated.distance
+                else:
+                    self._owners.pop(request_id, None)
+                    if translated.status == DecisionStatus.REJECTED:
+                        self._stats.rejected += 1
+                    elif translated.status == DecisionStatus.TIMEOUT:
+                        self._stats.timed_out += 1
+                    elif translated.status == DecisionStatus.DROPPED:
+                        self._stats.dropped += 1
+                    elif translated.status == DecisionStatus.CANCELLED:
+                        self._stats.cancelled += 1
+                    elif translated.status == DecisionStatus.REFUSED:
+                        self._stats.refused += 1
+            outer._resolve(translated)
+
+        return callback
+
+    def release(self, request: ReleaseRequest) -> ReleaseResponse:
+        """Free the lease held by ``request.request_id``, wherever it lives."""
+        with self._flock:
+            shard_id = self._owners.get(request.request_id)
+        if shard_id is None or shard_id == _ROUTING:
+            return ReleaseResponse(
+                request_id=request.request_id,
+                status=DecisionStatus.UNKNOWN_LEASE,
+            )
+        response = self._shards[shard_id].service.release(request)
+        if response.released:
+            with self._flock:
+                self._owners.pop(request.request_id, None)
+                self._stats.released += 1
+        return response
+
+    def cancel(self, request_id: int) -> bool:
+        """Withdraw a still-queued request from its shard."""
+        with self._flock:
+            shard_id = self._owners.get(request_id)
+        if shard_id is None or shard_id == _ROUTING:
+            return False
+        return self._shards[shard_id].service.cancel(request_id)
+
+    # ---------------------------------------------------------- scheduling
+
+    def step_all(self, now: "float | None" = None) -> list[PlacementDecision]:
+        """Run one scheduler cycle on every shard (deterministic driver).
+
+        Returns the union of shard decisions, translated to global node
+        ids, in shard-id order.
+        """
+        decisions: list[PlacementDecision] = []
+        for shard in self._shards:
+            decisions.extend(
+                shard.translate(d) for d in shard.service.step(now)
+            )
+        self._refresh_gauges()
+        return decisions
+
+    def _refresh_gauges(self) -> None:
+        for shard in self._shards:
+            label = str(shard.shard_id)
+            self._m_shard_queue.labels(shard=label).set(shard.service.queued)
+            self._m_shard_leases.labels(shard=label).set(shard.state.num_leases)
+            self._m_shard_util.labels(shard=label).set(shard.state.utilization)
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def running(self) -> bool:
+        return bool(self._shards) and all(s.service.running for s in self._shards)
+
+    def start(self) -> None:
+        """Start every shard's scheduler loop and the rebalancer (idempotent)."""
+        for shard in self._shards:
+            shard.service.start()
+        if (
+            self.config.rebalance_interval is not None
+            and (self._rebalance_thread is None or not self._rebalance_thread.is_alive())
+        ):
+            self._rebalance_stop.clear()
+            self._rebalance_thread = threading.Thread(
+                target=self._rebalance_loop, name="fabric-rebalancer", daemon=True
+            )
+            self._rebalance_thread.start()
+
+    def _rebalance_loop(self) -> None:
+        while not self._rebalance_stop.wait(self.config.rebalance_interval):
+            try:
+                self.rebalance()
+            except Exception:
+                # The rebalancer is an optimizer; it must never take the
+                # fabric down with it.
+                _log.exception("cross-shard rebalance sweep failed")
+
+    def _stop_rebalancer(self) -> None:
+        self._rebalance_stop.set()
+        thread = self._rebalance_thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=5.0)
+        self._rebalance_thread = None
+
+    def stop(self) -> None:
+        """Halt the rebalancer and every shard loop; queues are untouched."""
+        self._stop_rebalancer()
+        for shard in self._shards:
+            shard.service.stop()
+
+    def drain(self, timeout: float = 5.0) -> list[PlacementDecision]:
+        """Gracefully drain every shard; returns the translated decisions."""
+        self._stop_rebalancer()
+        decisions: list[PlacementDecision] = []
+        for shard in self._shards:
+            decisions.extend(
+                shard.translate(d) for d in shard.service.drain(timeout)
+            )
+        self._refresh_gauges()
+        return decisions
+
+    # ----------------------------------------------------------- rebalance
+
+    def rebalance(self) -> RebalanceReport:
+        """One Theorem-2 sweep across shard boundaries.
+
+        Two deterministic passes over the worst-distance leases (up to
+        ``rebalance_candidates`` per shard):
+
+        1. **Migrations** — re-place a lease into the shard the router now
+           prefers when that strictly improves its distance. Two-phase:
+           *reserve* the new allocation in the target shard, then *commit*
+           by releasing the source lease and flipping the owner; a failed
+           reserve aborts with the source untouched.
+        2. **Pairwise transfers** — run the paper's exchange search over the
+           global distance matrix for candidate pairs (within and across
+           shards). A result is committed only when both post-transfer
+           allocations remain contained in single shards (rack-aligned
+           placements stay rack-aligned); the two-phase release/allocate is
+           rolled back if any commit leg fails.
+        """
+        with self._rebalance_lock, self.timer.phase("rebalance"):
+            migrations = transfers = pairs = 0
+            gain = 0.0
+            candidates = self._rebalance_candidates()
+            total_candidates = len(candidates)
+            # Pass 1 — migrations, worst distance first.
+            for shard_id, request_id, distance in sorted(
+                candidates, key=lambda c: (-c[2], c[1], c[0])
+            ):
+                if distance <= 0:
+                    continue
+                moved = self._try_migration(shard_id, request_id)
+                if moved > 0:
+                    migrations += 1
+                    gain += moved
+                    self._m_rebalance.labels(kind="migration").inc()
+                    self._m_rebalance_gain.observe(moved)
+            # Pass 2 — pairwise transfers over the refreshed candidate set.
+            candidates = self._rebalance_candidates()
+            keys = sorted((sid, rid) for sid, rid, _ in candidates)
+            for i in range(len(keys)):
+                for j in range(i + 1, len(keys)):
+                    if pairs >= self.config.rebalance_max_pairs:
+                        break
+                    pairs += 1
+                    got = self._try_transfer(keys[i], keys[j])
+                    if got > 0:
+                        transfers += 1
+                        gain += got
+                        self._m_rebalance.labels(kind="transfer").inc()
+                        self._m_rebalance_gain.observe(got)
+                if pairs >= self.config.rebalance_max_pairs:
+                    break
+            if migrations or transfers:
+                with self._flock:
+                    self._stats.rebalance_migrations += migrations
+                    self._stats.rebalance_transfers += transfers
+                    self._stats.rebalance_gain += gain
+            self._refresh_gauges()
+            return RebalanceReport(
+                candidates=total_candidates,
+                pairs_considered=pairs,
+                migrations=migrations,
+                transfers=transfers,
+                gain=gain,
+            )
+
+    def _rebalance_candidates(self) -> list[tuple[int, int, float]]:
+        """Up to ``rebalance_candidates`` worst-distance leases per shard."""
+        out: list[tuple[int, int, float]] = []
+        for shard in self._shards:
+            with shard.service._lock:
+                leases = shard.state.leases
+            ranked = sorted(
+                leases.items(), key=lambda kv: (-kv[1].distance, kv[0])
+            )
+            out.extend(
+                (shard.shard_id, rid, alloc.distance)
+                for rid, alloc in ranked[: self.config.rebalance_candidates]
+            )
+        return out
+
+    @contextlib.contextmanager
+    def _shard_locks(self, *shard_ids: int):
+        """Acquire the named shards' service locks in ascending id order."""
+        ordered = sorted(set(shard_ids))
+        with contextlib.ExitStack() as stack:
+            for shard_id in ordered:
+                stack.enter_context(self._shards[shard_id].service._lock)
+            yield
+
+    def _wake(self, *shard_ids: int) -> None:
+        """Nudge shard scheduler loops after capacity moved under them."""
+        for shard_id in set(shard_ids):
+            service = self._shards[shard_id].service
+            with service._lock:
+                service._wakeup.notify_all()
+
+    def _try_migration(self, source_id: int, request_id: int) -> float:
+        """Move one lease to the router's preferred shard; returns the gain."""
+        source = self._shards[source_id]
+        with source.service._lock:
+            allocation = source.state.leases.get(request_id)
+        if allocation is None:
+            return 0.0
+        demand = allocation.matrix.sum(axis=0)
+        route = self._router.route(demand)
+        if not route.ranked or route.ranked[0] == source_id:
+            return 0.0
+        target_id = route.ranked[0]
+        target = self._shards[target_id]
+        with self._shard_locks(source_id, target_id):
+            allocation = source.state.leases.get(request_id)
+            if allocation is None:  # released while we were routing
+                return 0.0
+            request = VirtualClusterRequest(
+                demand=[int(d) for d in demand], request_id=request_id
+            )
+            trial = target.service.policy.place(
+                target.state, request, obs=self.obs
+            ).allocation
+            if trial is None:
+                return 0.0
+            gain = allocation.distance - trial.distance
+            if gain <= self.config.rebalance_min_gain:
+                return 0.0
+            # Reserve in the target, then commit by freeing the source.
+            target.state.allocate_lease(request_id, trial)
+            source.state.release_lease(request_id)
+            with self._flock:
+                self._owners[request_id] = target_id
+        self._wake(source_id, target_id)
+        return gain
+
+    def _try_transfer(
+        self, first: tuple[int, int], second: tuple[int, int]
+    ) -> float:
+        """Theorem-2 exchange between two leases; returns the applied gain."""
+        (sid1, rid1), (sid2, rid2) = first, second
+        shard1, shard2 = self._shards[sid1], self._shards[sid2]
+        num_types = self.num_types
+        with self._shard_locks(sid1, sid2):
+            a1 = shard1.state.leases.get(rid1)
+            a2 = shard2.state.leases.get(rid2)
+            if a1 is None or a2 is None:
+                return 0.0
+            g1 = shard1.global_allocation(a1, num_types)
+            g2 = shard2.global_allocation(a2, num_types)
+            if g1.center == g2.center:
+                return 0.0
+            result = transfer_pair(g1, g2, self._dist)
+            if not result.improved or result.gain <= self.config.rebalance_min_gain:
+                return 0.0
+            own1 = self._owning_shard(result.first, (shard1, shard2))
+            own2 = self._owning_shard(result.second, (shard1, shard2))
+            if own1 is None or own2 is None:
+                # The exchange would leave an allocation straddling shards;
+                # rack alignment forbids committing it.
+                return 0.0
+            # Two-phase: reserve by freeing both old leases, then commit
+            # both new ones; roll back wholesale if a commit leg fails.
+            shard1.state.release_lease(rid1)
+            shard2.state.release_lease(rid2)
+            try:
+                own1.state.allocate_lease(rid1, own1.local_allocation(result.first))
+                own2.state.allocate_lease(rid2, own2.local_allocation(result.second))
+            except ReproError:
+                for shard, rid, alloc in (
+                    (own1, rid1, None),
+                    (shard1, rid1, a1),
+                    (shard2, rid2, a2),
+                ):
+                    if alloc is None:
+                        if shard.state.has_lease(rid):
+                            shard.state.release_lease(rid)
+                    elif not shard.state.has_lease(rid):
+                        shard.state.allocate_lease(rid, alloc)
+                self._m_rebalance.labels(kind="aborted").inc()
+                return 0.0
+            with self._flock:
+                self._owners[rid1] = own1.shard_id
+                self._owners[rid2] = own2.shard_id
+        self._wake(sid1, sid2)
+        return result.gain
+
+    def _owning_shard(
+        self, allocation: Allocation, shards: tuple[Shard, ...]
+    ) -> "Shard | None":
+        rows = np.flatnonzero(allocation.matrix.sum(axis=1) > 0)
+        for shard in shards:
+            if shard.contains(rows):
+                return shard
+        return None
+
+    # -------------------------------------------------------- introspection
+
+    def describe_shards(self) -> list[dict]:
+        """JSON-ready per-shard summary (the transport's ``shards`` op)."""
+        return [
+            {
+                "shard": shard.shard_id,
+                "racks": [int(r) for r in shard.racks],
+                "nodes": shard.num_nodes,
+                "leases": shard.state.num_leases,
+                "queued": shard.service.queued,
+                "utilization": shard.state.utilization,
+            }
+            for shard in self._shards
+        ]
+
+    def global_allocated(self) -> np.ndarray:
+        """The union allocation matrix over the global node index space."""
+        total = np.zeros((self._pool.num_nodes, self._pool.num_types), dtype=np.int64)
+        for shard in self._shards:
+            total[shard.to_global] += shard.state.allocated
+        return total
+
+    def verify_consistency(self) -> None:
+        """Assert the shard union reconstructs the global pool exactly.
+
+        Checks: the shard node sets partition the pool, every shard's
+        capacity matrix is the global one restricted to its nodes, every
+        shard state passes its own incremental-aggregate verification, the
+        union allocation respects global capacity, and the owner map and
+        shard ledgers agree bidirectionally.
+        """
+        seen = np.zeros(self._pool.num_nodes, dtype=bool)
+        for shard in self._shards:
+            if bool(seen[shard.to_global].any()):
+                raise ValidationError(
+                    f"shard {shard.shard_id} overlaps another shard's nodes"
+                )
+            seen[shard.to_global] = True
+        if not bool(seen.all()):
+            raise ValidationError("shard node sets do not cover the pool")
+        with self._shard_locks(*range(len(self._shards))), self._flock:
+            total = np.zeros(
+                (self._pool.num_nodes, self._pool.num_types), dtype=np.int64
+            )
+            for shard in self._shards:
+                if not np.array_equal(
+                    shard.state.max_capacity,
+                    self._pool.max_capacity[shard.to_global],
+                ):
+                    raise ValidationError(
+                        f"shard {shard.shard_id} capacity diverged from the pool"
+                    )
+                shard.state.verify_consistency()
+                total[shard.to_global] += shard.state.allocated
+                for rid in shard.state.leases:
+                    if self._owners.get(rid) != shard.shard_id:
+                        raise ValidationError(
+                            f"lease {rid} in shard {shard.shard_id} has no "
+                            "matching owner entry"
+                        )
+            if bool(np.any(total > self._pool.max_capacity)):
+                raise ValidationError("union allocation exceeds pool capacity")
+            for rid, shard_id in self._owners.items():
+                if shard_id == _ROUTING:
+                    continue
+                service = self._shards[shard_id].service
+                if not (
+                    service.state.has_lease(rid) or rid in service._pending
+                ):
+                    raise ValidationError(
+                        f"owner map points {rid} at shard {shard_id}, which "
+                        "neither holds nor is placing it"
+                    )
+
+    # ----------------------------------------------------------- checkpoint
+
+    def checkpoint_doc(self) -> dict:
+        """Consistent fabric checkpoint: shard states + router manifest."""
+        started = time.perf_counter()
+        with self._rebalance_lock, self._shard_locks(*range(len(self._shards))):
+            shard_docs = [checkpoint_to_dict(s.state) for s in self._shards]
+            with self._flock:
+                owners = sorted(
+                    (int(rid), int(sid))
+                    for rid, sid in self._owners.items()
+                    if sid != _ROUTING and self._shards[sid].state.has_lease(rid)
+                )
+        doc = {
+            "version": FABRIC_CHECKPOINT_VERSION,
+            "kind": "sharded-fabric",
+            "plan": {
+                "name": self.assignment.plan_name,
+                "racks": [list(group) for group in self.assignment.racks],
+            },
+            "spillover": self.config.spillover,
+            "catalog": catalog_to_dict(self._pool.catalog),
+            "pool": pool_to_dict(self._pool),
+            "owners": [[rid, sid] for rid, sid in owners],
+            "shards": shard_docs,
+        }
+        self._m_checkpoint.observe(time.perf_counter() - started)
+        return doc
+
+    def checkpoint_bytes(self) -> str:
+        """The canonical serialized form (byte-identical round trip)."""
+        return json.dumps(self.checkpoint_doc(), indent=1)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedPlacementFabric(shards={self.num_shards}, "
+            f"nodes={self.num_nodes}, queued={self.queued}, "
+            f"running={self.running})"
+        )
+
+
+# ------------------------------------------------------------------ restore
+
+def fabric_from_checkpoint(
+    doc: dict,
+    *,
+    policy_factory=None,
+    config: "FabricConfig | None" = None,
+    obs=None,
+) -> ShardedPlacementFabric:
+    """Rebuild a fabric from :meth:`ShardedPlacementFabric.checkpoint_doc`.
+
+    The rack assignment is replayed exactly; each shard's state is restored
+    from its embedded checkpoint and the owner map re-adopted, so the
+    restored fabric serves (and re-checkpoints) identically to the original.
+    ``config.spillover`` defaults to the checkpointed value when *config* is
+    omitted.
+    """
+    version = doc.get("version")
+    if version != FABRIC_CHECKPOINT_VERSION or doc.get("kind") != "sharded-fabric":
+        raise ValidationError(
+            f"unsupported fabric checkpoint (version={version!r}, "
+            f"kind={doc.get('kind')!r})"
+        )
+    catalog = catalog_from_dict(doc["catalog"])
+    pool = pool_from_dict(doc["pool"], catalog)
+    assignment = assignment_from_racks(
+        doc["plan"]["name"],
+        pool.topology,
+        [list(group) for group in doc["plan"]["racks"]],
+    )
+    if config is None:
+        config = FabricConfig(spillover=bool(doc.get("spillover", True)))
+    fabric = ShardedPlacementFabric(
+        pool,
+        plan=assignment,
+        policy_factory=policy_factory,
+        config=config,
+        obs=obs,
+    )
+    shard_docs = doc["shards"]
+    if len(shard_docs) != fabric.num_shards:
+        raise ValidationError(
+            f"checkpoint has {len(shard_docs)} shard(s) for a "
+            f"{fabric.num_shards}-shard plan"
+        )
+    for shard, shard_doc in zip(fabric.shards, shard_docs):
+        restored = state_from_checkpoint(shard_doc)
+        if restored.num_nodes != shard.num_nodes or not np.array_equal(
+            restored.max_capacity, shard.state.max_capacity
+        ):
+            raise ValidationError(
+                f"checkpointed shard {shard.shard_id} does not match the "
+                "plan's partition of the pool"
+            )
+        shard.service.state = restored
+    fabric._router = ShardRouter([s.state for s in fabric.shards])
+    fabric._owners = {
+        int(rid): int(sid) for rid, sid in doc.get("owners", [])
+    }
+    fabric.verify_consistency()
+    fabric._refresh_gauges()
+    return fabric
+
+
+def save_fabric_checkpoint(path: "str | Path", fabric: ShardedPlacementFabric) -> None:
+    """Write *fabric*'s checkpoint to *path*."""
+    Path(path).write_text(fabric.checkpoint_bytes())
+
+
+def load_fabric_checkpoint(
+    path: "str | Path",
+    *,
+    policy_factory=None,
+    config: "FabricConfig | None" = None,
+    obs=None,
+) -> ShardedPlacementFabric:
+    """Read a checkpoint written by :func:`save_fabric_checkpoint`."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"not a valid fabric checkpoint file: {exc}") from exc
+    return fabric_from_checkpoint(
+        doc, policy_factory=policy_factory, config=config, obs=obs
+    )

@@ -1,0 +1,226 @@
+"""Rack-aligned shard plans: how a pool is partitioned into shards.
+
+A shard plan assigns every *rack* of the physical topology to exactly one
+shard — never splitting a rack — so the distance structure inside a shard is
+exactly the distance structure of the global pool restricted to the shard's
+nodes (same-node / same-rack / same-cloud relations are preserved, and the
+hierarchical :class:`~repro.cluster.distance.DistanceModel` only looks at
+those relations). That restriction property is what makes sharding almost
+free for the paper's objective: Algorithm 1 packs outward from a central
+node, so a compact placement inside one shard has the same ``DC`` it would
+have had in the global pool.
+
+Three plans are provided:
+
+* :class:`ByRackPlan` — one shard per rack (the finest rack-aligned cut);
+* :class:`RackGroupPlan` — ``num_shards`` groups of consecutive racks (racks
+  are ordered cloud-major, so groups never straddle a cloud unless a cloud
+  has fewer racks than the group size demands);
+* :class:`CapacityBalancedPlan` — longest-processing-time assignment of
+  racks to ``num_shards`` shards so total VM capacity per shard is balanced
+  even when rack capacities are skewed.
+
+Plus :class:`ExplicitPlan`, which replays a recorded assignment (used by
+checkpoint restore so a fabric always reconstructs the exact partition it
+was running with).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.node import PhysicalNode
+from repro.cluster.topology import Topology
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """The result of partitioning a topology: racks and nodes per shard.
+
+    ``racks[s]`` and ``nodes[s]`` hold the *global* rack/node ids of shard
+    ``s``, both sorted ascending. Every rack (and therefore every node)
+    appears in exactly one shard.
+    """
+
+    plan_name: str
+    racks: tuple[tuple[int, ...], ...]
+    nodes: tuple[tuple[int, ...], ...]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.racks)
+
+
+class ShardPlan:
+    """Strategy interface: partition a topology into rack-aligned shards."""
+
+    #: Short name recorded in checkpoints and shown by introspection ops.
+    name: str = "abstract"
+
+    def partition(self, topology: Topology) -> ShardAssignment:
+        """Assign every rack of *topology* to one shard."""
+        rack_groups = self._rack_groups(topology)
+        return assignment_from_racks(self.name, topology, rack_groups)
+
+    def _rack_groups(self, topology: Topology) -> list[list[int]]:
+        raise NotImplementedError
+
+
+def assignment_from_racks(
+    plan_name: str, topology: Topology, rack_groups: "list[list[int]]"
+) -> ShardAssignment:
+    """Validate *rack_groups* as a partition of the topology's racks."""
+    seen: set[int] = set()
+    for group in rack_groups:
+        if not group:
+            raise ValidationError("every shard must contain at least one rack")
+        overlap = seen.intersection(group)
+        if overlap:
+            raise ValidationError(f"racks {sorted(overlap)} assigned to two shards")
+        seen.update(group)
+    missing = set(range(topology.num_racks)) - seen
+    if missing:
+        raise ValidationError(f"racks {sorted(missing)} assigned to no shard")
+    racks = tuple(tuple(sorted(group)) for group in rack_groups)
+    nodes = tuple(
+        tuple(sorted(n for r in group for n in topology.rack_members(r)))
+        for group in racks
+    )
+    return ShardAssignment(plan_name=plan_name, racks=racks, nodes=nodes)
+
+
+class ByRackPlan(ShardPlan):
+    """One shard per rack — maximum parallelism, minimum blast radius."""
+
+    name = "by-rack"
+
+    def _rack_groups(self, topology: Topology) -> list[list[int]]:
+        return [[rack.rack_id] for rack in topology.racks]
+
+
+class RackGroupPlan(ShardPlan):
+    """``num_shards`` groups of consecutive racks, as even as possible.
+
+    Racks are numbered cloud-major by :class:`~repro.cluster.topology.Topology`,
+    so consecutive grouping keeps shards inside one cloud whenever the rack
+    counts divide evenly.
+    """
+
+    name = "rack-group"
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValidationError("num_shards must be >= 1")
+        self.num_shards = num_shards
+
+    def _rack_groups(self, topology: Topology) -> list[list[int]]:
+        num_racks = topology.num_racks
+        if self.num_shards > num_racks:
+            raise ValidationError(
+                f"cannot cut {num_racks} racks into {self.num_shards} "
+                "rack-aligned shards"
+            )
+        bounds = np.linspace(0, num_racks, self.num_shards + 1).astype(int)
+        return [
+            list(range(int(bounds[s]), int(bounds[s + 1])))
+            for s in range(self.num_shards)
+        ]
+
+
+class CapacityBalancedPlan(ShardPlan):
+    """LPT assignment of racks so shard capacities come out balanced.
+
+    Racks are taken in decreasing total-VM-capacity order (ties by rack id)
+    and each goes to the currently lightest shard (ties by shard id) — the
+    classic longest-processing-time heuristic, deterministic by
+    construction.
+    """
+
+    name = "capacity-balanced"
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValidationError("num_shards must be >= 1")
+        self.num_shards = num_shards
+
+    def _rack_groups(self, topology: Topology) -> list[list[int]]:
+        num_racks = topology.num_racks
+        if self.num_shards > num_racks:
+            raise ValidationError(
+                f"cannot cut {num_racks} racks into {self.num_shards} "
+                "rack-aligned shards"
+            )
+        caps = topology.capacity_matrix().sum(axis=1)
+        rack_cap = {
+            rack.rack_id: int(sum(caps[n] for n in rack.node_ids))
+            for rack in topology.racks
+        }
+        loads = [0] * self.num_shards
+        groups: list[list[int]] = [[] for _ in range(self.num_shards)]
+        for rack_id in sorted(rack_cap, key=lambda r: (-rack_cap[r], r)):
+            shard = min(range(self.num_shards), key=lambda s: (loads[s], s))
+            groups[shard].append(rack_id)
+            loads[shard] += rack_cap[rack_id]
+        return groups
+
+
+class ExplicitPlan(ShardPlan):
+    """Replay a recorded rack assignment (checkpoint restore)."""
+
+    name = "explicit"
+
+    def __init__(self, racks: "tuple[tuple[int, ...], ...] | list") -> None:
+        self.racks = tuple(tuple(int(r) for r in group) for group in racks)
+        if not self.racks:
+            raise ValidationError("explicit plan needs at least one shard")
+
+    def _rack_groups(self, topology: Topology) -> list[list[int]]:
+        return [list(group) for group in self.racks]
+
+
+def resolve_plan(name: str, num_shards: int) -> ShardPlan:
+    """Build the named plan (CLI / config entry point)."""
+    if name == ByRackPlan.name:
+        return ByRackPlan()
+    if name == RackGroupPlan.name:
+        return RackGroupPlan(num_shards)
+    if name == CapacityBalancedPlan.name:
+        return CapacityBalancedPlan(num_shards)
+    raise ValidationError(
+        f"unknown shard plan {name!r}; expected one of "
+        f"('{ByRackPlan.name}', '{RackGroupPlan.name}', "
+        f"'{CapacityBalancedPlan.name}')"
+    )
+
+
+def shard_topology(
+    topology: Topology, node_ids: "tuple[int, ...]"
+) -> Topology:
+    """The sub-topology over *node_ids* with dense local ids.
+
+    Node, rack, and cloud ids are renumbered to dense 0-based local ids in
+    ascending global order; local index ``i`` corresponds to global node
+    ``node_ids[i]``. Because renumbering preserves the same-rack/same-cloud
+    equivalence classes, the sub-topology's distance matrix equals the
+    global distance matrix restricted to ``node_ids`` (for any hierarchical
+    distance model).
+    """
+    rack_map: dict[int, int] = {}
+    cloud_map: dict[int, int] = {}
+    nodes: list[PhysicalNode] = []
+    for local, global_id in enumerate(node_ids):
+        node = topology[global_id]
+        rack = rack_map.setdefault(node.rack_id, len(rack_map))
+        cloud = cloud_map.setdefault(node.cloud_id, len(cloud_map))
+        nodes.append(
+            PhysicalNode(
+                node_id=local,
+                rack_id=rack,
+                cloud_id=cloud,
+                capacity=np.array(node.capacity, dtype=np.int64),
+            )
+        )
+    return Topology(nodes)

@@ -1,0 +1,121 @@
+"""Shard scoring and request routing for the sharded placement fabric.
+
+The router answers one question per arrival: *which shard should try this
+request first, and who is next if it declines?* Scoring combines the two
+signals a rack-aligned partition makes cheap to read:
+
+* **estimated DC** — a lower bound on the cluster distance the shard could
+  achieve for the demand, computed from the shard's
+  :class:`~repro.cluster.topocache.TopologyCache` (per-center distance
+  argsorts) and its live free-capacity matrix: for every candidate center,
+  fill the demand greedily along the center's distance-sorted node order
+  using type-aggregated free capacity, and take the best center. This is
+  exactly the aggregate fill bound the placement kernels prune with, so a
+  shard's estimate is never above what Algorithm 1 will actually achieve
+  there.
+* **free capacity** — how much headroom the shard has for the requested
+  types; fuller shards are penalized so load spreads before queues build.
+
+The score is ``(estimated_DC + 1) × (1 + k / (free + 1))`` (lower is
+better, ``k`` = total VMs requested): estimated affinity scaled by a
+fullness factor. The ``+1`` shift matters: a perfectly compact estimate is
+``0``, and without the shift every zero-DC shard would tie at score zero —
+the fullness factor could never spread single-VM load off the first shard. Shards that cannot satisfy the demand *right now* rank after all
+currently satisfiable shards (most-free first — they can only serve the
+request after releases, so headroom is the best predictor); shards whose
+*maximum* capacity the demand exceeds are refused outright and reported
+separately so the fabric can attribute the refusal per shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.service.state import ClusterState
+from repro.util.errors import ValidationError
+from repro.util.validation import as_int_vector
+
+
+def estimate_dc(state: ClusterState, demand: np.ndarray) -> float:
+    """Lower bound on the ``DC`` this shard could give *demand* right now.
+
+    Supply is aggregated over the requested types (a node offering any mix
+    of them counts fully), which can only over-promise — so the returned
+    value never exceeds the distance of a real placement. ``inf`` when the
+    aggregated free capacity cannot cover the request at all.
+    """
+    demand = as_int_vector(demand, name="demand", length=state.num_types)
+    k = int(demand.sum())
+    if k == 0:
+        return 0.0
+    cache = state.topology_cache
+    if cache is None:
+        raise ValidationError("estimate_dc requires a pool with a topology cache")
+    supply = state.remaining[:, demand > 0].sum(axis=1)
+    if int(supply.sum()) < k:
+        return float("inf")
+    # Greedy fill along every center's distance-sorted order at once:
+    # take[c, p] is how many VMs center c draws from the p-th nearest node.
+    sup_ord = supply[cache.center_orders]
+    prev = np.cumsum(sup_ord, axis=1) - sup_ord
+    take = np.clip(k - prev, 0, sup_ord)
+    return float((cache.d_sorted * take).sum(axis=1).min())
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Router verdict for one demand vector.
+
+    ``ranked`` holds shard ids best-first (currently satisfiable shards by
+    score, then waitable shards by headroom); ``refused`` holds shards whose
+    maximum capacity the demand exceeds — they can never serve it.
+    ``scores`` keeps the raw score per ranked shard for introspection.
+    """
+
+    ranked: tuple[int, ...]
+    refused: tuple[int, ...]
+    scores: dict[int, float]
+
+
+class ShardRouter:
+    """Deterministic scorer over the fabric's shard states.
+
+    The router reads shard states without locking: scores are admission
+    *hints* refined by each shard's own admission control, so a stale read
+    costs at most one spillover hop, never correctness.
+    """
+
+    def __init__(self, states: "list[ClusterState]") -> None:
+        if not states:
+            raise ValidationError("router needs at least one shard state")
+        self._states = list(states)
+
+    def route(self, demand: np.ndarray) -> RouteResult:
+        """Rank shards for *demand*; see the module docstring for the score."""
+        demand = as_int_vector(
+            demand, name="demand", length=self._states[0].num_types
+        )
+        k = int(demand.sum())
+        satisfiable: list[tuple[float, int]] = []
+        waitable: list[tuple[float, int]] = []
+        refused: list[int] = []
+        scores: dict[int, float] = {}
+        for shard_id, state in enumerate(self._states):
+            if state.exceeds_max_capacity(demand):
+                refused.append(shard_id)
+                continue
+            free = float(state.remaining[:, demand > 0].sum())
+            est = estimate_dc(state, demand)
+            if np.isfinite(est):
+                score = (est + 1.0) * (1.0 + k / (free + 1.0))
+                satisfiable.append((score, shard_id))
+                scores[shard_id] = score
+            else:
+                waitable.append((-free, shard_id))
+                scores[shard_id] = float("inf")
+        satisfiable.sort()
+        waitable.sort()
+        ranked = tuple(s for _, s in satisfiable) + tuple(s for _, s in waitable)
+        return RouteResult(ranked=ranked, refused=tuple(refused), scores=scores)

@@ -7,6 +7,7 @@ One request per line, one response per line. Every exchange is an envelope::
     {"op": "stats"}
     {"op": "checkpoint"}
     {"op": "metrics", "format": "prom"}
+    {"op": "shards"}
     {"op": "ping"}
 
 Responses are ``{"ok": true, ...payload...}`` or ``{"ok": false, "error": msg}``.
@@ -15,9 +16,16 @@ the service ticket while the scheduler loop works, so clients see exactly one
 synchronous round trip per request.
 
 :class:`ServiceEndpoint` wraps a :class:`~repro.service.server.PlacementService`
-in a ``socketserver.ThreadingTCPServer``; :class:`ServiceClient` is the
-matching blocking client. Both are deliberately minimal — the serving
-intelligence lives in the service, not the wire.
+— or a :class:`~repro.service.shard.ShardedPlacementFabric`; the two share the
+serving surface, so every op is shard-transparent — in a
+``socketserver.ThreadingTCPServer``; :class:`ServiceClient` is the matching
+blocking client. Both are deliberately minimal — the serving intelligence
+lives in the service, not the wire.
+
+Malformed input (truncated frames, oversized payloads, invalid UTF-8, unknown
+ops, envelopes of the wrong shape) always produces a typed
+``{"ok": false, "error": ...}`` reply on that connection; nothing a client
+sends can take down the accept loop.
 """
 
 from __future__ import annotations
@@ -26,7 +34,6 @@ import json
 import socket
 import socketserver
 import threading
-import time
 
 from repro.obs.export import render
 from repro.service.api import (
@@ -35,29 +42,40 @@ from repro.service.api import (
     encode_message,
     decode_message,
 )
-from repro.service.checkpoint import checkpoint_to_dict
 from repro.service.server import PlacementService
 from repro.util.errors import ReproError, ValidationError
 
 #: How long a handler waits for the scheduler to decide one placement.
 DECISION_TIMEOUT = 30.0
 
+#: Hard per-line byte budget; longer frames are rejected, not parsed.
+MAX_LINE_BYTES = 1 << 20
+
 
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         service: PlacementService = self.server.service  # type: ignore[attr-defined]
         for raw in self.rfile:
-            line = raw.decode("utf-8").strip()
-            if not line:
-                continue
             try:
+                if len(raw) > MAX_LINE_BYTES:
+                    raise ValidationError(
+                        f"frame exceeds {MAX_LINE_BYTES} bytes"
+                    )
+                line = raw.decode("utf-8").strip()
+                if not line:
+                    continue
                 response = self._dispatch(service, line)
+            except UnicodeDecodeError:
+                response = {"ok": False, "error": "frame is not valid UTF-8"}
             except ReproError as exc:
                 response = {"ok": False, "error": str(exc)}
             except Exception as exc:  # defensive: never kill the connection
                 response = {"ok": False, "error": f"internal error: {exc}"}
-            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
-            self.wfile.flush()
+            try:
+                self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+                self.wfile.flush()
+            except OSError:
+                return  # client went away mid-reply; connection is done
 
     def _dispatch(self, service: PlacementService, line: str) -> dict:
         try:
@@ -72,11 +90,9 @@ class _Handler(socketserver.StreamRequestHandler):
         if op == "stats":
             return {"ok": True, "stats": service.stats.to_dict()}
         if op == "checkpoint":
-            started = time.perf_counter()
-            with service._lock:
-                doc = checkpoint_to_dict(service.state)
-            service._m_checkpoint.observe(time.perf_counter() - started)
-            return {"ok": True, "checkpoint": doc}
+            return {"ok": True, "checkpoint": service.checkpoint_doc()}
+        if op == "shards":
+            return {"ok": True, "shards": service.describe_shards()}
         if op == "metrics":
             fmt = envelope.get("format", "prom")
             return {"ok": True, "format": fmt, "body": render(service.obs, fmt)}
@@ -206,6 +222,10 @@ class ServiceClient:
     def checkpoint(self) -> dict:
         """Fetch the server's live checkpoint document."""
         return self._call({"op": "checkpoint"})["checkpoint"]
+
+    def shards(self) -> list:
+        """Per-shard summaries (a one-entry list for an unsharded service)."""
+        return self._call({"op": "shards"})["shards"]
 
     def metrics(self, format: str = "prom") -> str:
         """Scrape the server's metrics registry.

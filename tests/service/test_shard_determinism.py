@@ -1,0 +1,181 @@
+"""Determinism: one trace, two runs, byte-identical fabric checkpoints.
+
+The fabric (and the underlying :mod:`repro.service.server`) must be a pure
+function of the operation sequence: same seed, same trace, same interleaved
+releases and rebalance sweeps → the serialized checkpoint is identical to
+the byte. This pins down the classic nondeterminism sources — dict iteration
+order feeding the batch optimizer, unsorted ledgers in serialization, and
+scheduler-thread timing leaking into placement order."""
+
+import numpy as np
+
+from repro.cluster import PoolSpec, VMTypeCatalog, random_pool
+from repro.obs import MetricsRegistry
+from repro.service import (
+    ClusterState,
+    PlaceRequest,
+    PlacementService,
+    ReleaseRequest,
+    ServiceConfig,
+    checkpoint_bytes,
+)
+from repro.service.shard import (
+    CapacityBalancedPlan,
+    FabricConfig,
+    RackGroupPlan,
+    ShardedPlacementFabric,
+)
+
+CATALOG = VMTypeCatalog.ec2_default()
+
+
+def make_trace(seed, count=60, num_types=3):
+    """(op, payload) sequence: submits with interleaved releases."""
+    rng = np.random.default_rng(seed)
+    trace = []
+    live = []
+    for rid in range(count):
+        demand = [int(x) for x in rng.integers(0, 3, size=num_types)]
+        if sum(demand) == 0:
+            demand[rng.integers(0, num_types)] = 1
+        trace.append(("place", rid, demand))
+        live.append(rid)
+        if live and rng.random() < 0.3:
+            victim = live.pop(int(rng.integers(0, len(live))))
+            trace.append(("release", victim, None))
+        if rid and rid % 15 == 0:
+            trace.append(("rebalance", None, None))
+    return trace
+
+
+def run_fabric_trace(seed, *, plan, service_config):
+    pool = random_pool(
+        PoolSpec(racks=6, nodes_per_rack=4, clouds=2, capacity_low=1, capacity_high=3),
+        CATALOG,
+        seed=seed,
+    )
+    fabric = ShardedPlacementFabric(
+        pool,
+        plan=plan,
+        config=FabricConfig(service=service_config),
+        obs=MetricsRegistry(),
+    )
+    for op, rid, demand in make_trace(seed, num_types=pool.num_types):
+        if op == "place":
+            fabric.submit(PlaceRequest(request_id=rid, demand=demand))
+            for _ in range(8):
+                if not fabric.step_all(now=0.0) and not fabric.queued:
+                    break
+        elif op == "release":
+            fabric.release(ReleaseRequest(request_id=rid))
+        elif op == "rebalance":
+            fabric.rebalance()
+    fabric.rebalance()
+    fabric.verify_consistency()
+    return fabric.checkpoint_bytes()
+
+
+class TestFabricDeterminism:
+    def test_driven_trace_is_byte_identical(self):
+        kwargs = dict(
+            plan=RackGroupPlan(3),
+            service_config=ServiceConfig(batch_window=0.0),
+        )
+        assert run_fabric_trace(101, **kwargs) == run_fabric_trace(101, **kwargs)
+
+    def test_batched_transfers_are_deterministic(self):
+        kwargs = dict(
+            plan=CapacityBalancedPlan(3),
+            service_config=ServiceConfig(
+                batch_window=0.0, max_batch=8, enable_transfers=True
+            ),
+        )
+        assert run_fabric_trace(202, **kwargs) == run_fabric_trace(202, **kwargs)
+
+    def test_different_seeds_differ(self):
+        kwargs = dict(
+            plan=RackGroupPlan(3),
+            service_config=ServiceConfig(batch_window=0.0),
+        )
+        assert run_fabric_trace(101, **kwargs) != run_fabric_trace(303, **kwargs)
+
+    def test_threaded_sequential_clients_match_driven(self):
+        """Scheduler-thread timing must not leak into committed state.
+
+        Each request is awaited before the next is submitted, so the
+        logical operation order is fixed; the background-thread run must
+        land on the same bytes as a hand-driven run of the same order.
+        """
+
+        def run(threaded: bool) -> str:
+            pool = random_pool(
+                PoolSpec(
+                    racks=4, nodes_per_rack=4, capacity_low=1, capacity_high=3
+                ),
+                CATALOG,
+                seed=7,
+            )
+            fabric = ShardedPlacementFabric(
+                pool,
+                plan=RackGroupPlan(2),
+                config=FabricConfig(
+                    service=ServiceConfig(batch_window=0.0, max_batch=1)
+                ),
+                obs=MetricsRegistry(),
+            )
+            if threaded:
+                fabric.start()
+            rng = np.random.default_rng(17)
+            for rid in range(30):
+                demand = [int(x) for x in rng.integers(0, 3, size=pool.num_types)]
+                if sum(demand) == 0:
+                    demand[0] = 1
+                ticket = fabric.submit(PlaceRequest(request_id=rid, demand=demand))
+                if threaded:
+                    ticket.result(timeout=10.0)
+                else:
+                    for _ in range(8):
+                        if ticket.done:
+                            break
+                        fabric.step_all(now=0.0)
+                if rid % 3 == 0 and ticket.done and ticket.decision.placed:
+                    fabric.release(ReleaseRequest(request_id=rid))
+            if threaded:
+                fabric.drain(timeout=10.0)
+            fabric.verify_consistency()
+            return fabric.checkpoint_bytes()
+
+        assert run(threaded=True) == run(threaded=False)
+
+
+class TestSingleServiceDeterminism:
+    def test_service_checkpoint_is_trace_deterministic(self):
+        def run():
+            pool = random_pool(
+                PoolSpec(racks=3, nodes_per_rack=5, capacity_low=1, capacity_high=3),
+                CATALOG,
+                seed=23,
+            )
+            service = PlacementService(
+                ClusterState.from_pool(pool),
+                config=ServiceConfig(
+                    batch_window=0.0, max_batch=6, enable_transfers=True
+                ),
+                obs=MetricsRegistry(),
+            )
+            rng = np.random.default_rng(29)
+            for rid in range(50):
+                demand = [int(x) for x in rng.integers(0, 3, size=pool.num_types)]
+                if sum(demand) == 0:
+                    demand[0] = 1
+                service.submit(PlaceRequest(request_id=rid, demand=demand))
+                if rid % 4 == 0:
+                    service.step(now=0.0)
+                if rid % 9 == 0 and service.state.has_lease(rid - 1):
+                    service.release(ReleaseRequest(request_id=rid - 1))
+            for _ in range(40):
+                if not service.step(now=0.0) and not service.queued:
+                    break
+            return checkpoint_bytes(service.state)
+
+        assert run() == run()

@@ -1,0 +1,241 @@
+"""Differential/property suite: the sharded fabric vs the single service.
+
+Five hypothesis properties over random pools and request streams (deadlines
+off, derandomized so the example set — and therefore CI — is deterministic):
+
+1. **Single-shard equivalence** — a 1-shard fabric produces decisions
+   field-identical to a lone :class:`PlacementService` over the same trace
+   (the fabric layer adds routing, not placement behavior).
+2. **Constraint safety** — every placed fabric decision satisfies the
+   demand vector exactly (``R_j``) and never exceeds any node's per-type
+   capacity (``L_ij``), in global node ids.
+3. **Bounded DC** — per-request fabric ``DC`` stays within a bounded factor
+   of the single-pool placement for the same request at the same point in
+   the trace.
+4. **Spillover monotonicity** — enabling spillover never lowers the
+   acceptance rate on the same trace.
+5. **Fabric-level consistency** — after every trace (including releases)
+   the union of shard states reconstructs the global pool:
+   :meth:`ShardedPlacementFabric.verify_consistency` plus an explicit
+   union-matrix check against replayed decisions.
+
+``SHARD_SMOKE=1`` shrinks example counts for CI smoke jobs; the full run
+exercises 250 seeded cases.
+"""
+
+import os
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import PoolSpec, VMTypeCatalog, random_pool
+from repro.obs import MetricsRegistry
+from repro.service import (
+    ClusterState,
+    PlaceRequest,
+    PlacementService,
+    ReleaseRequest,
+    ServiceConfig,
+)
+from repro.service.shard import (
+    FabricConfig,
+    RackGroupPlan,
+    ShardedPlacementFabric,
+)
+
+CATALOG = VMTypeCatalog.ec2_default()
+NUM_TYPES = len(CATALOG)
+
+SMOKE = bool(os.environ.get("SHARD_SMOKE"))
+
+
+def examples(full: int, smoke: int = 10) -> int:
+    return smoke if SMOKE else full
+
+
+pool_shapes = st.fixed_dictionaries(
+    {
+        "racks": st.integers(2, 4),
+        "nodes_per_rack": st.integers(2, 4),
+        "clouds": st.integers(1, 2),
+        "capacity_high": st.integers(2, 3),
+    }
+)
+
+demand_vectors = st.lists(
+    st.integers(0, 3), min_size=NUM_TYPES, max_size=NUM_TYPES
+).filter(lambda d: sum(d) > 0)
+
+traces = st.lists(demand_vectors, min_size=4, max_size=16)
+
+
+def build_pool(shape, seed):
+    return random_pool(
+        PoolSpec(capacity_low=1, **shape), CATALOG, seed=seed
+    )
+
+
+def build_fabric(pool, shards, *, spillover=True, queue_capacity=256):
+    shards = min(shards, pool.topology.num_racks)
+    return ShardedPlacementFabric(
+        pool,
+        plan=RackGroupPlan(shards),
+        config=FabricConfig(
+            spillover=spillover,
+            service=ServiceConfig(
+                batch_window=0.0,
+                max_batch=1,
+                enable_transfers=False,
+                queue_capacity=queue_capacity,
+            ),
+        ),
+        obs=MetricsRegistry(),
+    )
+
+
+def build_single(pool, *, queue_capacity=256):
+    return PlacementService(
+        ClusterState.from_pool(pool),
+        config=ServiceConfig(
+            batch_window=0.0,
+            max_batch=1,
+            enable_transfers=False,
+            queue_capacity=queue_capacity,
+        ),
+        obs=MetricsRegistry(),
+    )
+
+
+def drive(target, trace, step):
+    """Submit the whole trace, stepping after each arrival; then pump dry."""
+    tickets = []
+    for rid, demand in enumerate(trace):
+        tickets.append(target.submit(PlaceRequest(request_id=rid, demand=demand)))
+        step(now=0.0)
+    for _ in range(len(trace) * 4):
+        if not step(now=0.0) and all(t.done for t in tickets):
+            break
+    return tickets
+
+
+@settings(max_examples=examples(60), deadline=None, derandomize=True)
+@given(shape=pool_shapes, seed=st.integers(0, 2**16), trace=traces)
+def test_single_shard_fabric_matches_single_service(shape, seed, trace):
+    pool = build_pool(shape, seed)
+    fabric = build_fabric(build_pool(shape, seed), 1)
+    single = build_single(pool)
+    fabric_tickets = drive(fabric, trace, fabric.step_all)
+    single_tickets = drive(single, trace, single.step)
+    for ft, st_ in zip(fabric_tickets, single_tickets):
+        fd, sd = ft.decision, st_.decision
+        # A request the pool can never fit stays queued in both systems.
+        assert (fd is None) == (sd is None)
+        if fd is None:
+            continue
+        assert (fd.request_id, fd.status) == (sd.request_id, sd.status)
+        assert fd.placements == sd.placements
+        assert fd.center == sd.center
+        assert fd.distance == sd.distance
+    fabric.verify_consistency()
+
+
+@settings(max_examples=examples(60), deadline=None, derandomize=True)
+@given(
+    shape=pool_shapes,
+    seed=st.integers(0, 2**16),
+    trace=traces,
+    shards=st.integers(2, 4),
+)
+def test_fabric_placements_satisfy_constraints(shape, seed, trace, shards):
+    pool = build_pool(shape, seed)
+    fabric = build_fabric(build_pool(shape, seed), shards)
+    tickets = drive(fabric, trace, fabric.step_all)
+    max_capacity = pool.max_capacity
+    for rid, ticket in enumerate(tickets):
+        decision = ticket.decision
+        if decision is None or not decision.placed:
+            continue
+        matrix = decision.allocation_matrix(pool.num_nodes, pool.num_types)
+        # R_j: the demand vector is met exactly.
+        np.testing.assert_array_equal(matrix.sum(axis=0), np.asarray(trace[rid]))
+        # L_ij: no node serves more than its per-type capacity.
+        assert np.all(matrix <= max_capacity)
+    # And jointly: the union of live leases fits the global pool.
+    assert np.all(fabric.global_allocated() <= max_capacity)
+    fabric.verify_consistency()
+
+
+@settings(max_examples=examples(50), deadline=None, derandomize=True)
+@given(
+    shape=pool_shapes,
+    seed=st.integers(0, 2**16),
+    trace=traces,
+    shards=st.integers(2, 3),
+)
+def test_fabric_dc_within_bounded_factor(shape, seed, trace, shards):
+    """Routing cannot do unboundedly worse than the global greedy placement."""
+    pool = build_pool(shape, seed)
+    fabric = build_fabric(build_pool(shape, seed), shards)
+    single = build_single(pool)
+    fabric_tickets = drive(fabric, trace, fabric.step_all)
+    single_tickets = drive(single, trace, single.step)
+    max_d = float(pool.distance_matrix.max())
+    for rid, (ft, st_) in enumerate(zip(fabric_tickets, single_tickets)):
+        fd, sd = ft.decision, st_.decision
+        if fd is None or sd is None or not (fd.placed and sd.placed):
+            continue
+        k = sum(trace[rid])
+        # Hard cap: every VM is at most max_d from the center.
+        assert fd.distance <= max_d * max(k - 1, 0) + 1e-9
+        # Relative cap: the router's pick tracks the global greedy choice.
+        assert fd.distance <= 4.0 * sd.distance + 2.0 * k + 1e-9
+    fabric.verify_consistency()
+
+
+@settings(max_examples=examples(40), deadline=None, derandomize=True)
+@given(shape=pool_shapes, seed=st.integers(0, 2**16), trace=traces)
+def test_spillover_never_lowers_acceptance(shape, seed, trace):
+    with_spill = build_fabric(
+        build_pool(shape, seed), 3, spillover=True, queue_capacity=2
+    )
+    without = build_fabric(
+        build_pool(shape, seed), 3, spillover=False, queue_capacity=2
+    )
+    drive(with_spill, trace, with_spill.step_all)
+    drive(without, trace, without.step_all)
+    assert with_spill.stats.placed >= without.stats.placed
+    assert (
+        with_spill.stats.acceptance_rate >= without.stats.acceptance_rate
+    )
+    with_spill.verify_consistency()
+    without.verify_consistency()
+
+
+@settings(max_examples=examples(40), deadline=None, derandomize=True)
+@given(
+    shape=pool_shapes,
+    seed=st.integers(0, 2**16),
+    trace=traces,
+    shards=st.integers(2, 4),
+    release_mod=st.integers(2, 4),
+)
+def test_union_of_shards_reconstructs_global_pool(
+    shape, seed, trace, shards, release_mod
+):
+    pool = build_pool(shape, seed)
+    fabric = build_fabric(build_pool(shape, seed), shards)
+    tickets = drive(fabric, trace, fabric.step_all)
+    live = np.zeros((pool.num_nodes, pool.num_types), dtype=np.int64)
+    for rid, ticket in enumerate(tickets):
+        decision = ticket.decision
+        if decision is None or not decision.placed:
+            continue
+        matrix = decision.allocation_matrix(pool.num_nodes, pool.num_types)
+        if rid % release_mod == 0:
+            assert fabric.release(ReleaseRequest(request_id=rid)).released
+        else:
+            live += matrix
+    # The union of shard ledgers is exactly the replayed live allocation.
+    np.testing.assert_array_equal(fabric.global_allocated(), live)
+    fabric.verify_consistency()

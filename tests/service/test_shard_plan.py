@@ -1,0 +1,132 @@
+"""Shard plans: partition validity, balance, and distance-exact restriction."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PoolSpec, VMTypeCatalog, random_pool
+from repro.cluster.distance import build_distance_matrix
+from repro.service.shard import (
+    ByRackPlan,
+    CapacityBalancedPlan,
+    ExplicitPlan,
+    RackGroupPlan,
+    assignment_from_racks,
+    resolve_plan,
+    shard_topology,
+)
+from repro.util.errors import ValidationError
+
+CATALOG = VMTypeCatalog.ec2_default()
+
+
+def make_pool(seed=5, racks=6, nodes_per_rack=4, clouds=2):
+    return random_pool(
+        PoolSpec(
+            racks=racks,
+            nodes_per_rack=nodes_per_rack,
+            clouds=clouds,
+            capacity_low=1,
+            capacity_high=4,
+        ),
+        CATALOG,
+        seed=seed,
+    )
+
+
+def assert_partition(assignment, topology):
+    nodes = [n for group in assignment.nodes for n in group]
+    assert sorted(nodes) == list(range(topology.num_nodes))
+    racks = [r for group in assignment.racks for r in group]
+    assert sorted(racks) == list(range(topology.num_racks))
+
+
+class TestPlans:
+    def test_by_rack_is_one_shard_per_rack(self):
+        pool = make_pool()
+        assignment = ByRackPlan().partition(pool.topology)
+        assert assignment.num_shards == pool.topology.num_racks
+        assert all(len(group) == 1 for group in assignment.racks)
+        assert_partition(assignment, pool.topology)
+
+    def test_rack_group_counts_and_contiguity(self):
+        pool = make_pool()
+        assignment = RackGroupPlan(3).partition(pool.topology)
+        assert assignment.num_shards == 3
+        assert_partition(assignment, pool.topology)
+        for group in assignment.racks:
+            assert list(group) == list(range(group[0], group[-1] + 1))
+
+    def test_rack_group_rejects_more_shards_than_racks(self):
+        pool = make_pool(racks=2, clouds=1)
+        with pytest.raises(ValidationError):
+            RackGroupPlan(3).partition(pool.topology)
+
+    def test_capacity_balanced_is_balanced(self):
+        pool = make_pool(seed=17, racks=8)
+        assignment = CapacityBalancedPlan(4).partition(pool.topology)
+        assert_partition(assignment, pool.topology)
+        caps = pool.max_capacity.sum(axis=1)
+        loads = [
+            int(sum(caps[n] for n in group)) for group in assignment.nodes
+        ]
+        # LPT guarantee: max load is within one rack's capacity of the mean.
+        rack_caps = [
+            int(sum(caps[n] for n in pool.topology.rack_members(r)))
+            for r in range(pool.topology.num_racks)
+        ]
+        assert max(loads) - min(loads) <= max(rack_caps)
+
+    def test_explicit_plan_replays_and_validates(self):
+        pool = make_pool(racks=4, clouds=1)
+        good = ExplicitPlan([(0, 2), (1, 3)]).partition(pool.topology)
+        assert good.racks == ((0, 2), (1, 3))
+        with pytest.raises(ValidationError):
+            ExplicitPlan([(0,), (0, 1, 2, 3)]).partition(pool.topology)
+        with pytest.raises(ValidationError):
+            ExplicitPlan([(0, 1)]).partition(pool.topology)
+
+    def test_resolve_plan(self):
+        assert isinstance(resolve_plan("by-rack", 4), ByRackPlan)
+        assert isinstance(resolve_plan("rack-group", 4), RackGroupPlan)
+        assert isinstance(
+            resolve_plan("capacity-balanced", 4), CapacityBalancedPlan
+        )
+        with pytest.raises(ValidationError):
+            resolve_plan("round-robin", 4)
+
+    def test_assignment_from_racks_rejects_empty_shard(self):
+        pool = make_pool(racks=3, clouds=1)
+        with pytest.raises(ValidationError):
+            assignment_from_racks("x", pool.topology, [[0, 1, 2], []])
+
+
+class TestShardTopology:
+    def test_restriction_is_distance_exact(self):
+        """The sub-topology's distance matrix is the global one restricted."""
+        pool = make_pool(seed=23)
+        assignment = RackGroupPlan(3).partition(pool.topology)
+        global_dist = pool.distance_matrix
+        for node_ids in assignment.nodes:
+            ids = np.asarray(node_ids)
+            sub = shard_topology(pool.topology, node_ids)
+            sub_dist = build_distance_matrix(sub, pool.distance_model)
+            np.testing.assert_array_equal(
+                sub_dist, global_dist[np.ix_(ids, ids)]
+            )
+
+    def test_capacities_carry_over(self):
+        pool = make_pool(seed=29)
+        assignment = CapacityBalancedPlan(2).partition(pool.topology)
+        for node_ids in assignment.nodes:
+            sub = shard_topology(pool.topology, node_ids)
+            np.testing.assert_array_equal(
+                sub.capacity_matrix(),
+                pool.topology.capacity_matrix()[np.asarray(node_ids)],
+            )
+
+    def test_local_ids_are_dense(self):
+        pool = make_pool(seed=31)
+        assignment = ByRackPlan().partition(pool.topology)
+        sub = shard_topology(pool.topology, assignment.nodes[-1])
+        assert [n.node_id for n in sub.nodes] == list(range(len(sub.nodes)))
+        assert sub.num_racks == 1

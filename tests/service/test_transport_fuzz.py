@@ -1,0 +1,259 @@
+"""Transport fuzzing: nothing a client sends may kill the accept loop.
+
+Three layers:
+
+* **Codec round-trip** — hypothesis-generated API messages survive
+  ``decode(encode(m)) == m`` exactly.
+* **Malformed-frame fuzzing** — raw bytes (binary garbage, truncated JSON,
+  invalid UTF-8, oversized frames, unknown ops, wrong-shape envelopes) fired
+  at a live :class:`ServiceEndpoint`; every complete frame gets a typed
+  ``{"ok": false}`` reply or a clean connection close, and the endpoint
+  still serves a fresh client afterwards (regression guard for the PR 2
+  scheduler-stall class).
+* **Shard ops** — the ``shards``/``checkpoint`` introspection ops answer on
+  a sharded fabric endpoint under the same abuse.
+"""
+
+import json
+import socket
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import PoolSpec, VMTypeCatalog, random_pool
+from repro.obs import MetricsRegistry
+from repro.service import (
+    ClusterState,
+    PlaceRequest,
+    PlacementDecision,
+    PlacementService,
+    ReleaseRequest,
+    ReleaseResponse,
+    ServiceClient,
+    ServiceConfig,
+    ServiceEndpoint,
+    decode_message,
+    encode_message,
+)
+from repro.service.shard import FabricConfig, RackGroupPlan, ShardedPlacementFabric
+from repro.service.transport import MAX_LINE_BYTES
+
+CATALOG = VMTypeCatalog.ec2_default()
+
+
+# --------------------------------------------------------------- codec fuzz
+
+place_requests = st.builds(
+    PlaceRequest,
+    demand=st.lists(st.integers(0, 50), min_size=1, max_size=6).filter(
+        lambda d: sum(d) > 0
+    ),
+    request_id=st.integers(0, 2**31),
+    priority=st.integers(-5, 5),
+    tag=st.text(max_size=20),
+)
+
+decisions = st.builds(
+    PlacementDecision,
+    request_id=st.integers(0, 2**31),
+    status=st.just("placed"),
+    placements=st.lists(
+        st.tuples(st.integers(0, 100), st.integers(0, 5), st.integers(1, 9)),
+        max_size=5,
+    ).map(tuple),
+    center=st.integers(0, 100),
+    distance=st.floats(0, 1e6, allow_nan=False),
+    latency=st.floats(0, 10, allow_nan=False),
+    detail=st.text(max_size=30),
+)
+
+release_requests = st.builds(ReleaseRequest, request_id=st.integers(0, 2**31))
+
+release_responses = st.builds(
+    ReleaseResponse,
+    request_id=st.integers(0, 2**31),
+    status=st.sampled_from(["released", "unknown_lease"]),
+    freed_vms=st.integers(0, 500),
+)
+
+
+@settings(max_examples=200, deadline=None, derandomize=True)
+@given(
+    message=st.one_of(place_requests, decisions, release_requests, release_responses)
+)
+def test_codec_round_trip(message):
+    assert decode_message(encode_message(message)) == message
+
+
+# ------------------------------------------------------------ endpoint fuzz
+
+
+@pytest.fixture(scope="module")
+def endpoint():
+    pool = random_pool(
+        PoolSpec(racks=2, nodes_per_rack=3, capacity_low=1, capacity_high=3),
+        CATALOG,
+        seed=11,
+    )
+    service = PlacementService(
+        ClusterState.from_pool(pool),
+        config=ServiceConfig(batch_window=0.0),
+        obs=MetricsRegistry(),
+    )
+    with ServiceEndpoint(service) as ep:
+        yield ep
+
+
+def send_raw(endpoint, payload: bytes, *, read: bool = True) -> bytes:
+    host, port = endpoint.address
+    with socket.create_connection((host, port), timeout=5.0) as sock:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)
+        if not read:
+            return b""
+        chunks = []
+        while True:
+            got = sock.recv(65536)
+            if not got:
+                return b"".join(chunks)
+            chunks.append(got)
+
+
+def assert_alive(endpoint):
+    host, port = endpoint.address
+    with ServiceClient(host, port) as client:
+        assert client.ping()
+
+
+def assert_typed_errors(reply: bytes):
+    for line in reply.splitlines():
+        if not line.strip():
+            continue
+        doc = json.loads(line)
+        assert doc["ok"] is False
+        assert isinstance(doc["error"], str) and doc["error"]
+
+
+class TestMalformedFrames:
+    def test_binary_garbage(self, endpoint):
+        reply = send_raw(endpoint, b"\x00\xff\xfe garbage \x80\n")
+        assert_typed_errors(reply)
+        assert_alive(endpoint)
+
+    def test_invalid_utf8(self, endpoint):
+        reply = send_raw(endpoint, b'{"op": "ping"\xc3\x28}\n')
+        assert_typed_errors(reply)
+        assert_alive(endpoint)
+
+    def test_truncated_frame_no_newline(self, endpoint):
+        # A frame cut off mid-JSON with no terminator: the connection just
+        # ends; no reply is owed, and the loop survives.
+        send_raw(endpoint, b'{"op": "pl', read=True)
+        assert_alive(endpoint)
+
+    def test_truncated_json_with_newline(self, endpoint):
+        reply = send_raw(endpoint, b'{"op": "place", "message": {"dem\n')
+        assert_typed_errors(reply)
+        assert_alive(endpoint)
+
+    def test_oversized_frame(self, endpoint):
+        payload = b'{"op": "ping", "pad": "' + b"x" * (MAX_LINE_BYTES + 10) + b'"}\n'
+        reply = send_raw(endpoint, payload)
+        assert_typed_errors(reply)
+        assert b"exceeds" in reply
+        assert_alive(endpoint)
+
+    def test_unknown_op(self, endpoint):
+        reply = send_raw(endpoint, b'{"op": "reboot"}\n')
+        assert_typed_errors(reply)
+        assert_alive(endpoint)
+
+    def test_wrong_shape_envelopes(self, endpoint):
+        for frame in (b"[1,2,3]\n", b'"ping"\n', b"42\n", b"null\n", b"{}\n"):
+            reply = send_raw(endpoint, frame)
+            assert_typed_errors(reply)
+        assert_alive(endpoint)
+
+    def test_invalid_place_message(self, endpoint):
+        bad = [
+            {"op": "place", "message": {"demand": []}},
+            {"op": "place", "message": {"demand": [-1, 2]}},
+            {"op": "place", "message": {"demand": [1], "bogus": True}},
+            {"op": "place"},
+            {"op": "release", "message": {}},
+        ]
+        payload = b"".join(json.dumps(doc).encode() + b"\n" for doc in bad)
+        reply = send_raw(endpoint, payload)
+        lines = [l for l in reply.splitlines() if l.strip()]
+        assert len(lines) == len(bad)
+        assert_typed_errors(reply)
+        assert_alive(endpoint)
+
+    def test_good_frame_after_bad_on_same_connection(self, endpoint):
+        reply = send_raw(endpoint, b'not json\n{"op": "ping"}\n')
+        lines = [json.loads(l) for l in reply.splitlines() if l.strip()]
+        assert len(lines) == 2
+        assert lines[0]["ok"] is False
+        assert lines[1]["ok"] is True and lines[1]["pong"] is True
+        assert_alive(endpoint)
+
+
+@settings(max_examples=50, deadline=None, derandomize=True)
+@given(blob=st.binary(min_size=1, max_size=512))
+def test_random_bytes_never_kill_the_accept_loop(endpoint, blob):
+    reply = send_raw(endpoint, blob + b"\n")
+    # Whatever came back (replies for each complete frame, or nothing for
+    # blank lines), it must be typed, and the endpoint must still serve.
+    assert_typed_errors(
+        b"\n".join(
+            line
+            for line in reply.splitlines()
+            if line.strip() and not json.loads(line).get("ok", False)
+        )
+    )
+    assert_alive(endpoint)
+
+
+# ------------------------------------------------------------- sharded ops
+
+
+class TestShardedEndpoint:
+    @pytest.fixture()
+    def sharded(self):
+        pool = random_pool(
+            PoolSpec(racks=4, nodes_per_rack=3, capacity_low=1, capacity_high=3),
+            CATALOG,
+            seed=13,
+        )
+        fabric = ShardedPlacementFabric(
+            pool,
+            plan=RackGroupPlan(2),
+            config=FabricConfig(service=ServiceConfig(batch_window=0.0)),
+            obs=MetricsRegistry(),
+        )
+        with ServiceEndpoint(fabric) as ep:
+            yield ep
+
+    def test_shards_op_and_abuse(self, sharded):
+        host, port = sharded.address
+        with ServiceClient(host, port) as client:
+            info = client.shards()
+            assert [e["shard"] for e in info] == [0, 1]
+        reply = send_raw(sharded, b'{"op": "shards", "extra": [1,2]}\n')
+        doc = json.loads(reply.splitlines()[0])
+        assert doc["ok"] is True and len(doc["shards"]) == 2
+        send_raw(sharded, b"\xff\xff\n")
+        assert_alive(sharded)
+
+    def test_checkpoint_op_returns_fabric_doc(self, sharded):
+        host, port = sharded.address
+        with ServiceClient(host, port) as client:
+            decision = client.place(PlaceRequest(request_id=1, demand=[1, 0, 0]))
+            assert decision.placed
+            doc = client.checkpoint()
+            assert doc["kind"] == "sharded-fabric"
+            assert len(doc["shards"]) == 2
+            assert doc["owners"] == [[1, client.shards()[0]["shard"]]] or doc[
+                "owners"
+            ][0][0] == 1
