@@ -252,7 +252,7 @@ def _build_service(args):
             resolve_plan,
         )
 
-        return ShardedPlacementFabric(
+        fabric = ShardedPlacementFabric(
             pool,
             plan=resolve_plan(args.shard_plan, args.shards),
             config=FabricConfig(
@@ -261,6 +261,19 @@ def _build_service(args):
             ),
             obs=MetricsRegistry(),
         )
+        if getattr(args, "supervise", False):
+            from repro.service import FabricSupervisor, SupervisorConfig
+
+            # Stashed on the fabric so serve/loadgen can start and stop the
+            # monitor alongside the fabric's own lifecycle.
+            fabric._cli_supervisor = FabricSupervisor(
+                fabric,
+                config=SupervisorConfig(
+                    heartbeat_ttl=args.heartbeat_ttl,
+                    monitor_interval=args.monitor_interval,
+                ),
+            )
+        return fabric
     state = ClusterState.from_pool(pool)
     return PlacementService(
         state, policy=OnlineHeuristic(), config=config, obs=MetricsRegistry()
@@ -275,13 +288,17 @@ def _cmd_serve(args) -> int:
     from repro.service import ServiceEndpoint
 
     service = _build_service(args)
+    supervisor = getattr(service, "_cli_supervisor", None)
     endpoint = ServiceEndpoint(service, host=args.host, port=args.port)
     endpoint.start()
+    if supervisor is not None:
+        supervisor.start()
     host, port = endpoint.address
     shards = getattr(service, "num_shards", 1)
     print(f"placement service listening on {host}:{port} "
           f"({service.num_nodes} nodes, {shards} shard(s), "
-          f"batch window {args.batch_window*1000:.1f} ms)")
+          f"batch window {args.batch_window*1000:.1f} ms"
+          f"{', supervised' if supervisor is not None else ''})")
     try:
         if args.duration is not None:
             time.sleep(args.duration)
@@ -291,6 +308,8 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("\ndraining...")
     finally:
+        if supervisor is not None:
+            supervisor.stop()
         endpoint.stop()
         if args.checkpoint:
             Path(args.checkpoint).write_text(
@@ -319,7 +338,10 @@ def _cmd_loadgen(args) -> int:
     from repro.service import LoadGenConfig, run_loadgen
 
     service = _build_service(args)
+    supervisor = getattr(service, "_cli_supervisor", None)
     service.start()
+    if supervisor is not None:
+        supervisor.start()
     config = LoadGenConfig(
         num_requests=args.requests,
         mode=args.mode,
@@ -333,6 +355,8 @@ def _cmd_loadgen(args) -> int:
     try:
         report = run_loadgen(service, config)
     finally:
+        if supervisor is not None:
+            supervisor.stop()
         service.drain()
     print(format_table(
         ["metric", "value"],
@@ -343,6 +367,8 @@ def _cmd_loadgen(args) -> int:
             ["refused", report.refused],
             ["rejected", report.rejected],
             ["timed out", report.timed_out],
+            ["unavailable", report.unavailable],
+            ["client timeouts", report.client_timeouts],
             ["acceptance rate", report.acceptance_rate],
             ["throughput (req/s)", report.throughput],
             ["latency p50 (ms)", report.latency_p50 * 1000],
@@ -514,6 +540,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--rebalance-interval", type=float, default=None,
                        help="seconds between cross-shard rebalance sweeps "
                             "(default: off)")
+        p.add_argument("--supervise", action="store_true",
+                       help="run shard workers under the fault-tolerant "
+                            "supervisor (requires --shards)")
+        p.add_argument("--heartbeat-ttl", type=float, default=1.0,
+                       help="declare a shard worker dead after this many "
+                            "seconds without a heartbeat")
+        p.add_argument("--monitor-interval", type=float, default=0.25,
+                       help="seconds between supervisor failure-detection "
+                            "sweeps")
 
     pserve = add("serve", _cmd_serve, "run the online placement service (TCP)")
     add_service_args(pserve)

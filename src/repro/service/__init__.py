@@ -31,6 +31,17 @@ Modules
     :class:`ShardedPlacementFabric` — rack-aligned pool partitions, a
     scoring router with spillover, cross-shard rebalancing, and
     fabric-level checkpoint/restore (see :doc:`docs/SHARDING`).
+``coord``
+    :class:`CoordinationBackend` — worker registry, TTL'd heartbeats and
+    leases, and the write-ahead checkpoint store (in-memory reference
+    implementation included).
+``supervisor``
+    :class:`FabricSupervisor` — supervised shard workers with heartbeat
+    failure detection and byte-identical checkpoint failover (see
+    :doc:`docs/RELIABILITY`).
+``chaos``
+    :class:`FabricChaosInjector` — seeded worker kills, heartbeat delays,
+    and checkpoint write faults for chaos testing the supervised fabric.
 """
 
 from repro.service.api import (
@@ -59,6 +70,19 @@ from repro.service.checkpoint import (
 )
 from repro.service.transport import ServiceClient, ServiceEndpoint
 from repro.service.loadgen import LoadGenConfig, LoadReport, run_loadgen
+from repro.service.coord import (
+    CoordinationBackend,
+    InMemoryCoordinationBackend,
+    LeaseRecord,
+    WorkerRecord,
+)
+from repro.service.supervisor import (
+    FabricSupervisor,
+    FailoverEvent,
+    ShardWorker,
+    SupervisorConfig,
+)
+from repro.service.chaos import FabricChaosInjector
 from repro.service.shard import (
     ByRackPlan,
     CapacityBalancedPlan,
@@ -98,6 +122,15 @@ __all__ = [
     "LoadGenConfig",
     "LoadReport",
     "run_loadgen",
+    "CoordinationBackend",
+    "InMemoryCoordinationBackend",
+    "LeaseRecord",
+    "WorkerRecord",
+    "FabricSupervisor",
+    "FailoverEvent",
+    "ShardWorker",
+    "SupervisorConfig",
+    "FabricChaosInjector",
     "ByRackPlan",
     "CapacityBalancedPlan",
     "FabricConfig",

@@ -33,11 +33,17 @@ class DecisionStatus:
     DROPPED = "dropped"
     #: The caller withdrew the request before it was placed.
     CANCELLED = "cancelled"
+    #: The owning shard worker is down and no surviving shard could take
+    #: over (fabric failover exhausted the spillover path). Transient: the
+    #: supervisor restores the shard and the caller may retry.
+    SHARD_UNAVAILABLE = "shard_unavailable"
     #: Release outcomes.
     RELEASED = "released"
     UNKNOWN_LEASE = "unknown_lease"
 
-    TERMINAL_PLACE = (PLACED, REFUSED, REJECTED, TIMEOUT, DROPPED, CANCELLED)
+    TERMINAL_PLACE = (
+        PLACED, REFUSED, REJECTED, TIMEOUT, DROPPED, CANCELLED, SHARD_UNAVAILABLE
+    )
 
 
 @dataclass(frozen=True)
@@ -124,7 +130,11 @@ class ReleaseResponse:
     freed_vms: int = 0
 
     def __post_init__(self) -> None:
-        if self.status not in (DecisionStatus.RELEASED, DecisionStatus.UNKNOWN_LEASE):
+        if self.status not in (
+            DecisionStatus.RELEASED,
+            DecisionStatus.UNKNOWN_LEASE,
+            DecisionStatus.SHARD_UNAVAILABLE,
+        ):
             raise ValidationError(f"invalid release status {self.status!r}")
 
     @property

@@ -99,6 +99,13 @@ class LoadReport:
     latency_p99: float
     mean_distance: float
     transfer_gain: float
+    #: Decisions that failed fast because only a dead shard could serve
+    #: them (the fabric's degraded mode under failover).
+    unavailable: int = 0
+    #: Requests whose decision never arrived within ``decision_timeout`` —
+    #: the *client's* clock, distinct from the service-side ``timed_out``.
+    #: The generator cancels these instead of hanging on them.
+    client_timeouts: int = 0
     profile: "dict | None" = None
 
     @property
@@ -220,14 +227,16 @@ def run_loadgen(service: PlacementService, config: LoadGenConfig) -> LoadReport:
         return callback
 
     started = time.monotonic()
+    tickets_by_index: dict[int, Ticket] = {}
     if config.mode == OPEN_LOOP:
         gaps = [float(rng.exponential(1.0 / config.rate)) for _ in demands]
         tickets: list[Ticket] = []
-        for demand, gap, hold in zip(demands, gaps, holds):
+        for index, (demand, gap, hold) in enumerate(zip(demands, gaps, holds)):
             time.sleep(gap)
             ticket = service.submit(PlaceRequest(demand=demand))
             ticket.add_done_callback(release_on_placement(hold))
             tickets.append(ticket)
+            tickets_by_index[index] = ticket
         decisions = [t.result(timeout=config.decision_timeout) for t in tickets]
     else:
         decisions = [None] * len(demands)
@@ -244,6 +253,7 @@ def run_loadgen(service: PlacementService, config: LoadGenConfig) -> LoadReport:
                     next_index += 1
                 ticket = service.submit(PlaceRequest(demand=demands[i]))
                 ticket.add_done_callback(release_on_placement(holds[i]))
+                tickets_by_index[i] = ticket
                 decisions[i] = ticket.result(timeout=config.decision_timeout)
 
         workers = [
@@ -257,8 +267,16 @@ def run_loadgen(service: PlacementService, config: LoadGenConfig) -> LoadReport:
 
     duration = time.monotonic() - started
     latencies: list[float] = []
-    for decision in decisions:
+    client_timeouts = 0
+    for index, decision in enumerate(decisions):
         if decision is None:
+            # The client-side deadline fired first. Withdraw the request so
+            # a later placement cannot commit a lease no caller tracks; a
+            # decision that raced the cancel is counted normally.
+            client_timeouts += 1
+            ticket = tickets_by_index.get(index)
+            if ticket is not None:
+                service.cancel(ticket.request_id)
             continue
         cells[decision.status].inc()
         latency_hist.observe(decision.latency)
@@ -276,6 +294,8 @@ def run_loadgen(service: PlacementService, config: LoadGenConfig) -> LoadReport:
         rejected=counts[DecisionStatus.REJECTED],
         timed_out=counts[DecisionStatus.TIMEOUT],
         dropped=counts[DecisionStatus.DROPPED],
+        unavailable=counts[DecisionStatus.SHARD_UNAVAILABLE],
+        client_timeouts=client_timeouts,
         duration=duration,
         latency_p50=pcts[50.0],
         latency_p95=pcts[95.0],

@@ -155,13 +155,23 @@ class Ticket:
         self._callbacks: list = []
         self._cb_lock = threading.Lock()
 
-    def _resolve(self, decision: PlacementDecision) -> None:
+    def _resolve(self, decision: PlacementDecision) -> bool:
+        """Resolve once; later calls are ignored (first resolution wins).
+
+        Failover can race a dying shard's late decision against the
+        fabric's re-routed one — whichever resolves first is the answer
+        the caller already saw, so the loser must be dropped, not applied.
+        Returns whether *this* call won.
+        """
         with self._cb_lock:
+            if self._event.is_set():
+                return False
             self._decision = decision
             self._event.set()
             callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
             callback(decision)
+        return True
 
     def add_done_callback(self, callback) -> None:
         """Run ``callback(decision)`` on resolution (immediately if done)."""
@@ -288,6 +298,17 @@ class PlacementService:
         self._accepting = True
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        # Supervision hooks (all None by default — the unsupervised serving
+        # path is unchanged). ``fence`` simulates a process boundary: when it
+        # returns False the worker is "dead" — submit rejects, step is a
+        # no-op, release fails shard_unavailable — exactly what a crashed
+        # worker process would do. ``on_commit(service)`` fires after any
+        # state-changing operation commits (a scheduler step, a release) so
+        # a supervisor can write-ahead-replicate the checkpoint; ``on_tick``
+        # fires once per background-loop iteration for heartbeats.
+        self.fence = None
+        self.on_commit = None
+        self.on_tick = None
 
     # ------------------------------------------------------------ submission
 
@@ -299,6 +320,17 @@ class PlacementService:
         requests resolve on a later :meth:`step`.
         """
         ticket = Ticket(request.request_id)
+        if self.fence is not None and not self.fence():
+            # A dead worker process would never answer; reject at the door
+            # so the fabric's spillover path can try the next shard.
+            ticket._resolve(
+                PlacementDecision(
+                    request_id=request.request_id,
+                    status=DecisionStatus.REJECTED,
+                    detail="shard worker is down",
+                )
+            )
+            return ticket
         now = time.monotonic()
         with self._lock:
             self.stats.submitted += 1
@@ -376,6 +408,13 @@ class PlacementService:
         Freed capacity is visible to the next :meth:`step`; the background
         loop is woken so queued requests can be drained promptly.
         """
+        if self.fence is not None and not self.fence():
+            # Releasing against a dead worker must not mutate state that a
+            # restore will discard — the lease would silently resurrect.
+            return ReleaseResponse(
+                request_id=request.request_id,
+                status=DecisionStatus.SHARD_UNAVAILABLE,
+            )
         with self._lock:
             try:
                 allocation = self.state.release_lease(request.request_id)
@@ -388,11 +427,13 @@ class PlacementService:
             self._m_releases.inc()
             self._m_decisions.labels(status=DecisionStatus.RELEASED).inc()
             self._wakeup.notify_all()
-            return ReleaseResponse(
+            response = ReleaseResponse(
                 request_id=request.request_id,
                 status=DecisionStatus.RELEASED,
                 freed_vms=allocation.total_vms,
             )
+        self.notify_commit()
+        return response
 
     # -------------------------------------------------------------- scheduler
 
@@ -404,6 +445,8 @@ class PlacementService:
         batches of at least two — runs the pairwise transfer phase and swaps
         in any strictly improved allocations.
         """
+        if self.fence is not None and not self.fence():
+            return []  # a dead worker's scheduler never runs
         if now is None:
             now = time.monotonic()
         started = time.perf_counter()
@@ -411,6 +454,23 @@ class PlacementService:
             return self._step_locked(now)
         finally:
             self._m_step.observe(time.perf_counter() - started)
+            self.notify_commit()
+
+    def notify_commit(self) -> None:
+        """Fire the supervision commit hook (no-op when unsupervised).
+
+        Called after every scheduler step and release — and by the fabric
+        after a cross-shard rebalance mutates this shard's ledger directly —
+        so write-ahead checkpoint replication sees every committed change.
+        The hook must never take the scheduler down with it.
+        """
+        hook = self.on_commit
+        if hook is None:
+            return
+        try:
+            hook(self)
+        except Exception:
+            _log.exception("service on_commit hook failed")
 
     def _step_locked(self, now: float) -> list[PlacementDecision]:
         decisions: list[PlacementDecision] = []
@@ -667,6 +727,12 @@ class PlacementService:
     def _loop(self) -> None:
         made_progress = True
         while not self._stop.is_set():
+            tick = self.on_tick
+            if tick is not None:
+                try:
+                    tick(self)
+                except Exception:
+                    _log.exception("service on_tick hook failed")
             with self._wakeup:
                 # Sleep while idle — and also after a no-progress step, when
                 # the queue holds only waiters that nothing short of a

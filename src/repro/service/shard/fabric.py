@@ -125,6 +125,10 @@ class FabricStats:
     cancelled: int = 0
     released: int = 0
     spillovers: int = 0
+    failovers: int = 0
+    unavailable: int = 0
+    shard_deaths: int = 0
+    shard_restores: int = 0
     rebalance_migrations: int = 0
     rebalance_transfers: int = 0
     rebalance_gain: float = 0.0
@@ -307,6 +311,9 @@ class ShardedPlacementFabric:
         assignment = plan if isinstance(plan, ShardAssignment) else plan.partition(pool.topology)
         self.assignment = assignment
         policy_factory = policy_factory or OnlineHeuristic
+        #: Kept for failover: a restored shard gets a *fresh* policy from
+        #: the same factory (policies are stateful; never share one).
+        self.policy_factory = policy_factory
         self._shards: list[Shard] = []
         for shard_id, (racks, node_ids) in enumerate(
             zip(assignment.racks, assignment.nodes)
@@ -328,6 +335,15 @@ class ShardedPlacementFabric:
         self._stats = FabricStats()
         #: request id → owning shard id (or _ROUTING while being placed).
         self._owners: dict[int, int] = {}
+        #: Shards quarantined by :meth:`mark_shard_down` (dead workers).
+        self._down: set[int] = set()
+        #: request id → (request, outer ticket, attempt token) for every
+        #: not-yet-decided request, so shard death can re-route the victims
+        #: without touching the dead worker. The attempt token fences stale
+        #: decisions: a dying shard's late callback loses to the re-route.
+        self._inflight: dict[int, tuple[PlaceRequest, Ticket, int]] = {}
+        self._attempts = 0
+        self._started = False
         self._flock = threading.Lock()
         self._rebalance_lock = threading.Lock()
         self._rebalance_stop = threading.Event()
@@ -369,6 +385,12 @@ class ShardedPlacementFabric:
             "repro_shard_rebalance_gain_distance",
             "Distance recovered per applied rebalance move.",
             buckets=DISTANCE_BUCKETS,
+        )
+        self._m_failovers = self.obs.counter(
+            "repro_fabric_failovers_total",
+            "Shard-death failover events: the shard was quarantined from "
+            "routing and its in-flight requests re-routed.",
+            labels=("shard",),
         )
         self._m_checkpoint = self.obs.histogram(
             "repro_service_checkpoint_seconds",
@@ -413,7 +435,10 @@ class ShardedPlacementFabric:
 
     @property
     def queued(self) -> int:
-        return sum(s.service.queued for s in self._shards)
+        down = self.down_shards
+        return sum(
+            s.service.queued for s in self._shards if s.shard_id not in down
+        )
 
     def owner_of(self, request_id: int) -> "int | None":
         """Shard id holding (or placing) *request_id*, if any."""
@@ -424,11 +449,12 @@ class ShardedPlacementFabric:
     # --------------------------------------------------------- submission
 
     def submit(self, request: PlaceRequest) -> Ticket:
-        """Route *request* to the best shard; spill over on declines.
+        """Route *request* to the best live shard; spill over on declines.
 
         Returns a ticket whose decision is already translated to global
         node ids. When no shard can admit, the ticket resolves immediately:
         ``refused`` when every shard's maximum capacity is exceeded,
+        ``shard_unavailable`` when only a dead shard could have served it,
         ``rejected`` otherwise.
         """
         ticket = Ticket(request.request_id)
@@ -445,47 +471,92 @@ class ShardedPlacementFabric:
                 )
                 return ticket
             self._owners[request.request_id] = _ROUTING
+        self._dispatch(request, ticket, failover=False)
+        return ticket
+
+    def _dispatch(
+        self, request: PlaceRequest, ticket: Ticket, *, failover: bool
+    ) -> None:
+        """Route *request* over the live shards and resolve *ticket*.
+
+        Shared by :meth:`submit` and the shard-death failover path: the
+        latter re-enters here with ``failover=True``, which always walks
+        the full ranked spillover order (a dead shard's victims must reach
+        *any* surviving shard, even with ``spillover=False``).
+        """
         demand = np.asarray(request.demand, dtype=np.int64)
+        with self._flock:
+            down = frozenset(self._down)
         with self.timer.phase("route"):
-            route = self._router.route(demand)
+            route = self._router.route(demand, exclude=down)
         for shard_id in route.refused:
             # The satellite fix: a refusal that never reaches a queue is
             # still attributed to the shard that refused it.
             self._m_admission.labels(shard=str(shard_id), outcome="refused").inc()
-        candidates = route.ranked if self.config.spillover else route.ranked[:1]
+        candidates = (
+            route.ranked
+            if (self.config.spillover or failover)
+            else route.ranked[:1]
+        )
         for shard_id in candidates:
             shard = self._shards[shard_id]
+            # Register *before* handing the request to the shard: a worker
+            # that dies mid-admission is scanned by mark_shard_down, which
+            # must see this request to re-route it.
+            with self._flock:
+                if shard_id in self._down:
+                    continue
+                self._attempts += 1
+                attempt = self._attempts
+                self._owners[request.request_id] = shard_id
+                self._inflight[request.request_id] = (request, ticket, attempt)
             inner = shard.service.submit(request)
             decision = inner.decision
             if inner.done and decision is not None and not decision.placed:
-                # Declined at the door (queue full, draining, duplicate) —
-                # spill to the next-best shard.
+                # Declined at the door (queue full, draining, duplicate,
+                # dead worker fence) — spill to the next-best shard, unless
+                # a concurrent failover already took the request over.
+                with self._flock:
+                    entry = self._inflight.get(request.request_id)
+                    if entry is None or entry[2] != attempt:
+                        return
+                    del self._inflight[request.request_id]
+                    self._owners[request.request_id] = _ROUTING
+                    self._stats.spillovers += 1
                 self._m_admission.labels(
                     shard=str(shard_id), outcome="rejected"
                 ).inc()
                 self._m_spill.labels(shard=str(shard_id)).inc()
-                with self._flock:
-                    self._stats.spillovers += 1
                 continue
             self._m_admission.labels(shard=str(shard_id), outcome="admitted").inc()
-            with self._flock:
-                self._owners[request.request_id] = shard_id
             inner.add_done_callback(
-                self._decision_callback(shard, request.request_id, ticket)
+                self._decision_callback(shard, request.request_id, ticket, attempt)
             )
             self._m_shard_queue.labels(shard=str(shard_id)).set(
                 shard.service.queued
             )
-            return ticket
+            return
         # No shard admitted: refuse when nobody could *ever* serve it,
-        # reject when shards exist but all declined right now.
+        # reject when live shards exist but all declined right now, and
+        # fail fast as shard_unavailable when only a dead shard could have
+        # taken it (degraded mode refuses only what truly cannot fit).
         with self._flock:
-            del self._owners[request.request_id]
+            self._owners.pop(request.request_id, None)
             if route.ranked:
                 self._stats.rejected += 1
                 status, detail = (
                     DecisionStatus.REJECTED,
                     f"all {len(candidates)} candidate shard(s) declined",
+                )
+            elif down and any(
+                not self._shards[sid].state.exceeds_max_capacity(demand)
+                for sid in down
+            ):
+                self._stats.unavailable += 1
+                status, detail = (
+                    DecisionStatus.SHARD_UNAVAILABLE,
+                    f"only dead shard(s) {sorted(down)} could serve this "
+                    "demand; retry after recovery",
                 )
             else:
                 self._stats.refused += 1
@@ -498,12 +569,19 @@ class ShardedPlacementFabric:
                 request_id=request.request_id, status=status, detail=detail
             )
         )
-        return ticket
 
-    def _decision_callback(self, shard: Shard, request_id: int, outer: Ticket):
+    def _decision_callback(
+        self, shard: Shard, request_id: int, outer: Ticket, attempt: int
+    ):
         def callback(decision: PlacementDecision) -> None:
             translated = shard.translate(decision)
             with self._flock:
+                entry = self._inflight.get(request_id)
+                if entry is None or entry[2] != attempt:
+                    # Stale: a failover re-routed this request after the
+                    # shard died; whatever the dead worker decided is void.
+                    return
+                del self._inflight[request_id]
                 if translated.placed:
                     self._stats.placed += 1
                     self._stats.total_distance += translated.distance
@@ -519,14 +597,27 @@ class ShardedPlacementFabric:
                         self._stats.cancelled += 1
                     elif translated.status == DecisionStatus.REFUSED:
                         self._stats.refused += 1
+                    elif translated.status == DecisionStatus.SHARD_UNAVAILABLE:
+                        self._stats.unavailable += 1
             outer._resolve(translated)
 
         return callback
 
     def release(self, request: ReleaseRequest) -> ReleaseResponse:
-        """Free the lease held by ``request.request_id``, wherever it lives."""
+        """Free the lease held by ``request.request_id``, wherever it lives.
+
+        A lease on a dead shard answers ``shard_unavailable`` without
+        touching the dead worker: mutating its abandoned state would be
+        silently undone by the checkpoint restore (lease resurrection).
+        """
         with self._flock:
             shard_id = self._owners.get(request.request_id)
+            if shard_id is not None and shard_id in self._down:
+                self._stats.unavailable += 1
+                return ReleaseResponse(
+                    request_id=request.request_id,
+                    status=DecisionStatus.SHARD_UNAVAILABLE,
+                )
         if shard_id is None or shard_id == _ROUTING:
             return ReleaseResponse(
                 request_id=request.request_id,
@@ -543,9 +634,130 @@ class ShardedPlacementFabric:
         """Withdraw a still-queued request from its shard."""
         with self._flock:
             shard_id = self._owners.get(request_id)
+            if shard_id is not None and shard_id in self._down:
+                return False
         if shard_id is None or shard_id == _ROUTING:
             return False
         return self._shards[shard_id].service.cancel(request_id)
+
+    # ------------------------------------------------------------- failover
+
+    def mark_shard_down(self, shard_id: int, *, reason: str = "") -> list[int]:
+        """Quarantine a dead shard worker and re-route its in-flight requests.
+
+        Fences the shard's service (new submissions bounce, its loop exits),
+        removes the shard from routing, and re-dispatches every in-flight
+        request that was waiting on it through the surviving shards'
+        spillover path. Leases the dead shard *holds* stay in the owner map
+        (answering ``shard_unavailable``) until
+        :meth:`adopt_restored_service` re-adopts them from the replicated
+        checkpoint.
+
+        Deliberately takes no dead-worker lock: a crashed or wedged worker
+        thread may hold its service lock forever. Returns the re-routed
+        request ids. Idempotent — marking a shard that is already down
+        returns ``[]``.
+        """
+        if not 0 <= shard_id < len(self._shards):
+            raise ValidationError(f"no shard {shard_id} to mark down")
+        service = self._shards[shard_id].service
+        # Lock-free fence + stop flag: the dead worker's loop (if it still
+        # runs at all) observes these without us touching its lock.
+        service.fence = lambda: False
+        service._stop.set()
+        with self._flock:
+            if shard_id in self._down:
+                return []
+            self._down.add(shard_id)
+            self._stats.shard_deaths += 1
+            victims = [
+                (rid, entry)
+                for rid, entry in self._inflight.items()
+                if self._owners.get(rid) == shard_id
+            ]
+            for rid, _ in victims:
+                del self._inflight[rid]
+                self._owners[rid] = _ROUTING
+            self._stats.failovers += len(victims)
+        self._m_failovers.labels(shard=str(shard_id)).inc()
+        _log.warning(
+            "shard %d marked down (%s): re-routing %d in-flight request(s)",
+            shard_id, reason or "unspecified", len(victims),
+        )
+        for rid, (request, ticket, _attempt) in sorted(victims):
+            self._dispatch(request, ticket, failover=True)
+        return [rid for rid, _ in sorted(victims)]
+
+    def adopt_restored_service(
+        self, shard_id: int, service: PlacementService
+    ) -> None:
+        """Swap a restored :class:`PlacementService` in for a dead shard.
+
+        *service* must be rebuilt from the shard's replicated checkpoint
+        (same partition, same capacity). The router is repointed at the
+        restored state, the owner map re-adopts the restored leases, and
+        the shard rejoins routing. Leases the checkpoint does not contain
+        but the owner map attributed to this shard (decided after the last
+        replication — a window the write-ahead hook keeps empty) are
+        dropped from the owner map.
+        """
+        if not 0 <= shard_id < len(self._shards):
+            raise ValidationError(f"no shard {shard_id} to restore")
+        with self._flock:
+            if shard_id not in self._down:
+                raise ValidationError(
+                    f"shard {shard_id} is not down; refusing to swap a live "
+                    "worker's service"
+                )
+        shard = self._shards[shard_id]
+        if service.state.num_nodes != shard.num_nodes or not np.array_equal(
+            service.state.max_capacity, shard.state.max_capacity
+        ):
+            raise ValidationError(
+                f"restored service for shard {shard_id} does not match the "
+                "shard's partition of the pool"
+            )
+        restored_leases = set(service.state.leases)
+        shard.service = service
+        self._router.replace_state(shard_id, service.state)
+        with self._flock:
+            stale = [
+                rid
+                for rid, sid in self._owners.items()
+                if sid == shard_id and rid not in restored_leases
+            ]
+            for rid in stale:
+                del self._owners[rid]
+            for rid in restored_leases:
+                other = self._owners.get(rid)
+                if other is not None and other not in (shard_id, _ROUTING):
+                    # The lease was re-routed to a survivor while this shard
+                    # was down (possible only for pre-replication decisions);
+                    # the survivor's copy wins, the restored one is freed.
+                    _log.warning(
+                        "restored shard %d lease %d now lives on shard %d; "
+                        "dropping the restored copy", shard_id, rid, other,
+                    )
+                    service.state.release_lease(rid)
+                    continue
+                self._owners[rid] = shard_id
+            self._down.discard(shard_id)
+            self._stats.shard_restores += 1
+            started = self._started
+        if stale:
+            _log.warning(
+                "restored shard %d lost %d post-checkpoint lease(s): %s",
+                shard_id, len(stale), stale,
+            )
+        if started:
+            service.start()
+        self._refresh_gauges()
+
+    @property
+    def down_shards(self) -> frozenset:
+        """Ids of shards currently quarantined by :meth:`mark_shard_down`."""
+        with self._flock:
+            return frozenset(self._down)
 
     # ---------------------------------------------------------- scheduling
 
@@ -555,8 +767,11 @@ class ShardedPlacementFabric:
         Returns the union of shard decisions, translated to global node
         ids, in shard-id order.
         """
+        down = self.down_shards
         decisions: list[PlacementDecision] = []
         for shard in self._shards:
+            if shard.shard_id in down:
+                continue
             decisions.extend(
                 shard.translate(d) for d in shard.service.step(now)
             )
@@ -564,7 +779,10 @@ class ShardedPlacementFabric:
         return decisions
 
     def _refresh_gauges(self) -> None:
+        down = self.down_shards
         for shard in self._shards:
+            if shard.shard_id in down:
+                continue
             label = str(shard.shard_id)
             self._m_shard_queue.labels(shard=label).set(shard.service.queued)
             self._m_shard_leases.labels(shard=label).set(shard.state.num_leases)
@@ -574,12 +792,18 @@ class ShardedPlacementFabric:
 
     @property
     def running(self) -> bool:
-        return bool(self._shards) and all(s.service.running for s in self._shards)
+        down = self.down_shards
+        live = [s for s in self._shards if s.shard_id not in down]
+        return bool(live) and all(s.service.running for s in live)
 
     def start(self) -> None:
-        """Start every shard's scheduler loop and the rebalancer (idempotent)."""
+        """Start every live shard's scheduler loop and the rebalancer (idempotent)."""
+        down = self.down_shards
+        with self._flock:
+            self._started = True
         for shard in self._shards:
-            shard.service.start()
+            if shard.shard_id not in down:
+                shard.service.start()
         if (
             self.config.rebalance_interval is not None
             and (self._rebalance_thread is None or not self._rebalance_thread.is_alive())
@@ -607,16 +831,25 @@ class ShardedPlacementFabric:
         self._rebalance_thread = None
 
     def stop(self) -> None:
-        """Halt the rebalancer and every shard loop; queues are untouched."""
+        """Halt the rebalancer and every live shard loop; queues are untouched."""
         self._stop_rebalancer()
+        down = self.down_shards
+        with self._flock:
+            self._started = False
         for shard in self._shards:
-            shard.service.stop()
+            if shard.shard_id not in down:
+                shard.service.stop()
 
     def drain(self, timeout: float = 5.0) -> list[PlacementDecision]:
-        """Gracefully drain every shard; returns the translated decisions."""
+        """Gracefully drain every live shard; returns the translated decisions."""
         self._stop_rebalancer()
+        down = self.down_shards
+        with self._flock:
+            self._started = False
         decisions: list[PlacementDecision] = []
         for shard in self._shards:
+            if shard.shard_id in down:
+                continue
             decisions.extend(
                 shard.translate(d) for d in shard.service.drain(timeout)
             )
@@ -691,9 +924,12 @@ class ShardedPlacementFabric:
             )
 
     def _rebalance_candidates(self) -> list[tuple[int, int, float]]:
-        """Up to ``rebalance_candidates`` worst-distance leases per shard."""
+        """Up to ``rebalance_candidates`` worst-distance leases per live shard."""
+        down = self.down_shards
         out: list[tuple[int, int, float]] = []
         for shard in self._shards:
+            if shard.shard_id in down:
+                continue
             with shard.service._lock:
                 leases = shard.state.leases
             ranked = sorted(
@@ -723,13 +959,16 @@ class ShardedPlacementFabric:
 
     def _try_migration(self, source_id: int, request_id: int) -> float:
         """Move one lease to the router's preferred shard; returns the gain."""
+        down = self.down_shards
+        if source_id in down:
+            return 0.0
         source = self._shards[source_id]
         with source.service._lock:
             allocation = source.state.leases.get(request_id)
         if allocation is None:
             return 0.0
         demand = allocation.matrix.sum(axis=0)
-        route = self._router.route(demand)
+        route = self._router.route(demand, exclude=down)
         if not route.ranked or route.ranked[0] == source_id:
             return 0.0
         target_id = route.ranked[0]
@@ -755,6 +994,8 @@ class ShardedPlacementFabric:
             with self._flock:
                 self._owners[request_id] = target_id
         self._wake(source_id, target_id)
+        source.service.notify_commit()
+        target.service.notify_commit()
         return gain
 
     def _try_transfer(
@@ -762,6 +1003,9 @@ class ShardedPlacementFabric:
     ) -> float:
         """Theorem-2 exchange between two leases; returns the applied gain."""
         (sid1, rid1), (sid2, rid2) = first, second
+        down = self.down_shards
+        if sid1 in down or sid2 in down:
+            return 0.0
         shard1, shard2 = self._shards[sid1], self._shards[sid2]
         num_types = self.num_types
         with self._shard_locks(sid1, sid2):
@@ -806,6 +1050,8 @@ class ShardedPlacementFabric:
                 self._owners[rid1] = own1.shard_id
                 self._owners[rid2] = own2.shard_id
         self._wake(sid1, sid2)
+        shard1.service.notify_commit()
+        shard2.service.notify_commit()
         return result.gain
 
     def _owning_shard(
@@ -843,11 +1089,17 @@ class ShardedPlacementFabric:
     def verify_consistency(self) -> None:
         """Assert the shard union reconstructs the global pool exactly.
 
-        Checks: the shard node sets partition the pool, every shard's
+        Checks: the shard node sets partition the pool, every live shard's
         capacity matrix is the global one restricted to its nodes, every
-        shard state passes its own incremental-aggregate verification, the
-        union allocation respects global capacity, and the owner map and
-        shard ledgers agree bidirectionally.
+        live shard state passes its own incremental-aggregate verification,
+        the union allocation respects global capacity, no lease owner points
+        at an unregistered or dead shard, and the owner map and shard
+        ledgers agree bidirectionally.
+
+        Only *live* shards are locked — a crashed worker may hold its
+        service lock forever — so full verification demands a healthy
+        fabric: any owner entry stranded on a dead shard raises, which is
+        exactly the invariant failover recovery must restore.
         """
         seen = np.zeros(self._pool.num_nodes, dtype=bool)
         for shard in self._shards:
@@ -858,11 +1110,15 @@ class ShardedPlacementFabric:
             seen[shard.to_global] = True
         if not bool(seen.all()):
             raise ValidationError("shard node sets do not cover the pool")
-        with self._shard_locks(*range(len(self._shards))), self._flock:
+        down = self.down_shards
+        live = [s.shard_id for s in self._shards if s.shard_id not in down]
+        with self._shard_locks(*live), self._flock:
             total = np.zeros(
                 (self._pool.num_nodes, self._pool.num_types), dtype=np.int64
             )
             for shard in self._shards:
+                if shard.shard_id in down:
+                    continue
                 if not np.array_equal(
                     shard.state.max_capacity,
                     self._pool.max_capacity[shard.to_global],
@@ -883,6 +1139,16 @@ class ShardedPlacementFabric:
             for rid, shard_id in self._owners.items():
                 if shard_id == _ROUTING:
                     continue
+                if not 0 <= shard_id < len(self._shards):
+                    raise ValidationError(
+                        f"owner map points {rid} at unregistered shard "
+                        f"{shard_id}"
+                    )
+                if shard_id in down:
+                    raise ValidationError(
+                        f"owner map points {rid} at dead shard {shard_id}; "
+                        "the lease is stranded until the shard is restored"
+                    )
                 service = self._shards[shard_id].service
                 if not (
                     service.state.has_lease(rid) or rid in service._pending
@@ -895,7 +1161,18 @@ class ShardedPlacementFabric:
     # ----------------------------------------------------------- checkpoint
 
     def checkpoint_doc(self) -> dict:
-        """Consistent fabric checkpoint: shard states + router manifest."""
+        """Consistent fabric checkpoint: shard states + router manifest.
+
+        Refuses while any shard is down: a dead worker's lock may be
+        wedged and its state is stale — restore it first (the supervisor's
+        job), then checkpoint the healthy fabric.
+        """
+        down = self.down_shards
+        if down:
+            raise ValidationError(
+                f"cannot checkpoint with dead shard(s) {sorted(down)}; "
+                "restore them first"
+            )
         started = time.perf_counter()
         with self._rebalance_lock, self._shard_locks(*range(len(self._shards))):
             shard_docs = [checkpoint_to_dict(s.state) for s in self._shards]

@@ -92,8 +92,23 @@ class ShardRouter:
             raise ValidationError("router needs at least one shard state")
         self._states = list(states)
 
-    def route(self, demand: np.ndarray) -> RouteResult:
-        """Rank shards for *demand*; see the module docstring for the score."""
+    def replace_state(self, shard_id: int, state: ClusterState) -> None:
+        """Point shard *shard_id*'s scoring at a new state object.
+
+        Used by failover: a restored shard gets a fresh state rebuilt from
+        its replicated checkpoint, and the router must score the live object,
+        not the crashed worker's abandoned one.
+        """
+        if not 0 <= shard_id < len(self._states):
+            raise ValidationError(f"no shard {shard_id} to replace")
+        self._states[shard_id] = state
+
+    def route(self, demand: np.ndarray, *, exclude=frozenset()) -> RouteResult:
+        """Rank shards for *demand*; see the module docstring for the score.
+
+        ``exclude`` names shard ids to leave out entirely (dead or draining
+        workers) — they appear in neither ``ranked`` nor ``refused``.
+        """
         demand = as_int_vector(
             demand, name="demand", length=self._states[0].num_types
         )
@@ -103,6 +118,8 @@ class ShardRouter:
         refused: list[int] = []
         scores: dict[int, float] = {}
         for shard_id, state in enumerate(self._states):
+            if shard_id in exclude:
+                continue
             if state.exceeds_max_capacity(demand):
                 refused.append(shard_id)
                 continue

@@ -1,0 +1,547 @@
+"""Supervised shard workers: heartbeats, crash detection, checkpoint failover.
+
+:class:`FabricSupervisor` turns a :class:`ShardedPlacementFabric` into a
+fault-tolerant serving fabric. Each shard's :class:`PlacementService` runs
+under a :class:`ShardWorker` wrapper that
+
+* **heartbeats** — records a TTL'd liveness beat in the coordination
+  backend on every scheduler tick and after every commit;
+* **write-ahead replicates** — pushes the canonical checkpoint bytes of the
+  shard's state to the backend whenever a commit changed the state version,
+  *before* the worker acknowledges further work, so the backend always holds
+  a byte-exact copy of the last committed ledger;
+* **syncs the lease ledger** — mirrors the shard's lease ids into the
+  backend's TTL'd lease ledger on every beat, renewing the TTLs; a dead
+  worker stops renewing, so its leases drift toward expiry and show up in
+  :meth:`FabricSupervisor.stranded_leases`.
+
+The supervisor's :meth:`~FabricSupervisor.monitor` sweep detects dead
+workers — an explicit crash flag (chaos kill, loop crash) or a heartbeat
+older than the configured TTL — quarantines the shard via
+:meth:`~repro.service.shard.fabric.ShardedPlacementFabric.mark_shard_down`
+(which re-routes the shard's in-flight requests through surviving shards),
+and, when recovery is permitted, restores the shard from its replicated
+checkpoint: the payload is parsed back into a byte-identical
+:class:`~repro.service.state.ClusterState`, wrapped in a fresh
+:class:`PlacementService` (new policy from the fabric's factory, same
+config, same registry), and swapped in with
+:meth:`~repro.service.shard.fabric.ShardedPlacementFabric.adopt_restored_service`.
+
+Time is injected (``clock``), so tests drive detection, TTL expiry, and
+restore ordering deterministically with explicit ``monitor(now=...)``
+calls; live serving uses the background monitor thread started by
+:meth:`FabricSupervisor.start`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.service.checkpoint import checkpoint_bytes, state_from_checkpoint
+from repro.service.coord import CoordinationBackend, InMemoryCoordinationBackend
+from repro.service.server import PlacementService
+from repro.service.shard.fabric import ShardedPlacementFabric
+from repro.util.errors import ValidationError
+
+_log = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True, slots=True)
+class SupervisorConfig:
+    """Failure-detection and recovery tunables.
+
+    ``heartbeat_ttl`` is the detection threshold: a worker whose last beat
+    is older than this is declared dead. It must comfortably exceed the
+    worker's beat cadence (every scheduler tick / commit) — the fabric's
+    ``batch_window`` sets that cadence for background serving. ``lease_ttl``
+    only governs the backend's at-risk reporting, never correctness: a
+    lease whose owner stopped renewing is *stranded*, not lost.
+    """
+
+    heartbeat_interval: float = 0.2
+    heartbeat_ttl: float = 1.0
+    lease_ttl: float = 5.0
+    monitor_interval: float = 0.25
+    auto_restore: bool = True
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValidationError("heartbeat_interval must be > 0")
+        if self.heartbeat_ttl <= self.heartbeat_interval:
+            raise ValidationError("heartbeat_ttl must exceed heartbeat_interval")
+        if self.lease_ttl <= 0:
+            raise ValidationError("lease_ttl must be > 0")
+        if self.monitor_interval <= 0:
+            raise ValidationError("monitor_interval must be > 0")
+
+
+@dataclass(frozen=True, slots=True)
+class FailoverEvent:
+    """One detected worker death and what the supervisor did about it."""
+
+    shard_id: int
+    worker_id: str
+    reason: str
+    detected_at: float
+    rerouted: tuple[int, ...] = ()
+    restored: bool = False
+    incarnation: int = 0
+
+
+class ShardWorker:
+    """Supervision wrapper around one shard's :class:`PlacementService`.
+
+    The worker is the unit of failure: killing it (chaos, crash) fences the
+    underlying service so it behaves exactly like a dead process — rejects
+    submissions, never steps, never releases — while the wrapper object
+    survives to be rebound to the restored service.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        service: PlacementService,
+        backend: CoordinationBackend,
+        config: SupervisorConfig,
+        clock,
+    ) -> None:
+        self.shard_id = shard_id
+        self.worker_id = f"shard-{shard_id}"
+        self.service = service
+        self.backend = backend
+        self.config = config
+        self.clock = clock
+        self.crashed = False
+        self.incarnation = 0
+        #: Chaos hook: beats at ``now < suppress_until`` are swallowed,
+        #: modeling a GC pause / network partition on the heartbeat path.
+        self.suppress_until = float("-inf")
+        #: Chaos hook: zero-arg callable; truthy → the next checkpoint
+        #: replication raises (a write fault against the backend).
+        self.replication_fault = None
+        self.replications = 0
+        self.replication_failures = 0
+        self._replicated_version = -1
+        self._wlock = threading.Lock()
+        self._install_hooks(service)
+
+    # ---------------------------------------------------------------- hooks
+
+    def _install_hooks(self, service: PlacementService) -> None:
+        service.fence = self._fence
+        service.on_commit = self._on_commit
+        service.on_tick = self._on_tick
+
+    def _fence(self) -> bool:
+        return not self.crashed
+
+    def _on_commit(self, service: PlacementService) -> None:
+        if self.crashed:
+            return
+        now = float(self.clock())
+        self.replicate(now)
+        self.beat(now)
+
+    def _on_tick(self, service: PlacementService) -> None:
+        if self.crashed:
+            return
+        self.beat(float(self.clock()))
+
+    # ------------------------------------------------------------ liveness
+
+    def register(self, now: float) -> int:
+        """(Re-)register with the backend; returns the new incarnation."""
+        self.incarnation = self.backend.register_worker(
+            self.worker_id, self.shard_id, now
+        )
+        return self.incarnation
+
+    def beat(self, now: float) -> None:
+        """Heartbeat + lease-ledger sync (skipped while chaos-suppressed)."""
+        if self.crashed or now < self.suppress_until:
+            return
+        try:
+            self.backend.beat(self.worker_id, now)
+            self._sync_ledger(now)
+        except Exception:
+            _log.exception("worker %s heartbeat failed", self.worker_id)
+
+    def heartbeat_age(self, now: float) -> float:
+        last = self.backend.last_beat(self.worker_id)
+        return float("inf") if last is None else max(0.0, now - last)
+
+    def _sync_ledger(self, now: float) -> None:
+        with self.service._lock:
+            held = set(self.service.state.leases)
+        mine = {
+            rid
+            for rid, record in self.backend.leases().items()
+            if record.owner == self.worker_id
+        }
+        for rid in sorted(held - mine):
+            self.backend.put_lease(
+                rid, self.worker_id, now, self.config.lease_ttl
+            )
+        for rid in sorted(mine - held):
+            self.backend.drop_lease(rid)
+        self.backend.renew_leases(self.worker_id, now, self.config.lease_ttl)
+
+    # --------------------------------------------------------- replication
+
+    def replicate(self, now: float, *, force: bool = False) -> bool:
+        """Write-ahead replicate the shard state if its version advanced.
+
+        Returns whether a payload was stored. A write fault keeps the old
+        replicated version, so the next commit retries — the backend never
+        holds a torn or skipped-over copy.
+        """
+        with self._wlock:
+            with self.service._lock:
+                version = self.service.state.version
+                if not force and version == self._replicated_version:
+                    return False
+                payload = checkpoint_bytes(self.service.state)
+            try:
+                fault = self.replication_fault
+                if fault is not None and fault():
+                    raise IOError("injected checkpoint write fault")
+                self.backend.put_checkpoint(self.worker_id, payload)
+            except Exception:
+                self.replication_failures += 1
+                _log.warning(
+                    "worker %s checkpoint replication failed (version %d "
+                    "kept at %d for retry)",
+                    self.worker_id, version, self._replicated_version,
+                )
+                return False
+            self._replicated_version = version
+            self.replications += 1
+            return True
+
+    # ------------------------------------------------------------- failure
+
+    def kill(self) -> None:
+        """Simulate a worker crash: fence the service, stop its loop.
+
+        Takes no service lock — a real crash does not politely acquire
+        locks first. The fence makes every subsequent service entry point a
+        dead end, and the loop (if running) exits at its next check.
+        """
+        self.crashed = True
+        self.service._stop.set()
+
+    def rebind(self, service: PlacementService) -> None:
+        """Point the worker at the restored service after a failover."""
+        self.service = service
+        self.crashed = False
+        self.suppress_until = float("-inf")
+        self._replicated_version = -1
+        self._install_hooks(service)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardWorker(id={self.worker_id!r}, crashed={self.crashed}, "
+            f"incarnation={self.incarnation}, replications={self.replications})"
+        )
+
+
+class FabricSupervisor:
+    """Monitors shard workers and drives checkpoint-based failover.
+
+    Parameters
+    ----------
+    fabric:
+        The sharded fabric to supervise. The supervisor installs the
+        heartbeat/replication hooks on every shard service at construction
+        and immediately replicates each shard's initial state, so a crash at
+        any later point always has a checkpoint to restore from.
+    backend:
+        The coordination backend (default: a fresh in-memory one).
+    config / clock:
+        Detection tunables and the time source. Tests inject a fake clock
+        and call :meth:`monitor` with explicit ``now`` values.
+    restore_gate:
+        Optional ``(shard_id, now) -> bool``; restoration of a dead shard is
+        deferred while it returns False (the chaos injector uses this to
+        model repair time / MTTR).
+    """
+
+    def __init__(
+        self,
+        fabric: ShardedPlacementFabric,
+        backend: "CoordinationBackend | None" = None,
+        config: "SupervisorConfig | None" = None,
+        *,
+        clock=time.monotonic,
+        restore_gate=None,
+    ) -> None:
+        self.fabric = fabric
+        self.backend = backend if backend is not None else InMemoryCoordinationBackend()
+        self.config = config or SupervisorConfig()
+        self.clock = clock
+        self.restore_gate = restore_gate
+        self.obs = fabric.obs
+        self.events: list[FailoverEvent] = []
+        self._mlock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self._m_up = self.obs.gauge(
+            "repro_fabric_worker_up",
+            "1 while the shard's worker is believed alive, 0 while dead.",
+            labels=("shard",),
+        )
+        self._m_hb_age = self.obs.gauge(
+            "repro_fabric_heartbeat_age_seconds",
+            "Seconds since each worker's last recorded heartbeat.",
+            labels=("shard",),
+        )
+        self._m_replications = self.obs.counter(
+            "repro_fabric_checkpoint_replications_total",
+            "Write-ahead checkpoint payloads replicated to the backend.",
+            labels=("shard",),
+        )
+        self._m_replication_failures = self.obs.counter(
+            "repro_fabric_checkpoint_replication_failures_total",
+            "Checkpoint replications that failed and were left for retry.",
+            labels=("shard",),
+        )
+        now = float(self.clock())
+        self.workers: list[ShardWorker] = []
+        for shard in fabric.shards:
+            worker = ShardWorker(
+                shard.shard_id, shard.service, self.backend, self.config, clock
+            )
+            worker.register(now)
+            if not worker.replicate(now, force=True):
+                raise ValidationError(
+                    f"initial checkpoint replication failed for "
+                    f"{worker.worker_id}"
+                )
+            self._m_replications.labels(shard=str(shard.shard_id)).inc()
+            worker.beat(now)
+            self._m_up.labels(shard=str(shard.shard_id)).set(1)
+            self.workers.append(worker)
+
+    # ------------------------------------------------------------- monitor
+
+    def monitor(self, now: "float | None" = None) -> list[FailoverEvent]:
+        """One detection + recovery sweep; returns the failover events.
+
+        Also retries restoration of shards that were detected dead earlier
+        but whose restore was gated (chaos repair time) or had no usable
+        checkpoint yet.
+        """
+        with self._mlock:
+            if now is None:
+                now = float(self.clock())
+            down = self.fabric.down_shards
+            events: list[FailoverEvent] = []
+            for worker in self.workers:
+                shard_id = worker.shard_id
+                label = str(shard_id)
+                # Fold replication counters the worker accumulated since the
+                # last sweep into the registry (hooks run on worker threads;
+                # counters are folded centrally to keep label churn low).
+                self._sync_replication_metrics(worker)
+                if shard_id in down:
+                    self._m_up.labels(shard=label).set(0)
+                    if self._try_restore(worker, now):
+                        events.append(
+                            FailoverEvent(
+                                shard_id=shard_id,
+                                worker_id=worker.worker_id,
+                                reason="deferred restore",
+                                detected_at=now,
+                                restored=True,
+                                incarnation=worker.incarnation,
+                            )
+                        )
+                    continue
+                age = worker.heartbeat_age(now)
+                self._m_hb_age.labels(shard=label).set(
+                    0.0 if age == float("inf") else age
+                )
+                reason = None
+                if worker.crashed:
+                    reason = "worker crashed"
+                elif age > self.config.heartbeat_ttl:
+                    reason = f"heartbeat age {age:.3f}s > ttl {self.config.heartbeat_ttl}s"
+                if reason is None:
+                    self._m_up.labels(shard=label).set(1)
+                    continue
+                worker.crashed = True
+                rerouted = self.fabric.mark_shard_down(shard_id, reason=reason)
+                self._m_up.labels(shard=label).set(0)
+                restored = self._try_restore(worker, now)
+                event = FailoverEvent(
+                    shard_id=shard_id,
+                    worker_id=worker.worker_id,
+                    reason=reason,
+                    detected_at=now,
+                    rerouted=tuple(rerouted),
+                    restored=restored,
+                    incarnation=worker.incarnation,
+                )
+                events.append(event)
+            self.events.extend(events)
+            return events
+
+    def _sync_replication_metrics(self, worker: ShardWorker) -> None:
+        label = str(worker.shard_id)
+        metered = getattr(worker, "_metered", (1, 0))  # initial replication
+        done, failed = worker.replications, worker.replication_failures
+        if done > metered[0]:
+            self._m_replications.labels(shard=label).inc(done - metered[0])
+        if failed > metered[1]:
+            self._m_replication_failures.labels(shard=label).inc(
+                failed - metered[1]
+            )
+        worker._metered = (done, failed)
+
+    def _try_restore(self, worker: ShardWorker, now: float) -> bool:
+        if not self.config.auto_restore:
+            return False
+        gate = self.restore_gate
+        if gate is not None and not gate(worker.shard_id, now):
+            return False
+        return self.restore(worker.shard_id, now=now)
+
+    # ------------------------------------------------------------- restore
+
+    def restore(self, shard_id: int, now: "float | None" = None) -> bool:
+        """Restore a dead shard from its replicated checkpoint.
+
+        Returns False (shard stays quarantined, fabric keeps serving
+        degraded) when no checkpoint is available; raises if the payload is
+        corrupt — a torn copy must never be silently adopted.
+        """
+        if now is None:
+            now = float(self.clock())
+        worker = self.workers[shard_id]
+        payload = self.backend.get_checkpoint(worker.worker_id)
+        if payload is None:
+            _log.error(
+                "no replicated checkpoint for %s; shard stays down",
+                worker.worker_id,
+            )
+            return False
+        state = state_from_checkpoint(json.loads(payload))
+        if checkpoint_bytes(state) != payload:
+            raise ValidationError(
+                f"restored state for {worker.worker_id} does not round-trip "
+                "to the replicated payload"
+            )
+        service = PlacementService(
+            state,
+            policy=self.fabric.policy_factory(),
+            config=self.fabric.config.service,
+            obs=self.obs,
+        )
+        worker.rebind(service)
+        self.fabric.adopt_restored_service(shard_id, service)
+        worker.register(now)
+        worker.replicate(now, force=True)
+        worker.beat(now)
+        self._m_up.labels(shard=str(shard_id)).set(1)
+        self._m_hb_age.labels(shard=str(shard_id)).set(0.0)
+        _log.warning(
+            "shard %d restored from replicated checkpoint (incarnation %d, "
+            "%d leases)",
+            shard_id, worker.incarnation, state.num_leases,
+        )
+        return True
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start the background monitor thread (idempotent)."""
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._monitor_loop, name="fabric-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.config.monitor_interval):
+            try:
+                self.monitor()
+            except Exception:
+                # The supervisor must never take the fabric down with it.
+                _log.exception("supervisor monitor sweep failed")
+
+    def stop(self) -> None:
+        """Stop the monitor thread; workers and hooks stay installed."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=5.0)
+        self._thread = None
+
+    # -------------------------------------------------------- introspection
+
+    def stranded_leases(self, now: "float | None" = None):
+        """Backend lease records whose owner let the TTL lapse (at-risk)."""
+        if now is None:
+            now = float(self.clock())
+        return self.backend.expired_leases(now)
+
+    def verify_consistency(self) -> None:
+        """Cross-check the backend's lease ledger against the fabric.
+
+        Every ledger lease owned by a live worker must map to a fabric
+        lease on that worker's shard, and every fabric-held lease must be
+        in the ledger under its shard's worker id. Requires a healthy
+        fabric (no shard down) and freshly synced beats.
+        """
+        down = self.fabric.down_shards
+        if down:
+            raise ValidationError(
+                f"cannot verify ledger with dead shard(s) {sorted(down)}"
+            )
+        ledger = self.backend.leases()
+        for rid, record in ledger.items():
+            shard_id = next(
+                (
+                    w.shard_id
+                    for w in self.workers
+                    if w.worker_id == record.owner
+                ),
+                None,
+            )
+            if shard_id is None:
+                raise ValidationError(
+                    f"ledger lease {rid} owned by unknown worker "
+                    f"{record.owner!r}"
+                )
+            if self.fabric.owner_of(rid) != shard_id:
+                raise ValidationError(
+                    f"ledger lease {rid} owned by {record.owner!r} but the "
+                    f"fabric places it on shard {self.fabric.owner_of(rid)}"
+                )
+        for worker in self.workers:
+            with worker.service._lock:
+                held = set(worker.service.state.leases)
+            for rid in held:
+                record = ledger.get(rid)
+                if record is None or record.owner != worker.worker_id:
+                    raise ValidationError(
+                        f"fabric lease {rid} on shard {worker.shard_id} is "
+                        "missing from (or mis-owned in) the backend ledger"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"FabricSupervisor(shards={self.fabric.num_shards}, "
+            f"down={sorted(self.fabric.down_shards)}, "
+            f"events={len(self.events)}, running={self.running})"
+        )

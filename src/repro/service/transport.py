@@ -31,9 +31,11 @@ sends can take down the accept loop.
 from __future__ import annotations
 
 import json
+import logging
 import socket
 import socketserver
 import threading
+import time
 
 from repro.obs.export import render
 from repro.service.api import (
@@ -43,13 +45,27 @@ from repro.service.api import (
     decode_message,
 )
 from repro.service.server import PlacementService
-from repro.util.errors import ReproError, ValidationError
+from repro.util.errors import ReproError, TransportError, TransportTimeout, ValidationError
+from repro.util.retry import TRANSPORT_RETRY, RetryPolicy
+
+_log = logging.getLogger(__name__)
 
 #: How long a handler waits for the scheduler to decide one placement.
 DECISION_TIMEOUT = 30.0
 
+#: Default per-operation client socket timeout. Deliberately *above*
+#: :data:`DECISION_TIMEOUT` so a healthy-but-slow server answers with its
+#: own typed timeout decision before the client tears the connection down;
+#: only a truly unresponsive server (dead worker, partition) trips this.
+DEFAULT_OP_TIMEOUT = 35.0
+
 #: Hard per-line byte budget; longer frames are rejected, not parsed.
 MAX_LINE_BYTES = 1 << 20
+
+#: Ops that are safe to retry on a fresh connection: they carry no
+#: state-changing payload, so replaying one can never double-place or
+#: double-release.
+_READ_ONLY_OPS = frozenset({"ping", "stats", "checkpoint", "shards", "metrics"})
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -182,18 +198,117 @@ class ServiceEndpoint:
 
 
 class ServiceClient:
-    """Blocking line-protocol client for a :class:`ServiceEndpoint`."""
+    """Blocking line-protocol client for a :class:`ServiceEndpoint`.
 
-    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    Hardened against an unresponsive server: every operation is bounded by
+    ``op_timeout`` (one knob, defaulting to :data:`DEFAULT_OP_TIMEOUT`), so
+    a dead shard worker surfaces as a typed
+    :class:`~repro.util.errors.TransportTimeout` instead of a hung client.
+    Connection-level failures raise
+    :class:`~repro.util.errors.TransportError`. Read-only operations are
+    retried up to ``retries`` times on a fresh connection with
+    ``retry_policy`` backoff; mutating operations (``place``, ``release``)
+    are never retried automatically — replaying them could double-commit —
+    the caller decides, typically by consulting server state first.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 10.0,
+        op_timeout: "float | None" = None,
+        retries: int = 0,
+        retry_policy: RetryPolicy = TRANSPORT_RETRY,
+    ) -> None:
+        if retries < 0:
+            raise ValidationError("retries must be >= 0")
+        self._address = (host, port)
+        self._connect_timeout = timeout
+        self._op_timeout = DEFAULT_OP_TIMEOUT if op_timeout is None else op_timeout
+        self._retries = retries
+        self._retry_policy = retry_policy
+        self._sock: "socket.socket | None" = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                self._address, timeout=self._connect_timeout
+            )
+        except socket.timeout as exc:
+            raise TransportTimeout(
+                f"connect to {self._address} timed out after "
+                f"{self._connect_timeout}s"
+            ) from exc
+        except OSError as exc:
+            raise TransportError(f"cannot connect to {self._address}: {exc}") from exc
+        self._sock.settimeout(self._op_timeout)
         self._file = self._sock.makefile("rwb")
 
+    def _teardown(self) -> None:
+        # After a timeout or connection error the stream is desynchronized
+        # (a late reply would answer the wrong call); drop the connection.
+        try:
+            if self._file is not None:
+                self._file.close()
+        except OSError:
+            pass
+        try:
+            if self._sock is not None:
+                self._sock.close()
+        except OSError:
+            pass
+        self._file = None
+        self._sock = None
+
     def _call(self, envelope: dict) -> dict:
-        self._file.write((json.dumps(envelope) + "\n").encode("utf-8"))
-        self._file.flush()
-        line = self._file.readline()
+        retryable = envelope.get("op") in _READ_ONLY_OPS
+        attempts = 1 + (self._retries if retryable else 0)
+        last_exc: "Exception | None" = None
+        for attempt in range(1, attempts + 1):
+            if self._file is None:
+                try:
+                    self._connect()
+                except TransportError as exc:
+                    last_exc = exc
+                    if attempt < attempts:
+                        time.sleep(self._retry_policy.delay(attempt))
+                        continue
+                    raise
+            try:
+                return self._call_once(envelope)
+            except (TransportTimeout, TransportError) as exc:
+                last_exc = exc
+                self._teardown()
+                if attempt < attempts:
+                    _log.warning(
+                        "retrying %s after transport failure (%s), attempt "
+                        "%d/%d", envelope.get("op"), exc, attempt, attempts,
+                    )
+                    time.sleep(self._retry_policy.delay(attempt))
+                    continue
+                raise
+        raise last_exc  # unreachable; keeps the control flow obvious
+
+    def _call_once(self, envelope: dict) -> dict:
+        try:
+            self._file.write((json.dumps(envelope) + "\n").encode("utf-8"))
+            self._file.flush()
+            line = self._file.readline()
+        except socket.timeout as exc:
+            raise TransportTimeout(
+                f"op {envelope.get('op')!r} timed out after "
+                f"{self._op_timeout}s"
+            ) from exc
+        except OSError as exc:
+            raise TransportError(
+                f"connection to {self._address} failed: {exc}"
+            ) from exc
         if not line:
-            raise ValidationError("server closed the connection")
+            raise TransportError("server closed the connection")
         response = json.loads(line.decode("utf-8"))
         if not response.get("ok"):
             raise ValidationError(response.get("error", "unknown server error"))
@@ -236,10 +351,7 @@ class ServiceClient:
         return self._call({"op": "metrics", "format": format})["body"]
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self

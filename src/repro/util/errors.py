@@ -10,6 +10,8 @@ subclasses keep failure modes distinguishable:
   capacity and can never be served (the paper's "refused" outcome).
 * :class:`SolverError` — an exact solver backend failed or returned an
   unexpected status.
+* :class:`TransportError` / :class:`TransportTimeout` — a service transport
+  operation failed or exceeded its per-op socket timeout.
 """
 
 from __future__ import annotations
@@ -33,6 +35,19 @@ class InfeasibleRequestError(ReproError):
 
 class SolverError(ReproError):
     """An exact optimization backend failed to produce a usable solution."""
+
+
+class TransportError(ReproError):
+    """A service transport operation failed below the protocol layer
+    (connection refused/reset, server closed the stream mid-exchange)."""
+
+
+class TransportTimeout(TransportError):
+    """A service transport operation exceeded its per-op socket timeout.
+
+    Distinguishable from :class:`TransportError` so clients can treat a
+    timeout as *unknown outcome* (the server may still have acted on the
+    request) rather than a definite failure."""
 
 
 class JobFailedError(ReproError):

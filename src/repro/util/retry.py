@@ -75,3 +75,8 @@ TASK_RETRY = RetryPolicy(base_delay=2.0, factor=2.0, max_delay=60.0, jitter=0.2)
 
 #: Default shuffle-fetch retry backoff (short, tightly capped).
 FETCH_RETRY = RetryPolicy(base_delay=0.5, factor=2.0, max_delay=8.0, jitter=0.2)
+
+#: Default client-side transport retry backoff (sub-second, jitter-free so
+#: :class:`~repro.service.transport.ServiceClient` retries stay deterministic
+#: without threading an RNG through).
+TRANSPORT_RETRY = RetryPolicy(base_delay=0.05, factor=2.0, max_delay=1.0)

@@ -1,0 +1,139 @@
+"""Unit tests for the coordination backend (registry, leases, checkpoints)."""
+
+import pytest
+
+from repro.service import (
+    CoordinationBackend,
+    InMemoryCoordinationBackend,
+    LeaseRecord,
+)
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def backend():
+    return InMemoryCoordinationBackend()
+
+
+class TestWorkerRegistry:
+    def test_satisfies_the_protocol(self, backend):
+        assert isinstance(backend, CoordinationBackend)
+
+    def test_register_returns_incarnation_one(self, backend):
+        assert backend.register_worker("shard-0", 0, now=1.0) == 1
+        record = backend.workers()["shard-0"]
+        assert record.shard_id == 0
+        assert record.registered_at == 1.0
+        assert record.last_beat == 1.0
+
+    def test_reregister_bumps_incarnation(self, backend):
+        backend.register_worker("shard-0", 0, now=1.0)
+        assert backend.register_worker("shard-0", 0, now=5.0) == 2
+        assert backend.workers()["shard-0"].incarnation == 2
+
+    def test_incarnation_survives_deregistration(self, backend):
+        backend.register_worker("shard-0", 0, now=1.0)
+        backend.deregister_worker("shard-0")
+        assert "shard-0" not in backend.workers()
+        # A worker id that comes back is a *new* incarnation, not a reset —
+        # fencing logic depends on the counter being monotonic.
+        assert backend.register_worker("shard-0", 0, now=9.0) == 2
+
+    def test_empty_worker_id_rejected(self, backend):
+        with pytest.raises(ValidationError, match="non-empty"):
+            backend.register_worker("", 0, now=0.0)
+
+
+class TestHeartbeats:
+    def test_beat_updates_last_beat(self, backend):
+        backend.register_worker("shard-0", 0, now=1.0)
+        backend.beat("shard-0", now=3.5)
+        assert backend.last_beat("shard-0") == 3.5
+
+    def test_beat_from_unregistered_worker_raises(self, backend):
+        with pytest.raises(ValidationError, match="unregistered"):
+            backend.beat("ghost", now=0.0)
+
+    def test_last_beat_of_unknown_worker_is_none(self, backend):
+        assert backend.last_beat("ghost") is None
+
+
+class TestLeaseLedger:
+    def test_put_and_expiry(self, backend):
+        backend.put_lease(7, "shard-1", now=10.0, ttl=5.0)
+        record = backend.leases()[7]
+        assert record == LeaseRecord(
+            request_id=7, owner="shard-1", granted_at=10.0, expires_at=15.0
+        )
+        assert not record.expired(15.0)  # expiry is strict
+        assert record.expired(15.1)
+
+    def test_renew_pushes_only_the_owners_leases(self, backend):
+        backend.put_lease(1, "shard-0", now=0.0, ttl=1.0)
+        backend.put_lease(2, "shard-0", now=0.0, ttl=1.0)
+        backend.put_lease(3, "shard-1", now=0.0, ttl=1.0)
+        assert backend.renew_leases("shard-0", now=10.0, ttl=1.0) == 2
+        leases = backend.leases()
+        assert leases[1].expires_at == 11.0
+        assert leases[2].expires_at == 11.0
+        assert leases[3].expires_at == 1.0  # untouched: different owner
+
+    def test_reput_reowns_a_lease(self, backend):
+        backend.put_lease(7, "shard-0", now=0.0, ttl=1.0)
+        backend.put_lease(7, "shard-2", now=4.0, ttl=1.0)
+        record = backend.leases()[7]
+        assert record.owner == "shard-2"
+        assert record.granted_at == 4.0
+
+    def test_drop_lease(self, backend):
+        backend.put_lease(7, "shard-0", now=0.0, ttl=1.0)
+        assert backend.drop_lease(7)
+        assert not backend.drop_lease(7)
+        assert backend.leases() == {}
+
+    def test_expired_leases_sorted_oldest_first(self, backend):
+        backend.put_lease(3, "shard-0", now=0.0, ttl=2.0)
+        backend.put_lease(1, "shard-0", now=0.0, ttl=1.0)
+        backend.put_lease(2, "shard-0", now=0.0, ttl=1.0)
+        backend.put_lease(9, "shard-0", now=0.0, ttl=50.0)
+        expired = backend.expired_leases(now=10.0)
+        assert [r.request_id for r in expired] == [1, 2, 3]
+
+    def test_nonpositive_ttl_rejected(self, backend):
+        with pytest.raises(ValidationError, match="ttl"):
+            backend.put_lease(1, "shard-0", now=0.0, ttl=0.0)
+        with pytest.raises(ValidationError, match="ttl"):
+            backend.renew_leases("shard-0", now=0.0, ttl=-1.0)
+
+
+class TestCheckpointStore:
+    def test_roundtrip_is_byte_exact(self, backend):
+        payload = '{"version": 3,\n "nodes": [1, 2]}'
+        backend.put_checkpoint("shard-0", payload)
+        assert backend.get_checkpoint("shard-0") == payload
+
+    def test_overwrite_keeps_latest(self, backend):
+        backend.put_checkpoint("shard-0", "v1")
+        backend.put_checkpoint("shard-0", "v2")
+        assert backend.get_checkpoint("shard-0") == "v2"
+
+    def test_missing_checkpoint_is_none(self, backend):
+        assert backend.get_checkpoint("shard-9") is None
+
+    def test_non_string_payload_rejected(self, backend):
+        with pytest.raises(ValidationError, match="string"):
+            backend.put_checkpoint("shard-0", {"not": "a string"})
+
+    def test_determinism_same_calls_same_state(self):
+        def build():
+            b = InMemoryCoordinationBackend()
+            b.register_worker("shard-0", 0, now=0.0)
+            b.beat("shard-0", now=0.5)
+            b.put_lease(1, "shard-0", now=0.5, ttl=5.0)
+            b.put_checkpoint("shard-0", "{}")
+            return b
+
+        a, b = build(), build()
+        assert a.workers() == b.workers()
+        assert a.leases() == b.leases()
+        assert a.get_checkpoint("shard-0") == b.get_checkpoint("shard-0")

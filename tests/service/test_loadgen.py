@@ -122,6 +122,39 @@ def test_profile_disabled_by_default():
     assert not service.timer.enabled
 
 
+def test_client_timeouts_counted_and_requests_withdrawn():
+    # A service whose batch window never elapses decides nothing; the
+    # generator's per-request deadline must fire, count the miss, and
+    # cancel the orphaned submission instead of hanging on it.
+    catalog = VMTypeCatalog.ec2_default()
+    pool = random_pool(
+        PoolSpec(racks=2, nodes_per_rack=4, capacity_high=3), catalog, seed=5
+    )
+    service = PlacementService(
+        ClusterState.from_pool(pool),
+        config=ServiceConfig(batch_window=60.0),
+    )
+    service.start()
+    try:
+        report = run_loadgen(
+            service,
+            LoadGenConfig(
+                num_requests=4,
+                rate=5000.0,
+                mean_hold=0.001,
+                decision_timeout=0.2,
+                seed=9,
+            ),
+        )
+    finally:
+        service.stop()
+    assert report.client_timeouts == 4
+    assert report.placed == 0
+    assert report.unavailable == 0
+    assert service.queued == 0  # every timed-out request was withdrawn
+    assert service.state.num_leases == 0
+
+
 def test_loadgen_requires_running_service():
     service = make_service()
     with pytest.raises(ValidationError):

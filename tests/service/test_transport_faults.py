@@ -1,0 +1,129 @@
+"""Client-side fault handling: op timeouts, typed errors, bounded retries.
+
+These tests stand up tiny hand-rolled TCP listeners (hung, flaky, always-
+closing) rather than a real :class:`ServiceEndpoint`, because the behaviors
+under test are exactly the ones a healthy endpoint never exhibits.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.service import PlaceRequest, ServiceClient
+from repro.util.errors import TransportError, TransportTimeout
+
+
+def listener():
+    srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    srv.bind(("127.0.0.1", 0))
+    srv.listen(8)
+    return srv
+
+
+def spawn(target, *args):
+    thread = threading.Thread(target=target, args=args, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestOpTimeout:
+    def test_hung_server_raises_transport_timeout(self):
+        srv = listener()
+        conns = []
+
+        def hang():
+            try:
+                while True:
+                    conn, _ = srv.accept()
+                    conns.append(conn)  # accept, read nothing, answer nothing
+            except OSError:
+                return
+
+        spawn(hang)
+        try:
+            client = ServiceClient(*srv.getsockname(), op_timeout=0.2)
+            with pytest.raises(TransportTimeout, match="timed out after 0.2"):
+                client.ping()
+            client.close()
+        finally:
+            srv.close()
+            for conn in conns:
+                conn.close()
+
+    def test_connection_refused_raises_transport_error(self):
+        srv = listener()
+        address = srv.getsockname()
+        srv.close()  # nothing listens here any more
+        with pytest.raises(TransportError, match="cannot connect"):
+            ServiceClient(*address, timeout=1.0)
+
+    def test_timeout_is_a_transport_error(self):
+        # Callers can catch the broad class and still tell the cases apart.
+        assert issubclass(TransportTimeout, TransportError)
+
+
+class TestRetries:
+    def test_read_only_op_retries_on_fresh_connection(self):
+        srv = listener()
+        accepts = []
+
+        def flaky():
+            # Close the first two connections without a byte, then speak the
+            # protocol on the third: a retrying client should get through.
+            try:
+                for index in range(3):
+                    conn, _ = srv.accept()
+                    accepts.append(index)
+                    if index < 2:
+                        conn.close()
+                        continue
+                    f = conn.makefile("rwb")
+                    f.readline()
+                    f.write(b'{"ok": true, "pong": true}\n')
+                    f.flush()
+                    conn.close()
+            except OSError:
+                return
+
+        spawn(flaky)
+        try:
+            client = ServiceClient(*srv.getsockname(), retries=3)
+            assert client.ping()
+            assert len(accepts) == 3
+            client.close()
+        finally:
+            srv.close()
+
+    def test_mutating_op_is_never_retried(self):
+        srv = listener()
+        accepts = []
+
+        def always_close():
+            try:
+                while True:
+                    conn, _ = srv.accept()
+                    accepts.append(conn)
+                    conn.close()
+            except OSError:
+                return
+
+        spawn(always_close)
+        try:
+            client = ServiceClient(*srv.getsockname(), retries=3)
+            with pytest.raises(TransportError):
+                client.place(PlaceRequest(demand=(1, 0, 0), request_id=1))
+            # One connection for the constructor, none for a place retry:
+            # replaying a mutation could double-commit, so the client must
+            # surface the failure instead of retrying it.
+            assert len(accepts) == 1
+            client.close()
+        finally:
+            srv.close()
+
+    def test_negative_retries_rejected(self):
+        from repro.util.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="retries"):
+            ServiceClient("127.0.0.1", 1, retries=-1)
