@@ -48,12 +48,17 @@ REQUEST = np.array([8, 8, 4])
 RESULTS_PATH = Path(__file__).parent / "results" / "scalability_bench.json"
 
 
-def _mean_placement_s(heuristic: OnlineHeuristic, pool, repeats: int) -> float:
+def _placement_stats_s(
+    heuristic: OnlineHeuristic, pool, repeats: int
+) -> "tuple[float, float]":
+    """(mean, p99) per-placement seconds over *repeats* timed placements."""
     heuristic.place(pool, REQUEST)  # warm-up (builds the topology cache)
-    start = time.perf_counter()
+    samples = []
     for _ in range(repeats):
+        start = time.perf_counter()
         heuristic.place(pool, REQUEST)
-    return (time.perf_counter() - start) / repeats
+        samples.append(time.perf_counter() - start)
+    return float(np.mean(samples)), float(np.percentile(samples, 99))
 
 
 def run_heuristic_scaling() -> list[dict]:
@@ -66,10 +71,10 @@ def run_heuristic_scaling() -> list[dict]:
             distance_model=cfg.DISTANCES,
         )
         repeats = max(2, REPEATS.get(pool.num_nodes, 2) // (2 if SMOKE else 1))
-        kernel_s = _mean_placement_s(
+        kernel_s, kernel_p99_s = _placement_stats_s(
             OnlineHeuristic(use_kernels=True), pool, repeats
         )
-        reference_s = _mean_placement_s(
+        reference_s, reference_p99_s = _placement_stats_s(
             OnlineHeuristic(use_kernels=False), pool, repeats
         )
         records.append(
@@ -78,6 +83,8 @@ def run_heuristic_scaling() -> list[dict]:
                 "repeats": repeats,
                 "reference_ms": reference_s * 1000,
                 "kernel_ms": kernel_s * 1000,
+                "reference_p99_ms": reference_p99_s * 1000,
+                "kernel_p99_ms": kernel_p99_s * 1000,
                 "speedup": reference_s / kernel_s,
             }
         )

@@ -252,6 +252,13 @@ def _build_service(args):
             resolve_plan,
         )
 
+        if getattr(args, "workers", "thread") == "proc":
+            return _build_proc_fabric(args, pool, config)
+        if getattr(args, "coord", None):
+            raise SystemExit(
+                "--coord requires --workers proc (thread workers coordinate "
+                "in-process)"
+            )
         fabric = ShardedPlacementFabric(
             pool,
             plan=resolve_plan(args.shard_plan, args.shards),
@@ -280,6 +287,92 @@ def _build_service(args):
     )
 
 
+def _build_proc_fabric(args, pool, config):
+    """Out-of-process fabric for ``--workers proc`` (one child per shard)."""
+    from repro.obs import MetricsRegistry
+    from repro.service.coord.net import (
+        CoordinationServer,
+        NetworkedCoordinationBackend,
+    )
+    from repro.service.proc import ProcFabric, ProcSupervisor
+    from repro.service.shard import FabricConfig, resolve_plan
+    from repro.service.supervisor import SupervisorConfig
+
+    if args.rebalance_interval is not None:
+        raise SystemExit(
+            "--rebalance-interval is not supported with --workers proc"
+        )
+    coord_url = getattr(args, "coord", None)
+    coord_server = None
+    if coord_url == "auto":
+        # Run the coordination server inside this process; children dial it
+        # over loopback exactly as they would a `repro coordd` deployment.
+        coord_server = CoordinationServer()
+        coord_server.start()
+        coord_url = coord_server.url
+    sup_config = SupervisorConfig(
+        heartbeat_ttl=args.heartbeat_ttl,
+        monitor_interval=args.monitor_interval,
+    )
+    fabric = ProcFabric(
+        pool,
+        plan=resolve_plan(args.shard_plan, args.shards),
+        config=FabricConfig(service=config),
+        obs=MetricsRegistry(),
+        coord_url=coord_url,
+        supervisor_config=sup_config,
+    )
+    fabric._cli_coord_server = coord_server
+    if getattr(args, "supervise", False):
+        backend = (
+            NetworkedCoordinationBackend.from_url(coord_url)
+            if coord_url
+            else None
+        )
+        fabric._cli_supervisor = ProcSupervisor(fabric, backend, sup_config)
+    return fabric
+
+
+def _shutdown_service(service) -> int:
+    """Tear down a CLI-built service; returns the propagated exit code.
+
+    Thread-backed services have nothing beyond drain (already done by the
+    caller); a proc fabric additionally reaps its children — any nonzero
+    child exit code surfaces as exit code 1 — and stops an `--coord auto`
+    in-process coordination server.
+    """
+    exit_code = 0
+    supervisor = getattr(service, "_cli_supervisor", None)
+    backend = getattr(supervisor, "backend", None)
+    shutdown = getattr(service, "shutdown", None)
+    if callable(shutdown):
+        codes = shutdown()
+        bad = {s: c for s, c in codes.items() if c not in (0, None)}
+        if bad:
+            print(f"worker exit codes nonzero: {bad}")
+            exit_code = 1
+    close = getattr(backend, "close", None)
+    if callable(close):
+        close()
+    coord_server = getattr(service, "_cli_coord_server", None)
+    if coord_server is not None:
+        coord_server.stop()
+    return exit_code
+
+
+def _install_sigterm():
+    """Translate SIGTERM into KeyboardInterrupt for graceful drains."""
+    import signal
+
+    def handler(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, handler)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+
+
 def _cmd_serve(args) -> int:
     import json
     import time
@@ -287,6 +380,7 @@ def _cmd_serve(args) -> int:
 
     from repro.service import ServiceEndpoint
 
+    _install_sigterm()
     service = _build_service(args)
     supervisor = getattr(service, "_cli_supervisor", None)
     endpoint = ServiceEndpoint(service, host=args.host, port=args.port)
@@ -295,10 +389,13 @@ def _cmd_serve(args) -> int:
         supervisor.start()
     host, port = endpoint.address
     shards = getattr(service, "num_shards", 1)
+    workers = getattr(args, "workers", "thread")
     print(f"placement service listening on {host}:{port} "
           f"({service.num_nodes} nodes, {shards} shard(s), "
+          f"{workers} workers, "
           f"batch window {args.batch_window*1000:.1f} ms"
           f"{', supervised' if supervisor is not None else ''})")
+    exit_code = 0
     try:
         if args.duration is not None:
             time.sleep(args.duration)
@@ -316,7 +413,8 @@ def _cmd_serve(args) -> int:
                 json.dumps(service.checkpoint_doc(), indent=1)
             )
             print(f"wrote checkpoint to {args.checkpoint}")
-    stats = service.stats
+        stats = service.stats
+        exit_code = _shutdown_service(service)
     print(format_table(
         ["metric", "value"],
         [
@@ -331,12 +429,13 @@ def _cmd_serve(args) -> int:
         ],
         title="Placement service — final stats",
     ))
-    return 0
+    return exit_code
 
 
 def _cmd_loadgen(args) -> int:
     from repro.service import LoadGenConfig, run_loadgen
 
+    _install_sigterm()
     service = _build_service(args)
     supervisor = getattr(service, "_cli_supervisor", None)
     service.start()
@@ -352,12 +451,14 @@ def _cmd_loadgen(args) -> int:
         seed=args.seed,
         profile=args.profile,
     )
+    exit_code = 0
     try:
         report = run_loadgen(service, config)
     finally:
         if supervisor is not None:
             supervisor.stop()
         service.drain()
+        exit_code = _shutdown_service(service)
     print(format_table(
         ["metric", "value"],
         [
@@ -399,6 +500,35 @@ def _cmd_loadgen(args) -> int:
 
         Path(args.json).write_text(json.dumps(report.to_dict(), indent=1))
         print(f"wrote report to {args.json}")
+    return exit_code
+
+
+def _cmd_coordd(args) -> int:
+    """Run a standalone coordination server until interrupted."""
+    import time
+
+    from repro.service.coord.net import CoordinationServer
+
+    _install_sigterm()
+    server = CoordinationServer(host=args.host, port=args.port)
+    server.start()
+    host, port = server.address
+    print(f"coordination server listening on tcp://{host}:{port}")
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down...")
+    finally:
+        backend = server.backend
+        server.stop()
+        print(
+            f"final registry: {len(backend.workers())} worker(s), "
+            f"{len(backend.leases())} lease(s)"
+        )
     return 0
 
 
@@ -540,6 +670,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--rebalance-interval", type=float, default=None,
                        help="seconds between cross-shard rebalance sweeps "
                             "(default: off)")
+        p.add_argument("--workers", choices=["thread", "proc"],
+                       default="thread",
+                       help="where shard workers run: threads in this "
+                            "process, or one spawned child process per "
+                            "shard (requires --shards)")
+        p.add_argument("--coord", default=None, metavar="URL",
+                       help="coordination server for proc workers: "
+                            "tcp://HOST:PORT of a `repro coordd`, or "
+                            "'auto' to run one in-process")
         p.add_argument("--supervise", action="store_true",
                        help="run shard workers under the fault-tolerant "
                             "supervisor (requires --shards)")
@@ -584,6 +723,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print the exposition text verbatim")
     po.add_argument("--buckets", action="store_true",
                     help="include histogram bucket rows in the table")
+
+    pc = sub.add_parser(
+        "coordd", help="run a standalone coordination server (TCP)"
+    )
+    pc.add_argument("--host", default="127.0.0.1")
+    pc.add_argument("--port", type=int, default=0,
+                    help="listen port (0 = ephemeral)")
+    pc.add_argument("--duration", type=float, default=None,
+                    help="serve for this many seconds, then exit")
+    pc.set_defaults(func=_cmd_coordd)
 
     pr = add("report", _cmd_report, "run every experiment, emit a markdown report")
     pr.add_argument("--out", help="write the report to this file (default: stdout)")

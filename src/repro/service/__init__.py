@@ -31,10 +31,20 @@ Modules
     :class:`ShardedPlacementFabric` — rack-aligned pool partitions, a
     scoring router with spillover, cross-shard rebalancing, and
     fabric-level checkpoint/restore (see :doc:`docs/SHARDING`).
+``wire``
+    Versioned length-prefixed line-JSON framing (with optional binary
+    blobs) shared by the proc fabric and the networked coordination
+    backend.
 ``coord``
     :class:`CoordinationBackend` — worker registry, TTL'd heartbeats and
     leases, and the write-ahead checkpoint store (in-memory reference
-    implementation included).
+    implementation plus the :mod:`~repro.service.coord.net` TCP
+    server/client pair).
+``proc``
+    :class:`ProcFabric` / :class:`ProcSupervisor` — the sharded fabric
+    with every shard worker in its own spawned process, supervised via
+    real heartbeats and respawned from replicated checkpoints (see
+    :doc:`docs/RELIABILITY`).
 ``supervisor``
     :class:`FabricSupervisor` — supervised shard workers with heartbeat
     failure detection and byte-identical checkpoint failover (see
@@ -75,6 +85,17 @@ from repro.service.coord import (
     InMemoryCoordinationBackend,
     LeaseRecord,
     WorkerRecord,
+)
+from repro.service.coord.net import (
+    CoordinationServer,
+    NetworkedCoordinationBackend,
+    parse_coord_url,
+)
+from repro.service.proc import (
+    ProcFabric,
+    ProcSupervisor,
+    ProcWorkerHandle,
+    ProcWorkerProxy,
 )
 from repro.service.supervisor import (
     FabricSupervisor,
@@ -123,9 +144,16 @@ __all__ = [
     "LoadReport",
     "run_loadgen",
     "CoordinationBackend",
+    "CoordinationServer",
     "InMemoryCoordinationBackend",
     "LeaseRecord",
+    "NetworkedCoordinationBackend",
+    "ProcFabric",
+    "ProcSupervisor",
+    "ProcWorkerHandle",
+    "ProcWorkerProxy",
     "WorkerRecord",
+    "parse_coord_url",
     "FabricSupervisor",
     "FailoverEvent",
     "ShardWorker",

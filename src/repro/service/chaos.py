@@ -25,6 +25,14 @@ seeded RNG so a chaos run replays exactly:
 
 Drive it manually (``advance(now)`` between trace steps) for deterministic
 tests, with the supervisor's ``monitor(now)`` interleaved by the caller.
+
+The injector is duck-typed over the supervisor: pointed at a
+:class:`~repro.service.proc.supervisor.ProcSupervisor`, a due kill
+delivers a **real SIGKILL** to the shard's child process (via
+:meth:`~repro.service.proc.supervisor.ProcWorkerProxy.kill`) and recovery
+is an actual respawn-from-replicated-checkpoint. The heartbeat-delay and
+checkpoint-fault knobs are in-process-only (the parent cannot reach into a
+child's heartbeat loop) — leave them at zero for proc fabrics.
 """
 
 from __future__ import annotations
@@ -32,7 +40,6 @@ from __future__ import annotations
 import logging
 
 from repro.cloud.failures import FailureEvent, FailureInjector
-from repro.service.supervisor import FabricSupervisor
 from repro.util.errors import ValidationError
 from repro.util.rng import ensure_rng
 
@@ -45,9 +52,11 @@ class FabricChaosInjector:
     Parameters
     ----------
     supervisor:
-        The supervisor whose workers are the blast radius. The injector
-        installs itself as the supervisor's ``restore_gate`` so kills honor
-        their drawn repair times.
+        The supervisor — :class:`~repro.service.supervisor.FabricSupervisor`
+        or :class:`~repro.service.proc.supervisor.ProcSupervisor` — whose
+        workers are the blast radius. The injector installs itself as the
+        supervisor's ``restore_gate`` so kills honor their drawn repair
+        times.
     mtbf / mean_repair_time / failure_probability / horizon:
         Forwarded to :class:`~repro.cloud.failures.FailureInjector` —
         ``mtbf=None`` selects the one-shot regime (each worker dies at most
@@ -63,7 +72,7 @@ class FabricChaosInjector:
 
     def __init__(
         self,
-        supervisor: FabricSupervisor,
+        supervisor,
         *,
         mtbf: "float | None" = None,
         mean_repair_time: float = 2.0,

@@ -26,11 +26,14 @@ networked implementation can slot in without touching the supervisor:
 * **checkpoint store** — the write-ahead replication target: workers push
   the canonical checkpoint bytes of their shard state after every batch
   commit, and recovery reads the last stored payload back. Payloads are
-  opaque strings; byte-identity end-to-end is the recovery invariant.
+  opaque ``bytes``; byte-identity end-to-end is the recovery invariant,
+  and keeping the type binary means a networked backend ships them over
+  the wire without any re-encoding ambiguity.
 
 The in-memory implementation keeps everything under one lock and never
 reads a wall clock, so a trace replayed with the same injected timestamps
-produces byte-identical backend state.
+produces byte-identical backend state. The networked implementation lives
+in :mod:`repro.service.coord.net`.
 """
 
 from __future__ import annotations
@@ -130,11 +133,11 @@ class CoordinationBackend(Protocol):
 
     # -- checkpoint store -------------------------------------------------
 
-    def put_checkpoint(self, worker_id: str, payload: str) -> None:
-        """Store the worker's replicated checkpoint (opaque bytes-as-str)."""
+    def put_checkpoint(self, worker_id: str, payload: bytes) -> None:
+        """Store the worker's replicated checkpoint (opaque bytes)."""
         ...
 
-    def get_checkpoint(self, worker_id: str) -> "str | None":
+    def get_checkpoint(self, worker_id: str) -> "bytes | None":
         """The last payload stored for *worker_id*, or ``None``."""
         ...
 
@@ -152,7 +155,7 @@ class InMemoryCoordinationBackend:
         self._workers: dict[str, WorkerRecord] = {}
         self._incarnations: dict[str, int] = {}
         self._leases: dict[int, LeaseRecord] = {}
-        self._checkpoints: dict[str, str] = {}
+        self._checkpoints: dict[str, bytes] = {}
 
     # -- worker registry --------------------------------------------------
 
@@ -236,13 +239,13 @@ class InMemoryCoordinationBackend:
 
     # -- checkpoint store -------------------------------------------------
 
-    def put_checkpoint(self, worker_id: str, payload: str) -> None:
-        if not isinstance(payload, str):
-            raise ValidationError("checkpoint payload must be a string")
+    def put_checkpoint(self, worker_id: str, payload: bytes) -> None:
+        if not isinstance(payload, bytes):
+            raise ValidationError("checkpoint payload must be bytes")
         with self._lock:
             self._checkpoints[worker_id] = payload
 
-    def get_checkpoint(self, worker_id: str) -> "str | None":
+    def get_checkpoint(self, worker_id: str) -> "bytes | None":
         with self._lock:
             return self._checkpoints.get(worker_id)
 

@@ -1,0 +1,29 @@
+"""Out-of-process shard workers: one spawned child per shard, one wire.
+
+The package splits along the process boundary:
+
+* :mod:`repro.service.proc.worker` — the child entrypoint
+  (:func:`~repro.service.proc.worker.worker_main`): runs one shard's
+  :class:`~repro.service.server.PlacementService` and answers the fabric's
+  RPCs over the :mod:`repro.service.wire` framing;
+* :mod:`repro.service.proc.fabric` — :class:`~repro.service.proc.fabric.
+  ProcFabric`, the parent-side front end, duck-type compatible with
+  :class:`~repro.service.shard.fabric.ShardedPlacementFabric` so loadgen,
+  the CLI, the TCP transport, and the differential suite run unchanged;
+* :mod:`repro.service.proc.supervisor` — :class:`~repro.service.proc.
+  supervisor.ProcSupervisor`, which watches real heartbeats in a
+  (typically networked) coordination backend, SIGKILL-detects via process
+  liveness and TTLs, and respawns workers from replicated checkpoints.
+"""
+
+from repro.service.proc.fabric import ProcFabric, ProcWorkerHandle
+from repro.service.proc.supervisor import ProcSupervisor, ProcWorkerProxy
+from repro.service.proc.worker import worker_main
+
+__all__ = [
+    "ProcFabric",
+    "ProcSupervisor",
+    "ProcWorkerHandle",
+    "ProcWorkerProxy",
+    "worker_main",
+]

@@ -1,0 +1,1222 @@
+"""ProcFabric: the sharded fabric with every shard in its own process.
+
+Same serving surface and routing brain as
+:class:`~repro.service.shard.fabric.ShardedPlacementFabric`, different
+execution substrate: each shard's :class:`PlacementService` runs in a
+spawned child (:mod:`repro.service.proc.worker`) and the parent holds only
+a **mirror** :class:`~repro.service.state.ClusterState` per shard —
+updated from decision events and releases — that feeds the same
+:class:`~repro.service.shard.router.ShardRouter` scoring. Because the
+mirrors see exactly the allocation deltas the children commit, routing and
+spillover are decision-identical to the in-process fabric on the same
+trace (the differential suite asserts this).
+
+Wire discipline per worker: a **cmd** connection the fabric drives
+request/reply under a lock, and an **events** connection a dedicated
+thread long-polls for asynchronous decisions. Submissions carry an attempt
+token; a late decision from a worker that has since been marked down loses
+the fence exactly as in-process. Checkpoints are *always* fetched from the
+children — the mirror's version counter legitimately diverges (the child's
+in-batch transfer phase mutates its version), so serializing a mirror
+would break byte-identity.
+
+Scope: cross-shard rebalancing is not supported out-of-process
+(``rebalance_interval`` must stay ``None``) — it requires multi-shard
+transactional state mutation the wire protocol deliberately does not
+offer.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import multiprocessing
+import os
+import socket
+import threading
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.cloud.traces import catalog_to_dict, pool_to_dict
+from repro.cluster.resources import ResourcePool
+from repro.core.problem import Allocation
+from repro.obs.registry import ensure_registry
+from repro.service import wire
+from repro.service.api import (
+    DecisionStatus,
+    PlaceRequest,
+    PlacementDecision,
+    ReleaseRequest,
+    ReleaseResponse,
+)
+from repro.service.checkpoint import checkpoint_bytes, state_from_checkpoint
+from repro.service.proc.worker import POLICY_REGISTRY, worker_main
+from repro.service.server import ServiceConfig, Ticket
+from repro.service.shard.fabric import (
+    FABRIC_CHECKPOINT_VERSION,
+    FabricConfig,
+    FabricStats,
+    Shard,
+    _ROUTING,
+)
+from repro.service.shard.plan import (
+    ByRackPlan,
+    ShardAssignment,
+    shard_topology,
+)
+from repro.service.shard.router import ShardRouter
+from repro.service.state import ClusterState
+from repro.service.supervisor import SupervisorConfig
+from repro.util.errors import CapacityError, TransportError, ValidationError
+from repro.util.timing import PhaseTimer
+
+_log = logging.getLogger(__name__)
+
+#: How long the fabric waits for a spawned child to dial back both channels.
+SPAWN_TIMEOUT = 30.0
+#: Default cmd-channel RPC deadline.
+DEFAULT_RPC_TIMEOUT = 30.0
+
+
+class _Mirror:
+    """Holder giving :class:`Shard` its ``service.state`` shape for a
+    parent-side mirror state (no service runs here)."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, state: ClusterState) -> None:
+        self.state = state
+
+
+class ProcWorkerHandle:
+    """Parent-side handle for one spawned shard worker.
+
+    Owns the child process, the cmd connection (request/reply under a
+    lock), and the events thread that long-polls decisions into the
+    fabric. ``dead`` latches on the first connection failure; the
+    supervisor turns that into a failover.
+    """
+
+    def __init__(self, fabric: "ProcFabric", shard_id: int) -> None:
+        self.fabric = fabric
+        self.shard_id = shard_id
+        self.worker_id = f"shard-{shard_id}"
+        self.token = os.urandom(12).hex()
+        self.process = None
+        self.pid: "int | None" = None
+        self.dead = False
+        self._cmd = None
+        self._evt = None
+        self._cmd_lock = threading.Lock()
+        self._stop_events = threading.Event()
+        self._events_thread: "threading.Thread | None" = None
+
+    @property
+    def alive(self) -> bool:
+        return (
+            not self.dead
+            and self.process is not None
+            and self.process.is_alive()
+        )
+
+    @property
+    def exitcode(self) -> "int | None":
+        return None if self.process is None else self.process.exitcode
+
+    # ------------------------------------------------------------ lifecycle
+
+    def spawn(self, init_doc: dict, payload: bytes) -> dict:
+        """Start the child, wait for its channels, initialize its state."""
+        host, port = self.fabric.listen_address
+        spec = {
+            "host": host,
+            "port": port,
+            "token": self.token,
+            "shard_id": self.shard_id,
+            "worker_id": self.worker_id,
+        }
+        ctx = multiprocessing.get_context("spawn")
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(spec,),
+            name=f"repro-worker-{self.shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        self._cmd = self.fabric._claim_connection(self.token, "worker-cmd")
+        self._evt = self.fabric._claim_connection(self.token, "worker-events")
+        reply, _ = self.call({"op": "init", **init_doc}, blob=payload)
+        self.pid = int(reply.get("pid", self.process.pid or -1))
+        self._stop_events.clear()
+        self._events_thread = threading.Thread(
+            target=self._event_loop,
+            name=f"fabric-events-{self.shard_id}",
+            daemon=True,
+        )
+        self._events_thread.start()
+        return reply
+
+    def call(
+        self, doc: dict, blob: "bytes | None" = None, timeout: float = DEFAULT_RPC_TIMEOUT
+    ) -> "tuple[dict, bytes | None]":
+        """One cmd-channel RPC; marks the handle dead on connection loss."""
+        op = str(doc.get("op"))
+        started = time.monotonic()
+        with self._cmd_lock:
+            if self._cmd is None or self.dead:
+                raise TransportError(
+                    f"worker {self.worker_id} has no live cmd channel"
+                )
+            sock, rfile, wfile = self._cmd
+            sock.settimeout(timeout)
+            try:
+                reply = wire.rpc(rfile, wfile, doc, blob)
+            except TransportError as exc:
+                if "failed:" not in str(exc):
+                    self.dead = True
+                self.fabric._m_rpc_failures.labels(op=op).inc()
+                raise
+            except OSError as exc:
+                self.dead = True
+                self.fabric._m_rpc_failures.labels(op=op).inc()
+                raise TransportError(
+                    f"worker {self.worker_id} rpc {op!r} failed: {exc}"
+                ) from exc
+        self.fabric._m_rpcs.labels(op=op).inc()
+        self.fabric._m_rpc_latency.observe(time.monotonic() - started)
+        return reply
+
+    def _event_loop(self) -> None:
+        _, rfile, wfile = self._evt
+        sock = self._evt[0]
+        sock.settimeout(10.0)
+        while not self._stop_events.is_set():
+            try:
+                reply, _ = wire.rpc(rfile, wfile, {"op": "poll", "timeout": 0.25})
+            except (TransportError, OSError):
+                self.dead = True
+                return
+            for event in reply.get("events", ()):
+                try:
+                    self.fabric._on_event(self.shard_id, event)
+                except Exception:
+                    _log.exception(
+                        "event from shard %d failed to apply", self.shard_id
+                    )
+
+    def stop_events(self) -> None:
+        self._stop_events.set()
+        thread = self._events_thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=5.0)
+        self._events_thread = None
+
+    def kill(self) -> None:
+        """SIGKILL the child — the real-process analogue of a chaos kill."""
+        self.dead = True
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Tear down connections and reap the child (escalating to kill)."""
+        self.stop_events()
+        for conn in (self._cmd, self._evt):
+            if conn is None:
+                continue
+            for closable in (conn[1], conn[2], conn[0]):
+                try:
+                    closable.close()
+                except OSError:
+                    pass
+        self._cmd = self._evt = None
+        process = self.process
+        if process is not None:
+            process.join(timeout=join_timeout)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=join_timeout)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcWorkerHandle(shard={self.shard_id}, pid={self.pid}, "
+            f"alive={self.alive})"
+        )
+
+
+class ProcFabric:
+    """A sharded placement fabric whose workers are real child processes.
+
+    Parameters
+    ----------
+    pool / plan / config / obs:
+        As for :class:`ShardedPlacementFabric`; ``config.rebalance_interval``
+        must be ``None`` (cross-process rebalancing is unsupported).
+    coord_url:
+        Optional ``tcp://HOST:PORT`` of a coordination server. When set,
+        each child registers there, heartbeats on the wall clock, syncs its
+        lease ledger, and write-ahead replicates its checkpoint — the
+        substrate :class:`~repro.service.proc.supervisor.ProcSupervisor`
+        needs for SIGKILL failover.
+    policy:
+        Wire name of the per-shard placement policy (see
+        :data:`~repro.service.proc.worker.POLICY_REGISTRY`).
+    supervisor_config:
+        Heartbeat/lease TTLs forwarded to each child's in-process
+        :class:`~repro.service.supervisor.ShardWorker` wrapper.
+    """
+
+    def __init__(
+        self,
+        pool: ResourcePool,
+        *,
+        plan=None,
+        config: "FabricConfig | None" = None,
+        obs=None,
+        coord_url: "str | None" = None,
+        policy: str = "heuristic",
+        supervisor_config: "SupervisorConfig | None" = None,
+    ) -> None:
+        if int(pool.allocated.sum()) != 0:
+            raise ValidationError(
+                "the proc fabric requires a pristine pool"
+            )
+        self.config = config or FabricConfig()
+        if self.config.rebalance_interval is not None:
+            raise ValidationError(
+                "cross-shard rebalancing is not supported out-of-process; "
+                "use rebalance_interval=None"
+            )
+        if policy not in POLICY_REGISTRY:
+            raise ValidationError(
+                f"unknown policy {policy!r}; expected one of "
+                f"{sorted(POLICY_REGISTRY)}"
+            )
+        self.obs = ensure_registry(obs)
+        self.timer = PhaseTimer()
+        self.coord_url = coord_url
+        self.policy_name = policy
+        self.supervisor_config = supervisor_config or SupervisorConfig()
+        self._pool = pool
+        if plan is None:
+            plan = ByRackPlan()
+        assignment = (
+            plan if isinstance(plan, ShardAssignment) else plan.partition(pool.topology)
+        )
+        self.assignment = assignment
+        self._shards: list[Shard] = []
+        self._mirror_locks: list[threading.Lock] = []
+        for shard_id, (racks, node_ids) in enumerate(
+            zip(assignment.racks, assignment.nodes)
+        ):
+            topo = shard_topology(pool.topology, node_ids)
+            state = ClusterState(
+                topo, pool.catalog, distance_model=pool.distance_model
+            )
+            self._shards.append(
+                Shard(shard_id, racks, node_ids, _Mirror(state), pool.num_nodes)
+            )
+            self._mirror_locks.append(threading.Lock())
+        self._router = ShardRouter([s.state for s in self._shards])
+        self._stats = FabricStats()
+        self._owners: dict[int, int] = {}
+        self._down: set[int] = set()
+        #: Leases released on the wire before their decision event applied
+        #: to the mirror (client raced ahead); reconciled in _on_event.
+        self._pending_releases: set[int] = set()
+        self._inflight: dict[int, tuple[PlaceRequest, Ticket, int]] = {}
+        self._attempts = 0
+        self._started = False
+        self._closed = False
+        self._flock = threading.Lock()
+        # --- instruments -------------------------------------------------
+        self._m_admission = self.obs.counter(
+            "repro_service_admission_total",
+            "Per-shard admission outcomes, including refusals recorded "
+            "before any queue is touched.",
+            labels=("shard", "outcome"),
+        )
+        self._m_spill = self.obs.counter(
+            "repro_shard_spillovers_total",
+            "Requests a shard declined at the door and the router spilled "
+            "to the next-best shard.",
+            labels=("shard",),
+        )
+        self._m_failovers = self.obs.counter(
+            "repro_fabric_failovers_total",
+            "Shard-death failover events: the shard was quarantined from "
+            "routing and its in-flight requests re-routed.",
+            labels=("shard",),
+        )
+        self._m_rpcs = self.obs.counter(
+            "repro_proc_rpc_total",
+            "Worker RPCs issued over the proc fabric's cmd channels.",
+            labels=("op",),
+        )
+        self._m_rpc_failures = self.obs.counter(
+            "repro_proc_rpc_failures_total",
+            "Worker RPCs that failed (connection loss or op error).",
+            labels=("op",),
+        )
+        self._m_rpc_latency = self.obs.histogram(
+            "repro_proc_rpc_seconds",
+            "Worker RPC round-trip latency on the cmd channel.",
+        )
+        self._m_worker_up = self.obs.gauge(
+            "repro_proc_worker_up",
+            "1 while the shard's child process is believed alive, 0 while dead.",
+            labels=("shard",),
+        )
+        self._m_respawns = self.obs.counter(
+            "repro_proc_respawns_total",
+            "Worker child processes respawned from a replicated checkpoint.",
+            labels=("shard",),
+        )
+        # --- listener + workers ------------------------------------------
+        self._pending: dict[tuple[str, str], tuple] = {}
+        self._pending_cv = threading.Condition()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(2 * len(self._shards) + 4)
+        self.listen_address = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="proc-fabric-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._handles: list[ProcWorkerHandle] = []
+        try:
+            for shard in self._shards:
+                handle = ProcWorkerHandle(self, shard.shard_id)
+                # Registered before spawn so a mid-spawn failure still gets
+                # the child reaped by the cleanup shutdown below.
+                self._handles.append(handle)
+                handle.spawn(
+                    self._init_doc(),
+                    checkpoint_bytes(shard.state).encode("utf-8"),
+                )
+                self._m_worker_up.labels(shard=str(shard.shard_id)).set(1)
+        except Exception:
+            self.shutdown(drain=False)
+            raise
+
+    def _init_doc(self) -> dict:
+        service_doc = {
+            name: getattr(self.config.service, name)
+            for name in ServiceConfig.__dataclass_fields__
+        }
+        supervisor_doc = {
+            name: getattr(self.supervisor_config, name)
+            for name in SupervisorConfig.__dataclass_fields__
+        }
+        return {
+            "policy": self.policy_name,
+            "service": service_doc,
+            "coord": self.coord_url,
+            "supervisor": supervisor_doc,
+        }
+
+    # ----------------------------------------------------------- listener
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handshake, args=(sock,), daemon=True
+            ).start()
+
+    def _handshake(self, sock: socket.socket) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(10.0)
+        rfile, wfile = sock.makefile("rb"), sock.makefile("wb")
+        try:
+            hello = wire.expect_hello(rfile)
+            role = str(hello.get("role"))
+            token = str(hello.get("token"))
+            if role not in ("worker-cmd", "worker-events"):
+                raise TransportError(f"unexpected peer role {role!r}")
+            # The token must match a handle's spawn nonce; the claim side
+            # looks entries up by (token, role), so a stranger's connection
+            # simply sits unclaimed and is closed at shutdown.
+            wire.send_hello(wfile, role="fabric")
+            with self._pending_cv:
+                self._pending[(token, role)] = (sock, rfile, wfile)
+                self._pending_cv.notify_all()
+        except (TransportError, OSError):
+            for closable in (rfile, wfile, sock):
+                try:
+                    closable.close()
+                except OSError:
+                    pass
+
+    def _claim_connection(self, token: str, role: str):
+        deadline = time.monotonic() + SPAWN_TIMEOUT
+        with self._pending_cv:
+            while (token, role) not in self._pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TransportError(
+                        f"spawned worker never connected its {role} channel"
+                    )
+                self._pending_cv.wait(timeout=remaining)
+            return self._pending.pop((token, role))
+
+    # -------------------------------------------------------------- shape
+
+    @property
+    def shards(self) -> tuple[Shard, ...]:
+        return tuple(self._shards)
+
+    @property
+    def handles(self) -> tuple[ProcWorkerHandle, ...]:
+        return tuple(self._handles)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._pool.num_nodes
+
+    @property
+    def num_types(self) -> int:
+        return self._pool.num_types
+
+    @property
+    def pool(self) -> ResourcePool:
+        return self._pool
+
+    @property
+    def down_shards(self) -> frozenset:
+        with self._flock:
+            return frozenset(self._down)
+
+    def owner_of(self, request_id: int) -> "int | None":
+        with self._flock:
+            owner = self._owners.get(request_id)
+        return None if owner is None or owner == _ROUTING else owner
+
+    @property
+    def stats(self) -> FabricStats:
+        with self._flock:
+            stats = replace(self._stats)
+        gain = 0.0
+        down = self.down_shards
+        for handle in self._handles:
+            if handle.shard_id in down or not handle.alive:
+                continue
+            try:
+                reply, _ = handle.call({"op": "stats"}, timeout=5.0)
+                gain += float(reply["stats"].get("transfer_gain", 0.0))
+            except TransportError:
+                continue
+        stats.batch_transfer_gain = gain
+        return stats
+
+    @property
+    def queued(self) -> int:
+        down = self.down_shards
+        total = 0
+        for handle in self._handles:
+            if handle.shard_id in down or not handle.alive:
+                continue
+            try:
+                reply, _ = handle.call({"op": "describe"}, timeout=5.0)
+                total += int(reply["shards"][0]["queued"])
+            except TransportError:
+                continue
+        return total
+
+    # --------------------------------------------------------- submission
+
+    def submit(self, request: PlaceRequest) -> Ticket:
+        """Route to the best live worker; spill over on declines.
+
+        Same admission semantics as the in-process fabric; a worker whose
+        cmd channel fails mid-submit counts as a decline (its death is the
+        supervisor's business, the request's placement is ours).
+        """
+        ticket = Ticket(request.request_id)
+        with self._flock:
+            self._stats.submitted += 1
+            if request.request_id in self._owners:
+                self._stats.rejected += 1
+                ticket._resolve(
+                    PlacementDecision(
+                        request_id=request.request_id,
+                        status=DecisionStatus.REJECTED,
+                        detail="duplicate request id (pending or holding a lease)",
+                    )
+                )
+                return ticket
+            self._owners[request.request_id] = _ROUTING
+        self._dispatch(request, ticket, failover=False)
+        return ticket
+
+    def _dispatch(
+        self, request: PlaceRequest, ticket: Ticket, *, failover: bool
+    ) -> None:
+        demand = np.asarray(request.demand, dtype=np.int64)
+        with self._flock:
+            down = frozenset(self._down)
+        with self.timer.phase("route"):
+            route = self._router.route(demand, exclude=down)
+        for shard_id in route.refused:
+            self._m_admission.labels(shard=str(shard_id), outcome="refused").inc()
+        candidates = (
+            route.ranked
+            if (self.config.spillover or failover)
+            else route.ranked[:1]
+        )
+        for shard_id in candidates:
+            with self._flock:
+                if shard_id in self._down:
+                    continue
+                self._attempts += 1
+                attempt = self._attempts
+                self._owners[request.request_id] = shard_id
+                self._inflight[request.request_id] = (request, ticket, attempt)
+            handle = self._handles[shard_id]
+            try:
+                reply, _ = handle.call(
+                    {
+                        "op": "submit",
+                        "demand": list(request.demand),
+                        "request_id": request.request_id,
+                        "priority": request.priority,
+                        "tag": request.tag,
+                        "attempt": attempt,
+                    }
+                )
+                declined = not reply.get("admitted")
+            except TransportError:
+                # A dead/dying worker is a decline: spill to the next shard.
+                declined = True
+                reply = None
+            if declined:
+                with self._flock:
+                    entry = self._inflight.get(request.request_id)
+                    if entry is None or entry[2] != attempt:
+                        return
+                    del self._inflight[request.request_id]
+                    self._owners[request.request_id] = _ROUTING
+                    self._stats.spillovers += 1
+                self._m_admission.labels(
+                    shard=str(shard_id), outcome="rejected"
+                ).inc()
+                self._m_spill.labels(shard=str(shard_id)).inc()
+                continue
+            self._m_admission.labels(shard=str(shard_id), outcome="admitted").inc()
+            return
+        with self._flock:
+            self._owners.pop(request.request_id, None)
+            if route.ranked:
+                self._stats.rejected += 1
+                status, detail = (
+                    DecisionStatus.REJECTED,
+                    f"all {len(candidates)} candidate shard(s) declined",
+                )
+            elif down and any(
+                not self._shards[sid].state.exceeds_max_capacity(demand)
+                for sid in down
+            ):
+                self._stats.unavailable += 1
+                status, detail = (
+                    DecisionStatus.SHARD_UNAVAILABLE,
+                    f"only dead shard(s) {sorted(down)} could serve this "
+                    "demand; retry after recovery",
+                )
+            else:
+                self._stats.refused += 1
+                status, detail = (
+                    DecisionStatus.REFUSED,
+                    "demand exceeds the maximum capacity of every shard",
+                )
+        ticket._resolve(
+            PlacementDecision(
+                request_id=request.request_id, status=status, detail=detail
+            )
+        )
+
+    # -------------------------------------------------------------- events
+
+    def _on_event(self, shard_id: int, event: dict) -> None:
+        """Apply one worker event: fence it, mirror it, resolve the ticket."""
+        if event.get("type") != "decision":
+            return
+        request_id = int(event["request_id"])
+        attempt = int(event.get("attempt", -1))
+        doc = event["decision"]
+        shard = self._shards[shard_id]
+        local = PlacementDecision(
+            request_id=request_id,
+            status=str(doc["status"]),
+            placements=tuple(tuple(p) for p in doc.get("placements", ())),
+            center=int(doc.get("center", -1)),
+            distance=float(doc.get("distance", 0.0)),
+            latency=float(doc.get("latency", 0.0)),
+            detail=str(doc.get("detail", "")),
+        )
+        translated = shard.translate(local)
+        with self._flock:
+            entry = self._inflight.get(request_id)
+            if entry is None or entry[2] != attempt:
+                return  # fenced: a failover re-routed this request
+            del self._inflight[request_id]
+            if translated.placed:
+                self._stats.placed += 1
+                self._stats.total_distance += translated.distance
+            else:
+                self._owners.pop(request_id, None)
+                if translated.status == DecisionStatus.REJECTED:
+                    self._stats.rejected += 1
+                elif translated.status == DecisionStatus.TIMEOUT:
+                    self._stats.timed_out += 1
+                elif translated.status == DecisionStatus.DROPPED:
+                    self._stats.dropped += 1
+                elif translated.status == DecisionStatus.CANCELLED:
+                    self._stats.cancelled += 1
+                elif translated.status == DecisionStatus.REFUSED:
+                    self._stats.refused += 1
+                elif translated.status == DecisionStatus.SHARD_UNAVAILABLE:
+                    self._stats.unavailable += 1
+        if translated.placed:
+            allocation = Allocation(
+                matrix=local.allocation_matrix(shard.num_nodes, self.num_types),
+                center=local.center,
+                distance=local.distance,
+            )
+            self._mirror_allocate(shard_id, request_id, allocation)
+        entry[1]._resolve(translated)
+
+    def _mirror_allocate(
+        self, shard_id: int, request_id: int, allocation: Allocation
+    ) -> None:
+        """Apply one committed placement to the shard's mirror state.
+
+        Decision events apply in the child's commit order, but a release
+        the child committed *before* this batch may still have its RPC
+        reply in flight — the mirror then briefly lacks the freed capacity
+        this allocation consumed. Releases only ever free capacity, so a
+        short retry converges; a persistent gap means the mirror truly
+        diverged and is rebuilt wholesale from the child's checkpoint.
+        """
+        shard = self._shards[shard_id]
+        deadline = time.monotonic() + 5.0
+        while True:
+            try:
+                with self._mirror_locks[shard_id]:
+                    shard.state.allocate_lease(request_id, allocation)
+                break
+            except CapacityError:
+                if time.monotonic() >= deadline:
+                    _log.warning(
+                        "shard %d mirror stuck behind a release; rebuilding "
+                        "from the worker's checkpoint", shard_id,
+                    )
+                    self._resync_mirror(shard_id)
+                    break
+                time.sleep(0.005)
+        with self._flock:
+            release_raced_ahead = request_id in self._pending_releases
+            self._pending_releases.discard(request_id)
+        if release_raced_ahead:
+            with self._mirror_locks[shard_id]:
+                if shard.state.has_lease(request_id):
+                    shard.state.release_lease(request_id)
+
+    def _resync_mirror(self, shard_id: int) -> None:
+        """Replace a shard's mirror with the child's authoritative state."""
+        state = self.fetch_worker_state(shard_id)
+        with self._mirror_locks[shard_id]:
+            self._shards[shard_id].service.state = state
+        self._router.replace_state(shard_id, state)
+
+    # ------------------------------------------------------------- release
+
+    def release(self, request: ReleaseRequest) -> ReleaseResponse:
+        with self._flock:
+            shard_id = self._owners.get(request.request_id)
+            if shard_id is not None and shard_id in self._down:
+                self._stats.unavailable += 1
+                return ReleaseResponse(
+                    request_id=request.request_id,
+                    status=DecisionStatus.SHARD_UNAVAILABLE,
+                )
+        if shard_id is None or shard_id == _ROUTING:
+            return ReleaseResponse(
+                request_id=request.request_id,
+                status=DecisionStatus.UNKNOWN_LEASE,
+            )
+        try:
+            reply, _ = self._handles[shard_id].call(
+                {"op": "release", "request_id": request.request_id}
+            )
+        except TransportError:
+            with self._flock:
+                self._stats.unavailable += 1
+            return ReleaseResponse(
+                request_id=request.request_id,
+                status=DecisionStatus.SHARD_UNAVAILABLE,
+            )
+        response = ReleaseResponse(
+            request_id=request.request_id,
+            status=str(reply["status"]),
+            freed_vms=int(reply.get("freed_vms", 0)),
+        )
+        if response.released:
+            with self._mirror_locks[shard_id]:
+                mirror = self._shards[shard_id].state
+                applied = mirror.has_lease(request.request_id)
+                if applied:
+                    mirror.release_lease(request.request_id)
+            with self._flock:
+                if not applied:
+                    # The client released before this lease's decision event
+                    # reached the mirror; _on_event settles the score.
+                    self._pending_releases.add(request.request_id)
+                self._owners.pop(request.request_id, None)
+                self._stats.released += 1
+        return response
+
+    def cancel(self, request_id: int) -> bool:
+        with self._flock:
+            shard_id = self._owners.get(request_id)
+            if shard_id is not None and shard_id in self._down:
+                return False
+        if shard_id is None or shard_id == _ROUTING:
+            return False
+        try:
+            reply, _ = self._handles[shard_id].call(
+                {"op": "cancel", "request_id": request_id}
+            )
+        except TransportError:
+            return False
+        return bool(reply.get("cancelled"))
+
+    # ------------------------------------------------------------ failover
+
+    def mark_shard_down(self, shard_id: int, *, reason: str = "") -> list[int]:
+        """Quarantine a dead worker and re-route its in-flight requests.
+
+        The child, if somehow still running (a wedged rather than dead
+        process), is SIGKILLed — a quarantined worker must never commit
+        further state, or restore-from-checkpoint would fork the ledger.
+        """
+        if not 0 <= shard_id < len(self._shards):
+            raise ValidationError(f"no shard {shard_id} to mark down")
+        handle = self._handles[shard_id]
+        handle.kill()
+        handle.stop_events()
+        with self._flock:
+            if shard_id in self._down:
+                return []
+            self._down.add(shard_id)
+            self._stats.shard_deaths += 1
+            victims = [
+                (rid, entry)
+                for rid, entry in self._inflight.items()
+                if self._owners.get(rid) == shard_id
+            ]
+            for rid, _ in victims:
+                del self._inflight[rid]
+                self._owners[rid] = _ROUTING
+            self._stats.failovers += len(victims)
+        self._m_failovers.labels(shard=str(shard_id)).inc()
+        self._m_worker_up.labels(shard=str(shard_id)).set(0)
+        _log.warning(
+            "worker %d marked down (%s): re-routing %d in-flight request(s)",
+            shard_id, reason or "unspecified", len(victims),
+        )
+        for rid, (request, ticket, _attempt) in sorted(victims):
+            self._dispatch(request, ticket, failover=True)
+        return [rid for rid, _ in sorted(victims)]
+
+    def respawn_worker(self, shard_id: int, payload: bytes) -> ProcWorkerHandle:
+        """Spawn a replacement child for a down shard from *payload*.
+
+        *payload* must be the replicated canonical checkpoint bytes. The
+        new child initializes from it, the parent verifies the child's
+        first checkpoint is byte-identical to the payload, the mirror and
+        router are rebuilt from the same bytes, and the owner map is
+        reconciled exactly like
+        :meth:`ShardedPlacementFabric.adopt_restored_service` (stale
+        post-checkpoint owners dropped, survivor-wins on re-routed leases).
+        """
+        with self._flock:
+            if shard_id not in self._down:
+                raise ValidationError(
+                    f"shard {shard_id} is not down; refusing to respawn over "
+                    "a live worker"
+                )
+        state = state_from_checkpoint(json.loads(payload))
+        if checkpoint_bytes(state).encode("utf-8") != payload:
+            raise ValidationError(
+                f"checkpoint for shard {shard_id} does not round-trip "
+                "byte-identically"
+            )
+        shard = self._shards[shard_id]
+        if state.num_nodes != shard.num_nodes or not np.array_equal(
+            state.max_capacity, shard.state.max_capacity
+        ):
+            raise ValidationError(
+                f"restored state for shard {shard_id} does not match the "
+                "shard's partition of the pool"
+            )
+        old = self._handles[shard_id]
+        old.close(join_timeout=2.0)
+        handle = ProcWorkerHandle(self, shard_id)
+        handle.spawn(self._init_doc(), payload)
+        reply, child_payload = handle.call({"op": "checkpoint"})
+        if child_payload != payload:
+            handle.close()
+            raise ValidationError(
+                f"respawned worker {shard_id} state is not byte-identical "
+                "to the replicated checkpoint"
+            )
+        restored_leases = set(state.leases)
+        with self._flock:
+            stale = [
+                rid
+                for rid, sid in self._owners.items()
+                if sid == shard_id and rid not in restored_leases
+            ]
+            for rid in stale:
+                del self._owners[rid]
+            conflicts = []
+            for rid in restored_leases:
+                other = self._owners.get(rid)
+                if other is not None and other not in (shard_id, _ROUTING):
+                    conflicts.append(rid)
+                else:
+                    self._owners[rid] = shard_id
+        for rid in conflicts:
+            # The lease was re-routed to a survivor while this shard was
+            # down; the survivor's copy wins, the restored one is freed.
+            _log.warning(
+                "restored shard %d lease %d now lives elsewhere; dropping "
+                "the restored copy", shard_id, rid,
+            )
+            try:
+                handle.call({"op": "release", "request_id": rid})
+            except TransportError:
+                pass
+            state.release_lease(rid)
+        with self._mirror_locks[shard_id]:
+            shard.service.state = state
+        self._router.replace_state(shard_id, state)
+        self._handles[shard_id] = handle
+        with self._flock:
+            self._down.discard(shard_id)
+            self._stats.shard_restores += 1
+            started = self._started
+        if stale:
+            _log.warning(
+                "restored shard %d lost %d post-checkpoint lease(s): %s",
+                shard_id, len(stale), stale,
+            )
+        if started:
+            handle.call({"op": "start"})
+        self._m_worker_up.labels(shard=str(shard_id)).set(1)
+        self._m_respawns.labels(shard=str(shard_id)).inc()
+        return handle
+
+    # ---------------------------------------------------------- scheduling
+
+    def step_all(self, now: "float | None" = None) -> list[PlacementDecision]:
+        """One deterministic scheduler cycle on every live worker.
+
+        Waits for each decided request's decision event to arrive and
+        apply, so a ``step_all`` caller observes the same barrier the
+        in-process fabric gives for free.
+        """
+        with self._flock:
+            tickets = {rid: e[1] for rid, e in self._inflight.items()}
+        down = self.down_shards
+        decisions: list[PlacementDecision] = []
+        for handle in self._handles:
+            if handle.shard_id in down or not handle.alive:
+                continue
+            try:
+                reply, _ = handle.call(
+                    {"op": "step", **({} if now is None else {"now": now})}
+                )
+            except TransportError:
+                continue
+            for rid in reply.get("decided", ()):
+                ticket = tickets.get(int(rid))
+                if ticket is None:
+                    continue
+                decision = ticket.result(timeout=DEFAULT_RPC_TIMEOUT)
+                if decision is not None:
+                    decisions.append(decision)
+        return decisions
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def running(self) -> bool:
+        down = self.down_shards
+        live = [h for h in self._handles if h.shard_id not in down]
+        return self._started and bool(live) and all(h.alive for h in live)
+
+    def start(self) -> None:
+        """Start every live worker's background scheduler loop."""
+        down = self.down_shards
+        with self._flock:
+            self._started = True
+        for handle in self._handles:
+            if handle.shard_id in down or not handle.alive:
+                continue
+            handle.call({"op": "start"})
+
+    def stop(self) -> None:
+        down = self.down_shards
+        with self._flock:
+            self._started = False
+        for handle in self._handles:
+            if handle.shard_id in down or not handle.alive:
+                continue
+            try:
+                handle.call({"op": "stop"})
+            except TransportError:
+                continue
+
+    def drain(self, timeout: float = 5.0) -> list[PlacementDecision]:
+        """Gracefully drain every live worker; returns the decisions."""
+        with self._flock:
+            self._started = False
+            tickets = {rid: e[1] for rid, e in self._inflight.items()}
+        down = self.down_shards
+        decisions: list[PlacementDecision] = []
+        for handle in self._handles:
+            if handle.shard_id in down or not handle.alive:
+                continue
+            try:
+                reply, _ = handle.call(
+                    {"op": "drain", "timeout": timeout},
+                    timeout=timeout + DEFAULT_RPC_TIMEOUT,
+                )
+            except TransportError:
+                continue
+            for rid in reply.get("decided", ()):
+                ticket = tickets.get(int(rid))
+                if ticket is None:
+                    continue
+                decision = ticket.result(timeout=DEFAULT_RPC_TIMEOUT)
+                if decision is not None:
+                    decisions.append(decision)
+        return decisions
+
+    def sync_workers(self) -> None:
+        """Force an immediate replication + heartbeat on every live worker."""
+        down = self.down_shards
+        for handle in self._handles:
+            if handle.shard_id in down or not handle.alive:
+                continue
+            handle.call({"op": "sync"})
+
+    def shutdown(self, *, drain: bool = True, timeout: float = 5.0) -> "dict[int, int | None]":
+        """Stop everything: drain children, close channels, reap processes.
+
+        Returns each shard's child exit code (``None`` if it never spawned
+        or could not be reaped), for the CLI's exit-code propagation.
+        """
+        if self._closed:
+            return {h.shard_id: h.exitcode for h in self._handles}
+        self._closed = True
+        codes: dict[int, "int | None"] = {}
+        for handle in self._handles:
+            handle.stop_events()
+            if handle.alive:
+                try:
+                    reply, _ = handle.call(
+                        {"op": "shutdown", "drain": drain, "timeout": timeout},
+                        timeout=timeout + DEFAULT_RPC_TIMEOUT,
+                    )
+                    for event in reply.get("events", ()):
+                        self._on_event(handle.shard_id, event)
+                except TransportError:
+                    pass
+            handle.close(join_timeout=timeout)
+            codes[handle.shard_id] = handle.exitcode
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._pending_cv:
+            for conn in self._pending.values():
+                for closable in (conn[1], conn[2], conn[0]):
+                    try:
+                        closable.close()
+                    except OSError:
+                        pass
+            self._pending.clear()
+        return codes
+
+    # ------------------------------------------------------- introspection
+
+    def describe_shards(self) -> list[dict]:
+        down = self.down_shards
+        out = []
+        for shard in self._shards:
+            doc = {
+                "shard": shard.shard_id,
+                "racks": [int(r) for r in shard.racks],
+                "nodes": shard.num_nodes,
+                "leases": shard.state.num_leases,
+                "queued": 0,
+                "utilization": shard.state.utilization,
+            }
+            handle = self._handles[shard.shard_id]
+            if shard.shard_id not in down and handle.alive:
+                try:
+                    reply, _ = handle.call({"op": "describe"}, timeout=5.0)
+                    doc["queued"] = int(reply["shards"][0]["queued"])
+                except TransportError:
+                    pass
+            out.append(doc)
+        return out
+
+    def global_allocated(self) -> np.ndarray:
+        total = np.zeros((self._pool.num_nodes, self._pool.num_types), dtype=np.int64)
+        for shard in self._shards:
+            total[shard.to_global] += shard.state.allocated
+        return total
+
+    def fetch_worker_state(self, shard_id: int) -> ClusterState:
+        """The child's authoritative state, parsed from a live checkpoint."""
+        _, payload = self._handles[shard_id].call({"op": "checkpoint"})
+        return state_from_checkpoint(json.loads(payload))
+
+    def verify_consistency(self) -> None:
+        """Assert mirrors, workers, and the owner map all agree.
+
+        Beyond the in-process fabric's partition/aggregate/owner checks,
+        every live worker's authoritative state (fetched as a checkpoint)
+        must match the parent's mirror allocation-for-allocation — the
+        mirror is only allowed to *lag* while decisions are in flight, so
+        call this at quiescent points (tests drive explicit steps).
+        """
+        seen = np.zeros(self._pool.num_nodes, dtype=bool)
+        for shard in self._shards:
+            if bool(seen[shard.to_global].any()):
+                raise ValidationError(
+                    f"shard {shard.shard_id} overlaps another shard's nodes"
+                )
+            seen[shard.to_global] = True
+        if not bool(seen.all()):
+            raise ValidationError("shard node sets do not cover the pool")
+        down = self.down_shards
+        total = np.zeros(
+            (self._pool.num_nodes, self._pool.num_types), dtype=np.int64
+        )
+        with self._flock:
+            owners = dict(self._owners)
+        for shard in self._shards:
+            if shard.shard_id in down:
+                continue
+            if not np.array_equal(
+                shard.state.max_capacity,
+                self._pool.max_capacity[shard.to_global],
+            ):
+                raise ValidationError(
+                    f"shard {shard.shard_id} capacity diverged from the pool"
+                )
+            with self._mirror_locks[shard.shard_id]:
+                shard.state.verify_consistency()
+                mirror_allocated = shard.state.allocated.copy()
+                mirror_leases = set(shard.state.leases)
+            worker_state = self.fetch_worker_state(shard.shard_id)
+            if not np.array_equal(worker_state.allocated, mirror_allocated):
+                raise ValidationError(
+                    f"shard {shard.shard_id} mirror allocation diverged from "
+                    "the worker's authoritative state"
+                )
+            if set(worker_state.leases) != mirror_leases:
+                raise ValidationError(
+                    f"shard {shard.shard_id} mirror lease set diverged from "
+                    "the worker's authoritative state"
+                )
+            total[shard.to_global] += mirror_allocated
+            for rid in mirror_leases:
+                if owners.get(rid) != shard.shard_id:
+                    raise ValidationError(
+                        f"lease {rid} in shard {shard.shard_id} has no "
+                        "matching owner entry"
+                    )
+        if bool(np.any(total > self._pool.max_capacity)):
+            raise ValidationError("union allocation exceeds pool capacity")
+        for rid, shard_id in owners.items():
+            if shard_id == _ROUTING:
+                continue
+            if not 0 <= shard_id < len(self._shards):
+                raise ValidationError(
+                    f"owner map points {rid} at unregistered shard {shard_id}"
+                )
+            if shard_id in down:
+                raise ValidationError(
+                    f"owner map points {rid} at dead shard {shard_id}; "
+                    "the lease is stranded until the shard is restored"
+                )
+            with self._flock:
+                pending = rid in self._inflight
+            if not (self._shards[shard_id].state.has_lease(rid) or pending):
+                raise ValidationError(
+                    f"owner map points {rid} at shard {shard_id}, which "
+                    "neither holds nor is placing it"
+                )
+
+    # ----------------------------------------------------------- checkpoint
+
+    def checkpoint_doc(self) -> dict:
+        """Fabric checkpoint assembled from the children's canonical bytes.
+
+        Same version-1 ``sharded-fabric`` document as the in-process
+        fabric — shard states are fetched from the workers (the mirrors'
+        version counters legitimately diverge and are never serialized),
+        so a proc fabric checkpoint restores into either fabric flavor.
+        """
+        down = self.down_shards
+        if down:
+            raise ValidationError(
+                f"cannot checkpoint with dead shard(s) {sorted(down)}; "
+                "restore them first"
+            )
+        shard_docs = []
+        owners: list[tuple[int, int]] = []
+        for shard in self._shards:
+            _, payload = self._handles[shard.shard_id].call({"op": "checkpoint"})
+            doc = json.loads(payload)
+            shard_docs.append(doc)
+            owners.extend(
+                (int(entry["request_id"]), shard.shard_id)
+                for entry in doc["leases"]
+            )
+        return {
+            "version": FABRIC_CHECKPOINT_VERSION,
+            "kind": "sharded-fabric",
+            "plan": {
+                "name": self.assignment.plan_name,
+                "racks": [list(group) for group in self.assignment.racks],
+            },
+            "spillover": self.config.spillover,
+            "catalog": catalog_to_dict(self._pool.catalog),
+            "pool": pool_to_dict(self._pool),
+            "owners": [[rid, sid] for rid, sid in sorted(owners)],
+            "shards": shard_docs,
+        }
+
+    def checkpoint_bytes(self) -> str:
+        return json.dumps(self.checkpoint_doc(), indent=1)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcFabric(shards={self.num_shards}, nodes={self.num_nodes}, "
+            f"down={sorted(self.down_shards)}, running={self.running})"
+        )

@@ -1,0 +1,359 @@
+"""ProcSupervisor: failure detection and respawn for out-of-process shards.
+
+Mirrors :class:`~repro.service.supervisor.FabricSupervisor`'s surface
+(``monitor`` / ``restore`` / ``start`` / ``stop`` / ``stranded_leases`` /
+``verify_consistency`` / ``workers`` / ``events``) but supervises *real
+processes*: liveness is judged first by the child process itself
+(``ProcWorkerHandle.alive``) and then by heartbeat age in the shared —
+typically networked — coordination backend, so a SIGKILL'd worker is
+detected even when the parent's handle still looks healthy (e.g. a worker
+wedged after losing its coordination link). Recovery respawns a fresh
+child from the replicated checkpoint via
+:meth:`~repro.service.proc.fabric.ProcFabric.respawn_worker`, which
+enforces byte-identical restoration.
+
+Chaos compatibility: :class:`ProcWorkerProxy` gives
+:class:`~repro.service.chaos.FabricChaosInjector` the duck-typed
+``kill()`` / ``crashed`` / ``suppress_until`` / ``replication_fault``
+surface it drives, except that ``kill()`` here delivers an actual SIGKILL
+and the two chaos hooks are inert (a parent cannot reach into a child's
+heartbeat loop — point the injector's heartbeat/checkpoint fault knobs at
+zero for proc fabrics).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+
+from repro.service.checkpoint import checkpoint_bytes, state_from_checkpoint
+from repro.service.coord import CoordinationBackend, InMemoryCoordinationBackend
+from repro.service.supervisor import FailoverEvent, SupervisorConfig
+from repro.util.errors import TransportError, ValidationError
+
+_log = logging.getLogger(__name__)
+
+
+class ProcWorkerProxy:
+    """Chaos/driver-facing stand-in for one out-of-process shard worker.
+
+    The real supervision state lives in the child and the fabric handle;
+    this proxy only carries what the chaos injector and the monitor sweep
+    need to address the worker by shard.
+    """
+
+    def __init__(self, fabric, shard_id: int) -> None:
+        self.fabric = fabric
+        self.shard_id = shard_id
+        self.worker_id = f"shard-{shard_id}"
+        self._forced = False
+        self._backend = None
+        #: Inert out-of-process (see module docstring); kept so the chaos
+        #: injector's attribute writes don't explode.
+        self.suppress_until = float("-inf")
+        self.replication_fault = None
+
+    @property
+    def handle(self):
+        return self.fabric.handles[self.shard_id]
+
+    @property
+    def crashed(self) -> bool:
+        return self._forced or not self.handle.alive
+
+    @crashed.setter
+    def crashed(self, value: bool) -> None:
+        self._forced = bool(value)
+
+    @property
+    def incarnation(self) -> int:
+        """The backend's registration generation for this worker id."""
+        if self._backend is None:
+            return 0
+        record = self._backend.workers().get(self.worker_id)
+        return 0 if record is None else int(record.incarnation)
+
+    def bind_backend(self, backend) -> None:
+        self._backend = backend
+
+    def kill(self) -> None:
+        """SIGKILL the child process — no cleanup, no deregistration."""
+        self._forced = True
+        self.handle.kill()
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcWorkerProxy(shard={self.shard_id}, "
+            f"crashed={self.crashed})"
+        )
+
+
+class ProcSupervisor:
+    """Watches a :class:`ProcFabric`'s children and respawns the dead ones.
+
+    Parameters
+    ----------
+    fabric:
+        The proc fabric. Its children must share *backend* (construct the
+        fabric with ``coord_url`` pointing at the same coordination server
+        this supervisor's backend client talks to) — heartbeats and
+        replicated checkpoints written by the children are what the
+        monitor reads.
+    backend:
+        Coordination backend client. Defaults to a fresh in-memory backend,
+        which is only useful for fabrics without ``coord_url`` where
+        liveness degenerates to process-aliveness (no heartbeat TTLs, no
+        checkpoint respawn).
+    config / clock:
+        Detection tunables; the clock must be comparable to the children's
+        heartbeat clock, i.e. the wall clock (children beat with
+        ``time.time()``).
+    restore_gate:
+        Optional ``(shard_id, now) -> bool`` deferring respawn (the chaos
+        injector models repair time through it).
+    """
+
+    def __init__(
+        self,
+        fabric,
+        backend: "CoordinationBackend | None" = None,
+        config: "SupervisorConfig | None" = None,
+        *,
+        clock=time.time,
+        restore_gate=None,
+    ) -> None:
+        self.fabric = fabric
+        self.backend = backend if backend is not None else InMemoryCoordinationBackend()
+        self.config = config or fabric.supervisor_config
+        self.clock = clock
+        self.restore_gate = restore_gate
+        self.obs = fabric.obs
+        self.events: list[FailoverEvent] = []
+        self._mlock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self._m_up = self.obs.gauge(
+            "repro_fabric_worker_up",
+            "1 while the shard's worker is believed alive, 0 while dead.",
+            labels=("shard",),
+        )
+        self._m_hb_age = self.obs.gauge(
+            "repro_fabric_heartbeat_age_seconds",
+            "Seconds since each worker's last recorded heartbeat.",
+            labels=("shard",),
+        )
+        self.workers: list[ProcWorkerProxy] = []
+        for shard in fabric.shards:
+            proxy = ProcWorkerProxy(fabric, shard.shard_id)
+            proxy.bind_backend(self.backend)
+            self._m_up.labels(shard=str(shard.shard_id)).set(1)
+            self.workers.append(proxy)
+        self._coordinated = fabric.coord_url is not None
+
+    # ------------------------------------------------------------- monitor
+
+    def heartbeat_age(self, worker_id: str, now: float) -> float:
+        last = self.backend.last_beat(worker_id)
+        return float("inf") if last is None else max(0.0, now - last)
+
+    def monitor(self, now: "float | None" = None) -> list[FailoverEvent]:
+        """One detection + recovery sweep; returns the failover events.
+
+        Detection order per shard: the handle's own process liveness (a
+        SIGKILL shows up here within one sweep), then — when coordinated —
+        the heartbeat TTL in the backend (catches wedged-but-running
+        children). Down shards get a respawn retry each sweep, so a gated
+        or checkpoint-less death recovers as soon as it can.
+        """
+        with self._mlock:
+            if now is None:
+                now = float(self.clock())
+            down = self.fabric.down_shards
+            events: list[FailoverEvent] = []
+            for proxy in self.workers:
+                shard_id = proxy.shard_id
+                label = str(shard_id)
+                if shard_id in down:
+                    self._m_up.labels(shard=label).set(0)
+                    if self._try_restore(shard_id, now):
+                        events.append(
+                            FailoverEvent(
+                                shard_id=shard_id,
+                                worker_id=proxy.worker_id,
+                                reason="deferred restore",
+                                detected_at=now,
+                                restored=True,
+                                incarnation=proxy.incarnation,
+                            )
+                        )
+                    continue
+                reason = None
+                if proxy.crashed:
+                    code = self.fabric.handles[shard_id].exitcode
+                    reason = f"child process dead (exit code {code})"
+                elif self._coordinated:
+                    age = self.heartbeat_age(proxy.worker_id, now)
+                    self._m_hb_age.labels(shard=label).set(
+                        0.0 if age == float("inf") else age
+                    )
+                    if age > self.config.heartbeat_ttl:
+                        reason = (
+                            f"heartbeat age {age:.3f}s > "
+                            f"ttl {self.config.heartbeat_ttl}s"
+                        )
+                if reason is None:
+                    self._m_up.labels(shard=label).set(1)
+                    continue
+                proxy.crashed = True
+                rerouted = self.fabric.mark_shard_down(shard_id, reason=reason)
+                self._m_up.labels(shard=label).set(0)
+                restored = self._try_restore(shard_id, now)
+                events.append(
+                    FailoverEvent(
+                        shard_id=shard_id,
+                        worker_id=proxy.worker_id,
+                        reason=reason,
+                        detected_at=now,
+                        rerouted=tuple(rerouted),
+                        restored=restored,
+                        incarnation=proxy.incarnation,
+                    )
+                )
+            self.events.extend(events)
+            return events
+
+    def _try_restore(self, shard_id: int, now: float) -> bool:
+        if not self.config.auto_restore:
+            return False
+        gate = self.restore_gate
+        if gate is not None and not gate(shard_id, now):
+            return False
+        return self.restore(shard_id, now=now)
+
+    # ------------------------------------------------------------- restore
+
+    def restore(self, shard_id: int, now: "float | None" = None) -> bool:
+        """Respawn a dead shard's child from its replicated checkpoint.
+
+        Returns False (shard stays quarantined, fabric serves degraded)
+        when no checkpoint exists or the spawn fails; raises if the payload
+        is corrupt — a torn copy must never be silently adopted.
+        """
+        proxy = self.workers[shard_id]
+        payload = self.backend.get_checkpoint(proxy.worker_id)
+        if payload is None:
+            _log.error(
+                "no replicated checkpoint for %s; shard stays down",
+                proxy.worker_id,
+            )
+            return False
+        # Corruption check up front: a payload that doesn't round-trip is a
+        # hard error, while a spawn failure below is retried next sweep.
+        state = state_from_checkpoint(json.loads(payload))
+        if checkpoint_bytes(state).encode("utf-8") != payload:
+            raise ValidationError(
+                f"replicated checkpoint for {proxy.worker_id} does not "
+                "round-trip to its payload"
+            )
+        try:
+            self.fabric.respawn_worker(shard_id, payload)
+        except (TransportError, OSError):
+            _log.exception(
+                "respawn of shard %d failed; will retry next sweep", shard_id
+            )
+            return False
+        proxy.crashed = False
+        self._m_up.labels(shard=str(shard_id)).set(1)
+        self._m_hb_age.labels(shard=str(shard_id)).set(0.0)
+        _log.warning(
+            "shard %d respawned from replicated checkpoint (%d leases)",
+            shard_id, state.num_leases,
+        )
+        return True
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start the background monitor thread (idempotent)."""
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._monitor_loop, name="proc-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.config.monitor_interval):
+            try:
+                self.monitor()
+            except Exception:
+                # The supervisor must never take the fabric down with it.
+                _log.exception("proc supervisor monitor sweep failed")
+
+    def stop(self) -> None:
+        """Stop the monitor thread; the fabric and children keep running."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=5.0)
+        self._thread = None
+
+    # -------------------------------------------------------- introspection
+
+    def stranded_leases(self, now: "float | None" = None):
+        """Backend lease records whose owner let the TTL lapse (at-risk)."""
+        if now is None:
+            now = float(self.clock())
+        return self.backend.expired_leases(now)
+
+    def verify_consistency(self) -> None:
+        """Cross-check the backend's lease ledger against the fabric.
+
+        Forces a replication + heartbeat on every live child first (their
+        ledger sync is heartbeat-paced), then requires the same bidirectional
+        ledger↔fabric agreement as the in-process supervisor. Requires a
+        healthy fabric (no shard down).
+        """
+        down = self.fabric.down_shards
+        if down:
+            raise ValidationError(
+                f"cannot verify ledger with dead shard(s) {sorted(down)}"
+            )
+        if not self._coordinated:
+            raise ValidationError(
+                "ledger verification needs a coordinated fabric "
+                "(construct it with coord_url)"
+            )
+        self.fabric.sync_workers()
+        ledger = self.backend.leases()
+        by_worker = {p.worker_id: p.shard_id for p in self.workers}
+        for rid, record in ledger.items():
+            shard_id = by_worker.get(record.owner)
+            if shard_id is None:
+                raise ValidationError(
+                    f"ledger lease {rid} owned by unknown worker "
+                    f"{record.owner!r}"
+                )
+            if self.fabric.owner_of(rid) != shard_id:
+                raise ValidationError(
+                    f"ledger lease {rid} owned by {record.owner!r} but the "
+                    f"fabric places it on shard {self.fabric.owner_of(rid)}"
+                )
+        for proxy in self.workers:
+            held = set(
+                self.fabric.fetch_worker_state(proxy.shard_id).leases
+            )
+            for rid in held:
+                record = ledger.get(rid)
+                if record is None or record.owner != proxy.worker_id:
+                    raise ValidationError(
+                        f"fabric lease {rid} on shard {proxy.shard_id} is "
+                        "missing from (or mis-owned in) the backend ledger"
+                    )

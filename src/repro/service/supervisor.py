@@ -204,7 +204,7 @@ class ShardWorker:
                 version = self.service.state.version
                 if not force and version == self._replicated_version:
                     return False
-                payload = checkpoint_bytes(self.service.state)
+                payload = checkpoint_bytes(self.service.state).encode("utf-8")
             try:
                 fault = self.replication_fault
                 if fault is not None and fault():
@@ -430,7 +430,7 @@ class FabricSupervisor:
             )
             return False
         state = state_from_checkpoint(json.loads(payload))
-        if checkpoint_bytes(state) != payload:
+        if checkpoint_bytes(state).encode("utf-8") != payload:
             raise ValidationError(
                 f"restored state for {worker.worker_id} does not round-trip "
                 "to the replicated payload"

@@ -1,0 +1,159 @@
+"""Versioned length-prefixed line-JSON framing for inter-process links.
+
+The TCP serving transport (:mod:`repro.service.transport`) speaks bare
+newline-delimited JSON because its payloads are small, text-only envelopes.
+The process fabric and the networked coordination backend need two things
+that format cannot give:
+
+* **length prefixes** — a checkpoint payload is replicated byte-for-byte;
+  embedding arbitrary bytes inside a JSON string would force an encoding
+  round trip, and the recovery invariant is *byte identity*. Every frame
+  here declares its JSON size up front, and may carry an opaque binary
+  *blob* after the JSON document whose length the document declares.
+* **versioning** — the two ends of the wire are different processes (and,
+  for the coordination server, potentially different hosts/releases). Every
+  connection opens with a ``hello`` frame carrying the protocol name and
+  version; a mismatch is a typed error before any operation flows.
+
+Frame layout (all lengths are ASCII decimals)::
+
+    <json-length>\\n<json-bytes>\\n[<blob-bytes>]
+
+``json-bytes`` is a compact UTF-8 JSON object. When the frame carries a
+blob, the JSON object contains ``"_blob": <blob-length>`` and exactly that
+many raw bytes follow the newline. Malformed frames (oversized, truncated,
+non-numeric prefix, invalid JSON) raise :class:`~repro.util.errors.
+TransportError`; a clean EOF before any byte of a frame returns ``None``
+from :func:`read_frame` so connection shutdown is distinguishable from
+corruption.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.util.errors import TransportError
+
+#: Protocol identity carried in every hello frame.
+PROTOCOL_NAME = "repro-wire"
+PROTOCOL_VERSION = 1
+
+#: Hard byte budget for one frame's JSON document.
+MAX_JSON_BYTES = 1 << 20
+#: Hard byte budget for one frame's binary blob (checkpoints dominate).
+MAX_BLOB_BYTES = 64 << 20
+#: Longest accepted length-prefix line (decimal digits + newline).
+_MAX_PREFIX = 16
+
+
+def write_frame(wfile, doc: dict, blob: "bytes | None" = None) -> None:
+    """Write one frame — *doc* as compact JSON, plus an optional blob."""
+    if blob is not None:
+        if len(blob) > MAX_BLOB_BYTES:
+            raise TransportError(
+                f"blob of {len(blob)} bytes exceeds {MAX_BLOB_BYTES}"
+            )
+        doc = {**doc, "_blob": len(blob)}
+    payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_JSON_BYTES:
+        raise TransportError(
+            f"frame of {len(payload)} bytes exceeds {MAX_JSON_BYTES}"
+        )
+    wfile.write(b"%d\n" % len(payload))
+    wfile.write(payload)
+    wfile.write(b"\n")
+    if blob is not None:
+        wfile.write(blob)
+    wfile.flush()
+
+
+def _read_exact(rfile, n: int) -> bytes:
+    data = rfile.read(n)
+    if data is None or len(data) != n:
+        raise TransportError(
+            f"truncated frame: wanted {n} bytes, got {0 if not data else len(data)}"
+        )
+    return data
+
+
+def read_frame(rfile) -> "tuple[dict, bytes | None] | None":
+    """Read one frame; returns ``(doc, blob)`` or ``None`` on clean EOF."""
+    prefix = rfile.readline(_MAX_PREFIX)
+    if not prefix:
+        return None
+    if not prefix.endswith(b"\n"):
+        raise TransportError(f"oversized or unterminated length prefix {prefix!r}")
+    try:
+        length = int(prefix)
+    except ValueError as exc:
+        raise TransportError(f"non-numeric length prefix {prefix!r}") from exc
+    if not 0 <= length <= MAX_JSON_BYTES:
+        raise TransportError(f"frame length {length} outside [0, {MAX_JSON_BYTES}]")
+    payload = _read_exact(rfile, length)
+    if _read_exact(rfile, 1) != b"\n":
+        raise TransportError("frame payload not newline-terminated")
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TransportError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise TransportError("frame payload must be a JSON object")
+    blob_len = doc.pop("_blob", None)
+    if blob_len is None:
+        return doc, None
+    if not isinstance(blob_len, int) or not 0 <= blob_len <= MAX_BLOB_BYTES:
+        raise TransportError(f"invalid blob length {blob_len!r}")
+    return doc, _read_exact(rfile, blob_len)
+
+
+# ---------------------------------------------------------------- handshake
+
+def send_hello(wfile, role: str, **extra) -> None:
+    """Open a connection: announce protocol name/version and our *role*."""
+    write_frame(
+        wfile,
+        {"proto": PROTOCOL_NAME, "v": PROTOCOL_VERSION, "role": role, **extra},
+    )
+
+
+def expect_hello(rfile, role: "str | None" = None) -> dict:
+    """Read and validate the peer's hello; returns the full hello document.
+
+    Raises :class:`TransportError` on EOF, protocol-name mismatch, version
+    mismatch, or (when *role* is given) an unexpected peer role.
+    """
+    frame = read_frame(rfile)
+    if frame is None:
+        raise TransportError("connection closed before hello")
+    doc, _ = frame
+    if doc.get("proto") != PROTOCOL_NAME:
+        raise TransportError(f"unexpected protocol {doc.get('proto')!r}")
+    if doc.get("v") != PROTOCOL_VERSION:
+        raise TransportError(
+            f"protocol version mismatch: peer speaks {doc.get('v')!r}, "
+            f"this end speaks {PROTOCOL_VERSION}"
+        )
+    if role is not None and doc.get("role") != role:
+        raise TransportError(
+            f"expected peer role {role!r}, got {doc.get('role')!r}"
+        )
+    return doc
+
+
+def rpc(rfile, wfile, doc: dict, blob: "bytes | None" = None) -> "tuple[dict, bytes | None]":
+    """One request/response exchange; raises on transport or server error.
+
+    The reply convention matches the serving transport: ``{"ok": true, ...}``
+    on success, ``{"ok": false, "error": msg}`` on a server-side failure
+    (surfaced as :class:`TransportError` so callers treat it uniformly).
+    """
+    write_frame(wfile, doc, blob)
+    frame = read_frame(rfile)
+    if frame is None:
+        raise TransportError("peer closed the connection mid-exchange")
+    reply, reply_blob = frame
+    if not reply.get("ok"):
+        raise TransportError(
+            f"op {doc.get('op')!r} failed: {reply.get('error', 'unknown error')}"
+        )
+    return reply, reply_blob

@@ -1,4 +1,15 @@
-"""Unit tests for the coordination backend (registry, leases, checkpoints)."""
+"""Conformance suite for coordination backends (registry, leases, checkpoints).
+
+Every test in the conformance classes runs twice — once against the
+in-memory reference backend and once against a
+:class:`NetworkedCoordinationBackend` talking to a real
+:class:`CoordinationServer` over loopback TCP — so the wire path is held
+to exactly the contract the in-process implementation defines, error
+surfaces included. Net-only behaviors (URL parsing, reconnection, framing
+rejection) live in their own classes at the bottom.
+"""
+
+import socket
 
 import pytest
 
@@ -7,12 +18,27 @@ from repro.service import (
     InMemoryCoordinationBackend,
     LeaseRecord,
 )
-from repro.util.errors import ValidationError
+from repro.service.coord.net import (
+    CoordinationServer,
+    NetworkedCoordinationBackend,
+    parse_coord_url,
+)
+from repro.util.errors import TransportError, ValidationError
+
+BACKENDS = ("memory", "net")
 
 
-@pytest.fixture
-def backend():
-    return InMemoryCoordinationBackend()
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    if request.param == "memory":
+        yield InMemoryCoordinationBackend()
+        return
+    with CoordinationServer() as server:
+        client = NetworkedCoordinationBackend.from_url(server.url)
+        try:
+            yield client
+        finally:
+            client.close()
 
 
 class TestWorkerRegistry:
@@ -40,7 +66,7 @@ class TestWorkerRegistry:
         assert backend.register_worker("shard-0", 0, now=9.0) == 2
 
     def test_empty_worker_id_rejected(self, backend):
-        with pytest.raises(ValidationError, match="non-empty"):
+        with pytest.raises((ValidationError, TransportError), match="non-empty"):
             backend.register_worker("", 0, now=0.0)
 
 
@@ -51,7 +77,7 @@ class TestHeartbeats:
         assert backend.last_beat("shard-0") == 3.5
 
     def test_beat_from_unregistered_worker_raises(self, backend):
-        with pytest.raises(ValidationError, match="unregistered"):
+        with pytest.raises((ValidationError, TransportError), match="unregistered"):
             backend.beat("ghost", now=0.0)
 
     def test_last_beat_of_unknown_worker_is_none(self, backend):
@@ -100,40 +126,132 @@ class TestLeaseLedger:
         assert [r.request_id for r in expired] == [1, 2, 3]
 
     def test_nonpositive_ttl_rejected(self, backend):
-        with pytest.raises(ValidationError, match="ttl"):
+        with pytest.raises((ValidationError, TransportError), match="ttl"):
             backend.put_lease(1, "shard-0", now=0.0, ttl=0.0)
-        with pytest.raises(ValidationError, match="ttl"):
+        with pytest.raises((ValidationError, TransportError), match="ttl"):
             backend.renew_leases("shard-0", now=0.0, ttl=-1.0)
 
 
 class TestCheckpointStore:
     def test_roundtrip_is_byte_exact(self, backend):
-        payload = '{"version": 3,\n "nodes": [1, 2]}'
+        payload = b'{"version": 3,\n "nodes": [1, 2]}'
         backend.put_checkpoint("shard-0", payload)
         assert backend.get_checkpoint("shard-0") == payload
 
     def test_overwrite_keeps_latest(self, backend):
-        backend.put_checkpoint("shard-0", "v1")
-        backend.put_checkpoint("shard-0", "v2")
-        assert backend.get_checkpoint("shard-0") == "v2"
+        backend.put_checkpoint("shard-0", b"v1")
+        backend.put_checkpoint("shard-0", b"v2")
+        assert backend.get_checkpoint("shard-0") == b"v2"
+
+    def test_empty_payload_roundtrips(self, backend):
+        backend.put_checkpoint("shard-0", b"")
+        assert backend.get_checkpoint("shard-0") == b""
 
     def test_missing_checkpoint_is_none(self, backend):
         assert backend.get_checkpoint("shard-9") is None
 
-    def test_non_string_payload_rejected(self, backend):
-        with pytest.raises(ValidationError, match="string"):
-            backend.put_checkpoint("shard-0", {"not": "a string"})
+    def test_non_bytes_payload_rejected(self, backend):
+        with pytest.raises((ValidationError, TypeError)):
+            backend.put_checkpoint("shard-0", "not bytes")
 
-    def test_determinism_same_calls_same_state(self):
-        def build():
-            b = InMemoryCoordinationBackend()
+    def test_binary_payload_roundtrips(self, backend):
+        payload = bytes(range(256)) * 17
+        backend.put_checkpoint("shard-0", payload)
+        assert backend.get_checkpoint("shard-0") == payload
+
+    def test_determinism_same_calls_same_state(self, backend):
+        def drive(b):
             b.register_worker("shard-0", 0, now=0.0)
             b.beat("shard-0", now=0.5)
             b.put_lease(1, "shard-0", now=0.5, ttl=5.0)
-            b.put_checkpoint("shard-0", "{}")
-            return b
+            b.put_checkpoint("shard-0", b"{}")
 
-        a, b = build(), build()
-        assert a.workers() == b.workers()
-        assert a.leases() == b.leases()
-        assert a.get_checkpoint("shard-0") == b.get_checkpoint("shard-0")
+        drive(backend)
+        reference = InMemoryCoordinationBackend()
+        drive(reference)
+        assert backend.workers() == reference.workers()
+        assert backend.leases() == reference.leases()
+        assert backend.get_checkpoint("shard-0") == reference.get_checkpoint(
+            "shard-0"
+        )
+
+
+class TestCoordUrl:
+    def test_parse(self):
+        assert parse_coord_url("tcp://127.0.0.1:7077") == ("127.0.0.1", 7077)
+
+    @pytest.mark.parametrize(
+        "url", ["http://x:1", "tcp://", "tcp://host", "tcp://host:notaport"]
+    )
+    def test_rejects_malformed(self, url):
+        with pytest.raises(ValidationError):
+            parse_coord_url(url)
+
+    def test_server_url_round_trips(self):
+        with CoordinationServer() as server:
+            assert parse_coord_url(server.url) == server.address
+
+
+class TestNetworkedBackend:
+    def test_server_side_error_keeps_connection(self):
+        """An op rejection is not a transport failure: no redial needed."""
+        with CoordinationServer() as server:
+            client = NetworkedCoordinationBackend.from_url(server.url)
+            try:
+                with pytest.raises(TransportError, match="unregistered"):
+                    client.beat("ghost", now=0.0)
+                # Same connection keeps working after the rejection.
+                assert client.register_worker("shard-0", 0, now=1.0) == 1
+                assert client.last_beat("shard-0") == 1.0
+            finally:
+                client.close()
+
+    def test_reconnects_after_connection_drop(self):
+        backing = InMemoryCoordinationBackend()
+        with CoordinationServer(backend=backing) as server:
+            client = NetworkedCoordinationBackend.from_url(server.url)
+            try:
+                client.register_worker("shard-0", 0, now=1.0)
+                # Yank the client's socket out from under it; the next op
+                # must redial transparently and see the same backing state.
+                client._sock.shutdown(socket.SHUT_RDWR)
+                assert client.last_beat("shard-0") == 1.0
+            finally:
+                client.close()
+
+    def test_shared_state_across_clients(self):
+        with CoordinationServer() as server:
+            a = NetworkedCoordinationBackend.from_url(server.url)
+            b = NetworkedCoordinationBackend.from_url(server.url)
+            try:
+                a.register_worker("shard-0", 0, now=1.0)
+                a.put_checkpoint("shard-0", b"state-bytes")
+                assert b.workers()["shard-0"].incarnation == 1
+                assert b.get_checkpoint("shard-0") == b"state-bytes"
+            finally:
+                a.close()
+                b.close()
+
+    def test_unreachable_server_raises_transport_error(self):
+        # Bind-then-close guarantees a dead port.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = NetworkedCoordinationBackend(
+            "127.0.0.1", port, connect_timeout=0.3
+        )
+        with pytest.raises(TransportError):
+            client.register_worker("shard-0", 0, now=0.0)
+
+    def test_non_protocol_peer_is_rejected_cleanly(self):
+        """A client speaking garbage must not wedge the server."""
+        with CoordinationServer() as server:
+            raw = socket.create_connection(server.address, timeout=2.0)
+            raw.sendall(b"GET / HTTP/1.0\r\n\r\n")
+            raw.close()
+            client = NetworkedCoordinationBackend.from_url(server.url)
+            try:
+                assert client.register_worker("shard-0", 0, now=0.0) == 1
+            finally:
+                client.close()

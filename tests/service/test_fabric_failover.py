@@ -212,7 +212,7 @@ class TestSupervisedEquivalence:
         # Every shard's replicated payload is the live state, byte-exact.
         for worker in supervisor.workers:
             payload = supervisor.backend.get_checkpoint(worker.worker_id)
-            assert payload == checkpoint_bytes(worker.service.state)
+            assert payload == checkpoint_bytes(worker.service.state).encode("utf-8")
 
 
 class TestFailoverMidTrace:
@@ -264,7 +264,7 @@ class TestFailoverMidTrace:
         assert all(e.restored for e in restore_events)
         assert fabric.down_shards == frozenset()
         for k in kill_shards:
-            assert checkpoint_bytes(fabric.shards[k].state) == payloads[k]
+            assert checkpoint_bytes(fabric.shards[k].state).encode("utf-8") == payloads[k]
 
         # Finish the trace against the healed fabric.
         driver.run(trace[half + defer_steps :])
@@ -515,7 +515,7 @@ class TestChaosInjector:
         worker.replication_fault = None
         fabric.release(ReleaseRequest(request_id=ticket.request_id))
         payload = supervisor.backend.get_checkpoint(worker.worker_id)
-        assert payload == checkpoint_bytes(shard.state)
+        assert payload == checkpoint_bytes(shard.state).encode("utf-8")
 
     def test_kill_during_repair_window_is_not_double_applied(self):
         pool, fabric, supervisor, clock = make_supervised(seed=19)

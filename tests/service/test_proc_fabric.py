@@ -1,0 +1,363 @@
+"""Out-of-process fabric tests: parity with the in-process fabric + kill/restore.
+
+The differential test drives the same request trace through a
+:class:`ShardedPlacementFabric` (threads) and a :class:`ProcFabric`
+(spawned child processes) built from identical pools and plans, and
+requires decision-identical output — same status, same placements, same
+center, same distance for every request. Latency is excluded: it is the
+only field the process boundary is allowed to change.
+
+``PROC_SMOKE=1`` shrinks the trace for CI smoke jobs.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import PoolSpec, VMTypeCatalog, random_pool
+from repro.obs import MetricsRegistry
+from repro.service import (
+    DecisionStatus,
+    PlaceRequest,
+    ReleaseRequest,
+    ServiceConfig,
+)
+from repro.service.coord.net import (
+    CoordinationServer,
+    NetworkedCoordinationBackend,
+)
+from repro.service.proc import ProcFabric, ProcSupervisor
+from repro.service.shard import (
+    FabricConfig,
+    RackGroupPlan,
+    ShardedPlacementFabric,
+)
+from repro.service.supervisor import SupervisorConfig
+from repro.util.errors import ValidationError
+
+SMOKE = bool(os.environ.get("PROC_SMOKE"))
+TRACE_LEN = 24 if SMOKE else 60
+
+CATALOG = VMTypeCatalog.ec2_default()
+
+
+def make_pool(seed=7, racks=4, nodes_per_rack=4, capacity_high=3):
+    return random_pool(
+        PoolSpec(
+            racks=racks,
+            nodes_per_rack=nodes_per_rack,
+            clouds=2,
+            capacity_low=1,
+            capacity_high=capacity_high,
+        ),
+        CATALOG,
+        seed=seed,
+    )
+
+
+def make_proc_fabric(pool, shards=2, **kwargs):
+    kwargs.setdefault("plan", RackGroupPlan(shards))
+    kwargs.setdefault(
+        "config", FabricConfig(service=ServiceConfig(batch_window=0.0))
+    )
+    kwargs.setdefault("obs", MetricsRegistry())
+    return ProcFabric(pool, **kwargs)
+
+
+def pump(fabric, rounds=80):
+    """Step until two consecutive idle rounds.
+
+    A request the shard cannot currently fit stays queued forever at
+    ``now=0.0`` (timeouts never fire), so an empty-queue condition would
+    spin; idle detection terminates either way.
+    """
+    decisions = []
+    idle = 0
+    for _ in range(rounds):
+        got = fabric.step_all(now=0.0)
+        decisions.extend(got)
+        idle = 0 if got else idle + 1
+        if idle >= 2:
+            break
+    return decisions
+
+
+def trace_demands(pool, n, seed=0):
+    rng = np.random.default_rng(seed)
+    demands = []
+    for _ in range(n):
+        demand = rng.integers(0, 3, size=pool.num_types)
+        if demand.sum() == 0:
+            demand[0] = 1
+        demands.append(tuple(int(x) for x in demand))
+    return demands
+
+
+def essence(decision):
+    """The fields that must match across execution models."""
+    return (
+        decision.request_id,
+        decision.status,
+        decision.placements,
+        decision.center,
+        round(decision.distance, 9),
+    )
+
+
+class TestConstruction:
+    def test_rebalance_interval_rejected(self):
+        with pytest.raises(ValidationError, match="rebalance"):
+            make_proc_fabric(
+                make_pool(),
+                config=FabricConfig(
+                    service=ServiceConfig(batch_window=0.0),
+                    rebalance_interval=4,
+                ),
+            )
+
+    def test_requires_pristine_pool(self):
+        pool = make_pool()
+        dirty = np.zeros((pool.num_nodes, pool.num_types), dtype=np.int64)
+        dirty[0, 0] = 1
+        pool.allocate(dirty)
+        with pytest.raises(ValidationError, match="pristine"):
+            make_proc_fabric(pool)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValidationError, match="policy"):
+            make_proc_fabric(make_pool(), policy="simplex-magic")
+
+
+class TestLifecycle:
+    """One spawn session exercising the whole client surface."""
+
+    def test_submit_release_checkpoint_shutdown(self):
+        pool = make_pool(seed=7)
+        fabric = make_proc_fabric(pool)
+        try:
+            demands = trace_demands(pool, 12, seed=3)
+            tickets = [
+                fabric.submit(PlaceRequest(demand=d, request_id=i))
+                for i, d in enumerate(demands)
+            ]
+            pump(fabric)
+            decisions = [t.result(10.0) for t in tickets]
+            assert all(d is not None for d in decisions)
+            placed = [d for d in decisions if d.placed]
+            assert placed, "trace should place at least one request"
+
+            # Duplicate ids are rejected without touching a worker.
+            dup = fabric.submit(
+                PlaceRequest(demand=demands[0], request_id=placed[0].request_id)
+            )
+            verdict = dup.result(5.0)
+            assert verdict.status == DecisionStatus.REJECTED
+            assert "duplicate" in verdict.detail
+
+            fabric.verify_consistency()
+
+            doc = fabric.checkpoint_doc()
+            assert doc["kind"] == "sharded-fabric"
+            assert len(doc["shards"]) == 2
+            assert len(doc["owners"]) == len(placed)
+
+            rid = placed[0].request_id
+            resp = fabric.release(ReleaseRequest(request_id=rid))
+            assert resp.released
+            assert fabric.owner_of(rid) is None
+            assert not fabric.release(ReleaseRequest(request_id=rid)).released
+            assert (
+                fabric.release(ReleaseRequest(request_id=424242)).status
+                == DecisionStatus.UNKNOWN_LEASE
+            )
+
+            fabric.verify_consistency()
+            stats = fabric.stats
+            assert stats.placed == len(placed)
+            assert stats.released == 1
+        finally:
+            codes = fabric.shutdown()
+        assert codes and all(code == 0 for code in codes.values()), codes
+
+    def test_global_allocated_matches_leases(self):
+        pool = make_pool(seed=5)
+        fabric = make_proc_fabric(pool)
+        try:
+            for i, d in enumerate(trace_demands(pool, 8, seed=5)):
+                fabric.submit(PlaceRequest(demand=d, request_id=i))
+            pump(fabric)
+            total = int(fabric.global_allocated().sum())
+            doc = fabric.checkpoint_doc()
+            from_leases = sum(
+                count
+                for shard_doc in doc["shards"]
+                for lease in shard_doc["leases"]
+                for _, _, count in lease["placements"]
+            )
+            assert total == from_leases
+        finally:
+            fabric.shutdown()
+
+
+class TestDecisionParity:
+    def test_zero_death_run_matches_in_process_fabric(self):
+        """Same trace, same pool, same plan — byte-for-byte same decisions."""
+        seed, shards = 13, 2
+        demands = trace_demands(make_pool(seed=seed), TRACE_LEN, seed=21)
+
+        def run(fabric_factory):
+            pool = make_pool(seed=seed)
+            fabric = fabric_factory(pool)
+            try:
+                tickets = {}
+                released = []
+                for i, d in enumerate(demands):
+                    tickets[i] = fabric.submit(
+                        PlaceRequest(demand=d, request_id=i)
+                    )
+                    # Interleave decision pumping and releases so spillover
+                    # pressure differs across the trace, not just at the end.
+                    if i % 7 == 6:
+                        pump(fabric)
+                        placed_so_far = [
+                            r
+                            for r, t in tickets.items()
+                            if (v := t.result(0.2)) is not None and v.placed
+                        ]
+                        victims = [
+                            r for r in placed_so_far if r % 3 == 0
+                        ][:2]
+                        for r in victims:
+                            if fabric.owner_of(r) is not None:
+                                fabric.release(ReleaseRequest(request_id=r))
+                                released.append(r)
+                pump(fabric)
+                # Requests the shards can't currently fit stay queued at a
+                # frozen clock; "still pending" is itself an outcome both
+                # execution models must agree on.
+                decisions, pending = {}, []
+                for r, t in tickets.items():
+                    verdict = t.result(0.2)
+                    if verdict is None:
+                        pending.append(r)
+                    else:
+                        decisions[r] = essence(verdict)
+                for r in pending:
+                    assert fabric.cancel(r)
+                checkpoint = fabric.checkpoint_doc()
+                return decisions, pending, released, checkpoint
+            finally:
+                if hasattr(fabric, "shutdown"):
+                    fabric.shutdown()
+
+        proc_decisions, proc_pending, proc_released, proc_doc = run(
+            lambda pool: make_proc_fabric(pool, shards=shards)
+        )
+        ref_decisions, ref_pending, ref_released, ref_doc = run(
+            lambda pool: ShardedPlacementFabric(
+                pool,
+                plan=RackGroupPlan(shards),
+                config=FabricConfig(service=ServiceConfig(batch_window=0.0)),
+                obs=MetricsRegistry(),
+            )
+        )
+
+        assert proc_released == ref_released
+        assert proc_pending == ref_pending
+        assert proc_decisions == ref_decisions
+        # End state matches too: same owners, same per-shard leases.
+        assert proc_doc["owners"] == ref_doc["owners"]
+        for proc_shard, ref_shard in zip(proc_doc["shards"], ref_doc["shards"]):
+            assert proc_shard["leases"] == ref_shard["leases"]
+            assert proc_shard["allocated"] == ref_shard["allocated"]
+
+
+class TestKillRestore:
+    def test_sigkill_worker_is_detected_and_restored(self):
+        """SIGKILL a child mid-run; the supervisor must respawn it
+        byte-identically from the replicated checkpoint with zero lost
+        leases."""
+        pool = make_pool(seed=11)
+        sup_cfg = SupervisorConfig(
+            heartbeat_interval=0.1,
+            heartbeat_ttl=0.6,
+            lease_ttl=5.0,
+            monitor_interval=0.1,
+        )
+        with CoordinationServer() as server:
+            fabric = make_proc_fabric(
+                pool, coord_url=server.url, supervisor_config=sup_cfg
+            )
+            backend = NetworkedCoordinationBackend.from_url(server.url)
+            supervisor = ProcSupervisor(fabric, backend, sup_cfg)
+            try:
+                tickets = {
+                    i: fabric.submit(PlaceRequest(demand=d, request_id=i))
+                    for i, d in enumerate(trace_demands(pool, 10, seed=1))
+                }
+                pump(fabric)
+                fabric.sync_workers()
+                placed = {
+                    r
+                    for r, t in tickets.items()
+                    if t.result(10.0) and t.result(10.0).placed
+                }
+                assert placed
+                owners_before = {r: fabric.owner_of(r) for r in placed}
+                victim = 0
+                payload_before = backend.get_checkpoint(f"shard-{victim}")
+                assert payload_before is not None
+
+                os.kill(fabric.handles[victim].pid, signal.SIGKILL)
+
+                restored = False
+                events = []
+                deadline = time.time() + 20.0
+                while time.time() < deadline:
+                    events.extend(supervisor.monitor())
+                    if any(ev.restored for ev in events) and not fabric.down_shards:
+                        restored = True
+                        break
+                    time.sleep(0.05)
+                assert restored, f"no restore before deadline; events={events}"
+
+                death = events[0]
+                assert death.shard_id == victim
+                assert "dead" in death.reason or "heartbeat" in death.reason
+
+                # Byte-identical restore: the respawned child serves exactly
+                # the checkpointed state.
+                restored_bytes = fabric.fetch_worker_state(victim)
+                from repro.service.checkpoint import checkpoint_bytes
+
+                assert (
+                    checkpoint_bytes(restored_bytes).encode("utf-8")
+                    == payload_before
+                )
+
+                # Zero lost leases: every pre-kill owner survives the crash.
+                for r, shard in owners_before.items():
+                    assert fabric.owner_of(r) == shard, f"lost lease {r}"
+                fabric.verify_consistency()
+                supervisor.verify_consistency()
+                assert dict(supervisor.stranded_leases()) == {}
+
+                # And the respawned worker keeps serving.
+                demand = tuple(
+                    1 if i == 0 else 0 for i in range(pool.num_types)
+                )
+                t = fabric.submit(PlaceRequest(demand=demand, request_id=999))
+                pump(fabric)
+                assert t.result(10.0).status in (
+                    DecisionStatus.PLACED,
+                    DecisionStatus.REJECTED,
+                )
+            finally:
+                backend.close()
+                codes = fabric.shutdown()
+        # The victim's first incarnation died by SIGKILL; its replacement
+        # (and every untouched worker) must exit cleanly.
+        assert codes and all(code == 0 for code in codes.values()), codes
