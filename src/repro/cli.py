@@ -226,10 +226,17 @@ def _cmd_simulate(args) -> int:
 
 
 def _build_service(args):
+    """Assemble the serving stack the service flags describe.
+
+    One thin shim over :func:`repro.service.build_fabric` — the CLI's only
+    jobs are turning flags into a pool/plan/config and converting factory
+    validation errors into flag-phrased exits.
+    """
     from repro.cluster import PoolSpec, random_pool
-    from repro.core import OnlineHeuristic
-    from repro.obs import MetricsRegistry
-    from repro.service import ClusterState, PlacementService, ServiceConfig
+    from repro.service import ServiceConfig, build_fabric
+    from repro.service.shard import FabricConfig, resolve_plan
+    from repro.service.supervisor import SupervisorConfig
+    from repro.util.errors import ValidationError
 
     pool = random_pool(
         PoolSpec(racks=args.racks, nodes_per_rack=args.nodes,
@@ -238,125 +245,48 @@ def _build_service(args):
         seed=args.seed,
         distance_model=cfg.DISTANCES,
     )
-    config = ServiceConfig(
-        queue_capacity=args.queue_capacity,
-        batch_window=args.batch_window,
-        max_batch=args.max_batch,
-        enable_transfers=not args.no_transfers,
-        max_wait=args.max_wait,
+    shards = getattr(args, "shards", 0)
+    workers = getattr(args, "workers", "thread")
+    if workers == "proc" and not shards:
+        raise SystemExit("--workers proc requires --shards")
+    config = FabricConfig(
+        rebalance_interval=getattr(args, "rebalance_interval", None),
+        speculation=getattr(args, "speculation", 1),
+        service=ServiceConfig(
+            queue_capacity=args.queue_capacity,
+            batch_window=args.batch_window,
+            max_batch=args.max_batch,
+            enable_transfers=not args.no_transfers,
+            max_wait=args.max_wait,
+        ),
     )
-    if getattr(args, "shards", 0):
-        from repro.service.shard import (
-            FabricConfig,
-            ShardedPlacementFabric,
-            resolve_plan,
-        )
-
-        if getattr(args, "workers", "thread") == "proc":
-            return _build_proc_fabric(args, pool, config)
-        if getattr(args, "coord", None):
-            raise SystemExit(
-                "--coord requires --workers proc (thread workers coordinate "
-                "in-process)"
-            )
-        fabric = ShardedPlacementFabric(
+    try:
+        return build_fabric(
             pool,
-            plan=resolve_plan(args.shard_plan, args.shards),
-            config=FabricConfig(
-                rebalance_interval=args.rebalance_interval,
-                service=config,
+            resolve_plan(args.shard_plan, shards) if shards else None,
+            workers=workers,
+            config=config,
+            coord=getattr(args, "coord", None),
+            supervise=getattr(args, "supervise", False),
+            supervisor_config=SupervisorConfig(
+                heartbeat_ttl=args.heartbeat_ttl,
+                monitor_interval=args.monitor_interval,
             ),
-            obs=MetricsRegistry(),
+            codec=getattr(args, "worker_codec", None),
         )
-        if getattr(args, "supervise", False):
-            from repro.service import FabricSupervisor, SupervisorConfig
-
-            # Stashed on the fabric so serve/loadgen can start and stop the
-            # monitor alongside the fabric's own lifecycle.
-            fabric._cli_supervisor = FabricSupervisor(
-                fabric,
-                config=SupervisorConfig(
-                    heartbeat_ttl=args.heartbeat_ttl,
-                    monitor_interval=args.monitor_interval,
-                ),
-            )
-        return fabric
-    state = ClusterState.from_pool(pool)
-    return PlacementService(
-        state, policy=OnlineHeuristic(), config=config, obs=MetricsRegistry()
-    )
+    except ValidationError as exc:
+        raise SystemExit(str(exc))
 
 
-def _build_proc_fabric(args, pool, config):
-    """Out-of-process fabric for ``--workers proc`` (one child per shard)."""
-    from repro.obs import MetricsRegistry
-    from repro.service.coord.net import (
-        CoordinationServer,
-        NetworkedCoordinationBackend,
-    )
-    from repro.service.proc import ProcFabric, ProcSupervisor
-    from repro.service.shard import FabricConfig, resolve_plan
-    from repro.service.supervisor import SupervisorConfig
-
-    if args.rebalance_interval is not None:
-        raise SystemExit(
-            "--rebalance-interval is not supported with --workers proc"
-        )
-    coord_url = getattr(args, "coord", None)
-    coord_server = None
-    if coord_url == "auto":
-        # Run the coordination server inside this process; children dial it
-        # over loopback exactly as they would a `repro coordd` deployment.
-        coord_server = CoordinationServer()
-        coord_server.start()
-        coord_url = coord_server.url
-    sup_config = SupervisorConfig(
-        heartbeat_ttl=args.heartbeat_ttl,
-        monitor_interval=args.monitor_interval,
-    )
-    fabric = ProcFabric(
-        pool,
-        plan=resolve_plan(args.shard_plan, args.shards),
-        config=FabricConfig(service=config),
-        obs=MetricsRegistry(),
-        coord_url=coord_url,
-        supervisor_config=sup_config,
-    )
-    fabric._cli_coord_server = coord_server
-    if getattr(args, "supervise", False):
-        backend = (
-            NetworkedCoordinationBackend.from_url(coord_url)
-            if coord_url
-            else None
-        )
-        fabric._cli_supervisor = ProcSupervisor(fabric, backend, sup_config)
-    return fabric
-
-
-def _shutdown_service(service) -> int:
-    """Tear down a CLI-built service; returns the propagated exit code.
-
-    Thread-backed services have nothing beyond drain (already done by the
-    caller); a proc fabric additionally reaps its children — any nonzero
-    child exit code surfaces as exit code 1 — and stops an `--coord auto`
-    in-process coordination server.
-    """
-    exit_code = 0
-    supervisor = getattr(service, "_cli_supervisor", None)
-    backend = getattr(supervisor, "backend", None)
-    shutdown = getattr(service, "shutdown", None)
-    if callable(shutdown):
-        codes = shutdown()
+def _shutdown_built(built) -> int:
+    """Tear down a :class:`~repro.service.factory.BuiltFabric`; returns the
+    propagated exit code, printing any nonzero proc-worker exit codes."""
+    exit_code = built.shutdown()
+    codes = getattr(built, "worker_exit_codes", None)
+    if codes:
         bad = {s: c for s, c in codes.items() if c not in (0, None)}
         if bad:
             print(f"worker exit codes nonzero: {bad}")
-            exit_code = 1
-    close = getattr(backend, "close", None)
-    if callable(close):
-        close()
-    coord_server = getattr(service, "_cli_coord_server", None)
-    if coord_server is not None:
-        coord_server.stop()
     return exit_code
 
 
@@ -378,23 +308,23 @@ def _cmd_serve(args) -> int:
     import time
     from pathlib import Path
 
-    from repro.service import ServiceEndpoint
-
     _install_sigterm()
-    service = _build_service(args)
-    supervisor = getattr(service, "_cli_supervisor", None)
-    endpoint = ServiceEndpoint(service, host=args.host, port=args.port)
+    built = _build_service(args)
+    service = built.service
+    endpoint = built.serve(
+        host=args.host, port=args.port, transport=args.transport
+    )
     endpoint.start()
-    if supervisor is not None:
-        supervisor.start()
+    if built.supervisor is not None:
+        built.supervisor.start()
     host, port = endpoint.address
     shards = getattr(service, "num_shards", 1)
-    workers = getattr(args, "workers", "thread")
     print(f"placement service listening on {host}:{port} "
           f"({service.num_nodes} nodes, {shards} shard(s), "
-          f"{workers} workers, "
+          f"{built.workers} workers, "
+          f"{args.transport or built.transport} transport, "
           f"batch window {args.batch_window*1000:.1f} ms"
-          f"{', supervised' if supervisor is not None else ''})")
+          f"{', supervised' if built.supervisor is not None else ''})")
     exit_code = 0
     try:
         if args.duration is not None:
@@ -405,8 +335,8 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("\ndraining...")
     finally:
-        if supervisor is not None:
-            supervisor.stop()
+        if built.supervisor is not None:
+            built.supervisor.stop()
         endpoint.stop()
         if args.checkpoint:
             Path(args.checkpoint).write_text(
@@ -414,7 +344,7 @@ def _cmd_serve(args) -> int:
             )
             print(f"wrote checkpoint to {args.checkpoint}")
         stats = service.stats
-        exit_code = _shutdown_service(service)
+        exit_code = _shutdown_built(built)
     print(format_table(
         ["metric", "value"],
         [
@@ -436,11 +366,18 @@ def _cmd_loadgen(args) -> int:
     from repro.service import LoadGenConfig, run_loadgen
 
     _install_sigterm()
-    service = _build_service(args)
-    supervisor = getattr(service, "_cli_supervisor", None)
-    service.start()
-    if supervisor is not None:
-        supervisor.start()
+    if args.transport and args.mode != "closed":
+        raise SystemExit(
+            "--transport requires --mode closed (the wire 'place' op blocks "
+            "per connection, which would distort an open-loop arrival clock "
+            "and serialize the closed-events driver to one in-flight request)"
+        )
+    if args.codec != "json" and not args.transport:
+        raise SystemExit("--codec requires --transport (it selects the wire "
+                         "format the client negotiates)")
+    built = _build_service(args)
+    service = built.service
+    built.start()
     config = LoadGenConfig(
         num_requests=args.requests,
         mode=args.mode,
@@ -449,16 +386,34 @@ def _cmd_loadgen(args) -> int:
         mean_hold=args.hold,
         demand_high=args.demand_high,
         seed=args.seed,
-        profile=args.profile,
+        profile=args.profile and not args.transport,
     )
     exit_code = 0
+    endpoint = None
+    target_desc = "in-process service"
     try:
-        report = run_loadgen(service, config)
+        if args.transport:
+            from repro.service import WireLoadClient
+
+            endpoint = built.serve(port=0, transport=args.transport)
+            endpoint.start()
+            host, port = endpoint.address
+            with WireLoadClient(
+                host, port, num_types=service.num_types, codec=args.codec
+            ) as client:
+                report = run_loadgen(client, config)
+                target_desc = (f"{args.transport} transport, "
+                               f"{client.codec} codec")
+        else:
+            report = run_loadgen(service, config)
     finally:
-        if supervisor is not None:
-            supervisor.stop()
-        service.drain()
-        exit_code = _shutdown_service(service)
+        if built.supervisor is not None:
+            built.supervisor.stop()
+        if endpoint is not None:
+            endpoint.stop()
+        else:
+            service.drain()
+        exit_code = _shutdown_built(built)
     print(format_table(
         ["metric", "value"],
         [
@@ -478,7 +433,7 @@ def _cmd_loadgen(args) -> int:
             ["mean cluster distance", report.mean_distance],
             ["transfer gain", report.transfer_gain],
         ],
-        title=f"Load generator — {report.mode}-loop over in-process service",
+        title=f"Load generator — {report.mode}-loop over {target_desc}",
     ))
     if report.profile is not None:
         phases = report.profile["phases"]
@@ -670,15 +625,26 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--rebalance-interval", type=float, default=None,
                        help="seconds between cross-shard rebalance sweeps "
                             "(default: off)")
-        p.add_argument("--workers", choices=["thread", "proc"],
+        p.add_argument("--workers", choices=["thread", "aio", "proc"],
                        default="thread",
                        help="where shard workers run: threads in this "
-                            "process, or one spawned child process per "
-                            "shard (requires --shards)")
+                            "process (thread/aio — aio also defaults the "
+                            "serving transport to the asyncio endpoint), or "
+                            "one spawned child process per shard (proc, "
+                            "requires --shards)")
+        p.add_argument("--speculation", type=int, default=1,
+                       help="speculative placement fan-out for contended "
+                            "requests (1 = off): admit on up to this many "
+                            "top-ranked shards, first commit wins")
         p.add_argument("--coord", default=None, metavar="URL",
                        help="coordination server for proc workers: "
                             "tcp://HOST:PORT of a `repro coordd`, or "
                             "'auto' to run one in-process")
+        p.add_argument("--worker-codec", choices=["auto", "json", "binary"],
+                       default=None,
+                       help="wire codec for proc workers' cmd/events "
+                            "channels (default: auto — binary when both "
+                            "ends speak it)")
         p.add_argument("--supervise", action="store_true",
                        help="run shard workers under the fault-tolerant "
                             "supervisor (requires --shards)")
@@ -691,6 +657,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     pserve = add("serve", _cmd_serve, "run the online placement service (TCP)")
     add_service_args(pserve)
+    pserve.add_argument("--transport", choices=["thread", "aio"], default=None,
+                        help="serving transport: thread-per-connection or "
+                             "one asyncio loop (default: aio when --workers "
+                             "aio, else thread)")
     pserve.add_argument("--host", default="127.0.0.1")
     pserve.add_argument("--port", type=int, default=0,
                         help="listen port (0 = ephemeral)")
@@ -701,8 +671,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     pl = add("loadgen", _cmd_loadgen, "drive an in-process service with load")
     add_service_args(pl)
+    pl.add_argument("--transport", choices=["thread", "aio"], default=None,
+                    help="serve the built fabric on loopback via this "
+                         "transport and drive it over TCP instead of "
+                         "in-process (closed-loop only)")
+    pl.add_argument("--codec", choices=["json", "binary", "auto"],
+                    default="json",
+                    help="wire codec to negotiate when driving over "
+                         "--transport")
     pl.add_argument("--requests", type=int, default=200)
-    pl.add_argument("--mode", choices=["open", "closed"], default="open")
+    pl.add_argument("--mode", choices=["open", "closed", "closed-events"],
+                    default="open",
+                    help="open-loop Poisson arrivals, thread-per-client "
+                         "closed loop, or the event-driven closed loop "
+                         "(same workload, single driver thread — the "
+                         "tail-latency methodology, see docs/PERF.md)")
     pl.add_argument("--rate", type=float, default=500.0,
                     help="open-loop offered arrival rate (req/s)")
     pl.add_argument("--concurrency", type=int, default=8,

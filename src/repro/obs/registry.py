@@ -210,9 +210,14 @@ class MetricFamily:
         self._children: dict[tuple[str, ...], object] = {}
 
     def _make_child(self):
+        # Each child carries its own lock (lock striping): a busy counter
+        # cell never serializes against unrelated instruments. The shared
+        # registry lock guards only the children/family maps — never the
+        # hot inc/set/observe path. Value reads stay lock-free (a single
+        # attribute read is atomic enough for exposition).
         if self.kind == HISTOGRAM:
-            return Histogram(self._lock, self.buckets)
-        return _KIND_FACTORY[self.kind](self._lock)
+            return Histogram(threading.Lock(), self.buckets)
+        return _KIND_FACTORY[self.kind](threading.Lock())
 
     def labels(self, **labelvalues):
         """Child instrument for one label-value combination (created lazily)."""

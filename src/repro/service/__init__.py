@@ -22,11 +22,25 @@ Modules
     optimization, graceful drain.
 ``checkpoint``
     JSON snapshot/restore of the full allocator state.
+``transports``
+    The pluggable :class:`Transport`/:class:`Codec` protocol pair and the
+    transport registry (``resolve_transport``).
 ``transport``
-    Line-delimited-JSON TCP endpoint and client (stdlib only).
+    The thread-per-connection transport: TCP endpoint and blocking client
+    (stdlib only), codec-negotiating.
+``aio``
+    The asyncio transport: one event loop multiplexing every connection,
+    bounded per-connection write buffers, cross-connection admission
+    batching.
+``codec``
+    Wire codecs: line JSON and the compact binary framing, negotiated per
+    connection at the hello exchange.
+``factory``
+    :func:`build_fabric` — the one construction path for every serving
+    topology (thread/aio/proc workers, optional supervision/coordination).
 ``loadgen``
     Open-loop Poisson and closed-loop load generators with latency
-    percentiles.
+    percentiles; :class:`WireLoadClient` drives a served endpoint over TCP.
 ``shard``
     :class:`ShardedPlacementFabric` — rack-aligned pool partitions, a
     scoring router with spillover, cross-shard rebalancing, and
@@ -79,7 +93,30 @@ from repro.service.checkpoint import (
     state_from_checkpoint,
 )
 from repro.service.transport import ServiceClient, ServiceEndpoint
-from repro.service.loadgen import LoadGenConfig, LoadReport, run_loadgen
+from repro.service.transports import (
+    TRANSPORTS,
+    Codec,
+    Connection,
+    ServerHandle,
+    Transport,
+    resolve_transport,
+)
+from repro.service.codec import (
+    CODECS,
+    SUPPORTED_CODECS,
+    BinaryCodec,
+    JsonLineCodec,
+    choose_codec,
+    resolve_codec,
+)
+from repro.service.aio import AioServiceEndpoint
+from repro.service.factory import BuiltFabric, build_fabric
+from repro.service.loadgen import (
+    LoadGenConfig,
+    LoadReport,
+    WireLoadClient,
+    run_loadgen,
+)
 from repro.service.coord import (
     CoordinationBackend,
     InMemoryCoordinationBackend,
@@ -140,8 +177,24 @@ __all__ = [
     "state_from_checkpoint",
     "ServiceClient",
     "ServiceEndpoint",
+    "AioServiceEndpoint",
+    "Transport",
+    "Codec",
+    "Connection",
+    "ServerHandle",
+    "TRANSPORTS",
+    "resolve_transport",
+    "CODECS",
+    "SUPPORTED_CODECS",
+    "BinaryCodec",
+    "JsonLineCodec",
+    "choose_codec",
+    "resolve_codec",
+    "BuiltFabric",
+    "build_fabric",
     "LoadGenConfig",
     "LoadReport",
+    "WireLoadClient",
     "run_loadgen",
     "CoordinationBackend",
     "CoordinationServer",

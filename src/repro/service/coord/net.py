@@ -45,12 +45,14 @@ from repro.service.coord import (
     LeaseRecord,
     WorkerRecord,
 )
+from repro.service.transports import TcpServerHandle, warn_legacy_construction
 from repro.util.errors import TransportError, ValidationError
 
 __all__ = [
     "CoordinationServer",
     "NetworkedCoordinationBackend",
     "parse_coord_url",
+    "serve_coordination",
 ]
 
 
@@ -101,13 +103,21 @@ class _CoordHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # noqa: D102 - framework hook
         backend = self.server.backend  # type: ignore[attr-defined]
         try:
-            wire.expect_hello(self.rfile, role="coord-client")
-            wire.send_hello(self.wfile, role="coord-server")
+            hello = wire.expect_hello(self.rfile, role="coord-client")
+            # Hellos are always legacy frames; the codec the client offered
+            # (nothing, for pre-codec clients) governs every frame after.
+            codec = wire.negotiate_codec(hello)
+            wire.send_hello(
+                self.wfile,
+                role="coord-server",
+                codec=codec,
+                codecs=wire.offer_codecs(),
+            )
         except (TransportError, OSError):
             return
         while True:
             try:
-                frame = wire.read_frame(self.rfile)
+                frame = wire.read_op(self.rfile, codec=codec)
             except (TransportError, OSError):
                 return
             if frame is None:
@@ -123,7 +133,7 @@ class _CoordHandler(socketserver.StreamRequestHandler):
                     "error": f"internal error: {exc}",
                 }, None
             try:
-                wire.write_frame(self.wfile, reply, reply_blob)
+                wire.write_op(self.wfile, reply, reply_blob, codec=codec)
             except (TransportError, OSError):
                 return
 
@@ -183,17 +193,24 @@ class _CoordHandler(socketserver.StreamRequestHandler):
         raise ValidationError(f"unknown coordination op {op!r}")
 
 
-class _CoordServer(socketserver.ThreadingTCPServer):
-    allow_reuse_address = True
-    daemon_threads = True
+def serve_coordination(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    backend: "InMemoryCoordinationBackend | None" = None,
+) -> "CoordinationServer":
+    """Canonical constructor for a coordination server (not yet started)."""
+    return CoordinationServer(host, port, backend, _via_transport=True)
 
 
 class CoordinationServer:
     """A stdlib-TCP coordination service around the in-memory backend.
 
     The authoritative state is an :class:`InMemoryCoordinationBackend`
-    (injectable for tests); every connection is handled by a daemon thread.
-    Use as a context manager or call :meth:`start`/:meth:`stop`.
+    (injectable for tests); connection handling rides the shared threaded
+    substrate (:class:`~repro.service.transports.TcpServerHandle`), one
+    daemon thread per connection. Use as a context manager or call
+    :meth:`start`/:meth:`stop`. Build via :func:`serve_coordination`;
+    direct construction still works but is the deprecated spelling.
     """
 
     def __init__(
@@ -201,15 +218,24 @@ class CoordinationServer:
         host: str = "127.0.0.1",
         port: int = 0,
         backend: "InMemoryCoordinationBackend | None" = None,
+        *,
+        _via_transport: bool = False,
     ) -> None:
+        if not _via_transport:
+            warn_legacy_construction(type(self), "serve_coordination(host, port, ...)")
         self.backend = backend if backend is not None else InMemoryCoordinationBackend()
-        self._server = _CoordServer((host, port), _CoordHandler)
-        self._server.backend = self.backend  # type: ignore[attr-defined]
-        self._thread: "threading.Thread | None" = None
+        self._handle = TcpServerHandle(
+            _CoordHandler,
+            host=host,
+            port=port,
+            context={"backend": self.backend},
+            thread_name="coordination-server",
+            poll_interval=0.05,
+        )
 
     @property
     def address(self) -> "tuple[str, int]":
-        return self._server.server_address[:2]
+        return self._handle.address
 
     @property
     def url(self) -> str:
@@ -217,24 +243,13 @@ class CoordinationServer:
         return f"tcp://{host}:{port}"
 
     def start(self) -> "CoordinationServer":
-        if self._thread is not None:
-            return self
-        self._thread = threading.Thread(
-            target=self._server.serve_forever,
-            kwargs={"poll_interval": 0.05},
-            name="coordination-server",
-            daemon=True,
-        )
-        self._thread.start()
+        self._handle.start()
         return self
 
     def stop(self) -> None:
-        if self._thread is None:
+        if not self._handle.running:
             return
-        self._server.shutdown()
-        self._server.server_close()
-        self._thread.join(timeout=5.0)
-        self._thread = None
+        self._handle.stop()
 
     def __enter__(self) -> "CoordinationServer":
         return self.start()
@@ -250,6 +265,10 @@ class NetworkedCoordinationBackend:
     One persistent connection guarded by a lock; a send that hits a dead
     socket redials once before giving up. Every protocol method maps to one
     RPC, and checkpoint payloads travel as binary blobs.
+
+    ``codec="auto"`` (default) offers the binary framing at the hello and
+    uses whatever the server picks — JSON against pre-codec servers;
+    ``codec="json"`` pins the legacy framing and skips the offer entirely.
     """
 
     def __init__(
@@ -259,10 +278,17 @@ class NetworkedCoordinationBackend:
         connect_timeout: float = 5.0,
         op_timeout: float = 10.0,
         obs=None,
+        codec: str = "auto",
     ) -> None:
+        if codec not in ("auto", "json", "binary"):
+            raise ValidationError(
+                f"codec must be 'auto', 'json' or 'binary', got {codec!r}"
+            )
         self._addr = (host, port)
         self._connect_timeout = connect_timeout
         self._op_timeout = op_timeout
+        self._codec_pref = codec
+        self._codec: "str | None" = None
         self._lock = threading.Lock()
         self._sock: "socket.socket | None" = None
         self._rfile = None
@@ -297,12 +323,22 @@ class NetworkedCoordinationBackend:
         rfile = sock.makefile("rb")
         wfile = sock.makefile("wb")
         try:
-            wire.send_hello(wfile, role="coord-client")
-            wire.expect_hello(rfile, role="coord-server")
+            if self._codec_pref == "json":
+                wire.send_hello(wfile, role="coord-client")
+            else:
+                offer = ["binary"] if self._codec_pref == "binary" else wire.offer_codecs()
+                wire.send_hello(wfile, role="coord-client", codecs=offer)
+            hello = wire.expect_hello(rfile, role="coord-server")
+            chosen = hello.get("codec", "json")
+            if self._codec_pref == "binary" and chosen != "binary":
+                raise TransportError(
+                    f"coordination server negotiated {chosen!r}, binary required"
+                )
         except Exception:
             sock.close()
             raise
         self._sock, self._rfile, self._wfile = sock, rfile, wfile
+        self._codec = chosen
 
     def _close_locked(self) -> None:
         for closable in (self._rfile, self._wfile, self._sock):
@@ -336,7 +372,9 @@ class NetworkedCoordinationBackend:
                             ) from exc
                         continue
                 try:
-                    reply = wire.rpc(self._rfile, self._wfile, doc, blob)
+                    reply = wire.rpc(
+                        self._rfile, self._wfile, doc, blob, codec=self._codec
+                    )
                     self._m_rpcs.labels(op=op).inc()
                     self._m_latency.observe(time.monotonic() - started)
                     return reply

@@ -1,0 +1,306 @@
+"""One construction path for every serving topology: :func:`build_fabric`.
+
+The CLI, examples, and tests previously assembled services three divergent
+ways — a bare :class:`~repro.service.server.PlacementService`, an in-process
+:class:`~repro.service.shard.ShardedPlacementFabric`, and an out-of-process
+:class:`~repro.service.proc.ProcFabric`, each with its own supervisor and
+coordination wiring. :func:`build_fabric` folds those into one factory keyed
+by ``workers``:
+
+* ``"thread"`` — in-process shard services on background threads (or a
+  single unsharded service when *plan* is ``None``), served over the
+  hardened thread-per-connection transport;
+* ``"aio"`` — the same in-process fabric, but :meth:`BuiltFabric.serve`
+  binds the asyncio endpoint (one loop multiplexing every connection,
+  cross-connection admission batching through ``submit_batch``);
+* ``"proc"`` — one child process per shard, optionally registered with a
+  coordination server (``coord="auto"`` starts one in-process) and watched
+  by a respawning supervisor.
+
+The returned :class:`BuiltFabric` owns the whole assembly — fabric,
+supervisor, coordination server — and tears it down in the right order in
+:meth:`BuiltFabric.shutdown`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.resources import ResourcePool
+from repro.util.errors import ValidationError
+
+__all__ = ["WORKER_KINDS", "BuiltFabric", "build_fabric"]
+
+#: Accepted ``workers=`` values, in documentation order.
+WORKER_KINDS = ("thread", "aio", "proc")
+
+
+@dataclass
+class BuiltFabric:
+    """Everything :func:`build_fabric` assembled, with one lifecycle.
+
+    ``service`` duck-types the placement interface every worker kind shares
+    (``submit``/``release``/``cancel``/``start``/``drain``/``stop``);
+    ``supervisor`` and ``coord_server`` are present only when requested.
+    ``transport`` is the default serving transport for this assembly —
+    :meth:`serve` uses it unless overridden.
+    """
+
+    service: object
+    workers: str
+    transport: str
+    supervisor: "object | None" = None
+    coord_server: "object | None" = None
+    #: Per-shard child exit codes, populated by :meth:`shutdown` for proc
+    #: workers (``None`` until then, and for in-process workers).
+    worker_exit_codes: "dict | None" = None
+
+    def start(self) -> "BuiltFabric":
+        """Start the fabric's background loops and the supervisor, if any."""
+        self.service.start()
+        if self.supervisor is not None:
+            self.supervisor.start()
+        return self
+
+    def serve(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        transport: "str | None" = None,
+        **options,
+    ):
+        """Bind a serving endpoint around the fabric (not yet started).
+
+        Uses the assembly's default transport (``aio`` for
+        ``workers="aio"``, ``thread`` otherwise) unless *transport*
+        overrides it.
+        """
+        from repro.service.transports import resolve_transport
+
+        chosen = resolve_transport(transport or self.transport)
+        return chosen.serve(self.service, host=host, port=port, **options)
+
+    def shutdown(self) -> int:
+        """Stop everything in dependency order; returns a process exit code.
+
+        Supervisor first (no respawns during teardown), then the fabric —
+        a proc fabric reaps its children, and any nonzero child exit code
+        turns into exit code 1 — then the coordination server.
+        """
+        exit_code = 0
+        if self.supervisor is not None:
+            self.supervisor.stop()
+            backend = getattr(self.supervisor, "backend", None)
+            close = getattr(backend, "close", None)
+            if callable(close):
+                close()
+        shutdown = getattr(self.service, "shutdown", None)
+        if callable(shutdown):
+            self.worker_exit_codes = codes = shutdown()
+            if any(c not in (0, None) for c in codes.values()):
+                exit_code = 1
+        else:
+            self.service.stop()
+        if self.coord_server is not None:
+            self.coord_server.stop()
+        return exit_code
+
+
+def build_fabric(
+    pool: ResourcePool,
+    plan=None,
+    *,
+    workers: str = "thread",
+    config=None,
+    coord: "str | None" = None,
+    supervise: bool = False,
+    supervisor_config=None,
+    policy=None,
+    obs=None,
+    codec: "str | None" = None,
+) -> BuiltFabric:
+    """Assemble a serving fabric over *pool*; see the module docstring.
+
+    Parameters
+    ----------
+    pool:
+        The physical resource pool to serve.
+    plan:
+        How to shard it: a :class:`~repro.service.shard.plan.ShardPlan`, an
+        ``int`` (that many rack-group shards), or ``None`` for a single
+        unsharded service (proc workers have no unsharded mode — ``None``
+        falls through to the proc fabric's default by-rack plan).
+    workers:
+        ``"thread"``, ``"aio"``, or ``"proc"`` — see :data:`WORKER_KINDS`.
+    config:
+        A :class:`~repro.service.shard.FabricConfig`, or a bare
+        :class:`~repro.service.server.ServiceConfig` which is wrapped into
+        one (fabric defaults for everything else).
+    coord:
+        Coordination server URL for proc workers: ``tcp://HOST:PORT``,
+        ``"auto"`` to start one in-process, or ``None``. Thread/aio workers
+        coordinate in-process and refuse a URL.
+    supervise:
+        Attach (but do not start) the matching supervisor:
+        :class:`~repro.service.supervisor.FabricSupervisor` in-process,
+        :class:`~repro.service.proc.ProcSupervisor` for children.
+    supervisor_config / policy / obs:
+        Forwarded to the underlying constructors. *policy* is a wire policy
+        name (any path) or a zero-arg policy factory (in-process paths
+        only — arbitrary code never crosses the proc boundary); ``None``
+        picks each path's default.
+    codec:
+        Wire codec for proc workers' cmd/events channels (``"auto"``,
+        ``"json"``, or ``"binary"`` — see
+        :class:`~repro.service.proc.ProcFabric`). In-process workers have
+        no inter-process wire, so anything but ``None`` is refused there;
+        their *serving* codec is negotiated per client connection instead.
+    """
+    from repro.obs import MetricsRegistry
+    from repro.service.server import ServiceConfig
+    from repro.service.shard import FabricConfig, RackGroupPlan
+    from repro.service.shard.plan import ShardAssignment, ShardPlan
+
+    if workers not in WORKER_KINDS:
+        raise ValidationError(
+            f"unknown workers kind {workers!r}; expected one of {WORKER_KINDS}"
+        )
+    if isinstance(plan, int):
+        plan = RackGroupPlan(plan) if plan > 0 else None
+    if plan is not None and not isinstance(plan, (ShardPlan, ShardAssignment)):
+        raise ValidationError(
+            f"plan must be a ShardPlan, a shard count, or None, got {plan!r}"
+        )
+    if isinstance(config, ServiceConfig):
+        config = FabricConfig(service=config)
+    if config is None:
+        config = FabricConfig()
+    if not isinstance(config, FabricConfig):
+        raise ValidationError(
+            f"config must be a FabricConfig or ServiceConfig, got {config!r}"
+        )
+    if obs is None:
+        obs = MetricsRegistry()
+    transport = "aio" if workers == "aio" else "thread"
+
+    if workers == "proc":
+        return _build_proc(
+            pool, plan, config, coord, supervise, supervisor_config,
+            policy, obs, transport, codec,
+        )
+    if coord is not None:
+        raise ValidationError(
+            "coord requires proc workers (thread/aio workers coordinate "
+            "in-process)"
+        )
+    if codec is not None:
+        raise ValidationError(
+            "codec applies to proc workers only (in-process workers "
+            "negotiate the serving codec per client connection)"
+        )
+    if plan is None:
+        if supervise:
+            raise ValidationError(
+                "supervise requires a sharded fabric (pass a plan)"
+            )
+        from repro.core import OnlineHeuristic
+        from repro.service.server import PlacementService
+        from repro.service.state import ClusterState
+
+        factory = _resolve_policy_factory(policy) or OnlineHeuristic
+        service = PlacementService(
+            ClusterState.from_pool(pool),
+            policy=factory(),
+            config=config.service,
+            obs=obs,
+        )
+        return BuiltFabric(service=service, workers=workers, transport=transport)
+
+    from repro.service.shard import ShardedPlacementFabric
+
+    fabric = ShardedPlacementFabric(
+        pool,
+        plan=plan,
+        policy_factory=_resolve_policy_factory(policy),
+        config=config,
+        obs=obs,
+    )
+    supervisor = None
+    if supervise:
+        from repro.service.supervisor import FabricSupervisor
+
+        supervisor = FabricSupervisor(fabric, config=supervisor_config)
+    return BuiltFabric(
+        service=fabric,
+        workers=workers,
+        transport=transport,
+        supervisor=supervisor,
+    )
+
+
+def _resolve_policy_factory(policy):
+    """A zero-arg policy factory from *policy* (name, factory, or ``None``)."""
+    if policy is None or callable(policy):
+        return policy
+    from repro.service.proc.worker import POLICY_REGISTRY
+
+    factory = POLICY_REGISTRY.get(policy)
+    if factory is None:
+        raise ValidationError(
+            f"unknown policy {policy!r}; expected a zero-arg factory or one "
+            f"of {sorted(POLICY_REGISTRY)}"
+        )
+    return factory
+
+
+def _build_proc(
+    pool, plan, config, coord, supervise, supervisor_config, policy, obs,
+    transport, codec,
+) -> BuiltFabric:
+    from repro.service.coord.net import (
+        NetworkedCoordinationBackend,
+        serve_coordination,
+    )
+    from repro.service.proc import ProcFabric, ProcSupervisor
+
+    if policy is not None and not isinstance(policy, str):
+        raise ValidationError(
+            "proc workers take a wire policy name (arbitrary code never "
+            "crosses the process boundary)"
+        )
+    coord_server = None
+    coord_url = coord
+    if coord == "auto":
+        coord_server = serve_coordination()
+        coord_server.start()
+        coord_url = coord_server.url
+    kwargs = {}
+    if policy is not None:
+        kwargs["policy"] = policy
+    if codec is not None:
+        kwargs["codec"] = codec
+    fabric = ProcFabric(
+        pool,
+        plan=plan,
+        config=config,
+        obs=obs,
+        coord_url=coord_url,
+        supervisor_config=supervisor_config,
+        **kwargs,
+    )
+    supervisor = None
+    if supervise:
+        backend = (
+            NetworkedCoordinationBackend.from_url(coord_url)
+            if coord_url
+            else None
+        )
+        supervisor = ProcSupervisor(fabric, backend, supervisor_config)
+    return BuiltFabric(
+        service=fabric,
+        workers="proc",
+        transport=transport,
+        supervisor=supervisor,
+        coord_server=coord_server,
+    )

@@ -9,7 +9,19 @@ Two standard shapes from serving-systems practice:
   in flight (submit → decision → hold → release → repeat), which measures
   sustainable throughput at bounded concurrency.
 
-Both report throughput, acceptance rate, decision-latency percentiles
+The closed loop comes in two drivers. ``"closed"`` runs one thread per
+logical client — faithful to how independent callers behave, but on small
+hosts the client threads themselves contend with the service's scheduler
+threads for the GIL, and that harness interference lands in the measured
+*server* tail (a scheduler waiting behind N runnable client threads can
+stall for N × the interpreter switch interval before it even sees a
+drained batch). ``"closed-events"`` applies the same workload — identical
+demands, holds, seeds, and in-flight bound — from a single event-driven
+thread that submits the next request as each decision callback fires, so
+the tail percentiles measure the serving path rather than the harness
+(see ``docs/PERF.md``).
+
+All modes report throughput, acceptance rate, decision-latency percentiles
 (p50/p95/p99), and the mean committed cluster distance. Placed leases are
 held for an exponential service time and then released, so the generator
 exercises the allocate *and* release paths and the pool reaches a steady
@@ -19,6 +31,7 @@ state instead of simply filling up.
 from __future__ import annotations
 
 import heapq
+import queue
 import threading
 import time
 from dataclasses import dataclass
@@ -27,11 +40,14 @@ from repro.analysis.stats import percentiles
 from repro.obs.registry import MetricsRegistry
 from repro.service.api import DecisionStatus, PlaceRequest, ReleaseRequest
 from repro.service.server import PlacementService, Ticket
-from repro.util.errors import ValidationError
+from repro.util.errors import ReproError, ValidationError
 from repro.util.rng import ensure_rng
 
 OPEN_LOOP = "open"
 CLOSED_LOOP = "closed"
+CLOSED_EVENTS = "closed-events"
+
+MODES = (OPEN_LOOP, CLOSED_LOOP, CLOSED_EVENTS)
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,9 +75,9 @@ class LoadGenConfig:
     profile: bool = False
 
     def __post_init__(self) -> None:
-        if self.mode not in (OPEN_LOOP, CLOSED_LOOP):
+        if self.mode not in MODES:
             raise ValidationError(
-                f"mode must be {OPEN_LOOP!r} or {CLOSED_LOOP!r}, got {self.mode!r}"
+                f"mode must be one of {MODES}, got {self.mode!r}"
             )
         if self.num_requests < 1:
             raise ValidationError("num_requests must be >= 1")
@@ -169,6 +185,130 @@ class _Releaser:
             self._service.release(ReleaseRequest(request_id=request_id))
 
 
+class _WireTicket:
+    """Already-resolved ticket for a blocking wire round trip.
+
+    The ``place`` op blocks server-side until the decision, so by the time
+    ``submit`` returns there is nothing left to wait for; this adapter just
+    replays the :class:`~repro.service.server.Ticket` surface the load
+    generator consumes. ``decision`` is ``None`` when the round trip failed
+    (transport timeout or error) — the generator counts that as a client
+    timeout, exactly like an in-process ticket that never resolved.
+    """
+
+    __slots__ = ("request_id", "_decision")
+
+    def __init__(self, request_id: int, decision) -> None:
+        self.request_id = request_id
+        self._decision = decision
+
+    def add_done_callback(self, callback) -> None:
+        callback(self._decision)
+
+    def result(self, timeout=None):
+        return self._decision
+
+
+class _WireStats:
+    """Attribute view over the server's ``stats`` op for the final report."""
+
+    def __init__(self, doc: dict) -> None:
+        self.mean_distance = float(doc.get("mean_distance", 0.0))
+        self.transfer_gain = float(doc.get("transfer_gain", 0.0))
+
+
+class WireLoadClient:
+    """Drive a *served* endpoint with :func:`run_loadgen` over TCP.
+
+    Presents the slice of the :class:`~repro.service.server.PlacementService`
+    surface the load generator needs — ``submit``/``release``/``cancel``
+    plus the ``running``/``obs``/``num_types``/``timer``/``stats``
+    attributes — but executes every call as a wire round trip, so the
+    measured latency includes codec and transport cost. Each generator
+    thread gets its own connection (the blocking client is
+    single-stream), created lazily and negotiated with *codec*
+    (``"json"``, ``"binary"``, or ``"auto"``).
+
+    Closed-loop only: the ``place`` op blocks its connection until the
+    decision, which is exactly closed-loop semantics but would destroy an
+    open-loop arrival clock.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        num_types: int,
+        codec: str = "json",
+        op_timeout: "float | None" = None,
+    ) -> None:
+        from repro.util.timing import PhaseTimer
+
+        self._address = (host, port)
+        self._codec = codec
+        self._op_timeout = op_timeout
+        self.num_types = int(num_types)
+        self.running = True
+        self.obs = MetricsRegistry()
+        self.timer = PhaseTimer()
+        self._local = threading.local()
+        self._connections: list = []
+        self._conn_lock = threading.Lock()
+
+    def _client(self):
+        from repro.service.transports import resolve_transport
+
+        client = getattr(self._local, "client", None)
+        if client is None:
+            options = {"codec": self._codec}
+            if self._op_timeout is not None:
+                options["op_timeout"] = self._op_timeout
+            client = resolve_transport("thread").connect(*self._address, **options)
+            self._local.client = client
+            with self._conn_lock:
+                self._connections.append(client)
+        return client
+
+    @property
+    def codec(self) -> str:
+        """The codec this thread's connection negotiated."""
+        return self._client().codec
+
+    def submit(self, request: PlaceRequest) -> _WireTicket:
+        try:
+            decision = self._client().place(request)
+        except ReproError:
+            # Timed out or transport failure: surface as an unresolved
+            # ticket; the server withdraws a still-queued request itself.
+            return _WireTicket(request.request_id, None)
+        return _WireTicket(request.request_id, decision)
+
+    def release(self, request: ReleaseRequest):
+        return self._client().release(request.request_id)
+
+    def cancel(self, request_id: int) -> bool:
+        # A failed place round trip is already withdrawn server-side
+        # (the endpoint cancels before giving up); nothing to do here.
+        return False
+
+    @property
+    def stats(self) -> _WireStats:
+        return _WireStats(self._client().stats())
+
+    def close(self) -> None:
+        with self._conn_lock:
+            connections, self._connections = self._connections, []
+        for client in connections:
+            client.close()
+
+    def __enter__(self) -> "WireLoadClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def _random_demands(config: LoadGenConfig, num_types: int, rng):
     demands = []
     for _ in range(config.num_requests):
@@ -238,6 +378,39 @@ def run_loadgen(service: PlacementService, config: LoadGenConfig) -> LoadReport:
             tickets.append(ticket)
             tickets_by_index[index] = ticket
         decisions = [t.result(timeout=config.decision_timeout) for t in tickets]
+    elif config.mode == CLOSED_EVENTS:
+        # Same closed-loop workload, one driver thread: keep `concurrency`
+        # requests in flight, submitting the next as each decision callback
+        # arrives, so the harness never competes with the service's
+        # scheduler threads for the interpreter.
+        decisions = [None] * len(demands)
+        done: "queue.Queue[tuple[int, object]]" = queue.Queue()
+        next_index = 0
+
+        def submit_next() -> None:
+            nonlocal next_index
+            if next_index >= len(demands):
+                return
+            i = next_index
+            next_index += 1
+            ticket = service.submit(PlaceRequest(demand=demands[i]))
+            ticket.add_done_callback(release_on_placement(holds[i]))
+            ticket.add_done_callback(lambda d, i=i: done.put((i, d)))
+            tickets_by_index[i] = ticket
+
+        for _ in range(min(config.concurrency, len(demands))):
+            submit_next()
+        completed = 0
+        while completed < len(demands):
+            try:
+                i, decision = done.get(timeout=config.decision_timeout)
+            except queue.Empty:
+                # Nothing resolved for a full client deadline; everything
+                # still outstanding is counted (and withdrawn) below.
+                break
+            decisions[i] = decision
+            completed += 1
+            submit_next()
     else:
         decisions = [None] * len(demands)
         next_index = 0

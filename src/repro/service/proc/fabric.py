@@ -107,6 +107,8 @@ class ProcWorkerHandle:
         self.process = None
         self.pid: "int | None" = None
         self.dead = False
+        #: The cmd channel's negotiated wire codec name (set by spawn).
+        self.codec: "str | None" = None
         self._cmd = None
         self._evt = None
         self._cmd_lock = threading.Lock()
@@ -147,6 +149,7 @@ class ProcWorkerHandle:
         self.process.start()
         self._cmd = self.fabric._claim_connection(self.token, "worker-cmd")
         self._evt = self.fabric._claim_connection(self.token, "worker-events")
+        self.codec = self._cmd[3]
         reply, _ = self.call({"op": "init", **init_doc}, blob=payload)
         self.pid = int(reply.get("pid", self.process.pid or -1))
         self._stop_events.clear()
@@ -169,10 +172,10 @@ class ProcWorkerHandle:
                 raise TransportError(
                     f"worker {self.worker_id} has no live cmd channel"
                 )
-            sock, rfile, wfile = self._cmd
+            sock, rfile, wfile, codec = self._cmd
             sock.settimeout(timeout)
             try:
-                reply = wire.rpc(rfile, wfile, doc, blob)
+                reply = wire.rpc(rfile, wfile, doc, blob, codec=codec)
             except TransportError as exc:
                 if "failed:" not in str(exc):
                     self.dead = True
@@ -189,12 +192,14 @@ class ProcWorkerHandle:
         return reply
 
     def _event_loop(self) -> None:
-        _, rfile, wfile = self._evt
+        _, rfile, wfile, codec = self._evt
         sock = self._evt[0]
         sock.settimeout(10.0)
         while not self._stop_events.is_set():
             try:
-                reply, _ = wire.rpc(rfile, wfile, {"op": "poll", "timeout": 0.25})
+                reply, _ = wire.rpc(
+                    rfile, wfile, {"op": "poll", "timeout": 0.25}, codec=codec
+                )
             except (TransportError, OSError):
                 self.dead = True
                 return
@@ -265,6 +270,12 @@ class ProcFabric:
     supervisor_config:
         Heartbeat/lease TTLs forwarded to each child's in-process
         :class:`~repro.service.supervisor.ShardWorker` wrapper.
+    codec:
+        Wire codec for the cmd/events channels, negotiated at each
+        channel's hello: ``"auto"`` (default — binary when the worker
+        offers it, the usual case), ``"json"`` (pin the legacy line
+        framing), or ``"binary"`` (require it; a worker that cannot is a
+        :class:`~repro.util.errors.TransportError` at spawn).
     """
 
     def __init__(
@@ -277,6 +288,7 @@ class ProcFabric:
         coord_url: "str | None" = None,
         policy: str = "heuristic",
         supervisor_config: "SupervisorConfig | None" = None,
+        codec: str = "auto",
     ) -> None:
         if int(pool.allocated.sum()) != 0:
             raise ValidationError(
@@ -293,6 +305,11 @@ class ProcFabric:
                 f"unknown policy {policy!r}; expected one of "
                 f"{sorted(POLICY_REGISTRY)}"
             )
+        if codec not in ("auto", "json", "binary"):
+            raise ValidationError(
+                f"codec must be 'auto', 'json', or 'binary', got {codec!r}"
+            )
+        self.codec_pref = codec
         self.obs = ensure_registry(obs)
         self.timer = PhaseTimer()
         self.coord_url = coord_url
@@ -439,12 +456,24 @@ class ProcFabric:
             token = str(hello.get("token"))
             if role not in ("worker-cmd", "worker-events"):
                 raise TransportError(f"unexpected peer role {role!r}")
+            # Codec negotiation rides the hello exchange: the worker offers
+            # what it speaks, we answer with this fabric's pick. A worker
+            # that offered nothing stays on the legacy JSON framing.
+            if self.codec_pref == "json":
+                chosen = "json"
+            else:
+                chosen = wire.negotiate_codec(hello)
+                if self.codec_pref == "binary" and chosen != "binary":
+                    raise TransportError(
+                        f"worker {role} channel cannot speak the required "
+                        "binary codec"
+                    )
             # The token must match a handle's spawn nonce; the claim side
             # looks entries up by (token, role), so a stranger's connection
             # simply sits unclaimed and is closed at shutdown.
-            wire.send_hello(wfile, role="fabric")
+            wire.send_hello(wfile, role="fabric", codec=chosen)
             with self._pending_cv:
-                self._pending[(token, role)] = (sock, rfile, wfile)
+                self._pending[(token, role)] = (sock, rfile, wfile, chosen)
                 self._pending_cv.notify_all()
         except (TransportError, OSError):
             for closable in (rfile, wfile, sock):

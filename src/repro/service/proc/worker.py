@@ -122,29 +122,38 @@ class WorkerProcess:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         sock.settimeout(None)
         rfile, wfile = sock.makefile("rb"), sock.makefile("wb")
+        # The hello offers every codec this build speaks; the fabric's reply
+        # names the one this channel uses from here on (absent against an
+        # old fabric, which leaves the channel on the legacy JSON framing).
         wire.send_hello(
-            wfile, role=role, shard_id=self.shard_id, token=self.token
+            wfile,
+            role=role,
+            shard_id=self.shard_id,
+            token=self.token,
+            codecs=wire.offer_codecs(),
         )
-        wire.expect_hello(rfile, role="fabric")
-        return sock, rfile, wfile
+        hello = wire.expect_hello(rfile, role="fabric")
+        return sock, rfile, wfile, hello.get("codec")
 
     def _events_loop(self) -> None:
         """Answer the parent's long-poll requests with outbox batches."""
-        sock, rfile, wfile = self._events
+        sock, rfile, wfile, codec = self._events
         try:
             while True:
-                frame = wire.read_frame(rfile)
+                frame = wire.read_op(rfile, codec=codec)
                 if frame is None:
                     return
                 doc, _ = frame
                 if doc.get("op") != "poll":
-                    wire.write_frame(
-                        wfile, {"ok": False, "error": "events channel only polls"}
+                    wire.write_op(
+                        wfile,
+                        {"ok": False, "error": "events channel only polls"},
+                        codec=codec,
                     )
                     continue
                 timeout = min(5.0, max(0.0, float(doc.get("timeout", 0.25))))
                 events = self.outbox.drain(timeout)
-                wire.write_frame(wfile, {"ok": True, "events": events})
+                wire.write_op(wfile, {"ok": True, "events": events}, codec=codec)
         except (TransportError, OSError, ValueError):
             # ValueError: _cleanup closed the file objects under us.
             return
@@ -324,10 +333,10 @@ class WorkerProcess:
             daemon=True,
         )
         events_thread.start()
-        _, rfile, wfile = self._cmd
+        _, rfile, wfile, codec = self._cmd
         try:
             while self._running:
-                frame = wire.read_frame(rfile)
+                frame = wire.read_op(rfile, codec=codec)
                 if frame is None:
                     break
                 doc, blob = frame
@@ -341,7 +350,7 @@ class WorkerProcess:
                         "ok": False,
                         "error": f"internal error: {exc}",
                     }, None
-                wire.write_frame(wfile, reply, reply_blob)
+                wire.write_op(wfile, reply, reply_blob, codec=codec)
             return 0
         finally:
             self._cleanup()
@@ -363,7 +372,7 @@ class WorkerProcess:
         for conn in (self._cmd, self._events):
             if conn is None:
                 continue
-            for closable in conn[1:] + conn[:1]:
+            for closable in (conn[1], conn[2], conn[0]):
                 try:
                     closable.close()
                 except OSError:

@@ -474,6 +474,14 @@ class PlacementService:
 
     def _step_locked(self, now: float) -> list[PlacementDecision]:
         decisions: list[PlacementDecision] = []
+        # Ticket resolutions collected under the lock, fired after it: a
+        # resolution runs arbitrary caller callbacks (the fabric's decision
+        # bookkeeping, the async endpoint's loop bridge, speculative-loser
+        # cancellation on *other* shards' services), and running those while
+        # holding this service's lock both serializes every waiting client
+        # behind the scheduler and inverts lock order against cross-shard
+        # work. Placements stay ahead of failures in the resolution order.
+        resolutions: "list[tuple[Ticket, PlacementDecision]]" = []
         with self._lock, self.timer.phase("step"):
             decisions.extend(self._expire(now))
             batch = self._queue.peek_admissible(self.state.available)
@@ -521,19 +529,29 @@ class PlacementService:
                 done_requests.append(timed)
                 decisions.append(decision)
                 if ticket is not None:
-                    ticket._resolve(decision)
+                    resolutions.append((ticket, decision))
             # Failures resolve after placements, so a forced duplicate id in
             # the same batch cannot steal the ticket of the copy that placed.
             for timed, detail in failed:
-                decisions.append(self._evict(timed, now, detail))
+                decisions.append(self._evict(timed, now, detail, resolutions))
                 done_requests.append(timed)
             self._queue.remove_batch(done_requests)
             self._m_queue_depth.set(len(self._queue))
+        for ticket, decision in resolutions:
+            ticket._resolve(decision)
         return decisions
 
-    def _evict(self, timed: TimedRequest, now: float, detail: str) -> PlacementDecision:
+    def _evict(
+        self,
+        timed: TimedRequest,
+        now: float,
+        detail: str,
+        resolutions: "list | None" = None,
+    ) -> PlacementDecision:
         """Resolve a queued request as rejected (queue removal is the
-        caller's job — :meth:`step` folds evictees into ``remove_batch``)."""
+        caller's job — :meth:`step` folds evictees into ``remove_batch``).
+        With *resolutions*, the ticket resolution is deferred to that list
+        instead of firing under the caller's lock."""
         entry = self._pending.pop(timed.request_id, None)
         self.stats.rejected += 1
         self._m_decisions.labels(status=DecisionStatus.REJECTED).inc()
@@ -545,7 +563,10 @@ class PlacementService:
             detail=detail,
         )
         if entry is not None:
-            entry[0]._resolve(decision)
+            if resolutions is not None:
+                resolutions.append((entry[0], decision))
+            else:
+                entry[0]._resolve(decision)
         return decision
 
     def cancel(self, request_id: int) -> bool:
@@ -673,6 +694,17 @@ class PlacementService:
     def queued(self) -> int:
         with self._lock:
             return len(self._queue)
+
+    @property
+    def backlog_hint(self) -> int:
+        """Lock-free queue-depth hint for routing heuristics.
+
+        Reads the deque length without the service lock (a single ``len``
+        is atomic under the GIL). May be one arrival stale — callers use it
+        only as an admission *hint* (e.g. the fabric's speculation gate),
+        never for correctness.
+        """
+        return len(self._queue)
 
     @property
     def num_types(self) -> int:

@@ -65,7 +65,7 @@ from repro.service.shard.plan import (
     assignment_from_racks,
     shard_topology,
 )
-from repro.service.shard.router import ShardRouter
+from repro.service.shard.router import RouteResult, ShardRouter
 from repro.service.state import ClusterState
 from repro.util.errors import ReproError, ValidationError
 from repro.util.timing import PhaseTimer
@@ -86,6 +86,15 @@ class FabricConfig:
     same one). ``rebalance_interval=None`` disables the background sweep —
     :meth:`ShardedPlacementFabric.rebalance` stays available for explicit,
     deterministic invocation.
+
+    ``speculation`` is the tail-latency lever: when a request's best-ranked
+    shard cannot satisfy it *right now* (every copy would have to wait for
+    releases), the fabric submits copies to up to that many top-ranked
+    shards in parallel and keeps whichever places first — the loser copies
+    are cancelled (still queued) or released (placed moments later). ``1``
+    disables speculation entirely, and because speculation only ever fires
+    on currently-unsatisfiable requests, the placement decisions for
+    satisfiable traffic are identical either way.
     """
 
     spillover: bool = True
@@ -93,11 +102,14 @@ class FabricConfig:
     rebalance_candidates: int = 8
     rebalance_max_pairs: int = 64
     rebalance_min_gain: float = 1e-9
+    speculation: int = 1
     service: ServiceConfig = field(default_factory=ServiceConfig)
 
     def __post_init__(self) -> None:
         if self.rebalance_interval is not None and self.rebalance_interval <= 0:
             raise ValidationError("rebalance_interval must be > 0 when set")
+        if self.speculation < 1:
+            raise ValidationError("speculation must be >= 1 (1 disables it)")
         if self.rebalance_candidates < 1:
             raise ValidationError("rebalance_candidates must be >= 1")
         if self.rebalance_max_pairs < 0:
@@ -125,6 +137,8 @@ class FabricStats:
     cancelled: int = 0
     released: int = 0
     spillovers: int = 0
+    speculations: int = 0
+    spec_released: int = 0
     failovers: int = 0
     unavailable: int = 0
     shard_deaths: int = 0
@@ -337,11 +351,17 @@ class ShardedPlacementFabric:
         self._owners: dict[int, int] = {}
         #: Shards quarantined by :meth:`mark_shard_down` (dead workers).
         self._down: set[int] = set()
-        #: request id → (request, outer ticket, attempt token) for every
-        #: not-yet-decided request, so shard death can re-route the victims
-        #: without touching the dead worker. The attempt token fences stale
-        #: decisions: a dying shard's late callback loses to the re-route.
-        self._inflight: dict[int, tuple[PlaceRequest, Ticket, int]] = {}
+        #: request id → (request, outer ticket, attempt token, copy shards)
+        #: for every not-yet-decided request, so shard death can re-route the
+        #: victims without touching the dead worker. The attempt token fences
+        #: stale decisions: a dying shard's late callback loses to the
+        #: re-route. ``copy shards`` holds every shard still racing for the
+        #: request — a singleton normally, several under speculation; one
+        #: attempt token is shared by all copies of a speculation group so
+        #: the first committed placement wins and fences the rest.
+        self._inflight: dict[
+            int, tuple[PlaceRequest, Ticket, int, frozenset[int]]
+        ] = {}
         self._attempts = 0
         self._started = False
         self._flock = threading.Lock()
@@ -396,6 +416,30 @@ class ShardedPlacementFabric:
             "repro_service_checkpoint_seconds",
             "Wall seconds to serialize a live checkpoint of the service state.",
         )
+        # Pre-resolved per-shard label cells for the submit hot path: every
+        # ``labels()`` call rebuilds a key tuple and probes the family map,
+        # and the cells are the same small fixed set for the fabric's
+        # lifetime. Resolving them once keeps the admission fast path to a
+        # single atomic ``inc()`` per event (see docs/PERF.md, lock audit).
+        nshards = len(self._shards)
+        self._mc_refused = [
+            self._m_admission.labels(shard=str(i), outcome="refused")
+            for i in range(nshards)
+        ]
+        self._mc_rejected = [
+            self._m_admission.labels(shard=str(i), outcome="rejected")
+            for i in range(nshards)
+        ]
+        self._mc_admitted = [
+            self._m_admission.labels(shard=str(i), outcome="admitted")
+            for i in range(nshards)
+        ]
+        self._mc_spill = [
+            self._m_spill.labels(shard=str(i)) for i in range(nshards)
+        ]
+        self._mc_queue = [
+            self._m_shard_queue.labels(shard=str(i)) for i in range(nshards)
+        ]
         self._refresh_gauges()
 
     # -------------------------------------------------------------- shape
@@ -474,8 +518,61 @@ class ShardedPlacementFabric:
         self._dispatch(request, ticket, failover=False)
         return ticket
 
+    def submit_batch(self, requests: "list[PlaceRequest]") -> "list[Ticket]":
+        """Submit a whole drained batch through one vectorized routing pass.
+
+        Semantically identical to calling :meth:`submit` once per request in
+        order — duplicate screening, owner registration, spillover, and
+        terminal outcomes all match, because batched routing is
+        decision-identical to sequential routing
+        (:meth:`ShardRouter.route_batch`) and submission never mutates the
+        states routing reads (placement happens in the shards' ``step``).
+        The win is the per-arrival routing overhead: one supply matmul and
+        one fill-bound kernel per shard for the whole batch instead of one
+        python scoring walk per request. The async endpoint feeds every
+        batch it drains from its connections through here.
+        """
+        tickets: "list[Ticket]" = []
+        fresh: "list[tuple[PlaceRequest, Ticket]]" = []
+        duplicates: "list[Ticket]" = []
+        with self._flock:
+            down = frozenset(self._down)
+            for request in requests:
+                ticket = Ticket(request.request_id)
+                tickets.append(ticket)
+                self._stats.submitted += 1
+                if request.request_id in self._owners:
+                    self._stats.rejected += 1
+                    duplicates.append(ticket)
+                else:
+                    self._owners[request.request_id] = _ROUTING
+                    fresh.append((request, ticket))
+        for ticket in duplicates:
+            ticket._resolve(
+                PlacementDecision(
+                    request_id=ticket.request_id,
+                    status=DecisionStatus.REJECTED,
+                    detail="duplicate request id (pending or holding a lease)",
+                )
+            )
+        if not fresh:
+            return tickets
+        demands = np.stack(
+            [np.asarray(r.demand, dtype=np.int64) for r, _ in fresh]
+        )
+        with self.timer.phase("route"):
+            routes = self._router.route_batch(demands, exclude=down)
+        for (request, ticket), route in zip(fresh, routes):
+            self._dispatch(request, ticket, failover=False, route=route)
+        return tickets
+
     def _dispatch(
-        self, request: PlaceRequest, ticket: Ticket, *, failover: bool
+        self,
+        request: PlaceRequest,
+        ticket: Ticket,
+        *,
+        failover: bool,
+        route: "RouteResult | None" = None,
     ) -> None:
         """Route *request* over the live shards and resolve *ticket*.
 
@@ -483,58 +580,45 @@ class ShardedPlacementFabric:
         latter re-enters here with ``failover=True``, which always walks
         the full ranked spillover order (a dead shard's victims must reach
         *any* surviving shard, even with ``spillover=False``).
+        :meth:`submit_batch` passes a pre-computed *route* from its
+        vectorized screening pass.
         """
         demand = np.asarray(request.demand, dtype=np.int64)
         with self._flock:
             down = frozenset(self._down)
-        with self.timer.phase("route"):
-            route = self._router.route(demand, exclude=down)
+        if route is None:
+            with self.timer.phase("route"):
+                route = self._router.route(demand, exclude=down)
         for shard_id in route.refused:
             # The satellite fix: a refusal that never reaches a queue is
             # still attributed to the shard that refused it.
-            self._m_admission.labels(shard=str(shard_id), outcome="refused").inc()
+            self._mc_refused[shard_id].inc()
         candidates = (
             route.ranked
             if (self.config.spillover or failover)
             else route.ranked[:1]
         )
-        for shard_id in candidates:
-            shard = self._shards[shard_id]
-            # Register *before* handing the request to the shard: a worker
-            # that dies mid-admission is scanned by mark_shard_down, which
-            # must see this request to re-route it.
-            with self._flock:
-                if shard_id in self._down:
-                    continue
-                self._attempts += 1
-                attempt = self._attempts
-                self._owners[request.request_id] = shard_id
-                self._inflight[request.request_id] = (request, ticket, attempt)
-            inner = shard.service.submit(request)
-            decision = inner.decision
-            if inner.done and decision is not None and not decision.placed:
-                # Declined at the door (queue full, draining, duplicate,
-                # dead worker fence) — spill to the next-best shard, unless
-                # a concurrent failover already took the request over.
-                with self._flock:
-                    entry = self._inflight.get(request.request_id)
-                    if entry is None or entry[2] != attempt:
-                        return
-                    del self._inflight[request.request_id]
-                    self._owners[request.request_id] = _ROUTING
-                    self._stats.spillovers += 1
-                self._m_admission.labels(
-                    shard=str(shard_id), outcome="rejected"
-                ).inc()
-                self._m_spill.labels(shard=str(shard_id)).inc()
-                continue
-            self._m_admission.labels(shard=str(shard_id), outcome="admitted").inc()
-            inner.add_done_callback(
-                self._decision_callback(shard, request.request_id, ticket, attempt)
+        if (
+            self.config.speculation > 1
+            and len(candidates) > 1
+            and (
+                self._shards[candidates[0]].service.backlog_hint > 0
+                or not self._shards[candidates[0]].state.can_satisfy(demand)
             )
-            self._m_shard_queue.labels(shard=str(shard_id)).set(
-                shard.service.queued
-            )
+        ):
+            # The best-ranked shard will not place this request in the next
+            # step — either it cannot satisfy the demand right now, or a
+            # backlog is queued ahead that will eat the capacity first — so
+            # the request would park there until releases free capacity.
+            # Racing copies on the top-ranked shards lets whichever shard
+            # frees up first win, instead of betting the whole wait on one
+            # shard's release schedule — this is the fabric's p99 lever.
+            # Immediately-placeable traffic never speculates, so its
+            # placements are identical with speculation on or off.
+            handled = self._admit_speculative(request, ticket, candidates)
+        else:
+            handled = self._admit_sequential(request, ticket, candidates)
+        if handled:
             return
         # No shard admitted: refuse when nobody could *ever* serve it,
         # reject when live shards exist but all declined right now, and
@@ -570,36 +654,204 @@ class ShardedPlacementFabric:
             )
         )
 
+    def _admit_sequential(
+        self, request: PlaceRequest, ticket: Ticket, candidates
+    ) -> bool:
+        """Walk *candidates* best-first until one shard admits the request.
+
+        Returns ``True`` when the request was admitted somewhere (or a
+        concurrent failover took it over), ``False`` when every candidate
+        declined at the door — the caller resolves the terminal outcome.
+        """
+        for shard_id in candidates:
+            shard = self._shards[shard_id]
+            # Register *before* handing the request to the shard: a worker
+            # that dies mid-admission is scanned by mark_shard_down, which
+            # must see this request to re-route it.
+            with self._flock:
+                if shard_id in self._down:
+                    continue
+                self._attempts += 1
+                attempt = self._attempts
+                self._owners[request.request_id] = shard_id
+                self._inflight[request.request_id] = (
+                    request, ticket, attempt, frozenset((shard_id,)),
+                )
+            inner = shard.service.submit(request)
+            decision = inner.decision
+            if inner.done and decision is not None and not decision.placed:
+                # Declined at the door (queue full, draining, duplicate,
+                # dead worker fence) — spill to the next-best shard, unless
+                # a concurrent failover already took the request over.
+                with self._flock:
+                    entry = self._inflight.get(request.request_id)
+                    if entry is None or entry[2] != attempt:
+                        return True
+                    del self._inflight[request.request_id]
+                    self._owners[request.request_id] = _ROUTING
+                    self._stats.spillovers += 1
+                self._mc_rejected[shard_id].inc()
+                self._mc_spill[shard_id].inc()
+                continue
+            self._mc_admitted[shard_id].inc()
+            inner.add_done_callback(
+                self._decision_callback(shard, request.request_id, ticket, attempt)
+            )
+            self._mc_queue[shard_id].set(shard.service.queued)
+            return True
+        return False
+
+    def _admit_speculative(
+        self, request: PlaceRequest, ticket: Ticket, candidates
+    ) -> bool:
+        """Race copies of *request* on up to ``speculation`` top shards.
+
+        Every copy shares one attempt token, so the whole group is fenced
+        as a unit: the first *placed* decision wins in
+        :meth:`_decision_callback` (which cancels or releases the losers),
+        and a failover re-route invalidates all copies at once. The owner
+        map points at the first admitted copy until a winner commits.
+        Returns ``True`` when at least one copy was admitted, ``False``
+        when every candidate declined at the door.
+        """
+        rid = request.request_id
+        with self._flock:
+            self._attempts += 1
+            attempt = self._attempts
+        admitted: "list[int]" = []
+        for shard_id in candidates:
+            if len(admitted) >= self.config.speculation:
+                break
+            shard = self._shards[shard_id]
+            with self._flock:
+                if shard_id in self._down:
+                    continue
+                entry = self._inflight.get(rid)
+                if admitted and entry is None:
+                    # A copy already won (or lost terminally) while we were
+                    # still fanning out — don't resurrect the group.
+                    return True
+                if entry is not None and entry[2] != attempt:
+                    return True  # concurrent failover took the request over
+                self._inflight[rid] = (
+                    request, ticket, attempt,
+                    frozenset((*admitted, shard_id)),
+                )
+                if not admitted:
+                    self._owners[rid] = shard_id
+            inner = shard.service.submit(request)
+            decision = inner.decision
+            if inner.done and decision is not None and not decision.placed:
+                # This copy declined at the door — shrink the group and try
+                # the next candidate.
+                with self._flock:
+                    entry = self._inflight.get(rid)
+                    if entry is None or entry[2] != attempt:
+                        return True
+                    members = frozenset(s for s in entry[3] if s != shard_id)
+                    if members:
+                        self._inflight[rid] = (request, ticket, attempt, members)
+                    else:
+                        del self._inflight[rid]
+                        self._owners[rid] = _ROUTING
+                    if not admitted:
+                        self._stats.spillovers += 1
+                self._mc_rejected[shard_id].inc()
+                self._mc_spill[shard_id].inc()
+                continue
+            admitted.append(shard_id)
+            self._mc_admitted[shard_id].inc()
+            inner.add_done_callback(
+                self._decision_callback(shard, rid, ticket, attempt)
+            )
+            self._mc_queue[shard_id].set(shard.service.queued)
+        if not admitted:
+            return False
+        if len(admitted) > 1:
+            with self._flock:
+                self._stats.speculations += 1
+        return True
+
     def _decision_callback(
         self, shard: Shard, request_id: int, outer: Ticket, attempt: int
     ):
         def callback(decision: PlacementDecision) -> None:
             translated = shard.translate(decision)
+            stale_release = False
+            resolve = False
+            cancels: "tuple[int, ...]" = ()
             with self._flock:
                 entry = self._inflight.get(request_id)
                 if entry is None or entry[2] != attempt:
-                    # Stale: a failover re-routed this request after the
-                    # shard died; whatever the dead worker decided is void.
-                    return
-                del self._inflight[request_id]
-                if translated.placed:
-                    self._stats.placed += 1
-                    self._stats.total_distance += translated.distance
+                    # Stale: a failover re-routed this request, or another
+                    # speculative copy already won the group. A *placement*
+                    # decided by a fenced copy on a live shard would leak
+                    # capacity there — release it straight on the shard's
+                    # service (the fabric owner map points at the winner,
+                    # so fabric-level release would refuse). Dead shards
+                    # keep the old behavior: their state is abandoned and
+                    # rebuilt from the checkpoint, so the decision is void.
+                    if translated.placed and shard.shard_id not in self._down:
+                        stale_release = True
+                        self._stats.spec_released += 1
                 else:
-                    self._owners.pop(request_id, None)
-                    if translated.status == DecisionStatus.REJECTED:
-                        self._stats.rejected += 1
-                    elif translated.status == DecisionStatus.TIMEOUT:
-                        self._stats.timed_out += 1
-                    elif translated.status == DecisionStatus.DROPPED:
-                        self._stats.dropped += 1
-                    elif translated.status == DecisionStatus.CANCELLED:
-                        self._stats.cancelled += 1
-                    elif translated.status == DecisionStatus.REFUSED:
-                        self._stats.refused += 1
-                    elif translated.status == DecisionStatus.SHARD_UNAVAILABLE:
-                        self._stats.unavailable += 1
-            outer._resolve(translated)
+                    request, ticket, _token, members = entry
+                    if translated.placed:
+                        del self._inflight[request_id]
+                        self._owners[request_id] = shard.shard_id
+                        self._stats.placed += 1
+                        self._stats.total_distance += translated.distance
+                        cancels = tuple(
+                            s for s in members
+                            if s != shard.shard_id and s not in self._down
+                        )
+                        resolve = True
+                    else:
+                        members = frozenset(
+                            s for s in members if s != shard.shard_id
+                        )
+                        if members:
+                            # Other speculative copies are still racing —
+                            # absorb this copy's non-placement and wait.
+                            self._inflight[request_id] = (
+                                request, ticket, attempt, members,
+                            )
+                            if self._owners.get(request_id) == shard.shard_id:
+                                self._owners[request_id] = min(members)
+                        else:
+                            del self._inflight[request_id]
+                            self._owners.pop(request_id, None)
+                            resolve = True
+                            if translated.status == DecisionStatus.REJECTED:
+                                self._stats.rejected += 1
+                            elif translated.status == DecisionStatus.TIMEOUT:
+                                self._stats.timed_out += 1
+                            elif translated.status == DecisionStatus.DROPPED:
+                                self._stats.dropped += 1
+                            elif translated.status == DecisionStatus.CANCELLED:
+                                self._stats.cancelled += 1
+                            elif translated.status == DecisionStatus.REFUSED:
+                                self._stats.refused += 1
+                            elif (
+                                translated.status
+                                == DecisionStatus.SHARD_UNAVAILABLE
+                            ):
+                                self._stats.unavailable += 1
+            if stale_release:
+                try:
+                    shard.service.release(
+                        ReleaseRequest(request_id=request_id)
+                    )
+                except ReproError:  # racing a shard death; nothing to free
+                    pass
+                return
+            for sid in cancels:
+                # Loser copies still queued elsewhere: withdraw them. A
+                # copy that slips past the cancel (already being placed)
+                # resolves later as stale and is released above.
+                self._shards[sid].service.cancel(request_id)
+            if resolve:
+                outer._resolve(translated)
 
         return callback
 
@@ -670,21 +922,41 @@ class ShardedPlacementFabric:
                 return []
             self._down.add(shard_id)
             self._stats.shard_deaths += 1
-            victims = [
-                (rid, entry)
-                for rid, entry in self._inflight.items()
-                if self._owners.get(rid) == shard_id
-            ]
+            victims = []
+            orphaned = []
+            for rid, entry in self._inflight.items():
+                if self._owners.get(rid) == shard_id:
+                    victims.append((rid, entry))
+                elif shard_id in entry[3]:
+                    # A speculative copy lived on the dead shard but the
+                    # group's primary is elsewhere: drop the dead copy from
+                    # the group so the survivors' outcomes stay decisive
+                    # (a group must never wait on a shard that will not
+                    # answer).
+                    orphaned.append((rid, entry))
             for rid, _ in victims:
                 del self._inflight[rid]
                 self._owners[rid] = _ROUTING
+            for rid, (request, ticket, attempt, members) in orphaned:
+                self._inflight[rid] = (
+                    request, ticket, attempt, members - {shard_id},
+                )
             self._stats.failovers += len(victims)
+            down = frozenset(self._down)
         self._m_failovers.labels(shard=str(shard_id)).inc()
         _log.warning(
             "shard %d marked down (%s): re-routing %d in-flight request(s)",
             shard_id, reason or "unspecified", len(victims),
         )
-        for rid, (request, ticket, _attempt) in sorted(victims):
+        for rid, (_request, _ticket, _attempt, members) in victims:
+            # Withdraw the victims' still-queued speculative copies on live
+            # shards before re-routing: the re-route carries a new attempt
+            # token, so any copy that outruns the cancel resolves as stale
+            # (and is released if it had placed).
+            for sid in members:
+                if sid != shard_id and sid not in down:
+                    self._shards[sid].service.cancel(rid)
+        for rid, (request, ticket, _attempt, _members) in sorted(victims):
             self._dispatch(request, ticket, failover=True)
         return [rid for rid, _ in sorted(victims)]
 
@@ -894,14 +1166,26 @@ class ShardedPlacementFabric:
                     self._m_rebalance.labels(kind="migration").inc()
                     self._m_rebalance_gain.observe(moved)
             # Pass 2 — pairwise transfers over the refreshed candidate set.
+            # An exchange's gain is bounded by the pair's combined current
+            # distance, so pairs already (jointly) at the min-gain floor are
+            # pruned before any lock is taken: in a well-placed steady state
+            # (every lease at distance 0) the whole pass is free instead of
+            # ``max_pairs`` exchange searches each holding two shard locks —
+            # the profile showed those searches starving placements for
+            # ~230 ms per sweep on small hosts.
             candidates = self._rebalance_candidates()
-            keys = sorted((sid, rid) for sid, rid, _ in candidates)
+            keys = sorted((sid, rid, dist) for sid, rid, dist in candidates)
             for i in range(len(keys)):
                 for j in range(i + 1, len(keys)):
                     if pairs >= self.config.rebalance_max_pairs:
                         break
+                    if (
+                        keys[i][2] + keys[j][2]
+                        <= self.config.rebalance_min_gain
+                    ):
+                        continue
                     pairs += 1
-                    got = self._try_transfer(keys[i], keys[j])
+                    got = self._try_transfer(keys[i][:2], keys[j][:2])
                     if got > 0:
                         transfers += 1
                         gain += got
@@ -1012,6 +1296,11 @@ class ShardedPlacementFabric:
             a1 = shard1.state.leases.get(rid1)
             a2 = shard2.state.leases.get(rid2)
             if a1 is None or a2 is None:
+                return 0.0
+            if a1.distance + a2.distance <= self.config.rebalance_min_gain:
+                # Re-checked under the locks: distances may have improved
+                # since the candidate sweep, and the exchange gain cannot
+                # exceed their sum.
                 return 0.0
             g1 = shard1.global_allocation(a1, num_types)
             g2 = shard2.global_allocation(a2, num_types)

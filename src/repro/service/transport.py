@@ -1,6 +1,6 @@
-"""Line-delimited JSON TCP transport for the placement service (stdlib only).
+"""Blocking TCP transport for the placement service (stdlib only).
 
-One request per line, one response per line. Every exchange is an envelope::
+One request envelope per frame, one response per frame. Every exchange is::
 
     {"op": "place", "message": {...PlaceRequest fields...}}
     {"op": "release", "message": {...ReleaseRequest fields...}}
@@ -15,12 +15,21 @@ Placement responses embed the terminal decision; the handler thread blocks on
 the service ticket while the scheduler loop works, so clients see exactly one
 synchronous round trip per request.
 
+Connections open in line JSON. A client that wants the binary codec sends
+``{"op": "hello", "codecs": [...]}`` as its first envelope; the server
+answers ``{"ok": true, "codec": <pick>}`` and both ends switch — see
+:mod:`repro.service.codec`. Peers that never send a hello (every pre-codec
+client) stay on line JSON with byte-identical behavior.
+
 :class:`ServiceEndpoint` wraps a :class:`~repro.service.server.PlacementService`
 — or a :class:`~repro.service.shard.ShardedPlacementFabric`; the two share the
-serving surface, so every op is shard-transparent — in a
-``socketserver.ThreadingTCPServer``; :class:`ServiceClient` is the matching
-blocking client. Both are deliberately minimal — the serving intelligence
-lives in the service, not the wire.
+serving surface, so every op is shard-transparent — behind the shared
+threaded substrate (:class:`~repro.service.transports.TcpServerHandle`);
+:class:`ServiceClient` is the matching blocking client. Both are deliberately
+minimal — the serving intelligence lives in the service, not the wire.
+Canonical construction is via the transport registry
+(``resolve_transport("thread").serve(...)/.connect(...)``); the direct
+constructors remain for compatibility and warn once per class.
 
 Malformed input (truncated frames, oversized payloads, invalid UTF-8, unknown
 ops, envelopes of the wrong shape) always produces a typed
@@ -44,7 +53,15 @@ from repro.service.api import (
     encode_message,
     decode_message,
 )
+from repro.service.codec import (
+    JsonLineCodec,
+    MAX_OP_BYTES,
+    SUPPORTED_CODECS,
+    choose_codec,
+    resolve_codec,
+)
 from repro.service.server import PlacementService
+from repro.service.transports import TcpServerHandle, warn_legacy_construction
 from repro.util.errors import ReproError, TransportError, TransportTimeout, ValidationError
 from repro.util.retry import TRANSPORT_RETRY, RetryPolicy
 
@@ -59,86 +76,128 @@ DECISION_TIMEOUT = 30.0
 #: only a truly unresponsive server (dead worker, partition) trips this.
 DEFAULT_OP_TIMEOUT = 35.0
 
-#: Hard per-line byte budget; longer frames are rejected, not parsed.
-MAX_LINE_BYTES = 1 << 20
+#: Hard per-frame byte budget; longer frames are rejected, not parsed.
+MAX_LINE_BYTES = MAX_OP_BYTES
 
 #: Ops that are safe to retry on a fresh connection: they carry no
 #: state-changing payload, so replaying one can never double-place or
 #: double-release.
-_READ_ONLY_OPS = frozenset({"ping", "stats", "checkpoint", "shards", "metrics"})
+_READ_ONLY_OPS = frozenset({"ping", "stats", "checkpoint", "shards", "metrics", "hello"})
+
+#: Codec preferences a client accepts.
+_CLIENT_CODECS = ("json", "binary", "auto")
+
+
+# ------------------------------------------------------- envelope dispatch
+#
+# Shared by the threaded handler here and the asyncio handler in
+# :mod:`repro.service.aio`: everything except the *blocking* half of
+# ``place`` is transport-independent.
+
+
+def hello_response(envelope: dict, supported) -> "tuple[dict, str]":
+    """Answer a codec-negotiation hello; returns ``(response, chosen)``."""
+    chosen = choose_codec(envelope.get("codecs"), supported=tuple(supported))
+    return {"ok": True, "codec": chosen, "codecs": list(supported)}, chosen
+
+
+def submit_place(service, envelope: dict):
+    """Decode a ``place`` envelope and submit it; returns the ticket."""
+    message = decode_message(
+        json.dumps(envelope.get("message", {}) | {"kind": "place"})
+    )
+    return message, service.submit(message)
+
+
+def finish_place(service, message, ticket, decision) -> dict:
+    """Turn a ticket outcome into the response envelope (or withdraw)."""
+    if decision is None:
+        # Withdraw the queued request before giving up — otherwise a
+        # later release could place it into a lease no client knows
+        # about, consuming capacity forever. If cancellation races
+        # with a concurrent placement the ticket is already resolved
+        # and the real (placed) decision goes back to the client.
+        service.cancel(message.request_id)
+        decision = ticket.result(timeout=1.0)
+    if decision is None:
+        raise ValidationError("placement decision timed out")
+    return {"ok": True, "decision": json.loads(encode_message(decision))}
+
+
+def dispatch_sync(service, envelope: dict) -> dict:
+    """Handle every op except ``place``/``hello`` (those need the transport)."""
+    op = envelope.get("op")
+    if op == "ping":
+        return {"ok": True, "pong": True}
+    if op == "stats":
+        return {"ok": True, "stats": service.stats.to_dict()}
+    if op == "checkpoint":
+        return {"ok": True, "checkpoint": service.checkpoint_doc()}
+    if op == "shards":
+        return {"ok": True, "shards": service.describe_shards()}
+    if op == "metrics":
+        fmt = envelope.get("format", "prom")
+        return {"ok": True, "format": fmt, "body": render(service.obs, fmt)}
+    if op == "release":
+        message = decode_message(
+            json.dumps(envelope.get("message", {}) | {"kind": "release"})
+        )
+        response = service.release(message)
+        return {"ok": True, "release": json.loads(encode_message(response))}
+    raise ValidationError(f"unknown op {op!r}")
 
 
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         service: PlacementService = self.server.service  # type: ignore[attr-defined]
-        for raw in self.rfile:
+        supported = getattr(self.server, "codecs", SUPPORTED_CODECS)
+        codec = JsonLineCodec()
+        while True:
+            switch_to = None
             try:
-                if len(raw) > MAX_LINE_BYTES:
-                    raise ValidationError(
-                        f"frame exceeds {MAX_LINE_BYTES} bytes"
-                    )
-                line = raw.decode("utf-8").strip()
-                if not line:
+                envelope = codec.decode_op(self.rfile)
+                if envelope is None:
+                    return
+                if "op" not in envelope:
+                    raise ValidationError("envelope must be an object with an 'op'")
+                if envelope["op"] == "hello":
+                    response, switch_to = hello_response(envelope, supported)
+                else:
+                    response = self._dispatch(service, envelope)
+            except OSError:
+                return
+            except TransportError as exc:
+                # Codec-level failure. Line framing re-syncs at the next
+                # newline, so reply and keep going; binary framing cannot,
+                # so reply (best effort) and drop the connection.
+                if not self._reply(codec, {"ok": False, "error": str(exc)}):
+                    return
+                if codec.resync_on_error:
                     continue
-                response = self._dispatch(service, line)
-            except UnicodeDecodeError:
-                response = {"ok": False, "error": "frame is not valid UTF-8"}
+                return
             except ReproError as exc:
                 response = {"ok": False, "error": str(exc)}
             except Exception as exc:  # defensive: never kill the connection
                 response = {"ok": False, "error": f"internal error: {exc}"}
-            try:
-                self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
-                self.wfile.flush()
-            except OSError:
-                return  # client went away mid-reply; connection is done
+            if not self._reply(codec, response):
+                return
+            if switch_to is not None:
+                codec = resolve_codec(switch_to)
 
-    def _dispatch(self, service: PlacementService, line: str) -> dict:
+    def _reply(self, codec, response: dict) -> bool:
         try:
-            envelope = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise ValidationError(f"not a valid envelope: {exc}") from exc
-        if not isinstance(envelope, dict) or "op" not in envelope:
-            raise ValidationError("envelope must be an object with an 'op'")
-        op = envelope["op"]
-        if op == "ping":
-            return {"ok": True, "pong": True}
-        if op == "stats":
-            return {"ok": True, "stats": service.stats.to_dict()}
-        if op == "checkpoint":
-            return {"ok": True, "checkpoint": service.checkpoint_doc()}
-        if op == "shards":
-            return {"ok": True, "shards": service.describe_shards()}
-        if op == "metrics":
-            fmt = envelope.get("format", "prom")
-            return {"ok": True, "format": fmt, "body": render(service.obs, fmt)}
-        if op == "place":
-            message = decode_message(json.dumps(envelope.get("message", {}) | {"kind": "place"}))
-            ticket = service.submit(message)
+            self.wfile.write(codec.encode_op(response))
+            self.wfile.flush()
+            return True
+        except (TransportError, OSError):
+            return False  # client went away mid-reply; connection is done
+
+    def _dispatch(self, service: PlacementService, envelope: dict) -> dict:
+        if envelope["op"] == "place":
+            message, ticket = submit_place(service, envelope)
             decision = ticket.result(timeout=DECISION_TIMEOUT)
-            if decision is None:
-                # Withdraw the queued request before giving up — otherwise a
-                # later release could place it into a lease no client knows
-                # about, consuming capacity forever. If cancellation races
-                # with a concurrent placement the ticket is already resolved
-                # and the real (placed) decision goes back to the client.
-                service.cancel(message.request_id)
-                decision = ticket.result(timeout=1.0)
-            if decision is None:
-                raise ValidationError("placement decision timed out")
-            return {"ok": True, "decision": json.loads(encode_message(decision))}
-        if op == "release":
-            message = decode_message(
-                json.dumps(envelope.get("message", {}) | {"kind": "release"})
-            )
-            response = service.release(message)
-            return {"ok": True, "release": json.loads(encode_message(response))}
-        raise ValidationError(f"unknown op {op!r}")
-
-
-class _Server(socketserver.ThreadingTCPServer):
-    allow_reuse_address = True
-    daemon_threads = True
+            return finish_place(service, message, ticket, decision)
+        return dispatch_sync(service, envelope)
 
 
 class ServiceEndpoint:
@@ -146,7 +205,8 @@ class ServiceEndpoint:
 
     ``port=0`` (the default) binds an ephemeral port; read :attr:`address`
     after :meth:`start`. The underlying service's scheduler loop is started
-    and stopped together with the endpoint.
+    and stopped together with the endpoint. ``codecs`` restricts what the
+    endpoint will negotiate (default: everything this build speaks).
     """
 
     def __init__(
@@ -155,36 +215,37 @@ class ServiceEndpoint:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        codecs: "tuple[str, ...]" = SUPPORTED_CODECS,
+        _via_transport: bool = False,
     ) -> None:
+        if not _via_transport:
+            warn_legacy_construction(
+                type(self), 'resolve_transport("thread").serve(service, ...)'
+            )
         self.service = service
-        self._server = _Server((host, port), _Handler)
-        self._server.service = service  # type: ignore[attr-defined]
-        self._thread: threading.Thread | None = None
+        self._handle = TcpServerHandle(
+            _Handler,
+            host=host,
+            port=port,
+            context={"service": service, "codecs": tuple(codecs)},
+            thread_name="placement-endpoint",
+        )
 
     @property
     def address(self) -> tuple[str, int]:
         """The bound ``(host, port)`` pair."""
-        return self._server.server_address[:2]
+        return self._handle.address
 
     def start(self) -> "ServiceEndpoint":
         """Start the service scheduler and the accept loop (idempotent)."""
-        if self._thread is None or not self._thread.is_alive():
+        if not self._handle.running:
             self.service.start()
-            self._thread = threading.Thread(
-                target=self._server.serve_forever,
-                name="placement-endpoint",
-                daemon=True,
-            )
-            self._thread.start()
+            self._handle.start()
         return self
 
     def stop(self, *, drain: bool = True) -> None:
         """Stop accepting connections; optionally drain the service."""
-        self._server.shutdown()
-        self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        self._handle.stop()
         if drain:
             self.service.drain()
         else:
@@ -198,7 +259,7 @@ class ServiceEndpoint:
 
 
 class ServiceClient:
-    """Blocking line-protocol client for a :class:`ServiceEndpoint`.
+    """Blocking envelope client for a serving endpoint (any transport).
 
     Hardened against an unresponsive server: every operation is bounded by
     ``op_timeout`` (one knob, defaulting to :data:`DEFAULT_OP_TIMEOUT`), so
@@ -210,6 +271,11 @@ class ServiceClient:
     ``retry_policy`` backoff; mutating operations (``place``, ``release``)
     are never retried automatically — replaying them could double-commit —
     the caller decides, typically by consulting server state first.
+
+    ``codec`` selects the wire format: ``"json"`` (default — no handshake,
+    byte-identical to every prior release), ``"binary"`` (negotiate at
+    connect; a server that cannot is a :class:`TransportError`), or
+    ``"auto"`` (offer binary, fall back to JSON against older servers).
     """
 
     def __init__(
@@ -221,17 +287,34 @@ class ServiceClient:
         op_timeout: "float | None" = None,
         retries: int = 0,
         retry_policy: RetryPolicy = TRANSPORT_RETRY,
+        codec: str = "json",
+        _via_transport: bool = False,
     ) -> None:
+        if not _via_transport:
+            warn_legacy_construction(
+                type(self), 'resolve_transport("thread").connect(host, port, ...)'
+            )
         if retries < 0:
             raise ValidationError("retries must be >= 0")
+        if codec not in _CLIENT_CODECS:
+            raise ValidationError(
+                f"codec must be one of {_CLIENT_CODECS}, got {codec!r}"
+            )
         self._address = (host, port)
         self._connect_timeout = timeout
         self._op_timeout = DEFAULT_OP_TIMEOUT if op_timeout is None else op_timeout
         self._retries = retries
         self._retry_policy = retry_policy
+        self._codec_pref = codec
+        self._codec = JsonLineCodec()
         self._sock: "socket.socket | None" = None
         self._file = None
         self._connect()
+
+    @property
+    def codec(self) -> str:
+        """The codec this connection negotiated (``"json"`` or ``"binary"``)."""
+        return self._codec.name
 
     def _connect(self) -> None:
         try:
@@ -247,6 +330,32 @@ class ServiceClient:
             raise TransportError(f"cannot connect to {self._address}: {exc}") from exc
         self._sock.settimeout(self._op_timeout)
         self._file = self._sock.makefile("rwb")
+        self._codec = JsonLineCodec()
+        if self._codec_pref != "json":
+            self._negotiate()
+
+    def _negotiate(self) -> None:
+        offer = ["binary"] if self._codec_pref == "binary" else list(SUPPORTED_CODECS)
+        try:
+            response = self._call_once({"op": "hello", "codecs": offer})
+        except ValidationError as exc:
+            # A pre-codec server answers hello with a typed unknown-op error
+            # on a healthy connection: fall back (auto) or refuse (binary).
+            if self._codec_pref == "auto":
+                return
+            self._teardown()
+            raise TransportError(
+                f"server at {self._address} does not support codec "
+                f"negotiation: {exc}"
+            ) from exc
+        chosen = response.get("codec", "json")
+        if self._codec_pref == "binary" and chosen != "binary":
+            self._teardown()
+            raise TransportError(
+                f"server at {self._address} negotiated {chosen!r}, "
+                "binary required"
+            )
+        self._codec = resolve_codec(chosen)
 
     def _teardown(self) -> None:
         # After a timeout or connection error the stream is desynchronized
@@ -263,6 +372,14 @@ class ServiceClient:
             pass
         self._file = None
         self._sock = None
+
+    def request(self, envelope: dict) -> dict:
+        """One envelope round trip — the :class:`Connection` protocol surface.
+
+        Applies the same retry discipline as the typed helpers: read-only
+        ops may retry on a fresh (re-negotiated) connection, mutations never.
+        """
+        return self._call(envelope)
 
     def _call(self, envelope: dict) -> dict:
         retryable = envelope.get("op") in _READ_ONLY_OPS
@@ -295,9 +412,9 @@ class ServiceClient:
 
     def _call_once(self, envelope: dict) -> dict:
         try:
-            self._file.write((json.dumps(envelope) + "\n").encode("utf-8"))
+            self._file.write(self._codec.encode_op(envelope))
             self._file.flush()
-            line = self._file.readline()
+            response = self._codec.decode_op(self._file)
         except socket.timeout as exc:
             raise TransportTimeout(
                 f"op {envelope.get('op')!r} timed out after "
@@ -307,9 +424,8 @@ class ServiceClient:
             raise TransportError(
                 f"connection to {self._address} failed: {exc}"
             ) from exc
-        if not line:
+        if response is None:
             raise TransportError("server closed the connection")
-        response = json.loads(line.decode("utf-8"))
         if not response.get("ok"):
             raise ValidationError(response.get("error", "unknown server error"))
         return response

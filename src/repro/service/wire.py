@@ -26,12 +26,27 @@ non-numeric prefix, invalid JSON) raise :class:`~repro.util.errors.
 TransportError`; a clean EOF before any byte of a frame returns ``None``
 from :func:`read_frame` so connection shutdown is distinguishable from
 corruption.
+
+**Codec negotiation.** The hello handshake doubles as a capability
+exchange: a dialing peer lists the codecs it speaks via
+``send_hello(..., codecs=offer_codecs())``, and the answering peer picks
+one with :func:`negotiate_codec` and names it in its reply hello
+(``codec="binary"``). After the hellos — which are always legacy line-JSON
+frames, so any two releases can complete the handshake — both ends switch
+their op streams to the agreed codec via :func:`read_op`/:func:`write_op`.
+A peer that offers nothing, or an answer that names no codec, leaves the
+connection on the legacy framing unchanged.
 """
 
 from __future__ import annotations
 
 import json
 
+from repro.service.codec import (
+    BinaryCodec,
+    SUPPORTED_CODECS,
+    choose_codec,
+)
 from repro.util.errors import TransportError
 
 #: Protocol identity carried in every hello frame.
@@ -106,6 +121,82 @@ def read_frame(rfile) -> "tuple[dict, bytes | None] | None":
     return doc, _read_exact(rfile, blob_len)
 
 
+# ------------------------------------------------------------------- codecs
+
+#: Budget for one binary op frame: the same JSON document budget as the
+#: legacy framing, plus room for an embedded checkpoint blob.
+_BINARY_OP_BYTES = MAX_JSON_BYTES + MAX_BLOB_BYTES + 64
+
+
+def offer_codecs() -> "list[str]":
+    """What a dialing peer should advertise in its hello (`codecs=`)."""
+    return list(SUPPORTED_CODECS)
+
+
+def negotiate_codec(hello: dict) -> str:
+    """Answering side: pick the codec for this connection from a peer hello.
+
+    Returns ``"json"`` for any peer that advertised nothing — exactly the
+    legacy behavior, so old workers and old fabrics interoperate with new
+    ones in either direction.
+    """
+    return choose_codec(hello.get("codecs"))
+
+
+def resolve_wire_codec(codec):
+    """Map a negotiated codec name to the object :func:`read_op` expects.
+
+    ``None``/``"json"`` mean the legacy line-JSON framing (returned as
+    ``None`` so callers can branch cheaply); ``"binary"`` returns a
+    :class:`~repro.service.codec.BinaryCodec` sized for checkpoint blobs.
+    """
+    if codec is None or codec == "json" or getattr(codec, "name", None) == "json":
+        return None
+    if isinstance(codec, BinaryCodec):
+        return codec
+    if codec == "binary":
+        return BinaryCodec(max_bytes=_BINARY_OP_BYTES)
+    raise TransportError(f"unknown wire codec {codec!r}")
+
+
+def write_op(wfile, doc: dict, blob: "bytes | None" = None, *, codec=None) -> None:
+    """Write one op frame in the connection's negotiated codec.
+
+    With no codec (or ``"json"``) this is exactly :func:`write_frame`. In
+    binary, the blob embeds natively as a ``bytes`` value — no separate
+    length prefix, no text round trip — under the same ``_blob`` key the
+    legacy framing reserves.
+    """
+    codec = resolve_wire_codec(codec)
+    if codec is None:
+        write_frame(wfile, doc, blob)
+        return
+    if blob is not None:
+        if len(blob) > MAX_BLOB_BYTES:
+            raise TransportError(
+                f"blob of {len(blob)} bytes exceeds {MAX_BLOB_BYTES}"
+            )
+        doc = {**doc, "_blob": bytes(blob)}
+    wfile.write(codec.encode_op(doc))
+    wfile.flush()
+
+
+def read_op(rfile, *, codec=None) -> "tuple[dict, bytes | None] | None":
+    """Read one op frame in the negotiated codec; ``None`` on clean EOF."""
+    codec = resolve_wire_codec(codec)
+    if codec is None:
+        return read_frame(rfile)
+    doc = codec.decode_op(rfile)
+    if doc is None:
+        return None
+    blob = doc.pop("_blob", None)
+    if blob is None:
+        return doc, None
+    if not isinstance(blob, bytes) or len(blob) > MAX_BLOB_BYTES:
+        raise TransportError("invalid embedded blob in binary frame")
+    return doc, blob
+
+
 # ---------------------------------------------------------------- handshake
 
 def send_hello(wfile, role: str, **extra) -> None:
@@ -140,15 +231,23 @@ def expect_hello(rfile, role: "str | None" = None) -> dict:
     return doc
 
 
-def rpc(rfile, wfile, doc: dict, blob: "bytes | None" = None) -> "tuple[dict, bytes | None]":
+def rpc(
+    rfile,
+    wfile,
+    doc: dict,
+    blob: "bytes | None" = None,
+    *,
+    codec=None,
+) -> "tuple[dict, bytes | None]":
     """One request/response exchange; raises on transport or server error.
 
     The reply convention matches the serving transport: ``{"ok": true, ...}``
     on success, ``{"ok": false, "error": msg}`` on a server-side failure
     (surfaced as :class:`TransportError` so callers treat it uniformly).
+    *codec* is the connection's negotiated codec (``None`` = legacy JSON).
     """
-    write_frame(wfile, doc, blob)
-    frame = read_frame(rfile)
+    write_op(wfile, doc, blob, codec=codec)
+    frame = read_op(rfile, codec=codec)
     if frame is None:
         raise TransportError("peer closed the connection mid-exchange")
     reply, reply_blob = frame

@@ -10,7 +10,7 @@ from repro.service import (
     ServiceConfig,
     run_loadgen,
 )
-from repro.service.loadgen import CLOSED_LOOP, OPEN_LOOP
+from repro.service.loadgen import CLOSED_EVENTS, CLOSED_LOOP, MODES, OPEN_LOOP
 from repro.util.errors import ValidationError
 
 
@@ -25,7 +25,7 @@ def make_service() -> PlacementService:
     )
 
 
-@pytest.mark.parametrize("mode", [OPEN_LOOP, CLOSED_LOOP])
+@pytest.mark.parametrize("mode", list(MODES))
 def test_loadgen_reaches_steady_state(mode):
     service = make_service()
     service.start()
@@ -151,6 +151,71 @@ def test_client_timeouts_counted_and_requests_withdrawn():
     assert report.client_timeouts == 4
     assert report.placed == 0
     assert report.unavailable == 0
+    assert service.queued == 0  # every timed-out request was withdrawn
+    assert service.state.num_leases == 0
+
+
+def test_closed_drivers_apply_the_identical_workload():
+    """``closed`` and ``closed-events`` run the same seeded trace.
+
+    The events driver exists so tail percentiles stop measuring harness
+    GIL interference — it must not change *what* is offered: same demands,
+    same request count, and (on a service that accepts everything) the
+    same placements committed.
+    """
+    reports = {}
+    for mode in (CLOSED_LOOP, CLOSED_EVENTS):
+        service = make_service()
+        service.start()
+        try:
+            reports[mode] = run_loadgen(
+                service,
+                LoadGenConfig(
+                    num_requests=30,
+                    mode=mode,
+                    concurrency=4,
+                    mean_hold=0.005,
+                    demand_high=2,
+                    seed=42,
+                ),
+            )
+        finally:
+            service.stop()
+    threads, events = reports[CLOSED_LOOP], reports[CLOSED_EVENTS]
+    assert events.submitted == threads.submitted == 30
+    assert events.placed == threads.placed
+    assert events.client_timeouts == threads.client_timeouts == 0
+
+
+def test_closed_events_timeouts_counted_and_requests_withdrawn():
+    # Mirror of the threaded-closed timeout test for the events driver: a
+    # service that never decides must trip the driver's deadline, and every
+    # outstanding submission must be withdrawn, not leaked.
+    catalog = VMTypeCatalog.ec2_default()
+    pool = random_pool(
+        PoolSpec(racks=2, nodes_per_rack=4, capacity_high=3), catalog, seed=5
+    )
+    service = PlacementService(
+        ClusterState.from_pool(pool),
+        config=ServiceConfig(batch_window=60.0),
+    )
+    service.start()
+    try:
+        report = run_loadgen(
+            service,
+            LoadGenConfig(
+                num_requests=4,
+                mode=CLOSED_EVENTS,
+                concurrency=8,
+                mean_hold=0.001,
+                decision_timeout=0.2,
+                seed=9,
+            ),
+        )
+    finally:
+        service.stop()
+    assert report.client_timeouts == 4
+    assert report.placed == 0
     assert service.queued == 0  # every timed-out request was withdrawn
     assert service.state.num_leases == 0
 

@@ -13,6 +13,7 @@ from repro.cluster import PoolSpec, VMTypeCatalog, random_pool
 from repro.obs import MetricsRegistry
 from repro.service import (
     ClusterState,
+    DecisionStatus,
     PlaceRequest,
     PlacementService,
     ReleaseRequest,
@@ -25,6 +26,7 @@ from repro.service.shard import (
     RackGroupPlan,
     ShardedPlacementFabric,
 )
+from repro.service.shard.router import estimate_dc, estimate_dc_batch
 
 CATALOG = VMTypeCatalog.ec2_default()
 
@@ -146,6 +148,162 @@ class TestFabricDeterminism:
             return fabric.checkpoint_bytes()
 
         assert run(threaded=True) == run(threaded=False)
+
+
+def loaded_fabric(seed, *, shards=3):
+    """A fabric with enough committed load that shard scores diverge."""
+    pool = random_pool(
+        PoolSpec(
+            racks=6, nodes_per_rack=4, clouds=2, capacity_low=1, capacity_high=3
+        ),
+        CATALOG,
+        seed=seed,
+    )
+    fabric = ShardedPlacementFabric(
+        pool,
+        plan=RackGroupPlan(shards),
+        config=FabricConfig(service=ServiceConfig(batch_window=0.0)),
+        obs=MetricsRegistry(),
+    )
+    rng = np.random.default_rng(seed)
+    for rid in range(25):
+        demand = [int(x) for x in rng.integers(0, 3, size=pool.num_types)]
+        if sum(demand) == 0:
+            demand[0] = 1
+        fabric.submit(PlaceRequest(request_id=rid, demand=demand))
+        for _ in range(8):
+            if not fabric.step_all(now=0.0) and not fabric.queued:
+                break
+    return fabric
+
+
+def demand_matrix(rng, rows, num_types, high=5):
+    demands = rng.integers(0, high, size=(rows, num_types))
+    demands[demands.sum(axis=1) == 0, 0] = 1
+    return demands
+
+
+class TestBatchedRoutingDeterminism:
+    """Batched admission must be *decision-identical* to sequential.
+
+    The async endpoint feeds every drained batch through ``submit_batch``
+    → ``route_batch`` → ``estimate_dc_batch``; each layer claims bit-exact
+    agreement with its scalar twin, and these tests pin each claim down
+    (including exclusion sets, the failover path's input).
+    """
+
+    def test_estimate_dc_batch_is_bit_identical_per_row(self):
+        fabric = loaded_fabric(57)
+        rng = np.random.default_rng(3)
+        demands = demand_matrix(rng, 48, fabric.shards[0].state.num_types)
+        for shard in fabric.shards:
+            batched = estimate_dc_batch(shard.state, demands)
+            for row in range(demands.shape[0]):
+                scalar = estimate_dc(shard.state, demands[row])
+                # == (not approx): the batched kernel must reduce along the
+                # same axis with the same blocking as the scalar path.
+                assert batched[row] == scalar
+
+    def test_route_batch_matches_sequential_route(self):
+        fabric = loaded_fabric(58, shards=4)
+        router = fabric._router
+        rng = np.random.default_rng(4)
+        demands = demand_matrix(
+            rng, 40, fabric.shards[0].state.num_types, high=6
+        )
+        for exclude in (frozenset(), frozenset({1}), frozenset({0, 2})):
+            batched = router.route_batch(demands, exclude=exclude)
+            for row in range(demands.shape[0]):
+                single = router.route(demands[row], exclude=exclude)
+                assert batched[row].ranked == single.ranked
+                assert batched[row].refused == single.refused
+                assert batched[row].scores == single.scores
+
+    def test_submit_batch_is_decision_identical_to_sequential(self):
+        """Twin fabrics, one trace: batched vs one-at-a-time submission.
+
+        Speculation is disabled (``speculation=1``, the default), so every
+        request must land on the same shard with the same outcome and the
+        two checkpoint byte streams must match exactly.
+        """
+
+        def run(batched: bool):
+            pool = random_pool(
+                PoolSpec(
+                    racks=6,
+                    nodes_per_rack=4,
+                    clouds=2,
+                    capacity_low=1,
+                    capacity_high=3,
+                ),
+                CATALOG,
+                seed=61,
+            )
+            fabric = ShardedPlacementFabric(
+                pool,
+                plan=RackGroupPlan(3),
+                config=FabricConfig(service=ServiceConfig(batch_window=0.0)),
+                obs=MetricsRegistry(),
+            )
+            rng = np.random.default_rng(62)
+            outcomes = []
+            rid = 0
+            for _ in range(8):  # 8 waves of 8 requests
+                wave = []
+                for _ in range(8):
+                    demand = [
+                        int(x) for x in rng.integers(0, 3, size=pool.num_types)
+                    ]
+                    if sum(demand) == 0:
+                        demand[0] = 1
+                    wave.append(PlaceRequest(request_id=rid, demand=demand))
+                    rid += 1
+                if batched:
+                    tickets = fabric.submit_batch(wave)
+                else:
+                    tickets = [fabric.submit(request) for request in wave]
+                for _ in range(16):
+                    if not fabric.step_all(now=0.0) and not fabric.queued:
+                        break
+                for ticket in tickets:
+                    decision = ticket.decision
+                    outcomes.append(
+                        (
+                            ticket.request_id,
+                            decision.status,
+                            decision.placements,
+                            decision.center,
+                            decision.distance,
+                        )
+                    )
+                # Release a deterministic third of the wave between waves.
+                for request in wave:
+                    if request.request_id % 3 == 0:
+                        fabric.release(
+                            ReleaseRequest(request_id=request.request_id)
+                        )
+            fabric.verify_consistency()
+            return outcomes, fabric.checkpoint_bytes()
+
+        sequential = run(batched=False)
+        batched = run(batched=True)
+        assert batched[0] == sequential[0]  # same shard, status, placement
+        assert batched[1] == sequential[1]  # byte-identical checkpoints
+
+    def test_submit_batch_screens_duplicates_like_submit(self):
+        fabric = loaded_fabric(63)
+        requests = [
+            PlaceRequest(request_id=1000, demand=(1, 0, 0)),
+            PlaceRequest(request_id=1000, demand=(1, 0, 0)),  # duplicate
+            PlaceRequest(request_id=1001, demand=(0, 1, 0)),
+        ]
+        tickets = fabric.submit_batch(requests)
+        for _ in range(8):
+            if not fabric.step_all(now=0.0) and not fabric.queued:
+                break
+        assert tickets[1].decision.status == DecisionStatus.REJECTED
+        assert tickets[0].decision.placed
+        assert tickets[2].decision.placed
 
 
 class TestSingleServiceDeterminism:
