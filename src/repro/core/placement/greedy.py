@@ -109,6 +109,7 @@ def greedy_fill(
     :mod:`repro.core.placement.kernels`, which are bit-identical to the
     sequential formulation retained as :func:`_reference_greedy_fill`.
     """
+    kernels.require_rack_ids(rack_ids, max_vms_per_rack)
     if max_vms_per_rack is None:
         return kernels.fill_one(center, demand, remaining, dist)
     return kernels.fill_one_rack_limited(
@@ -130,13 +131,12 @@ def _reference_greedy_fill(
     Kept as the executable specification the vectorized kernels are
     property-tested against (byte-identical allocations).
     """
+    kernels.require_rack_ids(rack_ids, max_vms_per_rack)
     n, m = remaining.shape
     alloc = np.zeros((n, m), dtype=np.int64)
     todo = demand.astype(np.int64).copy()
     rack_budget: "dict[int, int] | None" = None
     if max_vms_per_rack is not None:
-        if rack_ids is None:
-            raise ValidationError("max_vms_per_rack requires rack_ids")
         rack_budget = {}
     for i in _reference_fill_order(center, demand, remaining, dist):
         if not todo.any():
@@ -232,25 +232,64 @@ class OnlineHeuristic(PlacementAlgorithm):
             candidates = (rng or self._rng).permutation(candidates)
         return candidates
 
+    def _effective_spread(self, pool, request, demand):
+        """Combine the operator cap with the request's survivability target.
+
+        Returns ``(domain_ids, cap)`` — the single per-domain budget the
+        sweep enforces — or ``(rack_ids-or-None, None)`` when unconstrained.
+        A request-level :class:`~repro.core.reliability.SurvivabilityTarget`
+        compiles (refuse-impossible, see ``compile_target``) to a cap over
+        its own failure-domain scope; a rack-scope target shares the rack
+        partition with ``max_vms_per_rack``, so both combine as the
+        minimum. A node-scope target under an operator rack cap would need
+        two simultaneous partitions, which the single-budget kernels cannot
+        express — that combination is rejected.
+        """
+        from repro.core import reliability
+
+        target = getattr(request, "survivability", None)
+        rack_ids = None
+        cap = self.max_vms_per_rack
+        if cap is not None:
+            rack_ids = pool.topology.rack_ids
+        if target is None:
+            return rack_ids, cap
+        compiled = reliability.compile_target(demand, pool, target)
+        if compiled is None:  # vacuous (k=0): unconstrained path, bit-identical
+            return rack_ids, cap
+        domain_ids, target_cap, _k = compiled
+        if cap is None:
+            return domain_ids, target_cap
+        if target.domain_scope != "rack":
+            raise ValidationError(
+                "cannot combine max_vms_per_rack with a node-scope "
+                "survivability target (two failure-domain partitions)"
+            )
+        return rack_ids, min(cap, target_cap)
+
     def _place(self, pool: ResourcePool, request, *, rng=None, obs=None):
         timer = self.timer
         demand = normalize_request(request, pool.num_types)
         with timer.phase("admission"):
             admissible = check_admissible(demand, pool)
+            domain_ids, cap = self._effective_spread(pool, request, demand)
+            if (
+                getattr(request, "survivability", None) is not None
+                and cap is not None
+            ):
+                from repro.core import reliability
+
+                admissible = admissible and reliability.check_spread_admissible(
+                    demand, pool, domain_ids, cap
+                )
         if not admissible:
             return None
         remaining = pool.remaining
         dist = pool.distance_matrix
-        rack_ids = None
-        if self.max_vms_per_rack is not None:
-            rack_ids = pool.topology.rack_ids
 
         # Lines 9–14: a single node that can host everything wins outright —
-        # unless the spread constraint forbids that many VMs in one rack.
-        if (
-            self.max_vms_per_rack is None
-            or int(demand.sum()) <= self.max_vms_per_rack
-        ):
+        # unless the spread constraint forbids that many VMs in one domain.
+        if cap is None or int(demand.sum()) <= cap:
             fits = np.all(remaining >= demand[None, :], axis=1)
             if fits.any():
                 i = int(np.flatnonzero(fits)[0])
@@ -262,14 +301,16 @@ class OnlineHeuristic(PlacementAlgorithm):
             candidates = self._candidate_centers(remaining, rng)
             if self.use_kernels:
                 return self._sweep_kernels(
-                    candidates, demand, remaining, dist, pool, rack_ids, obs
+                    candidates, demand, remaining, dist, pool, domain_ids,
+                    cap, obs,
                 )
             return self._sweep_reference(
-                candidates, demand, remaining, dist, rack_ids
+                candidates, demand, remaining, dist, domain_ids, cap
             )
 
     def _sweep_kernels(
-        self, candidates, demand, remaining, dist, pool, rack_ids, obs=None
+        self, candidates, demand, remaining, dist, pool, domain_ids, cap,
+        obs=None,
     ):
         """Vectorized candidate sweep (bit-identical to the reference)."""
         cache = getattr(pool, "topology_cache", None)
@@ -280,8 +321,8 @@ class OnlineHeuristic(PlacementAlgorithm):
             remaining,
             dist,
             cache=cache,
-            rack_ids=rack_ids,
-            max_vms_per_rack=self.max_vms_per_rack,
+            rack_ids=domain_ids,
+            max_vms_per_rack=cap,
             timer=self.timer if self.timer.enabled else None,
             obs=obs,
         )
@@ -290,7 +331,7 @@ class OnlineHeuristic(PlacementAlgorithm):
         matrix, center, dc = result
         return Allocation(matrix=matrix, center=center, distance=dc)
 
-    def _sweep_reference(self, candidates, demand, remaining, dist, rack_ids):
+    def _sweep_reference(self, candidates, demand, remaining, dist, domain_ids, cap):
         """The original per-center Python loop (executable specification)."""
         best: "Allocation | None" = None
         for center in candidates:
@@ -299,8 +340,8 @@ class OnlineHeuristic(PlacementAlgorithm):
                 demand,
                 remaining,
                 dist,
-                rack_ids=rack_ids,
-                max_vms_per_rack=self.max_vms_per_rack,
+                rack_ids=domain_ids,
+                max_vms_per_rack=cap,
             )
             if matrix is None:
                 continue

@@ -62,6 +62,8 @@ def solve_sd_milp(
     pool: ResourcePool,
     *,
     options: MilpOptions | None = None,
+    domain_ids: "np.ndarray | None" = None,
+    domain_cap: "int | None" = None,
 ) -> "Allocation | None":
     """Solve the SD integer program (Section III.B) with HiGHS.
 
@@ -70,8 +72,17 @@ def solve_sd_milp(
     allocation, ``None`` when the request must wait, and raises
     :class:`~repro.util.errors.InfeasibleRequestError` when it must be
     refused.
+
+    ``domain_ids``/``domain_cap`` (given together) add the RVMP
+    failure-domain spread rows ``Σ_{i∈d,j} x_ij ≤ domain_cap`` per failure
+    domain ``d`` — see :mod:`repro.core.reliability`. Callers are expected
+    to have established feasibility (e.g. via
+    :func:`repro.core.reliability.spread_feasible`); an infeasible program
+    surfaces as :class:`~repro.util.errors.SolverError`.
     """
     demand = normalize_request(request, pool.num_types)
+    if (domain_ids is None) != (domain_cap is None):
+        raise SolverError("domain_ids and domain_cap must be given together")
     if not check_admissible(demand, pool):
         return None
     options = options or MilpOptions()
@@ -131,6 +142,23 @@ def solve_sd_milp(
             row += 1
     a_big = sparse.csr_matrix((data, (rows, cols)), shape=(row, nx + 2 * n))
     constraints.append(LinearConstraint(a_big, -np.inf, np.array(rhs)))
+
+    # Failure-domain spread: Σ_{i∈d,j} x_ij ≤ cap per domain d.
+    if domain_ids is not None:
+        dom = np.asarray(domain_ids, dtype=np.int64)
+        if dom.shape != (n,):
+            raise SolverError(
+                f"domain_ids must have one entry per node ({n}), got {dom.shape}"
+            )
+        domains, dom_rows = np.unique(dom, return_inverse=True)
+        rows = np.repeat(dom_rows, m)
+        cols = np.arange(nx)
+        a_dom = sparse.csr_matrix(
+            (np.ones(nx), (rows, cols)), shape=(len(domains), nx + 2 * n)
+        )
+        constraints.append(
+            LinearConstraint(a_dom, -np.inf, np.full(len(domains), float(domain_cap)))
+        )
 
     res = milp(
         c=c,

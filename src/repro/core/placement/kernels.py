@@ -55,6 +55,20 @@ CHUNK = 128
 _SCREEN_RTOL = 1e-9
 
 
+def require_rack_ids(rack_ids, max_vms_per_rack) -> None:
+    """The one rack-budget precondition, shared by every entry point.
+
+    Historically this was checked lazily inside
+    :func:`fill_one_rack_limited`, so sweep paths that never reached a fill
+    (e.g. an empty candidate list) silently returned ``None`` instead of
+    rejecting the inconsistent arguments. Every budgeted entry point —
+    ``greedy_fill``, :func:`fill_one_rack_limited`, :func:`sweep_best`,
+    :func:`sweep_first` — now calls this eagerly.
+    """
+    if max_vms_per_rack is not None and rack_ids is None:
+        raise ValidationError("max_vms_per_rack requires rack_ids")
+
+
 def clip_to_budget(take: np.ndarray, budget: int) -> np.ndarray:
     """Reduce *take* so its total is ≤ *budget*, trimming later types first.
 
@@ -146,9 +160,13 @@ def fill_one_rack_limited(
     (later types shed first), so the take sequence is inherently
     order-dependent; only the node ordering is vectorized, the walk itself
     mirrors the reference loop exactly.
+
+    ``rack_ids`` may be any node → failure-domain map (rack ids, node ids,
+    power domains…) — nothing here assumes rack granularity, which is how
+    :mod:`repro.core.reliability` reuses this kernel for arbitrary
+    survivability scopes.
     """
-    if rack_ids is None:
-        raise ValidationError("max_vms_per_rack requires rack_ids")
+    require_rack_ids(rack_ids, max_vms_per_rack)
     n, m = remaining.shape
     alloc = np.zeros((n, m), dtype=np.int64)
     todo = demand.astype(np.int64).copy()
@@ -299,6 +317,7 @@ def sweep_best(
     registry) receives screened/pruned/filled counts and fill timings;
     it never affects the result.
     """
+    require_rack_ids(rack_ids, max_vms_per_rack)
     if max_vms_per_rack is None and np.any(remaining.sum(axis=0) < demand):
         return None  # completion is center-independent without rack budgets
     ins = _sweep_instruments(obs)
@@ -345,6 +364,7 @@ def sweep_first(
     obs=None,
 ) -> "tuple[np.ndarray, int, float] | None":
     """First candidate whose fill completes (the reference ``stop="first"``)."""
+    require_rack_ids(rack_ids, max_vms_per_rack)
     ins = _sweep_instruments(obs)
     for center in candidates:
         matrix = _timed_fill(

@@ -32,11 +32,17 @@ class VirtualClusterRequest:
         Unique id (auto-assigned when omitted).
     tag:
         Free-form label used by experiments and logs.
+    survivability:
+        Optional :class:`~repro.core.reliability.SurvivabilityTarget` (a
+        plain dict in its ``to_dict`` form is also accepted and converted).
+        ``None`` — the default, and the only value most callers ever use —
+        means the request is placed exactly as before this field existed.
     """
 
     demand: np.ndarray
     request_id: int = -1
     tag: str = ""
+    survivability: "SurvivabilityTarget | None" = None
 
     def __post_init__(self) -> None:
         d = as_int_vector(self.demand, name="demand")
@@ -46,6 +52,20 @@ class VirtualClusterRequest:
         object.__setattr__(self, "demand", d)
         if self.request_id < 0:
             object.__setattr__(self, "request_id", next(_request_counter))
+        if self.survivability is not None:
+            from repro.core.reliability import SurvivabilityTarget
+
+            if isinstance(self.survivability, dict):
+                object.__setattr__(
+                    self,
+                    "survivability",
+                    SurvivabilityTarget.from_dict(self.survivability),
+                )
+            elif not isinstance(self.survivability, SurvivabilityTarget):
+                raise ValidationError(
+                    "survivability must be a SurvivabilityTarget, a dict, "
+                    f"or None; got {type(self.survivability).__name__}"
+                )
 
     @property
     def total_vms(self) -> int:
@@ -57,9 +77,14 @@ class VirtualClusterRequest:
         return int(self.demand.shape[0])
 
     def __repr__(self) -> str:
+        extra = (
+            f", survivability={self.survivability.to_dict()}"
+            if self.survivability is not None
+            else ""
+        )
         return (
             f"VirtualClusterRequest(id={self.request_id}, "
-            f"demand={self.demand.tolist()})"
+            f"demand={self.demand.tolist()}{extra})"
         )
 
 

@@ -1,0 +1,680 @@
+"""Survivability-constrained placement: the RVMP variant of the SD problem.
+
+The paper's SD objective minimizes cluster distance but is blind to failure
+domains: the optimal packing routinely concentrates a whole virtual cluster
+in one rack, and a single ToR-switch or power-domain outage then kills every
+VM at once. Following "Reliable Virtual Machine Placement and Routing in
+Clouds" (arXiv 1701.06005), this module adds an availability-*constrained*
+SD variant — minimize ``DC(C)`` subject to surviving a target number of
+failure-domain outages — and the probability machinery to promise (and
+later verify against injected failures) an availability number.
+
+**Survivability semantics.** A :class:`SurvivabilityTarget` names a failure
+domain granularity (``node`` or ``rack``) and a tolerance ``k``. The
+constraint compiled from it is a *per-domain VM cap*::
+
+    cap = floor(total / (k + 1))          (the "spread budget")
+
+Any placement respecting the cap keeps a **quorum** of
+``ceil(total / (k + 1))`` VMs alive under *any* simultaneous failure of up
+to ``k`` domains: the ``k`` dead domains held at most ``k·cap ≤ total −
+ceil(total/(k+1))`` VMs. ``k = 0`` gives ``cap ≥ total`` — no constraint,
+and the placement path is bit-identical to the unconstrained algorithms.
+``total ≤ k`` gives ``cap = 0`` — the target is *impossible* and the
+request must be refused, never silently weakened.
+
+**Availability targets.** ``kind="availability"`` asks for a minimum
+steady-state probability that the quorum is alive, given a per-domain
+MTBF/MTTR failure model (the per-domain steady-state unavailability is
+``u = mttr / (mtbf + mttr)``). The target compiles to the smallest ``k``
+whose *nominal* placement (domains filled to the cap — the adversarial
+spread the heuristic is allowed to produce) meets the probability; the
+achieved placement's exact survival probability (a lost-VM-distribution
+DP, :func:`survival_probability`) is what decisions report as the promise.
+The promise is conservative by construction: the renewal failure process
+starts all-up, so measured availability under the
+:class:`~repro.cloud.failures.FailureInjector` dominates the steady state.
+
+**Feasibility is exact, not greedy.** Whether a demand fits under a domain
+cap is a transportation problem (VM types couple through both per-node
+capacity and the per-domain total), so admission runs a small max-flow
+(:func:`spread_feasible`): ``source → type_j (R_j) → node_i (L_ij) →
+domain_d → sink (cap)``. The flow saturates the demand iff the cap-extended
+MILP has a feasible point, which makes the service's refusal rule exact:
+*refuse* iff infeasible against maximum capacity, *wait* iff infeasible
+against current availability only.
+
+The exact optimizer (:func:`solve_sd_reliable`) extends the SD MILP with
+the per-domain cap rows; the heuristic path lives in
+:class:`~repro.core.placement.greedy.OnlineHeuristic`, which generalizes
+its ``max_vms_per_rack`` budgeting to the compiled cap. Solver modules are
+imported lazily inside :func:`solve_sd_reliable` so importing this module
+(e.g. just to build a :class:`SurvivabilityTarget`) stays cheap.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.placement.base import (
+    PlacementAlgorithm,
+    check_admissible,
+    normalize_request,
+)
+from repro.util.errors import InfeasibleRequestError, ValidationError
+
+#: Recognized target kinds.
+KINDS = ("node", "rack", "availability")
+
+#: Domain granularities an availability target may name.
+SCOPES = ("node", "rack")
+
+
+# ------------------------------------------------------------ spread algebra
+
+def spread_budget(total: int, k: int) -> int:
+    """Per-domain VM cap tolerating *k* domain failures: ``⌊total/(k+1)⌋``.
+
+    ``0`` means the target is impossible for this request size (``total ≤
+    k`` — there is no way to spread ``total`` VMs so that ``k`` domain
+    deaths leave a quorum).
+    """
+    if total < 0 or k < 0:
+        raise ValidationError("total and k must be non-negative")
+    return total // (k + 1)
+
+
+def quorum(total: int, k: int) -> int:
+    """VMs guaranteed to survive any ``≤ k`` domain failures under the cap."""
+    if total < 0 or k < 0:
+        raise ValidationError("total and k must be non-negative")
+    return -(-total // (k + 1))
+
+
+def steady_unavailability(mtbf: float, mttr: float) -> float:
+    """Steady-state probability a domain is down: ``mttr / (mtbf + mttr)``."""
+    if mtbf <= 0 or mttr <= 0:
+        raise ValidationError("mtbf and mttr must be > 0")
+    return mttr / (mtbf + mttr)
+
+
+def survival_probability(
+    domain_counts, u: float, max_loss: int
+) -> float:
+    """P(VMs lost to down domains ≤ *max_loss*), domains i.i.d. down w.p. *u*.
+
+    *domain_counts* holds the placement's per-domain VM counts (zeros are
+    ignored). Exact dynamic program over the lost-VM distribution,
+    truncated at ``max_loss + 1`` (everything beyond is absorbed — it only
+    ever needs to be known as "too much").
+    """
+    if not (0.0 <= u <= 1.0):
+        raise ValidationError("u must be in [0, 1]")
+    if max_loss < 0:
+        return 0.0
+    # dist[l] = P(exactly l VMs lost), l in 0..max_loss; mass shifted past
+    # max_loss is dropped (those outcomes are non-survival either way).
+    dist = np.zeros(max_loss + 1, dtype=np.float64)
+    dist[0] = 1.0
+    for count in domain_counts:
+        v = int(count)
+        if v <= 0:
+            continue
+        shifted = np.zeros_like(dist)
+        if v <= max_loss:
+            shifted[v:] = dist[: max_loss + 1 - v]
+        dist = (1.0 - u) * dist + u * shifted
+    return float(dist.sum())
+
+
+def nominal_domain_counts(total: int, cap: int) -> list[int]:
+    """The adversarial cap-respecting spread: fewest domains, each maximal.
+
+    This concentrates VMs as much as the cap allows — the placement shape
+    with the *lowest* survival probability among cap-respecting placements
+    (bigger per-domain chunks mean each domain death costs more), so
+    promising availability against it is safe for any actual placement.
+    """
+    if cap <= 0:
+        raise ValidationError("cap must be >= 1 for a nominal spread")
+    counts = [cap] * (total // cap)
+    if total % cap:
+        counts.append(total % cap)
+    return counts
+
+
+def nominal_availability(total: int, k: int, u: float) -> float:
+    """Quorum-survival probability of the nominal spread for tolerance *k*."""
+    cap = spread_budget(total, k)
+    if cap <= 0:
+        return 0.0
+    max_loss = total - quorum(total, k)
+    return survival_probability(nominal_domain_counts(total, cap), u, max_loss)
+
+
+def resolve_availability_k(
+    min_availability: float, total: int, num_domains: int, u: float
+) -> "int | None":
+    """Smallest *k* whose nominal spread meets *min_availability*.
+
+    Searches ``k = 0 .. min(total, num_domains) − 1`` (beyond that the cap
+    is 0 or the spread needs more domains than exist). Returns ``None``
+    when no tolerance reaches the target — the request must be refused.
+    """
+    limit = min(total, num_domains)
+    for k in range(limit):
+        if spread_budget(total, k) * num_domains < total:
+            break  # the pool has too few domains to spread this thin
+        if nominal_availability(total, k, u) >= min_availability:
+            return k
+    return None
+
+
+# ------------------------------------------------------------------- target
+
+@dataclass(frozen=True)
+class SurvivabilityTarget:
+    """A per-request reliability requirement attached to placement.
+
+    Three kinds:
+
+    * ``kind="node"`` — survive any ``k`` simultaneous *node* failures.
+    * ``kind="rack"`` — survive any ``k`` simultaneous *rack* failures
+      (the generalization of ``OnlineHeuristic(max_vms_per_rack=...)``).
+    * ``kind="availability"`` — keep the quorum alive with probability at
+      least ``min_availability`` under a per-domain MTBF/MTTR model;
+      compiled to the smallest adequate ``k`` at admission time
+      (:meth:`resolve_k`). ``scope`` names the domain granularity.
+
+    ``mtbf``/``mttr`` are required for availability targets and optional
+    for ``k``-kinds, where they let decisions report a promised
+    availability alongside the structural guarantee.
+    """
+
+    kind: str
+    k: int = 0
+    min_availability: "float | None" = None
+    scope: str = "rack"
+    mtbf: "float | None" = None
+    mttr: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValidationError(
+                f"survivability kind must be one of {KINDS}, got {self.kind!r}"
+            )
+        if self.scope not in SCOPES:
+            raise ValidationError(
+                f"survivability scope must be one of {SCOPES}, got {self.scope!r}"
+            )
+        if (self.mtbf is None) != (self.mttr is None):
+            raise ValidationError("mtbf and mttr must be given together")
+        if self.mtbf is not None and (self.mtbf <= 0 or self.mttr <= 0):
+            raise ValidationError("mtbf and mttr must be > 0")
+        if self.kind == "availability":
+            if self.min_availability is None:
+                raise ValidationError(
+                    "availability targets require min_availability"
+                )
+            if not (0.0 < self.min_availability < 1.0):
+                raise ValidationError("min_availability must be in (0, 1)")
+            if self.mtbf is None:
+                raise ValidationError(
+                    "availability targets require mtbf and mttr"
+                )
+            if self.k != 0:
+                raise ValidationError(
+                    "availability targets derive k; do not set it"
+                )
+        else:
+            if self.min_availability is not None:
+                raise ValidationError(
+                    f"min_availability is only valid for availability "
+                    f"targets, not kind={self.kind!r}"
+                )
+            if self.k < 0:
+                raise ValidationError("k must be >= 0")
+            # For k-kinds the scope IS the kind; normalize so domain_scope
+            # and serialization never disagree.
+            object.__setattr__(self, "scope", self.kind)
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def domain_scope(self) -> str:
+        """Failure-domain granularity: ``"node"`` or ``"rack"``."""
+        return self.scope
+
+    @property
+    def unavailability(self) -> "float | None":
+        """Per-domain steady-state down probability, if a model was given."""
+        if self.mtbf is None:
+            return None
+        return steady_unavailability(self.mtbf, self.mttr)
+
+    def is_trivial(self, total: int, num_domains: int) -> bool:
+        """Whether the compiled constraint is vacuous (cap ≥ total).
+
+        Trivial targets take the unconstrained placement path, which keeps
+        ``k = 0`` requests bit-identical to target-free ones.
+        """
+        return self.spread_budget(total, num_domains) >= total
+
+    # ------------------------------------------------------------ compilation
+
+    def resolve_k(self, total: int, num_domains: int) -> int:
+        """The effective tolerance ``k`` for a *total*-VM request.
+
+        Raises :class:`InfeasibleRequestError` when an availability target
+        cannot be met by any spread over *num_domains* domains — the
+        refuse-impossible rule, applied before any placement work.
+        """
+        if total < 1:
+            raise ValidationError("total must be >= 1")
+        if self.kind != "availability":
+            return self.k
+        k = resolve_availability_k(
+            self.min_availability, total, num_domains, self.unavailability
+        )
+        if k is None:
+            raise InfeasibleRequestError(
+                f"availability {self.min_availability} is unreachable for "
+                f"{total} VMs over {num_domains} {self.scope} domains "
+                f"(u={self.unavailability:.4g})"
+            )
+        return k
+
+    def spread_budget(self, total: int, num_domains: int) -> int:
+        """The compiled per-domain VM cap for a *total*-VM request."""
+        return spread_budget(total, self.resolve_k(total, num_domains))
+
+    # ---------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form (stable key order, no ``None`` keys)."""
+        doc: dict = {"kind": self.kind}
+        if self.kind == "availability":
+            doc["min_availability"] = float(self.min_availability)
+            doc["scope"] = self.scope
+        else:
+            doc["k"] = int(self.k)
+        if self.mtbf is not None:
+            doc["mtbf"] = float(self.mtbf)
+            doc["mttr"] = float(self.mttr)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SurvivabilityTarget":
+        """Inverse of :meth:`to_dict` (strict: unknown keys are rejected)."""
+        if not isinstance(doc, dict):
+            raise ValidationError(
+                f"survivability must be an object, got {type(doc).__name__}"
+            )
+        known = {"kind", "k", "min_availability", "scope", "mtbf", "mttr"}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown survivability fields: {sorted(unknown)}"
+            )
+        return cls(
+            kind=doc.get("kind", ""),
+            k=int(doc.get("k", 0)),
+            min_availability=doc.get("min_availability"),
+            scope=doc.get("scope", "rack"),
+            mtbf=doc.get("mtbf"),
+            mttr=doc.get("mttr"),
+        )
+
+
+def domain_ids_for(scope: str, pool) -> np.ndarray:
+    """Node → failure-domain map for *scope* over *pool*'s topology."""
+    if scope == "node":
+        return np.arange(pool.num_nodes, dtype=np.int64)
+    if scope == "rack":
+        return np.asarray(pool.topology.rack_ids, dtype=np.int64)
+    raise ValidationError(f"unknown domain scope {scope!r}")
+
+
+# ------------------------------------------------------- max-flow feasibility
+
+class _Dinic:
+    """Minimal Dinic max-flow on an adjacency-list residual graph."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.head: list[list[int]] = [[] for _ in range(n)]
+        self.to: list[int] = []
+        self.cap: list[int] = []
+
+    def add_edge(self, u: int, v: int, cap: int) -> None:
+        self.head[u].append(len(self.to))
+        self.to.append(v)
+        self.cap.append(cap)
+        self.head[v].append(len(self.to))
+        self.to.append(u)
+        self.cap.append(0)
+
+    def max_flow(self, source: int, sink: int, need: "int | None" = None) -> int:
+        flow = 0
+        while True:
+            level = [-1] * self.n
+            level[source] = 0
+            queue = deque([source])
+            while queue:
+                u = queue.popleft()
+                for e in self.head[u]:
+                    v = self.to[e]
+                    if self.cap[e] > 0 and level[v] < 0:
+                        level[v] = level[u] + 1
+                        queue.append(v)
+            if level[sink] < 0:
+                return flow
+            it = [0] * self.n
+
+            def dfs(u: int, pushed: int) -> int:
+                if u == sink:
+                    return pushed
+                while it[u] < len(self.head[u]):
+                    e = self.head[u][it[u]]
+                    v = self.to[e]
+                    if self.cap[e] > 0 and level[v] == level[u] + 1:
+                        got = dfs(v, min(pushed, self.cap[e]))
+                        if got > 0:
+                            self.cap[e] -= got
+                            self.cap[e ^ 1] += got
+                            return got
+                    it[u] += 1
+                return 0
+
+            while True:
+                pushed = dfs(source, 1 << 60)
+                if pushed == 0:
+                    break
+                flow += pushed
+                if need is not None and flow >= need:
+                    return flow
+
+
+def max_spread_placement(
+    demand: np.ndarray,
+    capacity: np.ndarray,
+    domain_ids: np.ndarray,
+    cap: int,
+) -> int:
+    """Most request VMs placeable under the per-domain cap (exact, max-flow).
+
+    Network: ``source → type_j (R_j) → node_i (L_ij) → domain_d → sink
+    (cap)``. Integral capacities make the max flow an achievable integral
+    placement, so ``== demand.sum()`` is *exactly* MILP feasibility of the
+    cap-extended SD program.
+    """
+    demand = np.asarray(demand, dtype=np.int64)
+    capacity = np.asarray(capacity, dtype=np.int64)
+    domain_ids = np.asarray(domain_ids, dtype=np.int64)
+    n, m = capacity.shape
+    if demand.shape != (m,):
+        raise ValidationError(f"demand must have {m} entries")
+    if domain_ids.shape != (n,):
+        raise ValidationError(f"domain_ids must have one entry per node ({n})")
+    if cap < 0:
+        raise ValidationError("cap must be >= 0")
+    need = int(demand.sum())
+    if cap == 0:
+        return 0
+    domains = np.unique(domain_ids)
+    dindex = {int(d): p for p, d in enumerate(domains)}
+    # node ids: 0 = source, 1..m = types, m+1..m+n = nodes, then domains, sink.
+    source = 0
+    type0 = 1
+    node0 = type0 + m
+    dom0 = node0 + n
+    sink = dom0 + len(domains)
+    graph = _Dinic(sink + 1)
+    for j in range(m):
+        if demand[j] > 0:
+            graph.add_edge(source, type0 + j, int(demand[j]))
+    # Per-node ceiling: a node can contribute at most min(its total supply
+    # over demanded types, the domain cap) — fold the cap into the node →
+    # domain arc so the type arcs stay simple.
+    for i in range(n):
+        node_total = 0
+        for j in range(m):
+            take = int(min(capacity[i, j], demand[j]))
+            if take > 0:
+                graph.add_edge(type0 + j, node0 + i, take)
+                node_total += take
+        if node_total > 0:
+            graph.add_edge(
+                node0 + i, dom0 + dindex[int(domain_ids[i])],
+                min(node_total, cap),
+            )
+    for p in range(len(domains)):
+        graph.add_edge(dom0 + p, sink, cap)
+    return graph.max_flow(source, sink, need=need)
+
+
+def spread_feasible(
+    demand: np.ndarray,
+    capacity: np.ndarray,
+    domain_ids: np.ndarray,
+    cap: int,
+) -> bool:
+    """Whether *demand* fits in *capacity* under the per-domain *cap*."""
+    demand = np.asarray(demand, dtype=np.int64)
+    need = int(demand.sum())
+    # Cheap necessary screens before the flow: aggregate supply per type
+    # and total domain headroom.
+    if np.any(capacity.sum(axis=0) < demand):
+        return False
+    num_domains = int(np.unique(np.asarray(domain_ids)).shape[0])
+    if cap * num_domains < need:
+        return False
+    return max_spread_placement(demand, capacity, domain_ids, cap) >= need
+
+
+# --------------------------------------------------------- admission helpers
+
+def compile_target(
+    demand: np.ndarray, pool, target: SurvivabilityTarget
+) -> "tuple[np.ndarray, int, int] | None":
+    """Compile *target* to ``(domain_ids, cap, k)`` for this request/pool.
+
+    Returns ``None`` when the constraint is vacuous (``cap ≥ total``) —
+    callers then take the unconstrained path, which is what keeps ``k=0``
+    placements bit-identical to target-free ones. Raises
+    :class:`InfeasibleRequestError` when the target is impossible for the
+    request size (cap 0) or unreachable (availability kind).
+    """
+    demand = np.asarray(demand, dtype=np.int64)
+    total = int(demand.sum())
+    domain_ids = domain_ids_for(target.domain_scope, pool)
+    num_domains = int(np.unique(domain_ids).shape[0])
+    k = target.resolve_k(total, num_domains)
+    cap = spread_budget(total, k)
+    if cap >= total:
+        return None
+    if cap <= 0:
+        raise InfeasibleRequestError(
+            f"survivability target {target.to_dict()} is impossible for a "
+            f"{total}-VM request (spread budget 0)"
+        )
+    return domain_ids, cap, k
+
+
+def check_spread_admissible(
+    demand: np.ndarray, pool, domain_ids: np.ndarray, cap: int
+) -> bool:
+    """The two admission rules, extended with the domain cap.
+
+    Raises :class:`InfeasibleRequestError` when the demand cannot fit under
+    the cap even in an *empty* pool (refuse); returns ``False`` when it
+    fits at maximum capacity but not in the current free capacity (wait).
+    Mirrors :func:`repro.core.placement.base.check_admissible`.
+    """
+    if not spread_feasible(demand, pool.max_capacity, domain_ids, cap):
+        raise InfeasibleRequestError(
+            f"request {np.asarray(demand).tolist()} cannot satisfy its "
+            f"survivability spread (cap {cap}/domain) within maximum pool "
+            "capacity"
+        )
+    return spread_feasible(demand, pool.remaining, domain_ids, cap)
+
+
+def refusal_reason(
+    demand: np.ndarray, pool, target: "SurvivabilityTarget | None"
+) -> "str | None":
+    """Why *demand* + *target* can never be served by *pool*, or ``None``.
+
+    Exception-free admission screen for routing and service submit paths:
+    checks plain maximum capacity first, then the compiled spread
+    constraint against maximum capacity.
+    """
+    demand = np.asarray(demand, dtype=np.int64)
+    if pool.exceeds_max_capacity(demand):
+        return "demand exceeds maximum pool capacity"
+    if target is None:
+        return None
+    try:
+        compiled = compile_target(demand, pool, target)
+        if compiled is None:
+            return None
+        domain_ids, cap, _k = compiled
+        if not spread_feasible(demand, pool.max_capacity, domain_ids, cap):
+            return (
+                f"survivability spread (cap {cap}/{target.domain_scope}) "
+                "cannot fit within maximum pool capacity"
+            )
+    except InfeasibleRequestError as exc:
+        return str(exc)
+    return None
+
+
+def can_satisfy_target(
+    demand: np.ndarray, pool, target: "SurvivabilityTarget | None"
+) -> bool:
+    """Whether *pool*'s *current* free capacity admits demand + target.
+
+    ``False`` means wait (or, for a router, rank the shard as waitable);
+    callers must have screened refusal separately via
+    :func:`refusal_reason`.
+    """
+    demand = np.asarray(demand, dtype=np.int64)
+    if not pool.can_satisfy(demand):
+        return False
+    if target is None:
+        return True
+    try:
+        compiled = compile_target(demand, pool, target)
+    except InfeasibleRequestError:
+        return False
+    if compiled is None:
+        return True
+    domain_ids, cap, _k = compiled
+    return spread_feasible(demand, pool.remaining, domain_ids, cap)
+
+
+# ----------------------------------------------------- achieved survivability
+
+def achieved_survivability(
+    matrix: np.ndarray,
+    pool,
+    target: SurvivabilityTarget,
+) -> dict:
+    """JSON-ready report of what a committed placement actually guarantees.
+
+    Carried on :class:`~repro.service.api.PlacementDecision` so callers can
+    audit the promise: the effective tolerance ``k``, the compiled cap, the
+    realized spread (domains used, largest domain share), the quorum, and —
+    when an MTBF/MTTR model is present — the exact quorum-survival
+    probability of *this* placement (≥ the nominal promise by
+    construction).
+    """
+    matrix = np.asarray(matrix, dtype=np.int64)
+    total = int(matrix.sum())
+    domain_ids = domain_ids_for(target.domain_scope, pool)
+    num_domains = int(np.unique(domain_ids).shape[0])
+    k = target.resolve_k(total, num_domains)
+    node_counts = matrix.sum(axis=1)
+    counts = np.zeros(int(domain_ids.max()) + 1, dtype=np.int64)
+    np.add.at(counts, domain_ids, node_counts)
+    used = counts[counts > 0]
+    doc = {
+        "kind": target.kind,
+        "scope": target.domain_scope,
+        "k": int(k),
+        "domain_cap": int(spread_budget(total, k)) if k > 0 else int(total),
+        "quorum": int(quorum(total, k)),
+        "domains_used": int(used.shape[0]),
+        "max_domain_vms": int(used.max()) if used.size else 0,
+    }
+    u = target.unavailability
+    if u is not None:
+        max_loss = total - quorum(total, k)
+        doc["promised_availability"] = survival_probability(
+            used.tolist(), u, max_loss
+        )
+    return doc
+
+
+# ------------------------------------------------------------- exact solver
+
+def solve_sd_reliable(
+    request,
+    pool,
+    target: "SurvivabilityTarget | None" = None,
+    *,
+    options=None,
+):
+    """Exact survivability-constrained SD: min ``DC`` s.t. the domain cap.
+
+    With no target (or a vacuous one) this *is* :func:`solve_sd_exact` —
+    same code path, bit-identical allocations. With a binding cap the
+    per-center greedy sweep is no longer exact (the budget couples VM types
+    across nodes), so the cap-extended MILP
+    (:func:`repro.core.placement.ilp.solve_sd_milp` with ``domain_ids`` /
+    ``domain_cap``) carries the optimality guarantee. Returns the optimal
+    :class:`~repro.core.problem.Allocation`, ``None`` to wait, and raises
+    :class:`InfeasibleRequestError` to refuse — refusal exactly iff the
+    MILP is infeasible against maximum capacity (max-flow certified).
+    """
+    from repro.core.placement.exact import solve_sd_exact
+    from repro.core.placement.ilp import solve_sd_milp
+
+    demand = normalize_request(request, pool.num_types)
+    if target is None:
+        return solve_sd_exact(demand, pool)
+    compiled = compile_target(demand, pool, target)
+    if compiled is None:
+        return solve_sd_exact(demand, pool)
+    domain_ids, cap, _k = compiled
+    if not check_admissible(demand, pool):
+        return None
+    if not check_spread_admissible(demand, pool, domain_ids, cap):
+        return None
+    return solve_sd_milp(
+        demand, pool, options=options, domain_ids=domain_ids, domain_cap=cap
+    )
+
+
+class ReliablePlacement(PlacementAlgorithm):
+    """Protocol adapter around the exact survivability-constrained solver.
+
+    Reads the target from the request (``request.survivability``, with an
+    optional constructor default for raw-vector requests) and defers to
+    :func:`solve_sd_reliable`.
+    """
+
+    name = "reliable-exact"
+
+    def __init__(self, *, target: "SurvivabilityTarget | None" = None, options=None) -> None:
+        self.target = target
+        self.options = options
+
+    def _place(self, pool, request, *, rng=None, obs=None):
+        target = getattr(request, "survivability", None)
+        if target is None:
+            target = self.target
+        return solve_sd_reliable(request, pool, target, options=self.options)

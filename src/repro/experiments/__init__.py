@@ -48,6 +48,13 @@ from repro.experiments.fault_recovery import (
     run_spread_study,
     vm_deaths_from_failures,
 )
+from repro.experiments.reliability import (
+    ParetoPoint,
+    PlacedLease,
+    ReliabilityParetoResult,
+    measured_availability,
+    run_reliability_pareto,
+)
 from repro.experiments.ablations import (
     HeuristicGapResult,
     PolicyRow,
@@ -94,6 +101,11 @@ __all__ = [
     "SpreadStudyResult",
     "run_spread_study",
     "vm_deaths_from_failures",
+    "ParetoPoint",
+    "PlacedLease",
+    "ReliabilityParetoResult",
+    "measured_availability",
+    "run_reliability_pareto",
     "HeuristicGapResult",
     "PolicyRow",
     "SchedulerRow",

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.problem import Allocation, VirtualClusterRequest
+from repro.core.reliability import SurvivabilityTarget
 from repro.util.errors import ValidationError
 
 
@@ -52,12 +53,19 @@ class PlaceRequest:
 
     ``request_id`` is auto-assigned (via the core request counter) when
     negative, mirroring :class:`~repro.core.problem.VirtualClusterRequest`.
+
+    ``survivability`` optionally carries a
+    :class:`~repro.core.reliability.SurvivabilityTarget` (its ``to_dict``
+    form on the wire); admission validates it (impossible targets are
+    refused, never weakened) and the placed decision reports the achieved
+    survivability.
     """
 
     demand: tuple[int, ...]
     request_id: int = -1
     priority: int = 0
     tag: str = ""
+    survivability: "SurvivabilityTarget | dict | None" = None
 
     def __post_init__(self) -> None:
         demand = tuple(int(d) for d in self.demand)
@@ -66,6 +74,20 @@ class PlaceRequest:
                 f"demand must be non-negative with at least one VM, got {demand}"
             )
         object.__setattr__(self, "demand", demand)
+        if isinstance(self.survivability, dict):
+            object.__setattr__(
+                self,
+                "survivability",
+                SurvivabilityTarget.from_dict(self.survivability),
+            )
+        elif not (
+            self.survivability is None
+            or isinstance(self.survivability, SurvivabilityTarget)
+        ):
+            raise ValidationError(
+                "survivability must be a SurvivabilityTarget, a dict, or "
+                f"None; got {type(self.survivability).__name__}"
+            )
         if self.request_id < 0:
             core = VirtualClusterRequest(demand=list(demand), tag=self.tag)
             object.__setattr__(self, "request_id", core.request_id)
@@ -73,7 +95,10 @@ class PlaceRequest:
     def to_core(self) -> VirtualClusterRequest:
         """The core request object placement algorithms consume."""
         return VirtualClusterRequest(
-            demand=list(self.demand), request_id=self.request_id, tag=self.tag
+            demand=list(self.demand),
+            request_id=self.request_id,
+            tag=self.tag,
+            survivability=self.survivability,
         )
 
 
@@ -84,6 +109,11 @@ class PlacementDecision:
     ``placements`` is the sparse allocation — ``(node, vm_type, count)``
     triples — present only for :data:`DecisionStatus.PLACED`. ``latency`` is
     the submit-to-decision time in seconds as measured by the service.
+    ``survivability``, present only when the request carried a target, is
+    the achieved-survivability report
+    (:func:`repro.core.reliability.achieved_survivability`): the effective
+    ``k``, domain cap, realized spread, and — when an MTBF/MTTR model was
+    given — the promised availability of the committed placement.
     """
 
     request_id: int
@@ -93,6 +123,7 @@ class PlacementDecision:
     distance: float = 0.0
     latency: float = 0.0
     detail: str = ""
+    survivability: "dict | None" = None
 
     def __post_init__(self) -> None:
         if self.status not in DecisionStatus.TERMINAL_PLACE:
@@ -153,7 +184,11 @@ def allocation_to_placements(allocation: Allocation) -> tuple[tuple[int, int, in
 
 
 def decision_from_allocation(
-    request_id: int, allocation: Allocation, *, latency: float = 0.0
+    request_id: int,
+    allocation: Allocation,
+    *,
+    latency: float = 0.0,
+    survivability: "dict | None" = None,
 ) -> PlacementDecision:
     """Build a ``placed`` decision from a committed allocation."""
     return PlacementDecision(
@@ -163,6 +198,7 @@ def decision_from_allocation(
         center=allocation.center,
         distance=allocation.distance,
         latency=latency,
+        survivability=survivability,
     )
 
 
@@ -183,7 +219,13 @@ def encode_message(message) -> str:
     doc = {"kind": kind}
     for name in message.__dataclass_fields__:
         value = getattr(message, name)
-        if isinstance(value, tuple):
+        if value is None:
+            # Optional fields (today: survivability) ride the wire only when
+            # set — a peer that predates them sees byte-identical messages.
+            continue
+        if isinstance(value, SurvivabilityTarget):
+            value = value.to_dict()
+        elif isinstance(value, tuple):
             value = [list(v) if isinstance(v, tuple) else v for v in value]
         doc[name] = value
     return json.dumps(doc, separators=(",", ":"))

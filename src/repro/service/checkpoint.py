@@ -20,8 +20,14 @@ Format (version 1)::
       "pool": {"nodes": [...], "distance_model": {...}},
       "allocated": [[...], ...],             # the full C matrix
       "leases": [{"request_id": ..., "center": ..., "distance": ...,
-                  "placements": [[node, type, count], ...]}, ...]
+                  "placements": [[node, type, count], ...],
+                  "survivability": {...}},            # only when targeted
+                 ...]
     }
+
+A lease's ``survivability`` key is present only when the lease carries a
+:class:`~repro.core.reliability.SurvivabilityTarget` — checkpoints of
+target-free states are byte-identical to the pre-reliability format.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from repro.cloud.traces import (
     pool_to_dict,
 )
 from repro.core.problem import Allocation
+from repro.core.reliability import SurvivabilityTarget
 from repro.service.state import ClusterState
 from repro.util.errors import ValidationError
 
@@ -50,17 +57,19 @@ def checkpoint_to_dict(state: ClusterState) -> dict:
     for request_id in sorted(state.leases):
         allocation = state.leases[request_id]
         matrix = allocation.matrix
-        leases.append(
-            {
-                "request_id": int(request_id),
-                "center": int(allocation.center),
-                "distance": float(allocation.distance),
-                "placements": [
-                    [int(i), int(j), int(matrix[i, j])]
-                    for i, j in np.argwhere(matrix > 0)
-                ],
-            }
-        )
+        entry = {
+            "request_id": int(request_id),
+            "center": int(allocation.center),
+            "distance": float(allocation.distance),
+            "placements": [
+                [int(i), int(j), int(matrix[i, j])]
+                for i, j in np.argwhere(matrix > 0)
+            ],
+        }
+        target = state.lease_target(request_id)
+        if target is not None:
+            entry["survivability"] = target.to_dict()
+        leases.append(entry)
     return {
         "version": CHECKPOINT_VERSION,
         "state_version": state.version,
@@ -93,12 +102,18 @@ def state_from_checkpoint(doc: dict) -> ClusterState:
         matrix = np.zeros((n, m), dtype=np.int64)
         for node, vm_type, count in entry["placements"]:
             matrix[node, vm_type] += count
+        target = entry.get("survivability")
         state.adopt_lease(
             entry["request_id"],
             Allocation(
                 matrix=matrix,
                 center=entry["center"],
                 distance=entry["distance"],
+            ),
+            survivability=(
+                SurvivabilityTarget.from_dict(target)
+                if target is not None
+                else None
             ),
         )
     state.verify_consistency()

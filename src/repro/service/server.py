@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 from repro.cloud.queue import QueueDiscipline, RequestQueue
 from repro.cloud.request import TimedRequest
+from repro.core import reliability
 from repro.core.placement.greedy import OnlineHeuristic
 from repro.core.placement.transfer import transfer_pair
 from repro.obs.registry import (
@@ -366,7 +367,10 @@ class PlacementService:
                     )
                 )
                 return ticket
-            if self.state.exceeds_max_capacity(core.demand):
+            refusal = reliability.refusal_reason(
+                core.demand, self.state, core.survivability
+            )
+            if refusal is not None:
                 self.stats.refused += 1
                 self._m_admissions.labels(outcome="refused").inc()
                 self._m_decisions.labels(status=DecisionStatus.REFUSED).inc()
@@ -374,7 +378,7 @@ class PlacementService:
                     PlacementDecision(
                         request_id=request.request_id,
                         status=DecisionStatus.REFUSED,
-                        detail="demand exceeds maximum pool capacity",
+                        detail=refusal,
                     )
                 )
                 return ticket
@@ -503,7 +507,13 @@ class PlacementService:
                     ).allocation
                     if allocation is None:
                         continue
-                    self.state.allocate_lease(timed.request_id, allocation)
+                    self.state.allocate_lease(
+                        timed.request_id,
+                        allocation,
+                        survivability=getattr(
+                            timed.request, "survivability", None
+                        ),
+                    )
                 except ReproError as exc:
                     # submit() refuses duplicate ids up front, but a bad
                     # request must fail alone — never abort the cycle (and,
@@ -519,8 +529,18 @@ class PlacementService:
                     timed.request_id, (None, now)
                 )
                 latency = max(0.0, now - enqueued)
+                target = getattr(timed.request, "survivability", None)
                 decision = decision_from_allocation(
-                    timed.request_id, allocation, latency=latency
+                    timed.request_id,
+                    allocation,
+                    latency=latency,
+                    survivability=(
+                        reliability.achieved_survivability(
+                            allocation.matrix, self.state, target
+                        )
+                        if target is not None
+                        else None
+                    ),
                 )
                 self.stats.placed += 1
                 self.stats.total_distance += allocation.distance
@@ -634,17 +654,28 @@ class PlacementService:
         ``transfer_pair`` is pure, so a pair whose allocations are unchanged
         since it last converged would return the same rejected result —
         skipping it leaves the committed leases and stats bit-identical.
+
+        Survivability-constrained requests never participate: an exchange
+        optimizes distance with no knowledge of failure-domain caps, so it
+        could concentrate a spread placement back into one rack. Their
+        decisions must report exactly what admission promised.
         """
         dist = self.state.distance_matrix
         entries = list(placed)
         gain_before = self.stats.transfer_gain
         stamps = [0] * len(entries)
+        constrained = [
+            getattr(t.request, "survivability", None) is not None
+            for t, _a in entries
+        ]
         converged: dict[tuple[int, int], tuple[int, int]] = {}
         with self.timer.phase("transfer"):
             for _ in range(self.config.transfer_rounds):
                 changed = False
                 for i in range(len(entries)):
                     for j in range(i + 1, len(entries)):
+                        if constrained[i] or constrained[j]:
+                            continue
                         t1, a1 = entries[i]
                         t2, a2 = entries[j]
                         if a1.center == a2.center:

@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.cloud.traces import catalog_from_dict, catalog_to_dict, pool_from_dict, pool_to_dict
 from repro.cluster.resources import ResourcePool
+from repro.core import reliability
 from repro.core.placement.greedy import OnlineHeuristic
 from repro.core.placement.transfer import transfer_pair
 from repro.core.problem import Allocation, VirtualClusterRequest
@@ -557,13 +558,30 @@ class ShardedPlacementFabric:
             )
         if not fresh:
             return tickets
-        demands = np.stack(
-            [np.asarray(r.demand, dtype=np.int64) for r, _ in fresh]
-        )
-        with self.timer.phase("route"):
-            routes = self._router.route_batch(demands, exclude=down)
-        for (request, ticket), route in zip(fresh, routes):
-            self._dispatch(request, ticket, failover=False, route=route)
+        # Survivability-constrained requests take the scalar routing path —
+        # their shard ranking depends on per-shard spread feasibility, which
+        # the vectorized screen does not model. Untargeted rows (the hot
+        # path) keep the batched, decision-identical routing.
+        plain = [
+            (request, ticket)
+            for request, ticket in fresh
+            if request.survivability is None
+        ]
+        targeted = [
+            (request, ticket)
+            for request, ticket in fresh
+            if request.survivability is not None
+        ]
+        if plain:
+            demands = np.stack(
+                [np.asarray(r.demand, dtype=np.int64) for r, _ in plain]
+            )
+            with self.timer.phase("route"):
+                routes = self._router.route_batch(demands, exclude=down)
+            for (request, ticket), route in zip(plain, routes):
+                self._dispatch(request, ticket, failover=False, route=route)
+        for request, ticket in targeted:
+            self._dispatch(request, ticket, failover=False)
         return tickets
 
     def _dispatch(
@@ -584,11 +602,12 @@ class ShardedPlacementFabric:
         vectorized screening pass.
         """
         demand = np.asarray(request.demand, dtype=np.int64)
+        target = request.survivability
         with self._flock:
             down = frozenset(self._down)
         if route is None:
             with self.timer.phase("route"):
-                route = self._router.route(demand, exclude=down)
+                route = self._router.route(demand, exclude=down, target=target)
         for shard_id in route.refused:
             # The satellite fix: a refusal that never reaches a queue is
             # still attributed to the shard that refused it.
@@ -633,7 +652,10 @@ class ShardedPlacementFabric:
                     f"all {len(candidates)} candidate shard(s) declined",
                 )
             elif down and any(
-                not self._shards[sid].state.exceeds_max_capacity(demand)
+                reliability.refusal_reason(
+                    demand, self._shards[sid].state, target
+                )
+                is None
                 for sid in down
             ):
                 self._stats.unavailable += 1
@@ -646,7 +668,12 @@ class ShardedPlacementFabric:
                 self._stats.refused += 1
                 status, detail = (
                     DecisionStatus.REFUSED,
-                    "demand exceeds the maximum capacity of every shard",
+                    (
+                        "no shard can satisfy the survivability target "
+                        "within its maximum capacity"
+                        if target is not None
+                        else "demand exceeds the maximum capacity of every shard"
+                    ),
                 )
         ticket._resolve(
             PlacementDecision(
@@ -1249,10 +1276,11 @@ class ShardedPlacementFabric:
         source = self._shards[source_id]
         with source.service._lock:
             allocation = source.state.leases.get(request_id)
+            lease_target = source.state.lease_target(request_id)
         if allocation is None:
             return 0.0
         demand = allocation.matrix.sum(axis=0)
-        route = self._router.route(demand, exclude=down)
+        route = self._router.route(demand, exclude=down, target=lease_target)
         if not route.ranked or route.ranked[0] == source_id:
             return 0.0
         target_id = route.ranked[0]
@@ -1261,8 +1289,11 @@ class ShardedPlacementFabric:
             allocation = source.state.leases.get(request_id)
             if allocation is None:  # released while we were routing
                 return 0.0
+            lease_target = source.state.lease_target(request_id)
             request = VirtualClusterRequest(
-                demand=[int(d) for d in demand], request_id=request_id
+                demand=[int(d) for d in demand],
+                request_id=request_id,
+                survivability=lease_target,
             )
             trial = target.service.policy.place(
                 target.state, request, obs=self.obs
@@ -1273,7 +1304,9 @@ class ShardedPlacementFabric:
             if gain <= self.config.rebalance_min_gain:
                 return 0.0
             # Reserve in the target, then commit by freeing the source.
-            target.state.allocate_lease(request_id, trial)
+            target.state.allocate_lease(
+                request_id, trial, survivability=lease_target
+            )
             source.state.release_lease(request_id)
             with self._flock:
                 self._owners[request_id] = target_id
@@ -1296,6 +1329,13 @@ class ShardedPlacementFabric:
             a1 = shard1.state.leases.get(rid1)
             a2 = shard2.state.leases.get(rid2)
             if a1 is None or a2 is None:
+                return 0.0
+            if (
+                shard1.state.lease_target(rid1) is not None
+                or shard2.state.lease_target(rid2) is not None
+            ):
+                # Distance-only exchanges are blind to failure-domain caps;
+                # survivability-constrained leases keep their admitted shape.
                 return 0.0
             if a1.distance + a2.distance <= self.config.rebalance_min_gain:
                 # Re-checked under the locks: distances may have improved

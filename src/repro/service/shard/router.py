@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import reliability
 from repro.service.state import ClusterState
 from repro.util.errors import ValidationError
 from repro.util.validation import as_int_matrix, as_int_vector
@@ -155,11 +156,22 @@ class ShardRouter:
             raise ValidationError(f"no shard {shard_id} to replace")
         self._states[shard_id] = state
 
-    def route(self, demand: np.ndarray, *, exclude=frozenset()) -> RouteResult:
+    def route(
+        self, demand: np.ndarray, *, exclude=frozenset(), target=None
+    ) -> RouteResult:
         """Rank shards for *demand*; see the module docstring for the score.
 
         ``exclude`` names shard ids to leave out entirely (dead or draining
         workers) — they appear in neither ``ranked`` nor ``refused``.
+
+        ``target`` is the request's optional
+        :class:`~repro.core.reliability.SurvivabilityTarget`. Shards whose
+        sub-topology can *never* satisfy the compiled spread (too few racks,
+        or the demand cannot fit under the per-domain cap even at maximum
+        capacity) are **refused**, not ranked — spilling over to them would
+        waste an admission round trip on a guaranteed refusal. Shards where
+        only the *current* free capacity blocks the spread rank as waitable,
+        exactly like plain capacity shortfalls.
         """
         demand = as_int_vector(
             demand, name="demand", length=self._states[0].num_types
@@ -175,6 +187,15 @@ class ShardRouter:
             if state.exceeds_max_capacity(demand):
                 refused.append(shard_id)
                 continue
+            if target is not None:
+                if reliability.refusal_reason(demand, state, target) is not None:
+                    refused.append(shard_id)
+                    continue
+                if not reliability.can_satisfy_target(demand, state, target):
+                    free = float(state.remaining[:, demand > 0].sum())
+                    waitable.append((-free, shard_id))
+                    scores[shard_id] = float("inf")
+                    continue
             free = float(state.remaining[:, demand > 0].sum())
             est = estimate_dc(state, demand)
             if np.isfinite(est):

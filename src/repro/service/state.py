@@ -45,11 +45,18 @@ class StateSnapshot:
     ``allocated`` is a defensive copy of ``C``; ``leases`` maps request id to
     the :class:`~repro.core.problem.Allocation` held at capture time
     (allocations are immutable, so sharing them is safe).
+    ``lease_targets`` carries the survivability targets of the (usually
+    few) leases that have one — immutable, shared like the allocations.
     """
 
     version: int
     allocated: np.ndarray
     leases: dict[int, Allocation]
+    lease_targets: dict = None  # dict[int, SurvivabilityTarget]; None ≡ {}
+
+    def __post_init__(self) -> None:
+        if self.lease_targets is None:
+            object.__setattr__(self, "lease_targets", {})
 
 
 class ClusterState(ResourcePool):
@@ -80,6 +87,7 @@ class ClusterState(ResourcePool):
         self._rack_ids = np.asarray(topology.rack_ids, dtype=np.int64)
         self._num_racks = topology.num_racks
         self._leases: dict[int, Allocation] = {}
+        self._lease_targets: dict[int, object] = {}
         self._lease_sum = np.zeros_like(self._alloc)
         self._version = 0
         self._rebuild_aggregates()
@@ -166,14 +174,33 @@ class ClusterState(ResourcePool):
         """Whether *request_id* currently holds an active lease."""
         return request_id in self._leases
 
-    def allocate_lease(self, request_id: int, allocation: Allocation) -> None:
-        """Commit *allocation* and record it under *request_id*."""
+    def lease_target(self, request_id: int):
+        """The :class:`~repro.core.reliability.SurvivabilityTarget` attached
+        to *request_id*'s lease, or ``None`` (the common case)."""
+        return self._lease_targets.get(request_id)
+
+    @property
+    def lease_targets(self) -> dict:
+        """Targets of survivability-constrained leases (shallow copy)."""
+        return dict(self._lease_targets)
+
+    def allocate_lease(
+        self, request_id: int, allocation: Allocation, *, survivability=None
+    ) -> None:
+        """Commit *allocation* and record it under *request_id*.
+
+        ``survivability`` records the request's target with the lease so
+        rebalancing can leave constrained leases alone and checkpoints can
+        restore the constraint.
+        """
         if request_id in self._leases:
             raise ValidationError(
                 f"request {request_id} already holds an active lease"
             )
         self.allocate(allocation.matrix)
         self._leases[request_id] = allocation
+        if survivability is not None:
+            self._lease_targets[request_id] = survivability
         self._lease_sum += allocation.matrix
 
     def release_lease(self, request_id: int) -> Allocation:
@@ -181,6 +208,7 @@ class ClusterState(ResourcePool):
         allocation = self._leases.pop(request_id, None)
         if allocation is None:
             raise ValidationError(f"no active lease for request {request_id}")
+        self._lease_targets.pop(request_id, None)
         self.release(allocation.matrix)
         self._lease_sum -= allocation.matrix
         return allocation
@@ -191,17 +219,21 @@ class ClusterState(ResourcePool):
         Used by the batch transfer phase: the old matrix is released before
         the new one is committed, so capacity-neutral exchanges always fit.
         Returns the previous allocation; on a failed commit the old lease is
-        reinstated and the error propagates.
+        reinstated and the error propagates. The lease's survivability
+        target (if any) survives the swap.
         """
+        target = self._lease_targets.get(request_id)
         old = self.release_lease(request_id)
         try:
-            self.allocate_lease(request_id, allocation)
+            self.allocate_lease(request_id, allocation, survivability=target)
         except Exception:
-            self.allocate_lease(request_id, old)
+            self.allocate_lease(request_id, old, survivability=target)
             raise
         return old
 
-    def adopt_lease(self, request_id: int, allocation: Allocation) -> None:
+    def adopt_lease(
+        self, request_id: int, allocation: Allocation, *, survivability=None
+    ) -> None:
         """Register a lease already counted in ``C`` (checkpoint restore).
 
         Unlike :meth:`allocate_lease` this does *not* mutate capacity — the
@@ -220,6 +252,8 @@ class ClusterState(ResourcePool):
                 f"adopted lease {request_id} is not covered by the allocated matrix"
             )
         self._leases[request_id] = allocation
+        if survivability is not None:
+            self._lease_targets[request_id] = survivability
         self._lease_sum += allocation.matrix
 
     # ------------------------------------------------------------- snapshots
@@ -230,12 +264,14 @@ class ClusterState(ResourcePool):
             version=self._version,
             allocated=self._alloc.copy(),
             leases=dict(self._leases),
+            lease_targets=dict(self._lease_targets),
         )
 
     def restore_state(self, snapshot: StateSnapshot) -> None:
         """Reset to a :meth:`snapshot_state` capture (version included)."""
         self.restore(snapshot.allocated)
         self._leases = dict(snapshot.leases)
+        self._lease_targets = dict(snapshot.lease_targets)
         self._lease_sum = np.zeros_like(self._alloc)
         for allocation in self._leases.values():
             self._lease_sum += allocation.matrix
@@ -251,6 +287,7 @@ class ClusterState(ResourcePool):
             cache=self.topology_cache,
         )
         clone._leases = dict(self._leases)
+        clone._lease_targets = dict(self._lease_targets)
         clone._lease_sum = self._lease_sum.copy()
         clone._version = self._version
         return clone
@@ -280,6 +317,11 @@ class ClusterState(ResourcePool):
             raise ValidationError("incremental lease-sum matrix diverged")
         if check_leases and not np.array_equal(total, self._alloc):
             raise ValidationError("lease ledger does not sum to C")
+        orphaned = set(self._lease_targets) - set(self._leases)
+        if orphaned:
+            raise ValidationError(
+                f"survivability targets without leases: {sorted(orphaned)}"
+            )
 
     def __repr__(self) -> str:
         return (

@@ -30,6 +30,7 @@ from repro.core.placement.transfer import (
     best_exchange,
     transfer_pair,
 )
+from repro.util.errors import ValidationError
 from repro.util.rng import ensure_rng
 
 CATALOG = VMTypeCatalog.ec2_default()
@@ -215,6 +216,40 @@ def test_sweep_infeasible_returns_none():
         )
         is None
     )
+
+
+def test_rack_cap_without_rack_ids_raises_on_every_path():
+    """Regression: the ``max_vms_per_rack requires rack_ids`` check used to
+    live inside ``fill_one_rack_limited`` only, so the vectorized sweeps
+    with an *empty* candidate list (or one fully screened out) silently
+    returned ``None`` instead of flagging the caller bug. The check is now
+    eager and shared across every kernel entry point."""
+    pool, request = make_case(5, drain=False)
+    empty = np.array([], dtype=np.int64)
+    for sweep in (kernels.sweep_best, kernels.sweep_first):
+        with pytest.raises(ValidationError, match="requires rack_ids"):
+            sweep(
+                empty,
+                request,
+                pool.remaining,
+                pool.distance_matrix,
+                max_vms_per_rack=2,
+            )
+    with pytest.raises(ValidationError, match="requires rack_ids"):
+        kernels.fill_one_rack_limited(
+            0, request, pool.remaining, pool.distance_matrix,
+            rack_ids=None, max_vms_per_rack=2,
+        )
+    with pytest.raises(ValidationError, match="requires rack_ids"):
+        greedy_fill(
+            0, request, pool.remaining, pool.distance_matrix,
+            max_vms_per_rack=2,
+        )
+    with pytest.raises(ValidationError, match="requires rack_ids"):
+        _reference_greedy_fill(
+            0, request, pool.remaining, pool.distance_matrix,
+            max_vms_per_rack=2,
+        )
 
 
 # ------------------------------------------------------------- best_exchange

@@ -1,0 +1,128 @@
+"""Chaos validation: service-placed survivability promises hold under
+injected rack failures.
+
+Leases are admitted through the real :class:`PlacementService` path with
+rack-failure targets attached; the decisions' ``promised_availability``
+(the exact steady-state quorum-survival probability of the committed
+spread) is then checked against *measured* availability under seeded
+:class:`~repro.cloud.failures.FailureInjector` renewal schedules driven
+over the pool's racks. ``RELIABILITY_SMOKE=1`` shrinks the trial count
+the same way ``SHARD_SMOKE``/``CHAOS_SMOKE`` shrink the fabric suites.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cloud.failures import FailureInjector
+from repro.cluster import PoolSpec, VMTypeCatalog, random_pool
+from repro.core.reliability import SurvivabilityTarget, quorum
+from repro.experiments.reliability import measured_availability
+from repro.obs import MetricsRegistry
+from repro.service import (
+    ClusterState,
+    DecisionStatus,
+    PlaceRequest,
+    PlacementService,
+    ServiceConfig,
+)
+
+SMOKE = os.environ.get("RELIABILITY_SMOKE") == "1"
+TRIALS = 2 if SMOKE else 10
+HORIZON = 2000.0 if SMOKE else 6000.0
+MTBF, MTTR = 5000.0, 50.0
+#: Measured availability is a finite-sample estimate of the promise; the
+#: injector's all-up start biases it high, but per-trial noise needs slack.
+TOLERANCE = 0.02 if SMOKE else 0.01
+
+
+def make_service(seed=23):
+    pool = random_pool(
+        PoolSpec(
+            racks=4, nodes_per_rack=4, clouds=2, capacity_low=1,
+            capacity_high=3,
+        ),
+        VMTypeCatalog.ec2_default(),
+        seed=seed,
+    )
+    state = ClusterState.from_pool(pool)
+    return PlacementService(
+        state,
+        config=ServiceConfig(batch_window=0.0, enable_transfers=False),
+        obs=MetricsRegistry(),
+    ), state
+
+
+def test_service_promises_hold_under_injected_rack_failures():
+    service, state = make_service()
+    rack_ids = np.asarray(state.topology.rack_ids)
+    num_racks = int(np.unique(rack_ids).shape[0])
+    rng = np.random.default_rng(5)
+    leases = []
+    for i in range(8):
+        k = int(rng.integers(1, 3))
+        demand = tuple(int(d) for d in rng.integers(0, 3, size=state.num_types))
+        if sum(demand) < k + 1:
+            continue
+        ticket = service.submit(
+            PlaceRequest(
+                demand=demand,
+                request_id=100 + i,
+                survivability=SurvivabilityTarget(
+                    kind="rack", k=k, mtbf=MTBF, mttr=MTTR
+                ),
+            )
+        )
+        service.step()
+        if not (ticket.done and ticket.decision.placed):
+            continue
+        report = ticket.decision.survivability
+        assert report is not None and report["k"] == k
+        matrix = state.leases[100 + i].matrix
+        per_node = matrix.sum(axis=1)
+        counts = {
+            int(r): int(per_node[rack_ids == r].sum())
+            for r in np.unique(rack_ids[per_node > 0])
+        }
+        total = int(matrix.sum())
+        assert max(counts.values()) <= report["domain_cap"]
+        leases.append(
+            (counts, total - quorum(total, k), report["promised_availability"])
+        )
+    assert leases, "no targeted lease was placed"
+    for counts, max_loss, promised in leases:
+        measured = []
+        for trial in range(TRIALS):
+            schedule = FailureInjector(
+                mtbf=MTBF,
+                mean_repair_time=MTTR,
+                horizon=HORIZON,
+                seed=900 + trial,
+            ).schedule(num_racks)
+            measured.append(
+                measured_availability(counts, max_loss, schedule, HORIZON)
+            )
+        assert float(np.mean(measured)) >= promised - TOLERANCE
+
+
+def test_untargeted_decisions_carry_no_survivability():
+    service, _state = make_service(seed=31)
+    ticket = service.submit(PlaceRequest(demand=(1, 1, 0), request_id=1))
+    service.step()
+    assert ticket.done and ticket.decision.placed
+    assert ticket.decision.survivability is None
+
+
+def test_impossible_target_is_refused_at_submit():
+    service, _state = make_service(seed=37)
+    ticket = service.submit(
+        PlaceRequest(
+            demand=(1, 1, 0),  # 2 VMs cannot survive 5 rack failures
+            request_id=2,
+            survivability=SurvivabilityTarget(kind="rack", k=5),
+        )
+    )
+    assert ticket.done
+    assert ticket.decision.status == DecisionStatus.REFUSED
+    assert "impossible" in ticket.decision.detail

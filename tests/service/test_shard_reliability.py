@@ -1,0 +1,171 @@
+"""Fabric-level survivability: capability-aware routing and checkpointing.
+
+The issue's fabric acceptance criteria:
+
+* the router never ranks a shard that can *never* satisfy a request's
+  survivability target (too few failure domains, or the spread cannot fit
+  within the shard's maximum capacity) — such shards are refused, not
+  spilled over to;
+* fabric checkpoints carry each lease's target and round-trip
+  byte-identically, and target-free fabrics emit checkpoints with no
+  ``survivability`` keys at all (wire/disk compatibility).
+"""
+
+import json
+
+import numpy as np
+
+from repro.cluster import PoolSpec, VMTypeCatalog, random_pool
+from repro.core.reliability import SurvivabilityTarget, spread_budget
+from repro.obs import MetricsRegistry
+from repro.service import DecisionStatus, PlaceRequest, ServiceConfig
+from repro.service.shard import (
+    ByRackPlan,
+    FabricConfig,
+    RackGroupPlan,
+    ShardedPlacementFabric,
+    fabric_from_checkpoint,
+)
+
+CATALOG = VMTypeCatalog.ec2_default()
+
+
+def make_pool(seed=7, racks=4, nodes_per_rack=4, clouds=2, capacity_high=3):
+    return random_pool(
+        PoolSpec(
+            racks=racks,
+            nodes_per_rack=nodes_per_rack,
+            clouds=clouds,
+            capacity_low=1,
+            capacity_high=capacity_high,
+        ),
+        CATALOG,
+        seed=seed,
+    )
+
+
+def make_fabric(pool=None, plan=None, **fabric_kwargs):
+    pool = pool or make_pool()
+    fabric_kwargs.setdefault("service", ServiceConfig(batch_window=0.0))
+    service = fabric_kwargs.pop("service")
+    return ShardedPlacementFabric(
+        pool,
+        plan=plan or RackGroupPlan(2),
+        config=FabricConfig(service=service, **fabric_kwargs),
+        obs=MetricsRegistry(),
+    )
+
+
+def pump(fabric, rounds=50):
+    decisions = []
+    for _ in range(rounds):
+        got = fabric.step_all(now=0.0)
+        decisions.extend(got)
+        if not got and not fabric.queued:
+            break
+    return decisions
+
+
+class TestCapabilityRouting:
+    def test_single_rack_shards_are_refused_for_spread_targets(self):
+        """ByRackPlan shards own one rack each: any binding rack-spread is
+        structurally impossible there, so the router must refuse every
+        shard rather than rank one and waste an admission round trip."""
+        pool = make_pool(racks=2, clouds=1)
+        fabric = make_fabric(pool, plan=ByRackPlan())
+        router = fabric._router
+        demand = np.array([2, 1, 0])
+        target = SurvivabilityTarget(kind="rack", k=1)  # cap 1 < total 3
+        result = router.route(demand, target=target)
+        assert result.ranked == ()
+        assert set(result.refused) == set(range(fabric.num_shards))
+        plain = router.route(demand)
+        assert plain.ranked  # the same demand untargeted routes fine
+
+    def test_mixed_capability_ranks_only_capable_shards(self):
+        """Uneven rack groups: the 1-rack shard is refused for a k=1
+        target, the multi-rack shards stay rankable."""
+        pool = make_pool(racks=3, clouds=1, nodes_per_rack=4)
+        fabric = make_fabric(pool, plan=RackGroupPlan(2))
+        router = fabric._router
+        rack_counts = [
+            int(np.unique(shard.state.topology.rack_ids).shape[0])
+            for shard in fabric._shards
+        ]
+        assert sorted(rack_counts) == [1, 2]
+        lone = rack_counts.index(1)
+        demand = np.array([2, 2, 0])
+        target = SurvivabilityTarget(kind="rack", k=1)
+        result = router.route(demand, target=target)
+        assert lone in result.refused
+        assert lone not in result.ranked
+        assert result.ranked  # the 2-rack shard can satisfy the spread
+
+    def test_fabric_places_on_capable_shard_and_enforces_cap(self):
+        pool = make_pool(racks=3, clouds=1, nodes_per_rack=4)
+        fabric = make_fabric(pool, plan=RackGroupPlan(2))
+        target = SurvivabilityTarget(kind="rack", k=1, mtbf=900.0, mttr=100.0)
+        ticket = fabric.submit(
+            PlaceRequest(demand=(2, 2, 0), request_id=1, survivability=target)
+        )
+        pump(fabric)
+        assert ticket.done and ticket.decision.placed
+        report = ticket.decision.survivability
+        assert report is not None
+        assert report["max_domain_vms"] <= spread_budget(4, 1)
+        shard = fabric.owner_of(1)
+        counts = np.zeros(64, dtype=np.int64)
+        matrix = fabric._shards[shard].state.leases[1].matrix
+        np.add.at(
+            counts,
+            np.asarray(fabric._shards[shard].state.topology.rack_ids),
+            matrix.sum(axis=1),
+        )
+        assert counts.max() <= spread_budget(4, 1)
+
+    def test_no_capable_shard_yields_target_refusal_detail(self):
+        pool = make_pool(racks=2, clouds=1)
+        fabric = make_fabric(pool, plan=ByRackPlan())
+        ticket = fabric.submit(
+            PlaceRequest(
+                demand=(2, 1, 0),
+                request_id=2,
+                survivability=SurvivabilityTarget(kind="rack", k=1),
+            )
+        )
+        pump(fabric)
+        assert ticket.done
+        assert ticket.decision.status == DecisionStatus.REFUSED
+        assert "survivability" in ticket.decision.detail
+
+
+class TestCheckpointTargets:
+    def _fabric_with_leases(self):
+        fabric = make_fabric()
+        target = SurvivabilityTarget(kind="rack", k=1, mtbf=900.0, mttr=100.0)
+        t1 = fabric.submit(
+            PlaceRequest(demand=(2, 1, 0), request_id=11, survivability=target)
+        )
+        t2 = fabric.submit(PlaceRequest(demand=(1, 1, 1), request_id=12))
+        pump(fabric)
+        assert t1.done and t1.decision.placed
+        assert t2.done and t2.decision.placed
+        return fabric, target
+
+    def test_round_trip_is_byte_identical_and_preserves_targets(self):
+        fabric, target = self._fabric_with_leases()
+        doc = fabric.checkpoint_doc()
+        restored = fabric_from_checkpoint(doc, obs=MetricsRegistry())
+        assert json.dumps(restored.checkpoint_doc(), indent=1) == json.dumps(
+            doc, indent=1
+        )
+        shard = restored.owner_of(11)
+        assert restored._shards[shard].state.lease_target(11) == target
+        assert restored._shards[restored.owner_of(12)].state.lease_target(12) is None
+
+    def test_target_free_checkpoints_have_no_survivability_keys(self):
+        fabric = make_fabric()
+        ticket = fabric.submit(PlaceRequest(demand=(1, 1, 0), request_id=21))
+        pump(fabric)
+        assert ticket.done and ticket.decision.placed
+        assert "survivability" not in json.dumps(fabric.checkpoint_doc())
