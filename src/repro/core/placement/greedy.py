@@ -235,11 +235,14 @@ class OnlineHeuristic(PlacementAlgorithm):
     def _effective_spread(self, pool, request, demand):
         """Combine the operator cap with the request's survivability target.
 
-        Returns ``(domain_ids, cap)`` — the single per-domain budget the
-        sweep enforces — or ``(rack_ids-or-None, None)`` when unconstrained.
-        A request-level :class:`~repro.core.reliability.SurvivabilityTarget`
-        compiles (refuse-impossible, see ``compile_target``) to a cap over
-        its own failure-domain scope; a rack-scope target shares the rack
+        Returns ``(domain_ids, cap, from_target)`` — the single per-domain
+        budget the sweep enforces, with ``from_target`` recording whether a
+        *non-vacuous* compiled target contributed to it (vacuous targets
+        must behave observably identically to no target at all, operator
+        cap included). A request-level
+        :class:`~repro.core.reliability.SurvivabilityTarget` compiles
+        (refuse-impossible, see ``compile_target``) to a cap over its own
+        failure-domain scope; a rack-scope target shares the rack
         partition with ``max_vms_per_rack``, so both combine as the
         minimum. A node-scope target under an operator rack cap would need
         two simultaneous partitions, which the single-budget kernels cannot
@@ -253,37 +256,75 @@ class OnlineHeuristic(PlacementAlgorithm):
         if cap is not None:
             rack_ids = pool.topology.rack_ids
         if target is None:
-            return rack_ids, cap
+            return rack_ids, cap, False
         compiled = reliability.compile_target(demand, pool, target)
         if compiled is None:  # vacuous (k=0): unconstrained path, bit-identical
-            return rack_ids, cap
+            return rack_ids, cap, False
         domain_ids, target_cap, _k = compiled
         if cap is None:
-            return domain_ids, target_cap
+            return domain_ids, target_cap, True
         if target.domain_scope != "rack":
             raise ValidationError(
                 "cannot combine max_vms_per_rack with a node-scope "
                 "survivability target (two failure-domain partitions)"
             )
-        return rack_ids, min(cap, target_cap)
+        return rack_ids, min(cap, target_cap), True
 
     def _place(self, pool: ResourcePool, request, *, rng=None, obs=None):
         timer = self.timer
         demand = normalize_request(request, pool.num_types)
+        target = getattr(request, "survivability", None)
+        if target is not None and target.kind == "availability":
+            return self._place_available(pool, demand, target, rng, obs)
         with timer.phase("admission"):
             admissible = check_admissible(demand, pool)
-            domain_ids, cap = self._effective_spread(pool, request, demand)
-            if (
-                getattr(request, "survivability", None) is not None
-                and cap is not None
-            ):
+            domain_ids, cap, from_target = self._effective_spread(
+                pool, request, demand
+            )
+            if from_target:
                 from repro.core import reliability
 
-                admissible = admissible and reliability.check_spread_admissible(
+                # Run the spread check unconditionally: its refusal half
+                # (InfeasibleRequestError against maximum capacity) must
+                # fire even when plain free capacity already says wait.
+                spread_ok = reliability.check_spread_admissible(
                     demand, pool, domain_ids, cap
                 )
+                admissible = admissible and spread_ok
         if not admissible:
             return None
+        return self._fill(pool, demand, domain_ids, cap, rng, obs)
+
+    def _place_available(self, pool, demand, target, rng, obs):
+        """Verified-commit path for availability targets.
+
+        Defers to :func:`repro.core.reliability.place_available`: greedy
+        fills at escalating tolerances, committing only when the achieved
+        spread's exact survival meets ``min_availability``. The operator
+        ``max_vms_per_rack`` folds into each attempt's budget exactly as it
+        does for compiled ``k``-kind caps.
+        """
+        from repro.core import reliability
+
+        op_cap = self.max_vms_per_rack
+        if op_cap is not None and target.domain_scope != "rack":
+            raise ValidationError(
+                "cannot combine max_vms_per_rack with a node-scope "
+                "survivability target (two failure-domain partitions)"
+            )
+
+        def attempt(domain_ids, cap):
+            if op_cap is not None:
+                domain_ids = pool.topology.rack_ids
+                cap = op_cap if cap is None else min(cap, op_cap)
+            elif cap is None:
+                domain_ids = None
+            return self._fill(pool, demand, domain_ids, cap, rng, obs)
+
+        return reliability.place_available(demand, pool, target, attempt)
+
+    def _fill(self, pool, demand, domain_ids, cap, rng, obs):
+        """Shortcut + candidate sweep under an optional per-domain budget."""
         remaining = pool.remaining
         dist = pool.distance_matrix
 
@@ -297,7 +338,7 @@ class OnlineHeuristic(PlacementAlgorithm):
                 matrix[i] = demand
                 return Allocation(matrix=matrix, center=i, distance=0.0)
 
-        with timer.phase("center_sweep"):
+        with self.timer.phase("center_sweep"):
             candidates = self._candidate_centers(remaining, rng)
             if self.use_kernels:
                 return self._sweep_kernels(

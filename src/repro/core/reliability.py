@@ -26,14 +26,23 @@ request must be refused, never silently weakened.
 **Availability targets.** ``kind="availability"`` asks for a minimum
 steady-state probability that the quorum is alive, given a per-domain
 MTBF/MTTR failure model (the per-domain steady-state unavailability is
-``u = mttr / (mtbf + mttr)``). The target compiles to the smallest ``k``
-whose *nominal* placement (domains filled to the cap — the adversarial
-spread the heuristic is allowed to produce) meets the probability; the
-achieved placement's exact survival probability (a lost-VM-distribution
-DP, :func:`survival_probability`) is what decisions report as the promise.
-The promise is conservative by construction: the renewal failure process
-starts all-up, so measured availability under the
-:class:`~repro.cloud.failures.FailureInjector` dominates the steady state.
+``u = mttr / (mtbf + mttr)``). These targets are **verified at commit
+time, never promised from a compile-time spread**: no single ``k`` can be
+soundly derived up front, because quorum survival is not monotone in how
+finely a cap-respecting placement spreads (``[2, 1, 1]`` survives one
+tolerated loss *less* often than ``[2, 2]`` — more domains mean more ways
+for partial losses to stack past the quorum). Instead
+:func:`place_available` escalates ``k = 0, 1, 2, …``: it places under the
+``k``-derived cap and accepts **iff** the achieved placement's *exact*
+quorum-survival probability (a lost-VM-distribution DP,
+:func:`survival_probability`, applied via :func:`verified_k`) meets
+``min_availability``; otherwise it tightens the spread and retries,
+refusing once no spread-feasible tolerance remains. A committed decision
+therefore always carries a promise the placement itself satisfies. The
+promise is additionally conservative at measurement time: the renewal
+failure process starts all-up, so measured availability under the
+:class:`~repro.cloud.failures.FailureInjector` dominates the steady
+state.
 
 **Feasibility is exact, not greedy.** Whether a demand fits under a domain
 cap is a transportation problem (VM types couple through both per-node
@@ -131,12 +140,15 @@ def survival_probability(
 
 
 def nominal_domain_counts(total: int, cap: int) -> list[int]:
-    """The adversarial cap-respecting spread: fewest domains, each maximal.
+    """The fewest-domains cap-respecting spread: each domain filled maximal.
 
-    This concentrates VMs as much as the cap allows — the placement shape
-    with the *lowest* survival probability among cap-respecting placements
-    (bigger per-domain chunks mean each domain death costs more), so
-    promising availability against it is safe for any actual placement.
+    A *reference* shape only — it is **not** the worst cap-respecting
+    spread. Counterexample: ``total=4, cap=2, u=0.05`` with two tolerated
+    losses gives ``[2, 2]`` survival 0.99750 but ``[2, 1, 1]`` only
+    0.99512 (the extra domains add ways for partial losses to stack past
+    the quorum). Availability promises are therefore never derived from
+    this shape; commit paths verify the achieved placement instead
+    (:func:`verified_k`, :func:`place_available`).
     """
     if cap <= 0:
         raise ValidationError("cap must be >= 1 for a nominal spread")
@@ -147,7 +159,12 @@ def nominal_domain_counts(total: int, cap: int) -> list[int]:
 
 
 def nominal_availability(total: int, k: int, u: float) -> float:
-    """Quorum-survival probability of the nominal spread for tolerance *k*."""
+    """Quorum-survival probability of the *nominal* spread for tolerance *k*.
+
+    An estimate over one reference shape, not a bound over all
+    cap-respecting placements (see :func:`nominal_domain_counts`) — useful
+    for ranking and plotting, never for admission promises.
+    """
     cap = spread_budget(total, k)
     if cap <= 0:
         return 0.0
@@ -158,11 +175,14 @@ def nominal_availability(total: int, k: int, u: float) -> float:
 def resolve_availability_k(
     min_availability: float, total: int, num_domains: int, u: float
 ) -> "int | None":
-    """Smallest *k* whose nominal spread meets *min_availability*.
+    """Smallest *k* whose *nominal* spread meets *min_availability*.
 
     Searches ``k = 0 .. min(total, num_domains) − 1`` (beyond that the cap
-    is 0 or the spread needs more domains than exist). Returns ``None``
-    when no tolerance reaches the target — the request must be refused.
+    is 0 or the spread needs more domains than exist); ``None`` when no
+    tolerance reaches the target. This is an **estimate** (the nominal
+    spread is not the worst cap-respecting shape), so commit paths do not
+    rely on it: :func:`place_available` verifies the achieved placement
+    and escalates ``k`` until the verified promise holds.
     """
     limit = min(total, num_domains)
     for k in range(limit):
@@ -171,6 +191,75 @@ def resolve_availability_k(
         if nominal_availability(total, k, u) >= min_availability:
             return k
     return None
+
+
+def max_feasible_availability(num_domains: int, total: int, u: float) -> float:
+    """Upper bound on quorum survival over *every* placement and tolerance.
+
+    Any placement uses ``d ≤ min(num_domains, total)`` domains, and all
+    ``d`` of them being down kills the whole cluster (the quorum is always
+    ≥ 1), so survival ≤ ``1 − u^d ≤ 1 − u^min(num_domains, total)``.
+    Availability targets above this bound are refused up front — no
+    amount of spreading can reach them.
+    """
+    if num_domains < 1 or total < 1:
+        raise ValidationError("num_domains and total must be >= 1")
+    if not (0.0 <= u <= 1.0):
+        raise ValidationError("u must be in [0, 1]")
+    return 1.0 - u ** min(num_domains, total)
+
+
+def placement_domain_counts(
+    matrix: np.ndarray, domain_ids: np.ndarray
+) -> np.ndarray:
+    """Per-domain VM counts of a placement matrix (used domains only)."""
+    matrix = np.asarray(matrix, dtype=np.int64)
+    domain_ids = np.asarray(domain_ids, dtype=np.int64)
+    counts = np.zeros(int(domain_ids.max()) + 1, dtype=np.int64)
+    np.add.at(counts, domain_ids, matrix.sum(axis=1))
+    return counts[counts > 0]
+
+
+def verified_k(domain_counts, total: int, target: "SurvivabilityTarget") -> "int | None":
+    """Smallest tolerance *k* the achieved placement provably meets.
+
+    A placement with per-domain counts *domain_counts* satisfies an
+    availability target at tolerance ``k`` iff it respects the ``k`` cap
+    structurally (``max(counts) ≤ ⌊total/(k+1)⌋``) **and** its exact
+    quorum-survival probability at ``k``'s quorum meets
+    ``min_availability``. Returns the smallest such ``k`` — the strongest
+    sound promise (largest quorum) — or ``None`` when the placement meets
+    the target at no tolerance. Survival is non-decreasing in ``k`` for
+    fixed counts (the tolerated loss only grows), so the search is a
+    binary chop over the structurally compatible range.
+    """
+    counts = [int(c) for c in domain_counts if int(c) > 0]
+    if not counts:
+        raise ValidationError("domain_counts must contain at least one VM")
+    u = target.unavailability
+    if u is None or target.min_availability is None:
+        raise ValidationError("verified_k needs an availability target")
+    hi = total // max(counts) - 1  # largest k whose cap fits max(counts)
+    if hi < 0:
+        return None
+
+    def meets(k: int) -> bool:
+        max_loss = total - quorum(total, k)
+        return (
+            survival_probability(counts, u, max_loss)
+            >= target.min_availability
+        )
+
+    if not meets(hi):
+        return None
+    lo = 0
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if meets(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
 
 
 # ------------------------------------------------------------------- target
@@ -186,8 +275,10 @@ class SurvivabilityTarget:
       (the generalization of ``OnlineHeuristic(max_vms_per_rack=...)``).
     * ``kind="availability"`` — keep the quorum alive with probability at
       least ``min_availability`` under a per-domain MTBF/MTTR model;
-      compiled to the smallest adequate ``k`` at admission time
-      (:meth:`resolve_k`). ``scope`` names the domain granularity.
+      enforced at commit time by :func:`place_available`, which escalates
+      the spread cap until the *achieved* placement's exact survival meets
+      the promise (no compile-time ``k`` is sound — see the module
+      docstring). ``scope`` names the domain granularity.
 
     ``mtbf``/``mttr`` are required for availability targets and optional
     for ``k``-kinds, where they let decisions report a promised
@@ -268,24 +359,23 @@ class SurvivabilityTarget:
     def resolve_k(self, total: int, num_domains: int) -> int:
         """The effective tolerance ``k`` for a *total*-VM request.
 
-        Raises :class:`InfeasibleRequestError` when an availability target
-        cannot be met by any spread over *num_domains* domains — the
-        refuse-impossible rule, applied before any placement work.
+        Only defined for the structural ``k``-kinds. Availability targets
+        have no placement-independent tolerance — quorum survival is not
+        monotone in how finely a cap-respecting placement spreads, so any
+        compile-time ``k`` could promise an availability the committed
+        placement then violates. Their ``k`` is fixed by the verified
+        commit path instead (:func:`place_available` /
+        :func:`verified_k`).
         """
         if total < 1:
             raise ValidationError("total must be >= 1")
-        if self.kind != "availability":
-            return self.k
-        k = resolve_availability_k(
-            self.min_availability, total, num_domains, self.unavailability
-        )
-        if k is None:
-            raise InfeasibleRequestError(
-                f"availability {self.min_availability} is unreachable for "
-                f"{total} VMs over {num_domains} {self.scope} domains "
-                f"(u={self.unavailability:.4g})"
+        if self.kind == "availability":
+            raise ValidationError(
+                "availability targets have no compile-time k; commit paths "
+                "derive it by verifying the achieved placement "
+                "(place_available / verified_k)"
             )
-        return k
+        return self.k
 
     def spread_budget(self, total: int, num_domains: int) -> int:
         """The compiled per-domain VM cap for a *total*-VM request."""
@@ -480,13 +570,14 @@ def spread_feasible(
 def compile_target(
     demand: np.ndarray, pool, target: SurvivabilityTarget
 ) -> "tuple[np.ndarray, int, int] | None":
-    """Compile *target* to ``(domain_ids, cap, k)`` for this request/pool.
+    """Compile a ``k``-kind *target* to ``(domain_ids, cap, k)``.
 
     Returns ``None`` when the constraint is vacuous (``cap ≥ total``) —
     callers then take the unconstrained path, which is what keeps ``k=0``
     placements bit-identical to target-free ones. Raises
     :class:`InfeasibleRequestError` when the target is impossible for the
-    request size (cap 0) or unreachable (availability kind).
+    request size (cap 0). Availability targets are rejected: they have no
+    sound compile-time cap and go through :func:`place_available`.
     """
     demand = np.asarray(demand, dtype=np.int64)
     total = int(demand.sum())
@@ -530,12 +621,30 @@ def refusal_reason(
 
     Exception-free admission screen for routing and service submit paths:
     checks plain maximum capacity first, then the compiled spread
-    constraint against maximum capacity.
+    constraint against maximum capacity (``k``-kinds) or the
+    every-placement availability ceiling
+    (:func:`max_feasible_availability`, availability kind — whether a
+    *specific* tolerance works is only decidable at commit time, so this
+    screen refuses exactly the targets no placement can ever reach).
     """
     demand = np.asarray(demand, dtype=np.int64)
     if pool.exceeds_max_capacity(demand):
         return "demand exceeds maximum pool capacity"
     if target is None:
+        return None
+    total = int(demand.sum())
+    domain_ids = domain_ids_for(target.domain_scope, pool)
+    num_domains = int(np.unique(domain_ids).shape[0])
+    if target.kind == "availability":
+        bound = max_feasible_availability(
+            num_domains, total, target.unavailability
+        )
+        if target.min_availability > bound:
+            return (
+                f"availability {target.min_availability} exceeds the "
+                f"best any spread over {num_domains} {target.domain_scope} "
+                f"domains can reach ({bound:.6g})"
+            )
         return None
     try:
         compiled = compile_target(demand, pool, target)
@@ -559,12 +668,17 @@ def can_satisfy_target(
 
     ``False`` means wait (or, for a router, rank the shard as waitable);
     callers must have screened refusal separately via
-    :func:`refusal_reason`.
+    :func:`refusal_reason`. For availability targets the committed
+    tolerance is placement-dependent, so this screens plain capacity only
+    — a ranking signal, while correctness of the promise is enforced at
+    commit by :func:`place_available`.
     """
     demand = np.asarray(demand, dtype=np.int64)
     if not pool.can_satisfy(demand):
         return False
     if target is None:
+        return True
+    if target.kind == "availability":
         return True
     try:
         compiled = compile_target(demand, pool, target)
@@ -574,6 +688,65 @@ def can_satisfy_target(
         return True
     domain_ids, cap, _k = compiled
     return spread_feasible(demand, pool.remaining, domain_ids, cap)
+
+
+def place_available(demand: np.ndarray, pool, target: SurvivabilityTarget, attempt):
+    """Verified-commit placement for ``kind="availability"`` targets.
+
+    *attempt* is ``attempt(domain_ids, cap) -> Allocation | None`` — place
+    under a per-domain cap (``cap is None`` means unconstrained). The
+    driver escalates ``k = 0, 1, 2, …``, placing under each ``k``'s cap
+    and committing **iff** the achieved placement verifies
+    (:func:`verified_k`: some tolerance's exact quorum survival meets
+    ``min_availability``). Escalation tightens the spread monotonically,
+    so infeasibility against maximum capacity at any ``k`` is final —
+    the request is refused (:class:`InfeasibleRequestError`), matching
+    the refuse-iff-impossible rule for this escalation policy. ``None``
+    means wait: some tolerance is feasible at maximum capacity but the
+    current free capacity cannot realize a verifying placement.
+    """
+    demand = np.asarray(demand, dtype=np.int64)
+    total = int(demand.sum())
+    if target.kind != "availability":
+        raise ValidationError("place_available needs an availability target")
+    domain_ids = domain_ids_for(target.domain_scope, pool)
+    num_domains = int(np.unique(domain_ids).shape[0])
+    u = target.unavailability
+    bound = max_feasible_availability(num_domains, total, u)
+    if target.min_availability > bound:
+        raise InfeasibleRequestError(
+            f"availability {target.min_availability} exceeds the best any "
+            f"spread over {num_domains} {target.domain_scope} domains can "
+            f"reach ({bound:.6g}, u={u:.4g})"
+        )
+    if not check_admissible(demand, pool):
+        return None
+    waited = False
+    for k in range(total):
+        cap = spread_budget(total, k)
+        if cap < 1 or cap * num_domains < total:
+            break
+        if cap < total:
+            if not spread_feasible(demand, pool.max_capacity, domain_ids, cap):
+                break  # tighter caps stay infeasible: no higher k can work
+            if not spread_feasible(demand, pool.remaining, domain_ids, cap):
+                waited = True
+                continue
+        allocation = attempt(domain_ids, cap if cap < total else None)
+        if allocation is None:
+            waited = True
+            continue
+        counts = placement_domain_counts(allocation.matrix, domain_ids)
+        if verified_k(counts, total, target) is not None:
+            return allocation
+    if waited:
+        return None
+    raise InfeasibleRequestError(
+        f"availability {target.min_availability} is unreachable for "
+        f"{total} VMs over {num_domains} {target.domain_scope} domains: "
+        "no spread-feasible tolerance produced a placement meeting the "
+        f"target (u={u:.4g})"
+    )
 
 
 # ----------------------------------------------------- achieved survivability
@@ -589,18 +762,32 @@ def achieved_survivability(
     audit the promise: the effective tolerance ``k``, the compiled cap, the
     realized spread (domains used, largest domain share), the quorum, and —
     when an MTBF/MTTR model is present — the exact quorum-survival
-    probability of *this* placement (≥ the nominal promise by
-    construction).
+    probability of *this* placement.
+
+    For ``k``-kinds, ``k`` is the target's own tolerance. For availability
+    targets ``k`` is re-derived from the achieved placement itself
+    (:func:`verified_k` — the smallest tolerance whose cap the placement
+    respects *and* whose quorum it keeps alive with the required
+    probability, mirroring the commit rule of :func:`place_available`);
+    ``meets_target`` records whether such a tolerance exists, and when it
+    does not, ``k`` falls back to the largest structurally respected
+    tolerance so the report still describes the shape honestly.
     """
     matrix = np.asarray(matrix, dtype=np.int64)
     total = int(matrix.sum())
     domain_ids = domain_ids_for(target.domain_scope, pool)
     num_domains = int(np.unique(domain_ids).shape[0])
-    k = target.resolve_k(total, num_domains)
-    node_counts = matrix.sum(axis=1)
-    counts = np.zeros(int(domain_ids.max()) + 1, dtype=np.int64)
-    np.add.at(counts, domain_ids, node_counts)
-    used = counts[counts > 0]
+    used = placement_domain_counts(matrix, domain_ids)
+    meets: "bool | None" = None
+    if target.kind == "availability":
+        k_verified = verified_k(used, total, target)
+        meets = k_verified is not None
+        if k_verified is not None:
+            k = k_verified
+        else:
+            k = max(0, total // int(used.max()) - 1)
+    else:
+        k = target.resolve_k(total, num_domains)
     doc = {
         "kind": target.kind,
         "scope": target.domain_scope,
@@ -616,6 +803,9 @@ def achieved_survivability(
         doc["promised_availability"] = survival_probability(
             used.tolist(), u, max_loss
         )
+    if meets is not None:
+        doc["min_availability"] = float(target.min_availability)
+        doc["meets_target"] = bool(meets)
     return doc
 
 
@@ -637,8 +827,11 @@ def solve_sd_reliable(
     (:func:`repro.core.placement.ilp.solve_sd_milp` with ``domain_ids`` /
     ``domain_cap``) carries the optimality guarantee. Returns the optimal
     :class:`~repro.core.problem.Allocation`, ``None`` to wait, and raises
-    :class:`InfeasibleRequestError` to refuse — refusal exactly iff the
-    MILP is infeasible against maximum capacity (max-flow certified).
+    :class:`InfeasibleRequestError` to refuse — for ``k``-kinds exactly
+    iff the MILP is infeasible against maximum capacity (max-flow
+    certified). Availability targets go through the verified-commit
+    escalation (:func:`place_available`): each tolerance's MILP optimum is
+    accepted only if its exact survival meets ``min_availability``.
     """
     from repro.core.placement.exact import solve_sd_exact
     from repro.core.placement.ilp import solve_sd_milp
@@ -646,6 +839,20 @@ def solve_sd_reliable(
     demand = normalize_request(request, pool.num_types)
     if target is None:
         return solve_sd_exact(demand, pool)
+    if target.kind == "availability":
+
+        def attempt(domain_ids, cap):
+            if cap is None:
+                return solve_sd_exact(demand, pool)
+            return solve_sd_milp(
+                demand,
+                pool,
+                options=options,
+                domain_ids=domain_ids,
+                domain_cap=cap,
+            )
+
+        return place_available(demand, pool, target, attempt)
     compiled = compile_target(demand, pool, target)
     if compiled is None:
         return solve_sd_exact(demand, pool)

@@ -561,27 +561,28 @@ class ShardedPlacementFabric:
         # Survivability-constrained requests take the scalar routing path —
         # their shard ranking depends on per-shard spread feasibility, which
         # the vectorized screen does not model. Untargeted rows (the hot
-        # path) keep the batched, decision-identical routing.
+        # path) keep the batched, decision-identical routing. Dispatch runs
+        # in the original submission order either way, so shard-queue
+        # arrival order matches sequential submits even in mixed batches.
         plain = [
             (request, ticket)
             for request, ticket in fresh
             if request.survivability is None
         ]
-        targeted = [
-            (request, ticket)
-            for request, ticket in fresh
-            if request.survivability is not None
-        ]
+        routes = iter(())
         if plain:
             demands = np.stack(
                 [np.asarray(r.demand, dtype=np.int64) for r, _ in plain]
             )
             with self.timer.phase("route"):
-                routes = self._router.route_batch(demands, exclude=down)
-            for (request, ticket), route in zip(plain, routes):
-                self._dispatch(request, ticket, failover=False, route=route)
-        for request, ticket in targeted:
-            self._dispatch(request, ticket, failover=False)
+                routes = iter(self._router.route_batch(demands, exclude=down))
+        for request, ticket in fresh:
+            if request.survivability is None:
+                self._dispatch(
+                    request, ticket, failover=False, route=next(routes)
+                )
+            else:
+                self._dispatch(request, ticket, failover=False)
         return tickets
 
     def _dispatch(

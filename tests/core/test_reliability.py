@@ -97,6 +97,9 @@ class TestSpreadAlgebra:
     def test_resolved_k_is_minimal_and_sufficient(
         self, total, num_domains, target
     ):
+        # Internal consistency of the *estimator* only: the nominal spread
+        # is not the worst cap-respecting shape (see
+        # TestAvailabilityVerifiedCommit), so no commit path relies on it.
         u = 0.05
         k = rel.resolve_availability_k(target, total, num_domains, u)
         if k is None:
@@ -302,6 +305,71 @@ class TestHeuristicSpread:
         with pytest.raises(ValidationError):
             OnlineHeuristic(max_vms_per_rack=2).place(pool, request)
 
+    def test_spread_refusal_fires_even_when_capacity_says_wait(self):
+        # An impossible spread must refuse, not wait: with free capacity
+        # drained, the plain admission check says "wait" — the structural
+        # refusal (2 racks can never satisfy a k=2 rack tolerance for this
+        # demand) must still surface instead of being short-circuited.
+        pool = random_pool(
+            PoolSpec(
+                racks=2, nodes_per_rack=2, capacity_low=1, capacity_high=2
+            ),
+            CATALOG,
+            seed=3,
+        )
+        demand = np.array([2, 2, 2])
+        pool.allocate(np.minimum(pool.remaining, 1))
+        assert not pool.can_satisfy(demand)
+        assert not pool.exceeds_max_capacity(demand)
+        request = VirtualClusterRequest(
+            demand=demand,
+            survivability=rel.SurvivabilityTarget(kind="rack", k=2),
+        )
+        with pytest.raises(InfeasibleRequestError):
+            OnlineHeuristic().place(pool, request)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        demand=st.lists(st.integers(0, 3), min_size=3, max_size=3),
+        op_cap=st.integers(1, 4),
+        drain=st.booleans(),
+    )
+    def test_vacuous_target_with_operator_cap_matches_target_free(
+        self, seed, demand, op_cap, drain
+    ):
+        # Observably identical constraints must admit identically: a no-op
+        # (k=0) target riding along with max_vms_per_rack must not add an
+        # admission check that target-free requests with the same operator
+        # cap skip.
+        demand = np.asarray(demand, dtype=np.int64)
+        if demand.sum() == 0:
+            return
+        target = rel.SurvivabilityTarget(kind="rack", k=0)
+
+        def outcome(with_target):
+            pool = make_pool(seed)
+            if drain:
+                pool.allocate(np.minimum(pool.remaining, 1))
+            heuristic = OnlineHeuristic(max_vms_per_rack=op_cap)
+            request = VirtualClusterRequest(
+                demand=demand,
+                survivability=target if with_target else None,
+            )
+            try:
+                return heuristic.place(pool, request).allocation
+            except InfeasibleRequestError:
+                return "refused"
+
+        plain, targeted = outcome(False), outcome(True)
+        if isinstance(plain, str) or plain is None:
+            assert targeted == plain
+        else:
+            assert not isinstance(targeted, str) and targeted is not None
+            assert np.array_equal(plain.matrix, targeted.matrix)
+            assert plain.center == targeted.center
+            assert plain.distance == targeted.distance
+
 
 class TestExactReliable:
     @settings(max_examples=30, deadline=None)
@@ -369,6 +437,165 @@ class TestExactReliable:
         assert rel.refusal_reason(demand, pool, target) is not None
 
 
+class TestAvailabilityVerifiedCommit:
+    """Availability targets are verified against the committed placement.
+
+    Regression suite for the unsound compile-time promise: the nominal
+    (fewest-domains) spread is *not* the worst cap-respecting shape, and a
+    ``min_availability ≤ 1 − u`` target used to compile away entirely, so
+    an admitted placement could silently violate its promise. The commit
+    paths now accept a placement iff its own exact quorum survival meets
+    the target (``verified_k`` / ``place_available``).
+    """
+
+    @staticmethod
+    def availability_target(min_availability, u):
+        return rel.SurvivabilityTarget(
+            kind="availability",
+            min_availability=min_availability,
+            scope="rack",
+            mtbf=1000.0 * (1.0 - u),
+            mttr=1000.0 * u,
+        )
+
+    def test_nominal_spread_is_not_worst_case(self):
+        # The counterexample that sank the compile-time promise: for
+        # total=4, k=1 (two tolerated losses), the nominal [2, 2] survives
+        # more often than the equally cap-respecting [2, 1, 1].
+        nominal = rel.survival_probability([2, 2], 0.05, 2)
+        finer = rel.survival_probability([2, 1, 1], 0.05, 2)
+        assert rel.nominal_domain_counts(4, 2) == [2, 2]
+        assert finer < nominal
+        assert nominal == pytest.approx(0.9975)
+        assert finer == pytest.approx(0.995125)
+
+    def test_verified_k_is_smallest_sound_tolerance(self):
+        target = self.availability_target(0.99, 0.05)
+        # [2, 2] at k=0 survives (1-u)^2 = 0.9025 < 0.99; at k=1, 0.9975.
+        assert rel.verified_k([2, 2], 4, target) == 1
+        # [2, 1, 1] at k=1 survives 0.995125 >= 0.99 — but a 0.996 target
+        # is met by [2, 2] and by no tolerance of [2, 1, 1].
+        tight = self.availability_target(0.996, 0.05)
+        assert rel.verified_k([2, 2], 4, tight) == 1
+        assert rel.verified_k([2, 1, 1], 4, tight) is None
+
+    def test_max_feasible_availability_bounds_every_spread(self):
+        # All used domains down kills the quorum, so 1 - u^domains bounds
+        # any placement's survival from above.
+        assert rel.max_feasible_availability(3, 10, 0.1) == pytest.approx(
+            1.0 - 0.1**3
+        )
+        assert rel.max_feasible_availability(8, 2, 0.1) == pytest.approx(
+            1.0 - 0.1**2  # a 2-VM cluster uses at most 2 domains
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        min_availability=st.floats(0.6, 0.9999),
+        u=st.floats(0.01, 0.2),
+        demand=st.lists(st.integers(0, 3), min_size=3, max_size=3),
+    )
+    def test_committed_placements_meet_the_promise(
+        self, seed, min_availability, u, demand
+    ):
+        demand = np.asarray(demand, dtype=np.int64)
+        if demand.sum() == 0:
+            return
+        pool = make_pool(seed)
+        target = self.availability_target(min_availability, u)
+        request = VirtualClusterRequest(demand=demand, survivability=target)
+        try:
+            result = OnlineHeuristic().place(pool, request)
+        except InfeasibleRequestError:
+            return
+        if result.allocation is None:
+            return
+        report = rel.achieved_survivability(
+            result.allocation.matrix, pool, target
+        )
+        assert report["meets_target"]
+        assert report["promised_availability"] >= min_availability
+        # The reported tolerance is structurally respected too.
+        total = int(demand.sum())
+        counts = rack_counts(
+            result.allocation.matrix, pool.topology.rack_ids
+        )
+        assert counts.max() <= rel.spread_budget(total, report["k"])
+
+    def test_low_target_no_longer_compiles_away(self):
+        # The k=0 hole: min_availability <= 1 - u used to resolve to k=0
+        # and compile to no constraint at all, while the unconstrained
+        # placement spread over d racks survives only (1-u)^d < target.
+        pool = random_pool(
+            PoolSpec(
+                racks=6, nodes_per_rack=2, capacity_low=1, capacity_high=1
+            ),
+            CATALOG,
+            seed=9,
+        )
+        demand = np.array([4, 4, 4])
+        u = 0.04
+        target = self.availability_target(0.96, u)  # 0.96 == 1 - u exactly
+        plain = OnlineHeuristic().place(
+            pool, VirtualClusterRequest(demand=demand)
+        ).allocation
+        plain_counts = rel.placement_domain_counts(
+            plain.matrix, pool.topology.rack_ids
+        )
+        assert plain_counts.shape[0] > 1  # the request cannot fit one rack
+        assert (
+            rel.survival_probability(plain_counts, u, 0) < 0.96
+        )  # the old vacuous path would have committed this violation
+        for place in (
+            lambda: OnlineHeuristic()
+            .place(
+                pool,
+                VirtualClusterRequest(demand=demand, survivability=target),
+            )
+            .allocation,
+            lambda: rel.solve_sd_reliable(
+                VirtualClusterRequest(demand=demand, survivability=target),
+                pool,
+                target,
+            ),
+        ):
+            allocation = place()
+            assert allocation is not None
+            report = rel.achieved_survivability(
+                allocation.matrix, pool, target
+            )
+            assert report["meets_target"]
+            assert report["promised_availability"] >= 0.96
+
+    def test_unreachable_target_is_refused_up_front(self):
+        pool = make_pool(11)
+        demand = np.array([2, 2, 0])
+        u = 0.5
+        num_racks = int(np.unique(pool.topology.rack_ids).shape[0])
+        impossible = min(
+            0.999999,
+            rel.max_feasible_availability(num_racks, 4, u) + 1e-6,
+        )
+        target = self.availability_target(impossible, u)
+        assert rel.refusal_reason(demand, pool, target) is not None
+        request = VirtualClusterRequest(demand=demand, survivability=target)
+        with pytest.raises(InfeasibleRequestError):
+            OnlineHeuristic().place(pool, request)
+        with pytest.raises(InfeasibleRequestError):
+            rel.solve_sd_reliable(request, pool, target)
+
+    def test_compile_time_k_is_rejected_for_availability(self):
+        # No placement-independent k exists; misuse must fail loudly
+        # instead of producing an unsound cap.
+        target = self.availability_target(0.99, 0.05)
+        with pytest.raises(ValidationError):
+            target.resolve_k(8, 4)
+        pool = make_pool(3)
+        with pytest.raises(ValidationError):
+            rel.compile_target(np.array([2, 1, 0]), pool, target)
+
+
 class TestAchievedSurvivability:
     def test_report_reflects_actual_spread(self):
         pool = make_pool(2, capacity_high=3)
@@ -388,11 +615,9 @@ class TestAchievedSurvivability:
         assert report["domains_used"] == used.shape[0]
         assert report["max_domain_vms"] == used.max()
         assert report["quorum"] == rel.quorum(7, 1)
-        promised = report["promised_availability"]
-        # The achieved placement can only beat the nominal (worst
-        # cap-respecting) promise.
-        assert promised >= rel.nominal_availability(7, 1, target.unavailability)
-        assert promised == pytest.approx(
+        # The report's promise is the exact survival of *this* placement —
+        # never a spread-shape estimate (the nominal shape is not a bound).
+        assert report["promised_availability"] == pytest.approx(
             rel.survival_probability(
                 used.tolist(), target.unavailability, 7 - rel.quorum(7, 1)
             )

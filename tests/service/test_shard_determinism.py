@@ -290,6 +290,75 @@ class TestBatchedRoutingDeterminism:
         assert batched[0] == sequential[0]  # same shard, status, placement
         assert batched[1] == sequential[1]  # byte-identical checkpoints
 
+    def test_submit_batch_keeps_submission_order_with_mixed_targets(self):
+        """Mixed plain/targeted waves must dispatch in submission order.
+
+        Targeted requests take the scalar routing path, but that must not
+        reorder shard-queue arrival relative to sequential submits — with
+        contended capacity, arrival order decides which requests place, so
+        batched submission of a mixed wave must stay decision-identical
+        (and checkpoint-byte-identical) to one-at-a-time submission.
+        """
+        from repro.core.reliability import SurvivabilityTarget
+
+        target = SurvivabilityTarget(kind="rack", k=1)
+
+        def run(batched: bool):
+            pool = random_pool(
+                PoolSpec(
+                    racks=4,
+                    nodes_per_rack=2,
+                    clouds=2,
+                    capacity_low=1,
+                    capacity_high=2,
+                ),
+                CATALOG,
+                seed=71,
+            )
+            fabric = ShardedPlacementFabric(
+                pool,
+                plan=RackGroupPlan(2),
+                config=FabricConfig(service=ServiceConfig(batch_window=0.0)),
+                obs=MetricsRegistry(),
+            )
+            rng = np.random.default_rng(72)
+            wave = []
+            for rid in range(16):
+                demand = [
+                    int(x) for x in rng.integers(0, 3, size=pool.num_types)
+                ]
+                if sum(demand) == 0:
+                    demand[0] = 1
+                wave.append(
+                    PlaceRequest(
+                        request_id=rid,
+                        demand=demand,
+                        survivability=target if rid % 2 else None,
+                    )
+                )
+            if batched:
+                tickets = fabric.submit_batch(wave)
+            else:
+                tickets = [fabric.submit(request) for request in wave]
+            for _ in range(16):
+                if not fabric.step_all(now=0.0) and not fabric.queued:
+                    break
+            outcomes = [
+                (
+                    t.request_id,
+                    t.decision.status if t.done else None,
+                    t.decision.placements if t.done else None,
+                )
+                for t in tickets
+            ]
+            fabric.verify_consistency()
+            return outcomes, fabric.checkpoint_bytes()
+
+        sequential = run(batched=False)
+        batched = run(batched=True)
+        assert batched[0] == sequential[0]
+        assert batched[1] == sequential[1]
+
     def test_submit_batch_screens_duplicates_like_submit(self):
         fabric = loaded_fabric(63)
         requests = [
